@@ -1,0 +1,41 @@
+// Ablation: the Zero-vs-Rand wgmma gap as a function of the board power
+// limit.  Sweeping the cap shows the paper's 728.5 -> 665.4 TFLOPS drop is
+// a DVFS effect: raise the limit and the gap closes; lower it and even
+// zero-filled operands throttle.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "tensorcore/power.hpp"
+#include "tensorcore/timing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  const auto opt = bench::parse_options(argc, argv);
+
+  const isa::TcInstr instr{.path = isa::TcPath::kWgmma, .shape = {64, 256, 16},
+                           .ab = num::DType::kFp16, .cd = num::DType::kFp32,
+                           .a_src = isa::OperandSource::kSharedMemory};
+  const auto timing = tc::tc_timing(instr, arch::h800_pcie()).value();
+  const double unthrottled = timing.throughput_tflops(arch::h800_pcie());
+
+  Table table("Ablation: wgmma fp16/fp32 throughput vs board power limit");
+  table.set_header({"limit (W)", "Zero TFLOPS", "Rand TFLOPS", "gap",
+                    "Rand clock (MHz)"});
+  for (const double limit : {200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0}) {
+    arch::DeviceSpec device = arch::h800_pcie();  // copy, then ablate
+    device.power.board_limit_w = limit;
+    const auto zero = tc::apply_power(instr, device, unthrottled, false);
+    const auto rand = tc::apply_power(instr, device, unthrottled, true);
+    table.add_row({fmt_fixed(limit, 0),
+                   fmt_fixed(zero.throughput_tflops, 1),
+                   fmt_fixed(rand.throughput_tflops, 1),
+                   fmt_fixed(100.0 * (1.0 - rand.throughput_tflops /
+                                                zero.throughput_tflops), 1) + "%",
+                   fmt_fixed(rand.clock_mhz, 0)});
+  }
+  bench::emit(table, opt);
+  std::cout << "At the H800's actual 350 W cap the model reproduces the "
+               "paper's ~9% Zero-vs-Rand gap; at 450 W (an SXM-class "
+               "budget) the gap vanishes.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension: cache-hierarchy discovery by working-set sweep — the
+// Saavedra-Barrera / Mei & Chu method the paper's Table IV builds on,
+// run blind against the simulated tag arrays.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/discovery.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  const auto opt = bench::parse_options(argc, argv);
+
+  Table table("Discovered cache capacities (working-set latency sweep)");
+  table.set_header({"Device", "Level", "configured KiB", "discovered KiB",
+                    "hit lat", "miss plateau"});
+  for (const auto* device : arch::all_devices()) {
+    const auto l1 = core::discover_l1(*device);
+    if (l1) {
+      table.add_row({device->name, "L1",
+                     fmt_fixed(static_cast<double>(device->memory.l1_bytes_per_sm) / 1024, 0),
+                     fmt_fixed(static_cast<double>(l1.value().capacity_bytes) / 1024, 0),
+                     fmt_fixed(l1.value().hit_latency, 1),
+                     fmt_fixed(l1.value().miss_latency, 1)});
+    }
+    if (!opt.quick) {
+      const auto l2 = core::discover_l2(*device);
+      if (l2) {
+        table.add_row({device->name, "L2",
+                       fmt_fixed(static_cast<double>(device->memory.l2_bytes) / 1024, 0),
+                       fmt_fixed(static_cast<double>(l2.value().capacity_bytes) / 1024, 0),
+                       fmt_fixed(l2.value().hit_latency, 1),
+                       fmt_fixed(l2.value().miss_latency, 1)});
+      }
+    }
+  }
+  bench::emit(table, opt);
+
+  // The raw sweep for one device, for plotting the classic staircase.
+  Table sweep("H800 ca-chase latency vs working set (the L1 staircase)");
+  sweep.set_header({"working set KiB", "avg latency (cycles)"});
+  core::SweepConfig cfg;
+  cfg.min_bytes = 32 << 10;
+  cfg.max_bytes = 1 << 20;
+  cfg.step_factor = 1.4;
+  for (const auto& point :
+       core::latency_sweep(arch::h800_pcie(), mem::MemSpace::kGlobalCa, cfg)) {
+    sweep.add_row({fmt_fixed(static_cast<double>(point.working_set) / 1024, 0),
+                   fmt_fixed(point.avg_latency, 1)});
+  }
+  bench::emit(sweep, opt);
+  return 0;
+}

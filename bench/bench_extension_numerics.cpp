@@ -1,0 +1,95 @@
+// Extension: numeric dissection of the tensor-core data types, in the
+// style of Fasi et al. ("Numerical behavior of NVIDIA tensor cores"), which
+// the paper builds on for its precision discussion.  Everything here is
+// computed from the software float implementations — ranges, machine
+// epsilons, subnormals, rounding mode and accumulator behaviour.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "numerics/dot.hpp"
+#include "numerics/formats.hpp"
+#include "numerics/types.hpp"
+
+namespace {
+
+/// Scientific formatting for values spanning 38 orders of magnitude.
+std::string sci(double value) {
+  const double mag = std::fabs(value);
+  char buf[64];
+  if (value != 0.0 && (mag < 1e-2 || mag >= 1e5)) {
+    std::snprintf(buf, sizeof(buf), "%.3e", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using namespace hsim::num;
+  const auto opt = bench::parse_options(argc, argv);
+
+  Table table("Tensor-core storage formats: ranges and precision");
+  table.set_header({"format", "bits", "max finite", "min normal",
+                    "min subnormal", "epsilon", "has inf", "NaN codes"});
+  for (const auto* spec : {&kFp16Spec, &kBf16Spec, &kTf32Spec, &kE4m3Spec,
+                           &kE5m2Spec}) {
+    const double min_normal = std::ldexp(1.0, spec->min_normal_exp());
+    const double epsilon = std::ldexp(1.0, -spec->man_bits);
+    int nan_codes = 0;
+    if (spec->total_bits() <= 16) {
+      for (std::uint32_t bits = 0; bits < (1u << spec->total_bits()); ++bits) {
+        if (is_nan_bits(bits, *spec)) ++nan_codes;
+      }
+    } else {
+      nan_codes = 2 * ((1 << spec->man_bits) - 1);  // IEEE-style wide format
+    }
+    table.add_row({std::string(spec->name), std::to_string(spec->total_bits()),
+                   sci(spec->max_finite()), sci(min_normal),
+                   sci(spec->min_subnormal()), sci(epsilon),
+                   spec->has_inf ? "yes" : "no", std::to_string(nan_codes)});
+  }
+  bench::emit(table, opt);
+
+  // Rounding-mode probes (the experiments Fasi et al. ran on silicon).
+  Table rounding("Rounding behaviour probes (round-to-nearest-even)");
+  rounding.set_header({"probe", "fp16", "bf16", "e4m3", "e5m2"},
+                      {Align::kLeft, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight});
+  const auto probe_row = [&](const std::string& label, float value) {
+    rounding.add_row({label, sci(round_through(value, kFp16Spec)),
+                      sci(round_through(value, kBf16Spec)),
+                      sci(round_through(value, kE4m3Spec,
+                                        Overflow::kSaturate)),
+                      sci(round_through(value, kE5m2Spec,
+                                        Overflow::kSaturate))});
+  };
+  probe_row("1 + eps/2 (tie, even)", 1.0f + std::ldexp(1.0f, -11));
+  probe_row("1 + 3*eps/2 (tie, odd)", 1.0f + 3.0f * std::ldexp(1.0f, -11));
+  probe_row("449 (above e4m3 max-1)", 449.0f);
+  probe_row("1e6 (overflow, satfinite)", 1e6f);
+  probe_row("2^-20 (deep underflow)", std::ldexp(1.0f, -20));
+  bench::emit(rounding, opt);
+
+  // Accumulator-order experiment: FP16 vs FP32 accumulation on a
+  // cancellation-heavy dot product (the monotone-error story behind the
+  // paper's accuracy caveats for HMMA.F16).
+  Table acc("Accumulator behaviour: k-element ones-dot-product at 2048 + k");
+  acc.set_header({"k", "FP32 accumulate", "FP16 accumulate"});
+  for (const int k : {4, 16, 64, 256}) {
+    std::vector<float> a(static_cast<std::size_t>(k), 1.0f);
+    std::vector<float> b(static_cast<std::size_t>(k), 1.0f);
+    const float f32 = dot_accumulate_fp32(a, b, 2048.0f);
+    const fp16 f16 = dot_accumulate_fp16(a, b, fp16(2048.0f));
+    acc.add_row({std::to_string(k), fmt_fixed(f32, 0),
+                 fmt_fixed(f16.to_float(), 0)});
+  }
+  bench::emit(acc, opt);
+  std::cout << "FP16 accumulation silently drops every +1 against a 2048 "
+               "accumulator (ulp = 2): the blocked-summation hazard the "
+               "FP32-accumulate instructions exist to avoid.\n";
+  return 0;
+}

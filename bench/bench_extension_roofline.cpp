@@ -1,0 +1,73 @@
+// Extension: roofline positions of the paper's workloads on each device.
+// Ridge points come from the measured (not datasheet) bandwidths and
+// tensor-core rates, so this is the analysis a reader would build from the
+// paper's Tables V and VII-X.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/membench.hpp"
+#include "core/tcbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using num::DType;
+  const auto opt = bench::parse_options(argc, argv);
+
+  Table table("Rooflines from measured numbers");
+  table.set_header({"Device", "mem GB/s", "FP16 TFLOPS", "FP8 TFLOPS",
+                    "ridge FP16 (flop/B)", "ridge FP8"});
+  for (const auto* device : arch::all_devices()) {
+    const auto mem_result = core::measure_global_throughput(*device);
+    if (!mem_result) continue;
+    const double gbps = mem_result.value().gbps;
+
+    const auto tc_rate = [&](DType ab) -> double {
+      if (device->tc.has_wgmma) {
+        const isa::TcInstr instr{
+            .path = isa::TcPath::kWgmma,
+            .shape = {64, 256, num::is_fp8(ab) ? 32 : 16},
+            .ab = ab, .cd = DType::kFp32,
+            .a_src = isa::OperandSource::kSharedMemory};
+        const auto r = core::bench_tc(instr, *device);
+        return r ? r.value().tflops_rand : 0.0;
+      }
+      const isa::TcInstr instr{.path = isa::TcPath::kMma,
+                               .shape = {16, 8, 16},
+                               .ab = ab, .cd = DType::kFp32};
+      const auto r = core::bench_tc(instr, *device);
+      return r ? r.value().tflops_rand : 0.0;
+    };
+    const double fp16 = tc_rate(DType::kFp16);
+    const double fp8 = device->tc.has_wgmma ? tc_rate(DType::kFp8E4M3) : 0.0;
+    table.add_row({device->name, fmt_fixed(gbps, 0), fmt_fixed(fp16, 0),
+                   fp8 > 0 ? fmt_fixed(fp8, 0) : "-",
+                   fmt_fixed(fp16 * 1e12 / (gbps * 1e9), 0),
+                   fp8 > 0 ? fmt_fixed(fp8 * 1e12 / (gbps * 1e9), 0) : "-"});
+  }
+  bench::emit(table, opt);
+
+  // Where the paper's workloads sit relative to those ridges.
+  Table workloads("Arithmetic intensity of the paper's workloads (flop/byte)");
+  workloads.set_header({"workload", "intensity", "bound on H800 (ridge ~358)"},
+                       {Align::kLeft, Align::kRight, Align::kLeft});
+  const auto add = [&](const std::string& name, double flops, double bytes) {
+    const double intensity = flops / bytes;
+    workloads.add_row({name, fmt_fixed(intensity, 1),
+                       intensity > 358 ? "compute" : "memory"});
+  };
+  // te.Linear N=16384 fp16: 2N^3 flops, 3N^2*2 bytes.
+  add("te.Linear N=16384 (fp16)", 2.0 * 16384 * 16384 * 16384,
+      3.0 * 16384 * 16384 * 2);
+  add("te.Linear N=1024 (fp16)", 2.0 * 1024 * 1024 * 1024,
+      3.0 * 1024 * 1024 * 2);
+  // LLM decode step, llama-7B bf16: 2*params flops, params*2 bytes.
+  add("llama-7B decode step (bf16)", 2.0 * 6.7e9, 6.7e9 * 2);
+  // DSM histogram: ~10 flops per 4-byte element.
+  add("DSM histogram", 10.0, 4.0);
+  bench::emit(workloads, opt);
+
+  std::cout << "The decode step's intensity (~1 flop/B) sits three orders of "
+               "magnitude below the FP8 ridge: exactly why Table XII shows "
+               "no FP8 speedup for generation.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension: two Hopper features adjacent to the paper's evaluation.
+//  (1) TMA vs cp.async vs synchronous copy in the tiled-GEMM pipeline —
+//      quantifying what the paper only names ("a more advanced Tensor
+//      Memory Accelerator for sophisticated asynchronous copying").
+//  (2) The legacy wmma API vs mma vs wgmma on each architecture — Table I's
+//      programmability story with numbers attached.
+#include <iostream>
+
+#include "async/tiled_gemm.hpp"
+#include "bench/bench_util.hpp"
+#include "core/tcbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using num::DType;
+  const auto opt = bench::parse_options(argc, argv);
+
+  // --- (1) Copy-engine shootout on H800 ---
+  const auto& h800 = arch::h800_pcie();
+  Table copies("Tiled GEMM on H800: SyncShare vs AsyncPipe vs TmaPipe (GFLOPS)");
+  copies.set_header({"block", "Blocks/SM", "SyncShare", "AsyncPipe", "TmaPipe"});
+  for (const int bd : {8, 16}) {
+    for (const int bps : {1, 8}) {
+      const async::GemmWorkload w{.block_dim = bd};
+      std::vector<std::string> cells{std::to_string(bd) + "x" + std::to_string(bd),
+                                     std::to_string(bps)};
+      for (const auto variant :
+           {async::CopyVariant::kSyncShare, async::CopyVariant::kAsyncPipe,
+            async::CopyVariant::kTmaPipe}) {
+        const auto r = async::run_gemm(h800, w, variant, bps);
+        cells.push_back(r ? fmt_fixed(r.value().gflops, 1) : "n/a");
+      }
+      copies.add_row(std::move(cells));
+    }
+  }
+  bench::emit(copies, opt);
+  const auto tma_on_a100 =
+      async::run_gemm(arch::a100_pcie(), {}, async::CopyVariant::kTmaPipe, 1);
+  std::cout << "TMA on A100: "
+            << (tma_on_a100 ? "unexpected success" : tma_on_a100.error().to_string())
+            << "\n\n";
+
+  // --- (2) wmma / mma / wgmma ladder ---
+  Table ladder("FP16 tensor-core throughput by programming interface (TFLOPS)");
+  ladder.set_header({"Device", "wmma m16n16k16", "mma m16n8k16",
+                     "wgmma m64n256k16", "peak"});
+  for (const auto* device : arch::all_devices()) {
+    const isa::TcInstr wmma{.path = isa::TcPath::kWmma, .shape = {16, 16, 16},
+                            .ab = DType::kFp16, .cd = DType::kFp16};
+    const isa::TcInstr mma{.path = isa::TcPath::kMma, .shape = {16, 8, 16},
+                           .ab = DType::kFp16, .cd = DType::kFp16};
+    const isa::TcInstr wgmma{.path = isa::TcPath::kWgmma, .shape = {64, 256, 16},
+                             .ab = DType::kFp16, .cd = DType::kFp16,
+                             .a_src = isa::OperandSource::kSharedMemory};
+    const auto w = core::bench_tc(wmma, *device);
+    const auto m = core::bench_tc(mma, *device);
+    const auto g = core::bench_tc(wgmma, *device);
+    ladder.add_row({device->name,
+                    w ? fmt_fixed(w.value().tflops_zero, 1) : "x",
+                    m ? fmt_fixed(m.value().tflops_zero, 1) : "x",
+                    g ? fmt_fixed(g.value().tflops_zero, 1) : "x",
+                    fmt_fixed(device->tc_peak_tflops(DType::kFp16), 1)});
+  }
+  bench::emit(ladder, opt);
+  std::cout << "Table I's progression, quantified: wmma < mma everywhere "
+               "(fragment bookkeeping), and on Hopper only wgmma reaches "
+               "peak.\n";
+  return 0;
+}

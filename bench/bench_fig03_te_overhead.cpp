@@ -1,0 +1,33 @@
+// Fig 3: proportion of execution time of each operator when te.Linear runs
+// an FP8 matrix multiplication — conversion dominates at small N.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "te/linear.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  const auto opt = bench::parse_options(argc, argv);
+  const te::CostModel model(arch::h800_pcie());
+
+  Table table("Fig 3: te.Linear FP8 operator time proportions on H800");
+  table.set_header({"N", "gemm_fp8", "cast_input", "cast_weight", "amax",
+                    "rescale", "total_us"});
+  for (const std::int64_t n : {1024, 2048, 4096, 8192, 16384}) {
+    const auto profile =
+        te::linear_square(model, n, num::DType::kFp8E4M3);
+    if (!profile) continue;
+    const auto& p = profile.value();
+    table.add_row({std::to_string(n),
+                   fmt_fixed(100.0 * p.fraction("gemm_fp8"), 1) + "%",
+                   fmt_fixed(100.0 * p.fraction("cast_input"), 1) + "%",
+                   fmt_fixed(100.0 * p.fraction("cast_weight"), 1) + "%",
+                   fmt_fixed(100.0 * p.fraction("amax"), 1) + "%",
+                   fmt_fixed(100.0 * p.fraction("rescale"), 1) + "%",
+                   fmt_fixed(p.total_seconds * 1e6, 1)});
+  }
+  bench::emit(table, opt);
+  std::cout << "Paper finding: at small N the conversion operators dwarf the "
+               "FP8 GEMM itself.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig 4: te.Linear throughput (GFLOPS) for square D = A x B across sizes,
+// data types and devices — FP8 needs N ~ 8192+ to pull ahead and
+// approaches 2x FP16 at N = 16384 on H800 and RTX4090.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "te/linear.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using num::DType;
+  const auto opt = bench::parse_options(argc, argv);
+
+  Table table("Fig 4: te.Linear GFLOPS, D(NxN) = A(NxN) x B(NxN)");
+  table.set_header({"Device", "dtype", "N=1024", "N=2048", "N=4096", "N=8192",
+                    "N=16384"});
+  for (const auto* device : arch::all_devices()) {
+    const te::CostModel model(*device);
+    for (const DType dtype : {DType::kFp32, DType::kFp16, DType::kFp8E4M3}) {
+      std::vector<std::string> cells{device->name,
+                                     std::string(num::to_string(dtype))};
+      bool supported = true;
+      for (const std::int64_t n : {1024, 2048, 4096, 8192, 16384}) {
+        const auto profile = te::linear_square(model, n, dtype);
+        if (!profile) {
+          supported = false;
+          cells.push_back("-");
+          continue;
+        }
+        cells.push_back(fmt_fixed(profile.value().gflops, 0));
+      }
+      if (!supported && dtype == DType::kFp8E4M3 &&
+          !device->tc.has_fp8) {
+        // A100 has no FP8 path at all: keep the dashes (paper omits it).
+      }
+      table.add_row(std::move(cells));
+    }
+    table.add_rule();
+  }
+  bench::emit(table, opt);
+
+  // Headline ratio: FP8 vs FP16 at the largest size.
+  Table ratio("FP8/FP16 speedup at N=16384 (paper: ~2x on H800 and 4090)");
+  ratio.set_header({"Device", "speedup"});
+  for (const auto* device : arch::all_devices()) {
+    const te::CostModel model(*device);
+    const auto fp16 = te::linear_square(model, 16384, DType::kFp16);
+    const auto fp8 = te::linear_square(model, 16384, DType::kFp8E4M3);
+    if (!fp16 || !fp8) {
+      ratio.add_row({device->name, "-"});
+      continue;
+    }
+    ratio.add_row({device->name,
+                   fmt_fixed(fp8.value().gflops / fp16.value().gflops, 2) + "x"});
+  }
+  bench::emit(ratio, opt);
+  return 0;
+}

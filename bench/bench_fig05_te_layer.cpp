@@ -1,0 +1,58 @@
+// Fig 5: te.TransformerLayer single-layer encode latency for input
+// (4, 512, hidden) across hidden sizes, devices and dtypes (Table II
+// parameterisation).  FP16 ~ 2x FP32; FP8 beats FP16 only above hidden
+// 4096 and never reaches 2x because attention/norms stay FP16.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "te/transformer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using num::DType;
+  const auto opt = bench::parse_options(argc, argv);
+
+  Table table("Fig 5: te.TransformerLayer latency (ms), input (4, 512, h)");
+  table.set_header({"Device", "dtype", "h=1024", "h=2048", "h=4096", "h=5120",
+                    "h=8192"});
+  for (const auto* device : arch::all_devices()) {
+    const te::CostModel model(*device);
+    for (const DType dtype : {DType::kFp32, DType::kFp16, DType::kFp8E4M3}) {
+      std::vector<std::string> cells{device->name,
+                                     std::string(num::to_string(dtype))};
+      for (const std::int64_t hidden : {1024, 2048, 4096, 5120, 8192}) {
+        const auto cfg = te::paper_layer_config(hidden);
+        if (!cfg) {
+          cells.push_back("?");
+          continue;
+        }
+        const auto profile =
+            te::transformer_layer_forward(model, cfg.value(), dtype);
+        cells.push_back(profile ? fmt_fixed(profile.value().seconds * 1e3, 3)
+                                : "-");
+      }
+      table.add_row(std::move(cells));
+    }
+    table.add_rule();
+  }
+  bench::emit(table, opt);
+
+  Table cross("FP8/FP16 layer speedup by hidden size on H800");
+  cross.set_header({"hidden", "FP16 ms", "FP8 ms", "speedup"});
+  const te::CostModel h800(arch::h800_pcie());
+  for (const std::int64_t hidden : {1024, 2048, 4096, 5120, 8192}) {
+    const auto cfg = te::paper_layer_config(hidden);
+    if (!cfg) continue;
+    const auto fp16 =
+        te::transformer_layer_forward(h800, cfg.value(), DType::kFp16);
+    const auto fp8 =
+        te::transformer_layer_forward(h800, cfg.value(), DType::kFp8E4M3);
+    if (!fp16 || !fp8) continue;
+    cross.add_row({std::to_string(hidden),
+                   fmt_fixed(fp16.value().seconds * 1e3, 3),
+                   fmt_fixed(fp8.value().seconds * 1e3, 3),
+                   fmt_fixed(fp16.value().seconds / fp8.value().seconds, 2) + "x"});
+  }
+  bench::emit(cross, opt);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig 7: DPX throughput per SM and the launched-block sweep whose sawtooth
+// (drops just past each multiple of the SM count) locates the DPX unit at
+// SM level.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/dpxbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  const auto opt = bench::parse_options(argc, argv);
+
+  const arch::DeviceSpec* devices[] = {&arch::rtx4090(), &arch::a100_pcie(),
+                                       &arch::h800_pcie()};
+
+  Table table("Fig 7 (left): DPX throughput (Gcalls/s device-wide)");
+  table.set_header({"Function", "RTX4090", "A100", "H800"});
+  const dpx::Func funcs[] = {
+      dpx::Func::kViAddMaxS32,      dpx::Func::kViAddMaxS32Relu,
+      dpx::Func::kViMax3S32,        dpx::Func::kViMax3S32Relu,
+      dpx::Func::kViBMaxS32,        dpx::Func::kViAddMaxS16x2,
+      dpx::Func::kViAddMaxS16x2Relu, dpx::Func::kViMax3S16x2Relu,
+  };
+  for (const auto func : funcs) {
+    std::vector<std::string> cells{std::string(dpx::name(func))};
+    for (const auto* device : devices) {
+      const auto r = core::dpx_throughput(*device, func);
+      if (!r) {
+        cells.push_back("err");
+        continue;
+      }
+      cells.push_back(r.value().measurable ? fmt_fixed(r.value().gcalls_per_sec, 0)
+                                           : "n/a");
+    }
+    table.add_row(std::move(cells));
+  }
+  bench::emit(table, opt);
+
+  // Block sweep on H800: the wave-quantisation sawtooth.
+  const auto& h800 = arch::h800_pcie();
+  const int sms = h800.sm_count;
+  Table sweep("Fig 7 (right): H800 __vimax3_s32 throughput vs launched blocks");
+  sweep.set_header({"blocks", "Gcalls/s", "note"});
+  const auto points = core::dpx_block_sweep(h800, dpx::Func::kViMax3S32,
+                                            opt.quick ? sms + 8 : 2 * sms + 8);
+  if (points) {
+    for (const auto& point : points.value()) {
+      std::string note;
+      if (point.blocks == sms) note = "<- full wave (" + std::to_string(sms) + " SMs)";
+      if (point.blocks == sms + 1) note = "<- throughput plummets";
+      if (point.blocks == 2 * sms) note = "<- second full wave";
+      // Print a decimated set plus the interesting neighbourhood.
+      if (point.blocks % 16 == 0 || !note.empty() || point.blocks <= 4) {
+        sweep.add_row({std::to_string(point.blocks),
+                       fmt_fixed(point.gcalls_per_sec, 0), note});
+      }
+    }
+  }
+  bench::emit(sweep, opt);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// google-benchmark microbenchmarks of the simulator itself: the hot paths
+// a user pays for when sweeping configurations (cache tag lookups, SM
+// cycle stepping, functional mma, FP8 encode).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mem/cache.hpp"
+#include "numerics/formats.hpp"
+#include "sm/sm_core.hpp"
+#include "tensorcore/mma_func.hpp"
+
+namespace {
+
+using namespace hsim;
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::Cache cache({.size_bytes = 256ull << 10, .line_bytes = 128,
+                    .sector_bytes = 32, .ways = 4});
+  Xoshiro256ss rng(1);
+  std::vector<std::uint64_t> addrs(4096);
+  for (auto& a : addrs) a = rng.below(1ull << 20);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addrs[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_Fp8Encode(benchmark::State& state) {
+  Xoshiro256ss rng(2);
+  std::vector<float> values(4096);
+  for (auto& v : values) v = static_cast<float>(rng.uniform(-500.0, 500.0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::encode(values[i++ & 4095], num::kE4m3Spec,
+                                         num::Overflow::kSaturate));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fp8Encode);
+
+void BM_FunctionalMma(benchmark::State& state) {
+  Xoshiro256ss rng(3);
+  tc::MatF a(16, 16), b(16, 8), c(16, 8);
+  tc::fill_random(a, num::DType::kFp16, rng);
+  tc::fill_random(b, num::DType::kFp16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tc::mma_fp(a, b, c, num::DType::kFp16, num::DType::kFp32));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 16 * 8 * 16);
+}
+BENCHMARK(BM_FunctionalMma);
+
+void BM_SmCoreCycles(benchmark::State& state) {
+  isa::Program program;
+  for (int i = 0; i < 8; ++i) {
+    program.add({.op = isa::Opcode::kFAdd, .rd = 10 + i, .ra = 1, .rb = 2});
+  }
+  program.set_iterations(64);
+  for (auto _ : state) {
+    sm::SmCore core(arch::h800_pcie(), nullptr);
+    const auto run = core.run(program, {.threads_per_block = 256, .blocks = 1});
+    benchmark::DoNotOptimize(run.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 64 * 8);  // instr issued
+}
+BENCHMARK(BM_SmCoreCycles);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table III: properties of the Ampere, Ada Lovelace and Hopper devices.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  const auto opt = bench::parse_options(argc, argv);
+
+  Table table("Table III: device properties");
+  table.set_header({"Property", "A100 PCIe", "RTX4090", "H800 PCIe"},
+                   {Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+  const auto devices = arch::all_devices();
+  const auto row = [&](std::string label, auto&& fn) {
+    std::vector<std::string> cells{std::move(label)};
+    for (const auto* device : devices) cells.push_back(fn(*device));
+    table.add_row(std::move(cells));
+  };
+
+  row("Comp. Capability", [](const arch::DeviceSpec& d) {
+    return d.cc_string() + " (" + std::string(to_string(d.generation)) + ")";
+  });
+  row("SMs * cores/SM", [](const arch::DeviceSpec& d) {
+    return std::to_string(d.sm_count) + " * " + std::to_string(d.cores_per_sm);
+  });
+  row("Max Clock rate", [](const arch::DeviceSpec& d) {
+    return fmt_fixed(d.boost_clock_mhz, 0) + " MHz";
+  });
+  row("Mem. Size", [](const arch::DeviceSpec& d) {
+    using hsim::operator""_GiB;
+    return fmt_fixed(static_cast<double>(d.memory.dram_bytes) /
+                         static_cast<double>(1_GiB), 0) + "GB";
+  });
+  row("Mem. Type", [](const arch::DeviceSpec& d) { return d.memory.dram_type; });
+  row("Mem. Clock rate", [](const arch::DeviceSpec& d) {
+    return fmt_fixed(d.memory.dram_clock_mhz, 0) + " MHz";
+  });
+  row("Mem. Bus", [](const arch::DeviceSpec& d) {
+    return std::to_string(d.memory.dram_bus_bits) + "-bit";
+  });
+  row("Mem. Bandwidth", [](const arch::DeviceSpec& d) {
+    return fmt_fixed(d.memory.dram_peak_gbps, 0) + " GB/s";
+  });
+  row("Tensor Cores", [](const arch::DeviceSpec& d) {
+    return std::to_string(d.tc.cores_total) + " (gen " +
+           std::to_string(d.tc.generation) + ")";
+  });
+  row("DPX hardware", [](const arch::DeviceSpec& d) {
+    return d.dpx.hardware ? "Yes" : "No";
+  });
+  row("Distributed shared memory", [](const arch::DeviceSpec& d) {
+    return d.dsm.available ? "Yes" : "No";
+  });
+  row("TMA", [](const arch::DeviceSpec& d) { return d.has_tma ? "Yes" : "No"; });
+
+  bench::emit(table, opt);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table IV: latency clocks of different memory scopes on RTX4090 / A100 /
+// H800, measured with the p-chase microbenchmark.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/pchase.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  const auto opt = bench::parse_options(argc, argv);
+
+  Table table("Table IV: Latency clocks of different memory scopes");
+  table.set_header({"Type", "RTX4090", "A100", "H800"});
+
+  const arch::DeviceSpec* devices[] = {&arch::rtx4090(), &arch::a100_pcie(),
+                                       &arch::h800_pcie()};
+  const struct {
+    const char* label;
+    mem::MemLevel level;
+  } rows[] = {
+      {"L1 Cache", mem::MemLevel::kL1},
+      {"Shared", mem::MemLevel::kShared},
+      {"L2 Cache", mem::MemLevel::kL2},
+      {"Global", mem::MemLevel::kDram},
+  };
+
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{row.label};
+    for (const auto* device : devices) {
+      const auto result = core::pchase(*device, row.level);
+      if (!result) {
+        cells.push_back("err");
+        continue;
+      }
+      cells.push_back(fmt_fixed(result.value().avg_latency_cycles, 1));
+    }
+    table.add_row(std::move(cells));
+  }
+  bench::emit(table, opt);
+
+  // Companion finding from the paper: cross-level latency ratios.
+  Table ratios("Latency ratios (paper: L2/L1 ~ 6.5x, Global/L2 ~ 1.9x)");
+  ratios.set_header({"Device", "L2/L1", "Global/L2"});
+  for (const auto* device : devices) {
+    const auto l1 = core::pchase(*device, mem::MemLevel::kL1);
+    const auto l2 = core::pchase(*device, mem::MemLevel::kL2);
+    const auto dram = core::pchase(*device, mem::MemLevel::kDram);
+    if (!l1 || !l2 || !dram) continue;
+    ratios.add_row({device->name,
+                    fmt_fixed(l2.value().avg_latency_cycles /
+                                  l1.value().avg_latency_cycles, 2),
+                    fmt_fixed(dram.value().avg_latency_cycles /
+                                  l2.value().avg_latency_cycles, 2)});
+  }
+  bench::emit(ratios, opt);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table V: throughput at different memory levels (FP32 / FP64 / FP32.v4)
+// plus the L2-vs-global ratio the paper highlights.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/membench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  const auto opt = bench::parse_options(argc, argv);
+
+  const arch::DeviceSpec* devices[] = {&arch::rtx4090(), &arch::a100_pcie(),
+                                       &arch::h800_pcie()};
+  const core::AccessKind kinds[] = {core::AccessKind::kFp32,
+                                    core::AccessKind::kFp64,
+                                    core::AccessKind::kFp32V4};
+
+  Table l1("Table V (a): L1 cache throughput (byte/clk/SM)");
+  l1.set_header({"Device", "FP32", "FP64", "FP32.v4"});
+  for (const auto* device : devices) {
+    std::vector<std::string> cells{device->name};
+    for (const auto kind : kinds) {
+      const auto r = core::measure_l1_throughput(*device, kind);
+      cells.push_back(r ? fmt_fixed(r.value().bytes_per_clk, 1) : "err");
+    }
+    l1.add_row(std::move(cells));
+  }
+  bench::emit(l1, opt);
+
+  Table l2("Table V (b): L2 cache throughput (byte/clk, device-wide)");
+  l2.set_header({"Device", "FP32", "FP64", "FP32.v4"});
+  for (const auto* device : devices) {
+    std::vector<std::string> cells{device->name};
+    for (const auto kind : kinds) {
+      const auto r = core::measure_l2_throughput(*device, kind);
+      cells.push_back(r ? fmt_fixed(r.value().bytes_per_clk, 1) : "err");
+    }
+    l2.add_row(std::move(cells));
+  }
+  bench::emit(l2, opt);
+
+  Table rest("Table V (c): shared memory, global memory and L2-vs-global");
+  rest.set_header({"Device", "Shared (byte/clk/SM)", "Global (GB/s)",
+                   "Global/peak", "L2 vs Global"});
+  for (const auto* device : devices) {
+    const auto shared = core::measure_shared_throughput(*device);
+    const auto global = core::measure_global_throughput(*device);
+    const auto l2a = core::measure_l2_throughput(*device, core::AccessKind::kFp32);
+    const auto l2b =
+        core::measure_l2_throughput(*device, core::AccessKind::kFp32V4);
+    if (!shared || !global || !l2a || !l2b) continue;
+    // The paper quotes the best L2 figure against global bandwidth at the
+    // official boost clock.
+    const double l2_best =
+        std::max(l2a.value().bytes_per_clk, l2b.value().bytes_per_clk);
+    const double global_bpc =
+        global.value().gbps * 1e9 / device->official_clock_hz();
+    const double ratio = l2_best / global_bpc;
+    rest.add_row({device->name, fmt_fixed(shared.value().bytes_per_clk, 1),
+                  fmt_fixed(global.value().gbps, 1),
+                  fmt_fixed(global.value().gbps / device->memory.dram_peak_gbps, 3),
+                  fmt_fixed(ratio, 2) + "x"});
+  }
+  bench::emit(rest, opt);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table VI: SASS instructions for different Hopper tensor-core PTX
+// instructions — including the INT4 IMAD fallback and the missing FP8 mma.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "isa/ptx.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using num::DType;
+  const auto opt = bench::parse_options(argc, argv);
+  const auto& h800 = arch::h800_pcie();
+
+  Table table("Table VI: SASS for Hopper tensor-core PTX instructions");
+  table.set_header({"A/B", "C/D", "mma", "wgmma"},
+                   {Align::kLeft, Align::kLeft, Align::kLeft, Align::kLeft});
+
+  struct Row {
+    DType ab;
+    DType cd;
+    isa::TcShape mma_shape;
+    isa::TcShape wgmma_shape;
+  };
+  const Row rows[] = {
+      {DType::kFp16, DType::kFp16, {16, 8, 16}, {64, 256, 16}},
+      {DType::kFp16, DType::kFp32, {16, 8, 16}, {64, 256, 16}},
+      {DType::kTf32, DType::kFp32, {16, 8, 8}, {64, 256, 8}},
+      {DType::kFp8E5M2, DType::kFp16, {16, 8, 32}, {64, 256, 32}},
+      {DType::kFp8E4M3, DType::kFp16, {16, 8, 32}, {64, 256, 32}},
+      {DType::kFp8E4M3, DType::kFp32, {16, 8, 32}, {64, 256, 32}},
+      {DType::kFp8E5M2, DType::kFp32, {16, 8, 32}, {64, 256, 32}},
+      {DType::kInt8, DType::kInt32, {16, 8, 32}, {64, 256, 32}},
+      {DType::kInt4, DType::kInt32, {16, 8, 64}, {64, 256, 64}},
+      {DType::kBinary, DType::kInt32, {16, 8, 256}, {64, 256, 256}},
+  };
+
+  for (const auto& row : rows) {
+    isa::TcInstr mma{.path = isa::TcPath::kMma, .shape = row.mma_shape,
+                     .ab = row.ab, .cd = row.cd};
+    isa::TcInstr wgmma{.path = isa::TcPath::kWgmma, .shape = row.wgmma_shape,
+                       .ab = row.ab, .cd = row.cd};
+    const auto mma_sass = isa::compile_to_sass(mma, h800);
+    const auto wgmma_sass = isa::compile_to_sass(wgmma, h800);
+    table.add_row({std::string(num::to_string(row.ab)),
+                   std::string(num::to_string(row.cd)),
+                   mma_sass ? mma_sass.value() : "x",
+                   wgmma_sass ? wgmma_sass.value() : "x"});
+  }
+  bench::emit(table, opt);
+
+  std::cout << "Note: INT4 mma lowers to IMAD on CUDA cores (Hopper only); "
+               "FP8 is reachable only through wgmma.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Table VII: dense and sparse mma latency / throughput on A100, RTX4090
+// and H800 tensor cores.
+#include <tuple>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/tcbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using num::DType;
+  const auto opt = bench::parse_options(argc, argv);
+
+  const arch::DeviceSpec* devices[] = {&arch::a100_pcie(), &arch::rtx4090(),
+                                       &arch::h800_pcie()};
+
+  struct Row {
+    DType ab;
+    DType cd;
+    int k_dense;   // table shape (compressed shape for sparse rows)
+  };
+  const Row rows[] = {
+      {DType::kFp16, DType::kFp16, 8},  {DType::kFp16, DType::kFp16, 16},
+      {DType::kFp16, DType::kFp32, 8},  {DType::kFp16, DType::kFp32, 16},
+      {DType::kTf32, DType::kFp32, 4},  {DType::kTf32, DType::kFp32, 8},
+      {DType::kInt8, DType::kInt32, 16}, {DType::kInt8, DType::kInt32, 32},
+  };
+
+  Table table(
+      "Table VII: mma LAT (cycles) / throughput (TFLOPS|TOPS), dense and "
+      "2:4-sparse");
+  table.set_header({"A/B", "C/D", "Shape", "A100 D", "A100 S", "4090 D",
+                    "4090 S", "H800 D", "H800 S"});
+
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{
+        std::string(num::to_string(row.ab)), std::string(num::to_string(row.cd)),
+        "m16n8k" + std::to_string(row.k_dense)};
+    for (const auto* device : devices) {
+      const isa::TcInstr dense{.path = isa::TcPath::kMma,
+                               .shape = {16, 8, row.k_dense},
+                               .ab = row.ab,
+                               .cd = row.cd,
+                               .sparse = false};
+      // Sparse rows list the compressed shape; the instruction modifier
+      // doubles k.
+      const isa::TcInstr sparse{.path = isa::TcPath::kMma,
+                                .shape = {16, 8, 2 * row.k_dense},
+                                .ab = row.ab,
+                                .cd = row.cd,
+                                .sparse = true};
+      const auto d = core::bench_tc(dense, *device);
+      const auto s = core::bench_tc(sparse, *device);
+      cells.push_back(d ? fmt_lat_tput(d.value().latency_cycles,
+                                       d.value().tflops_rand)
+                        : "x");
+      cells.push_back(s ? fmt_lat_tput(s.value().latency_cycles,
+                                       s.value().tflops_rand)
+                        : "x");
+    }
+    table.add_row(std::move(cells));
+  }
+  bench::emit(table, opt);
+
+  // The paper's headline findings around this table.
+  Table findings("mma findings: fraction of peak (dense, larger shape)");
+  findings.set_header({"Device", "FP16 frac", "TF32 frac", "INT8 frac"});
+  for (const auto* device : devices) {
+    std::vector<std::string> cells{device->name};
+    for (const auto& [ab, cd, k] :
+         {std::tuple{DType::kFp16, DType::kFp16, 16},
+          std::tuple{DType::kTf32, DType::kFp32, 8},
+          std::tuple{DType::kInt8, DType::kInt32, 32}}) {
+      const isa::TcInstr instr{.path = isa::TcPath::kMma, .shape = {16, 8, k},
+                               .ab = ab, .cd = cd};
+      const auto r = core::bench_tc(instr, *device);
+      if (!r) {
+        cells.push_back("x");
+        continue;
+      }
+      cells.push_back(
+          fmt_fixed(r.value().tflops_rand / device->tc_peak_tflops(ab), 3));
+    }
+    findings.add_row(std::move(cells));
+  }
+  bench::emit(findings, opt);
+  return 0;
+}

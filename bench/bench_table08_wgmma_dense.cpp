@@ -1,0 +1,62 @@
+// Table VIII: dense wgmma on H800 tensor cores — SS vs RS operand sourcing,
+// zero-filled vs random operands (the DVFS throttle under random data).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/tcbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using num::DType;
+  const auto opt = bench::parse_options(argc, argv);
+  const auto& h800 = arch::h800_pcie();
+
+  struct Row {
+    DType ab;
+    DType cd;
+    int k;
+  };
+  const Row rows[] = {
+      {DType::kFp16, DType::kFp16, 16}, {DType::kFp16, DType::kFp32, 16},
+      {DType::kTf32, DType::kFp32, 8},  {DType::kFp8E4M3, DType::kFp16, 32},
+      {DType::kFp8E4M3, DType::kFp32, 32}, {DType::kInt8, DType::kInt32, 32},
+  };
+
+  Table table("Table VIII: dense wgmma m64n256kX on H800 (LAT/TFLOPS)");
+  table.set_header({"A/B", "C/D", "Instruction", "SS,Zero", "RS,Zero",
+                    "SS,Rand", "RS,Rand"});
+  for (const auto& row : rows) {
+    isa::TcInstr ss{.path = isa::TcPath::kWgmma, .shape = {64, 256, row.k},
+                    .ab = row.ab, .cd = row.cd,
+                    .a_src = isa::OperandSource::kSharedMemory};
+    isa::TcInstr rs = ss;
+    rs.a_src = isa::OperandSource::kRegister;
+    const auto ss_result = core::bench_tc(ss, h800);
+    const auto rs_result = core::bench_tc(rs, h800);
+    if (!ss_result || !rs_result) {
+      table.add_row({std::string(num::to_string(row.ab)),
+                     std::string(num::to_string(row.cd)),
+                     "m64n256k" + std::to_string(row.k), "x", "x", "x", "x"});
+      continue;
+    }
+    table.add_row({std::string(num::to_string(row.ab)),
+                   std::string(num::to_string(row.cd)),
+                   "m64n256k" + std::to_string(row.k),
+                   fmt_lat_tput(ss_result.value().latency_cycles,
+                                ss_result.value().tflops_zero),
+                   fmt_lat_tput(rs_result.value().latency_cycles,
+                                rs_result.value().tflops_zero),
+                   fmt_fixed(ss_result.value().tflops_rand, 1),
+                   fmt_fixed(rs_result.value().tflops_rand, 1)});
+  }
+  bench::emit(table, opt);
+
+  std::cout << "wgmma on non-Hopper devices: ";
+  isa::TcInstr probe{.path = isa::TcPath::kWgmma, .shape = {64, 256, 16},
+                     .ab = DType::kFp16, .cd = DType::kFp32};
+  const auto on_a100 = core::bench_tc(probe, arch::a100_pcie());
+  std::cout << (on_a100 ? "unexpectedly succeeded!"
+                        : on_a100.error().to_string())
+            << "\n";
+  return 0;
+}

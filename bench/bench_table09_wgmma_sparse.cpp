@@ -1,0 +1,50 @@
+// Table IX: sparse wgmma on H800 tensor cores.  The headline asymmetry:
+// "SS" mode streams A at its *dense* footprint (pruning happens inside the
+// unit), so sparse-SS cannot reach the peak that sparse-RS does.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/tcbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using num::DType;
+  const auto opt = bench::parse_options(argc, argv);
+  const auto& h800 = arch::h800_pcie();
+
+  struct Row {
+    DType ab;
+    DType cd;
+    int k;  // sparse instruction modifier k (twice the dense unit)
+  };
+  const Row rows[] = {
+      {DType::kFp16, DType::kFp16, 32}, {DType::kFp16, DType::kFp32, 32},
+      {DType::kTf32, DType::kFp32, 16}, {DType::kFp8E4M3, DType::kFp16, 64},
+      {DType::kFp8E4M3, DType::kFp32, 64}, {DType::kInt8, DType::kInt32, 64},
+  };
+
+  Table table("Table IX: sparse wgmma sp.m64n256kX on H800 (LAT/TFLOPS)");
+  table.set_header({"A/B", "C/D", "Instruction", "SS,Zero", "RS,Zero",
+                    "SS,Rand", "RS,Rand"});
+  for (const auto& row : rows) {
+    isa::TcInstr ss{.path = isa::TcPath::kWgmma, .shape = {64, 256, row.k},
+                    .ab = row.ab, .cd = row.cd, .sparse = true,
+                    .a_src = isa::OperandSource::kSharedMemory};
+    isa::TcInstr rs = ss;
+    rs.a_src = isa::OperandSource::kRegister;
+    const auto ss_result = core::bench_tc(ss, h800);
+    const auto rs_result = core::bench_tc(rs, h800);
+    if (!ss_result || !rs_result) continue;
+    table.add_row({std::string(num::to_string(row.ab)),
+                   std::string(num::to_string(row.cd)),
+                   "sp.m64n256k" + std::to_string(row.k),
+                   fmt_lat_tput(ss_result.value().latency_cycles,
+                                ss_result.value().tflops_zero),
+                   fmt_lat_tput(rs_result.value().latency_cycles,
+                                rs_result.value().tflops_zero),
+                   fmt_fixed(ss_result.value().tflops_rand, 1),
+                   fmt_fixed(rs_result.value().tflops_rand, 1)});
+  }
+  bench::emit(table, opt);
+  return 0;
+}

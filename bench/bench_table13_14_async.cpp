@@ -1,0 +1,61 @@
+// Tables XIII/XIV: AsyncPipe (two-stage cp.async pipeline) vs SyncShare
+// tiled matrix multiplication on H800 and A100, swept over block size and
+// launched blocks per SM.  Both kernels run as real instruction streams on
+// the SM timing simulator.
+#include <iostream>
+
+#include "async/tiled_gemm.hpp"
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  const auto opt = bench::parse_options(argc, argv);
+
+  const arch::DeviceSpec* devices[] = {&arch::h800_pcie(), &arch::a100_pcie()};
+  const int block_dims[] = {8, 16, 32};
+  const int sweep[] = {1, 2, 4, 8, 16, 32};
+
+  for (const auto* device : devices) {
+    for (const int bd : block_dims) {
+      Table table(std::string(device == devices[0] ? "Table XIII" : "Table XIV") +
+                  " (" + device->name + "): globalToShmemAsyncCopy, block " +
+                  std::to_string(bd) + "x" + std::to_string(bd) + " (GFLOPS)");
+      table.set_header({"Blocks/SM", "1", "2", "4", "8", "16", "32", "Perf^"});
+      double async_sum = 0;
+      double sync_sum = 0;
+      std::vector<std::string> async_row{"AsyncPipe"};
+      std::vector<std::string> sync_row{"SyncShare"};
+      for (const int bps : sweep) {
+        if (opt.quick && bps > 8) {
+          async_row.push_back("-");
+          sync_row.push_back("-");
+          continue;
+        }
+        const async::GemmWorkload workload{.block_dim = bd};
+        const auto a = async::run_gemm(*device, workload,
+                                       async::CopyVariant::kAsyncPipe, bps);
+        const auto s = async::run_gemm(*device, workload,
+                                       async::CopyVariant::kSyncShare, bps);
+        if (!a || !s) {
+          async_row.push_back("err");
+          sync_row.push_back("err");
+          continue;
+        }
+        async_sum += a.value().gflops;
+        sync_sum += s.value().gflops;
+        async_row.push_back(fmt_fixed(a.value().gflops, 1));
+        sync_row.push_back(fmt_fixed(s.value().gflops, 1));
+      }
+      const double gain = sync_sum > 0 ? 100.0 * (async_sum / sync_sum - 1.0) : 0;
+      async_row.push_back(fmt_fixed(gain, 1) + "%");
+      sync_row.push_back("");
+      table.add_row(std::move(async_row));
+      table.add_row(std::move(sync_row));
+      bench::emit(table, opt);
+    }
+  }
+  std::cout << "Paper finding: the async pipeline wins at low warp occupancy "
+               "(small blocks) and loses its edge — or inverts — once ample "
+               "warps hide the copy latency.\n";
+  return 0;
+}

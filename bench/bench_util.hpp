@@ -1,0 +1,39 @@
+// Shared plumbing for the paper-table bench binaries.
+//
+// Every binary prints its table(s) to stdout in the paper's layout; pass
+// --csv to emit machine-readable CSV instead (for re-plotting figures).
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "arch/device.hpp"
+#include "common/table.hpp"
+
+namespace hsim::bench {
+
+struct Options {
+  bool csv = false;
+  bool quick = false;  // trim sweeps for CI
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
+    if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
+  }
+  return opt;
+}
+
+inline void emit(const Table& table, const Options& opt) {
+  if (opt.csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+  }
+  std::cout << '\n';
+}
+
+}  // namespace hsim::bench

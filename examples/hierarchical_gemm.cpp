@@ -1,0 +1,80 @@
+// Hierarchical GEMM on the functional tensor cores: compute a real matrix
+// product through mma / wgmma tiles (bit-exact reduced-precision
+// arithmetic), compare precisions and sparsity, and read off the
+// performance projection — the workload the paper's introduction motivates.
+//
+//   $ ./examples/hierarchical_gemm [m n k]
+#include <cstdlib>
+#include <iostream>
+
+#include "arch/device.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "tensorcore/gemm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+  using num::DType;
+
+  const int m = argc > 1 ? std::atoi(argv[1]) : 256;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 256;
+  const int k = argc > 3 ? std::atoi(argv[3]) : 256;
+  const auto& device = arch::h800_pcie();
+
+  Xoshiro256ss rng(7);
+  tc::MatF a(m, k), b(k, n), c(m, n);
+  tc::fill_random(a, DType::kFp16, rng);
+  tc::fill_random(b, DType::kFp16, rng);
+
+  std::cout << "D(" << m << "x" << n << ") = A(" << m << "x" << k << ") x B("
+            << k << "x" << n << ") on " << device.name << "\n\n";
+
+  Table table("Precision / path / sparsity comparison");
+  table.set_header({"path", "A/B", "C/D", "sparse", "instructions",
+                    "proj TFLOPS", "max |err| vs FP64"});
+
+  struct Run {
+    isa::TcInstr instr;
+    bool sparse;
+  };
+  const Run runs[] = {
+      {{.path = isa::TcPath::kMma, .shape = {16, 8, 16}, .ab = DType::kFp16,
+        .cd = DType::kFp32}, false},
+      {{.path = isa::TcPath::kMma, .shape = {16, 8, 16}, .ab = DType::kFp16,
+        .cd = DType::kFp16}, false},
+      {{.path = isa::TcPath::kMma, .shape = {16, 8, 16}, .ab = DType::kFp16,
+        .cd = DType::kFp32}, true},
+      {{.path = isa::TcPath::kWgmma, .shape = {64, 64, 16}, .ab = DType::kFp16,
+        .cd = DType::kFp32, .a_src = isa::OperandSource::kSharedMemory}, false},
+      {{.path = isa::TcPath::kWgmma, .shape = {64, 64, 32}, .ab = DType::kFp8E4M3,
+        .cd = DType::kFp32, .a_src = isa::OperandSource::kSharedMemory}, false},
+  };
+
+  for (const auto& run : runs) {
+    const auto result =
+        tc::gemm(a, b, c, run.instr, device, {.sparse = run.sparse});
+    if (!result) {
+      std::cout << "skipped " << run.instr.ptx_name() << ": "
+                << result.error().to_string() << "\n";
+      continue;
+    }
+    const auto& r = result.value();
+    table.add_row({run.instr.path == isa::TcPath::kWgmma ? "wgmma" : "mma",
+                   std::string(num::to_string(run.instr.ab)),
+                   std::string(num::to_string(run.instr.cd)),
+                   run.sparse ? "2:4" : "-",
+                   std::to_string(r.instructions),
+                   fmt_fixed(r.projected_tflops, 1),
+                   fmt_eng(r.max_abs_error)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nReading the table: FP16-accumulate trades accuracy for "
+               "nothing (same rate on H800); FP8 doubles the projected rate "
+               "at ~10-100x the numeric error; 2:4 sparsity is exact for the "
+               "pruned operand and cuts instructions in half.  The wgmma "
+               "projection only beats mma once the 64xN output grid covers "
+               "all 114 SMs — try 1024 1024 256 to see the paper's central "
+               "finding take over.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// LLM capacity planner: given a fleet of GPUs, decide which Llama model /
+// precision combinations fit in memory and what generation throughput to
+// expect — the deployment question behind the paper's Table XII.
+//
+//   $ ./examples/llm_capacity_planner
+#include <iostream>
+
+#include "arch/device.hpp"
+#include "common/table.hpp"
+#include "te/llm.hpp"
+
+int main() {
+  using namespace hsim;
+  using num::DType;
+
+  const te::GenerationSetup setup{.batch = 8, .max_input = 128,
+                                  .max_output = 128};
+  const te::LlamaConfig models[] = {te::llama_3b(), te::llama2_7b(),
+                                    te::llama2_13b()};
+
+  Table plan("Deployment plan: batch 8, 128-in / 128-out requests");
+  plan.set_header({"Device", "Model", "dtype", "weights(GB)", "fits",
+                   "tokens/s", "verdict"},
+                  {Align::kLeft, Align::kLeft, Align::kLeft, Align::kRight,
+                   Align::kLeft, Align::kRight, Align::kLeft});
+
+  for (const auto* device : arch::all_devices()) {
+    const te::CostModel cost(*device);
+    struct Best {
+      double tokens = 0;
+      std::string what;
+    } best;
+    for (const auto& model : models) {
+      for (const auto dtype : {DType::kFp32, DType::kBf16, DType::kFp8E4M3}) {
+        const auto result = te::run_generation(cost, model, dtype, setup);
+        if (!result) {
+          plan.add_row({device->name, model.name,
+                        std::string(num::to_string(dtype)), "-", "no unit", "-",
+                        ""});
+          continue;
+        }
+        const auto& r = result.value();
+        std::string verdict;
+        if (!r.oom && r.tokens_per_second > best.tokens) {
+          best = {r.tokens_per_second,
+                  model.name + " @ " + std::string(num::to_string(dtype))};
+        }
+        plan.add_row({device->name, model.name,
+                      std::string(num::to_string(dtype)),
+                      fmt_fixed(r.weight_bytes / 1e9, 1),
+                      r.oom ? "OOM" : "yes",
+                      r.oom ? "-" : fmt_fixed(r.tokens_per_second, 0),
+                      verdict});
+      }
+    }
+    std::cout << device->name << ": best throughput = " << best.what << " ("
+              << fmt_fixed(best.tokens, 0) << " tokens/s)\n";
+  }
+  std::cout << '\n';
+  plan.render(std::cout);
+
+  std::cout << "\nPlanner takeaways (mirroring the paper): short-sequence "
+               "decode is memory- and overhead-bound, so FP8 buys nothing "
+               "here — and TE's FP16-master-weight scheme makes FP8 cost "
+               "*more* memory, which is what OOMs 7B FP8 on the 24 GB "
+               "RTX4090.\n";
+  return 0;
+}

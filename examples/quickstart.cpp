@@ -1,0 +1,71 @@
+// Quickstart: open a device, measure its memory hierarchy and one tensor
+// core instruction, and print the kind of summary the paper builds its
+// tables from.
+//
+//   $ ./examples/quickstart [a100|4090|h800]
+#include <iostream>
+
+#include "arch/device.hpp"
+#include "common/table.hpp"
+#include "core/membench.hpp"
+#include "core/pchase.hpp"
+#include "core/tcbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hsim;
+
+  const auto device_result = arch::find_device(argc > 1 ? argv[1] : "h800");
+  if (!device_result) {
+    std::cerr << device_result.error().to_string() << "\n";
+    return 1;
+  }
+  const auto& device = *device_result.value();
+
+  std::cout << "Device: " << device.name << " (" << to_string(device.generation)
+            << ", sm_" << device.cc_string() << ", " << device.sm_count
+            << " SMs @ " << device.boost_clock_mhz << " MHz)\n\n";
+
+  // 1. Memory latency via pointer chase.
+  Table latency("Memory latency (p-chase, cycles)");
+  latency.set_header({"Level", "cycles"});
+  for (const auto level : {mem::MemLevel::kShared, mem::MemLevel::kL1,
+                           mem::MemLevel::kL2, mem::MemLevel::kDram}) {
+    const auto r = core::pchase(device, level);
+    if (r) {
+      latency.add_row({std::string(mem::to_string(level)),
+                       fmt_fixed(r.value().avg_latency_cycles, 1)});
+    }
+  }
+  latency.render(std::cout);
+  std::cout << '\n';
+
+  // 2. Bandwidths.
+  const auto global = core::measure_global_throughput(device);
+  if (global) {
+    std::cout << "Global memory: " << fmt_fixed(global.value().gbps, 0)
+              << " GB/s (" << fmt_fixed(100.0 * global.value().gbps /
+                                            device.memory.dram_peak_gbps, 0)
+              << "% of pin bandwidth)\n\n";
+  }
+
+  // 3. One tensor-core instruction, the way the paper benches them.
+  const isa::TcInstr instr{.path = device.tc.has_wgmma ? isa::TcPath::kWgmma
+                                                       : isa::TcPath::kMma,
+                           .shape = device.tc.has_wgmma
+                               ? isa::TcShape{64, 256, 16}
+                               : isa::TcShape{16, 8, 16},
+                           .ab = num::DType::kFp16,
+                           .cd = num::DType::kFp32,
+                           .a_src = isa::OperandSource::kSharedMemory};
+  const auto tc_result = core::bench_tc(instr, device);
+  if (tc_result) {
+    const auto& r = tc_result.value();
+    std::cout << instr.ptx_name() << "\n  lowers to " << r.sass
+              << "\n  latency " << fmt_fixed(r.latency_cycles, 1)
+              << " cycles, " << fmt_fixed(r.tflops_zero, 1)
+              << " TFLOPS (zeros), " << fmt_fixed(r.tflops_rand, 1)
+              << " TFLOPS (random data"
+              << (r.throttled ? ", power-throttled" : "") << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Smith-Waterman local sequence alignment on the DPX intrinsics — the
+// dynamic-programming workload class Hopper's DPX hardware targets
+// (the paper §III-D: "numerous minimum/maximum operations for comparing
+// previously computed solutions").
+//
+// The inner recurrence
+//     H[i][j] = max(0, H[i-1][j-1] + s(a_i, b_j), E[i][j], F[i][j])
+// maps onto __viaddmax_s32_relu / __vimax3_s32 exactly; we run the real
+// algorithm through dpx::apply (bit-exact with CUDA's intrinsics) and then
+// price the same instruction mix on all three GPUs.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/table.hpp"
+#include "core/dpxbench.hpp"
+#include "common/rng.hpp"
+#include "dpx/functions.hpp"
+
+namespace {
+
+using hsim::dpx::Func;
+
+struct Alignment {
+  int score = 0;
+  std::int64_t dpx_calls = 0;
+};
+
+Alignment smith_waterman(const std::string& a, const std::string& b,
+                         int match = 2, int mismatch = -1, int gap = -2) {
+  const auto rows = a.size() + 1;
+  const auto cols = b.size() + 1;
+  std::vector<std::int32_t> h_prev(cols, 0), h_curr(cols, 0), e(cols, 0);
+  Alignment out;
+  const auto u = [](std::int32_t v) { return static_cast<std::uint32_t>(v); };
+  const auto s = [](std::uint32_t v) { return static_cast<std::int32_t>(v); };
+
+  for (std::size_t i = 1; i < rows; ++i) {
+    std::int32_t f = 0;
+    h_curr[0] = 0;
+    for (std::size_t j = 1; j < cols; ++j) {
+      const int score = a[i - 1] == b[j - 1] ? match : mismatch;
+      // E (gap in a) and F (gap in b) updates: viaddmax folds add+max.
+      e[j] = s(hsim::dpx::apply(Func::kViAddMaxS32, u(e[j]), u(gap),
+                                u(h_prev[j] + gap)));
+      f = s(hsim::dpx::apply(Func::kViAddMaxS32, u(f), u(gap),
+                             u(h_curr[j - 1] + gap)));
+      // H update: diagonal+score vs E, then vs F, clamped at 0 (relu form).
+      const auto diag = hsim::dpx::apply(Func::kViAddMaxS32, u(h_prev[j - 1]),
+                                         u(score), u(e[j]));
+      h_curr[j] = s(hsim::dpx::apply(Func::kViMax3S32Relu, diag, u(f), 0));
+      out.dpx_calls += 4;
+      out.score = std::max(out.score, h_curr[j]);
+    }
+    std::swap(h_prev, h_curr);
+  }
+  return out;
+}
+
+std::string random_dna(std::size_t length, hsim::Xoshiro256ss& rng) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kBases[rng.below(4)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hsim;
+
+  // 1. A known alignment as a correctness anchor.
+  const auto anchored = smith_waterman("GGTTGACTA", "TGTTACGG");
+  std::cout << "Smith-Waterman(GGTTGACTA, TGTTACGG) score = " << anchored.score
+            << " (expected 8 with match=2, mismatch=-1, gap=-2)\n\n";
+
+  // 2. A synthetic read-mapping workload.
+  Xoshiro256ss rng(2024);
+  const auto reference = random_dna(512, rng);
+  const auto read = random_dna(128, rng);
+  const auto aligned = smith_waterman(reference, read);
+  std::cout << "Aligned a 128 bp read against a 512 bp reference: score "
+            << aligned.score << ", " << aligned.dpx_calls << " DPX calls\n\n";
+
+  // 3. Price the DPX instruction mix on each device: the alignment kernel's
+  // throughput tracks the device's __viaddmax_s32 / __vimax3_s32_relu rate.
+  Table table("Projected cell-update rate (GCUPS) by device");
+  table.set_header({"Device", "DPX path", "GCUPS"});
+  for (const auto* device : arch::all_devices()) {
+    const auto addmax = core::dpx_throughput(*device, dpx::Func::kViAddMaxS32);
+    const auto max3 = core::dpx_throughput(*device, dpx::Func::kViMax3S32Relu);
+    if (!addmax || !max3) continue;
+    // 4 DPX calls per DP cell: 3 at the addmax rate, 1 at the max3 rate.
+    const double per_cell =
+        3.0 / addmax.value().gcalls_per_sec + 1.0 / max3.value().gcalls_per_sec;
+    table.add_row({device->name,
+                   device->dpx.hardware ? "hardware (VIMNMX)" : "emulated",
+                   fmt_fixed(1.0 / per_cell, 0)});
+  }
+  table.render(std::cout);
+  std::cout << "\nHopper's fused DPX hardware pays off most in the relu/max3 "
+               "forms this kernel leans on.\n";
+  return 0;
+}

@@ -1,0 +1,328 @@
+#include "arch/device.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/units.hpp"
+
+namespace hsim::arch {
+
+double TcEnergy::lookup(num::DType input, num::DType acc) const {
+  using num::DType;
+  switch (input) {
+    case DType::kFp16:
+    case DType::kBf16:
+      return acc == DType::kFp16 ? fp16_fp16 : fp16_fp32;
+    case DType::kTf32:
+      return tf32_fp32;
+    case DType::kFp8E4M3:
+    case DType::kFp8E5M2:
+      return fp8;
+    case DType::kInt8:
+    case DType::kInt4:
+    case DType::kBinary:
+      return int8;
+    default:
+      return fp16_fp32;
+  }
+}
+
+double DeviceSpec::tc_peak_tflops(num::DType input) const {
+  using num::DType;
+  switch (input) {
+    case DType::kFp16:
+    case DType::kBf16:
+      return tc.peak_fp16_tflops;
+    case DType::kTf32:
+      return tc.peak_tf32_tflops;
+    case DType::kFp8E4M3:
+    case DType::kFp8E5M2:
+      return tc.peak_fp8_tflops;
+    case DType::kInt8:
+      return tc.peak_int8_tops;
+    case DType::kInt4:
+      // INT4 was 2x INT8 where supported on tensor cores.
+      return tc.mma_int4_on_tc ? 2.0 * tc.peak_int8_tops : 0.0;
+    case DType::kBinary:
+      return 8.0 * tc.peak_int8_tops;
+    case DType::kFp64:
+      return tc.peak_fp64_tflops;
+    default:
+      return 0.0;
+  }
+}
+
+double DeviceSpec::tc_ops_per_clk_sm(num::DType input) const {
+  const double peak = tc_peak_tflops(input);
+  if (peak <= 0.0) return 0.0;
+  return peak * 1e12 / (static_cast<double>(sm_count) * official_clock_hz());
+}
+
+namespace {
+
+DeviceSpec make_a100() {
+  DeviceSpec d;
+  d.name = "A100 PCIe";
+  d.generation = Generation::kAmpere;
+  d.compute_capability_major = 8;
+  d.compute_capability_minor = 0;
+  d.sm_count = 108;
+  d.cores_per_sm = 64;
+  d.boost_clock_mhz = 1410;
+  d.observed_clock_mhz = 1410;
+
+  auto& m = d.memory;
+  m.dram_bytes = 40_GiB;
+  m.dram_type = "HBM2e";
+  m.dram_clock_mhz = 1215;
+  m.dram_bus_bits = 5120;
+  m.dram_peak_gbps = 1555;
+  m.l2_bytes = 40_MiB;
+  m.l1_bytes_per_sm = 192_KiB;
+  m.smem_max_per_block = 163_KiB;
+  m.smem_max_per_sm = 164_KiB;
+  m.l1_hit_latency = 37.9;
+  m.smem_latency = 29.0;
+  m.l2_hit_latency = 261.5;
+  m.dram_latency = 466.3;
+  m.l1_bytes_per_clk_scalar = 102.5;
+  m.l1_bytes_per_clk_wide = 124.0;
+  m.l1_bytes_per_clk_vec = 107.6;
+  m.smem_bytes_per_clk = 128.0;
+  m.l2_bytes_per_clk_scalar = 1910.0;
+  m.l2_bytes_per_clk_wide = 2050.0;
+  m.l2_bytes_per_clk_vec = 2070.0;
+  m.dram_efficiency = 0.905;
+  m.fp64_add_bytes_per_clk_sm = 256.0;  // 32 FP64 FMA/clk: never the bottleneck
+
+  auto& t = d.tc;
+  t.generation = 3;
+  t.cores_total = 432;
+  t.has_fp8 = false;
+  t.has_wgmma = false;
+  t.mma_int4_on_tc = true;
+  t.peak_fp16_tflops = 312.0;
+  t.peak_tf32_tflops = 156.0;
+  t.peak_int8_tops = 624.0;
+  t.peak_fp64_tflops = 19.5;
+  t.mma_sparse_min_cadence = 1.53;
+  t.mma_lat_base_acc16 = 10.8;
+  t.mma_lat_pp_acc16 = 6.9;
+  t.mma_lat_base_acc32 = 9.0;
+  t.mma_lat_pp_acc32 = 8.5;
+
+  d.dpx.hardware = false;
+  d.dpx.emu_alu_ops_per_clk_sm = 64.0;
+  d.dpx.emu_latency_per_op = 4.5;
+
+  d.dsm.available = false;
+
+  auto& p = d.power;
+  p.board_limit_w = 250;
+  p.idle_w = 45;
+  p.mma_pj = TcEnergy{.fp16_fp16 = 0.413, .fp16_fp32 = 0.473,
+                      .tf32_fp32 = 1.12, .fp8 = 0.0, .int8 = 0.22};
+  p.mma_sparse_energy_factor = 0.598;
+
+  d.has_async_copy = true;
+  d.has_tma = false;
+  return d;
+}
+
+DeviceSpec make_rtx4090() {
+  DeviceSpec d;
+  d.name = "RTX4090";
+  d.generation = Generation::kAda;
+  d.compute_capability_major = 8;
+  d.compute_capability_minor = 9;
+  d.sm_count = 128;
+  d.cores_per_sm = 128;
+  d.boost_clock_mhz = 2520;
+  // The paper notes their RTX 4090 sustained above the official boost clock,
+  // which is why measured mma throughput exceeds the quoted peak.
+  d.observed_clock_mhz = 2730;
+
+  auto& m = d.memory;
+  m.dram_bytes = 24_GiB;
+  m.dram_type = "GDDR6X";
+  m.dram_clock_mhz = 10501;
+  m.dram_bus_bits = 384;
+  m.dram_peak_gbps = 1008;
+  m.l2_bytes = 72_MiB;
+  m.l1_bytes_per_sm = 128_KiB;
+  m.smem_max_per_block = 99_KiB;
+  m.smem_max_per_sm = 100_KiB;
+  m.l1_hit_latency = 43.4;
+  m.smem_latency = 30.1;
+  m.l2_hit_latency = 273.0;
+  m.dram_latency = 541.5;
+  m.l1_bytes_per_clk_scalar = 65.7;  // Ada L1 services 32-bit loads at half rate
+  m.l1_bytes_per_clk_wide = 100.0;
+  m.l1_bytes_per_clk_vec = 122.0;
+  m.smem_bytes_per_clk = 128.0;
+  m.l2_bytes_per_clk_scalar = 1670.0;
+  m.l2_bytes_per_clk_wide = 1550.0;
+  m.l2_bytes_per_clk_vec = 1760.0;
+  m.dram_efficiency = 0.9225;
+  m.fp64_add_bytes_per_clk_sm = 13.7;  // 2 FP64 lanes/SM: GeForce ratio
+
+  auto& t = d.tc;
+  t.generation = 4;
+  t.cores_total = 512;
+  t.has_fp8 = true;       // FP8 units exist (usable via cuBLASLt / TE)
+  t.has_fp8_mma = false;  // ...but no PTX mma/wgmma exposes them
+  t.has_wgmma = false;
+  t.mma_int4_on_tc = true;
+  t.peak_fp16_tflops = 330.3;
+  t.peak_tf32_tflops = 82.6;
+  t.peak_fp8_tflops = 660.6;
+  t.peak_int8_tops = 660.6;
+  t.peak_fp64_tflops = 1.29;
+  t.mma_acc32_width_factor = 0.5;  // GeForce: FP32-accumulate at half rate
+  t.mma_lat_base_acc16 = 10.8;
+  t.mma_lat_pp_acc16 = 6.9;
+  t.mma_lat_base_acc32 = 4.6;
+  t.mma_lat_pp_acc32 = 14.2;
+
+  d.dpx.hardware = false;
+  d.dpx.emu_alu_ops_per_clk_sm = 64.0;
+  d.dpx.emu_latency_per_op = 4.5;
+
+  d.dsm.available = false;
+
+  auto& p = d.power;
+  p.board_limit_w = 450;
+  p.idle_w = 55;
+  p.mma_pj = TcEnergy{.fp16_fp16 = 0.375, .fp16_fp32 = 0.554,
+                      .tf32_fp32 = 1.34, .fp8 = 0.21, .int8 = 0.206};
+  p.mma_sparse_energy_factor = 0.596;
+
+  d.has_async_copy = true;
+  d.has_tma = false;
+  return d;
+}
+
+DeviceSpec make_h800() {
+  DeviceSpec d;
+  d.name = "H800 PCIe";
+  d.generation = Generation::kHopper;
+  d.compute_capability_major = 9;
+  d.compute_capability_minor = 0;
+  d.sm_count = 114;
+  d.cores_per_sm = 128;
+  d.boost_clock_mhz = 1755;
+  d.observed_clock_mhz = 1755;
+
+  auto& m = d.memory;
+  m.dram_bytes = 80_GiB;
+  m.dram_type = "HBM2e";
+  m.dram_clock_mhz = 1593;
+  m.dram_bus_bits = 5120;
+  m.dram_peak_gbps = 2039;
+  m.l2_bytes = 50_MiB;
+  m.l1_bytes_per_sm = 256_KiB;
+  m.smem_max_per_block = 227_KiB;
+  m.smem_max_per_sm = 228_KiB;
+  m.l1_hit_latency = 40.7;
+  m.smem_latency = 29.0;
+  m.l2_hit_latency = 263.0;
+  m.dram_latency = 478.8;
+  m.l1_bytes_per_clk_scalar = 129.7;
+  m.l1_bytes_per_clk_wide = 128.0;
+  m.l1_bytes_per_clk_vec = 125.3;
+  m.smem_bytes_per_clk = 128.0;
+  m.l2_bytes_per_clk_scalar = 4610.0;
+  m.l2_bytes_per_clk_wide = 4000.0;  // FP64 unit limits before the cache does
+  m.l2_bytes_per_clk_vec = 4060.0;
+  m.dram_efficiency = 0.913;
+  m.fp64_add_bytes_per_clk_sm = 16.5;  // export-trimmed FP64 on H800
+
+  auto& t = d.tc;
+  t.generation = 4;
+  t.cores_total = 456;
+  t.has_fp8 = true;
+  t.has_fp8_mma = false;  // FP8 only reachable through wgmma
+  t.has_wgmma = true;
+  t.mma_int4_on_tc = false;  // Hopper lowers INT4 mma to IMAD on CUDA cores
+  t.peak_fp16_tflops = 756.5;
+  t.peak_tf32_tflops = 378.0;
+  t.peak_fp8_tflops = 1513.0;
+  t.peak_int8_tops = 1513.0;
+  t.peak_fp64_tflops = 51.0;
+  t.mma_dispatch_overhead = 0.57;        // mma-on-Hopper compatibility cost
+  t.mma_sparse_dispatch_overhead = 1.15;  // sparse mma pays even more
+  t.mma_lat_base_acc16 = 7.9;
+  t.mma_lat_pp_acc16 = 8.1;
+  t.mma_lat_base_acc32 = 7.9;
+  t.mma_lat_pp_acc32 = 8.1;
+  t.wgmma_efficiency = 0.97;
+  t.wgmma_rs_latency_floor = 13.0;
+  t.wgmma_ss_latency_floor = 18.0;
+  t.wgmma_ss_fill_latency = 8.0;
+  t.wgmma_sparse_rs_floor = 16.0;
+  t.wgmma_sparse_ss_extra = 16.0;
+  t.wgmma_hide_threshold_n = 64;
+
+  d.dpx.hardware = true;
+  d.dpx.hw_latency = 4.5;
+  d.dpx.hw_ops_per_clk_sm = 64.0;
+  d.dpx.emu_alu_ops_per_clk_sm = 64.0;
+  d.dpx.emu_latency_per_op = 4.5;
+
+  auto& n = d.dsm;
+  n.available = true;
+  n.latency_cycles = 180.0;
+  n.port_bytes_per_clk = 16.0;
+  n.contention_base = 0.83;
+  n.max_cluster_size = 16;
+
+  auto& p = d.power;
+  p.board_limit_w = 350;
+  p.idle_w = 60;
+  p.mma_pj = TcEnergy{.fp16_fp16 = 0.260, .fp16_fp32 = 0.279,
+                      .tf32_fp32 = 0.791, .fp8 = 0.13, .int8 = 0.108};
+  p.wgmma_pj = TcEnergy{.fp16_fp16 = 0.412, .fp16_fp32 = 0.436,
+                        .tf32_fp32 = 0.812, .fp8 = 0.203, .int8 = 0.201};
+  p.mma_sparse_energy_factor = 0.677;
+  p.wgmma_sparse_energy_factor = 0.50;
+
+  d.has_async_copy = true;
+  d.has_tma = true;
+  return d;
+}
+
+}  // namespace
+
+const DeviceSpec& a100_pcie() {
+  static const DeviceSpec spec = make_a100();
+  return spec;
+}
+
+const DeviceSpec& rtx4090() {
+  static const DeviceSpec spec = make_rtx4090();
+  return spec;
+}
+
+const DeviceSpec& h800_pcie() {
+  static const DeviceSpec spec = make_h800();
+  return spec;
+}
+
+std::array<const DeviceSpec*, 3> all_devices() {
+  return {&a100_pcie(), &rtx4090(), &h800_pcie()};
+}
+
+Expected<const DeviceSpec*> find_device(std::string_view short_name) {
+  std::string lower(short_name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  const auto contains = [&](std::string_view needle) {
+    return lower.find(needle) != std::string::npos;
+  };
+  if (contains("a100") || contains("ampere")) return &a100_pcie();
+  if (contains("4090") || contains("ada")) return &rtx4090();
+  if (contains("h800") || contains("h100") || contains("hopper")) return &h800_pcie();
+  return invalid_argument("unknown device: " + std::string(short_name));
+}
+
+}  // namespace hsim::arch

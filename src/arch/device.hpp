@@ -1,0 +1,224 @@
+// Device descriptors for the three GPUs the paper benchmarks.
+//
+// A DeviceSpec has two kinds of fields:
+//   * datasheet facts from Table III (SM count, clocks, memory size/bus,
+//     peak rates) — public, checkable numbers;
+//   * microarchitectural calibration constants (pipeline depths, port
+//     widths, per-op energies) chosen so that the *measured* output of the
+//     structural models lands near the paper's tables.  Every calibration
+//     constant is consumed by a model, never echoed directly into a result;
+//     see EXPERIMENTS.md §Calibration for how each was derived.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "numerics/dtype.hpp"
+
+namespace hsim::arch {
+
+enum class Generation : std::uint8_t { kAmpere, kAda, kHopper };
+
+constexpr std::string_view to_string(Generation g) noexcept {
+  switch (g) {
+    case Generation::kAmpere: return "Ampere";
+    case Generation::kAda: return "Ada Lovelace";
+    case Generation::kHopper: return "Hopper";
+  }
+  return "?";
+}
+
+/// Memory hierarchy calibration.  Latencies are load-to-use in core clock
+/// cycles (end-to-end for the level that services the request); port widths
+/// are bytes per core clock.
+struct MemorySpec {
+  // Structure (Table III + whitepapers).
+  std::uint64_t dram_bytes = 0;
+  std::string dram_type;          // "HBM2e" / "GDDR6X"
+  double dram_clock_mhz = 0;
+  int dram_bus_bits = 0;
+  double dram_peak_gbps = 0;      // datasheet pin bandwidth
+  std::uint64_t l2_bytes = 0;
+  std::uint64_t l1_bytes_per_sm = 0;   // unified L1/shared carve-out
+  std::uint64_t smem_max_per_block = 0;
+  std::uint64_t smem_max_per_sm = 0;
+  int l1_line_bytes = 128;
+  int sector_bytes = 32;
+  int l1_ways = 4;
+  int l2_ways = 16;
+  int smem_banks = 32;
+
+  // Load-to-use latencies (cycles at core clock).
+  double l1_hit_latency = 40;
+  double smem_latency = 29;
+  double l2_hit_latency = 260;
+  double dram_latency = 480;
+  double tlb_miss_penalty = 400;
+
+  // Port widths (bytes per core clock).  "scalar" = 32-bit accesses,
+  // "wide" = 64-bit, "vec" = 128-bit (float4).  Ada's L1 services 32-bit
+  // loads at half rate, which the paper's Table V shows.
+  double l1_bytes_per_clk_scalar = 128;
+  double l1_bytes_per_clk_wide = 128;
+  double l1_bytes_per_clk_vec = 128;
+  double smem_bytes_per_clk = 128;
+  double l2_bytes_per_clk_scalar = 2000;  // device-wide
+  double l2_bytes_per_clk_wide = 2000;
+  double l2_bytes_per_clk_vec = 2000;
+  double dram_efficiency = 0.91;          // achieved fraction of pin bandwidth
+
+  // FP64 ALU width (operand bytes consumed per clock per SM): on GeForce
+  // and H800 parts the FP64 pipe, not the cache, bottlenecks the FP64
+  // memory benchmark — exactly the effect the paper reports in Table V.
+  double fp64_add_bytes_per_clk_sm = 16;
+};
+
+/// Tensor-core calibration.  Peak rates are dense TFLOPS (TOPS for integer)
+/// at *official* boost clock, as in the paper's table captions; structural
+/// constants shape how much of the peak each instruction class extracts.
+struct TensorCoreSpec {
+  int generation = 3;         // marketing generation
+  int cores_total = 0;        // Table III
+  bool has_fp8 = false;       // FP8 units present (Ada, Hopper)
+  bool has_fp8_mma = false;   // PTX mma with FP8 exists (nowhere)
+  bool has_wgmma = false;     // Hopper only
+  bool mma_int4_on_tc = true; // false on Hopper: INT4 mma lowers to IMAD
+  bool has_sparse = true;     // mma.sp supported (Ampere+)
+
+  double peak_fp16_tflops = 0;   // dense; structured-sparse peak = 2x
+  double peak_tf32_tflops = 0;
+  double peak_fp8_tflops = 0;    // 0 when !has_fp8
+  double peak_int8_tops = 0;
+  double peak_fp64_tflops = 0;
+
+  // FP32-accumulating mma runs at this fraction of the FP16-accumulate
+  // width (0.5 on Ada GeForce parts, 1.0 on data-centre parts).
+  double mma_acc32_width_factor = 1.0;
+
+  // Per-instruction issue costs for the synchronous mma path (cycles).
+  // Hopper executes mma through a compatibility path on wgmma-era hardware
+  // with a per-instruction dispatch overhead — this single constant
+  // reproduces the paper's "62.9% of peak" observation across all dtypes.
+  double mma_dispatch_overhead = 0.0;
+  double mma_sparse_dispatch_overhead = 0.0;
+  // Minimum issue cadence for sparse mma (cycles): Ampere's sparse pipe
+  // cannot issue faster than this, which is why only large sparse shapes
+  // reach the claimed 2x on A100 (Table VII).
+  double mma_sparse_min_cadence = 0.0;
+
+  // mma completion latency = base + passes * per_pass, where passes =
+  // k / k_base(dtype).  Integer and FP16-accumulate instructions use the
+  // acc16 constants; FP32-accumulate and TF32 use the acc32 constants.
+  double mma_lat_base_acc16 = 10.0;
+  double mma_lat_pp_acc16 = 7.0;
+  double mma_lat_base_acc32 = 10.0;
+  double mma_lat_pp_acc32 = 8.0;
+
+  // wgmma structural constants (Hopper only).
+  double wgmma_efficiency = 0.97;       // compute-path efficiency
+  double wgmma_rs_latency_floor = 13.0;
+  double wgmma_ss_latency_floor = 18.0;
+  double wgmma_ss_fill_latency = 8.0;   // exposed smem A-fill below hide point
+  double wgmma_sparse_rs_floor = 16.0;
+  double wgmma_sparse_ss_extra = 16.0;  // sparse SS reads 2x smem: never hidden
+  double wgmma_hide_threshold_n = 64;   // N at which smem latency hides fully
+};
+
+/// DPX (dynamic-programming instruction) calibration.
+struct DpxSpec {
+  bool hardware = false;  // Hopper has VIMNMX units; others emulate
+  // Hardware path: per-scheduler pipelined units.
+  double hw_latency = 4.5;            // cycles, three-input fused min/max
+  double hw_ops_per_clk_sm = 64.0;    // DPX lane-ops per clock per SM
+  // Emulated path: DPX calls expand to INT32 ALU sequences (counts are
+  // derived from each function's structure in src/dpx).
+  double emu_alu_ops_per_clk_sm = 64.0;
+  double emu_latency_per_op = 4.5;    // dependent-chain latency per ALU op
+};
+
+/// SM-to-SM network (distributed shared memory), Hopper only.
+struct DsmSpec {
+  bool available = false;
+  double latency_cycles = 180.0;       // one-way SM-to-SM load-to-use
+  double port_bytes_per_clk = 16.0;    // per-SM injection port width
+  // Fabric contention: per-doubling-of-cluster-size throughput multiplier
+  // beyond CS=2 (more blocks share switch links).
+  double contention_base = 0.83;
+  int max_cluster_size = 16;
+};
+
+/// Dynamic energy per tensor-core operation (picojoules per FLOP/OP) at
+/// full random-data toggling, by input/accumulator class.
+struct TcEnergy {
+  double fp16_fp16 = 0;
+  double fp16_fp32 = 0;
+  double tf32_fp32 = 0;
+  double fp8 = 0;
+  double int8 = 0;
+
+  [[nodiscard]] double lookup(num::DType input, num::DType acc) const;
+};
+
+/// Board power model: P = idle + rate * pj * toggle.  When P would exceed
+/// the board limit the clock (and hence rate) throttles until P == limit —
+/// this is what produces the Zero-vs-Rand gaps in Tables VIII-X.
+struct PowerSpec {
+  double board_limit_w = 350;
+  double idle_w = 60;
+  TcEnergy mma_pj;     // synchronous mma path
+  TcEnergy wgmma_pj;   // warp-group path keeps the whole array busy
+  double mma_sparse_energy_factor = 0.6;   // skipped lanes don't toggle
+  double wgmma_sparse_energy_factor = 0.5;
+  double zero_toggle_factor = 0.18;  // all-zero operands barely toggle
+};
+
+/// A complete device: identity, datasheet facts and calibration.
+struct DeviceSpec {
+  std::string name;            // "H800 PCIe"
+  Generation generation = Generation::kHopper;
+  int compute_capability_major = 9;
+  int compute_capability_minor = 0;
+
+  int sm_count = 0;
+  int cores_per_sm = 0;
+  double boost_clock_mhz = 0;     // official boost
+  double observed_clock_mhz = 0;  // what the silicon sustains under TC load
+                                  // (the paper's RTX 4090 ran above boost)
+
+  MemorySpec memory;
+  TensorCoreSpec tc;
+  DpxSpec dpx;
+  DsmSpec dsm;
+  PowerSpec power;
+
+  bool has_async_copy = true;  // cp.async (Ampere+)
+  bool has_tma = false;        // Hopper tensor memory accelerator
+
+  [[nodiscard]] double clock_hz() const { return observed_clock_mhz * 1e6; }
+  [[nodiscard]] double official_clock_hz() const { return boost_clock_mhz * 1e6; }
+  [[nodiscard]] std::string cc_string() const {
+    return std::to_string(compute_capability_major) + "." +
+           std::to_string(compute_capability_minor);
+  }
+
+  /// Dense tensor-core peak for an input type, TFLOPS/TOPS (0 if absent).
+  [[nodiscard]] double tc_peak_tflops(num::DType input) const;
+  /// Peak dense TC throughput in ops per core clock per SM, at the official
+  /// boost clock the peak is quoted for.
+  [[nodiscard]] double tc_ops_per_clk_sm(num::DType input) const;
+};
+
+/// Factory functions for the three devices under study (Table III).
+const DeviceSpec& a100_pcie();
+const DeviceSpec& rtx4090();
+const DeviceSpec& h800_pcie();
+
+/// All three, in the paper's comparison order (A100, RTX4090, H800).
+std::array<const DeviceSpec*, 3> all_devices();
+
+/// Look up a device by (case-insensitive) short name: "a100", "4090", "h800".
+Expected<const DeviceSpec*> find_device(std::string_view short_name);
+
+}  // namespace hsim::arch

@@ -1,0 +1,151 @@
+#include "async/tiled_gemm.hpp"
+
+#include "sm/launcher.hpp"
+
+namespace hsim::async {
+namespace {
+
+using isa::Opcode;
+
+// Register plan for the generated kernels.
+constexpr int kTid = 0;     // preloaded global thread id
+constexpr int kAddrA = 1;   // A tile global address
+constexpr int kAddrB = 2;   // B tile global address
+constexpr int kValA = 3;
+constexpr int kValB = 4;
+constexpr int kAcc = 5;
+constexpr int kSmem = 6;    // per-thread shared-memory slot
+constexpr int kLoadA = 7;
+constexpr int kLoadB = 8;
+constexpr int kStrideA = 9;
+constexpr int kStrideB = 10;
+constexpr int kBase = 11;
+
+void emit_setup(isa::Program& p, const GemmWorkload& w) {
+  // addr = tid * 4 (one FP32 element per thread per tile).
+  p.add({.op = Opcode::kShf, .rd = kAddrA, .ra = kTid, .imm = 2});
+  p.add({.op = Opcode::kMov, .rd = kBase, .imm = 64 << 20});  // B region
+  p.add({.op = Opcode::kShf, .rd = kAddrB, .ra = kTid, .imm = 2});
+  p.add({.op = Opcode::kIAdd3, .rd = kAddrB, .ra = kAddrB, .rb = kBase});
+  p.add({.op = Opcode::kShf, .rd = kSmem, .ra = kTid, .imm = 2});
+  // A walks along a row (block_dim elements); B walks down rows (k-strided).
+  p.add({.op = Opcode::kMov, .rd = kStrideA, .imm = w.block_dim * 4});
+  p.add({.op = Opcode::kMov, .rd = kStrideB, .imm = w.k * 4});
+  p.add({.op = Opcode::kMov, .rd = kAcc, .imm = 0});
+}
+
+void emit_compute(isa::Program& p, const GemmWorkload& w) {
+  for (int kk = 0; kk < w.block_dim; ++kk) {
+    p.add({.op = Opcode::kLds, .rd = kLoadA, .ra = kSmem});
+    p.add({.op = Opcode::kLds, .rd = kLoadB, .ra = kSmem});
+    p.add({.op = Opcode::kFFma, .rd = kAcc, .ra = kLoadA, .rb = kLoadB, .rc = kAcc});
+  }
+}
+
+void emit_advance(isa::Program& p) {
+  p.add({.op = Opcode::kIAdd3, .rd = kAddrA, .ra = kAddrA, .rb = kStrideA});
+  p.add({.op = Opcode::kIAdd3, .rd = kAddrB, .ra = kAddrB, .rb = kStrideB});
+}
+
+}  // namespace
+
+isa::Program build_program(const GemmWorkload& w, CopyVariant variant) {
+  HSIM_ASSERT(w.k % w.block_dim == 0);
+  isa::Program p;
+  emit_setup(p, w);
+  const int tiles = w.k / w.block_dim;
+
+  if (variant == CopyVariant::kTmaPipe) {
+    // TMA two-stage pipeline: one elected-warp bulk copy per tile covers
+    // both the A and B boxes; threads only compute.
+    const auto tile_bytes =
+        static_cast<std::int64_t>(w.block_dim) * w.block_dim * 4;
+    p.add({.op = Opcode::kTmaLoad, .ra = kAddrA, .imm = 2 * tile_bytes});
+    p.add({.op = Opcode::kCpAsyncCommit});
+    for (int t = 0; t < tiles; ++t) {
+      emit_advance(p);
+      if (t + 1 < tiles) {
+        p.add({.op = Opcode::kTmaLoad, .ra = kAddrA, .imm = 2 * tile_bytes});
+        p.add({.op = Opcode::kCpAsyncCommit});
+      }
+      p.add({.op = Opcode::kCpAsyncWait, .imm = t + 1 < tiles ? 1 : 0});
+      p.bar_sync();
+      emit_compute(p, w);
+      p.bar_sync();
+    }
+    p.set_iterations(1);
+    return p;
+  }
+  if (variant == CopyVariant::kSyncShare) {
+    for (int t = 0; t < tiles; ++t) {
+      p.add({.op = Opcode::kLdgCa, .rd = kValA, .ra = kAddrA});
+      p.add({.op = Opcode::kLdgCa, .rd = kValB, .ra = kAddrB});
+      emit_advance(p);
+      p.add({.op = Opcode::kSts, .ra = kSmem, .rb = kValA});
+      p.add({.op = Opcode::kSts, .ra = kSmem, .rb = kValB});
+      p.bar_sync();
+      emit_compute(p, w);
+      p.bar_sync();
+    }
+  } else {
+    // Two-stage cp.async pipeline: prefetch tile 0, then in steady state
+    // prefetch tile t+1 while computing tile t.
+    p.add({.op = Opcode::kCpAsync, .ra = kAddrA});
+    p.add({.op = Opcode::kCpAsync, .ra = kAddrB});
+    p.add({.op = Opcode::kCpAsyncCommit});
+    for (int t = 0; t < tiles; ++t) {
+      emit_advance(p);
+      if (t + 1 < tiles) {
+        p.add({.op = Opcode::kCpAsync, .ra = kAddrA});
+        p.add({.op = Opcode::kCpAsync, .ra = kAddrB});
+        p.add({.op = Opcode::kCpAsyncCommit});
+      }
+      // Wait until only the newest group (the prefetch) is in flight.
+      p.add({.op = Opcode::kCpAsyncWait, .imm = t + 1 < tiles ? 1 : 0});
+      p.bar_sync();
+      emit_compute(p, w);
+      p.bar_sync();
+    }
+  }
+  p.set_iterations(1);
+  return p;
+}
+
+std::uint64_t smem_bytes(const GemmWorkload& w, CopyVariant variant) {
+  const auto tile =
+      static_cast<std::uint64_t>(w.block_dim) * static_cast<std::uint64_t>(w.block_dim) * 4;
+  const std::uint64_t buffers = 2 * tile;  // A and B
+  return variant == CopyVariant::kSyncShare
+             ? buffers
+             : static_cast<std::uint64_t>(w.stages) * buffers;
+}
+
+Expected<GemmPoint> run_gemm(const arch::DeviceSpec& device,
+                             const GemmWorkload& workload, CopyVariant variant,
+                             int blocks_per_sm_launched) {
+  if (variant == CopyVariant::kAsyncPipe && !device.has_async_copy) {
+    return unsupported("cp.async requires Ampere or newer");
+  }
+  if (variant == CopyVariant::kTmaPipe && !device.has_tma) {
+    return unsupported("the tensor memory accelerator requires Hopper");
+  }
+  const auto program = build_program(workload, variant);
+  sm::LaunchConfig cfg;
+  cfg.threads_per_block = workload.block_dim * workload.block_dim;
+  cfg.total_blocks = blocks_per_sm_launched * device.sm_count;
+  cfg.smem_per_block = smem_bytes(workload, variant);
+  cfg.regs_per_thread = 32;
+  auto launched = sm::launch(device, program, cfg);
+  if (!launched) return launched.error();
+
+  GemmPoint out;
+  out.blocks_per_sm_launched = blocks_per_sm_launched;
+  out.seconds = launched.value().seconds;
+  const double threads = static_cast<double>(cfg.threads_per_block) *
+                         static_cast<double>(cfg.total_blocks);
+  const double flops = 2.0 * static_cast<double>(workload.k) * threads;
+  out.gflops = flops / out.seconds / 1e9;
+  return out;
+}
+
+}  // namespace hsim::async

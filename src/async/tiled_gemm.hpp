@@ -1,0 +1,60 @@
+// The paper's asynchronous-data-movement benchmark (CUDA sample
+// `globalToShmemAsyncCopy`): tiled matrix multiplication C = A x B with
+// K = 2048, comparing
+//   * SyncShare  — classic tiling: ldg -> sts -> barrier -> compute;
+//   * AsyncPipe  — a two-stage cp.async pipeline with doubled shared-memory
+//     buffers that overlaps the next tile's copy with this tile's compute;
+//   * TmaPipe    — the same pipeline but with the Hopper TMA engine moving
+//     whole tiles under one elected-warp instruction (an extension beyond
+//     the paper's Ampere-era sample).
+// Both variants are emitted as micro-ISA programs and executed on the SM
+// timing simulator, so the effect the paper measures — async copies winning
+// at low warp occupancy and losing their edge (even inverting) at high
+// occupancy — emerges from the pipeline model rather than being assumed.
+#pragma once
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace hsim::async {
+
+enum class CopyVariant : std::uint8_t { kSyncShare, kAsyncPipe, kTmaPipe };
+
+constexpr std::string_view to_string(CopyVariant v) noexcept {
+  switch (v) {
+    case CopyVariant::kSyncShare: return "SyncShare";
+    case CopyVariant::kAsyncPipe: return "AsyncPipe";
+    case CopyVariant::kTmaPipe: return "TmaPipe";
+  }
+  return "?";
+}
+
+struct GemmWorkload {
+  int block_dim = 16;   // block is block_dim x block_dim threads
+  int k = 2048;         // A width == B height (fixed in the paper)
+  int stages = 2;       // async pipeline depth
+};
+
+/// Emit the per-thread instruction stream for one thread block of the
+/// workload.  Addresses stride so that every tile load touches fresh global
+/// lines (as the real kernel's do).
+isa::Program build_program(const GemmWorkload& workload, CopyVariant variant);
+
+struct GemmPoint {
+  int blocks_per_sm_launched = 0;  // the tables' "Blocks/SM" axis
+  double gflops = 0;
+  double seconds = 0;
+};
+
+/// Run one (block size, launch size) cell: returns computational throughput
+/// in GFLOPS as the paper's tables report.
+Expected<GemmPoint> run_gemm(const arch::DeviceSpec& device,
+                             const GemmWorkload& workload, CopyVariant variant,
+                             int blocks_per_sm_launched);
+
+/// Shared-memory bytes per block for the variant (the async pipeline
+/// doubles the buffers, which can cost occupancy).
+std::uint64_t smem_bytes(const GemmWorkload& workload, CopyVariant variant);
+
+}  // namespace hsim::async

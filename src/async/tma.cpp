@@ -1,0 +1,110 @@
+#include "async/tma.hpp"
+
+#include <algorithm>
+
+namespace hsim::async {
+
+std::uint64_t box_bytes(const TmaDescriptor& desc) {
+  std::uint64_t total = static_cast<std::uint64_t>(desc.element_bytes);
+  for (int d = 0; d < desc.rank; ++d) total *= desc.box_dims[static_cast<std::size_t>(d)];
+  return total;
+}
+
+Expected<TmaDescriptor> make_descriptor(const arch::DeviceSpec& device,
+                                        TmaDescriptor desc) {
+  if (!device.has_tma) {
+    return unsupported(device.name + " has no tensor memory accelerator");
+  }
+  if (desc.rank < 1 || desc.rank > kTmaMaxRank) {
+    return invalid_argument("TMA rank must be 1..5");
+  }
+  if (desc.element_bytes != 1 && desc.element_bytes != 2 &&
+      desc.element_bytes != 4 && desc.element_bytes != 8) {
+    return invalid_argument("TMA element size must be 1/2/4/8 bytes");
+  }
+  for (int d = 0; d < desc.rank; ++d) {
+    const auto dim = desc.tensor_dims[static_cast<std::size_t>(d)];
+    const auto box = desc.box_dims[static_cast<std::size_t>(d)];
+    if (dim == 0) return invalid_argument("tensor dimension must be nonzero");
+    if (box == 0 || box > kTmaMaxBoxDim) {
+      return invalid_argument("box dimension must be 1..256");
+    }
+  }
+  // Innermost dimension must move whole 16-byte chunks (swizzle constraint).
+  const std::uint64_t row_bytes =
+      desc.box_dims[0] * static_cast<std::uint64_t>(desc.element_bytes);
+  if (row_bytes % 16 != 0) {
+    return invalid_argument("innermost box extent must be a multiple of 16 bytes");
+  }
+  if (box_bytes(desc) > kTmaMaxBoxBytes) {
+    return invalid_argument("box exceeds the 128 KiB TMA limit");
+  }
+  if (box_bytes(desc) > device.memory.smem_max_per_block) {
+    return invalid_argument("box exceeds the device's shared memory per block");
+  }
+  return desc;
+}
+
+Expected<TileCopy> tile_copy(const TmaDescriptor& desc,
+                             std::array<std::int64_t, kTmaMaxRank> origin) {
+  // Row-major strides (innermost = dim 0).
+  std::array<std::uint64_t, kTmaMaxRank> stride{};
+  stride[0] = static_cast<std::uint64_t>(desc.element_bytes);
+  for (int d = 1; d < desc.rank; ++d) {
+    stride[static_cast<std::size_t>(d)] =
+        stride[static_cast<std::size_t>(d - 1)] *
+        desc.tensor_dims[static_cast<std::size_t>(d - 1)];
+  }
+  for (int d = 0; d < desc.rank; ++d) {
+    if (origin[static_cast<std::size_t>(d)] < 0) {
+      return invalid_argument("negative tile origin");
+    }
+  }
+
+  TileCopy out;
+  out.box_bytes = box_bytes(desc);
+
+  // Iterate the outer (rank-1) dims of the box; each step emits one
+  // innermost-dim row (possibly clamped at the tensor's edge).
+  std::array<std::uint32_t, kTmaMaxRank> index{};
+  for (;;) {
+    bool in_bounds = true;
+    std::uint64_t offset = 0;
+    for (int d = 1; d < desc.rank; ++d) {
+      const auto coord = static_cast<std::uint64_t>(origin[static_cast<std::size_t>(d)]) +
+                         index[static_cast<std::size_t>(d)];
+      if (coord >= desc.tensor_dims[static_cast<std::size_t>(d)]) {
+        in_bounds = false;  // whole row is outside: zero-filled, no traffic
+        break;
+      }
+      offset += coord * stride[static_cast<std::size_t>(d)];
+    }
+    if (in_bounds) {
+      const auto col0 = static_cast<std::uint64_t>(origin[0]);
+      if (col0 < desc.tensor_dims[0]) {
+        const std::uint64_t cols =
+            std::min<std::uint64_t>(desc.box_dims[0], desc.tensor_dims[0] - col0);
+        const std::uint64_t bytes = cols * static_cast<std::uint64_t>(desc.element_bytes);
+        out.segments.push_back(
+            {desc.base_addr + offset + col0 * static_cast<std::uint64_t>(desc.element_bytes),
+             bytes});
+        out.bytes += bytes;
+      }
+    }
+    // Odometer over dims 1..rank-1.
+    int d = 1;
+    for (; d < desc.rank; ++d) {
+      if (++index[static_cast<std::size_t>(d)] < desc.box_dims[static_cast<std::size_t>(d)]) {
+        break;
+      }
+      index[static_cast<std::size_t>(d)] = 0;
+    }
+    if (d >= desc.rank) break;
+  }
+  if (desc.rank == 1) {
+    // The loop above emits exactly one row for rank 1 — already handled.
+  }
+  return out;
+}
+
+}  // namespace hsim::async

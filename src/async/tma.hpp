@@ -1,0 +1,68 @@
+// Tensor Memory Accelerator (TMA) — Hopper's bulk asynchronous copy engine
+// (the paper §III-D: "the Hopper architecture enhances this with a more
+// advanced Tensor Memory Accelerator for sophisticated asynchronous
+// copying").
+//
+// A TMA descriptor names an up-to-5D tensor in global memory and a box
+// (tile) shape; a single instruction then moves a whole box to shared
+// memory, with the engine handling address generation and edge clamping —
+// versus cp.async, where every thread issues its own element copy.  The
+// model captures both halves:
+//   * functional: tile -> list of contiguous row segments, with
+//     out-of-bounds clamping at tensor edges;
+//   * timing: one issue slot per box (not per element), data moved at the
+//     memory system's bandwidth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+
+namespace hsim::async {
+
+inline constexpr int kTmaMaxRank = 5;
+inline constexpr std::uint32_t kTmaMaxBoxDim = 256;
+inline constexpr std::uint64_t kTmaMaxBoxBytes = 1u << 17;  // 128 KiB
+
+/// A bulk-copy descriptor (cuTensorMapEncodeTiled analogue).
+struct TmaDescriptor {
+  std::uint64_t base_addr = 0;
+  int rank = 2;
+  int element_bytes = 2;
+  std::array<std::uint64_t, kTmaMaxRank> tensor_dims{};  // elements per dim
+  std::array<std::uint32_t, kTmaMaxRank> box_dims{};     // tile elements
+};
+
+/// Validate a descriptor against the device (Hopper only) and the CUDA
+/// constraints (rank, box dims, box footprint vs shared memory).
+Expected<TmaDescriptor> make_descriptor(const arch::DeviceSpec& device,
+                                        TmaDescriptor desc);
+
+/// One contiguous piece of a tile in global memory.
+struct Segment {
+  std::uint64_t addr = 0;
+  std::uint64_t bytes = 0;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+struct TileCopy {
+  std::vector<Segment> segments;  // innermost-dim rows, edge-clamped
+  std::uint64_t bytes = 0;        // total payload actually copied
+  std::uint64_t box_bytes = 0;    // full box footprint in shared memory
+};
+
+/// Address generation for the box whose origin (in elements) is `origin`.
+/// Rows that extend past a tensor edge are clamped (the OOB remainder is
+/// zero-filled in shared memory, costing no global traffic), exactly TMA's
+/// boundary behaviour.
+Expected<TileCopy> tile_copy(const TmaDescriptor& desc,
+                             std::array<std::int64_t, kTmaMaxRank> origin);
+
+/// Footprint of a full box in bytes (shared-memory reservation).
+std::uint64_t box_bytes(const TmaDescriptor& desc);
+
+}  // namespace hsim::async

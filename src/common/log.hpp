@@ -1,0 +1,36 @@
+// Leveled logging to stderr.  Quiet by default (warnings and errors only);
+// HSIM_LOG=debug or set_log_level() turns on tracing for debugging model
+// behaviour without recompiling.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace hsim {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+/// Reads HSIM_LOG (debug|info|warn|error) once at startup.
+void init_log_level_from_env() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message);
+}
+
+}  // namespace hsim
+
+#define HSIM_LOG_AT(level, expr)                                     \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::hsim::log_level())) { \
+      std::ostringstream hsim_log_os;                                \
+      hsim_log_os << expr;                                           \
+      ::hsim::detail::log_line(level, hsim_log_os.str());            \
+    }                                                                \
+  } while (false)
+
+#define HSIM_DEBUG(expr) HSIM_LOG_AT(::hsim::LogLevel::kDebug, expr)
+#define HSIM_INFO(expr) HSIM_LOG_AT(::hsim::LogLevel::kInfo, expr)
+#define HSIM_WARN(expr) HSIM_LOG_AT(::hsim::LogLevel::kWarn, expr)
+#define HSIM_ERROR(expr) HSIM_LOG_AT(::hsim::LogLevel::kError, expr)

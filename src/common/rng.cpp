@@ -1,0 +1,29 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+namespace hsim {
+
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, Xoshiro256ss& rng) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::uint32_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<std::uint32_t> random_cycle(std::uint32_t n, Xoshiro256ss& rng) {
+  HSIM_ASSERT(n >= 1);
+  // Sattolo's algorithm produces a permutation that is a single n-cycle.
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::uint32_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.below(i - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace hsim

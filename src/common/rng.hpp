@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the simulator (workload synthesis, random
+// matrix initialisation, address permutations) flows through Xoshiro256ss so
+// runs are reproducible from a single seed.  std::mt19937 is avoided: its
+// state is large and its distributions are not portable across standard
+// library implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hsim {
+
+/// SplitMix64: seeds Xoshiro from a single 64-bit value.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Fast, high quality, tiny state.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift, no modulo bias
+  /// for the bound sizes used here.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    HSIM_ASSERT(bound > 0);
+    const auto wide =
+        static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    HSIM_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept {
+    for (;;) {
+      const double u = uniform(-1.0, 1.0);
+      const double v = uniform(-1.0, 1.0);
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * std::sqrt(-2.0 * std::log(s) / s);
+      }
+    }
+  }
+
+  /// Fork an independent stream (for per-thread generators).
+  Xoshiro256ss fork() noexcept { return Xoshiro256ss{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Fisher-Yates permutation of [0, n).  Used to build pointer-chase rings
+/// that defeat any (simulated or host) prefetcher.
+std::vector<std::uint32_t> random_permutation(std::uint32_t n, Xoshiro256ss& rng);
+
+/// A single random cycle visiting all of [0, n) (a "sattolo" cycle): the
+/// canonical p-chase pattern — following next[i] repeatedly touches every
+/// slot exactly once before returning to the start.
+std::vector<std::uint32_t> random_cycle(std::uint32_t n, Xoshiro256ss& rng);
+
+}  // namespace hsim

@@ -1,0 +1,131 @@
+// Lightweight error propagation for the simulator.
+//
+// The simulator is a library first: invalid configuration must surface as a
+// recoverable value, not a crash.  `Expected<T>` carries either a value or an
+// `Error` (code + human-readable message).  Internal invariant violations —
+// bugs, not user errors — still use HSIM_ASSERT which terminates.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hsim {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kUnsupported,      // feature not present on this architecture
+  kOutOfMemory,      // simulated device memory exhausted
+  kOutOfRange,
+  kInternal,
+};
+
+/// Printable name of an error code.
+constexpr std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kOutOfMemory: return "out_of_memory";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// An error: a machine-checkable code plus a context message.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out{hsim::to_string(code)};
+    if (!message.empty()) {
+      out += ": ";
+      out += message;
+    }
+    return out;
+  }
+};
+
+/// Either a value of type T or an Error.  Minimal std::expected stand-in
+/// (libstdc++ 12 does not ship <expected>).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : payload_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Expected(Error error) : payload_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return std::holds_alternative<T>(payload_);
+  }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    check_value();
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T& value() & {
+    check_value();
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T&& value() && {
+    check_value();
+    return std::get<T>(std::move(payload_));
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+
+  [[nodiscard]] const Error& error() const& {
+    if (has_value()) {
+      std::fprintf(stderr, "hsim: Expected::error() called on a value\n");
+      std::abort();
+    }
+    return std::get<Error>(payload_);
+  }
+
+  template <typename U>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return has_value() ? std::get<T>(payload_) : T(std::forward<U>(fallback));
+  }
+
+ private:
+  void check_value() const {
+    if (!has_value()) {
+      const auto& err = std::get<Error>(payload_);
+      std::fprintf(stderr, "hsim: Expected::value() on error: %s\n",
+                   err.to_string().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Error> payload_;
+};
+
+inline Error invalid_argument(std::string message) {
+  return Error{ErrorCode::kInvalidArgument, std::move(message)};
+}
+inline Error unsupported(std::string message) {
+  return Error{ErrorCode::kUnsupported, std::move(message)};
+}
+inline Error out_of_memory(std::string message) {
+  return Error{ErrorCode::kOutOfMemory, std::move(message)};
+}
+
+}  // namespace hsim
+
+// Internal invariant check.  Enabled in all build types: the simulator's
+// results are meaningless if its invariants are broken, so we never compile
+// these out.
+#define HSIM_ASSERT(cond)                                                      \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "hsim: assertion failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                        \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (false)

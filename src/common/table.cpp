@@ -1,0 +1,108 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/status.hpp"
+
+namespace hsim {
+
+void Table::set_header(std::vector<std::string> header, std::vector<Align> aligns) {
+  HSIM_ASSERT(cells_.empty());
+  header_ = std::move(header);
+  if (aligns.empty()) {
+    aligns_.assign(header_.size(), Align::kRight);
+    if (!aligns_.empty()) aligns_.front() = Align::kLeft;
+  } else {
+    HSIM_ASSERT(aligns.size() == header_.size());
+    aligns_ = std::move(aligns);
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HSIM_ASSERT(cells.size() == header_.size());
+  cells_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rules_.push_back(cells_.size()); }
+
+void Table::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row_cells : cells_) {
+    for (std::size_t c = 0; c < row_cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row_cells[c].size());
+    }
+  }
+
+  const auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row_cells) {
+    os << '|';
+    for (std::size_t c = 0; c < row_cells.size(); ++c) {
+      const std::size_t pad = widths[c] - row_cells[c].size();
+      os << ' ';
+      if (aligns_[c] == Align::kRight) {
+        for (std::size_t i = 0; i < pad; ++i) os << ' ';
+        os << row_cells[c];
+      } else {
+        os << row_cells[c];
+        for (std::size_t i = 0; i < pad; ++i) os << ' ';
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (std::size_t r = 0; r < cells_.size(); ++r) {
+    if (std::find(rules_.begin(), rules_.end(), r) != rules_.end()) print_rule();
+    print_row(cells_[r]);
+  }
+  print_rule();
+}
+
+void Table::render_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row_cells) {
+    for (std::size_t c = 0; c < row_cells.size(); ++c) {
+      if (c) os << ',';
+      os << row_cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row_cells : cells_) emit(row_cells);
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_eng(double value) {
+  const double mag = std::fabs(value);
+  int decimals = 2;
+  if (mag >= 1000.0) decimals = 0;
+  else if (mag >= 100.0) decimals = 1;
+  else if (mag >= 1.0) decimals = 2;
+  else decimals = 4;
+  return fmt_fixed(value, decimals);
+}
+
+std::string fmt_lat_tput(double latency_cycles, double tput, int lat_dec, int tput_dec) {
+  return fmt_fixed(latency_cycles, lat_dec) + "/" + fmt_fixed(tput, tput_dec);
+}
+
+}  // namespace hsim

@@ -1,0 +1,59 @@
+// Paper-style table rendering.
+//
+// Every bench binary regenerates one table or figure from the paper; this
+// printer renders them in an aligned ASCII layout plus optional CSV so the
+// series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsim {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple row/column table with a title, aligned ASCII rendering and CSV
+/// export.  Cells are strings; use the fmt_* helpers for numbers.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Define the header.  Must be called before any add_row.
+  void set_header(std::vector<std::string> header,
+                  std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row (section separator).
+  void add_rule();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return cells_.at(i);
+  }
+
+  /// Render aligned ASCII to the stream.
+  void render(std::ostream& os) const;
+  /// Render RFC-4180-ish CSV (no quoting of embedded commas needed here).
+  void render_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> cells_;
+  std::vector<std::size_t> rules_;  // row indices that get a rule above
+};
+
+/// Fixed-decimal formatting: fmt_fixed(3.14159, 1) -> "3.1".
+std::string fmt_fixed(double value, int decimals);
+/// Compact engineering formatting: chooses decimals by magnitude.
+std::string fmt_eng(double value);
+/// "LAT/THROUGHPUT" compound cell used by the tensor-core tables.
+std::string fmt_lat_tput(double latency_cycles, double tput, int lat_dec = 1,
+                         int tput_dec = 1);
+
+}  // namespace hsim

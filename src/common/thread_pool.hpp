@@ -1,0 +1,52 @@
+// Minimal work-stealing-free thread pool.
+//
+// The simulator itself is single-threaded per device (cycle-accurate state),
+// but benches sweep independent configurations (three devices x many shapes)
+// which parallelise trivially.  `parallel_for` partitions an index range
+// across the pool and blocks until done.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hsim {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end) across the pool; blocks until complete.
+  /// Exceptions inside fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for benches (lazily constructed, never torn down early).
+ThreadPool& global_pool();
+
+}  // namespace hsim

@@ -1,0 +1,34 @@
+// Unit helpers.  All sizes are bytes, frequencies Hz, times seconds unless a
+// name says otherwise ("_cycles", "_ghz", ...).  Conversions live here so a
+// stray *1e9 never hides in a model.
+#pragma once
+
+#include <cstdint>
+
+namespace hsim {
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+/// Cycles at `clock_hz` to seconds.
+constexpr double cycles_to_seconds(double cycles, double clock_hz) {
+  return cycles / clock_hz;
+}
+
+/// bytes/clock at `clock_hz` to GB/s (decimal GB as in vendor datasheets).
+constexpr double bytes_per_clk_to_gbps(double bytes_per_clk, double clock_hz) {
+  return bytes_per_clk * clock_hz / kGiga;
+}
+
+/// ops/clock at `clock_hz` to TOPS (or TFLOPS).
+constexpr double ops_per_clk_to_tops(double ops_per_clk, double clock_hz) {
+  return ops_per_clk * clock_hz / kTera;
+}
+
+}  // namespace hsim

@@ -1,0 +1,82 @@
+#include "core/discovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hsim::core {
+
+std::vector<SweepPoint> latency_sweep(const arch::DeviceSpec& device,
+                                      mem::MemSpace space, SweepConfig config) {
+  HSIM_ASSERT(config.min_bytes >= config.stride * 2);
+  HSIM_ASSERT(config.step_factor > 1.0);
+  std::vector<SweepPoint> out;
+  Xoshiro256ss rng(config.seed);
+
+  for (double ws_f = static_cast<double>(config.min_bytes);
+       ws_f <= static_cast<double>(config.max_bytes);
+       ws_f *= config.step_factor) {
+    const auto ws = static_cast<std::uint64_t>(ws_f);
+    const auto n = static_cast<std::uint32_t>(ws / config.stride);
+    if (n < 2) continue;
+
+    mem::MemorySystem memsys(device, 1);
+    memsys.warm(0, ws, space == mem::MemSpace::kGlobalCa
+                           ? mem::MemSpace::kGlobalCa
+                           : mem::MemSpace::kGlobalCg);
+
+    const auto chain = random_cycle(n, rng);
+    double now = 0;
+    std::uint32_t index = 0;
+    for (std::uint64_t i = 0; i < config.chase_iterations; ++i) {
+      const std::uint64_t addr = static_cast<std::uint64_t>(index) * config.stride;
+      now = memsys.load(0, addr, space, now).ready_time;
+      index = chain[index];
+    }
+    out.push_back({ws, now / static_cast<double>(config.chase_iterations)});
+  }
+  return out;
+}
+
+Expected<DiscoveredLevel> find_capacity_step(const std::vector<SweepPoint>& sweep,
+                                             double tolerance) {
+  if (sweep.size() < 3) return invalid_argument("sweep too short");
+  const double base = sweep.front().avg_latency;
+
+  DiscoveredLevel out;
+  out.hit_latency = base;
+  bool stepped = false;
+  for (const auto& point : sweep) {
+    if (point.avg_latency <= base + tolerance) {
+      if (!stepped) out.capacity_bytes = point.working_set;
+    } else {
+      stepped = true;
+    }
+  }
+  if (!stepped) {
+    return invalid_argument("no capacity step inside the sweep range");
+  }
+  out.miss_latency = sweep.back().avg_latency;
+  return out;
+}
+
+Expected<DiscoveredLevel> discover_l1(const arch::DeviceSpec& device) {
+  SweepConfig cfg;
+  cfg.min_bytes = 8 << 10;
+  cfg.max_bytes = 4 * device.memory.l1_bytes_per_sm;
+  const auto sweep = latency_sweep(device, mem::MemSpace::kGlobalCa, cfg);
+  return find_capacity_step(sweep);
+}
+
+Expected<DiscoveredLevel> discover_l2(const arch::DeviceSpec& device) {
+  SweepConfig cfg;
+  cfg.min_bytes = device.memory.l2_bytes / 8;
+  cfg.max_bytes = 2 * device.memory.l2_bytes;
+  cfg.stride = 512;  // keep element counts manageable at tens of MiB
+  cfg.chase_iterations = 4096;
+  const auto sweep = latency_sweep(device, mem::MemSpace::kGlobalCg, cfg);
+  return find_capacity_step(sweep, /*tolerance=*/30.0);
+}
+
+}  // namespace hsim::core

@@ -1,0 +1,59 @@
+// Cache-hierarchy discovery via working-set sweeps — the classic
+// microbenchmark lineage the paper builds on (Saavedra-Barrera; Mei & Chu,
+// "Dissecting GPU memory hierarchy through microbenchmarking").
+//
+// Rather than *assuming* the device's cache sizes, these routines find them
+// the way one would on real silicon: sweep a pointer-chase working set and
+// watch the average latency step when the set spills out of a level.  On
+// the simulator this closes the loop — the tag arrays really evict, so the
+// discovered capacity must match the configured one (a test asserts it).
+#pragma once
+
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "mem/memory_system.hpp"
+
+namespace hsim::core {
+
+struct SweepPoint {
+  std::uint64_t working_set = 0;  // bytes
+  double avg_latency = 0;         // cycles
+};
+
+/// Latency vs working-set sweep through one cache level's allocation path
+/// (`ca` exercises L1-then-L2, `cg` exercises L2-then-DRAM).
+struct SweepConfig {
+  std::uint64_t min_bytes = 4 << 10;
+  std::uint64_t max_bytes = 1 << 20;
+  double step_factor = 1.25;      // geometric sweep
+  std::uint32_t stride = 128;     // one line per element: capacity, not
+                                  // sector effects
+  std::uint64_t chase_iterations = 8192;
+  std::uint64_t seed = 99;
+};
+
+std::vector<SweepPoint> latency_sweep(const arch::DeviceSpec& device,
+                                      mem::MemSpace space, SweepConfig config);
+
+struct DiscoveredLevel {
+  std::uint64_t capacity_bytes = 0;   // last set that still fit
+  double hit_latency = 0;             // plateau before the step
+  double miss_latency = 0;            // plateau after the step
+};
+
+/// Locate the capacity step in a sweep: the largest working set whose
+/// latency is still within `tolerance` cycles of the base plateau.
+Expected<DiscoveredLevel> find_capacity_step(const std::vector<SweepPoint>& sweep,
+                                             double tolerance = 8.0);
+
+/// Convenience: discover the L1 capacity of `device` by sweeping ca-chases
+/// from well below to well above the configured size.
+Expected<DiscoveredLevel> discover_l1(const arch::DeviceSpec& device);
+
+/// Discover the L2 capacity (cg-chase sweep).  Slower: the sweep walks up
+/// to 2x the L2 size.
+Expected<DiscoveredLevel> discover_l2(const arch::DeviceSpec& device);
+
+}  // namespace hsim::core

@@ -1,0 +1,88 @@
+#include "core/dpxbench.hpp"
+
+#include "sm/launcher.hpp"
+#include "sm/sm_core.hpp"
+
+namespace hsim::core {
+namespace {
+
+constexpr int kIndependentChains = 8;
+
+/// Dependent chain: R1 = f(R1, R2, R3) repeated.
+isa::Program latency_program(const arch::DeviceSpec& device, dpx::Func func,
+                             std::uint32_t iterations) {
+  isa::Program p;
+  dpx::append(p, func, /*rd=*/1, /*ra=*/1, /*rb=*/2, /*rc=*/3,
+              device.dpx.hardware, /*scratch_base=*/10);
+  p.set_iterations(iterations);
+  return p;
+}
+
+/// Independent calls: 8 separate chains so the pipeline stays full.
+isa::Program throughput_program(const arch::DeviceSpec& device, dpx::Func func,
+                                std::uint32_t iterations) {
+  isa::Program p;
+  for (int c = 0; c < kIndependentChains; ++c) {
+    dpx::append(p, func, /*rd=*/20 + c, /*ra=*/1, /*rb=*/2, /*rc=*/3,
+                device.dpx.hardware, /*scratch_base=*/40 + 8 * c);
+  }
+  p.set_iterations(iterations);
+  return p;
+}
+
+}  // namespace
+
+Expected<DpxLatencyResult> dpx_latency(const arch::DeviceSpec& device,
+                                       dpx::Func func) {
+  constexpr std::uint32_t kIters = 1024;
+  const auto program = latency_program(device, func, kIters);
+  sm::SmCore core(device, nullptr);
+  const auto run = core.run(program, {.threads_per_block = 32, .blocks = 1});
+  return DpxLatencyResult{run.cycles / kIters};
+}
+
+Expected<DpxThroughputResult> dpx_throughput(const arch::DeviceSpec& device,
+                                             dpx::Func func) {
+  DpxThroughputResult out;
+  if (dpx::is_bounds(func) && !device.dpx.hardware) {
+    // The compiler folds __vib* into a bare max on Ampere/Ada; preventing
+    // that distorts the measurement, so the paper reports no data.
+    out.measurable = false;
+    return out;
+  }
+  constexpr std::uint32_t kIters = 64;
+  const auto program = throughput_program(device, func, kIters);
+  sm::SmCore core(device, nullptr);
+  const auto run = core.run(program, {.threads_per_block = 1024, .blocks = 1});
+  const double calls = static_cast<double>(kIndependentChains) * kIters *
+                       32.0 * 32.0;  // chains x iters x warps x lanes
+  out.calls_per_clk_sm = calls / run.cycles;
+  out.gcalls_per_sec = out.calls_per_clk_sm *
+                       static_cast<double>(device.sm_count) *
+                       device.clock_hz() / 1e9;
+  return out;
+}
+
+Expected<std::vector<DpxSweepPoint>> dpx_block_sweep(const arch::DeviceSpec& device,
+                                                     dpx::Func func,
+                                                     int max_blocks) {
+  constexpr std::uint32_t kIters = 64;
+  constexpr int kThreads = 1024;
+  const auto program = throughput_program(device, func, kIters);
+  std::vector<DpxSweepPoint> out;
+  for (int blocks = 1; blocks <= max_blocks; ++blocks) {
+    sm::LaunchConfig cfg{.threads_per_block = kThreads,
+                         .total_blocks = blocks,
+                         .smem_per_block = 0,
+                         .regs_per_thread = 32};
+    auto launched = sm::launch(device, program, cfg);
+    if (!launched) return launched.error();
+    const double calls = static_cast<double>(kIndependentChains) * kIters *
+                         static_cast<double>(kThreads) *
+                         static_cast<double>(blocks);
+    out.push_back({blocks, calls / launched.value().seconds / 1e9});
+  }
+  return out;
+}
+
+}  // namespace hsim::core

@@ -1,0 +1,48 @@
+// DPX microbenchmarks (Figs 6-7): latency and throughput of the dynamic-
+// programming intrinsics, run through the SM pipeline simulator.
+//
+// On Hopper each function lowers to fused VIMNMX-class hardware
+// instructions; on Ampere/Ada it expands to the compiler's IADD3/IMNMX
+// emulation sequence (dpx::append emits exactly those micro-ops), so the
+// H800-vs-rest gap — large for 16x2 and relu forms, near-zero for the
+// simple add-max — emerges from instruction counts meeting pipelines.
+#pragma once
+
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "dpx/functions.hpp"
+
+namespace hsim::core {
+
+struct DpxLatencyResult {
+  double cycles_per_call = 0;
+};
+
+/// Dependent-chain latency: one thread issuing f repeatedly (Fig 6).
+Expected<DpxLatencyResult> dpx_latency(const arch::DeviceSpec& device,
+                                       dpx::Func func);
+
+struct DpxThroughputResult {
+  double calls_per_clk_sm = 0;    // DPX results retired per clock per SM
+  double gcalls_per_sec = 0;      // device-wide
+  bool measurable = true;         // __vib* cannot be measured when emulated
+};
+
+/// One block of 1024 threads issuing independent calls (Fig 7, left).
+Expected<DpxThroughputResult> dpx_throughput(const arch::DeviceSpec& device,
+                                             dpx::Func func);
+
+struct DpxSweepPoint {
+  int blocks = 0;
+  double gcalls_per_sec = 0;
+};
+
+/// Grid sweep: throughput vs number of launched blocks (Fig 7, right) —
+/// the sawtooth that locates the DPX unit at SM level.
+Expected<std::vector<DpxSweepPoint>> dpx_block_sweep(const arch::DeviceSpec& device,
+                                                     dpx::Func func,
+                                                     int max_blocks);
+
+}  // namespace hsim::core

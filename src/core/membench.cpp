@@ -1,0 +1,131 @@
+#include "core/membench.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/pipeline.hpp"
+
+namespace hsim::core {
+namespace {
+
+/// A coalesced warp transaction moves 32 lanes x access width.
+std::uint32_t warp_bytes(int access_bytes) {
+  return 32u * static_cast<std::uint32_t>(access_bytes);
+}
+
+int access_bytes_of(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kFp32: return 4;
+    case AccessKind::kFp64: return 8;
+    case AccessKind::kFp32V4: return 16;
+  }
+  return 4;
+}
+
+/// FP64 consumer pipe for one SM: a warp's 32 doubles (256 operand bytes)
+/// drain at the calibrated FP64 width.
+sim::PipelinedUnit make_fp64_pipe(const arch::DeviceSpec& device) {
+  const double ii = 256.0 / device.memory.fp64_add_bytes_per_clk_sm;
+  return sim::PipelinedUnit(ii, ii + 8.0);
+}
+
+}  // namespace
+
+Expected<ThroughputResult> measure_l1_throughput(const arch::DeviceSpec& device,
+                                                 AccessKind kind) {
+  mem::MemorySystem memsys(device, 1);
+  const std::uint64_t ws = 32 * 1024;  // resident in every L1
+  memsys.warm(0, ws, mem::MemSpace::kGlobalCa);
+
+  const int access_bytes = access_bytes_of(kind);
+  const std::uint32_t bytes = warp_bytes(access_bytes);
+  const std::uint64_t transactions = 1300;  // 32 warps x ~40 rounds
+  sim::PipelinedUnit fp64 = make_fp64_pipe(device);
+
+  double last = 0;
+  std::uint64_t addr = 0;
+  for (std::uint64_t i = 0; i < transactions; ++i) {
+    double done = memsys.warp_transaction(0, addr % ws, bytes, access_bytes,
+                                          mem::MemSpace::kGlobalCa, 0.0);
+    if (kind == AccessKind::kFp64) {
+      done = fp64.issue(done);  // dependent add keeps the loads alive
+    }
+    last = std::max(last, done);
+    addr += bytes;
+  }
+  ThroughputResult out;
+  out.transactions = transactions;
+  out.bytes_per_clk = static_cast<double>(transactions) * bytes / last;
+  out.gbps = out.bytes_per_clk * device.clock_hz() / 1e9;
+  return out;
+}
+
+Expected<ThroughputResult> measure_shared_throughput(const arch::DeviceSpec& device) {
+  mem::MemorySystem memsys(device, 1);
+  const std::uint64_t transactions = 30000;
+  double last = 0;
+  for (std::uint64_t i = 0; i < transactions; ++i) {
+    last = std::max(last, memsys.warp_transaction(0, (i * 128) % 16384, 128, 4,
+                                                  mem::MemSpace::kShared, 0.0));
+  }
+  ThroughputResult out;
+  out.transactions = transactions;
+  out.bytes_per_clk = static_cast<double>(transactions) * 128.0 / last;
+  out.gbps = out.bytes_per_clk * device.clock_hz() / 1e9;
+  return out;
+}
+
+Expected<ThroughputResult> measure_l2_throughput(const arch::DeviceSpec& device,
+                                                 AccessKind kind) {
+  mem::MemorySystem memsys(device, device.sm_count);
+  const std::uint64_t ws = device.memory.l2_bytes / 4;
+  memsys.warm(0, ws, mem::MemSpace::kGlobalCg);
+
+  const int access_bytes = access_bytes_of(kind);
+  const std::uint32_t bytes = warp_bytes(access_bytes);
+  const std::uint64_t transactions = 200000;
+  std::vector<sim::PipelinedUnit> fp64;
+  if (kind == AccessKind::kFp64) {
+    fp64.assign(static_cast<std::size_t>(device.sm_count), make_fp64_pipe(device));
+  }
+
+  double last = 0;
+  for (std::uint64_t i = 0; i < transactions; ++i) {
+    const int sm = static_cast<int>(i % static_cast<std::uint64_t>(device.sm_count));
+    const std::uint64_t addr = (i * bytes) % ws;
+    double done = memsys.warp_transaction(sm, addr, bytes, access_bytes,
+                                          mem::MemSpace::kGlobalCg, 0.0);
+    if (kind == AccessKind::kFp64) {
+      done = fp64[static_cast<std::size_t>(sm)].issue(done);
+    }
+    last = std::max(last, done);
+  }
+  ThroughputResult out;
+  out.transactions = transactions;
+  out.bytes_per_clk = static_cast<double>(transactions) * bytes / last;
+  out.gbps = out.bytes_per_clk * device.clock_hz() / 1e9;
+  return out;
+}
+
+Expected<ThroughputResult> measure_global_throughput(const arch::DeviceSpec& device) {
+  mem::MemorySystem memsys(device, device.sm_count);
+  // Working set far beyond L2; float4 accesses, 5 reads + 1 write per
+  // thread round as in the paper (writes share the channel).
+  const std::uint64_t ws = 4 * device.memory.l2_bytes;
+  const std::uint64_t transactions = 100000;
+  double last = 0;
+  for (std::uint64_t i = 0; i < transactions; ++i) {
+    const int sm = static_cast<int>(i % static_cast<std::uint64_t>(device.sm_count));
+    // 512-byte transaction: a float4 access by each of 32 lanes.
+    const std::uint64_t addr = (i * 512) % ws;
+    last = std::max(last, memsys.warp_transaction(sm, addr, 512, 16,
+                                                  mem::MemSpace::kGlobalCg, 0.0));
+  }
+  ThroughputResult out;
+  out.transactions = transactions;
+  out.bytes_per_clk = static_cast<double>(transactions * 512) / last;
+  out.gbps = out.bytes_per_clk * device.clock_hz() / 1e9;
+  return out;
+}
+
+}  // namespace hsim::core

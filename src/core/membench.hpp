@@ -1,0 +1,49 @@
+// Memory throughput microbenchmarks (Table V).
+//
+// Warp-granular streaming through the simulated hierarchy:
+//   * L1 / shared: one block of 1024 threads hammers a resident set (the
+//     paper's per-SM test) — result in bytes/clk/SM;
+//   * L2: blocks on every SM stream a cg-resident set — bytes/clk
+//     device-wide;
+//   * global: a set far larger than L2 streams from DRAM with float4
+//     accesses — GB/s.
+// The FP64 variants chain each load into the FP64 add pipe, so on parts
+// with a trimmed FP64 unit (RTX 4090, H800) the *compute* pipe bottlenecks
+// the measurement — exactly the artefact the paper flags in Table V.
+#pragma once
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "mem/memory_system.hpp"
+
+namespace hsim::core {
+
+enum class AccessKind : std::uint8_t {
+  kFp32,    // 4-byte accesses
+  kFp64,    // 8-byte accesses + dependent FP64 adds
+  kFp32V4,  // 16-byte float4 accesses
+};
+
+constexpr std::string_view to_string(AccessKind k) noexcept {
+  switch (k) {
+    case AccessKind::kFp32: return "FP32";
+    case AccessKind::kFp64: return "FP64";
+    case AccessKind::kFp32V4: return "FP32.v4";
+  }
+  return "?";
+}
+
+struct ThroughputResult {
+  double bytes_per_clk = 0;  // per SM for L1/shared, device-wide for L2
+  double gbps = 0;
+  std::uint64_t transactions = 0;
+};
+
+Expected<ThroughputResult> measure_l1_throughput(const arch::DeviceSpec& device,
+                                                 AccessKind kind);
+Expected<ThroughputResult> measure_shared_throughput(const arch::DeviceSpec& device);
+Expected<ThroughputResult> measure_l2_throughput(const arch::DeviceSpec& device,
+                                                 AccessKind kind);
+Expected<ThroughputResult> measure_global_throughput(const arch::DeviceSpec& device);
+
+}  // namespace hsim::core

@@ -1,0 +1,86 @@
+#include "core/pchase.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace hsim::core {
+
+Expected<PChaseResult> pchase(const arch::DeviceSpec& device,
+                              mem::MemLevel level, PChaseConfig config) {
+  const auto& m = device.memory;
+  if (config.stride < static_cast<std::uint32_t>(m.sector_bytes)) {
+    return invalid_argument("stride below sector size would alias sectors");
+  }
+
+  // Default working set per level: comfortably inside the target, far
+  // outside the level above.
+  std::uint64_t ws = config.working_set;
+  mem::MemSpace space = mem::MemSpace::kGlobalCa;
+  switch (level) {
+    case mem::MemLevel::kShared:
+      if (ws == 0) ws = 16 * 1024;
+      space = mem::MemSpace::kShared;
+      break;
+    case mem::MemLevel::kL1:
+      if (ws == 0) ws = std::min<std::uint64_t>(m.l1_bytes_per_sm / 2, 64 * 1024);
+      space = mem::MemSpace::kGlobalCa;
+      break;
+    case mem::MemLevel::kL2:
+      if (ws == 0) ws = m.l2_bytes / 8;
+      space = mem::MemSpace::kGlobalCg;  // the paper's cg modifier
+      break;
+    case mem::MemLevel::kDram:
+      if (ws == 0) ws = 2 * m.l2_bytes;   // exceed L2 to avoid hits
+      space = mem::MemSpace::kGlobalCg;
+      break;
+  }
+  const auto n = static_cast<std::uint32_t>(ws / config.stride);
+  if (n < 2) return invalid_argument("working set too small for the stride");
+
+  mem::MemorySystem memsys(device, 1);
+  Xoshiro256ss rng(config.seed);
+  const auto chain = random_cycle(n, rng);
+
+  // Initialisation pass (the paper's warm-up): touches every element, which
+  // warms the TLB and places the set in the intended level.
+  if (level == mem::MemLevel::kL1) {
+    memsys.warm(0, ws, mem::MemSpace::kGlobalCa);
+  } else if (level != mem::MemLevel::kShared) {
+    memsys.warm(0, ws, mem::MemSpace::kGlobalCg);
+    if (!config.warm_tlb) memsys.tlb().flush();
+  }
+  if (level == mem::MemLevel::kDram) {
+    // A set this large cannot stay resident in L2: evict it so the chase
+    // genuinely misses (mirrors the paper allocating beyond L2 capacity).
+    memsys.l2().flush();
+    if (config.warm_tlb) {
+      for (std::uint64_t a = 0; a < ws; a += 2ull << 20) memsys.tlb().access(a);
+    }
+  }
+  memsys.l1(0).reset_stats();
+  memsys.l2().reset_stats();
+
+  // The chase: fully dependent loads.
+  PChaseResult out;
+  out.intended_level = level;
+  double now = 0;
+  std::uint32_t index = 0;
+  std::uint64_t intended_hits = 0;
+  for (std::uint64_t i = 0; i < config.iterations; ++i) {
+    const std::uint64_t addr =
+        static_cast<std::uint64_t>(index) * config.stride;
+    const auto result = memsys.load(0, addr, space, now);
+    if (result.tlb_miss) ++out.tlb_misses;
+    if (result.served_by == level) ++intended_hits;
+    now = result.ready_time;
+    index = chain[index];
+  }
+  out.accesses = config.iterations;
+  out.avg_latency_cycles = now / static_cast<double>(config.iterations);
+  out.hit_rate = static_cast<double>(intended_hits) /
+                 static_cast<double>(config.iterations);
+  return out;
+}
+
+}  // namespace hsim::core

@@ -1,0 +1,37 @@
+// Pointer-chase latency microbenchmark (Saavedra-Barrera style, as the
+// paper uses for Table IV).
+//
+// A Sattolo cycle over the working set defeats any prefetching; one thread
+// follows the chain with fully dependent loads, so the average time per
+// access is the load-to-use latency of whichever level holds the data.
+// Placement follows the paper's method: `ld.global.ca` warm-up pins the set
+// in L1, `ld.global.cg` in L2, and a set larger than L2 (with the TLB
+// warmed by initialisation) measures DRAM.
+#pragma once
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "mem/memory_system.hpp"
+
+namespace hsim::core {
+
+struct PChaseResult {
+  double avg_latency_cycles = 0;
+  mem::MemLevel intended_level = mem::MemLevel::kL1;
+  std::uint64_t accesses = 0;
+  std::uint64_t tlb_misses = 0;   // should be 0 after proper warm-up
+  double hit_rate = 0;            // in the intended level
+};
+
+struct PChaseConfig {
+  std::uint64_t working_set = 0;  // 0 = a sensible default for the level
+  std::uint32_t stride = 32;      // one sector per element
+  std::uint64_t iterations = 4096;
+  bool warm_tlb = true;           // the paper's init pass; false shows why
+  std::uint64_t seed = 1;
+};
+
+Expected<PChaseResult> pchase(const arch::DeviceSpec& device,
+                              mem::MemLevel level, PChaseConfig config = {});
+
+}  // namespace hsim::core

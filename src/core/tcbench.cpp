@@ -1,0 +1,61 @@
+#include "core/tcbench.hpp"
+
+#include "sim/pipeline.hpp"
+
+namespace hsim::core {
+
+Expected<TcBenchResult> bench_tc(const isa::TcInstr& instr,
+                                 const arch::DeviceSpec& device,
+                                 TcBenchConfig config) {
+  auto sass = isa::compile_to_sass(instr, device);
+  if (!sass) return sass.error();
+  auto timing = tc::tc_timing(instr, device);
+  if (!timing) return timing.error();
+  const auto& t = timing.value();
+
+  TcBenchResult out;
+  out.sass = sass.value();
+  out.on_tensor_cores = t.on_tensor_cores;
+
+  // Latency: dependent chain — instruction i+1 may only start once i's
+  // result is architecturally visible (D feeds the next accumulate).
+  {
+    sim::PipelinedUnit pipe(t.cadence, t.latency);
+    double ready = 0;
+    double issue_to_complete_sum = 0;
+    for (int i = 0; i < config.iterations; ++i) {
+      const double start = std::max(ready, pipe.next_free());
+      const double completion = pipe.issue(ready, t.cadence, t.latency);
+      issue_to_complete_sum += completion - start;
+      ready = completion;
+    }
+    out.latency_cycles = issue_to_complete_sum / config.iterations;
+  }
+
+  // Throughput: back-to-back independent issue; one SM is representative
+  // and the device scales by SM count.
+  double per_sm_ops_per_clk;
+  {
+    sim::PipelinedUnit pipe(t.cadence, t.latency);
+    double last = 0;
+    for (int i = 0; i < config.iterations; ++i) {
+      last = pipe.issue(0.0, t.cadence, t.latency);
+    }
+    per_sm_ops_per_clk = t.ops * config.iterations / last;
+  }
+  const double unthrottled = per_sm_ops_per_clk *
+                             static_cast<double>(device.sm_count) *
+                             device.clock_hz() / 1e12;
+
+  const auto zero = tc::apply_power(instr, device, unthrottled, /*random=*/false);
+  const auto rand = tc::apply_power(instr, device, unthrottled, /*random=*/true);
+  out.tflops_zero = zero.throughput_tflops;
+  out.tflops_rand = rand.throughput_tflops;
+  out.power_zero_w = zero.power_w;
+  out.power_rand_w = rand.power_w;
+  out.clock_rand_mhz = rand.clock_mhz;
+  out.throttled = rand.throttled;
+  return out;
+}
+
+}  // namespace hsim::core

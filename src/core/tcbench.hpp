@@ -1,0 +1,41 @@
+// Tensor-core latency/throughput harness (Tables VI-XI).
+//
+// Mirrors the paper's method: issue the instruction 1024 times inside a
+// kernel; completion latency comes from a fully dependent chain (each mma
+// accumulates into the operand of the next), throughput from back-to-back
+// independent issue on every SM.  Both run against the structural timing
+// model's pipeline; the power model then prices the run with zero-filled
+// and random operands (Zero vs Rand columns) including any DVFS throttle.
+#pragma once
+
+#include <string>
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "isa/ptx.hpp"
+#include "tensorcore/power.hpp"
+#include "tensorcore/timing.hpp"
+
+namespace hsim::core {
+
+struct TcBenchResult {
+  std::string sass;                // the lowered instruction (Table VI)
+  bool on_tensor_cores = true;
+  double latency_cycles = 0;       // dependent-issue completion latency
+  double tflops_zero = 0;          // zero-initialised operands
+  double tflops_rand = 0;          // random operands (may be throttled)
+  double power_zero_w = 0;
+  double power_rand_w = 0;
+  double clock_rand_mhz = 0;       // effective clock under random data
+  bool throttled = false;
+};
+
+struct TcBenchConfig {
+  int iterations = 1024;
+};
+
+Expected<TcBenchResult> bench_tc(const isa::TcInstr& instr,
+                                 const arch::DeviceSpec& device,
+                                 TcBenchConfig config = {});
+
+}  // namespace hsim::core

@@ -1,0 +1,280 @@
+#include "dpx/functions.hpp"
+
+#include <algorithm>
+
+namespace hsim::dpx {
+namespace {
+
+std::int32_t s32(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+std::uint32_t u32(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+
+std::int32_t add_wrap(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+
+std::int16_t s16_add_wrap(std::int16_t a, std::int16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a) +
+                                   static_cast<std::uint16_t>(b));
+}
+
+/// Run a per-half operation over the two int16 lanes of a 32-bit word.
+template <typename F>
+std::uint32_t per_half(std::uint32_t a, std::uint32_t b, std::uint32_t c, F&& f) {
+  std::uint32_t out = 0;
+  for (int h = 0; h < 2; ++h) {
+    const auto ah = static_cast<std::int16_t>(a >> (16 * h));
+    const auto bh = static_cast<std::int16_t>(b >> (16 * h));
+    const auto ch = static_cast<std::int16_t>(c >> (16 * h));
+    const auto r = static_cast<std::uint16_t>(f(ah, bh, ch));
+    out |= static_cast<std::uint32_t>(r) << (16 * h);
+  }
+  return out;
+}
+
+std::int16_t relu16(std::int16_t v) { return std::max<std::int16_t>(v, 0); }
+
+}  // namespace
+
+std::string_view name(Func f) noexcept {
+  switch (f) {
+    case Func::kViAddMaxS32: return "__viaddmax_s32";
+    case Func::kViAddMinS32: return "__viaddmin_s32";
+    case Func::kViAddMaxS32Relu: return "__viaddmax_s32_relu";
+    case Func::kViAddMinS32Relu: return "__viaddmin_s32_relu";
+    case Func::kViMax3S32: return "__vimax3_s32";
+    case Func::kViMin3S32: return "__vimin3_s32";
+    case Func::kViMax3S32Relu: return "__vimax3_s32_relu";
+    case Func::kViMin3S32Relu: return "__vimin3_s32_relu";
+    case Func::kViMaxS32Relu: return "__vimax_s32_relu";
+    case Func::kViMinS32Relu: return "__vimin_s32_relu";
+    case Func::kViBMaxS32: return "__vibmax_s32";
+    case Func::kViBMinS32: return "__vibmin_s32";
+    case Func::kViAddMaxU32: return "__viaddmax_u32";
+    case Func::kViAddMinU32: return "__viaddmin_u32";
+    case Func::kViAddMaxS16x2: return "__viaddmax_s16x2";
+    case Func::kViAddMinS16x2: return "__viaddmin_s16x2";
+    case Func::kViAddMaxS16x2Relu: return "__viaddmax_s16x2_relu";
+    case Func::kViAddMinS16x2Relu: return "__viaddmin_s16x2_relu";
+    case Func::kViMax3S16x2: return "__vimax3_s16x2";
+    case Func::kViMin3S16x2: return "__vimin3_s16x2";
+    case Func::kViMax3S16x2Relu: return "__vimax3_s16x2_relu";
+    case Func::kViMin3S16x2Relu: return "__vimin3_s16x2_relu";
+    case Func::kViBMaxS16x2: return "__vibmax_s16x2";
+    case Func::kViBMinS16x2: return "__vibmin_s16x2";
+  }
+  return "?";
+}
+
+bool is_16x2(Func f) noexcept {
+  switch (f) {
+    case Func::kViAddMaxS16x2:
+    case Func::kViAddMinS16x2:
+    case Func::kViAddMaxS16x2Relu:
+    case Func::kViAddMinS16x2Relu:
+    case Func::kViMax3S16x2:
+    case Func::kViMin3S16x2:
+    case Func::kViMax3S16x2Relu:
+    case Func::kViMin3S16x2Relu:
+    case Func::kViBMaxS16x2:
+    case Func::kViBMinS16x2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool has_relu(Func f) noexcept {
+  switch (f) {
+    case Func::kViAddMaxS32Relu:
+    case Func::kViAddMinS32Relu:
+    case Func::kViMax3S32Relu:
+    case Func::kViMin3S32Relu:
+    case Func::kViMaxS32Relu:
+    case Func::kViMinS32Relu:
+    case Func::kViAddMaxS16x2Relu:
+    case Func::kViAddMinS16x2Relu:
+    case Func::kViMax3S16x2Relu:
+    case Func::kViMin3S16x2Relu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_bounds(Func f) noexcept {
+  switch (f) {
+    case Func::kViBMaxS32:
+    case Func::kViBMinS32:
+    case Func::kViBMaxS16x2:
+    case Func::kViBMinS16x2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint32_t apply(Func f, std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                    bool* pred) noexcept {
+  switch (f) {
+    case Func::kViAddMaxS32: return u32(std::max(add_wrap(s32(a), s32(b)), s32(c)));
+    case Func::kViAddMinS32: return u32(std::min(add_wrap(s32(a), s32(b)), s32(c)));
+    case Func::kViAddMaxS32Relu:
+      return u32(std::max({add_wrap(s32(a), s32(b)), s32(c), 0}));
+    case Func::kViAddMinS32Relu:
+      return u32(std::max(std::min(add_wrap(s32(a), s32(b)), s32(c)), 0));
+    case Func::kViMax3S32: return u32(std::max({s32(a), s32(b), s32(c)}));
+    case Func::kViMin3S32: return u32(std::min({s32(a), s32(b), s32(c)}));
+    case Func::kViMax3S32Relu: return u32(std::max({s32(a), s32(b), s32(c), 0}));
+    case Func::kViMin3S32Relu:
+      return u32(std::max(std::min({s32(a), s32(b), s32(c)}), 0));
+    case Func::kViMaxS32Relu: return u32(std::max({s32(a), s32(b), 0}));
+    case Func::kViMinS32Relu: return u32(std::max(std::min(s32(a), s32(b)), 0));
+    case Func::kViBMaxS32:
+      if (pred) *pred = s32(a) >= s32(b);
+      return u32(std::max(s32(a), s32(b)));
+    case Func::kViBMinS32:
+      if (pred) *pred = s32(a) <= s32(b);
+      return u32(std::min(s32(a), s32(b)));
+    case Func::kViAddMaxU32: return std::max(a + b, c);
+    case Func::kViAddMinU32: return std::min(a + b, c);
+    case Func::kViAddMaxS16x2:
+      return per_half(a, b, c, [](std::int16_t x, std::int16_t y, std::int16_t z) {
+        return std::max(s16_add_wrap(x, y), z);
+      });
+    case Func::kViAddMinS16x2:
+      return per_half(a, b, c, [](std::int16_t x, std::int16_t y, std::int16_t z) {
+        return std::min(s16_add_wrap(x, y), z);
+      });
+    case Func::kViAddMaxS16x2Relu:
+      return per_half(a, b, c, [](std::int16_t x, std::int16_t y, std::int16_t z) {
+        return relu16(std::max(s16_add_wrap(x, y), z));
+      });
+    case Func::kViAddMinS16x2Relu:
+      return per_half(a, b, c, [](std::int16_t x, std::int16_t y, std::int16_t z) {
+        return relu16(std::min(s16_add_wrap(x, y), z));
+      });
+    case Func::kViMax3S16x2:
+      return per_half(a, b, c, [](std::int16_t x, std::int16_t y, std::int16_t z) {
+        return std::max({x, y, z});
+      });
+    case Func::kViMin3S16x2:
+      return per_half(a, b, c, [](std::int16_t x, std::int16_t y, std::int16_t z) {
+        return std::min({x, y, z});
+      });
+    case Func::kViMax3S16x2Relu:
+      return per_half(a, b, c, [](std::int16_t x, std::int16_t y, std::int16_t z) {
+        return relu16(std::max({x, y, z}));
+      });
+    case Func::kViMin3S16x2Relu:
+      return per_half(a, b, c, [](std::int16_t x, std::int16_t y, std::int16_t z) {
+        return relu16(std::min({x, y, z}));
+      });
+    case Func::kViBMaxS16x2:
+      if (pred) {
+        *pred = static_cast<std::int16_t>(a & 0xFFFF) >=
+                static_cast<std::int16_t>(b & 0xFFFF);
+      }
+      return per_half(a, b, 0, [](std::int16_t x, std::int16_t y, std::int16_t) {
+        return std::max(x, y);
+      });
+    case Func::kViBMinS16x2:
+      if (pred) {
+        *pred = static_cast<std::int16_t>(a & 0xFFFF) <=
+                static_cast<std::int16_t>(b & 0xFFFF);
+      }
+      return per_half(a, b, 0, [](std::int16_t x, std::int16_t y, std::int16_t) {
+        return std::min(x, y);
+      });
+  }
+  return 0;
+}
+
+Cost cost(Func f) noexcept {
+  // hw_instrs: Hopper lowers each DPX call to at most two fused VIMNMX-class
+  // instructions (an add feeding a fused min/max counts as IADD3 + VIMNMX).
+  // emu_ops/emu_depth: what nvcc emits on Ampere/Ada (IADD3 + IMNMX chains;
+  // the 16x2 forms need unpack / per-half ops / repack).
+  if (is_16x2(f)) {
+    Cost c{.hw_instrs = 1, .emu_ops = 10, .emu_depth = 10};
+    if (has_relu(f)) {
+      c.emu_ops = 13;
+      c.emu_depth = 13;
+    }
+    if (is_bounds(f)) {
+      c.emu_ops = 9;
+      c.emu_depth = 9;
+    }
+    switch (f) {
+      case Func::kViAddMaxS16x2:
+      case Func::kViAddMinS16x2:
+      case Func::kViAddMaxS16x2Relu:
+      case Func::kViAddMinS16x2Relu:
+        c.hw_instrs = 2;  // VIADD2 + VIMNMX2
+        break;
+      default:
+        break;
+    }
+    return c;
+  }
+  switch (f) {
+    case Func::kViAddMaxS32:
+    case Func::kViAddMinS32:
+    case Func::kViAddMaxU32:
+    case Func::kViAddMinU32:
+      return {.hw_instrs = 2, .emu_ops = 2, .emu_depth = 2};
+    case Func::kViAddMaxS32Relu:
+    case Func::kViAddMinS32Relu:
+      return {.hw_instrs = 2, .emu_ops = 3, .emu_depth = 3};
+    case Func::kViMax3S32:
+    case Func::kViMin3S32:
+      return {.hw_instrs = 1, .emu_ops = 2, .emu_depth = 2};
+    case Func::kViMax3S32Relu:
+    case Func::kViMin3S32Relu:
+      return {.hw_instrs = 1, .emu_ops = 3, .emu_depth = 3};
+    case Func::kViMaxS32Relu:
+    case Func::kViMinS32Relu:
+      return {.hw_instrs = 1, .emu_ops = 2, .emu_depth = 2};
+    case Func::kViBMaxS32:
+    case Func::kViBMinS32:
+      return {.hw_instrs = 1, .emu_ops = 1, .emu_depth = 1};
+    default:
+      return {};
+  }
+}
+
+void append(isa::Program& program, Func f, int rd, int ra, int rb, int rc,
+            bool hardware, int scratch_base) {
+  const Cost c = cost(f);
+  const bool maximum = name(f).find("max") != std::string_view::npos;
+  const std::int64_t mode = (maximum ? 1 : 0) | (has_relu(f) ? 2 : 0);
+  if (hardware) {
+    // Fused Hopper form: either a single VIMNMX (three-way min/max) or an
+    // IADD3-free fused add+minmax modelled as one VIMNMX issue per
+    // hardware instruction.
+    for (int i = 0; i + 1 < c.hw_instrs; ++i) {
+      program.add({.op = isa::Opcode::kVIMnMx, .rd = scratch_base,
+                   .ra = ra, .rb = rb, .rc = rc, .imm = mode});
+      ra = scratch_base;
+    }
+    program.add({.op = isa::Opcode::kVIMnMx, .rd = rd, .ra = ra, .rb = rb,
+                 .rc = rc, .imm = mode});
+    return;
+  }
+  // Emulation: a dependent IADD3/IMNMX chain of the measured depth.  The
+  // first op combines a+b; the rest fold in c / relu / half-word fixups.
+  int src = ra;
+  for (int i = 0; i < c.emu_ops; ++i) {
+    const bool last = i == c.emu_ops - 1;
+    const int dst = last ? rd : scratch_base + (i % 4);
+    if (i == 0 && c.emu_ops > 1) {
+      program.add({.op = isa::Opcode::kIAdd3, .rd = dst, .ra = src, .rb = rb});
+    } else {
+      program.add({.op = isa::Opcode::kIMnMx, .rd = dst, .ra = src,
+                   .rb = (i % 2 == 0 ? rb : rc), .imm = mode & 1});
+    }
+    src = dst;
+  }
+}
+
+}  // namespace hsim::dpx

@@ -1,0 +1,93 @@
+// The CUDA 12 DPX (dynamic-programming) intrinsic family.
+//
+// Functional semantics follow the CUDA math API exactly:
+//   __viaddmax_s32(a,b,c)        max(a+b, c)
+//   __viaddmax_s32_relu(a,b,c)   max(max(a+b, c), 0)
+//   __vimax3_s32(a,b,c)          max(a, b, c)
+//   __vibmax_s32(a,b,&p)         max(a,b), p = (a >= b)
+//   *_s16x2                      the same, independently per 16-bit half
+//   *_u32                        unsigned comparisons
+// 32-bit adds wrap (two's complement); s16x2 halves also wrap within 16
+// bits.  relu clamps at zero after the min/max.
+//
+// On Hopper these lower to the fused VIMNMX hardware instruction; on
+// Ampere/Ada the compiler emulates them with IADD3/IMNMX sequences —
+// `expansion` returns the exact micro-op sequence so the SM timing model
+// measures the cost the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace hsim::dpx {
+
+enum class Func : std::uint8_t {
+  kViAddMaxS32,
+  kViAddMinS32,
+  kViAddMaxS32Relu,
+  kViAddMinS32Relu,
+  kViMax3S32,
+  kViMin3S32,
+  kViMax3S32Relu,
+  kViMin3S32Relu,
+  kViMaxS32Relu,
+  kViMinS32Relu,
+  kViBMaxS32,
+  kViBMinS32,
+  kViAddMaxU32,
+  kViAddMinU32,
+  kViAddMaxS16x2,
+  kViAddMinS16x2,
+  kViAddMaxS16x2Relu,
+  kViAddMinS16x2Relu,
+  kViMax3S16x2,
+  kViMin3S16x2,
+  kViMax3S16x2Relu,
+  kViMin3S16x2Relu,
+  kViBMaxS16x2,
+  kViBMinS16x2,
+};
+
+inline constexpr Func kAllFuncs[] = {
+    Func::kViAddMaxS32,      Func::kViAddMinS32,      Func::kViAddMaxS32Relu,
+    Func::kViAddMinS32Relu,  Func::kViMax3S32,        Func::kViMin3S32,
+    Func::kViMax3S32Relu,    Func::kViMin3S32Relu,    Func::kViMaxS32Relu,
+    Func::kViMinS32Relu,     Func::kViBMaxS32,        Func::kViBMinS32,
+    Func::kViAddMaxU32,      Func::kViAddMinU32,      Func::kViAddMaxS16x2,
+    Func::kViAddMinS16x2,    Func::kViAddMaxS16x2Relu, Func::kViAddMinS16x2Relu,
+    Func::kViMax3S16x2,      Func::kViMin3S16x2,      Func::kViMax3S16x2Relu,
+    Func::kViMin3S16x2Relu,  Func::kViBMaxS16x2,      Func::kViBMinS16x2,
+};
+
+std::string_view name(Func f) noexcept;
+
+[[nodiscard]] bool is_16x2(Func f) noexcept;
+[[nodiscard]] bool has_relu(Func f) noexcept;
+/// Predicate-producing (`__vibmax/__vibmin`) functions: on non-Hopper parts
+/// the compiler folds them into a bare max/min, so the paper could not
+/// measure them there.
+[[nodiscard]] bool is_bounds(Func f) noexcept;
+
+/// Functional evaluation.  `pred` (may be null) receives the __vib* flag.
+std::uint32_t apply(Func f, std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                    bool* pred = nullptr) noexcept;
+
+/// Cost description used by the timing layers.
+struct Cost {
+  int hw_instrs = 1;   // fused VIMNMX-class instructions on Hopper
+  int emu_ops = 2;     // scalar ALU ops in the Ampere/Ada emulation
+  int emu_depth = 2;   // dependent-chain depth of that emulation
+};
+Cost cost(Func f) noexcept;
+
+/// Append this function's micro-op sequence to `program`, computing
+/// rd = f(ra, rb, rc).  `hardware` selects the Hopper fused form; the
+/// emulated form expands per `cost(f)` using scratch registers starting at
+/// `scratch_base`.
+void append(isa::Program& program, Func f, int rd, int ra, int rb, int rc,
+            bool hardware, int scratch_base);
+
+}  // namespace hsim::dpx

@@ -1,0 +1,27 @@
+#include "dsm/cluster.hpp"
+
+namespace hsim::dsm {
+
+Expected<Cluster> Cluster::create(const arch::DeviceSpec& device, int size) {
+  if (!device.dsm.available) {
+    return unsupported("distributed shared memory requires Hopper; " +
+                       device.name + " has no SM-to-SM network");
+  }
+  if (size < 1 || size > device.dsm.max_cluster_size) {
+    return invalid_argument("cluster size must be in [1, " +
+                            std::to_string(device.dsm.max_cluster_size) + "]");
+  }
+  if ((size & (size - 1)) != 0) {
+    return invalid_argument("cluster size must be a power of two");
+  }
+  // Contention: CS <= 2 enjoys full port bandwidth; each further doubling
+  // of the cluster multiplies achievable bandwidth by the contention base
+  // (more blocks share the GPC switch links).
+  double contention = 1.0;
+  for (int cs = 4; cs <= size; cs *= 2) {
+    contention *= device.dsm.contention_base;
+  }
+  return Cluster{size, contention};
+}
+
+}  // namespace hsim::dsm

@@ -1,0 +1,52 @@
+// Thread-block clusters and distributed shared memory (Hopper, sm_90).
+//
+// A cluster co-schedules CS thread blocks on CS distinct SMs inside one GPC
+// and lets any thread address another block's shared memory through the
+// SM-to-SM network.  `map_shared_rank` mirrors CUDA's
+// cluster.map_shared_rank(ptr, rank) (PTX `mapa`): it rewrites a shared
+// address into the target block's shared-memory window.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+
+namespace hsim::dsm {
+
+/// Distributed shared-memory address: rank-qualified shared offset.
+struct DsmAddress {
+  int rank = 0;                // target block rank within the cluster
+  std::uint32_t offset = 0;    // byte offset inside that block's smem
+
+  friend bool operator==(const DsmAddress&, const DsmAddress&) = default;
+};
+
+class Cluster {
+ public:
+  /// Fails on devices without DSM or for illegal cluster sizes.
+  static Expected<Cluster> create(const arch::DeviceSpec& device, int size);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  /// cluster.map_shared_rank: qualify a local shared-memory offset with a
+  /// target rank.  `rank` must be within the cluster.
+  [[nodiscard]] Expected<DsmAddress> map_shared_rank(std::uint32_t offset,
+                                                     int rank) const {
+    if (rank < 0 || rank >= size_) {
+      return invalid_argument("rank outside cluster");
+    }
+    return DsmAddress{rank, offset};
+  }
+
+  /// Fabric contention factor for this cluster size: the effective fraction
+  /// of per-SM port bandwidth once CS blocks share GPC switch links.
+  [[nodiscard]] double contention_factor() const noexcept { return contention_; }
+
+ private:
+  Cluster(int size, double contention) : size_(size), contention_(contention) {}
+  int size_ = 1;
+  double contention_ = 1.0;
+};
+
+}  // namespace hsim::dsm

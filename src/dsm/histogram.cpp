@@ -1,0 +1,134 @@
+#include "dsm/histogram.hpp"
+
+#include <algorithm>
+
+#include "dsm/cluster.hpp"
+#include "mem/shared_mem.hpp"
+#include "sm/launcher.hpp"
+
+namespace hsim::dsm {
+namespace {
+
+/// Deterministic element stream shared by run and reference.
+std::uint32_t element_at(std::uint64_t seed, std::int64_t i, int nbins) {
+  std::uint64_t state = seed + static_cast<std::uint64_t>(i);
+  return static_cast<std::uint32_t>(splitmix64(state) %
+                                    static_cast<std::uint64_t>(nbins));
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> reference_histogram(const HistogramConfig& config) {
+  std::vector<std::uint32_t> bins(static_cast<std::size_t>(config.nbins), 0);
+  for (std::int64_t i = 0; i < config.elements; ++i) {
+    ++bins[element_at(config.seed, i, config.nbins)];
+  }
+  return bins;
+}
+
+Expected<HistogramResult> run_histogram(const arch::DeviceSpec& device,
+                                        const HistogramConfig& config) {
+  if (config.nbins < 2 || config.nbins % std::max(config.cluster_size, 1) != 0) {
+    return invalid_argument("nbins must divide evenly across the cluster");
+  }
+  double contention = 1.0;
+  if (config.cluster_size > 1) {
+    auto cluster = Cluster::create(device, config.cluster_size);
+    if (!cluster) return cluster.error();
+    contention = cluster.value().contention_factor();
+  }
+
+  const int warps_per_block = (config.block_threads + 31) / 32;
+  const int bins_per_block = config.nbins / config.cluster_size;
+
+  // Functional pass: per-block bin shards in real SharedMemory instances,
+  // remote updates resolved through map_shared_rank-style addressing.
+  HistogramResult out;
+  {
+    std::vector<mem::SharedMemory> shards;
+    shards.reserve(static_cast<std::size_t>(config.cluster_size));
+    for (int r = 0; r < config.cluster_size; ++r) {
+      shards.emplace_back(static_cast<std::uint64_t>(bins_per_block) * 4);
+    }
+    std::int64_t remote = 0;
+    for (std::int64_t i = 0; i < config.elements; ++i) {
+      const std::uint32_t bin = element_at(config.seed, i, config.nbins);
+      // The element lands in whichever block this "thread" belongs to;
+      // threads are spread round-robin across cluster ranks.
+      const int my_rank = static_cast<int>(i % config.cluster_size);
+      const int target_rank = static_cast<int>(bin) / bins_per_block;
+      const auto offset = static_cast<std::uint32_t>(
+          (static_cast<int>(bin) % bins_per_block) * 4);
+      shards[static_cast<std::size_t>(target_rank)].atomic_add_u32(offset, 1);
+      if (target_rank != my_rank) ++remote;
+    }
+    out.remote_fraction = config.elements > 0
+                              ? static_cast<double>(remote) /
+                                    static_cast<double>(config.elements)
+                              : 0.0;
+    out.bins.assign(static_cast<std::size_t>(config.nbins), 0);
+    for (int b = 0; b < config.nbins; ++b) {
+      out.bins[static_cast<std::size_t>(b)] =
+          shards[static_cast<std::size_t>(b / bins_per_block)].load_u32(
+              static_cast<std::uint32_t>((b % bins_per_block) * 4));
+    }
+  }
+
+  // Timing model.
+  // Shared-memory footprint: per-warp sub-histograms of the local shard
+  // (as in the CUDA sample) -> this is what throttles occupancy at large
+  // Nbins and what clustering relieves.
+  sm::LaunchConfig launch_cfg;
+  launch_cfg.threads_per_block = config.block_threads;
+  launch_cfg.smem_per_block = static_cast<std::uint64_t>(warps_per_block) *
+                              static_cast<std::uint64_t>(bins_per_block) * 4;
+  launch_cfg.regs_per_thread = 32;
+  auto occ = sm::compute_occupancy(device, launch_cfg);
+  if (!occ) return occ.error();
+  out.active_blocks_per_sm = occ.value().blocks_per_sm;
+
+  const double resident_threads =
+      static_cast<double>(out.active_blocks_per_sm) *
+      static_cast<double>(config.block_threads);
+
+  // Per-element latency seen by one thread: element load + the atomic.
+  const double local_atomic_lat = device.memory.smem_latency;
+  const double remote_atomic_lat =
+      device.dsm.available ? device.dsm.latency_cycles : device.memory.l2_hit_latency;
+  const double avg_atomic_lat = out.remote_fraction * remote_atomic_lat +
+                                (1.0 - out.remote_fraction) * local_atomic_lat;
+  // ~8 cycles of address arithmetic per element in the real kernel.
+  const double per_element_latency =
+      device.memory.dram_latency + avg_atomic_lat + 8.0;
+  const double rate_parallelism = resident_threads / per_element_latency;
+
+  // Element-load bandwidth: 4-byte keys streamed from DRAM, shared by SMs.
+  const double dram_bytes_per_clk =
+      device.memory.dram_peak_gbps * 1e9 * device.memory.dram_efficiency /
+      device.clock_hz();
+  const double rate_load = dram_bytes_per_clk / 4.0 /
+                           static_cast<double>(device.sm_count);
+
+  // Local atomic throughput: one warp access per cycle, serialised by the
+  // expected bank/bin collision degree for uniform keys.
+  const double collision_degree =
+      1.0 + 31.0 / std::max(1.0, static_cast<double>(bins_per_block));
+  const double rate_local_atomic = 32.0 / collision_degree;
+
+  // Remote traffic: each crossing update moves an 8-byte (address+value)
+  // packet through the contended injection port.
+  double rate_remote = 1e30;
+  if (out.remote_fraction > 0) {
+    const double port = device.dsm.port_bytes_per_clk * contention;
+    rate_remote = port / 8.0 / out.remote_fraction;
+  }
+
+  const double rate_per_sm =
+      std::min({rate_parallelism, rate_load, rate_local_atomic, rate_remote});
+  out.elements_per_second = rate_per_sm * static_cast<double>(device.sm_count) *
+                            device.clock_hz();
+  out.seconds = static_cast<double>(config.elements) / out.elements_per_second;
+  return out;
+}
+
+}  // namespace hsim::dsm

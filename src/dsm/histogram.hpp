@@ -1,0 +1,47 @@
+// Histogram over distributed shared memory (the paper's DSM application).
+//
+// The CUDA-samples histogram keeps per-warp sub-histograms in shared
+// memory; the paper's redesign instead *partitions the bins across the
+// blocks of a cluster*, so each block only holds Nbins/CS bins and updates
+// remote bins through the SM-to-SM network.
+//
+// This module runs the application functionally (real data, real bins —
+// results are validated against a scalar reference) and prices it with a
+// structural cost model: occupancy from the shared-memory footprint,
+// element-load bandwidth, local atomic conflicts, and remote-port traffic
+// with cluster contention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace hsim::dsm {
+
+struct HistogramConfig {
+  int cluster_size = 1;        // 1 = the classic non-DSM kernel
+  int block_threads = 256;
+  int nbins = 1024;
+  std::int64_t elements = 1 << 22;
+  std::uint64_t seed = 42;
+};
+
+struct HistogramResult {
+  std::vector<std::uint32_t> bins;   // functional output
+  double elements_per_second = 0;
+  double seconds = 0;
+  int active_blocks_per_sm = 0;
+  double remote_fraction = 0;        // of atomic updates that crossed SMs
+};
+
+/// Run the histogram: functional counting plus the timing model.
+Expected<HistogramResult> run_histogram(const arch::DeviceSpec& device,
+                                        const HistogramConfig& config);
+
+/// Scalar reference (for validation).
+std::vector<std::uint32_t> reference_histogram(const HistogramConfig& config);
+
+}  // namespace hsim::dsm

@@ -1,0 +1,72 @@
+#include "dsm/rbc.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/pipeline.hpp"
+
+namespace hsim::dsm {
+
+Expected<RbcResult> run_rbc(const arch::DeviceSpec& device, const RbcConfig& config) {
+  auto cluster = Cluster::create(device, config.cluster_size);
+  if (!cluster) return cluster.error();
+  if (config.block_threads < 1 || config.block_threads > 1024) {
+    return invalid_argument("block_threads must be in [1, 1024]");
+  }
+  if (config.ilp < 1 || config.ilp > 16) {
+    return invalid_argument("ilp must be in [1, 16]");
+  }
+
+  // Every block pushes into its successor's SM; by ring symmetry each SM's
+  // injection port carries exactly one block's traffic, so simulating one
+  // (port, window) pair represents every SM in the ring.
+  const double port_width =
+      device.dsm.port_bytes_per_clk * cluster.value().contention_factor();
+  sim::Port port(port_width);
+
+  const int window = config.block_threads * config.ilp;
+  const double latency = device.dsm.latency_cycles;
+  constexpr double kStoreBytes = 4.0;
+
+  // Windowed issue: slot i's next store may issue once its previous store
+  // (window positions earlier) has completed.
+  std::vector<double> completion(static_cast<std::size_t>(window), 0.0);
+  const std::int64_t total_stores =
+      static_cast<std::int64_t>(window) * config.iterations;
+  double last = 0.0;
+  for (std::int64_t i = 0; i < total_stores; ++i) {
+    const auto slot = static_cast<std::size_t>(i % window);
+    const double ready = completion[slot];  // previous store in this slot
+    const double port_done = port.transfer(ready, kStoreBytes);
+    completion[slot] = port_done + latency;
+    last = std::max(last, completion[slot]);
+  }
+
+  RbcResult out;
+  out.cycles = last;
+  const double bytes =
+      static_cast<double>(total_stores) * kStoreBytes;
+  out.bytes_per_clk_per_sm = bytes / last;
+  // All SMs that host a ring block inject concurrently.
+  const int participating =
+      (device.sm_count / config.cluster_size) * config.cluster_size;
+  out.total_tbps = out.bytes_per_clk_per_sm * static_cast<double>(participating) *
+                   device.clock_hz() / 1e12;
+  return out;
+}
+
+Expected<double> measure_dsm_latency(const arch::DeviceSpec& device) {
+  auto cluster = Cluster::create(device, 2);
+  if (!cluster) return cluster.error();
+  // One dependent remote access at a time: the port transfer time for 4
+  // bytes plus the network latency, measured over a chain.
+  sim::Port port(device.dsm.port_bytes_per_clk);
+  constexpr int kChain = 256;
+  double now = 0.0;
+  for (int i = 0; i < kChain; ++i) {
+    now = port.transfer(now, 4.0) + device.dsm.latency_cycles;
+  }
+  return now / kChain;
+}
+
+}  // namespace hsim::dsm

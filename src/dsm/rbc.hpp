@@ -1,0 +1,40 @@
+// Ring-based copy (RBC): the paper's DSM throughput benchmark.
+//
+// One block per SM, blocks gathered into clusters; every thread of block R
+// pushes its register values into block (R+1) % CS's shared memory, with
+// ILP independent in-flight stores per thread.  Throughput is measured by a
+// windowed-issue simulation of the SM-to-SM port: each of the
+// threads x ILP slots keeps one 4-byte store outstanding; a store occupies
+// the target SM's injection port and completes one network latency later.
+// Little's-law saturation (small blocks can't fill the 180-cycle pipe) and
+// port-bound saturation (big blocks can't exceed 16 B/clk) both emerge from
+// the same window mechanics, and cluster contention scales the port.
+#pragma once
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "dsm/cluster.hpp"
+
+namespace hsim::dsm {
+
+struct RbcConfig {
+  int cluster_size = 2;
+  int block_threads = 1024;
+  int ilp = 4;                 // independent stores in flight per thread
+  int iterations = 64;         // ring rounds measured
+};
+
+struct RbcResult {
+  double cycles = 0;
+  double bytes_per_clk_per_sm = 0;   // achieved injection bandwidth
+  double total_tbps = 0;             // aggregate across all participating SMs
+};
+
+/// Measure SM-to-SM throughput for one configuration.
+Expected<RbcResult> run_rbc(const arch::DeviceSpec& device, const RbcConfig& config);
+
+/// One-way SM-to-SM load-to-use latency (cycles), measured with a two-block
+/// cluster and one dependent access at a time — the paper's latency probe.
+Expected<double> measure_dsm_latency(const arch::DeviceSpec& device);
+
+}  // namespace hsim::dsm

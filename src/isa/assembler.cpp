@@ -1,0 +1,242 @@
+#include "isa/assembler.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hsim::isa {
+namespace {
+
+struct MnemonicEntry {
+  std::string_view name;
+  Opcode op;
+};
+
+// Longest-match table (checked in order, so longer names come first where
+// one is a prefix of another).
+constexpr std::array<MnemonicEntry, 32> kMnemonics{{
+    {"LDG.CA", Opcode::kLdgCa},
+    {"LDG.CG", Opcode::kLdgCg},
+    {"LDS.REMOTE", Opcode::kLdsRemote},
+    {"STS.REMOTE", Opcode::kStsRemote},
+    {"ATOMS.REMOTE.ADD", Opcode::kAtomRemoteAdd},
+    {"ATOMS.ADD", Opcode::kAtomSharedAdd},
+    {"CP.ASYNC.COMMIT", Opcode::kCpAsyncCommit},
+    {"CP.ASYNC.WAIT", Opcode::kCpAsyncWait},
+    {"CP.ASYNC", Opcode::kCpAsync},
+    {"TMA.LOAD", Opcode::kTmaLoad},
+    {"BAR.SYNC", Opcode::kBarSync},
+    {"VIMNMX", Opcode::kVIMnMx},
+    {"IADD3", Opcode::kIAdd3},
+    {"IMNMX", Opcode::kIMnMx},
+    {"IMAD", Opcode::kIMad},
+    {"LOP3", Opcode::kLop3},
+    {"POPC", Opcode::kPopc},
+    {"FADD", Opcode::kFAdd},
+    {"FMUL", Opcode::kFMul},
+    {"FFMA", Opcode::kFFma},
+    {"DADD", Opcode::kDAdd},
+    {"DMUL", Opcode::kDMul},
+    {"HADD2", Opcode::kHAdd2},
+    {"CLOCK", Opcode::kClock},
+    {"MAPA", Opcode::kMapa},
+    {"EXIT", Opcode::kExit},
+    {"MOV", Opcode::kMov},
+    {"LDS", Opcode::kLds},
+    {"STS", Opcode::kSts},
+    {"STG", Opcode::kStg},
+    {"SHF", Opcode::kShf},
+    {"NOP", Opcode::kNop},
+}};
+
+struct Operand {
+  enum class Kind { kReg, kMem, kImm } kind;
+  int reg = kRegNone;
+  std::int64_t imm = 0;
+  std::uint32_t width = 4;
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<Operand> parse_operand(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  Operand op{};
+  if (text.front() == '[') {
+    const auto close = text.find(']');
+    if (close == std::string_view::npos) return std::nullopt;
+    auto inner = trim(text.substr(1, close - 1));
+    if (inner.size() < 2 || (inner[0] != 'R' && inner[0] != 'r')) return std::nullopt;
+    const auto idx = parse_int(inner.substr(1));
+    if (!idx || *idx < 0 || *idx >= kMaxRegs) return std::nullopt;
+    op.kind = Operand::Kind::kMem;
+    op.reg = static_cast<int>(*idx);
+    auto rest = trim(text.substr(close + 1));
+    if (!rest.empty()) {
+      if (rest.front() != '.') return std::nullopt;
+      const auto width = parse_int(rest.substr(1));
+      if (!width || (*width != 4 && *width != 8 && *width != 16)) return std::nullopt;
+      op.width = static_cast<std::uint32_t>(*width);
+    }
+    return op;
+  }
+  if (text.front() == 'R' || text.front() == 'r') {
+    const auto idx = parse_int(text.substr(1));
+    if (idx && *idx >= 0 && *idx < kMaxRegs) {
+      op.kind = Operand::Kind::kReg;
+      op.reg = static_cast<int>(*idx);
+      return op;
+    }
+    // Fall through: could be a malformed register.
+    return std::nullopt;
+  }
+  const auto imm = parse_int(text);
+  if (!imm) return std::nullopt;
+  op.kind = Operand::Kind::kImm;
+  op.imm = *imm;
+  return op;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+Error line_error(int line, const std::string& message) {
+  return invalid_argument("line " + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+Expected<Program> assemble(std::string_view source) {
+  Program program;
+  int line_no = 0;
+  for (std::string_view rest = source; !rest.empty() || line_no == 0;) {
+    const auto nl = rest.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? rest : rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{} : rest.substr(nl + 1);
+    ++line_no;
+
+    // Strip comments.
+    for (const char marker : {';', '#'}) {
+      const auto pos = line.find(marker);
+      if (pos != std::string_view::npos) line = line.substr(0, pos);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      if (rest.empty()) break;
+      continue;
+    }
+
+    // Directives.
+    if (line.front() == '.') {
+      const auto space = line.find(' ');
+      const auto directive = line.substr(0, space);
+      if (directive == ".iterations") {
+        const auto value =
+            space == std::string_view::npos
+                ? std::nullopt
+                : parse_int(line.substr(space + 1));
+        if (!value || *value < 1) {
+          return line_error(line_no, "bad .iterations value");
+        }
+        program.set_iterations(static_cast<std::uint32_t>(*value));
+      } else {
+        return line_error(line_no, "unknown directive: " + std::string(directive));
+      }
+      if (rest.empty()) break;
+      continue;
+    }
+
+    // Mnemonic: longest prefix that ends at whitespace or end of line.
+    Opcode op = Opcode::kNop;
+    std::size_t mn_len = 0;
+    bool found = false;
+    for (const auto& entry : kMnemonics) {
+      if (line.substr(0, entry.name.size()) == entry.name &&
+          (line.size() == entry.name.size() ||
+           std::isspace(static_cast<unsigned char>(line[entry.name.size()])))) {
+        op = entry.op;
+        mn_len = entry.name.size();
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return line_error(line_no, "unknown mnemonic: " + std::string(line));
+    }
+
+    Instruction inst{.op = op};
+    const auto operand_text = trim(line.substr(mn_len));
+    if (!operand_text.empty()) {
+      std::vector<Operand> operands;
+      for (const auto part : split(operand_text, ',')) {
+        const auto operand = parse_operand(part);
+        if (!operand) {
+          return line_error(line_no, "bad operand: " + std::string(trim(part)));
+        }
+        operands.push_back(*operand);
+      }
+      // Assignment convention: first register-like operand is rd, following
+      // ones fill ra/rb/rc; an immediate fills imm; a memory operand fills
+      // ra (address register) and access width.
+      int* slots[] = {&inst.rd, &inst.ra, &inst.rb, &inst.rc};
+      std::size_t slot = 0;
+      for (const auto& operand : operands) {
+        switch (operand.kind) {
+          case Operand::Kind::kReg:
+            if (slot >= std::size(slots)) {
+              return line_error(line_no, "too many register operands");
+            }
+            *slots[slot++] = operand.reg;
+            break;
+          case Operand::Kind::kMem:
+            if (slot == 0) slot = 1;  // stores may begin with a memory operand
+            inst.ra = operand.reg;
+            inst.access_bytes = operand.width;
+            slot = std::max(slot, static_cast<std::size_t>(2));
+            break;
+          case Operand::Kind::kImm:
+            inst.imm = operand.imm;
+            break;
+        }
+      }
+    }
+    program.add(inst);
+    if (rest.empty()) break;
+  }
+  if (program.empty()) return invalid_argument("empty program");
+  return program;
+}
+
+}  // namespace hsim::isa

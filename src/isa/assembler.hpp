@@ -1,0 +1,28 @@
+// A small text assembler for the micro-ISA.
+//
+// Lets tests and examples write kernels the way the paper presents them —
+// as instruction listings — instead of builder chains:
+//
+//     .iterations 1024
+//     MOV   R1, 0
+//     LDG.CA R2, [R1]
+//     IADD3 R1, R1, R2
+//
+// Syntax: one instruction per line; `;` or `#` starts a comment; registers
+// are R0..R127; memory operands are bracketed registers with an optional
+// width suffix (e.g. `[R1].16` for a float4 access); directives start with
+// a dot (`.iterations N`).
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace hsim::isa {
+
+/// Assemble source text into a Program.  Returns the first error with a
+/// line number in the message.
+Expected<Program> assemble(std::string_view source);
+
+}  // namespace hsim::isa

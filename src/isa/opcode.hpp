@@ -1,0 +1,136 @@
+// The micro-ISA executed by the SM timing model.
+//
+// This is a deliberately small SASS-like instruction set: enough to express
+// every kernel the paper's microbenchmarks use (dependent load chains,
+// ALU/DPX latency chains, throughput loops, shared/global traffic, tensor
+// core issue) without modelling full SASS encoding.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hsim::isa {
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kMov,       // rd = imm
+  kIAdd3,     // rd = ra + rb + rc
+  kIMad,      // rd = ra * rb + rc
+  kIMnMx,     // rd = min or max(ra, rb) by imm flag (0=min,1=max)
+  kVIMnMx,    // Hopper fused DPX: rd = minmax(ra + rb, rc)
+  kLop3,      // rd = bitwise f(ra, rb, rc); imm chooses AND here
+  kShf,       // rd = funnel shift (ra, rb) by imm
+  kPopc,      // rd = popcount(ra)
+  kFAdd,      // FP32 add (values carried as bits)
+  kFMul,
+  kFFma,
+  kDAdd,      // FP64 add
+  kDMul,
+  kHAdd2,     // packed FP16x2 add
+  kLdgCa,     // rd = global load, L1-allocating (ld.global.ca)
+  kLdgCg,     // rd = global load, L2-only (ld.global.cg)
+  kStg,       // global store
+  kLds,       // rd = shared load
+  kSts,       // shared store
+  kLdsRemote, // DSM: load from another block's shared memory
+  kStsRemote, // DSM: store to another block's shared memory
+  kAtomSharedAdd,   // atomic add on shared memory
+  kAtomRemoteAdd,   // DSM: atomic add on a remote block's shared memory
+  kMapa,      // DSM: map shared address to target block's rank
+  kCpAsync,   // cp.async global->shared (Ampere+)
+  kCpAsyncCommit,
+  kCpAsyncWait,
+  kTmaLoad,   // TMA bulk tensor copy (Hopper); imm = box bytes; executed
+              // once per block by the elected warp
+  kBarSync,   // __syncthreads
+  kClock,     // rd = current cycle (clock())
+  kExit,
+};
+
+constexpr std::string_view mnemonic(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop: return "NOP";
+    case Opcode::kMov: return "MOV";
+    case Opcode::kIAdd3: return "IADD3";
+    case Opcode::kIMad: return "IMAD";
+    case Opcode::kIMnMx: return "IMNMX";
+    case Opcode::kVIMnMx: return "VIMNMX";
+    case Opcode::kLop3: return "LOP3";
+    case Opcode::kShf: return "SHF";
+    case Opcode::kPopc: return "POPC";
+    case Opcode::kFAdd: return "FADD";
+    case Opcode::kFMul: return "FMUL";
+    case Opcode::kFFma: return "FFMA";
+    case Opcode::kDAdd: return "DADD";
+    case Opcode::kDMul: return "DMUL";
+    case Opcode::kHAdd2: return "HADD2";
+    case Opcode::kLdgCa: return "LDG.CA";
+    case Opcode::kLdgCg: return "LDG.CG";
+    case Opcode::kStg: return "STG";
+    case Opcode::kLds: return "LDS";
+    case Opcode::kSts: return "STS";
+    case Opcode::kLdsRemote: return "LDS.REMOTE";
+    case Opcode::kStsRemote: return "STS.REMOTE";
+    case Opcode::kAtomSharedAdd: return "ATOMS.ADD";
+    case Opcode::kAtomRemoteAdd: return "ATOMS.REMOTE.ADD";
+    case Opcode::kMapa: return "MAPA";
+    case Opcode::kCpAsync: return "CP.ASYNC";
+    case Opcode::kCpAsyncCommit: return "CP.ASYNC.COMMIT";
+    case Opcode::kCpAsyncWait: return "CP.ASYNC.WAIT";
+    case Opcode::kTmaLoad: return "TMA.LOAD";
+    case Opcode::kBarSync: return "BAR.SYNC";
+    case Opcode::kClock: return "CLOCK";
+    case Opcode::kExit: return "EXIT";
+  }
+  return "?";
+}
+
+/// Functional-unit class an opcode dispatches to.
+enum class UnitClass : std::uint8_t {
+  kAlu,     // INT32 pipe
+  kFma,     // FP32 pipe
+  kFp64,
+  kDpx,     // Hopper hardware DPX (VIMNMX); emulated elsewhere
+  kLsu,     // load/store (global + shared)
+  kDsm,     // SM-to-SM network ops
+  kControl, // barriers, clock, exit
+};
+
+constexpr UnitClass unit_of(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kFAdd:
+    case Opcode::kFMul:
+    case Opcode::kFFma:
+    case Opcode::kHAdd2:
+      return UnitClass::kFma;
+    case Opcode::kDAdd:
+    case Opcode::kDMul:
+      return UnitClass::kFp64;
+    case Opcode::kVIMnMx:
+      return UnitClass::kDpx;
+    case Opcode::kLdgCa:
+    case Opcode::kLdgCg:
+    case Opcode::kStg:
+    case Opcode::kLds:
+    case Opcode::kSts:
+    case Opcode::kAtomSharedAdd:
+    case Opcode::kCpAsync:
+    case Opcode::kTmaLoad:
+      return UnitClass::kLsu;
+    case Opcode::kLdsRemote:
+    case Opcode::kStsRemote:
+    case Opcode::kAtomRemoteAdd:
+      return UnitClass::kDsm;
+    case Opcode::kBarSync:
+    case Opcode::kClock:
+    case Opcode::kExit:
+    case Opcode::kCpAsyncCommit:
+    case Opcode::kCpAsyncWait:
+    case Opcode::kNop:
+      return UnitClass::kControl;
+    default:
+      return UnitClass::kAlu;
+  }
+}
+
+}  // namespace hsim::isa

@@ -1,0 +1,31 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+
+namespace hsim::isa {
+
+std::string Instruction::to_string() const {
+  std::ostringstream os;
+  os << mnemonic(op);
+  bool first = true;
+  const auto emit_reg = [&](int r) {
+    if (r == kRegNone) return;
+    os << (first ? " " : ", ") << "R" << r;
+    first = false;
+  };
+  emit_reg(rd);
+  emit_reg(ra);
+  emit_reg(rb);
+  emit_reg(rc);
+  if (imm != 0) os << (first ? " " : ", ") << imm;
+  return os.str();
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  os << "; " << body_.size() << " instructions x " << iterations_ << " iterations\n";
+  for (const auto& inst : body_) os << inst.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace hsim::isa

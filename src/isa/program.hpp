@@ -1,0 +1,87 @@
+// Instruction and program representation for the SM timing model.
+//
+// Programs are straight-line instruction sequences executed `iterations`
+// times per warp (the paper's kernels all have this shape: a timed loop
+// around a measured body).  Register operands index a per-warp register
+// file; kRegNone marks an unused slot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "isa/opcode.hpp"
+
+namespace hsim::isa {
+
+inline constexpr int kRegNone = -1;
+inline constexpr int kMaxRegs = 128;
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  int rd = kRegNone;               // destination register
+  int ra = kRegNone, rb = kRegNone, rc = kRegNone;  // sources
+  std::int64_t imm = 0;            // immediate / mode flag
+  std::uint32_t access_bytes = 4;  // per-thread width for memory ops
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Program {
+ public:
+  Program() = default;
+
+  Program& add(Instruction inst) {
+    validate(inst);
+    body_.push_back(inst);
+    return *this;
+  }
+
+  /// Convenience builders used throughout the benches and tests.
+  Program& mov(int rd, std::int64_t imm) {
+    return add({.op = Opcode::kMov, .rd = rd, .imm = imm});
+  }
+  Program& iadd3(int rd, int ra, int rb, int rc = kRegNone) {
+    return add({.op = Opcode::kIAdd3, .rd = rd, .ra = ra, .rb = rb, .rc = rc});
+  }
+  Program& ldg_ca(int rd, int raddr, std::uint32_t bytes = 4) {
+    return add({.op = Opcode::kLdgCa, .rd = rd, .ra = raddr, .access_bytes = bytes});
+  }
+  Program& ldg_cg(int rd, int raddr, std::uint32_t bytes = 4) {
+    return add({.op = Opcode::kLdgCg, .rd = rd, .ra = raddr, .access_bytes = bytes});
+  }
+  Program& lds(int rd, int raddr, std::uint32_t bytes = 4) {
+    return add({.op = Opcode::kLds, .rd = rd, .ra = raddr, .access_bytes = bytes});
+  }
+  Program& fadd(int rd, int ra, int rb) {
+    return add({.op = Opcode::kFAdd, .rd = rd, .ra = ra, .rb = rb});
+  }
+  Program& dadd(int rd, int ra, int rb) {
+    return add({.op = Opcode::kDAdd, .rd = rd, .ra = ra, .rb = rb});
+  }
+  Program& bar_sync() { return add({.op = Opcode::kBarSync}); }
+
+  void set_iterations(std::uint32_t n) {
+    HSIM_ASSERT(n >= 1);
+    iterations_ = n;
+  }
+  [[nodiscard]] std::uint32_t iterations() const noexcept { return iterations_; }
+
+  [[nodiscard]] const std::vector<Instruction>& body() const noexcept { return body_; }
+  [[nodiscard]] bool empty() const noexcept { return body_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return body_.size(); }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static void validate(const Instruction& inst) {
+    const auto reg_ok = [](int r) { return r == kRegNone || (r >= 0 && r < kMaxRegs); };
+    HSIM_ASSERT(reg_ok(inst.rd) && reg_ok(inst.ra) && reg_ok(inst.rb) && reg_ok(inst.rc));
+  }
+
+  std::vector<Instruction> body_;
+  std::uint32_t iterations_ = 1;
+};
+
+}  // namespace hsim::isa

@@ -1,0 +1,276 @@
+#include "isa/ptx.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace hsim::isa {
+namespace {
+
+using num::DType;
+
+std::string lower_type(DType t) {
+  switch (t) {
+    case DType::kFp16: return "f16";
+    case DType::kBf16: return "bf16";
+    case DType::kTf32: return "tf32";
+    case DType::kFp32: return "f32";
+    case DType::kFp8E4M3: return "e4m3";
+    case DType::kFp8E5M2: return "e5m2";
+    case DType::kInt32: return "s32";
+    case DType::kInt8: return "s8";
+    case DType::kInt4: return "s4";
+    case DType::kBinary: return "b1";
+    case DType::kFp64: return "f64";
+  }
+  return "?";
+}
+
+std::string sass_type(DType t) {
+  switch (t) {
+    case DType::kFp16: return "F16";
+    case DType::kBf16: return "BF16";
+    case DType::kTf32: return "TF32";
+    case DType::kFp32: return "F32";
+    case DType::kFp8E4M3: return "E4M3";
+    case DType::kFp8E5M2: return "E5M2";
+    case DType::kInt32: return "S32";
+    case DType::kInt8: return "S8";
+    case DType::kInt4: return "S4";
+    case DType::kBinary: return "B1";
+    case DType::kFp64: return "F64";
+  }
+  return "?";
+}
+
+/// Legal k values (instruction modifier, dense) for a given mma input type.
+bool mma_k_ok(DType ab, int k, bool sparse) {
+  const int unit = sparse ? 2 : 1;
+  switch (ab) {
+    case DType::kFp16:
+    case DType::kBf16: return k == 8 * unit || k == 16 * unit;
+    case DType::kTf32: return k == 4 * unit || k == 8 * unit;
+    case DType::kInt8: return k == 16 * unit || k == 32 * unit;
+    case DType::kInt4: return k == 32 * unit || k == 64 * unit;
+    case DType::kBinary: return !sparse && k == 256;
+    default: return false;
+  }
+}
+
+/// Legal k for wgmma by input type (dense modifier; sparse doubles it).
+int wgmma_k_unit(DType ab) {
+  switch (ab) {
+    case DType::kFp16:
+    case DType::kBf16: return 16;
+    case DType::kTf32: return 8;
+    case DType::kFp8E4M3:
+    case DType::kFp8E5M2:
+    case DType::kInt8: return 32;
+    case DType::kBinary: return 256;
+    default: return 0;
+  }
+}
+
+bool acc_ok(DType ab, DType cd) {
+  switch (ab) {
+    case DType::kFp16: return cd == DType::kFp16 || cd == DType::kFp32;
+    case DType::kBf16:
+    case DType::kTf32: return cd == DType::kFp32;
+    case DType::kFp8E4M3:
+    case DType::kFp8E5M2: return cd == DType::kFp16 || cd == DType::kFp32;
+    case DType::kInt8:
+    case DType::kInt4:
+    case DType::kBinary: return cd == DType::kInt32;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+std::string TcInstr::ptx_name() const {
+  std::ostringstream os;
+  if (path == TcPath::kWmma) {
+    os << "wmma.mma.sync.aligned.m" << shape.m << "n" << shape.n << "k"
+       << shape.k << ".row.col." << lower_type(cd) << "." << lower_type(ab);
+    return os.str();
+  }
+  if (path == TcPath::kMma) {
+    os << "mma" << (sparse ? ".sp" : "") << ".sync.aligned.m" << shape.m << "n"
+       << shape.n << "k" << shape.k << ".row.col." << lower_type(cd) << "."
+       << lower_type(ab) << "." << lower_type(ab) << "." << lower_type(cd);
+  } else {
+    os << "wgmma" << (sparse ? ".sp" : "") << ".mma_async.sync.aligned.m"
+       << shape.m << "n" << shape.n << "k" << shape.k << "." << lower_type(cd)
+       << "." << lower_type(ab) << "." << lower_type(ab);
+  }
+  return os.str();
+}
+
+double TcInstr::a_bytes() const {
+  // Sparse instructions store A 2:4-compressed: half of k.
+  const double k_stored = sparse ? shape.k / 2.0 : static_cast<double>(shape.k);
+  return static_cast<double>(shape.m) * k_stored * num::byte_width(ab);
+}
+
+double TcInstr::b_bytes() const {
+  return static_cast<double>(shape.n) * static_cast<double>(shape.k) *
+         num::byte_width(ab);
+}
+
+Expected<TcInstr> validate(TcInstr instr) {
+  if (!acc_ok(instr.ab, instr.cd)) {
+    return invalid_argument("illegal accumulator type " +
+                            std::string(num::to_string(instr.cd)) + " for input " +
+                            std::string(num::to_string(instr.ab)));
+  }
+  if (instr.path == TcPath::kWmma) {
+    if (instr.sparse) {
+      return unsupported("the legacy wmma API cannot express sparsity");
+    }
+    if (num::is_fp8(instr.ab) || instr.ab == DType::kInt4) {
+      return unsupported("wmma fragment types do not cover this precision");
+    }
+    const bool shape_ok =
+        (instr.shape == TcShape{16, 16, 16}) ||
+        (instr.shape == TcShape{32, 8, 16}) || (instr.shape == TcShape{8, 32, 16});
+    if (!shape_ok && instr.ab != DType::kTf32) {
+      return invalid_argument("wmma supports m16n16k16 / m32n8k16 / m8n32k16");
+    }
+    if (instr.ab == DType::kTf32 && !(instr.shape == TcShape{16, 16, 8})) {
+      return invalid_argument("wmma tf32 shape is m16n16k8");
+    }
+    if (instr.a_src == OperandSource::kSharedMemory) {
+      return invalid_argument("wmma fragments live in the register file");
+    }
+    return instr;
+  }
+  if (instr.path == TcPath::kMma) {
+    if (instr.shape.m != 16 || instr.shape.n != 8) {
+      return invalid_argument("mma requires m16n8 shapes");
+    }
+    if (!mma_k_ok(instr.ab, instr.shape.k, instr.sparse)) {
+      return invalid_argument("illegal mma k=" + std::to_string(instr.shape.k) +
+                              " for " + std::string(num::to_string(instr.ab)));
+    }
+    if (num::is_fp8(instr.ab)) {
+      return unsupported("FP8 has no mma instruction; use wgmma");
+    }
+    if (instr.a_src == OperandSource::kSharedMemory) {
+      return invalid_argument("mma operands must come from the register file");
+    }
+  } else {
+    if (instr.shape.m != 64) return invalid_argument("wgmma requires m == 64");
+    if (instr.shape.n < 8 || instr.shape.n > 256 || instr.shape.n % 8 != 0) {
+      return invalid_argument("wgmma N must be a multiple of 8 in [8, 256]");
+    }
+    const int unit = wgmma_k_unit(instr.ab);
+    if (unit == 0) {
+      return unsupported("wgmma does not support " +
+                         std::string(num::to_string(instr.ab)));
+    }
+    const int want = instr.sparse ? 2 * unit : unit;
+    if (instr.shape.k != want) {
+      return invalid_argument("wgmma k must be " + std::to_string(want) + " for " +
+                              std::string(num::to_string(instr.ab)));
+    }
+    if (instr.sparse && instr.ab == DType::kBinary) {
+      return unsupported("no sparse binary wgmma");
+    }
+  }
+  return instr;
+}
+
+Expected<std::string> compile_to_sass(const TcInstr& instr,
+                                      const arch::DeviceSpec& device) {
+  auto checked = validate(instr);
+  if (!checked) return checked.error();
+
+  std::ostringstream os;
+  if (instr.path == TcPath::kWgmma) {
+    if (!device.tc.has_wgmma) {
+      return unsupported("wgmma requires Hopper (sm_90); " + device.name +
+                         " is sm_" + device.cc_string());
+    }
+    const char* family = nullptr;
+    switch (instr.ab) {
+      case DType::kFp16:
+      case DType::kBf16:
+      case DType::kTf32: family = "HGMMA"; break;
+      case DType::kFp8E4M3:
+      case DType::kFp8E5M2: family = "QGMMA"; break;
+      case DType::kInt8: family = "IGMMA"; break;
+      case DType::kBinary: family = "BGMMA"; break;
+      default: return unsupported("wgmma type");
+    }
+    os << family;
+    if (instr.sparse) os << ".SP";
+    os << "." << instr.shape.m << "x" << instr.shape.n << "x" << instr.shape.k;
+    if (instr.ab == DType::kBinary) {
+      os << ".AND.POPC";
+    } else if (instr.ab == DType::kInt8) {
+      os << ".S8.S8";
+    } else if (num::is_fp8(instr.ab)) {
+      os << "." << sass_type(instr.cd) << "." << sass_type(instr.ab) << "."
+         << sass_type(instr.ab);
+    } else {
+      os << "." << sass_type(instr.cd);
+      if (instr.ab == DType::kTf32) os << ".TF32";
+      if (instr.ab == DType::kBf16) os << ".BF16";
+    }
+    return os.str();
+  }
+
+  if (instr.path == TcPath::kWmma) {
+    // The compiler lowers each wmma fragment op to a pair of HMMA/IMMA
+    // instructions of the native m16n8 shape.
+    const int native_k = instr.ab == DType::kTf32 ? 8 : 16;
+    TcInstr native = instr;
+    native.path = TcPath::kMma;
+    native.shape = {16, 8, native_k};
+    auto inner = compile_to_sass(native, device);
+    if (!inner) return inner.error();
+    return "2x " + inner.value();
+  }
+
+  // mma path.
+  if (instr.ab == DType::kInt4 && !device.tc.mma_int4_on_tc) {
+    // Hopper: INT4 mma lowers to IMAD sequences on the CUDA cores.
+    return std::string("IMAD.MOV.U32");
+  }
+  const std::string mnk = std::to_string(instr.shape.m) +
+                          std::to_string(instr.shape.n) +
+                          std::to_string(instr.shape.k);
+  switch (instr.ab) {
+    case DType::kFp16:
+    case DType::kBf16:
+      os << "HMMA." << mnk << "." << sass_type(instr.cd);
+      if (instr.ab == DType::kBf16) os << ".BF16";
+      break;
+    case DType::kTf32:
+      os << "HMMA." << mnk << ".F32.TF32";
+      break;
+    case DType::kInt8:
+      os << "IMMA." << mnk << ".S8.S8";
+      break;
+    case DType::kInt4:
+      os << "IMMA." << mnk << ".S4.S4";
+      break;
+    case DType::kBinary:
+      os << "BMMA." << mnk << ".AND.POPC";
+      break;
+    default:
+      return unsupported("mma type");
+  }
+  if (instr.sparse) os << ".SP";
+  return os.str();
+}
+
+bool runs_on_tensor_cores(const TcInstr& instr, const arch::DeviceSpec& device) {
+  if (instr.ab == DType::kInt4 && instr.path == TcPath::kMma &&
+      !device.tc.mma_int4_on_tc) {
+    return false;
+  }
+  return compile_to_sass(instr, device).has_value();
+}
+
+}  // namespace hsim::isa

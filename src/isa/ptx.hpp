@@ -1,0 +1,80 @@
+// PTX-level tensor-core instruction descriptors and their lowering to SASS.
+//
+// The paper's Table VI disassembles mma/wgmma PTX for Hopper and finds the
+// SASS families (HMMA/IMMA/BMMA for mma; HGMMA/QGMMA/IGMMA/BGMMA for
+// wgmma), including two notable lowerings:
+//   * INT4 mma on Hopper falls back to IMAD sequences on CUDA cores;
+//   * FP8 has no mma at all — only wgmma reaches the FP8 tensor cores.
+// `compile_to_sass` reproduces that mapping for any device.
+#pragma once
+
+#include <string>
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "numerics/dtype.hpp"
+
+namespace hsim::isa {
+
+/// Which tensor-core programming path the instruction uses.  kWmma is the
+/// legacy C-level API (Table I): still supported everywhere, but it cannot
+/// express sparsity and, on Hopper, cannot reach wgmma's throughput.
+enum class TcPath : std::uint8_t { kMma, kWgmma, kWmma };
+
+/// Where wgmma sources its A operand: "RS" keeps A in registers, "SS" reads
+/// both A and B from shared memory.  (B is always in shared memory.)
+enum class OperandSource : std::uint8_t { kRegister, kSharedMemory };
+
+struct TcShape {
+  int m = 16;
+  int n = 8;
+  int k = 16;
+
+  friend bool operator==(const TcShape&, const TcShape&) = default;
+};
+
+/// A PTX tensor-core instruction.  `shape.k` is the *instruction modifier*
+/// k: for sparse instructions this is the dense-equivalent depth (twice the
+/// stored operand depth), matching how the paper's tables count FLOPs.
+struct TcInstr {
+  TcPath path = TcPath::kMma;
+  TcShape shape{};
+  num::DType ab = num::DType::kFp16;  // input type of A and B
+  num::DType cd = num::DType::kFp32;  // accumulator type of C and D
+  bool sparse = false;
+  OperandSource a_src = OperandSource::kRegister;
+
+  /// Multiply+add operations per instruction (the paper's FLOP counting:
+  /// sparse instructions are credited their dense-equivalent work).
+  [[nodiscard]] double ops() const {
+    return 2.0 * static_cast<double>(shape.m) * static_cast<double>(shape.n) *
+           static_cast<double>(shape.k);
+  }
+
+  /// PTX mnemonic, e.g. "mma.sp.sync.aligned.m16n8k32.row.col.s32.s8.s8.s32"
+  /// or "wgmma.mma_async.sync.aligned.m64n256k16.f32.f16.f16".
+  [[nodiscard]] std::string ptx_name() const;
+
+  /// Bytes of A operand as stored (sparse stores half of k).
+  [[nodiscard]] double a_bytes() const;
+  /// Bytes of B operand as stored.
+  [[nodiscard]] double b_bytes() const;
+};
+
+/// Validate that `instr` is a legal PTX instruction shape/type combination
+/// (independent of device): e.g. wgmma requires m==64, mma FP16 requires
+/// k in {8,16}.
+Expected<TcInstr> validate(TcInstr instr);
+
+/// Lower a PTX tensor-core instruction to its SASS mnemonic on `device`.
+/// Errors when the device cannot execute it at all (FP8 mma anywhere,
+/// wgmma before Hopper).  INT4-on-Hopper succeeds but returns the IMAD
+/// CUDA-core fallback, exactly as the paper observed.
+Expected<std::string> compile_to_sass(const TcInstr& instr,
+                                      const arch::DeviceSpec& device);
+
+/// True when the lowering runs on tensor cores (false for the Hopper INT4
+/// IMAD fallback).
+bool runs_on_tensor_cores(const TcInstr& instr, const arch::DeviceSpec& device);
+
+}  // namespace hsim::isa

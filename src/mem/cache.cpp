@@ -1,0 +1,84 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+namespace hsim::mem {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  HSIM_ASSERT(config.line_bytes > 0 && config.sector_bytes > 0);
+  HSIM_ASSERT(config.line_bytes % config.sector_bytes == 0);
+  HSIM_ASSERT(config.ways > 0);
+  const auto lines_total =
+      config.size_bytes / static_cast<std::uint64_t>(config.line_bytes);
+  HSIM_ASSERT(lines_total >= static_cast<std::uint64_t>(config.ways));
+  num_sets_ = static_cast<int>(lines_total / static_cast<std::uint64_t>(config.ways));
+  HSIM_ASSERT(num_sets_ > 0);
+  sectors_per_line_ = config.line_bytes / config.sector_bytes;
+  HSIM_ASSERT(sectors_per_line_ <= 32);
+  lines_.resize(static_cast<std::size_t>(num_sets_) *
+                static_cast<std::size_t>(config.ways));
+}
+
+CacheOutcome Cache::access(std::uint64_t addr, bool allocate) {
+  const std::uint64_t line = line_addr(addr);
+  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(num_sets_));
+  const std::uint64_t tag = line / static_cast<std::uint64_t>(num_sets_);
+  const std::uint32_t sector_bit = 1u << sector_index(addr);
+  Line* base = &lines_[set * static_cast<std::size_t>(config_.ways)];
+
+  // Search the set.
+  for (int w = 0; w < config_.ways; ++w) {
+    Line& entry = base[w];
+    if (entry.valid && entry.tag == tag) {
+      entry.lru_stamp = next_stamp_++;
+      if (entry.sector_valid & sector_bit) {
+        ++stats_.hits;
+        return CacheOutcome::kHit;
+      }
+      ++stats_.sector_misses;
+      if (allocate) entry.sector_valid |= sector_bit;
+      return CacheOutcome::kSectorMiss;
+    }
+  }
+
+  ++stats_.line_misses;
+  if (allocate) {
+    // Victim: invalid way first, else LRU.
+    Line* victim = &base[0];
+    for (int w = 0; w < config_.ways; ++w) {
+      if (!base[w].valid) {
+        victim = &base[w];
+        break;
+      }
+      if (base[w].lru_stamp < victim->lru_stamp) victim = &base[w];
+    }
+    if (victim->valid) ++stats_.evictions;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->sector_valid = sector_bit;
+    victim->lru_stamp = next_stamp_++;
+  }
+  return CacheOutcome::kLineMiss;
+}
+
+CacheOutcome Cache::probe(std::uint64_t addr) const {
+  const std::uint64_t line = line_addr(addr);
+  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(num_sets_));
+  const std::uint64_t tag = line / static_cast<std::uint64_t>(num_sets_);
+  const std::uint32_t sector_bit = 1u << sector_index(addr);
+  const Line* base = &lines_[set * static_cast<std::size_t>(config_.ways)];
+  for (int w = 0; w < config_.ways; ++w) {
+    const Line& entry = base[w];
+    if (entry.valid && entry.tag == tag) {
+      return (entry.sector_valid & sector_bit) ? CacheOutcome::kHit
+                                               : CacheOutcome::kSectorMiss;
+    }
+  }
+  return CacheOutcome::kLineMiss;
+}
+
+void Cache::flush() {
+  for (auto& entry : lines_) entry = Line{};
+}
+
+}  // namespace hsim::mem

@@ -1,0 +1,85 @@
+// Set-associative, sectored cache tag model.
+//
+// Nvidia L1/L2 caches use 128-byte lines split into four 32-byte sectors:
+// a miss allocates the line's tag but fetches only the touched sector.  The
+// model tracks tags, per-sector valid bits and LRU state; it is functional
+// over addresses only (no data array — the simulator's workloads carry
+// their own data), which keeps a 50 MiB L2 model at a few MiB of host RAM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hsim::mem {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 128 * 1024;
+  int line_bytes = 128;
+  int sector_bytes = 32;
+  int ways = 4;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t sector_misses = 0;  // tag present, sector not yet fetched
+  std::uint64_t line_misses = 0;    // tag absent
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return hits + sector_misses + line_misses;
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const auto n = accesses();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+enum class CacheOutcome : std::uint8_t { kHit, kSectorMiss, kLineMiss };
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Look up `addr`; on a miss, allocate (if `allocate`) the line/sector.
+  /// Returns what the lookup found *before* any allocation.
+  CacheOutcome access(std::uint64_t addr, bool allocate = true);
+
+  /// Non-mutating probe: would `addr` hit right now?
+  [[nodiscard]] CacheOutcome probe(std::uint64_t addr) const;
+
+  /// Invalidate everything (keeps statistics).
+  void flush();
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int num_sets() const noexcept { return num_sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint32_t sector_valid = 0;  // bitmask, bit i = sector i present
+    std::uint64_t lru_stamp = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::uint64_t line_addr(std::uint64_t addr) const noexcept {
+    return addr / static_cast<std::uint64_t>(config_.line_bytes);
+  }
+  [[nodiscard]] int sector_index(std::uint64_t addr) const noexcept {
+    return static_cast<int>((addr % static_cast<std::uint64_t>(config_.line_bytes)) /
+                            static_cast<std::uint64_t>(config_.sector_bytes));
+  }
+
+  CacheConfig config_;
+  int num_sets_ = 0;
+  int sectors_per_line_ = 0;
+  std::vector<Line> lines_;  // num_sets * ways, row-major by set
+  std::uint64_t next_stamp_ = 1;
+  CacheStats stats_;
+};
+
+}  // namespace hsim::mem

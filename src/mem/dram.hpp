@@ -1,0 +1,77 @@
+// DRAM (HBM2e / GDDR6X) bandwidth model.
+//
+// Transfers move in 32-byte sectors at the pin bandwidth; each sector
+// additionally pays a fixed command overhead (activation, refresh and bus
+// turnaround folded into one constant).  The achieved/pin ratio therefore
+// *emerges* from transaction granularity — the paper measures 90-92% on all
+// three boards, and the overhead constant is calibrated to land there.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "sim/pipeline.hpp"
+
+namespace hsim::mem {
+
+struct DramConfig {
+  double peak_gbps = 2039;        // datasheet pin bandwidth (GB/s decimal)
+  double core_clock_hz = 1.755e9; // convert to bytes per core clock
+  double latency_cycles = 480;    // load-to-use on a full miss
+  double sector_overhead_cycles = 0.0;  // per-32B-sector command overhead
+  int sector_bytes = 32;
+};
+
+class Dram {
+ public:
+  explicit Dram(const DramConfig& config) : config_(config) {
+    HSIM_ASSERT(config.peak_gbps > 0 && config.core_clock_hz > 0);
+    pin_bytes_per_clk_ = config.peak_gbps * 1e9 / config.core_clock_hz;
+  }
+
+  /// Pin bandwidth expressed in bytes per core clock.
+  [[nodiscard]] double pin_bytes_per_clk() const noexcept { return pin_bytes_per_clk_; }
+
+  /// Occupy the DRAM channel for a `bytes`-sized request that is ready at
+  /// `ready_time`; returns data-available time.  Requests are split into
+  /// sectors, each paying the pin transfer plus the command overhead.
+  double request(double ready_time, std::uint32_t bytes) noexcept {
+    const int sectors =
+        static_cast<int>((bytes + static_cast<std::uint32_t>(config_.sector_bytes) - 1) /
+                         static_cast<std::uint32_t>(config_.sector_bytes));
+    double done = ready_time;
+    for (int s = 0; s < sectors; ++s) {
+      const double duration =
+          static_cast<double>(config_.sector_bytes) / pin_bytes_per_clk_ +
+          config_.sector_overhead_cycles;
+      done = channel_.issue(ready_time, duration, duration);
+    }
+    bytes_moved_ += bytes;
+    return done + config_.latency_cycles;
+  }
+
+  /// Steady-state achieved bandwidth for sector-granular streaming, in
+  /// bytes per core clock (analytic; the benches also measure it by
+  /// issuing real requests and timing the drain).
+  [[nodiscard]] double streaming_bytes_per_clk() const noexcept {
+    const double per_sector =
+        static_cast<double>(config_.sector_bytes) / pin_bytes_per_clk_ +
+        config_.sector_overhead_cycles;
+    return static_cast<double>(config_.sector_bytes) / per_sector;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_moved() const noexcept { return bytes_moved_; }
+  [[nodiscard]] double busy_until() const noexcept { return channel_.next_free(); }
+  void reset() noexcept {
+    channel_.reset();
+    bytes_moved_ = 0;
+  }
+
+ private:
+  DramConfig config_;
+  double pin_bytes_per_clk_;
+  sim::PipelinedUnit channel_;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace hsim::mem

@@ -1,0 +1,165 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+
+namespace hsim::mem {
+namespace {
+
+// DRAM sector command overhead calibrated so streaming efficiency lands at
+// the device's measured fraction of pin bandwidth: solving
+//   eff = sector / (sector + overhead * pin_Bclk)  for overhead.
+double overhead_for_efficiency(double efficiency, double pin_bytes_per_clk,
+                               int sector_bytes) {
+  HSIM_ASSERT(efficiency > 0.0 && efficiency <= 1.0);
+  const double per_sector_ideal = static_cast<double>(sector_bytes) / pin_bytes_per_clk;
+  return per_sector_ideal * (1.0 / efficiency - 1.0);
+}
+
+}  // namespace
+
+MemorySystem::MemorySystem(const arch::DeviceSpec& device, int active_sms)
+    : device_(device) {
+  HSIM_ASSERT(active_sms >= 1 && active_sms <= device.sm_count);
+  const auto& m = device.memory;
+
+  for (int i = 0; i < active_sms; ++i) {
+    CacheConfig l1cfg;
+    l1cfg.size_bytes = m.l1_bytes_per_sm;
+    l1cfg.line_bytes = m.l1_line_bytes;
+    l1cfg.sector_bytes = m.sector_bytes;
+    l1cfg.ways = m.l1_ways;
+    l1_.push_back(std::make_unique<Cache>(l1cfg));
+    l1_port_.emplace_back();
+  }
+
+  CacheConfig l2cfg;
+  l2cfg.size_bytes = m.l2_bytes;
+  l2cfg.line_bytes = m.l1_line_bytes;
+  l2cfg.sector_bytes = m.sector_bytes;
+  l2cfg.ways = m.l2_ways;
+  l2_ = std::make_unique<Cache>(l2cfg);
+
+  DramConfig dcfg;
+  dcfg.peak_gbps = m.dram_peak_gbps;
+  dcfg.core_clock_hz = device.clock_hz();
+  dcfg.latency_cycles = m.dram_latency;
+  dcfg.sector_bytes = m.sector_bytes;
+  const double pin = m.dram_peak_gbps * 1e9 / device.clock_hz();
+  dcfg.sector_overhead_cycles =
+      overhead_for_efficiency(m.dram_efficiency, pin, m.sector_bytes);
+  dram_ = std::make_unique<Dram>(dcfg);
+
+  tlb_ = std::make_unique<Tlb>(/*entries=*/128, /*page_bytes=*/2ull << 20);
+}
+
+double MemorySystem::l1_width(int access_bytes) const {
+  const auto& m = device_.memory;
+  if (access_bytes >= 16) return m.l1_bytes_per_clk_vec;
+  if (access_bytes >= 8) return m.l1_bytes_per_clk_wide;
+  return m.l1_bytes_per_clk_scalar;
+}
+
+double MemorySystem::l2_width(int access_bytes) const {
+  const auto& m = device_.memory;
+  if (access_bytes >= 16) return m.l2_bytes_per_clk_vec;
+  if (access_bytes >= 8) return m.l2_bytes_per_clk_wide;
+  return m.l2_bytes_per_clk_scalar;
+}
+
+LoadResult MemorySystem::load(int sm, std::uint64_t addr, MemSpace space, double now) {
+  const auto& m = device_.memory;
+  LoadResult out;
+  if (space == MemSpace::kShared) {
+    out.ready_time = now + m.smem_latency;
+    out.served_by = MemLevel::kShared;
+    return out;
+  }
+
+  out.tlb_miss = !tlb_->access(addr);
+  const double tlb_extra = out.tlb_miss ? m.tlb_miss_penalty : 0.0;
+
+  if (space == MemSpace::kGlobalCa) {
+    const auto l1_outcome = l1(sm).access(addr);
+    if (l1_outcome == CacheOutcome::kHit) {
+      out.ready_time = now + m.l1_hit_latency + tlb_extra;
+      out.served_by = MemLevel::kL1;
+      return out;
+    }
+  }
+
+  const auto l2_outcome = l2_->access(addr);
+  if (l2_outcome == CacheOutcome::kHit) {
+    out.ready_time = now + m.l2_hit_latency + tlb_extra;
+    out.served_by = MemLevel::kL2;
+    return out;
+  }
+
+  out.ready_time = now + m.dram_latency + tlb_extra;
+  out.served_by = MemLevel::kDram;
+  return out;
+}
+
+double MemorySystem::warp_transaction(int sm, std::uint64_t addr, std::uint32_t bytes,
+                                      int access_bytes, MemSpace space, double now) {
+  const auto& m = device_.memory;
+  if (space == MemSpace::kShared) {
+    // Conflict-free path; conflicted patterns go through SharedMemory's
+    // analyser in the SM model.
+    const double duration = static_cast<double>(bytes) / m.smem_bytes_per_clk;
+    auto& port = l1_port_[static_cast<std::size_t>(sm)];  // unified L1/smem
+    return port.issue(now, duration, duration + m.smem_latency);
+  }
+
+  // Classify the transaction's sectors through the cache hierarchy.
+  const auto sector = static_cast<std::uint32_t>(m.sector_bytes);
+  bool any_l2 = false;
+  bool any_dram = false;
+  for (std::uint64_t a = addr; a < addr + bytes; a += sector) {
+    bool l1_hit = false;
+    if (space == MemSpace::kGlobalCa) {
+      l1_hit = l1(sm).access(a) == CacheOutcome::kHit;
+    }
+    if (!l1_hit) {
+      if (l2_->access(a) == CacheOutcome::kHit) {
+        any_l2 = true;
+      } else {
+        any_dram = true;
+      }
+    }
+  }
+
+  // L1 port is always traversed (it is the SM's load/store path).
+  const double l1_duration = static_cast<double>(bytes) / l1_width(access_bytes);
+  auto& port = l1_port_[static_cast<std::size_t>(sm)];
+  double done = port.issue(now, l1_duration, l1_duration + m.l1_hit_latency);
+
+  if (any_l2 || any_dram) {
+    const double l2_duration = static_cast<double>(bytes) / l2_width(access_bytes);
+    const double l2_done =
+        l2_port_.issue(now, l2_duration, l2_duration + m.l2_hit_latency);
+    done = std::max(done - m.l1_hit_latency, l2_done);
+  }
+  if (any_dram) {
+    done = std::max(done, dram_->request(now, bytes));
+  }
+  return done;
+}
+
+void MemorySystem::warm(std::uint64_t base, std::uint64_t size, MemSpace space, int sm) {
+  const auto sector = static_cast<std::uint64_t>(device_.memory.sector_bytes);
+  for (std::uint64_t a = base; a < base + size; a += sector) {
+    if (space == MemSpace::kGlobalCa) l1(sm).access(a);
+    if (space != MemSpace::kShared) {
+      l2_->access(a);
+      tlb_->access(a);
+    }
+  }
+}
+
+void MemorySystem::reset_timing() {
+  for (auto& port : l1_port_) port.reset();
+  l2_port_.reset();
+  dram_->reset();
+}
+
+}  // namespace hsim::mem

@@ -1,0 +1,84 @@
+// Composed device memory system: per-SM L1s, device L2, DRAM, TLB.
+//
+// Two access paths mirror how the paper's benchmarks use memory:
+//   * `load` — the latency path: one dependent access at a time, returning
+//     the load-to-use completion time for whichever level serviced it;
+//   * `warp_transaction` — the throughput path: a coalesced warp-wide
+//     request that occupies the L1 port, and the L2/DRAM ports when it
+//     misses, so aggregate bandwidth emerges from port contention.
+// `ld.ca` allocates in L1 + L2; `ld.cg` bypasses L1 (the paper uses the two
+// modifiers to place working sets in specific levels).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/tlb.hpp"
+#include "sim/pipeline.hpp"
+
+namespace hsim::mem {
+
+enum class MemSpace : std::uint8_t { kGlobalCa, kGlobalCg, kShared };
+enum class MemLevel : std::uint8_t { kL1, kL2, kDram, kShared };
+
+constexpr std::string_view to_string(MemLevel level) noexcept {
+  switch (level) {
+    case MemLevel::kL1: return "L1";
+    case MemLevel::kL2: return "L2";
+    case MemLevel::kDram: return "Global";
+    case MemLevel::kShared: return "Shared";
+  }
+  return "?";
+}
+
+struct LoadResult {
+  double ready_time = 0;      // cycles; when the value is usable
+  MemLevel served_by = MemLevel::kL1;
+  bool tlb_miss = false;
+};
+
+class MemorySystem {
+ public:
+  /// `active_sms` controls how many per-SM L1 instances are materialised.
+  MemorySystem(const arch::DeviceSpec& device, int active_sms);
+
+  /// Latency path: a single (thread-granular) dependent load.
+  LoadResult load(int sm, std::uint64_t addr, MemSpace space, double now);
+
+  /// Throughput path: one coalesced warp transaction of `bytes` total,
+  /// made of `access_bytes`-wide per-thread accesses (4 = FP32, 8 = FP64,
+  /// 16 = float4).  Returns the completion time.
+  double warp_transaction(int sm, std::uint64_t addr, std::uint32_t bytes,
+                          int access_bytes, MemSpace space, double now);
+
+  /// Pre-fill a byte range into a level (the benchmark warm-up phase).
+  void warm(std::uint64_t base, std::uint64_t size, MemSpace space, int sm = 0);
+
+  [[nodiscard]] Cache& l1(int sm) { return *l1_[static_cast<std::size_t>(sm)]; }
+  [[nodiscard]] Cache& l2() { return *l2_; }
+  [[nodiscard]] Dram& dram() { return *dram_; }
+  [[nodiscard]] Tlb& tlb() { return *tlb_; }
+  [[nodiscard]] const arch::DeviceSpec& device() const { return device_; }
+  [[nodiscard]] int active_sms() const { return static_cast<int>(l1_.size()); }
+
+  /// Port width (bytes/clk) the L1 presents to accesses of this size.
+  [[nodiscard]] double l1_width(int access_bytes) const;
+  /// Device-wide L2 width for this access size.
+  [[nodiscard]] double l2_width(int access_bytes) const;
+
+  void reset_timing();
+
+ private:
+  const arch::DeviceSpec& device_;
+  std::vector<std::unique_ptr<Cache>> l1_;
+  std::vector<sim::PipelinedUnit> l1_port_;
+  std::unique_ptr<Cache> l2_;
+  sim::PipelinedUnit l2_port_;
+  std::unique_ptr<Dram> dram_;
+  std::unique_ptr<Tlb> tlb_;
+};
+
+}  // namespace hsim::mem

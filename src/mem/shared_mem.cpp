@@ -1,0 +1,51 @@
+#include "mem/shared_mem.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hsim::mem {
+
+SharedMemory::SharedMemory(std::uint64_t size_bytes, int banks, int bank_word_bytes)
+    : data_(size_bytes, 0), banks_(banks), word_bytes_(bank_word_bytes) {
+  HSIM_ASSERT(banks > 0 && bank_word_bytes > 0);
+}
+
+int SharedMemory::conflict_degree(std::span<const std::uint32_t> byte_addrs) const {
+  if (byte_addrs.empty()) return 1;
+  // For each bank, count *distinct* words (broadcast of one word is free).
+  // Lane counts are tiny (<= 32), so linear scans of small vectors beat any
+  // hash structure here.
+  std::vector<std::vector<std::uint32_t>> words_per_bank(
+      static_cast<std::size_t>(banks_));
+  for (const std::uint32_t addr : byte_addrs) {
+    const auto bank = static_cast<std::size_t>(bank_of(addr));
+    const std::uint32_t word = addr / static_cast<std::uint32_t>(word_bytes_);
+    auto& words = words_per_bank[bank];
+    if (std::find(words.begin(), words.end(), word) == words.end()) {
+      words.push_back(word);
+    }
+  }
+  std::size_t degree = 1;
+  for (const auto& words : words_per_bank) degree = std::max(degree, words.size());
+  return static_cast<int>(degree);
+}
+
+std::uint32_t SharedMemory::load_u32(std::uint32_t byte_addr) const {
+  HSIM_ASSERT(byte_addr + 4 <= data_.size());
+  std::uint32_t value;
+  std::memcpy(&value, data_.data() + byte_addr, sizeof(value));
+  return value;
+}
+
+void SharedMemory::store_u32(std::uint32_t byte_addr, std::uint32_t value) {
+  HSIM_ASSERT(byte_addr + 4 <= data_.size());
+  std::memcpy(data_.data() + byte_addr, &value, sizeof(value));
+}
+
+std::uint32_t SharedMemory::atomic_add_u32(std::uint32_t byte_addr, std::uint32_t value) {
+  const std::uint32_t old = load_u32(byte_addr);
+  store_u32(byte_addr, old + value);
+  return old;
+}
+
+}  // namespace hsim::mem

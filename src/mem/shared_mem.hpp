@@ -1,0 +1,48 @@
+// Banked shared-memory model.
+//
+// Shared memory is split into 32 banks of 4-byte words; a warp access that
+// maps two different words to the same bank serialises into that many
+// phases.  The model provides both conflict analysis (timing) and a real
+// byte-addressable backing store (the DSM histogram application stores its
+// bins here).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hsim::mem {
+
+class SharedMemory {
+ public:
+  SharedMemory(std::uint64_t size_bytes, int banks = 32, int bank_word_bytes = 4);
+
+  /// Number of serialised phases for a warp's worth of word addresses:
+  /// the max, over banks, of distinct words touched in that bank.
+  /// Broadcasts (same word) do not conflict.  Returns >= 1.
+  [[nodiscard]] int conflict_degree(std::span<const std::uint32_t> byte_addrs) const;
+
+  /// Functional 32-bit load/store (histogram bins, reduction scratch).
+  [[nodiscard]] std::uint32_t load_u32(std::uint32_t byte_addr) const;
+  void store_u32(std::uint32_t byte_addr, std::uint32_t value);
+  /// Atomic add returning the old value (models atomicAdd on shared).
+  std::uint32_t atomic_add_u32(std::uint32_t byte_addr, std::uint32_t value);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] int banks() const noexcept { return banks_; }
+  void fill(std::uint8_t byte) { std::fill(data_.begin(), data_.end(), byte); }
+
+ private:
+  [[nodiscard]] int bank_of(std::uint32_t byte_addr) const noexcept {
+    return static_cast<int>((byte_addr / static_cast<std::uint32_t>(word_bytes_)) %
+                            static_cast<std::uint32_t>(banks_));
+  }
+
+  std::vector<std::uint8_t> data_;
+  int banks_;
+  int word_bytes_;
+};
+
+}  // namespace hsim::mem

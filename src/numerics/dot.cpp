@@ -1,0 +1,55 @@
+#include "numerics/dot.hpp"
+
+#include <bit>
+
+#include "common/status.hpp"
+
+namespace hsim::num {
+
+float dot_accumulate_fp32(std::span<const float> a, std::span<const float> b,
+                          float c) noexcept {
+  HSIM_ASSERT(a.size() == b.size());
+  float acc = c;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Product is exact for <=12-bit significands; the FP32 multiply below is
+    // itself correctly rounded, so for FP16/TF32/FP8 inputs this is exact.
+    acc += a[i] * b[i];  // each partial sum rounded to FP32 (RNE)
+  }
+  return acc;
+}
+
+fp16 dot_accumulate_fp16(std::span<const float> a, std::span<const float> b,
+                         fp16 c) noexcept {
+  HSIM_ASSERT(a.size() == b.size());
+  float acc = c.to_float();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float prod = a[i] * b[i];  // exact for FP16 inputs
+    acc = round_through(acc + prod, kFp16Spec);
+  }
+  return fp16(acc);
+}
+
+std::int32_t dot_accumulate_s32(std::span<const std::int8_t> a,
+                                std::span<const std::int8_t> b,
+                                std::int32_t c) noexcept {
+  HSIM_ASSERT(a.size() == b.size());
+  std::int64_t acc = c;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  // IMMA accumulators are 32-bit; wraparound matches hardware.
+  return static_cast<std::int32_t>(acc);
+}
+
+std::int32_t dot_and_popc(std::span<const std::uint32_t> a,
+                          std::span<const std::uint32_t> b,
+                          std::int32_t c) noexcept {
+  HSIM_ASSERT(a.size() == b.size());
+  std::int32_t acc = c;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::popcount(a[i] & b[i]);
+  }
+  return acc;
+}
+
+}  // namespace hsim::num

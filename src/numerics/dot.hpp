@@ -1,0 +1,41 @@
+// Tensor-core inner-product arithmetic.
+//
+// Models the numeric pipeline Fasi et al. (2021) measured on real tensor
+// cores and that Sun et al. (2023) confirmed for Ampere:
+//   * each a_i * b_i product is computed exactly (the product of two 11-bit
+//     significands fits in FP32's 24-bit significand; FP8/TF32 likewise),
+//   * products are accumulated left-to-right into the accumulator precision
+//     (FP32 accumulate rounds each partial sum to FP32; FP16 accumulate
+//     rounds each partial sum through FP16).
+// Integer paths accumulate exactly in int32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "numerics/formats.hpp"
+#include "numerics/types.hpp"
+
+namespace hsim::num {
+
+/// FP32-accumulating dot product of two spans already decoded to float
+/// (inputs must have been rounded through their storage format).
+float dot_accumulate_fp32(std::span<const float> a, std::span<const float> b,
+                          float c) noexcept;
+
+/// FP16-accumulating dot product: every partial sum is rounded through FP16,
+/// matching HMMA.F16 accumulation.
+fp16 dot_accumulate_fp16(std::span<const float> a, std::span<const float> b,
+                         fp16 c) noexcept;
+
+/// INT8 -> INT32 dot product (IMMA): exact.
+std::int32_t dot_accumulate_s32(std::span<const std::int8_t> a,
+                                std::span<const std::int8_t> b,
+                                std::int32_t c) noexcept;
+
+/// Binary AND + population count accumulate (BMMA .AND.POPC).
+std::int32_t dot_and_popc(std::span<const std::uint32_t> a,
+                          std::span<const std::uint32_t> b,
+                          std::int32_t c) noexcept;
+
+}  // namespace hsim::num

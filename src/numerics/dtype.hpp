@@ -1,0 +1,72 @@
+// Runtime data-type descriptor shared by the ISA, tensor-core and
+// transformer-engine layers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hsim::num {
+
+enum class DType : std::uint8_t {
+  kFp32,
+  kFp16,
+  kBf16,
+  kTf32,
+  kFp8E4M3,
+  kFp8E5M2,
+  kFp64,
+  kInt32,
+  kInt8,
+  kInt4,
+  kBinary,  // 1-bit, BMMA
+};
+
+constexpr std::string_view to_string(DType t) noexcept {
+  switch (t) {
+    case DType::kFp32: return "FP32";
+    case DType::kFp16: return "FP16";
+    case DType::kBf16: return "BF16";
+    case DType::kTf32: return "TF32";
+    case DType::kFp8E4M3: return "FP8.E4M3";
+    case DType::kFp8E5M2: return "FP8.E5M2";
+    case DType::kFp64: return "FP64";
+    case DType::kInt32: return "INT32";
+    case DType::kInt8: return "INT8";
+    case DType::kInt4: return "INT4";
+    case DType::kBinary: return "Binary";
+  }
+  return "?";
+}
+
+/// Storage size in *bits* (INT4 and Binary are sub-byte).
+constexpr int bit_width(DType t) noexcept {
+  switch (t) {
+    case DType::kFp32:
+    case DType::kTf32:  // TF32 occupies a 32-bit container in memory
+    case DType::kInt32: return 32;
+    case DType::kFp64: return 64;
+    case DType::kFp16:
+    case DType::kBf16: return 16;
+    case DType::kFp8E4M3:
+    case DType::kFp8E5M2:
+    case DType::kInt8: return 8;
+    case DType::kInt4: return 4;
+    case DType::kBinary: return 1;
+  }
+  return 0;
+}
+
+constexpr double byte_width(DType t) noexcept {
+  return static_cast<double>(bit_width(t)) / 8.0;
+}
+
+constexpr bool is_integer(DType t) noexcept {
+  return t == DType::kInt32 || t == DType::kInt8 || t == DType::kInt4 ||
+         t == DType::kBinary;
+}
+
+constexpr bool is_fp8(DType t) noexcept {
+  return t == DType::kFp8E4M3 || t == DType::kFp8E5M2;
+}
+
+}  // namespace hsim::num

@@ -1,0 +1,177 @@
+#include "numerics/formats.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace hsim::num {
+namespace {
+
+constexpr std::uint32_t kF32SignMask = 0x8000'0000u;
+constexpr std::uint32_t kF32ManMask = 0x007F'FFFFu;
+
+std::uint32_t nan_bits(std::uint32_t sign, const FormatSpec& spec) {
+  const auto exp_field = static_cast<std::uint32_t>(spec.max_exp_field());
+  std::uint32_t man_field;
+  if (spec.has_inf) {
+    // Canonical quiet NaN: MSB of mantissa set.
+    man_field = 1u << (spec.man_bits - 1);
+  } else {
+    // E4M3: the single NaN encoding is S.1111.111.
+    man_field = (1u << spec.man_bits) - 1;
+  }
+  return (sign << (spec.exp_bits + spec.man_bits)) |
+         (exp_field << spec.man_bits) | man_field;
+}
+
+std::uint32_t inf_bits(std::uint32_t sign, const FormatSpec& spec) {
+  HSIM_ASSERT(spec.has_inf);
+  const auto exp_field = static_cast<std::uint32_t>(spec.max_exp_field());
+  return (sign << (spec.exp_bits + spec.man_bits)) | (exp_field << spec.man_bits);
+}
+
+std::uint32_t max_finite_bits(std::uint32_t sign, const FormatSpec& spec) {
+  std::uint32_t exp_field;
+  std::uint32_t man_field;
+  if (spec.has_inf) {
+    exp_field = static_cast<std::uint32_t>(spec.max_exp_field() - 1);
+    man_field = (1u << spec.man_bits) - 1;
+  } else {
+    exp_field = static_cast<std::uint32_t>(spec.max_exp_field());
+    man_field = (1u << spec.man_bits) - 2;  // all-ones is NaN
+  }
+  return (sign << (spec.exp_bits + spec.man_bits)) |
+         (exp_field << spec.man_bits) | man_field;
+}
+
+std::uint32_t overflow_bits(std::uint32_t sign, const FormatSpec& spec,
+                            Overflow policy) {
+  if (policy == Overflow::kSaturate) return max_finite_bits(sign, spec);
+  return spec.has_inf ? inf_bits(sign, spec) : nan_bits(sign, spec);
+}
+
+}  // namespace
+
+std::uint32_t encode(float value, const FormatSpec& spec, Overflow policy) noexcept {
+  const auto fbits = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = fbits >> 31;
+  const std::uint32_t sign_field = sign << (spec.exp_bits + spec.man_bits);
+  const int raw_exp = static_cast<int>((fbits >> 23) & 0xFFu);
+  const std::uint32_t raw_man = fbits & kF32ManMask;
+
+  if (raw_exp == 0xFF) {
+    if (raw_man != 0) return nan_bits(sign, spec);  // NaN in -> NaN out
+    // Infinity: satfinite clamps it, otherwise it propagates (or becomes NaN
+    // for E4M3, which cannot represent it).
+    return overflow_bits(sign, spec, policy);
+  }
+  if (raw_exp == 0 && raw_man == 0) return sign_field;  // signed zero
+
+  // Normalise to significand in [2^23, 2^24) and unbiased exponent.
+  int exp;
+  std::uint64_t sig;
+  if (raw_exp == 0) {
+    // FP32 subnormal.
+    exp = -126;
+    sig = raw_man;
+    while (sig < (1ull << 23)) {
+      sig <<= 1;
+      --exp;
+    }
+  } else {
+    exp = raw_exp - 127;
+    sig = (1ull << 23) | raw_man;
+  }
+
+  // Right-shift so the implicit bit lands at position spec.man_bits; values
+  // below the normal range get an extra shift (gradual underflow).
+  int te = exp;
+  int shift = 23 - spec.man_bits;
+  if (te < spec.min_normal_exp()) {
+    shift += spec.min_normal_exp() - te;
+    te = spec.min_normal_exp();
+  }
+
+  std::uint64_t rounded;
+  if (shift >= 64) {
+    rounded = 0;
+  } else {
+    const std::uint64_t ulp = 1ull << shift;
+    const std::uint64_t half = ulp >> 1;
+    const std::uint64_t rem = sig & (ulp - 1);
+    rounded = sig >> shift;
+    if (rem > half || (rem == half && (rounded & 1ull))) ++rounded;
+  }
+
+  const auto implicit = 1u << spec.man_bits;
+  std::uint32_t exp_field;
+  std::uint32_t man_field;
+  if (rounded < implicit) {
+    // Zero or subnormal result.  (Only reachable via the underflow path.)
+    exp_field = 0;
+    man_field = static_cast<std::uint32_t>(rounded);
+  } else {
+    if (rounded >= (static_cast<std::uint64_t>(implicit) << 1)) {
+      // Rounding carried into the exponent.
+      rounded >>= 1;
+      ++te;
+    }
+    if (te > spec.max_finite_exp()) return overflow_bits(sign, spec, policy);
+    exp_field = static_cast<std::uint32_t>(te + spec.bias);
+    man_field = static_cast<std::uint32_t>(rounded) - implicit;
+    if (!spec.has_inf &&
+        exp_field == static_cast<std::uint32_t>(spec.max_exp_field()) &&
+        man_field == (1u << spec.man_bits) - 1) {
+      // E4M3: the would-be encoding collides with NaN -> overflow.
+      return overflow_bits(sign, spec, policy);
+    }
+  }
+  return sign_field | (exp_field << spec.man_bits) | man_field;
+}
+
+float decode(std::uint32_t bits, const FormatSpec& spec) noexcept {
+  const std::uint32_t man_mask = (1u << spec.man_bits) - 1;
+  const std::uint32_t sign = (bits >> (spec.exp_bits + spec.man_bits)) & 1u;
+  const std::uint32_t exp_field =
+      (bits >> spec.man_bits) & static_cast<std::uint32_t>(spec.max_exp_field());
+  const std::uint32_t man_field = bits & man_mask;
+
+  float magnitude;
+  if (exp_field == 0) {
+    magnitude = std::ldexp(static_cast<float>(man_field),
+                           spec.min_normal_exp() - spec.man_bits);
+  } else if (spec.has_inf &&
+             exp_field == static_cast<std::uint32_t>(spec.max_exp_field())) {
+    if (man_field != 0) return std::numeric_limits<float>::quiet_NaN();
+    magnitude = std::numeric_limits<float>::infinity();
+  } else if (!spec.has_inf &&
+             exp_field == static_cast<std::uint32_t>(spec.max_exp_field()) &&
+             man_field == man_mask) {
+    return std::numeric_limits<float>::quiet_NaN();
+  } else {
+    const float frac =
+        1.0f + static_cast<float>(man_field) / static_cast<float>(1u << spec.man_bits);
+    magnitude = std::ldexp(frac, static_cast<int>(exp_field) - spec.bias);
+  }
+  return sign ? -magnitude : magnitude;
+}
+
+bool is_nan_bits(std::uint32_t bits, const FormatSpec& spec) noexcept {
+  const std::uint32_t man_mask = (1u << spec.man_bits) - 1;
+  const std::uint32_t exp_field =
+      (bits >> spec.man_bits) & static_cast<std::uint32_t>(spec.max_exp_field());
+  const std::uint32_t man_field = bits & man_mask;
+  if (exp_field != static_cast<std::uint32_t>(spec.max_exp_field())) return false;
+  return spec.has_inf ? man_field != 0 : man_field == man_mask;
+}
+
+bool is_inf_bits(std::uint32_t bits, const FormatSpec& spec) noexcept {
+  if (!spec.has_inf) return false;
+  const std::uint32_t man_mask = (1u << spec.man_bits) - 1;
+  const std::uint32_t exp_field =
+      (bits >> spec.man_bits) & static_cast<std::uint32_t>(spec.max_exp_field());
+  return exp_field == static_cast<std::uint32_t>(spec.max_exp_field()) &&
+         (bits & man_mask) == 0;
+}
+
+}  // namespace hsim::num

@@ -1,0 +1,89 @@
+// Software implementations of the reduced-precision floating-point formats
+// used by Nvidia tensor cores: FP16 (E5M10), BF16 (E8M7), TF32 (E8M10),
+// FP8 E4M3 and FP8 E5M2.
+//
+// Encoding follows IEEE-754 semantics (round-to-nearest-even, gradual
+// underflow) except where the hardware deviates:
+//   * E4M3 follows the OCP FP8 spec: no infinities, exponent field 0xF is
+//     reused for finite values up to 448, and S.1111.111 is the only NaN.
+//   * TF32 is a 19-bit format stored in a 32-bit container; conversion from
+//     FP32 rounds the mantissa to 10 bits.
+// Overflow policy is explicit because PTX cvt offers both: kSaturate models
+// cvt.rn.satfinite (clamp to +-max finite), kPropagate models the default
+// (overflow to inf for formats that have one, NaN for E4M3).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace hsim::num {
+
+/// What to do when a conversion overflows the target range.
+enum class Overflow : std::uint8_t {
+  kPropagate,  // -> inf (IEEE formats) or NaN (E4M3)
+  kSaturate,   // -> +-max finite (PTX .satfinite)
+};
+
+/// Compile-time description of a small binary floating-point format.
+struct FormatSpec {
+  int exp_bits;
+  int man_bits;
+  int bias;
+  bool has_inf;    // false only for E4M3
+  const char* name;
+
+  [[nodiscard]] constexpr int total_bits() const { return 1 + exp_bits + man_bits; }
+  [[nodiscard]] constexpr int max_exp_field() const { return (1 << exp_bits) - 1; }
+  /// Largest unbiased exponent usable for finite values.
+  [[nodiscard]] constexpr int max_finite_exp() const {
+    // IEEE formats reserve the top exponent field for inf/NaN; E4M3 uses it
+    // for finite values (mantissa 0x7 at top exponent is NaN).
+    return has_inf ? max_exp_field() - 1 - bias : max_exp_field() - bias;
+  }
+  [[nodiscard]] constexpr int min_normal_exp() const { return 1 - bias; }
+  /// Largest finite magnitude, as a double (exact).
+  [[nodiscard]] constexpr double max_finite() const {
+    const int top_man = has_inf ? (1 << man_bits) - 1 : (1 << man_bits) - 2;
+    double man = 1.0 + static_cast<double>(top_man) / static_cast<double>(1 << man_bits);
+    double pow2 = 1.0;
+    int e = max_finite_exp();
+    for (int i = 0; i < (e >= 0 ? e : -e); ++i) pow2 *= 2.0;
+    return e >= 0 ? man * pow2 : man / pow2;
+  }
+  /// Smallest positive subnormal, as a double (exact).
+  [[nodiscard]] constexpr double min_subnormal() const {
+    double v = 1.0;
+    for (int i = 0; i < bias - 1 + man_bits; ++i) v /= 2.0;
+    return v;
+  }
+};
+
+inline constexpr FormatSpec kFp16Spec{5, 10, 15, true, "fp16"};
+inline constexpr FormatSpec kBf16Spec{8, 7, 127, true, "bf16"};
+inline constexpr FormatSpec kTf32Spec{8, 10, 127, true, "tf32"};
+inline constexpr FormatSpec kE4m3Spec{4, 3, 7, false, "e4m3"};
+inline constexpr FormatSpec kE5m2Spec{5, 2, 15, true, "e5m2"};
+
+/// Encode an FP32 value into the bit pattern of `spec` (right-aligned in the
+/// returned word).  Rounds to nearest-even, handles subnormals exactly.
+std::uint32_t encode(float value, const FormatSpec& spec,
+                     Overflow policy = Overflow::kPropagate) noexcept;
+
+/// Decode a bit pattern of `spec` to FP32.  Exact: every value of every
+/// supported format is representable in FP32.
+float decode(std::uint32_t bits, const FormatSpec& spec) noexcept;
+
+/// True if `bits` encodes NaN under `spec`.
+bool is_nan_bits(std::uint32_t bits, const FormatSpec& spec) noexcept;
+/// True if `bits` encodes +-inf under `spec` (always false for E4M3).
+bool is_inf_bits(std::uint32_t bits, const FormatSpec& spec) noexcept;
+
+/// Round an FP32 value through the format and back: the "storage" semantics
+/// of loading/storing a tensor in this precision.
+inline float round_through(float value, const FormatSpec& spec,
+                           Overflow policy = Overflow::kPropagate) noexcept {
+  return decode(encode(value, spec, policy), spec);
+}
+
+}  // namespace hsim::num

@@ -1,0 +1,68 @@
+// Typed value wrappers over the small floating-point formats.
+//
+// Each type stores the native bit pattern and converts to/from FP32 with the
+// format's exact rounding rules, so a `Matrix<fp16>` in the tensor-core
+// model has bit-identical storage behaviour to device memory.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "numerics/formats.hpp"
+
+namespace hsim::num {
+
+/// A value of a small floating-point format `Spec`, stored in `Storage`.
+template <const FormatSpec& Spec, typename Storage>
+class Small {
+ public:
+  using storage_type = Storage;
+  static constexpr const FormatSpec& spec() { return Spec; }
+
+  constexpr Small() = default;
+  /// Converting constructor rounds to nearest-even.
+  explicit Small(float value, Overflow policy = Overflow::kPropagate)
+      : bits_(static_cast<Storage>(encode(value, Spec, policy))) {}
+
+  static Small from_bits(Storage bits) {
+    Small out;
+    out.bits_ = bits;
+    return out;
+  }
+
+  [[nodiscard]] Storage bits() const { return bits_; }
+  [[nodiscard]] float to_float() const { return decode(bits_, Spec); }
+  explicit operator float() const { return to_float(); }
+
+  [[nodiscard]] bool is_nan() const { return is_nan_bits(bits_, Spec); }
+  [[nodiscard]] bool is_inf() const { return is_inf_bits(bits_, Spec); }
+
+  /// Bitwise equality (NaN == NaN under this operator; it compares storage).
+  friend bool operator==(Small a, Small b) { return a.bits_ == b.bits_; }
+
+ private:
+  Storage bits_ = 0;
+};
+
+using fp16 = Small<kFp16Spec, std::uint16_t>;
+using bf16 = Small<kBf16Spec, std::uint16_t>;
+using tf32 = Small<kTf32Spec, std::uint32_t>;  // 19 significant bits
+using fp8_e4m3 = Small<kE4m3Spec, std::uint8_t>;
+using fp8_e5m2 = Small<kE5m2Spec, std::uint8_t>;
+
+/// Saturating conversion to int8 (IMMA accumulator path uses int32; this is
+/// for quantised storage).
+constexpr std::int8_t saturate_to_s8(std::int32_t v) {
+  if (v > 127) return 127;
+  if (v < -128) return -128;
+  return static_cast<std::int8_t>(v);
+}
+
+/// Saturating conversion to signed 4-bit (stored sign-extended in int8).
+constexpr std::int8_t saturate_to_s4(std::int32_t v) {
+  if (v > 7) return 7;
+  if (v < -8) return -8;
+  return static_cast<std::int8_t>(v);
+}
+
+}  // namespace hsim::num

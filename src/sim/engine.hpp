@@ -1,0 +1,82 @@
+// Discrete-event simulation engine.
+//
+// Used where cycle-by-cycle stepping would be wasteful: the DSM fabric and
+// the asynchronous-copy pipeline schedule completion events at arbitrary
+// future times.  Deterministic: ties are broken by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hsim::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `when` (cycles).  Must not be earlier
+  /// than the current time.
+  void schedule(double when, Callback fn) {
+    HSIM_ASSERT(when >= now_);
+    heap_.push(Event{when, sequence_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` `delay` cycles from now.
+  void schedule_after(double delay, Callback fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Run events until the queue drains.  Returns the final time.
+  double run() {
+    while (!heap_.empty()) step();
+    return now_;
+  }
+
+  /// Run events with time <= `until` (later events stay queued).
+  double run_until(double until) {
+    while (!heap_.empty() && heap_.top().when <= until) step();
+    now_ = std::max(now_, until);
+    return now_;
+  }
+
+  void reset() {
+    heap_ = {};
+    now_ = 0.0;
+    sequence_ = 0;
+  }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step() {
+    // Copy out before popping: the callback may schedule new events.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.fn();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace hsim::sim

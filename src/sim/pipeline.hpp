@@ -1,0 +1,78 @@
+// Generic timing primitives shared by all structural models.
+//
+// Almost every unit in a GPU (cache port, tensor core, DPX unit, DSM link)
+// is well described as a pipelined resource: a new operation may begin every
+// `initiation_interval` cycles and completes `latency` cycles after it
+// starts.  Times are doubles (cycles) so calibrated sub-cycle cadences (e.g.
+// a 1.65-cycle mma issue interval) model exactly.
+#pragma once
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace hsim::sim {
+
+/// A pipelined execution resource.
+class PipelinedUnit {
+ public:
+  PipelinedUnit() = default;
+  PipelinedUnit(double initiation_interval, double latency)
+      : ii_(initiation_interval), latency_(latency) {
+    HSIM_ASSERT(initiation_interval >= 0.0 && latency >= 0.0);
+  }
+
+  /// Issue an operation that is ready at `ready_time`.  Returns the
+  /// completion time; the unit advances its next-free cursor.
+  double issue(double ready_time) noexcept {
+    const double start = std::max(ready_time, next_free_);
+    next_free_ = start + ii_;
+    return start + latency_;
+  }
+
+  /// Issue with per-operation cost overrides (e.g. a wider transaction).
+  double issue(double ready_time, double ii, double latency) noexcept {
+    const double start = std::max(ready_time, next_free_);
+    next_free_ = start + ii;
+    return start + latency;
+  }
+
+  [[nodiscard]] double next_free() const noexcept { return next_free_; }
+  [[nodiscard]] double initiation_interval() const noexcept { return ii_; }
+  [[nodiscard]] double latency() const noexcept { return latency_; }
+
+  void reset() noexcept { next_free_ = 0.0; }
+
+ private:
+  double ii_ = 1.0;
+  double latency_ = 1.0;
+  double next_free_ = 0.0;
+};
+
+/// A bandwidth-limited port: transfers are serialised at `bytes_per_cycle`.
+class Port {
+ public:
+  Port() = default;
+  explicit Port(double bytes_per_cycle) : bytes_per_cycle_(bytes_per_cycle) {
+    HSIM_ASSERT(bytes_per_cycle > 0.0);
+  }
+
+  /// Reserve the port for `bytes` starting no earlier than `ready_time`;
+  /// returns the time the transfer finishes.
+  double transfer(double ready_time, double bytes) noexcept {
+    const double start = std::max(ready_time, next_free_);
+    const double duration = bytes / bytes_per_cycle_;
+    next_free_ = start + duration;
+    return next_free_;
+  }
+
+  [[nodiscard]] double next_free() const noexcept { return next_free_; }
+  [[nodiscard]] double bytes_per_cycle() const noexcept { return bytes_per_cycle_; }
+  void reset() noexcept { next_free_ = 0.0; }
+
+ private:
+  double bytes_per_cycle_ = 1.0;
+  double next_free_ = 0.0;
+};
+
+}  // namespace hsim::sim

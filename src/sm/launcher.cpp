@@ -1,0 +1,114 @@
+#include "sm/launcher.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hsim::sm {
+
+SmLimits sm_limits(const arch::DeviceSpec& device) {
+  switch (device.generation) {
+    case arch::Generation::kAda:
+      return SmLimits{.max_warps_per_sm = 48, .max_blocks_per_sm = 24};
+    case arch::Generation::kAmpere:
+    case arch::Generation::kHopper:
+    default:
+      return SmLimits{.max_warps_per_sm = 64, .max_blocks_per_sm = 32};
+  }
+}
+
+Expected<Occupancy> compute_occupancy(const arch::DeviceSpec& device,
+                                      const LaunchConfig& config) {
+  if (config.threads_per_block < 1 || config.threads_per_block > 1024) {
+    return invalid_argument("threads_per_block must be in [1, 1024]");
+  }
+  if (config.smem_per_block > device.memory.smem_max_per_block) {
+    return invalid_argument("block shared memory exceeds device limit");
+  }
+  const SmLimits limits = sm_limits(device);
+  const int warps_per_block = (config.threads_per_block + 31) / 32;
+
+  Occupancy occ;
+  occ.blocks_per_sm = limits.max_blocks_per_sm;
+  occ.limited_by = OccupancyLimit::kBlocks;
+
+  const int by_warps = limits.max_warps_per_sm / warps_per_block;
+  if (by_warps < occ.blocks_per_sm) {
+    occ.blocks_per_sm = by_warps;
+    occ.limited_by = OccupancyLimit::kWarps;
+  }
+  if (config.smem_per_block > 0) {
+    const auto by_smem = static_cast<int>(device.memory.smem_max_per_sm /
+                                          config.smem_per_block);
+    if (by_smem < occ.blocks_per_sm) {
+      occ.blocks_per_sm = by_smem;
+      occ.limited_by = OccupancyLimit::kSharedMem;
+    }
+  }
+  if (config.regs_per_thread > 0) {
+    const int regs_per_block = config.regs_per_thread * config.threads_per_block;
+    const int by_regs = sm_limits(device).max_regs_per_sm / regs_per_block;
+    if (by_regs < occ.blocks_per_sm) {
+      occ.blocks_per_sm = by_regs;
+      occ.limited_by = OccupancyLimit::kRegisters;
+    }
+  }
+  if (occ.blocks_per_sm < 1) {
+    return invalid_argument("block does not fit on an SM");
+  }
+  return occ;
+}
+
+Expected<LaunchResult> launch(const arch::DeviceSpec& device,
+                              const isa::Program& program,
+                              const LaunchConfig& config,
+                              mem::MemorySystem* mem) {
+  auto occ = compute_occupancy(device, config);
+  if (!occ) return occ.error();
+  if (config.total_blocks < 1) return invalid_argument("total_blocks must be >= 1");
+
+  const int sms = device.sm_count;
+  const int resident = occ.value().blocks_per_sm;
+  const int blocks_per_wave = resident * sms;
+
+  // Per-wave time, memoised on how many blocks one SM carries.  Blocks are
+  // homogeneous, so one SM's simulation represents the wave.
+  std::map<int, RunResult> cache;
+  std::unique_ptr<mem::MemorySystem> own_mem;
+  if (mem == nullptr) {
+    own_mem = std::make_unique<mem::MemorySystem>(device, 1);
+    mem = own_mem.get();
+  }
+  const auto time_for = [&](int blocks_on_sm) -> const RunResult& {
+    auto it = cache.find(blocks_on_sm);
+    if (it == cache.end()) {
+      SmCore core(device, mem, 0);
+      const BlockShape shape{.threads_per_block = config.threads_per_block,
+                             .blocks = blocks_on_sm};
+      it = cache.emplace(blocks_on_sm, core.run(program, shape)).first;
+    }
+    return it->second;
+  };
+
+  LaunchResult out;
+  out.occupancy = occ.value();
+  const int full_waves = config.total_blocks / blocks_per_wave;
+  const int remainder = config.total_blocks % blocks_per_wave;
+  out.waves = full_waves + (remainder > 0 ? 1 : 0);
+
+  double cycles = 0;
+  if (full_waves > 0) {
+    cycles += static_cast<double>(full_waves) * time_for(resident).cycles;
+  }
+  if (remainder > 0) {
+    // Remainder blocks spread round-robin; the busiest SM paces the wave.
+    const int busiest = (remainder + sms - 1) / sms;
+    cycles += time_for(busiest).cycles;
+  }
+  out.cycles = cycles;
+  out.seconds = cycles / device.clock_hz();
+  out.representative = time_for(std::min(resident, std::max(
+      1, (config.total_blocks + sms - 1) / sms)));
+  return out;
+}
+
+}  // namespace hsim::sm

@@ -1,0 +1,74 @@
+// Grid launch model: occupancy calculation and wave quantisation.
+//
+// A kernel launch of B blocks runs in ceil(B / (blocks_per_sm * num_sms))
+// waves; per-wave time comes from simulating one fully loaded SM (blocks
+// are homogeneous in every benchmark the paper runs, so one SM is
+// representative).  This is the model that makes DPX throughput "plummet
+// when the number of blocks just exceeds an integral multiple of the number
+// of SMs" (paper §IV-E) — wave quantisation — emerge naturally.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/device.hpp"
+#include "isa/program.hpp"
+#include "mem/memory_system.hpp"
+#include "sm/sm_core.hpp"
+
+namespace hsim::sm {
+
+struct LaunchConfig {
+  int threads_per_block = 256;
+  int total_blocks = 1;
+  std::uint64_t smem_per_block = 0;
+  int regs_per_thread = 32;
+};
+
+enum class OccupancyLimit : std::uint8_t { kWarps, kBlocks, kSharedMem, kRegisters };
+
+constexpr std::string_view to_string(OccupancyLimit l) noexcept {
+  switch (l) {
+    case OccupancyLimit::kWarps: return "warps";
+    case OccupancyLimit::kBlocks: return "blocks";
+    case OccupancyLimit::kSharedMem: return "shared-memory";
+    case OccupancyLimit::kRegisters: return "registers";
+  }
+  return "?";
+}
+
+struct Occupancy {
+  int blocks_per_sm = 1;       // resident blocks
+  OccupancyLimit limited_by = OccupancyLimit::kWarps;
+  [[nodiscard]] int warps_per_sm(int threads_per_block) const {
+    return blocks_per_sm * ((threads_per_block + 31) / 32);
+  }
+};
+
+/// Device limits that gate occupancy (per compute capability).
+struct SmLimits {
+  int max_warps_per_sm = 64;
+  int max_blocks_per_sm = 32;
+  int max_regs_per_sm = 65536;
+};
+SmLimits sm_limits(const arch::DeviceSpec& device);
+
+/// How many blocks of `config` fit on one SM.
+Expected<Occupancy> compute_occupancy(const arch::DeviceSpec& device,
+                                      const LaunchConfig& config);
+
+struct LaunchResult {
+  double cycles = 0;        // kernel wall time in core cycles
+  double seconds = 0;
+  int waves = 0;
+  Occupancy occupancy;
+  RunResult representative;  // one fully loaded SM's run
+};
+
+/// Execute `program` as a grid launch.  `mem` is optional backing for
+/// global accesses (a fresh MemorySystem is used when null).
+Expected<LaunchResult> launch(const arch::DeviceSpec& device,
+                              const isa::Program& program,
+                              const LaunchConfig& config,
+                              mem::MemorySystem* mem = nullptr);
+
+}  // namespace hsim::sm

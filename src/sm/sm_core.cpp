@@ -1,0 +1,595 @@
+#include "sm/sm_core.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "numerics/types.hpp"
+
+namespace hsim::sm {
+namespace {
+
+constexpr int kLanes = 32;
+constexpr double kEps = 1e-9;
+
+float as_f32(std::uint64_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+}
+std::uint64_t from_f32(float value) {
+  return std::bit_cast<std::uint32_t>(value);
+}
+double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+std::uint64_t from_f64(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+std::int32_t as_s32(std::uint64_t bits) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(bits));
+}
+
+}  // namespace
+
+struct SmCore::Warp {
+  int id = 0;
+  int block = 0;
+  int scheduler = 0;
+  std::size_t pc = 0;
+  std::uint32_t iteration = 0;
+  bool done = false;
+  bool at_barrier = false;
+  double blocked_until = 0;       // async-wait / barrier release
+  double last_issue_cycle = -1;
+  std::vector<double> reg_ready;  // per register
+  std::vector<std::uint64_t> lanes;  // regs * kLanes
+  std::vector<double> async_groups;  // completion time per committed group
+  double async_pending = 0;          // completion of the open (uncommitted) group
+
+  [[nodiscard]] std::uint64_t& lane(int r, int l) {
+    return lanes[static_cast<std::size_t>(r) * kLanes + static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] std::uint64_t lane(int r, int l) const {
+    return lanes[static_cast<std::size_t>(r) * kLanes + static_cast<std::size_t>(l)];
+  }
+};
+
+struct SmCore::Units {
+  std::array<sim::PipelinedUnit, 4> fma;
+  std::array<sim::PipelinedUnit, 4> alu;
+  sim::PipelinedUnit fp64;
+  std::array<sim::PipelinedUnit, 4> dpx;
+  sim::PipelinedUnit lsu;
+  sim::PipelinedUnit dsm;
+  double fma_ii = 1, fma_lat = 4;
+  double alu_ii = 2, alu_lat = 4;
+  double fp64_ii = 1, fp64_lat = 8;
+  double dpx_ii = 2, dpx_lat = 6;
+  double lsu_ii = 1;
+  double dsm_lat = 180;
+  double dsm_bytes_per_clk = 16;
+};
+
+SmCore::SmCore(const arch::DeviceSpec& device, mem::MemorySystem* mem, int sm_id)
+    : device_(device), mem_(mem), sm_id_(sm_id), units_(std::make_unique<Units>()) {
+  auto& u = *units_;
+  // Per-partition FP32 lanes set the FMA initiation interval for a warp.
+  const double fma_lanes = static_cast<double>(device.cores_per_sm) / 4.0;
+  u.fma_ii = 32.0 / fma_lanes;
+  u.alu_ii = 2.0;  // 16 INT32 lanes per partition on all three parts
+  u.fma_lat = 4.0;
+  u.alu_lat = device.dpx.emu_latency_per_op;  // INT32 dependent-use latency
+  // The FP64 pipe is shared SM-wide; its width comes from the same
+  // calibration constant that bottlenecks the FP64 memory benchmark.
+  u.fp64_ii = 256.0 / device.memory.fp64_add_bytes_per_clk_sm;
+  u.fp64_lat = device.generation == arch::Generation::kAmpere ? 8.0 : 16.0;
+  u.dpx_ii = 128.0 / device.dpx.hw_ops_per_clk_sm;  // per-scheduler interval
+  u.dpx_lat = device.dpx.hw_latency;
+  u.dsm_lat = device.dsm.latency_cycles;
+  u.dsm_bytes_per_clk = device.dsm.port_bytes_per_clk;
+  for (int s = 0; s < 4; ++s) {
+    u.fma[static_cast<std::size_t>(s)] = sim::PipelinedUnit(u.fma_ii, u.fma_lat);
+    u.alu[static_cast<std::size_t>(s)] = sim::PipelinedUnit(u.alu_ii, u.alu_lat);
+    u.dpx[static_cast<std::size_t>(s)] = sim::PipelinedUnit(u.dpx_ii, u.dpx_lat);
+  }
+  u.fp64 = sim::PipelinedUnit(u.fp64_ii, u.fp64_lat);
+  u.lsu = sim::PipelinedUnit(u.lsu_ii, 1.0);
+  u.dsm = sim::PipelinedUnit(1.0, u.dsm_lat);
+}
+
+SmCore::~SmCore() = default;
+
+mem::SharedMemory& SmCore::shared() {
+  if (!shared_) {
+    shared_ = std::make_unique<mem::SharedMemory>(device_.memory.smem_max_per_sm,
+                                                  device_.memory.smem_banks);
+  }
+  return *shared_;
+}
+
+std::uint64_t SmCore::reg(int warp, int reg_index, int lane) const {
+  const auto& w = warps_.at(static_cast<std::size_t>(warp));
+  return w.lane(reg_index, lane);
+}
+
+RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
+  HSIM_ASSERT(!program.empty());
+  HSIM_ASSERT(shape.blocks >= 1 && shape.threads_per_block >= 1);
+
+  // Size the register file to what the program touches.
+  int max_reg = 0;
+  for (const auto& inst : program.body()) {
+    max_reg = std::max({max_reg, inst.rd, inst.ra, inst.rb, inst.rc});
+  }
+  const int num_regs = max_reg + 1;
+
+  const int warps_per_block = shape.warps_per_block();
+  const int total_warps = shape.total_warps();
+  warps_.assign(static_cast<std::size_t>(total_warps), Warp{});
+  for (int i = 0; i < total_warps; ++i) {
+    auto& w = warps_[static_cast<std::size_t>(i)];
+    w.id = i;
+    w.block = i / warps_per_block;
+    w.scheduler = i % 4;
+    w.reg_ready.assign(static_cast<std::size_t>(num_regs), 0.0);
+    w.lanes.assign(static_cast<std::size_t>(num_regs) * kLanes, 0);
+    // R0 is preloaded with the global thread id (lane-varying), the way
+    // CUDA kernels derive addresses from threadIdx.
+    if (num_regs > 0) {
+      for (int l = 0; l < kLanes; ++l) {
+        w.lane(0, l) = static_cast<std::uint64_t>(i) * kLanes +
+                       static_cast<std::uint64_t>(l);
+      }
+    }
+  }
+  barrier_target_ = warps_per_block;
+  result_ = {};
+
+  double now = 0.0;
+  int live = total_warps;
+  std::array<int, 4> rotate{0, 0, 0, 0};
+
+  while (live > 0) {
+    HSIM_ASSERT(now < 5e9);  // deadlock guard
+
+    // Barrier release: when every live warp of a block is parked at the
+    // barrier, release them all on the next cycle.
+    for (int b = 0; b * warps_per_block < total_warps; ++b) {
+      int waiting = 0, alive = 0;
+      for (int i = 0; i < warps_per_block; ++i) {
+        const auto& w = warps_[static_cast<std::size_t>(b * warps_per_block + i)];
+        if (!w.done) ++alive;
+        if (w.at_barrier) ++waiting;
+      }
+      if (alive > 0 && waiting == alive) {
+        for (int i = 0; i < warps_per_block; ++i) {
+          auto& w = warps_[static_cast<std::size_t>(b * warps_per_block + i)];
+          if (w.at_barrier) {
+            w.at_barrier = false;
+            w.blocked_until = now + 1;
+          }
+        }
+      }
+    }
+
+    for (int s = 0; s < 4; ++s) {
+      bool issued = false;
+      // Loose round-robin over this scheduler's warps.
+      int count = 0;
+      for (int i = 0; i < total_warps; ++i) {
+        if (warps_[static_cast<std::size_t>(i)].scheduler == s) ++count;
+      }
+      if (count == 0) continue;
+      int seen = 0;
+      for (int step = 0; step < total_warps && !issued; ++step) {
+        const int idx = (rotate[static_cast<std::size_t>(s)] + step) % total_warps;
+        auto& w = warps_[static_cast<std::size_t>(idx)];
+        if (w.scheduler != s || w.done) continue;
+        ++seen;
+        if (try_issue(w, now, program)) {
+          issued = true;
+          rotate[static_cast<std::size_t>(s)] = (idx + 1) % total_warps;
+          if (w.done) --live;
+        }
+        if (seen >= count) break;
+      }
+      if (!issued) ++result_.stall_cycles;
+    }
+    now += 1.0;
+  }
+
+  // Completion: the last value becomes visible when its register is ready,
+  // and a warp that retired while parked on an async wait keeps the kernel
+  // alive until the wait resolves.
+  double finish = now;
+  for (const auto& w : warps_) {
+    for (const double t : w.reg_ready) finish = std::max(finish, t);
+    finish = std::max(finish, w.blocked_until);
+  }
+  // Outstanding store traffic drains before the kernel retires.
+  finish = std::max(finish, units_->dsm.next_free());
+  finish = std::max(finish, units_->lsu.next_free());
+  result_.cycles = finish;
+  return result_;
+}
+
+bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program) {
+  if (warp.done || warp.at_barrier) return false;
+  if (warp.blocked_until > now + kEps) return false;
+  if (warp.last_issue_cycle >= now - kEps) return false;
+
+  const auto& inst = program.body()[warp.pc];
+
+  // Source operands must be ready.
+  for (const int src : {inst.ra, inst.rb, inst.rc}) {
+    if (src != isa::kRegNone &&
+        warp.reg_ready[static_cast<std::size_t>(src)] > now + kEps) {
+      return false;
+    }
+  }
+  // In-order issue: the destination's previous write must have retired
+  // enough to rename; we conservatively require WAW ordering.
+  if (inst.rd != isa::kRegNone &&
+      warp.reg_ready[static_cast<std::size_t>(inst.rd)] > now + kEps &&
+      inst.op != isa::Opcode::kClock) {
+    return false;
+  }
+
+  // Unit availability.
+  auto& u = *units_;
+  const auto sched = static_cast<std::size_t>(warp.scheduler);
+  switch (isa::unit_of(inst.op)) {
+    case isa::UnitClass::kFma:
+      if (u.fma[sched].next_free() > now + kEps) return false;
+      break;
+    case isa::UnitClass::kAlu:
+      if (u.alu[sched].next_free() > now + kEps) return false;
+      break;
+    case isa::UnitClass::kFp64:
+      if (u.fp64.next_free() > now + kEps) return false;
+      break;
+    case isa::UnitClass::kDpx:
+      if (device_.dpx.hardware) {
+        if (u.dpx[sched].next_free() > now + kEps) return false;
+      } else {
+        if (u.alu[sched].next_free() > now + kEps) return false;
+      }
+      break;
+    case isa::UnitClass::kLsu:
+      if (u.lsu.next_free() > now + kEps) return false;
+      break;
+    case isa::UnitClass::kDsm:
+      // Remote traffic stalls at the SM's injection port, not the LSU.
+      if (u.dsm.next_free() > now + kEps) return false;
+      break;
+    case isa::UnitClass::kControl:
+      break;
+  }
+
+  const double completion = execute(warp, inst, now);
+  if (inst.rd != isa::kRegNone) {
+    warp.reg_ready[static_cast<std::size_t>(inst.rd)] = completion;
+  }
+  warp.last_issue_cycle = now;
+  ++result_.instructions_issued;
+
+  // Advance control flow.
+  if (inst.op == isa::Opcode::kExit) {
+    warp.done = true;
+    return true;
+  }
+  if (inst.op == isa::Opcode::kBarSync) {
+    warp.at_barrier = true;
+  }
+  ++warp.pc;
+  if (warp.pc >= program.size()) {
+    warp.pc = 0;
+    ++warp.iteration;
+    if (warp.iteration >= program.iterations()) warp.done = true;
+  }
+  return true;
+}
+
+double SmCore::execute(Warp& warp, const isa::Instruction& inst, double now) {
+  using isa::Opcode;
+  auto& u = *units_;
+  const auto sched = static_cast<std::size_t>(warp.scheduler);
+
+  const auto src = [&](int r, int l) -> std::uint64_t {
+    return r == isa::kRegNone ? 0 : warp.lane(r, l);
+  };
+  const auto for_lanes = [&](auto&& fn) {
+    if (inst.rd == isa::kRegNone) return;
+    for (int l = 0; l < kLanes; ++l) {
+      warp.lane(inst.rd, l) = fn(src(inst.ra, l), src(inst.rb, l), src(inst.rc, l));
+    }
+  };
+
+  switch (inst.op) {
+    case Opcode::kNop:
+      return now;
+    case Opcode::kMov:
+      for_lanes([&](std::uint64_t, std::uint64_t, std::uint64_t) {
+        return static_cast<std::uint64_t>(inst.imm);
+      });
+      return u.alu[sched].issue(now);
+    case Opcode::kIAdd3:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        return a + b + c;
+      });
+      return u.alu[sched].issue(now);
+    case Opcode::kIMad:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        return a * b + c;
+      });
+      return u.alu[sched].issue(now);
+    case Opcode::kIMnMx:
+      for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        const auto x = as_s32(a), y = as_s32(b);
+        return static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>((inst.imm & 1) ? std::max(x, y) : std::min(x, y)));
+      });
+      return u.alu[sched].issue(now);
+    case Opcode::kVIMnMx: {
+      // Hopper fused DPX op: rd = minmax(ra + rb, rc), optional relu.
+      for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        const std::int64_t sum =
+            static_cast<std::int64_t>(as_s32(a)) + static_cast<std::int64_t>(as_s32(b));
+        const auto clamped = static_cast<std::int32_t>(
+            std::clamp<std::int64_t>(sum, std::numeric_limits<std::int32_t>::min(),
+                                     std::numeric_limits<std::int32_t>::max()));
+        std::int32_t r = (inst.imm & 1) ? std::max(clamped, as_s32(c))
+                                        : std::min(clamped, as_s32(c));
+        if (inst.imm & 2) r = std::max(r, 0);
+        return static_cast<std::uint64_t>(static_cast<std::uint32_t>(r));
+      });
+      return device_.dpx.hardware ? u.dpx[sched].issue(now) : u.alu[sched].issue(now);
+    }
+    case Opcode::kLop3:
+      for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        switch (inst.imm) {
+          case 1: return a | b;
+          case 2: return a ^ b;
+          default: return a & b;
+        }
+      });
+      return u.alu[sched].issue(now);
+    case Opcode::kShf:
+      for_lanes([&](std::uint64_t a, std::uint64_t, std::uint64_t) {
+        return a << (inst.imm & 63);
+      });
+      return u.alu[sched].issue(now);
+    case Opcode::kPopc:
+      for_lanes([](std::uint64_t a, std::uint64_t, std::uint64_t) {
+        return static_cast<std::uint64_t>(std::popcount(a));
+      });
+      return u.alu[sched].issue(now);
+    case Opcode::kFAdd:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        return from_f32(as_f32(a) + as_f32(b));
+      });
+      return u.fma[sched].issue(now);
+    case Opcode::kFMul:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        return from_f32(as_f32(a) * as_f32(b));
+      });
+      return u.fma[sched].issue(now);
+    case Opcode::kFFma:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        return from_f32(as_f32(a) * as_f32(b) + as_f32(c));
+      });
+      return u.fma[sched].issue(now);
+    case Opcode::kHAdd2:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        using num::fp16;
+        std::uint64_t out = 0;
+        for (int half = 0; half < 2; ++half) {
+          const auto av = fp16::from_bits(static_cast<std::uint16_t>(a >> (16 * half)));
+          const auto bv = fp16::from_bits(static_cast<std::uint16_t>(b >> (16 * half)));
+          const auto sum = fp16(av.to_float() + bv.to_float());
+          out |= static_cast<std::uint64_t>(sum.bits()) << (16 * half);
+        }
+        return out;
+      });
+      return u.fma[sched].issue(now);
+    case Opcode::kDAdd:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        return from_f64(as_f64(a) + as_f64(b));
+      });
+      return u.fp64.issue(now);
+    case Opcode::kDMul:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        return from_f64(as_f64(a) * as_f64(b));
+      });
+      return u.fp64.issue(now);
+    case Opcode::kClock:
+      for_lanes([&](std::uint64_t, std::uint64_t, std::uint64_t) {
+        return static_cast<std::uint64_t>(now);
+      });
+      return now;  // clock() reads the counter combinationally
+    case Opcode::kBarSync:
+      return now;
+    case Opcode::kExit:
+      return now;
+    case Opcode::kCpAsyncCommit:
+      warp.async_groups.push_back(warp.async_pending);
+      warp.async_pending = 0;
+      return now;
+    case Opcode::kCpAsyncWait: {
+      // cp.async.wait_group N: wait until at most N groups are in flight.
+      const auto keep = static_cast<std::size_t>(std::max<std::int64_t>(inst.imm, 0));
+      double wait_until = now;
+      while (warp.async_groups.size() > keep) {
+        wait_until = std::max(wait_until, warp.async_groups.front());
+        warp.async_groups.erase(warp.async_groups.begin());
+      }
+      warp.blocked_until = wait_until;
+      return wait_until;
+    }
+    default:
+      return memory_op(warp, inst, now);
+  }
+}
+
+double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
+  using isa::Opcode;
+  auto& u = *units_;
+  ++result_.mem_transactions;
+
+  // Gather per-lane byte addresses from ra (+imm offset).
+  std::array<std::uint64_t, kLanes> addrs{};
+  for (int l = 0; l < kLanes; ++l) {
+    addrs[static_cast<std::size_t>(l)] =
+        (inst.ra == isa::kRegNone ? 0 : warp.lane(inst.ra, l)) +
+        static_cast<std::uint64_t>(inst.imm);
+  }
+
+  const auto load_word = [&](std::uint64_t addr) -> std::uint64_t {
+    const std::uint64_t index = addr / 8;
+    if (index < global_.size()) return global_[index];
+    return 0;
+  };
+
+  switch (inst.op) {
+    case Opcode::kTmaLoad: {
+      // Bulk tensor copy: the TMA engine, not the threads, generates the
+      // addresses — only the block's elected warp issues it, and it costs a
+      // single LSU slot regardless of box size (imm = box bytes).
+      const int warps_per_block = std::max(barrier_target_, 1);
+      if (warp.id % warps_per_block != 0) return now + 1;  // non-elected: nop
+      u.lsu.issue(now);
+      const auto bytes = static_cast<std::uint32_t>(std::max<std::int64_t>(inst.imm, 32));
+      double completion;
+      if (mem_ == nullptr) {
+        completion = now + device_.memory.dram_latency;
+      } else {
+        const std::uint64_t base = inst.ra == isa::kRegNone ? 0 : warp.lane(inst.ra, 0);
+        completion = now;
+        // The engine streams the box in 128-byte lines straight to smem.
+        for (std::uint32_t off = 0; off < bytes; off += 128) {
+          completion = std::max(
+              completion,
+              mem_->warp_transaction(sm_id_, base + off,
+                                     std::min<std::uint32_t>(128, bytes - off),
+                                     16, mem::MemSpace::kGlobalCg, now));
+        }
+      }
+      warp.async_pending = std::max(warp.async_pending,
+                                    completion + device_.memory.smem_latency);
+      return now + 1;
+    }
+    case Opcode::kLdgCa:
+    case Opcode::kLdgCg:
+    case Opcode::kStg:
+    case Opcode::kCpAsync: {
+      const auto space = inst.op == Opcode::kLdgCa || inst.op == Opcode::kCpAsync
+                             ? mem::MemSpace::kGlobalCa
+                             : mem::MemSpace::kGlobalCg;
+      // Functional load.
+      if (inst.rd != isa::kRegNone &&
+          (inst.op == Opcode::kLdgCa || inst.op == Opcode::kLdgCg)) {
+        for (int l = 0; l < kLanes; ++l) {
+          warp.lane(inst.rd, l) = load_word(addrs[static_cast<std::size_t>(l)]);
+        }
+      }
+      u.lsu.issue(now);  // LSU dispatch slot
+      double completion = now;
+      if (mem_ == nullptr) {
+        completion = now + device_.memory.l1_hit_latency;
+      } else {
+        // Coalesce lanes into 128-byte-line transactions.
+        std::array<std::uint64_t, kLanes> lines{};
+        int num_lines = 0;
+        for (int l = 0; l < kLanes; ++l) {
+          const std::uint64_t line = addrs[static_cast<std::size_t>(l)] / 128;
+          bool seen = false;
+          for (int j = 0; j < num_lines; ++j) {
+            if (lines[static_cast<std::size_t>(j)] == line) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) lines[static_cast<std::size_t>(num_lines++)] = line;
+        }
+        if (num_lines == 1 && inst.access_bytes <= 8) {
+          // Dependent/narrow access: pure latency path.
+          completion = mem_->load(sm_id_, addrs[0], space, now).ready_time;
+        } else {
+          for (int j = 0; j < num_lines; ++j) {
+            const std::uint64_t base = lines[static_cast<std::size_t>(j)] * 128;
+            completion = std::max(
+                completion,
+                mem_->warp_transaction(sm_id_, base, 128,
+                                       static_cast<int>(inst.access_bytes), space, now));
+          }
+        }
+      }
+      if (inst.op == Opcode::kCpAsync) {
+        // Asynchronous: the warp is not blocked; completion lands in the
+        // open async group (plus the shared-memory write hop).
+        warp.async_pending = std::max(
+            warp.async_pending, completion + device_.memory.smem_latency);
+        return now + 1;
+      }
+      return completion;
+    }
+    case Opcode::kLds:
+    case Opcode::kSts:
+    case Opcode::kAtomSharedAdd: {
+      auto& smem = shared();
+      std::array<std::uint32_t, kLanes> byte_addrs{};
+      for (int l = 0; l < kLanes; ++l) {
+        byte_addrs[static_cast<std::size_t>(l)] = static_cast<std::uint32_t>(
+            addrs[static_cast<std::size_t>(l)] % smem.size());
+      }
+      const int degree = smem.conflict_degree(byte_addrs);
+      const double ii = static_cast<double>(degree);
+      const double latency =
+          device_.memory.smem_latency + static_cast<double>(degree - 1);
+      const double completion = u.lsu.issue(now, ii, latency);
+      const auto src_val = [&](int r, int l) -> std::uint64_t {
+        return r == isa::kRegNone ? 0 : warp.lane(r, l);
+      };
+      if (inst.op == Opcode::kLds && inst.rd != isa::kRegNone) {
+        for (int l = 0; l < kLanes; ++l) {
+          warp.lane(inst.rd, l) = smem.load_u32(byte_addrs[static_cast<std::size_t>(l)]);
+        }
+      } else if (inst.op == Opcode::kSts && inst.ra != isa::kRegNone) {
+        for (int l = 0; l < kLanes; ++l) {
+          smem.store_u32(byte_addrs[static_cast<std::size_t>(l)],
+                         static_cast<std::uint32_t>(src_val(inst.rb, l)));
+        }
+      } else if (inst.op == Opcode::kAtomSharedAdd) {
+        for (int l = 0; l < kLanes; ++l) {
+          const auto old = smem.atomic_add_u32(
+              byte_addrs[static_cast<std::size_t>(l)],
+              static_cast<std::uint32_t>(src_val(inst.rb, l)));
+          if (inst.rd != isa::kRegNone) warp.lane(inst.rd, l) = old;
+        }
+      }
+      return completion;
+    }
+    case Opcode::kMapa:
+      // Address mapping is a cheap ALU-class operation.
+      if (inst.rd != isa::kRegNone) {
+        for (int l = 0; l < kLanes; ++l) {
+          warp.lane(inst.rd, l) = addrs[static_cast<std::size_t>(l)];
+        }
+      }
+      return u.alu[static_cast<std::size_t>(warp.scheduler)].issue(now);
+    case Opcode::kLdsRemote:
+    case Opcode::kStsRemote:
+    case Opcode::kAtomRemoteAdd: {
+      if (!device_.dsm.available) {
+        // Without DSM these fall back to going through L2.
+        return u.lsu.issue(now, 1.0, device_.memory.l2_hit_latency);
+      }
+      const double bytes = 32.0 * static_cast<double>(inst.access_bytes);
+      const double ii = bytes / units_->dsm_bytes_per_clk;
+      return u.dsm.issue(now, ii, ii + units_->dsm_lat);
+    }
+    default:
+      return now;
+  }
+}
+
+}  // namespace hsim::sm

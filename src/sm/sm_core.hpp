@@ -1,0 +1,93 @@
+// Cycle-level timing model of one streaming multiprocessor.
+//
+// Models what the paper's instruction microbenchmarks exercise:
+//   * 4 warp schedulers, each issuing at most one instruction per cycle
+//     from its resident warps (loose round-robin);
+//   * in-order issue per warp with a register scoreboard (RAW/WAW stalls);
+//   * pipelined functional units — FMA, INT ALU, FP64, DPX, LSU — whose
+//     per-warp initiation intervals derive from the device's lane counts;
+//   * a shared LSU path into the MemorySystem (coalesced warp
+//     transactions), shared-memory bank-conflict serialisation, cp.async
+//     groups, and block-level barriers.
+// Values are computed functionally at issue time and become architecturally
+// visible at the instruction's completion time, so dependent chains measure
+// true pipeline latencies — the same way the paper's kernels do with
+// clock().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "isa/program.hpp"
+#include "mem/memory_system.hpp"
+#include "mem/shared_mem.hpp"
+#include "sim/pipeline.hpp"
+
+namespace hsim::sm {
+
+/// How many warps / blocks an SM runs and how they are grouped.
+struct BlockShape {
+  int threads_per_block = 32;
+  int blocks = 1;  // resident blocks on this SM
+
+  [[nodiscard]] int warps_per_block() const {
+    return (threads_per_block + 31) / 32;
+  }
+  [[nodiscard]] int total_warps() const { return warps_per_block() * blocks; }
+};
+
+struct RunResult {
+  double cycles = 0;
+  std::uint64_t instructions_issued = 0;
+  std::uint64_t stall_cycles = 0;       // scheduler slots with no issuable warp
+  std::uint64_t mem_transactions = 0;
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions_issued) / cycles : 0.0;
+  }
+};
+
+class SmCore {
+ public:
+  /// `mem` may be null for pure-ALU kernels.  `sm_id` selects which L1 the
+  /// core uses inside the MemorySystem.
+  SmCore(const arch::DeviceSpec& device, mem::MemorySystem* mem, int sm_id = 0);
+  ~SmCore();
+  SmCore(const SmCore&) = delete;
+  SmCore& operator=(const SmCore&) = delete;
+
+  /// Bind backing storage for global loads/stores (addresses are offsets
+  /// into this buffer).  Optional; unbound loads return zero.
+  void bind_global(std::span<std::uint64_t> words) { global_ = words; }
+
+  /// Shared memory for this SM (created on demand, sized to the device cap).
+  [[nodiscard]] mem::SharedMemory& shared();
+
+  /// Execute `program` over `shape` resident warps; returns timing.
+  RunResult run(const isa::Program& program, const BlockShape& shape);
+
+  /// Read back a register lane after run() (functional checks, clock()).
+  [[nodiscard]] std::uint64_t reg(int warp, int reg_index, int lane = 0) const;
+
+ private:
+  struct Warp;
+  struct Units;
+
+  bool try_issue(Warp& warp, double now, const isa::Program& program);
+  double execute(Warp& warp, const isa::Instruction& inst, double now);
+  double memory_op(Warp& warp, const isa::Instruction& inst, double now);
+
+  const arch::DeviceSpec& device_;
+  mem::MemorySystem* mem_;
+  int sm_id_;
+  std::span<std::uint64_t> global_;
+  std::unique_ptr<mem::SharedMemory> shared_;
+  std::vector<Warp> warps_;
+  std::unique_ptr<Units> units_;
+  RunResult result_;
+  int barrier_target_ = 0;  // warps per block, set by run()
+};
+
+}  // namespace hsim::sm

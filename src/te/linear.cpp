@@ -1,0 +1,52 @@
+#include "te/linear.hpp"
+
+namespace hsim::te {
+
+double LinearProfile::fraction(std::string_view op_name) const {
+  if (total_seconds <= 0) return 0;
+  double sum = 0;
+  for (const auto& slice : slices) {
+    if (slice.name == op_name) sum += slice.seconds;
+  }
+  return sum / total_seconds;
+}
+
+Expected<LinearProfile> linear_forward(const CostModel& model, std::int64_t m,
+                                       std::int64_t n, std::int64_t k,
+                                       num::DType dtype) {
+  LinearProfile out;
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+
+  const auto add = [&out](std::string name, double seconds) {
+    out.slices.push_back({std::move(name), seconds});
+    out.total_seconds += seconds;
+  };
+
+  if (num::is_fp8(dtype)) {
+    // amax over the input (read FP16), then cast input and weight to FP8
+    // (read FP16, write FP8), the FP8 GEMM, and the FP16 rescale epilogue.
+    add("amax", model.elementwise_seconds(md * kd * 2.0));
+    add("cast_input", model.elementwise_seconds(md * kd * (2.0 + 1.0)));
+    add("cast_weight", model.elementwise_seconds(kd * nd * (2.0 + 1.0)));
+    auto gemm = model.gemm_seconds(m, n, k, dtype);
+    if (!gemm) return gemm.error();
+    add("gemm_fp8", gemm.value());
+    add("rescale", model.elementwise_seconds(md * nd * 2.0));
+  } else {
+    auto gemm = model.gemm_seconds(m, n, k, dtype);
+    if (!gemm) return gemm.error();
+    add(dtype == num::DType::kFp32 ? "gemm_fp32" : "gemm_fp16", gemm.value());
+  }
+
+  out.gflops = 2.0 * md * nd * kd / out.total_seconds / 1e9;
+  return out;
+}
+
+Expected<LinearProfile> linear_square(const CostModel& model, std::int64_t n,
+                                      num::DType dtype) {
+  return linear_forward(model, n, n, n, dtype);
+}
+
+}  // namespace hsim::te

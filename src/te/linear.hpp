@@ -1,0 +1,41 @@
+// te.Linear: the Transformer Engine linear layer.
+//
+// In FP8 mode TE surrounds the GEMM with data transformation: an amax
+// reduction, input/weight casts to FP8, and output rescale.  At small sizes
+// those conversion kernels dominate (Fig 3); past N ~ 8192 the FP8 GEMM
+// amortises them and throughput approaches 2x FP16 (Fig 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "te/ops.hpp"
+
+namespace hsim::te {
+
+/// One named cost component of a linear forward (Fig 3's stack).
+struct OpSlice {
+  std::string name;
+  double seconds = 0;
+};
+
+struct LinearProfile {
+  std::vector<OpSlice> slices;
+  double total_seconds = 0;
+  double gflops = 0;
+
+  [[nodiscard]] double fraction(std::string_view op_name) const;
+};
+
+/// Profile D(m x n) = A(m x k) W(k x n) in the given compute precision.
+/// FP8 adds the conversion pipeline; FP16/FP32 run a bare GEMM (+bias).
+Expected<LinearProfile> linear_forward(const CostModel& model, std::int64_t m,
+                                       std::int64_t n, std::int64_t k,
+                                       num::DType dtype);
+
+/// The paper's Fig 4 point: square N x N = N x N * N x N multiply.
+Expected<LinearProfile> linear_square(const CostModel& model, std::int64_t n,
+                                      num::DType dtype);
+
+}  // namespace hsim::te

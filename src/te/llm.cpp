@@ -1,0 +1,145 @@
+#include "te/llm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsim::te {
+namespace {
+
+// Framework-side constants of a HuggingFace-style generate() loop with TE
+// modules swapped in (calibrated once, shared by every model/device):
+constexpr double kFrameworkPerStep = 8.0e-3;     // python + scheduler
+constexpr double kPerLayerLaunch = 0.12e-3;      // kernel-launch batch per layer
+constexpr double kTeCastPerLinear = 25.0e-6;     // te.Linear non-FP32 bookkeeping
+constexpr double kFp8QuantPerLinear = 43.0e-6;   // amax + quantise kernels
+constexpr int kLinearsPerLayer = 7;              // q,k,v,o + gate,up,down
+constexpr double kActivationReserve = 2.5e9;     // activations + runtime pools
+constexpr double kOomHeadroom = 0.5e9;
+constexpr double kPrefillEfficiency = 0.55;      // achieved fraction of peak
+
+}  // namespace
+
+double LlamaConfig::parameters() const {
+  const double h = static_cast<double>(hidden);
+  const double per_layer = 4.0 * h * h + 3.0 * h * static_cast<double>(ffn_hidden);
+  return static_cast<double>(layers) * per_layer +
+         2.0 * static_cast<double>(vocab) * h;  // embeddings + lm head
+}
+
+LlamaConfig llama_3b() {
+  return {.name = "llama-3B", .layers = 26, .hidden = 3200, .heads = 32,
+          .ffn_hidden = 8640, .vocab = 32000};
+}
+LlamaConfig llama2_7b() {
+  return {.name = "llama-2-7B", .layers = 32, .hidden = 4096, .heads = 32,
+          .ffn_hidden = 11008, .vocab = 32000};
+}
+LlamaConfig llama2_13b() {
+  return {.name = "llama-2-13B", .layers = 40, .hidden = 5120, .heads = 40,
+          .ffn_hidden = 13824, .vocab = 32000};
+}
+
+std::vector<Request> synthesize_sharegpt(int count, int max_input, int max_output,
+                                         Xoshiro256ss& rng) {
+  // ShareGPT turn lengths are heavy-tailed; a lognormal with median ~e^4.6
+  // tokens reproduces the clipped distribution the paper feeds the models.
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto sample = [&rng](int cap) {
+      const double ln = std::exp(4.6 + 0.9 * rng.normal());
+      return std::clamp(static_cast<int>(ln), 4, cap);
+    };
+    out.push_back({sample(max_input), sample(max_output)});
+  }
+  return out;
+}
+
+Expected<GenerationResult> run_generation(const CostModel& model,
+                                          const LlamaConfig& llm,
+                                          num::DType dtype,
+                                          const GenerationSetup& setup) {
+  using num::DType;
+  if (dtype != DType::kFp32 && dtype != DType::kBf16 && !num::is_fp8(dtype)) {
+    return invalid_argument("LLM generation supports FP32, BF16 or FP8");
+  }
+  const auto& device = model.device();
+  if (num::is_fp8(dtype) && !device.tc.has_fp8) {
+    return unsupported(device.name + " has no FP8 support");
+  }
+
+  GenerationResult out;
+  const double params = llm.parameters();
+
+  // --- Memory accounting (reproduces the OOM cells) ---
+  double weight_bytes;
+  double decode_weight_traffic;  // bytes the decode step streams per token
+  double dtype_extra_per_layer;
+  switch (dtype) {
+    case DType::kFp32:
+      weight_bytes = params * 4.0;
+      decode_weight_traffic = params * 4.0;
+      dtype_extra_per_layer = 0.0;
+      break;
+    case DType::kBf16:
+      weight_bytes = params * 2.0;
+      decode_weight_traffic = params * 2.0;
+      dtype_extra_per_layer = kLinearsPerLayer * kTeCastPerLinear;
+      break;
+    default:  // FP8: te.Linear keeps FP16 master weights + FP8 buffers
+              // (plus scale/amax metadata and allocator slack) and
+              // re-quantises per call, so capacity AND traffic both grow.
+      weight_bytes = params * 3.35;
+      decode_weight_traffic = params * 3.0;
+      dtype_extra_per_layer = kLinearsPerLayer * kFp8QuantPerLinear;
+      break;
+  }
+  out.weight_bytes = weight_bytes;
+
+  const int max_ctx = setup.max_input + setup.max_output;
+  out.kv_cache_bytes = 2.0 * llm.layers * static_cast<double>(llm.hidden) *
+                       max_ctx * setup.batch * 2.0;  // FP16 KV
+  out.total_device_bytes = weight_bytes + out.kv_cache_bytes + kActivationReserve;
+  if (out.total_device_bytes >
+      static_cast<double>(device.memory.dram_bytes) - kOomHeadroom) {
+    out.oom = true;
+    out.note = "OOM";
+    return out;
+  }
+
+  // --- Workload ---
+  Xoshiro256ss rng(setup.seed);
+  const auto requests =
+      synthesize_sharegpt(setup.batch, setup.max_input, setup.max_output, rng);
+  double total_tokens = 0;
+  double in_sum = 0;
+  int out_max = 1;
+  for (const auto& request : requests) {
+    total_tokens += request.input_len + request.output_len;
+    in_sum += request.input_len;
+    out_max = std::max(out_max, request.output_len);
+  }
+  const double in_avg = in_sum / setup.batch;
+
+  // --- Prefill: compute-bound pass over all input tokens ---
+  auto peak = model.gemm_peak_flops(dtype == DType::kFp32 ? DType::kFp32 : dtype);
+  if (!peak) return peak.error();
+  const double prefill_flops = 2.0 * params * in_avg * setup.batch;
+  const double prefill = prefill_flops / (peak.value() * kPrefillEfficiency) +
+                         kFrameworkPerStep +
+                         llm.layers * kPerLayerLaunch;
+
+  // --- Decode: memory- and overhead-bound steps ---
+  const double kv_traffic_avg =
+      2.0 * llm.layers * static_cast<double>(llm.hidden) *
+      (in_avg + setup.max_output / 2.0) * setup.batch * 2.0;
+  const double step = kFrameworkPerStep + llm.layers * kPerLayerLaunch +
+                      (decode_weight_traffic + kv_traffic_avg) / model.mem_bandwidth() +
+                      llm.layers * dtype_extra_per_layer;
+
+  out.seconds = prefill + out_max * step;
+  out.tokens_per_second = total_tokens / out.seconds;
+  return out;
+}
+
+}  // namespace hsim::te

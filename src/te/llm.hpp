@@ -1,0 +1,76 @@
+// Decode-only LLM generation model (Table XII).
+//
+// Models Llama-family inference the way the paper ran it: HuggingFace-style
+// generate() with nn.Linear/RMSNorm swapped for te.Linear/te.RMSNorm,
+// batch 8, input and output capped at 128 tokens, requests synthesised from
+// a ShareGPT-like length distribution.
+//
+// The decode step is memory- and overhead-bound at this scale, which is why
+// FP8's compute advantage disappears (and can invert): te.Linear keeps FP16
+// master weights and casts per call, so FP8 *increases* weight traffic and
+// adds quantisation kernels; BF16 halves weight traffic relative to FP32
+// but pays cast overheads.  Memory capacity accounting reproduces the
+// table's OOM cells.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "te/ops.hpp"
+
+namespace hsim::te {
+
+struct LlamaConfig {
+  std::string name;
+  int layers = 32;
+  std::int64_t hidden = 4096;
+  int heads = 32;
+  std::int64_t ffn_hidden = 11008;
+  std::int64_t vocab = 32000;
+
+  [[nodiscard]] double parameters() const;  // approximate count
+};
+
+LlamaConfig llama_3b();
+LlamaConfig llama2_7b();
+LlamaConfig llama2_13b();
+
+/// One synthetic client request (token counts only).
+struct Request {
+  int input_len = 0;
+  int output_len = 0;
+};
+
+/// ShareGPT-like request synthesis: conversation lengths are heavy-tailed;
+/// the paper clips both sides to 128 tokens.
+std::vector<Request> synthesize_sharegpt(int count, int max_input, int max_output,
+                                         Xoshiro256ss& rng);
+
+struct GenerationSetup {
+  int batch = 8;
+  int max_input = 128;
+  int max_output = 128;
+  std::uint64_t seed = 7;
+};
+
+struct GenerationResult {
+  double tokens_per_second = 0;   // (input + output) tokens / time
+  double seconds = 0;
+  double weight_bytes = 0;
+  double kv_cache_bytes = 0;
+  double total_device_bytes = 0;  // weights + kv + activations + runtime
+  bool oom = false;
+  std::string note;               // "OOM" / "unsupported" for table cells
+};
+
+/// Run the generation benchmark for one model / dtype / device.
+/// `dtype` is the te.Linear compute type: FP32, BF16 or FP8 (E4M3).
+Expected<GenerationResult> run_generation(const CostModel& model,
+                                          const LlamaConfig& llm,
+                                          num::DType dtype,
+                                          const GenerationSetup& setup);
+
+}  // namespace hsim::te

@@ -1,0 +1,72 @@
+#include "te/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsim::te {
+
+Expected<double> CostModel::gemm_peak_flops(num::DType dtype) const {
+  using num::DType;
+  double tflops = 0;
+  switch (dtype) {
+    case DType::kFp32:
+    case DType::kTf32:
+      // PyTorch/TE route FP32 matmuls through TF32 tensor cores on sm_80+.
+      tflops = device_.tc.peak_tf32_tflops;
+      break;
+    case DType::kFp16:
+    case DType::kBf16:
+      tflops = device_.tc.peak_fp16_tflops;
+      break;
+    case DType::kFp8E4M3:
+    case DType::kFp8E5M2:
+      if (!device_.tc.has_fp8) {
+        return unsupported(device_.name + " has no FP8 tensor cores");
+      }
+      tflops = device_.tc.peak_fp8_tflops;
+      break;
+    case DType::kInt8:
+      tflops = device_.tc.peak_int8_tops;
+      break;
+    default:
+      return unsupported("no GEMM path for this dtype");
+  }
+  // Peaks are quoted at official boost; scale to the sustained clock.
+  return tflops * 1e12 * device_.clock_hz() / device_.official_clock_hz();
+}
+
+Expected<double> CostModel::gemm_seconds(std::int64_t m, std::int64_t n,
+                                         std::int64_t k, num::DType dtype) const {
+  if (m <= 0 || n <= 0 || k <= 0) return invalid_argument("GEMM dims must be positive");
+  auto peak = gemm_peak_flops(dtype);
+  if (!peak) return peak.error();
+
+  // Tile/wave model: 128x128 output tiles; each runs its K loop at the
+  // per-SM tensor-core rate with a fixed prologue+epilogue.
+  constexpr double kTile = 128.0;
+  constexpr double kTileOverheadCycles = 2200.0;  // fill/drain + epilogue
+  const double tiles = std::ceil(static_cast<double>(m) / kTile) *
+                       std::ceil(static_cast<double>(n) / kTile);
+  const double waves = std::ceil(tiles / static_cast<double>(device_.sm_count));
+  const double per_sm_flops_per_cycle = peak.value() / device_.clock_hz() /
+                                        static_cast<double>(device_.sm_count);
+  const double tile_flops = 2.0 * kTile * kTile * static_cast<double>(k);
+  const double tile_cycles = tile_flops / per_sm_flops_per_cycle + kTileOverheadCycles;
+  const double compute_seconds = waves * tile_cycles / device_.clock_hz();
+
+  // Memory floor: operands + result once through DRAM.
+  const double width = num::byte_width(dtype == num::DType::kFp32 ? num::DType::kFp32
+                                                                  : dtype);
+  const double bytes = (static_cast<double>(m) * static_cast<double>(k) +
+                        static_cast<double>(k) * static_cast<double>(n)) * width +
+                       static_cast<double>(m) * static_cast<double>(n) * 2.0;
+  const double mem_seconds = bytes / mem_bandwidth();
+
+  return std::max(compute_seconds, mem_seconds) + kKernelLaunchSeconds;
+}
+
+double CostModel::elementwise_seconds(double bytes) const {
+  return bytes / mem_bandwidth() + kKernelLaunchSeconds;
+}
+
+}  // namespace hsim::te

@@ -1,0 +1,53 @@
+// Operator-level cost model for the Transformer Engine benchmarks.
+//
+// Two primitives price everything:
+//   * gemm_seconds — a tile/wave model of a GEMM kernel: 128x128 output
+//     tiles walk the K loop at the tensor-core rate, tiles round-robin over
+//     SMs in waves, plus a per-kernel launch overhead and a memory-bound
+//     floor.  Size-dependent efficiency (the shape of Fig 4) comes from
+//     wave quantisation + overhead amortisation, not from an efficiency
+//     table.
+//   * elementwise_seconds — bytes moved at achieved DRAM bandwidth plus the
+//     same launch overhead (casts, norms, activations, reductions).
+// FP32 GEMMs price at the TF32 tensor-core rate (what PyTorch/TE actually
+// use on Ampere+); FP16/BF16 at the FP16 rate; FP8 at the FP8 rate where
+// the device has FP8 units.
+#pragma once
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "numerics/dtype.hpp"
+
+namespace hsim::te {
+
+/// Fixed cost of getting one kernel onto the device (driver + dispatch).
+constexpr double kKernelLaunchSeconds = 4.5e-6;
+
+class CostModel {
+ public:
+  explicit CostModel(const arch::DeviceSpec& device) : device_(device) {}
+
+  [[nodiscard]] const arch::DeviceSpec& device() const { return device_; }
+
+  /// Dense GEMM D(m x n) = A(m x k) B(k x n) in `dtype` compute precision.
+  /// Errors if the device has no unit for the type (FP8 before Ada).
+  [[nodiscard]] Expected<double> gemm_seconds(std::int64_t m, std::int64_t n,
+                                              std::int64_t k,
+                                              num::DType dtype) const;
+
+  /// Achievable GEMM rate for the type, FLOPS (device-wide).
+  [[nodiscard]] Expected<double> gemm_peak_flops(num::DType dtype) const;
+
+  /// Memory-bound elementwise/reduction op moving `bytes` in total.
+  [[nodiscard]] double elementwise_seconds(double bytes) const;
+
+  /// Achieved DRAM bandwidth in bytes/second.
+  [[nodiscard]] double mem_bandwidth() const {
+    return device_.memory.dram_peak_gbps * 1e9 * device_.memory.dram_efficiency;
+  }
+
+ private:
+  const arch::DeviceSpec& device_;
+};
+
+}  // namespace hsim::te

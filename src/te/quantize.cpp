@@ -1,0 +1,66 @@
+#include "te/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsim::te {
+namespace {
+
+const num::FormatSpec& spec_of(num::DType format) {
+  HSIM_ASSERT(num::is_fp8(format));
+  return format == num::DType::kFp8E4M3 ? num::kE4m3Spec : num::kE5m2Spec;
+}
+
+}  // namespace
+
+float compute_scale(std::span<const float> data, num::DType format) {
+  float amax = 0.0f;
+  for (const float v : data) amax = std::max(amax, std::fabs(v));
+  if (amax == 0.0f || !std::isfinite(amax)) return 1.0f;
+  return amax / static_cast<float>(spec_of(format).max_finite());
+}
+
+QuantizedTensor quantize(std::span<const float> data, num::DType format,
+                         float scale) {
+  HSIM_ASSERT(scale > 0.0f);
+  const auto& spec = spec_of(format);
+  QuantizedTensor out;
+  out.scale = scale;
+  out.format = format;
+  out.values.reserve(data.size());
+  for (const float v : data) {
+    out.values.push_back(static_cast<std::uint8_t>(
+        num::encode(v / scale, spec, num::Overflow::kSaturate)));
+  }
+  return out;
+}
+
+QuantizedTensor quantize(std::span<const float> data, num::DType format) {
+  return quantize(data, format, compute_scale(data, format));
+}
+
+std::vector<float> dequantize(const QuantizedTensor& q) {
+  const auto& spec = spec_of(q.format);
+  std::vector<float> out;
+  out.reserve(q.values.size());
+  for (const std::uint8_t bits : q.values) {
+    out.push_back(num::decode(bits, spec) * q.scale);
+  }
+  return out;
+}
+
+double max_rel_error(std::span<const float> original,
+                     std::span<const float> restored) {
+  HSIM_ASSERT(original.size() == restored.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double ref = std::fabs(static_cast<double>(original[i]));
+    if (ref == 0.0) continue;
+    const double err =
+        std::fabs(static_cast<double>(restored[i]) - static_cast<double>(original[i]));
+    worst = std::max(worst, err / ref);
+  }
+  return worst;
+}
+
+}  // namespace hsim::te

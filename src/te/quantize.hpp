@@ -1,0 +1,44 @@
+// FP8 scaling quantisation, as the Transformer Engine performs it.
+//
+// TE picks the tensor's max-abs value as the scaling reference, scales the
+// tensor so it fits FP8's dynamic range, runs the GEMM in FP8, and rescales
+// the output: inp_fp8 = inp / scale; out = gemm(inp_fp8, w_fp8) * scale.
+// This module implements that numerically (real E4M3/E5M2 rounding) so the
+// quantisation error the paper's Fig 3 overhead buys is measurable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "numerics/dtype.hpp"
+#include "numerics/types.hpp"
+
+namespace hsim::te {
+
+struct QuantizedTensor {
+  std::vector<std::uint8_t> values;  // FP8 bit patterns
+  float scale = 1.0f;                // out = decode(values) * scale
+  num::DType format = num::DType::kFp8E4M3;
+};
+
+/// amax-based scale: maps the tensor's largest magnitude onto the format's
+/// largest finite value.  Returns 1.0 for an all-zero tensor.
+float compute_scale(std::span<const float> data, num::DType format);
+
+/// Quantise with a precomputed scale (TE's delayed-scaling keeps amax
+/// history; passing yesterday's scale is how that works).
+QuantizedTensor quantize(std::span<const float> data, num::DType format,
+                         float scale);
+
+/// Convenience: compute the scale from this tensor and quantise.
+QuantizedTensor quantize(std::span<const float> data, num::DType format);
+
+/// Dequantise back to FP32.
+std::vector<float> dequantize(const QuantizedTensor& q);
+
+/// Max relative error of a quantise/dequantise round trip (diagnostics).
+double max_rel_error(std::span<const float> original,
+                     std::span<const float> restored);
+
+}  // namespace hsim::te

@@ -1,0 +1,169 @@
+#include "te/transformer.hpp"
+
+namespace hsim::te {
+
+Expected<TransformerLayerConfig> paper_layer_config(std::int64_t hidden_size) {
+  TransformerLayerConfig cfg;
+  cfg.hidden_size = hidden_size;
+  switch (hidden_size) {  // Table II
+    case 1024: cfg.ffn_hidden_size = 2816; cfg.num_attention_heads = 8; break;
+    case 2048: cfg.ffn_hidden_size = 5632; cfg.num_attention_heads = 16; break;
+    case 4096: cfg.ffn_hidden_size = 11008; cfg.num_attention_heads = 32; break;
+    case 5120: cfg.ffn_hidden_size = 13824; cfg.num_attention_heads = 40; break;
+    case 8192: cfg.ffn_hidden_size = 22016; cfg.num_attention_heads = 64; break;
+    default:
+      return invalid_argument("hidden size not in the paper's Table II");
+  }
+  return cfg;
+}
+
+Expected<LayerProfile> transformer_layer_forward(const CostModel& model,
+                                                 const TransformerLayerConfig& cfg,
+                                                 num::DType dtype) {
+  LayerProfile out;
+  const std::int64_t tokens =
+      static_cast<std::int64_t>(cfg.batch) * cfg.seq_len;  // GEMM m dimension
+  const double h = static_cast<double>(cfg.hidden_size);
+  const double tokens_d = static_cast<double>(tokens);
+  const bool fp8 = num::is_fp8(dtype);
+
+  // One projection GEMM (tokens x out_features) = (tokens x in) (in x out),
+  // plus the FP8 conversion pipeline when applicable.
+  const auto projection = [&](std::int64_t in, std::int64_t features)
+      -> Expected<double> {
+    double seconds = 0;
+    if (fp8) {
+      const double ind = static_cast<double>(in);
+      const double outd = static_cast<double>(features);
+      const double cast =
+          model.elementwise_seconds(tokens_d * ind * 3.0) +      // input cast
+          model.elementwise_seconds(tokens_d * outd * 2.0);      // rescale
+      out.cast_seconds += cast;
+      seconds += cast;
+    }
+    auto gemm = model.gemm_seconds(tokens, features, in, dtype);
+    if (!gemm) return gemm.error();
+    return seconds + gemm.value();
+  };
+
+  // --- Attention block ---
+  // RMSNorm (read+write activations in the working precision).
+  const double act_width = dtype == num::DType::kFp32 ? 4.0 : 2.0;
+  const double norm = model.elementwise_seconds(tokens_d * h * 2.0 * act_width);
+  out.norm_seconds += norm;
+  out.seconds += norm;
+
+  for (const std::int64_t features : {cfg.hidden_size, cfg.hidden_size,
+                                      cfg.hidden_size}) {  // Q, K, V
+    auto t = projection(cfg.hidden_size, features);
+    if (!t) return t.error();
+    out.attention_seconds += t.value();
+    out.seconds += t.value();
+  }
+
+  // Flash attention: 2 GEMM-shaped passes of b*heads*(s x s x head_dim),
+  // always executed in FP16 (TE does not quantise DotProductAttention).
+  {
+    const std::int64_t bh =
+        static_cast<std::int64_t>(cfg.batch) * cfg.num_attention_heads;
+    const std::int64_t head_dim = cfg.hidden_size / cfg.num_attention_heads;
+    auto qk = model.gemm_seconds(static_cast<std::int64_t>(cfg.seq_len) * bh,
+                                 cfg.seq_len, head_dim, num::DType::kFp16);
+    if (!qk) return qk.error();
+    auto pv = model.gemm_seconds(static_cast<std::int64_t>(cfg.seq_len) * bh,
+                                 head_dim, cfg.seq_len, num::DType::kFp16);
+    if (!pv) return pv.error();
+    const double attn = qk.value() + pv.value();
+    out.attention_seconds += attn;
+    out.seconds += attn;
+  }
+
+  {  // output projection
+    auto t = projection(cfg.hidden_size, cfg.hidden_size);
+    if (!t) return t.error();
+    out.attention_seconds += t.value();
+    out.seconds += t.value();
+  }
+
+  // --- MLP block (SwiGLU: gate, up, down) ---
+  const double norm2 = model.elementwise_seconds(tokens_d * h * 2.0 * act_width);
+  out.norm_seconds += norm2;
+  out.seconds += norm2;
+
+  for (int i = 0; i < 2; ++i) {  // gate and up projections
+    auto t = projection(cfg.hidden_size, cfg.ffn_hidden_size);
+    if (!t) return t.error();
+    out.mlp_seconds += t.value();
+    out.seconds += t.value();
+  }
+  // SwiGLU elementwise multiply (never FP8).
+  const double swiglu = model.elementwise_seconds(
+      tokens_d * static_cast<double>(cfg.ffn_hidden_size) * 3.0 * act_width);
+  out.mlp_seconds += swiglu;
+  out.seconds += swiglu;
+  {
+    auto t = projection(cfg.ffn_hidden_size, cfg.hidden_size);
+    if (!t) return t.error();
+    out.mlp_seconds += t.value();
+    out.seconds += t.value();
+  }
+
+  // Residual adds.
+  out.seconds += 2.0 * model.elementwise_seconds(tokens_d * h * 3.0 * act_width);
+  return out;
+}
+
+Expected<LayerProfile> layernorm_mlp_forward(const CostModel& model,
+                                             const TransformerLayerConfig& cfg,
+                                             num::DType dtype, bool fused) {
+  LayerProfile out;
+  const std::int64_t tokens =
+      static_cast<std::int64_t>(cfg.batch) * cfg.seq_len;
+  const double tokens_d = static_cast<double>(tokens);
+  const double h = static_cast<double>(cfg.hidden_size);
+  const double ffn = static_cast<double>(cfg.ffn_hidden_size);
+  const bool fp8 = num::is_fp8(dtype);
+  const double act_width = dtype == num::DType::kFp32 ? 4.0 : 2.0;
+
+  // The norm itself: in the fused FP8 module the normalised activations are
+  // written directly in FP8 (1 byte) instead of FP16.
+  const double norm_out_width = (fp8 && fused) ? 1.0 : act_width;
+  const double norm =
+      model.elementwise_seconds(tokens_d * h * (act_width + norm_out_width));
+  out.norm_seconds += norm;
+  out.seconds += norm;
+
+  const auto gemm = [&](std::int64_t in, std::int64_t features,
+                        bool input_needs_cast) -> Expected<double> {
+    double seconds = 0;
+    if (fp8 && input_needs_cast) {
+      const double cast = model.elementwise_seconds(
+          tokens_d * static_cast<double>(in) * 3.0);
+      out.cast_seconds += cast;
+      seconds += cast;
+    }
+    auto t = model.gemm_seconds(tokens, features, in, dtype);
+    if (!t) return t.error();
+    return seconds + t.value();
+  };
+
+  // Gate and up projections consume the norm's output: fused -> already
+  // FP8, no cast; unfused -> each projection quantises its input.
+  for (int i = 0; i < 2; ++i) {
+    auto t = gemm(cfg.hidden_size, cfg.ffn_hidden_size, /*cast=*/!fused);
+    if (!t) return t.error();
+    out.mlp_seconds += t.value();
+    out.seconds += t.value();
+  }
+  // SwiGLU stays in FP16 either way, so the down projection always casts.
+  const double swiglu = model.elementwise_seconds(tokens_d * ffn * 3.0 * act_width);
+  out.mlp_seconds += swiglu;
+  out.seconds += swiglu;
+  auto down = gemm(cfg.ffn_hidden_size, cfg.hidden_size, /*cast=*/true);
+  if (!down) return down.error();
+  out.mlp_seconds += down.value();
+  out.seconds += down.value();
+  return out;
+}
+
+}  // namespace hsim::te

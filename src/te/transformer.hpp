@@ -1,0 +1,53 @@
+// te.TransformerLayer: one Llama-style encoder layer.
+//
+// The paper configures te.TransformerLayer with SwiGLU + RMSNorm (Table II)
+// and times a single-layer encode of input (4, 512, hidden).  Components:
+//   RMSNorm -> QKV projections -> flash attention (always FP16 — TE's
+//   DotProductAttention does not use FP8) -> output projection -> RMSNorm
+//   -> SwiGLU MLP (gate/up/down projections).
+// In FP8 mode only the projections run on FP8 tensor cores; norms, softmax
+// and the attention kernel stay FP16, which is why FP8 beats FP16 only at
+// large hidden sizes and never by the full 2x (paper Fig 5).
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "te/ops.hpp"
+
+namespace hsim::te {
+
+struct TransformerLayerConfig {
+  std::int64_t hidden_size = 4096;
+  std::int64_t ffn_hidden_size = 11008;
+  int num_attention_heads = 32;
+  int batch = 4;
+  int seq_len = 512;
+};
+
+/// The paper's Table II parameterisation for a given hidden size.
+Expected<TransformerLayerConfig> paper_layer_config(std::int64_t hidden_size);
+
+struct LayerProfile {
+  double seconds = 0;
+  double attention_seconds = 0;
+  double mlp_seconds = 0;
+  double norm_seconds = 0;
+  double cast_seconds = 0;  // FP8 conversion overhead
+};
+
+/// Latency of one forward pass of the layer in `dtype` compute precision.
+Expected<LayerProfile> transformer_layer_forward(const CostModel& model,
+                                                 const TransformerLayerConfig& config,
+                                                 num::DType dtype);
+
+/// te.LayerNormMLP: the fused norm+MLP module the paper singles out —
+/// "allowing data transmission between layernorm and the subsequent MLP
+/// layer to adopt the FP8 format", which removes the per-projection input
+/// casts.  `fused == false` prices the unfused composition for comparison.
+Expected<LayerProfile> layernorm_mlp_forward(const CostModel& model,
+                                             const TransformerLayerConfig& config,
+                                             num::DType dtype,
+                                             bool fused = true);
+
+}  // namespace hsim::te

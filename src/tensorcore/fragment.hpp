@@ -1,0 +1,85 @@
+// Matrix fragments for the functional tensor-core model.
+//
+// Floating-point operands are stored as FP32 values that have been rounded
+// through their storage format, so the arithmetic below observes exactly
+// the precision the hardware would.  Integer operands are stored as int8
+// (INT4 values are range-restricted), binary operands as packed 32-bit
+// words.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "numerics/dtype.hpp"
+#include "numerics/formats.hpp"
+
+namespace hsim::tc {
+
+template <typename T>
+class Mat {
+ public:
+  Mat() = default;
+  Mat(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    HSIM_ASSERT(rows > 0 && cols > 0);
+  }
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+  [[nodiscard]] T& at(int r, int c) {
+    HSIM_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const T& at(int r, int c) const {
+    return const_cast<Mat*>(this)->at(r, c);
+  }
+
+  [[nodiscard]] std::vector<T>& data() noexcept { return data_; }
+  [[nodiscard]] const std::vector<T>& data() const noexcept { return data_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatF = Mat<float>;
+using MatI8 = Mat<std::int8_t>;
+using MatI32 = Mat<std::int32_t>;
+using MatB = Mat<std::uint32_t>;  // binary operands, 32 elements per word
+
+/// Storage rounding for a floating-point input type; FP32 passes through.
+inline float round_to_storage(float v, num::DType t) {
+  using num::DType;
+  switch (t) {
+    case DType::kFp16: return num::round_through(v, num::kFp16Spec);
+    case DType::kBf16: return num::round_through(v, num::kBf16Spec);
+    case DType::kTf32: return num::round_through(v, num::kTf32Spec);
+    case DType::kFp8E4M3:
+      return num::round_through(v, num::kE4m3Spec, num::Overflow::kSaturate);
+    case DType::kFp8E5M2:
+      return num::round_through(v, num::kE5m2Spec, num::Overflow::kSaturate);
+    default: return v;
+  }
+}
+
+/// Fill with uniform random values in [lo, hi), rounded through `storage`.
+inline void fill_random(MatF& m, num::DType storage, Xoshiro256ss& rng,
+                        float lo = -1.0f, float hi = 1.0f) {
+  for (auto& v : m.data()) {
+    v = round_to_storage(static_cast<float>(rng.uniform(lo, hi)), storage);
+  }
+}
+
+inline void fill_random(MatI8& m, Xoshiro256ss& rng, int lo = -128, int hi = 127) {
+  for (auto& v : m.data()) {
+    v = static_cast<std::int8_t>(rng.range(lo, hi));
+  }
+}
+
+}  // namespace hsim::tc

@@ -1,0 +1,152 @@
+#include "tensorcore/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensorcore/sparse.hpp"
+
+namespace hsim::tc {
+namespace {
+
+template <typename T>
+Mat<T> slice(const Mat<T>& m, int r0, int c0, int rows, int cols) {
+  Mat<T> out(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) out.at(r, c) = m.at(r0 + r, c0 + c);
+  }
+  return out;
+}
+
+template <typename T>
+void paste(Mat<T>& m, const Mat<T>& tile, int r0, int c0) {
+  for (int r = 0; r < tile.rows(); ++r) {
+    for (int c = 0; c < tile.cols(); ++c) m.at(r0 + r, c0 + c) = tile.at(r, c);
+  }
+}
+
+}  // namespace
+
+Expected<GemmIntResult> gemm_int8(const MatI8& a, const MatI8& b,
+                                  const MatI32& c, const isa::TcInstr& instr,
+                                  const arch::DeviceSpec& device) {
+  if (instr.ab != num::DType::kInt8 || instr.cd != num::DType::kInt32) {
+    return invalid_argument("gemm_int8 requires s8 inputs, s32 accumulate");
+  }
+  auto checked = isa::validate(instr);
+  if (!checked) return checked.error();
+  auto timing = tc_timing(instr, device);
+  if (!timing) return timing.error();
+
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (b.rows() != k || c.rows() != m || c.cols() != n) {
+    return invalid_argument("GEMM operand shapes disagree");
+  }
+  const int tm = instr.shape.m, tn = instr.shape.n, tk = instr.shape.k;
+  if (m % tm != 0 || n % tn != 0 || k % tk != 0) {
+    return invalid_argument("dimensions must align to the instruction shape");
+  }
+
+  GemmIntResult out;
+  out.d = c;
+  for (int kk = 0; kk < k; kk += tk) {
+    for (int i = 0; i < m; i += tm) {
+      const MatI8 a_tile = slice(a, i, kk, tm, tk);
+      for (int j = 0; j < n; j += tn) {
+        const MatI8 b_tile = slice(b, kk, j, tk, tn);
+        const MatI32 d_tile = slice(out.d, i, j, tm, tn);
+        paste(out.d, mma_int(a_tile, b_tile, d_tile), i, j);
+        ++out.instructions;
+      }
+    }
+  }
+  const double output_tiles =
+      (static_cast<double>(m) / tm) * (static_cast<double>(n) / tn);
+  const double waves =
+      std::ceil(output_tiles / static_cast<double>(device.sm_count));
+  const double per_tile_cycles =
+      (static_cast<double>(k) / tk) * timing.value().cadence +
+      timing.value().latency;
+  const double seconds = waves * per_tile_cycles / device.clock_hz();
+  out.projected_tflops = 2.0 * m * n * static_cast<double>(k) / seconds / 1e12;
+  return out;
+}
+
+Expected<GemmResult> gemm(const MatF& a_in, const MatF& b, const MatF& c,
+                          const isa::TcInstr& instr_in,
+                          const arch::DeviceSpec& device, GemmOptions options) {
+  isa::TcInstr instr = instr_in;
+  instr.sparse = options.sparse;
+  if (options.sparse && instr.path == isa::TcPath::kMma) {
+    instr.shape.k = 2 * instr_in.shape.k;  // sparse modifier doubles k
+  }
+  auto checked = isa::validate(instr);
+  if (!checked) return checked.error();
+  auto timing = tc_timing(instr, device);
+  if (!timing) return timing.error();
+
+  const int m = a_in.rows(), k = a_in.cols(), n = b.cols();
+  if (b.rows() != k || c.rows() != m || c.cols() != n) {
+    return invalid_argument("GEMM operand shapes disagree");
+  }
+  const int tm = instr.shape.m, tn = instr.shape.n, tk = instr.shape.k;
+  if (m % tm != 0 || n % tn != 0 || k % tk != 0) {
+    return invalid_argument("dimensions must align to the instruction shape");
+  }
+  if (num::is_integer(instr.ab)) {
+    return unsupported("this driver covers the floating-point paths");
+  }
+
+  const MatF a = options.sparse ? prune_2_4(a_in) : a_in;
+
+  GemmResult out;
+  out.d = c;
+  for (int kk = 0; kk < k; kk += tk) {
+    for (int i = 0; i < m; i += tm) {
+      const MatF a_tile = slice(a, i, kk, tm, tk);
+      // Sparse instructions consume the compressed operand + metadata.
+      Sparse24 a_sparse;
+      if (options.sparse) a_sparse = compress_2_4(a_tile);
+      for (int j = 0; j < n; j += tn) {
+        const MatF b_tile = slice(b, kk, j, tk, tn);
+        const MatF d_tile = slice(out.d, i, j, tm, tn);
+        const MatF updated =
+            options.sparse
+                ? mma_sparse_fp(a_sparse, b_tile, d_tile, instr.ab, instr.cd)
+                : mma_fp(a_tile, b_tile, d_tile, instr.ab, instr.cd);
+        paste(out.d, updated, i, j);
+        ++out.instructions;
+      }
+    }
+  }
+
+  // Performance projection: tiles pipeline back-to-back per SM; output
+  // tiles spread across SMs in waves (k-steps of one output tile are a
+  // dependent chain through the accumulator, so they serialise at the
+  // instruction cadence, which back-to-back issue already models).
+  const double output_tiles =
+      (static_cast<double>(m) / tm) * (static_cast<double>(n) / tn);
+  const double waves =
+      std::ceil(output_tiles / static_cast<double>(device.sm_count));
+  const double per_tile_cycles =
+      (static_cast<double>(k) / tk) * timing.value().cadence +
+      timing.value().latency;
+  out.projected_cycles = waves * per_tile_cycles;
+  out.projected_seconds = out.projected_cycles / device.clock_hz();
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  out.projected_tflops = flops / out.projected_seconds / 1e12;
+
+  if (options.compute_error) {
+    const auto ref = matmul_f64(a, b, c);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        out.max_abs_error = std::max(
+            out.max_abs_error,
+            std::fabs(static_cast<double>(out.d.at(i, j)) - ref.at(i, j)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hsim::tc

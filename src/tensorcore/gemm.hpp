@@ -1,0 +1,60 @@
+// Hierarchical GEMM on the functional tensor-core units.
+//
+// D = A x B + C executed the way a CUTLASS-style kernel would: the output
+// is tiled by the chosen instruction's (m x n), the k dimension walks in
+// instruction-k steps, and every tile-step is one functional mma/wgmma
+// execution (bit-exact reduced-precision arithmetic, 2:4 sparsity
+// included).  Alongside the numeric result the run reports a performance
+// projection from the instruction timing model and the launch/wave model —
+// so one call answers both "what does the TC hardware compute?" and "how
+// fast would this instruction choice be?".
+#pragma once
+
+#include <cstdint>
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "isa/ptx.hpp"
+#include "tensorcore/mma_func.hpp"
+#include "tensorcore/timing.hpp"
+
+namespace hsim::tc {
+
+struct GemmResult {
+  MatF d;                          // numeric result
+  std::uint64_t instructions = 0;  // tensor-core instructions executed
+  double projected_cycles = 0;     // instruction-roofline projection
+  double projected_seconds = 0;
+  double projected_tflops = 0;
+  double max_abs_error = 0;        // vs FP64 reference (if requested)
+};
+
+struct GemmOptions {
+  bool sparse = false;             // 2:4-prune A and use sparse instructions
+  bool compute_error = true;       // compare against the FP64 reference
+};
+
+/// Integer variant: D(m x n) int32 = A int8 x B int8 + C int32 through
+/// IMMA/IGMMA-shaped tiles.  Exact by construction; the result carries the
+/// same projection fields.
+struct GemmIntResult {
+  MatI32 d;
+  std::uint64_t instructions = 0;
+  double projected_tflops = 0;  // TOPS
+};
+Expected<GemmIntResult> gemm_int8(const MatI8& a, const MatI8& b,
+                                  const MatI32& c, const isa::TcInstr& instr,
+                                  const arch::DeviceSpec& device);
+
+/// Execute D(m x n) = A(m x k) x B(k x n) + C with `instr`-shaped tiles on
+/// `device`.  Dimensions must be multiples of the instruction shape (a
+/// production kernel would pad; we require alignment to keep the numerics
+/// story exact).  For sparse runs A is magnitude-pruned to 2:4 first and
+/// the error is measured against the *pruned* operand (pruning loss is the
+/// algorithm's, not the hardware's).
+Expected<GemmResult> gemm(const MatF& a, const MatF& b, const MatF& c,
+                          const isa::TcInstr& instr,
+                          const arch::DeviceSpec& device,
+                          GemmOptions options = {});
+
+}  // namespace hsim::tc

@@ -1,0 +1,101 @@
+#include "tensorcore/mma_func.hpp"
+
+#include <vector>
+
+#include "numerics/dot.hpp"
+
+namespace hsim::tc {
+namespace {
+
+void check_shapes(int am, int ak, int bk, int bn, int cm, int cn) {
+  HSIM_ASSERT(ak == bk);
+  HSIM_ASSERT(am == cm && bn == cn);
+}
+
+}  // namespace
+
+MatF mma_fp(const MatF& a, const MatF& b, const MatF& c, num::DType ab,
+            num::DType cd) {
+  check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  HSIM_ASSERT(cd == num::DType::kFp16 || cd == num::DType::kFp32);
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  MatF d(m, n);
+  std::vector<float> row(static_cast<std::size_t>(k));
+  std::vector<float> col(static_cast<std::size_t>(k));
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      row[static_cast<std::size_t>(kk)] = round_to_storage(a.at(i, kk), ab);
+    }
+    for (int j = 0; j < n; ++j) {
+      for (int kk = 0; kk < k; ++kk) {
+        col[static_cast<std::size_t>(kk)] = round_to_storage(b.at(kk, j), ab);
+      }
+      if (cd == num::DType::kFp32) {
+        d.at(i, j) = num::dot_accumulate_fp32(row, col, c.at(i, j));
+      } else {
+        const auto acc =
+            num::dot_accumulate_fp16(row, col, num::fp16(c.at(i, j)));
+        d.at(i, j) = acc.to_float();
+      }
+    }
+  }
+  return d;
+}
+
+MatF mma_sparse_fp(const Sparse24& a, const MatF& b, const MatF& c,
+                   num::DType ab, num::DType cd) {
+  // Hardware multiplies only the stored positions; that is numerically the
+  // same as the dense product of the decompressed operand because the
+  // skipped positions are exact zeros.
+  return mma_fp(decompress(a), b, c, ab, cd);
+}
+
+MatI32 mma_int(const MatI8& a, const MatI8& b, const MatI32& c) {
+  check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  MatI32 d(m, n);
+  std::vector<std::int8_t> row(static_cast<std::size_t>(k));
+  std::vector<std::int8_t> col(static_cast<std::size_t>(k));
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) row[static_cast<std::size_t>(kk)] = a.at(i, kk);
+    for (int j = 0; j < n; ++j) {
+      for (int kk = 0; kk < k; ++kk) col[static_cast<std::size_t>(kk)] = b.at(kk, j);
+      d.at(i, j) = num::dot_accumulate_s32(row, col, c.at(i, j));
+    }
+  }
+  return d;
+}
+
+MatI32 mma_binary(const MatB& a, const MatB& b, const MatI32& c) {
+  check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  const int m = a.rows(), kw = a.cols(), n = b.cols();
+  MatI32 d(m, n);
+  std::vector<std::uint32_t> row(static_cast<std::size_t>(kw));
+  std::vector<std::uint32_t> col(static_cast<std::size_t>(kw));
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < kw; ++kk) row[static_cast<std::size_t>(kk)] = a.at(i, kk);
+    for (int j = 0; j < n; ++j) {
+      for (int kk = 0; kk < kw; ++kk) col[static_cast<std::size_t>(kk)] = b.at(kk, j);
+      d.at(i, j) = num::dot_and_popc(row, col, c.at(i, j));
+    }
+  }
+  return d;
+}
+
+Mat<double> matmul_f64(const MatF& a, const MatF& b, const MatF& c) {
+  check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  Mat<double> d(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = static_cast<double>(c.at(i, j));
+      for (int kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i, kk)) * static_cast<double>(b.at(kk, j));
+      }
+      d.at(i, j) = acc;
+    }
+  }
+  return d;
+}
+
+}  // namespace hsim::tc

@@ -1,0 +1,39 @@
+// Functional execution of mma/wgmma: exact numeric semantics.
+//
+// All floating-point paths compute each product exactly and accumulate
+// left-to-right in the accumulator precision (see numerics/dot.hpp for the
+// provenance of that model); integer paths accumulate exactly in int32;
+// binary paths are AND+POPC.  wgmma shares these semantics — the difference
+// is purely in shape and timing.
+#pragma once
+
+#include "common/status.hpp"
+#include "numerics/dtype.hpp"
+#include "tensorcore/fragment.hpp"
+#include "tensorcore/sparse.hpp"
+
+namespace hsim::tc {
+
+/// D = A(mxk) x B(kxn) + C(mxn) with floating-point tensor-core semantics.
+/// A and B must already be rounded through `ab` storage (fill_random does
+/// this); the routine re-rounds defensively.  `cd` selects the accumulator
+/// precision (FP16 or FP32).
+MatF mma_fp(const MatF& a, const MatF& b, const MatF& c, num::DType ab,
+            num::DType cd);
+
+/// Sparse variant: A is 2:4 compressed; only stored positions contribute —
+/// numerically identical to mma_fp on decompress(a).
+MatF mma_sparse_fp(const Sparse24& a, const MatF& b, const MatF& c,
+                   num::DType ab, num::DType cd);
+
+/// Integer path (IMMA): int8/int4 inputs, exact int32 accumulation.
+MatI32 mma_int(const MatI8& a, const MatI8& b, const MatI32& c);
+
+/// Binary path (BMMA .AND.POPC): k is in bits, operands packed 32/word.
+MatI32 mma_binary(const MatB& a, const MatB& b, const MatI32& c);
+
+/// FP64 reference multiply (used by tests as the "infinitely precise"
+/// baseline when characterising rounding behaviour).
+Mat<double> matmul_f64(const MatF& a, const MatF& b, const MatF& c);
+
+}  // namespace hsim::tc

@@ -1,0 +1,34 @@
+#include "tensorcore/power.hpp"
+
+#include <algorithm>
+
+namespace hsim::tc {
+
+PowerResult apply_power(const isa::TcInstr& instr,
+                        const arch::DeviceSpec& device,
+                        double unthrottled_tflops, bool random_data) {
+  const auto& p = device.power;
+  const bool wgmma = instr.path == isa::TcPath::kWgmma;
+  double pj = (wgmma ? p.wgmma_pj : p.mma_pj).lookup(instr.ab, instr.cd);
+  if (instr.sparse) {
+    pj *= wgmma ? p.wgmma_sparse_energy_factor : p.mma_sparse_energy_factor;
+  }
+  const double toggle = random_data ? 1.0 : p.zero_toggle_factor;
+
+  PowerResult out;
+  out.clock_mhz = device.observed_clock_mhz;
+  out.throughput_tflops = unthrottled_tflops;
+  // rate (ops/s) * pj (1e-12 J/op) == TFLOPS-numbers * pj in watts.
+  out.power_w = p.idle_w + unthrottled_tflops * pj * toggle;
+  if (out.power_w > p.board_limit_w && pj > 0.0 && toggle > 0.0) {
+    out.throttled = true;
+    const double sustainable = (p.board_limit_w - p.idle_w) / (pj * toggle);
+    const double scale = sustainable / unthrottled_tflops;
+    out.throughput_tflops = sustainable;
+    out.clock_mhz = device.observed_clock_mhz * scale;
+    out.power_w = p.board_limit_w;
+  }
+  return out;
+}
+
+}  // namespace hsim::tc

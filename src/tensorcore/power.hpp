@@ -1,0 +1,36 @@
+// Board power and DVFS model.
+//
+// P = idle + rate * pj_per_op * toggle_factor.  When P would exceed the
+// board limit, the clock throttles until P == limit; since throughput is
+// linear in clock, the throttled throughput is (limit - idle) / pj.  This
+// is the mechanism behind the paper's Zero-vs-Rand wgmma gap ("power
+// consumption nearing the 350W limit of the H800-PCIe... causing a
+// reduction in frequency") and behind Table XI's energy-efficiency cells.
+#pragma once
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "isa/ptx.hpp"
+
+namespace hsim::tc {
+
+struct PowerResult {
+  double power_w = 0;          // board draw while running
+  double throughput_tflops = 0;  // after any DVFS throttle
+  double clock_mhz = 0;        // effective clock
+  bool throttled = false;
+
+  [[nodiscard]] double efficiency_tflops_per_w() const {
+    return power_w > 0 ? throughput_tflops / power_w : 0.0;
+  }
+};
+
+/// Apply the power model to an instruction stream that would sustain
+/// `unthrottled_tflops` at the device's nominal clock.  `random_data`
+/// selects full operand toggling; all-zero operands draw only the
+/// zero-toggle fraction.
+PowerResult apply_power(const isa::TcInstr& instr,
+                        const arch::DeviceSpec& device,
+                        double unthrottled_tflops, bool random_data);
+
+}  // namespace hsim::tc

@@ -1,0 +1,91 @@
+#include "tensorcore/sparse.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace hsim::tc {
+
+bool is_2_4_sparse(const MatF& m) {
+  if (m.cols() % 4 != 0) return false;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int g = 0; g < m.cols() / 4; ++g) {
+      int nonzeros = 0;
+      for (int i = 0; i < 4; ++i) {
+        if (m.at(r, g * 4 + i) != 0.0f) ++nonzeros;
+      }
+      if (nonzeros > 2) return false;
+    }
+  }
+  return true;
+}
+
+MatF prune_2_4(const MatF& m) {
+  HSIM_ASSERT(m.cols() % 4 == 0);
+  MatF out(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int g = 0; g < m.cols() / 4; ++g) {
+      std::array<int, 4> order{0, 1, 2, 3};
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return std::fabs(m.at(r, g * 4 + a)) > std::fabs(m.at(r, g * 4 + b));
+      });
+      // Keep the top two magnitudes, zero the rest.
+      for (int rank = 0; rank < 4; ++rank) {
+        const int col = g * 4 + order[static_cast<std::size_t>(rank)];
+        out.at(r, col) = rank < 2 ? m.at(r, col) : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Sparse24 compress_2_4(const MatF& m) {
+  HSIM_ASSERT(m.cols() % 4 == 0);
+  HSIM_ASSERT(is_2_4_sparse(m));
+  Sparse24 out;
+  out.dense_k = m.cols();
+  out.values = MatF(m.rows(), m.cols() / 2);
+  out.meta.assign(static_cast<std::size_t>(m.rows()) *
+                      static_cast<std::size_t>(m.cols() / 4),
+                  0);
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int g = 0; g < m.cols() / 4; ++g) {
+      // Pick the positions of (up to) two nonzeros; pad deterministically
+      // with unused positions so metadata is always two distinct indices.
+      std::array<int, 2> kept{};
+      int found = 0;
+      for (int i = 0; i < 4 && found < 2; ++i) {
+        if (m.at(r, g * 4 + i) != 0.0f) kept[static_cast<std::size_t>(found++)] = i;
+      }
+      for (int i = 0; i < 4 && found < 2; ++i) {
+        if (m.at(r, g * 4 + i) == 0.0f &&
+            (found == 0 || kept[0] != i)) {
+          kept[static_cast<std::size_t>(found++)] = i;
+        }
+      }
+      out.values.at(r, g * 2 + 0) = m.at(r, g * 4 + kept[0]);
+      out.values.at(r, g * 2 + 1) = m.at(r, g * 4 + kept[1]);
+      out.meta[static_cast<std::size_t>(r) *
+                   static_cast<std::size_t>(m.cols() / 4) +
+               static_cast<std::size_t>(g)] =
+          static_cast<std::uint8_t>(kept[0] | (kept[1] << 2));
+    }
+  }
+  return out;
+}
+
+MatF decompress(const Sparse24& s) {
+  MatF out(s.values.rows(), s.dense_k);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int g = 0; g < s.dense_k / 4; ++g) {
+      const std::uint8_t meta = s.meta_at(r, g);
+      const int p0 = meta & 3;
+      const int p1 = (meta >> 2) & 3;
+      out.at(r, g * 4 + p0) = s.values.at(r, g * 2 + 0);
+      out.at(r, g * 4 + p1) = s.values.at(r, g * 2 + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace hsim::tc

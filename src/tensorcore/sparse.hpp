@@ -1,0 +1,44 @@
+// 2:4 structured sparsity (Ampere+ sparse tensor cores).
+//
+// A sparse operand keeps at most 2 nonzeros in every group of 4 consecutive
+// k-elements.  Hardware stores the compressed values (m x k/2) plus 2-bit
+// metadata selecting which of the 4 positions each kept value came from.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "tensorcore/fragment.hpp"
+
+namespace hsim::tc {
+
+/// Compressed 2:4 operand: values is m x (k/2); meta holds, for each row
+/// and each group of 4, the two source positions (2 bits each, packed
+/// low-to-high in a byte).
+struct Sparse24 {
+  MatF values;
+  std::vector<std::uint8_t> meta;  // rows * (k/4) entries
+  int dense_k = 0;
+
+  [[nodiscard]] int rows() const { return values.rows(); }
+  [[nodiscard]] std::uint8_t meta_at(int r, int group) const {
+    return meta[static_cast<std::size_t>(r) *
+                    static_cast<std::size_t>(dense_k / 4) +
+                static_cast<std::size_t>(group)];
+  }
+};
+
+/// Does `m` satisfy the 2:4 property (at most 2 nonzeros per 4-group)?
+bool is_2_4_sparse(const MatF& m);
+
+/// Magnitude-prune to 2:4: keep the two largest-magnitude entries of every
+/// 4-group, zero the rest.  (How cuSPARSELt prepares dense weights.)
+MatF prune_2_4(const MatF& m);
+
+/// Compress a 2:4-sparse matrix.  Asserts the property holds.
+Sparse24 compress_2_4(const MatF& m);
+
+/// Expand back to dense (exact inverse of compress for 2:4 inputs).
+MatF decompress(const Sparse24& s);
+
+}  // namespace hsim::tc

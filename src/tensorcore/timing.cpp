@@ -1,0 +1,159 @@
+#include "tensorcore/timing.hpp"
+
+#include <algorithm>
+
+namespace hsim::tc {
+namespace {
+
+using num::DType;
+
+// wgmma cadence floors and overheads (Hopper-wide structural constants, not
+// per-table numbers): the RS pipe cannot issue dependent wgmma faster than
+// its depth; the SS pipe adds an issue overhead whenever the shared-memory
+// stream paces the instruction.
+constexpr double kWgmmaRsCadenceFloor = 15.1;
+constexpr double kWgmmaSparseRsCadenceFloor = 19.0;
+constexpr double kWgmmaSsIssueOverhead = 2.75;
+
+double mma_width_ops_per_clk(const isa::TcInstr& instr,
+                             const arch::DeviceSpec& device) {
+  double width = device.tc_ops_per_clk_sm(instr.ab);
+  if (instr.ab == DType::kFp16 && instr.cd == DType::kFp32) {
+    width *= device.tc.mma_acc32_width_factor;
+  }
+  return width;
+}
+
+bool uses_acc16_latency(const isa::TcInstr& instr) {
+  // Integer instructions and FP16-accumulate share the short-latency
+  // constants; FP32 accumulation (incl. TF32) takes the longer path.
+  if (num::is_integer(instr.ab)) return true;
+  return instr.cd == DType::kFp16;
+}
+
+}  // namespace
+
+int k_base(DType ab) {
+  switch (ab) {
+    case DType::kFp16:
+    case DType::kBf16: return 8;
+    case DType::kTf32: return 4;
+    case DType::kFp8E4M3:
+    case DType::kFp8E5M2: return 16;
+    case DType::kInt8: return 16;
+    case DType::kInt4: return 32;
+    case DType::kBinary: return 256;
+    default: return 8;
+  }
+}
+
+Expected<TcTiming> tc_timing(const isa::TcInstr& instr,
+                             const arch::DeviceSpec& device) {
+  const auto checked = isa::validate(instr);
+  if (!checked) return checked.error();
+  const auto sass = isa::compile_to_sass(instr, device);
+  if (!sass) return sass.error();
+
+  TcTiming t;
+  t.ops = instr.ops();
+  t.on_tensor_cores = isa::runs_on_tensor_cores(instr, device);
+  const auto& tcs = device.tc;
+
+  if (!t.on_tensor_cores) {
+    // Hopper INT4 mma -> IMAD sequences on the CUDA cores.  Width: the
+    // INT32 pipe retires ~4 packed int4 MACs per lane-op across 64 lanes.
+    const double width = 256.0;
+    t.cadence = t.ops / width;
+    t.latency = 40.0;
+    return t;
+  }
+
+  if (instr.path == isa::TcPath::kWmma) {
+    // Legacy wmma lowers to a pair of native mma instructions plus fragment
+    // bookkeeping; model it as the pair at the mma cadence with a one-cycle
+    // shuffle overhead (this is why wmma never beats raw mma).
+    isa::TcInstr native = instr;
+    native.path = isa::TcPath::kMma;
+    native.shape = {16, 8, instr.ab == DType::kTf32 ? 8 : 16};
+    auto inner = tc_timing(native, device);
+    if (!inner) return inner.error();
+    const double pairs = t.ops / inner.value().ops;
+    t.cadence = pairs * inner.value().cadence + 1.0;
+    t.latency = inner.value().latency + 4.0;
+    t.on_tensor_cores = inner.value().on_tensor_cores;
+    return t;
+  }
+  if (instr.path == isa::TcPath::kMma) {
+    const double width = mma_width_ops_per_clk(instr, device);
+    if (width <= 0) return unsupported("no tensor-core rate for this type");
+
+    if (instr.sparse) {
+      const double sparse_width = 2.0 * width;
+      t.cadence = std::max(t.ops / sparse_width, tcs.mma_sparse_min_cadence) +
+                  tcs.mma_sparse_dispatch_overhead;
+    } else {
+      t.cadence = t.ops / width + tcs.mma_dispatch_overhead;
+    }
+
+    const int stored_k = instr.sparse ? instr.shape.k / 2 : instr.shape.k;
+    const double passes =
+        static_cast<double>(stored_k) / static_cast<double>(k_base(instr.ab));
+    if (uses_acc16_latency(instr)) {
+      t.latency = tcs.mma_lat_base_acc16 + passes * tcs.mma_lat_pp_acc16;
+    } else {
+      t.latency = tcs.mma_lat_base_acc32 + passes * tcs.mma_lat_pp_acc32;
+    }
+    return t;
+  }
+
+  // wgmma path (validated: Hopper only).
+  const double width = device.tc_ops_per_clk_sm(instr.ab);
+  if (width <= 0) return unsupported("no tensor-core rate for this type");
+  const double n = instr.shape.n;
+  const bool ss = instr.a_src == isa::OperandSource::kSharedMemory;
+  const double smem_width = device.memory.smem_bytes_per_clk;
+
+  const double compute = t.ops / (instr.sparse ? 2.0 * width : width) /
+                         tcs.wgmma_efficiency;
+  // Shared-memory stream per instruction.  Sparse SS reads A at its dense
+  // footprint: the 2:4 selection happens inside the unit (paper §IV-C).
+  const double a_stream_bytes =
+      instr.sparse ? 2.0 * instr.a_bytes() : instr.a_bytes();
+  const double b_stream_bytes = instr.b_bytes();
+  double cadence;
+  if (ss) {
+    const double smem = (a_stream_bytes + b_stream_bytes) / smem_width;
+    cadence = std::max(compute, smem + kWgmmaSsIssueOverhead);
+    cadence = std::max(cadence, tcs.wgmma_ss_latency_floor);
+  } else {
+    const double smem = b_stream_bytes / smem_width;
+    cadence = std::max({compute, smem,
+                        instr.sparse ? kWgmmaSparseRsCadenceFloor
+                                     : kWgmmaRsCadenceFloor});
+  }
+  t.cadence = cadence;
+
+  // Completion latency: N/2 cycles of result streaming, with floors; SS
+  // exposes the A-tile fill below the hide threshold, and sparse SS always
+  // exposes its doubled stream.
+  const double stream = n / 2.0;
+  if (instr.sparse) {
+    if (ss) {
+      t.latency = stream + tcs.wgmma_sparse_ss_extra;
+    } else {
+      t.latency = std::max(stream, tcs.wgmma_sparse_rs_floor + 1.0);
+    }
+  } else {
+    if (ss && n < tcs.wgmma_hide_threshold_n) {
+      t.latency = std::max(stream + tcs.wgmma_ss_fill_latency,
+                           tcs.wgmma_ss_latency_floor);
+    } else if (ss) {
+      t.latency = stream;
+    } else {
+      t.latency = std::max(stream, tcs.wgmma_rs_latency_floor);
+    }
+  }
+  return t;
+}
+
+}  // namespace hsim::tc

@@ -1,0 +1,51 @@
+// Structural timing model for tensor-core instructions.
+//
+// Every number here is derived from device calibration constants plus the
+// instruction's own geometry; none of the paper's table cells appear in
+// this file.  The model components:
+//   * compute time: ops / (per-SM tensor-core width), adjusted by the
+//     accumulate-width factor (Ada halves FP32-accumulate) and a path
+//     efficiency;
+//   * dispatch overhead: Hopper's mma-compatibility path pays a fixed
+//     per-instruction cost (the paper's "62.9% of peak" finding);
+//   * sparse cadence floors: Ampere's sparse pipe has a minimum issue
+//     interval, so only large sparse shapes reach the claimed 2x;
+//   * shared-memory port competition: wgmma in "SS" mode must stream A (at
+//     its *dense* size for sparse instructions — the pruning happens inside
+//     the unit) and B through the 128 B/clk shared-memory port, which is
+//     what makes small-N and sparse-SS wgmma fall off peak;
+//   * latency: completion latency grows with the number of k-passes (mma)
+//     or with N (wgmma), with per-mode floors.
+#pragma once
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "isa/ptx.hpp"
+
+namespace hsim::tc {
+
+struct TcTiming {
+  double latency = 0;   // completion latency, cycles
+  double cadence = 0;   // steady-state issue interval, cycles (back-to-back)
+  double ops = 0;       // multiply+add ops credited per instruction
+  bool on_tensor_cores = true;
+
+  /// Analytic steady-state device throughput in TFLOPS/TOPS at `clock_hz`
+  /// with every SM issuing (the benches *measure* this by simulating the
+  /// issue pipeline; the analytic value is the asymptote).
+  [[nodiscard]] double throughput_tflops(const arch::DeviceSpec& device) const {
+    return ops / cadence * static_cast<double>(device.sm_count) *
+           device.clock_hz() / 1e12;
+  }
+};
+
+/// Timing for one tensor-core instruction on `device`.  Fails where the
+/// instruction cannot execute there (FP8 mma, wgmma before Hopper, ...).
+Expected<TcTiming> tc_timing(const isa::TcInstr& instr,
+                             const arch::DeviceSpec& device);
+
+/// The k granularity of one tensor-core pass for an input type (sets mma
+/// completion latency: latency = base + (k_stored / k_base) * per_pass).
+int k_base(num::DType ab);
+
+}  // namespace hsim::tc

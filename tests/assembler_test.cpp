@@ -1,0 +1,104 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::isa {
+namespace {
+
+TEST(Assembler, BasicKernel) {
+  const auto program = assemble(R"(
+    .iterations 100
+    MOV   R1, 0
+    LDG.CA R2, [R1]
+    IADD3 R1, R1, R2
+  )");
+  ASSERT_TRUE(program.has_value());
+  const auto& p = program.value();
+  EXPECT_EQ(p.iterations(), 100u);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.body()[0].op, Opcode::kMov);
+  EXPECT_EQ(p.body()[0].imm, 0);
+  EXPECT_EQ(p.body()[1].op, Opcode::kLdgCa);
+  EXPECT_EQ(p.body()[1].rd, 2);
+  EXPECT_EQ(p.body()[1].ra, 1);
+  EXPECT_EQ(p.body()[2].op, Opcode::kIAdd3);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto program = assemble(
+      "; a comment line\n"
+      "MOV R1, 5   # trailing comment\n"
+      "\n"
+      "NOP\n");
+  ASSERT_TRUE(program.has_value());
+  EXPECT_EQ(program.value().size(), 2u);
+  EXPECT_EQ(program.value().body()[0].imm, 5);
+}
+
+TEST(Assembler, MemoryWidthSuffix) {
+  const auto program = assemble("LDG.CG R2, [R1].16\n");
+  ASSERT_TRUE(program.has_value());
+  EXPECT_EQ(program.value().body()[0].op, Opcode::kLdgCg);
+  EXPECT_EQ(program.value().body()[0].access_bytes, 16u);
+}
+
+TEST(Assembler, StoreWithLeadingMemOperand) {
+  const auto program = assemble("STS [R6], R3\n");
+  ASSERT_TRUE(program.has_value());
+  EXPECT_EQ(program.value().body()[0].ra, 6);
+  EXPECT_EQ(program.value().body()[0].rb, 3);
+}
+
+TEST(Assembler, ThreeSourceOps) {
+  const auto program = assemble("VIMNMX R1, R2, R3, R4, 1\n");
+  ASSERT_TRUE(program.has_value());
+  const auto& inst = program.value().body()[0];
+  EXPECT_EQ(inst.op, Opcode::kVIMnMx);
+  EXPECT_EQ(inst.rd, 1);
+  EXPECT_EQ(inst.ra, 2);
+  EXPECT_EQ(inst.rb, 3);
+  EXPECT_EQ(inst.rc, 4);
+  EXPECT_EQ(inst.imm, 1);
+}
+
+TEST(Assembler, LongestMnemonicWins) {
+  const auto program = assemble("CP.ASYNC.COMMIT\nCP.ASYNC [R1]\n");
+  ASSERT_TRUE(program.has_value());
+  EXPECT_EQ(program.value().body()[0].op, Opcode::kCpAsyncCommit);
+  EXPECT_EQ(program.value().body()[1].op, Opcode::kCpAsync);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  const auto bad_mnemonic = assemble("MOV R1, 0\nFROB R2\n");
+  ASSERT_FALSE(bad_mnemonic.has_value());
+  EXPECT_NE(bad_mnemonic.error().message.find("line 2"), std::string::npos);
+
+  const auto bad_operand = assemble("MOV R999, 0\n");
+  ASSERT_FALSE(bad_operand.has_value());
+
+  const auto bad_directive = assemble(".wibble 3\n");
+  ASSERT_FALSE(bad_directive.has_value());
+
+  const auto bad_iterations = assemble(".iterations zero\nNOP\n");
+  ASSERT_FALSE(bad_iterations.has_value());
+}
+
+TEST(Assembler, EmptyProgramRejected) {
+  EXPECT_FALSE(assemble("").has_value());
+  EXPECT_FALSE(assemble("; only comments\n").has_value());
+}
+
+TEST(Assembler, BadWidthRejected) {
+  EXPECT_FALSE(assemble("LDS R1, [R2].7\n").has_value());
+}
+
+TEST(Assembler, RoundTripThroughToString) {
+  const auto program = assemble("IADD3 R1, R2, R3\nFADD R4, R1, R1\n");
+  ASSERT_TRUE(program.has_value());
+  const auto text = program.value().to_string();
+  EXPECT_NE(text.find("IADD3 R1, R2, R3"), std::string::npos);
+  EXPECT_NE(text.find("FADD R4, R1, R1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsim::isa

@@ -1,0 +1,123 @@
+// Sectored set-associative cache: hits, sector fills, LRU eviction,
+// capacity behaviour.
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hsim::mem {
+namespace {
+
+CacheConfig small_cache() {
+  // 4 KiB, 128B lines, 32B sectors, 4-way => 8 sets.
+  return {.size_bytes = 4096, .line_bytes = 128, .sector_bytes = 32, .ways = 4};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(small_cache());
+  EXPECT_EQ(cache.access(0), CacheOutcome::kLineMiss);
+  EXPECT_EQ(cache.access(0), CacheOutcome::kHit);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().line_misses, 1u);
+}
+
+TEST(Cache, SectorGranularity) {
+  Cache cache(small_cache());
+  EXPECT_EQ(cache.access(0), CacheOutcome::kLineMiss);
+  // Same line, different sector: tag present but sector not fetched.
+  EXPECT_EQ(cache.access(32), CacheOutcome::kSectorMiss);
+  EXPECT_EQ(cache.access(32), CacheOutcome::kHit);
+  EXPECT_EQ(cache.access(96), CacheOutcome::kSectorMiss);
+  // Offsets inside a fetched sector hit.
+  EXPECT_EQ(cache.access(4), CacheOutcome::kHit);
+  EXPECT_EQ(cache.access(31), CacheOutcome::kHit);
+}
+
+TEST(Cache, WorkingSetWithinCapacityAllHitsSecondPass) {
+  Cache cache(small_cache());
+  for (std::uint64_t a = 0; a < 4096; a += 32) cache.access(a);
+  cache.reset_stats();
+  for (std::uint64_t a = 0; a < 4096; a += 32) {
+    EXPECT_EQ(cache.access(a), CacheOutcome::kHit) << a;
+  }
+  EXPECT_EQ(cache.stats().hit_rate(), 1.0);
+}
+
+TEST(Cache, WorkingSetBeyondCapacityThrashes) {
+  Cache cache(small_cache());
+  // 2x capacity with a sequential scan + LRU = zero hits on re-scan.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 8192; a += 32) cache.access(a);
+  }
+  const double hit_rate = cache.stats().hit_rate();
+  EXPECT_LT(hit_rate, 0.05);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // One set: line addresses spaced by num_sets*line_bytes all map to set 0.
+  Cache cache(small_cache());
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(cache.num_sets()) * 128;
+  for (std::uint64_t i = 0; i < 4; ++i) cache.access(i * stride);
+  // Touch line 0 to make line 1 the LRU victim.
+  cache.access(0);
+  cache.access(4 * stride);  // evicts line 1
+  EXPECT_EQ(cache.probe(0), CacheOutcome::kHit);
+  EXPECT_EQ(cache.probe(1 * stride), CacheOutcome::kLineMiss);
+  EXPECT_EQ(cache.probe(2 * stride), CacheOutcome::kHit);
+}
+
+TEST(Cache, ProbeDoesNotMutate) {
+  Cache cache(small_cache());
+  EXPECT_EQ(cache.probe(0), CacheOutcome::kLineMiss);
+  EXPECT_EQ(cache.probe(0), CacheOutcome::kLineMiss);
+  EXPECT_EQ(cache.access(0, /*allocate=*/false), CacheOutcome::kLineMiss);
+  EXPECT_EQ(cache.probe(0), CacheOutcome::kLineMiss);  // still not allocated
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  Cache cache(small_cache());
+  cache.access(0);
+  cache.access(256);
+  cache.flush();
+  EXPECT_EQ(cache.probe(0), CacheOutcome::kLineMiss);
+  EXPECT_EQ(cache.probe(256), CacheOutcome::kLineMiss);
+}
+
+TEST(Cache, EvictionCounting) {
+  Cache cache(small_cache());
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(cache.num_sets()) * 128;
+  for (std::uint64_t i = 0; i < 6; ++i) cache.access(i * stride);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(Cache, DeviceSizedConfigsConstruct) {
+  // H800-like L2: 50 MiB, 16-way.
+  Cache l2({.size_bytes = 50ull << 20, .line_bytes = 128, .sector_bytes = 32,
+            .ways = 16});
+  EXPECT_EQ(l2.num_sets(), static_cast<int>((50ull << 20) / 128 / 16));
+  EXPECT_EQ(l2.access(123456), CacheOutcome::kLineMiss);
+  EXPECT_EQ(l2.access(123456), CacheOutcome::kHit);
+}
+
+TEST(Cache, RandomisedNoFalseHits) {
+  // Property: an address is only a hit if its sector was touched before
+  // and not evicted; verify "never hit before first touch".
+  Cache cache(small_cache());
+  Xoshiro256ss rng(12);
+  std::vector<bool> touched(1 << 12, false);  // 4 KiB of sectors over 128 KiB
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t sector_index = rng.below(1 << 12);
+    const std::uint64_t addr = sector_index * 32;
+    const auto outcome = cache.access(addr);
+    if (!touched[sector_index]) {
+      EXPECT_NE(outcome, CacheOutcome::kHit) << addr;
+      touched[sector_index] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsim::mem

@@ -1,0 +1,128 @@
+// Device registry: Table III facts and derived rates.
+#include "arch/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace hsim::arch {
+namespace {
+
+TEST(Registry, TableIIIFacts) {
+  const auto& a100 = a100_pcie();
+  EXPECT_EQ(a100.sm_count, 108);
+  EXPECT_EQ(a100.cores_per_sm, 64);
+  EXPECT_EQ(a100.boost_clock_mhz, 1410);
+  EXPECT_EQ(a100.memory.dram_bytes, 40_GiB);
+  EXPECT_EQ(a100.memory.dram_type, "HBM2e");
+  EXPECT_EQ(a100.memory.dram_bus_bits, 5120);
+  EXPECT_EQ(a100.tc.cores_total, 432);
+  EXPECT_EQ(a100.tc.generation, 3);
+  EXPECT_EQ(a100.cc_string(), "8.0");
+
+  const auto& ada = rtx4090();
+  EXPECT_EQ(ada.sm_count, 128);
+  EXPECT_EQ(ada.cores_per_sm, 128);
+  EXPECT_EQ(ada.memory.dram_bytes, 24_GiB);
+  EXPECT_EQ(ada.memory.dram_type, "GDDR6X");
+  EXPECT_EQ(ada.tc.cores_total, 512);
+  EXPECT_EQ(ada.tc.generation, 4);
+  EXPECT_EQ(ada.cc_string(), "8.9");
+
+  const auto& h800 = h800_pcie();
+  EXPECT_EQ(h800.sm_count, 114);
+  EXPECT_EQ(h800.cores_per_sm, 128);
+  EXPECT_EQ(h800.memory.dram_bytes, 80_GiB);
+  EXPECT_EQ(h800.memory.dram_peak_gbps, 2039);
+  EXPECT_EQ(h800.tc.cores_total, 456);
+  EXPECT_EQ(h800.cc_string(), "9.0");
+}
+
+TEST(Registry, FeatureMatrix) {
+  EXPECT_FALSE(a100_pcie().dpx.hardware);
+  EXPECT_FALSE(rtx4090().dpx.hardware);
+  EXPECT_TRUE(h800_pcie().dpx.hardware);
+
+  EXPECT_FALSE(a100_pcie().dsm.available);
+  EXPECT_FALSE(rtx4090().dsm.available);
+  EXPECT_TRUE(h800_pcie().dsm.available);
+
+  EXPECT_FALSE(a100_pcie().tc.has_fp8);
+  EXPECT_TRUE(rtx4090().tc.has_fp8);
+  EXPECT_TRUE(h800_pcie().tc.has_fp8);
+  // FP8 never has an mma path, on any architecture (Table VI).
+  for (const auto* device : all_devices()) {
+    EXPECT_FALSE(device->tc.has_fp8_mma) << device->name;
+  }
+
+  EXPECT_FALSE(a100_pcie().tc.has_wgmma);
+  EXPECT_FALSE(rtx4090().tc.has_wgmma);
+  EXPECT_TRUE(h800_pcie().tc.has_wgmma);
+
+  EXPECT_TRUE(a100_pcie().tc.mma_int4_on_tc);
+  EXPECT_FALSE(h800_pcie().tc.mma_int4_on_tc);
+
+  EXPECT_FALSE(a100_pcie().has_tma);
+  EXPECT_TRUE(h800_pcie().has_tma);
+}
+
+TEST(Registry, PeakRates) {
+  EXPECT_EQ(a100_pcie().tc_peak_tflops(num::DType::kFp16), 312.0);
+  EXPECT_EQ(h800_pcie().tc_peak_tflops(num::DType::kFp8E4M3), 1513.0);
+  EXPECT_EQ(a100_pcie().tc_peak_tflops(num::DType::kFp8E4M3), 0.0);
+  EXPECT_EQ(rtx4090().tc_peak_tflops(num::DType::kInt8), 660.6);
+  // Binary = 8x INT8.
+  EXPECT_EQ(a100_pcie().tc_peak_tflops(num::DType::kBinary), 8 * 624.0);
+  // INT4 on Hopper falls off the tensor cores entirely.
+  EXPECT_EQ(h800_pcie().tc_peak_tflops(num::DType::kInt4), 0.0);
+  EXPECT_EQ(a100_pcie().tc_peak_tflops(num::DType::kInt4), 2 * 624.0);
+}
+
+TEST(Registry, OpsPerClkDerivation) {
+  // A100 FP16: 312 TFLOPS / (108 SMs x 1.41 GHz) = 2048 flops/clk/SM.
+  EXPECT_NEAR(a100_pcie().tc_ops_per_clk_sm(num::DType::kFp16), 2048.0, 2.0);
+  // RTX4090 at its official clock: 1024.
+  EXPECT_NEAR(rtx4090().tc_ops_per_clk_sm(num::DType::kFp16), 1024.0, 2.0);
+}
+
+TEST(Registry, ObservedClockAboveBoostOnlyOnAda) {
+  EXPECT_GT(rtx4090().observed_clock_mhz, rtx4090().boost_clock_mhz);
+  EXPECT_EQ(a100_pcie().observed_clock_mhz, a100_pcie().boost_clock_mhz);
+  EXPECT_EQ(h800_pcie().observed_clock_mhz, h800_pcie().boost_clock_mhz);
+}
+
+TEST(Registry, FindDevice) {
+  EXPECT_EQ(find_device("a100").value(), &a100_pcie());
+  EXPECT_EQ(find_device("RTX4090").value(), &rtx4090());
+  EXPECT_EQ(find_device("hopper").value(), &h800_pcie());
+  EXPECT_EQ(find_device("h100").value(), &h800_pcie());
+  EXPECT_FALSE(find_device("mi300").has_value());
+}
+
+TEST(Registry, AllDevicesOrder) {
+  const auto devices = all_devices();
+  EXPECT_EQ(devices[0]->generation, Generation::kAmpere);
+  EXPECT_EQ(devices[1]->generation, Generation::kAda);
+  EXPECT_EQ(devices[2]->generation, Generation::kHopper);
+}
+
+TEST(TcEnergy, LookupBuckets) {
+  const TcEnergy e{.fp16_fp16 = 1, .fp16_fp32 = 2, .tf32_fp32 = 3, .fp8 = 4,
+                   .int8 = 5};
+  EXPECT_EQ(e.lookup(num::DType::kFp16, num::DType::kFp16), 1);
+  EXPECT_EQ(e.lookup(num::DType::kFp16, num::DType::kFp32), 2);
+  EXPECT_EQ(e.lookup(num::DType::kBf16, num::DType::kFp32), 2);
+  EXPECT_EQ(e.lookup(num::DType::kTf32, num::DType::kFp32), 3);
+  EXPECT_EQ(e.lookup(num::DType::kFp8E5M2, num::DType::kFp16), 4);
+  EXPECT_EQ(e.lookup(num::DType::kInt8, num::DType::kInt32), 5);
+  EXPECT_EQ(e.lookup(num::DType::kBinary, num::DType::kInt32), 5);
+}
+
+TEST(Generation, Names) {
+  EXPECT_EQ(to_string(Generation::kAmpere), "Ampere");
+  EXPECT_EQ(to_string(Generation::kAda), "Ada Lovelace");
+  EXPECT_EQ(to_string(Generation::kHopper), "Hopper");
+}
+
+}  // namespace
+}  // namespace hsim::arch

@@ -1,0 +1,78 @@
+// Cache discovery closes the loop: working-set sweeps must rediscover the
+// configured capacities from the tag arrays' behaviour alone.
+#include "core/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::core {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+
+TEST(Discovery, SweepIsMonotoneNonDecreasing) {
+  SweepConfig cfg;
+  cfg.min_bytes = 16 << 10;
+  cfg.max_bytes = 1 << 20;
+  const auto sweep = latency_sweep(h800_pcie(), mem::MemSpace::kGlobalCa, cfg);
+  ASSERT_GT(sweep.size(), 5u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].avg_latency, sweep[i - 1].avg_latency - 0.5) << i;
+  }
+}
+
+TEST(Discovery, L1CapacityWithinOneSweepStep) {
+  for (const auto* device : arch::all_devices()) {
+    const auto level = discover_l1(*device);
+    ASSERT_TRUE(level.has_value()) << device->name;
+    const auto configured = device->memory.l1_bytes_per_sm;
+    // Geometric sweep with factor 1.25: the discovered size is the last
+    // point that still fit, so it lies within [configured/1.25, configured].
+    EXPECT_LE(level.value().capacity_bytes, configured) << device->name;
+    EXPECT_GE(level.value().capacity_bytes,
+              static_cast<std::uint64_t>(static_cast<double>(configured) / 1.3))
+        << device->name;
+  }
+}
+
+TEST(Discovery, L1PlateausMatchHierarchy) {
+  const auto level = discover_l1(h800_pcie()).value();
+  EXPECT_NEAR(level.hit_latency, h800_pcie().memory.l1_hit_latency, 0.5);
+  // Past capacity the chase is mostly L2 hits.
+  EXPECT_GT(level.miss_latency, 0.8 * h800_pcie().memory.l2_hit_latency);
+  EXPECT_LT(level.miss_latency, 1.1 * h800_pcie().memory.l2_hit_latency);
+}
+
+TEST(Discovery, L2CapacityWithinOneSweepStep) {
+  const auto level = discover_l2(h800_pcie());
+  ASSERT_TRUE(level.has_value());
+  const auto configured = h800_pcie().memory.l2_bytes;
+  EXPECT_LE(level.value().capacity_bytes, configured);
+  EXPECT_GE(level.value().capacity_bytes,
+            static_cast<std::uint64_t>(static_cast<double>(configured) / 1.3));
+  EXPECT_NEAR(level.value().hit_latency, h800_pcie().memory.l2_hit_latency, 2.0);
+}
+
+TEST(Discovery, StepFinderRejectsFlatSweeps) {
+  std::vector<SweepPoint> flat;
+  for (int i = 0; i < 10; ++i) {
+    flat.push_back({static_cast<std::uint64_t>(1024 << i), 40.0});
+  }
+  EXPECT_FALSE(find_capacity_step(flat).has_value());
+  EXPECT_FALSE(find_capacity_step({}).has_value());
+}
+
+TEST(Discovery, StepFinderLocatesKnee) {
+  std::vector<SweepPoint> sweep;
+  for (int i = 0; i < 6; ++i) sweep.push_back({1000ull * (i + 1), 40.0});
+  sweep.push_back({7000, 200.0});
+  sweep.push_back({8000, 240.0});
+  const auto level = find_capacity_step(sweep).value();
+  EXPECT_EQ(level.capacity_bytes, 6000u);
+  EXPECT_EQ(level.hit_latency, 40.0);
+  EXPECT_EQ(level.miss_latency, 240.0);
+}
+
+}  // namespace
+}  // namespace hsim::core

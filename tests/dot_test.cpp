@@ -1,0 +1,97 @@
+// Tensor-core accumulation semantics: FP32 vs FP16 accumulate, exact
+// products, integer wraparound, AND+POPC.
+#include "numerics/dot.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hsim::num {
+namespace {
+
+TEST(DotFp32, ExactForSmallIntegers) {
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{5, 6, 7, 8};
+  EXPECT_EQ(dot_accumulate_fp32(a, b, 10.0f), 10 + 5 + 12 + 21 + 32);
+}
+
+TEST(DotFp32, LeftToRightOrderMatters) {
+  // (1e8 + 1) - 1e8 in FP32: left-to-right keeps the cancellation.
+  const std::vector<float> a{1e8f, 1.0f, -1e8f};
+  const std::vector<float> b{1.0f, 1.0f, 1.0f};
+  // 1e8 + 1 rounds to 1e8 in fp32, then -1e8 leaves 0.
+  EXPECT_EQ(dot_accumulate_fp32(a, b, 0.0f), 0.0f);
+  // Reordered so the small value is added last, it survives.
+  const std::vector<float> a2{1e8f, -1e8f, 1.0f};
+  EXPECT_EQ(dot_accumulate_fp32(a2, b, 0.0f), 1.0f);
+}
+
+TEST(DotFp16, AccumulatorRoundsEveryStep) {
+  // 2048 + 1 is not representable in FP16 (ulp at 2048 is 2): adding 1.0 k
+  // times to a 2048 accumulator stays put with FP16 accumulate...
+  std::vector<float> a(8, 1.0f);
+  std::vector<float> b(8, 1.0f);
+  const fp16 acc = dot_accumulate_fp16(a, b, fp16(2048.0f));
+  EXPECT_EQ(acc.to_float(), 2048.0f);
+  // ...but survives with FP32 accumulate.
+  EXPECT_EQ(dot_accumulate_fp32(a, b, 2048.0f), 2056.0f);
+}
+
+TEST(DotFp16, MatchesFp32WhenEverythingRepresentable) {
+  Xoshiro256ss rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> a(4), b(4);
+    for (int i = 0; i < 4; ++i) {
+      a[static_cast<std::size_t>(i)] = static_cast<float>(rng.range(-8, 8));
+      b[static_cast<std::size_t>(i)] = static_cast<float>(rng.range(-8, 8));
+    }
+    const float f32 = dot_accumulate_fp32(a, b, 0.0f);
+    const fp16 f16 = dot_accumulate_fp16(a, b, fp16(0.0f));
+    EXPECT_EQ(f16.to_float(), f32);  // small integers: both exact
+  }
+}
+
+TEST(DotFp16ProductsAreExact, ElevenBitSignificands) {
+  // Products of FP16 values are exact in FP32: check a worst-ish case.
+  const float x = 2047.0f / 1024.0f;  // full 11-bit significand
+  const std::vector<float> a{x};
+  const std::vector<float> b{x};
+  const double exact = static_cast<double>(x) * static_cast<double>(x);
+  EXPECT_EQ(static_cast<double>(dot_accumulate_fp32(a, b, 0.0f)), exact);
+}
+
+TEST(DotS32, Exact) {
+  const std::vector<std::int8_t> a{127, -128, 50, 1};
+  const std::vector<std::int8_t> b{127, -128, -50, 0};
+  EXPECT_EQ(dot_accumulate_s32(a, b, 5),
+            5 + 127 * 127 + (-128) * (-128) + 50 * -50);
+}
+
+TEST(DotS32, WrapsLikeHardwareAccumulator) {
+  // Repeated max products can exceed int32 in theory; confirm 32-bit wrap
+  // semantics (the model documents the accumulator as 32-bit).
+  std::vector<std::int8_t> a(300, 127);
+  std::vector<std::int8_t> b(300, 127);
+  std::int64_t expected = 0;
+  for (int i = 0; i < 300; ++i) expected += 127 * 127;
+  EXPECT_EQ(dot_accumulate_s32(a, b, 0),
+            static_cast<std::int32_t>(expected));  // fits: sanity
+}
+
+TEST(DotAndPopc, CountsCommonBits) {
+  const std::vector<std::uint32_t> a{0xFFFF0000u, 0x0000000Fu};
+  const std::vector<std::uint32_t> b{0xFF000000u, 0x0000000Cu};
+  EXPECT_EQ(dot_and_popc(a, b, 3), 3 + 8 + 2);
+}
+
+TEST(DotAndPopc, ZeroOperands) {
+  const std::vector<std::uint32_t> a{0u, 0u};
+  const std::vector<std::uint32_t> b{0xFFFFFFFFu, 0xFFFFFFFFu};
+  EXPECT_EQ(dot_and_popc(a, b, 0), 0);
+}
+
+}  // namespace
+}  // namespace hsim::num

@@ -1,0 +1,174 @@
+// DPX intrinsics: exact CUDA semantics, property checks against scalar
+// references, cost table sanity, micro-op expansion.
+#include "dpx/functions.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hsim::dpx {
+namespace {
+
+std::uint32_t u(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+std::int32_t s(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+
+std::uint32_t pack16(std::int16_t lo, std::int16_t hi) {
+  return static_cast<std::uint16_t>(lo) |
+         (static_cast<std::uint32_t>(static_cast<std::uint16_t>(hi)) << 16);
+}
+
+TEST(Dpx, ViAddMaxS32) {
+  EXPECT_EQ(s(apply(Func::kViAddMaxS32, u(3), u(4), u(10))), 10);
+  EXPECT_EQ(s(apply(Func::kViAddMaxS32, u(30), u(4), u(10))), 34);
+  EXPECT_EQ(s(apply(Func::kViAddMaxS32, u(-5), u(-6), u(-20))), -11);
+}
+
+TEST(Dpx, ViAddMaxS32ReluClampsAtZero) {
+  EXPECT_EQ(s(apply(Func::kViAddMaxS32Relu, u(-9), u(-1), u(-3))), 0);
+  EXPECT_EQ(s(apply(Func::kViAddMaxS32Relu, u(5), u(1), u(-3))), 6);
+}
+
+TEST(Dpx, ViAddMinVariants) {
+  EXPECT_EQ(s(apply(Func::kViAddMinS32, u(3), u(4), u(5))), 5);
+  EXPECT_EQ(s(apply(Func::kViAddMinS32Relu, u(-4), u(-4), u(5))), 0);
+  EXPECT_EQ(s(apply(Func::kViAddMinS32Relu, u(2), u(1), u(5))), 3);
+}
+
+TEST(Dpx, ViMax3AndMin3) {
+  EXPECT_EQ(s(apply(Func::kViMax3S32, u(1), u(9), u(5))), 9);
+  EXPECT_EQ(s(apply(Func::kViMin3S32, u(1), u(9), u(5))), 1);
+  EXPECT_EQ(s(apply(Func::kViMax3S32Relu, u(-1), u(-9), u(-5))), 0);
+  EXPECT_EQ(s(apply(Func::kViMin3S32Relu, u(1), u(9), u(5))), 1);
+}
+
+TEST(Dpx, ViBMaxProducesPredicate) {
+  bool pred = false;
+  EXPECT_EQ(s(apply(Func::kViBMaxS32, u(7), u(3), 0, &pred)), 7);
+  EXPECT_TRUE(pred);
+  EXPECT_EQ(s(apply(Func::kViBMaxS32, u(3), u(7), 0, &pred)), 7);
+  EXPECT_FALSE(pred);
+  EXPECT_EQ(s(apply(Func::kViBMinS32, u(3), u(7), 0, &pred)), 3);
+  EXPECT_TRUE(pred);
+}
+
+TEST(Dpx, UnsignedVariants) {
+  EXPECT_EQ(apply(Func::kViAddMaxU32, 0xFFFFFFF0u, 0x10u, 5u), 5u);  // wraps
+  EXPECT_EQ(apply(Func::kViAddMaxU32, 100u, 50u, 5u), 150u);
+  EXPECT_EQ(apply(Func::kViAddMinU32, 100u, 50u, 5u), 5u);
+}
+
+TEST(Dpx, AddWrapsTwosComplement) {
+  const auto max32 = std::numeric_limits<std::int32_t>::max();
+  EXPECT_EQ(s(apply(Func::kViAddMaxS32, u(max32), u(1), u(0))), 0);
+  // max32 + 1 wraps to INT_MIN, so max(INT_MIN, 0) = 0.
+}
+
+TEST(Dpx, S16x2OperatesPerHalf) {
+  const auto a = pack16(10, -10);
+  const auto b = pack16(5, -5);
+  const auto c = pack16(100, -100);
+  const auto r = apply(Func::kViAddMaxS16x2, a, b, c);
+  EXPECT_EQ(static_cast<std::int16_t>(r & 0xFFFF), 100);   // max(15, 100)
+  EXPECT_EQ(static_cast<std::int16_t>(r >> 16), -15);      // max(-15, -100)
+}
+
+TEST(Dpx, S16x2Relu) {
+  const auto a = pack16(-10, 10);
+  const auto b = pack16(-5, 5);
+  const auto c = pack16(-100, -100);
+  const auto r = apply(Func::kViAddMaxS16x2Relu, a, b, c);
+  EXPECT_EQ(static_cast<std::int16_t>(r & 0xFFFF), 0);
+  EXPECT_EQ(static_cast<std::int16_t>(r >> 16), 15);
+}
+
+TEST(Dpx, S16x2Max3) {
+  const auto r = apply(Func::kViMax3S16x2, pack16(1, -1), pack16(2, -2),
+                       pack16(3, -3));
+  EXPECT_EQ(static_cast<std::int16_t>(r & 0xFFFF), 3);
+  EXPECT_EQ(static_cast<std::int16_t>(r >> 16), -1);
+}
+
+TEST(Dpx, PropertyAgainstScalarReference) {
+  Xoshiro256ss rng(21);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::int32_t>(rng());
+    const auto b = static_cast<std::int32_t>(rng());
+    const auto c = static_cast<std::int32_t>(rng());
+    const auto wrap_add = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(a) + static_cast<std::uint32_t>(b));
+    EXPECT_EQ(s(apply(Func::kViAddMaxS32, u(a), u(b), u(c))),
+              std::max(wrap_add, c));
+    EXPECT_EQ(s(apply(Func::kViMin3S32, u(a), u(b), u(c))),
+              std::min({a, b, c}));
+    EXPECT_EQ(s(apply(Func::kViMaxS32Relu, u(a), u(b), 0)),
+              std::max({a, b, 0}));
+  }
+}
+
+TEST(Dpx, ClassifiersConsistent) {
+  for (const auto f : kAllFuncs) {
+    const auto n = name(f);
+    EXPECT_EQ(is_16x2(f), n.find("16x2") != std::string_view::npos) << n;
+    EXPECT_EQ(has_relu(f), n.find("relu") != std::string_view::npos) << n;
+    EXPECT_EQ(is_bounds(f), n.find("__vib") != std::string_view::npos) << n;
+  }
+}
+
+TEST(Dpx, CostsReflectStructure) {
+  for (const auto f : kAllFuncs) {
+    const Cost c = cost(f);
+    EXPECT_GE(c.hw_instrs, 1) << name(f);
+    EXPECT_LE(c.hw_instrs, 2) << name(f);
+    EXPECT_GE(c.emu_ops, 1) << name(f);
+    if (is_16x2(f)) {
+      EXPECT_GE(c.emu_ops, 9) << name(f);  // unpack/compute/pack
+    } else {
+      EXPECT_LE(c.emu_ops, 3) << name(f);
+    }
+    if (has_relu(f) && !is_16x2(f)) {
+      // Three-input relu forms need the extra clamp op; two-input
+      // (__vimax_s32_relu) forms fold it into the second IMNMX.
+      EXPECT_GE(c.emu_ops, 2) << name(f);
+      EXPECT_LE(c.emu_ops, 3) << name(f);
+    }
+  }
+}
+
+TEST(Dpx, HeadlineSpeedupIs13x) {
+  // The paper: "For 16-bit operations, H800 also has significant
+  // acceleration, up to 13 times."  Latency model: emu_depth * 4.5 cycles
+  // vs 1 fused op at 4.5 cycles.
+  const Cost c = cost(Func::kViMax3S16x2Relu);
+  EXPECT_EQ(c.emu_depth / c.hw_instrs, 13);
+}
+
+TEST(Dpx, ExpansionEmitsHardwareForm) {
+  isa::Program p;
+  append(p, Func::kViMax3S32, 1, 2, 3, 4, /*hardware=*/true, 10);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.body()[0].op, isa::Opcode::kVIMnMx);
+  EXPECT_EQ(p.body()[0].imm & 1, 1);  // max mode
+}
+
+TEST(Dpx, ExpansionEmitsEmulationChain) {
+  isa::Program p;
+  append(p, Func::kViAddMaxS32Relu, 1, 2, 3, 4, /*hardware=*/false, 10);
+  EXPECT_EQ(p.size(), static_cast<std::size_t>(cost(Func::kViAddMaxS32Relu).emu_ops));
+  EXPECT_EQ(p.body()[0].op, isa::Opcode::kIAdd3);
+  EXPECT_EQ(p.body().back().rd, 1);  // final op writes the destination
+}
+
+TEST(Dpx, ExpansionChainIsDependent) {
+  isa::Program p;
+  append(p, Func::kViMax3S16x2, 1, 2, 3, 4, /*hardware=*/false, 10);
+  // Each op must consume the previous op's destination.
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_EQ(p.body()[i].ra, p.body()[i - 1].rd) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hsim::dpx

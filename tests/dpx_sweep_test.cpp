@@ -1,0 +1,95 @@
+// Parameterised sweep over every DPX function x device: structural laws
+// that must hold for the whole family, not just hand-picked members.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dpxbench.hpp"
+
+namespace hsim::core {
+namespace {
+
+using dpx::Func;
+
+struct DpxCase {
+  const arch::DeviceSpec* device;
+  Func func;
+};
+
+std::vector<DpxCase> all_cases() {
+  std::vector<DpxCase> cases;
+  for (const auto* device : arch::all_devices()) {
+    for (const auto func : dpx::kAllFuncs) cases.push_back({device, func});
+  }
+  return cases;
+}
+
+class DpxSweep : public ::testing::TestWithParam<DpxCase> {};
+
+TEST_P(DpxSweep, LatencyLaws) {
+  const auto& c = GetParam();
+  const auto latency = dpx_latency(*c.device, c.func);
+  ASSERT_TRUE(latency.has_value());
+  const double cycles = latency.value().cycles_per_call;
+  EXPECT_GE(cycles, 4.0);     // nothing beats one ALU pass
+  EXPECT_LE(cycles, 100.0);   // even the worst emulation stays bounded
+  // Hardware never loses to emulation for the same function.
+  if (!c.device->dpx.hardware) {
+    const auto hw = dpx_latency(arch::h800_pcie(), c.func).value();
+    EXPECT_LE(hw.cycles_per_call, cycles + 1e-9) << dpx::name(c.func);
+  }
+  // Scheduler-cycle quantisation: per-call latency is an integer multiple
+  // of whole cycles divided by the chain length — here simply near-integer.
+  EXPECT_NEAR(cycles, std::round(cycles), 0.05);
+}
+
+TEST_P(DpxSweep, ThroughputLaws) {
+  const auto& c = GetParam();
+  const auto result = dpx_throughput(*c.device, c.func);
+  ASSERT_TRUE(result.has_value());
+  if (!result.value().measurable) {
+    EXPECT_TRUE(dpx::is_bounds(c.func));
+    EXPECT_FALSE(c.device->dpx.hardware);
+    return;
+  }
+  EXPECT_GT(result.value().calls_per_clk_sm, 0.0);
+  // Per-SM retirement can never exceed the issue fabric: 4 schedulers x
+  // 32 lanes = 128 lane-ops per cycle, one call needs >= 1 lane-op.
+  EXPECT_LE(result.value().calls_per_clk_sm, 128.0);
+  // Relu variants are never faster than their base form.
+  if (dpx::has_relu(c.func)) {
+    // Map the relu function to its base by name: strip the suffix.
+    for (const auto base : dpx::kAllFuncs) {
+      const auto base_name = dpx::name(base);
+      const auto relu_name = dpx::name(c.func);
+      if (relu_name.substr(0, relu_name.size() - 5) == base_name) {
+        const auto base_result = dpx_throughput(*c.device, base);
+        if (base_result.value().measurable) {
+          EXPECT_LE(result.value().calls_per_clk_sm,
+                    base_result.value().calls_per_clk_sm + 1e-9)
+              << relu_name << " vs " << base_name;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFunctionsAllDevices, DpxSweep, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<DpxCase>& info) {
+      std::string name;
+      switch (info.param.device->generation) {
+        case arch::Generation::kAmpere: name = "A100"; break;
+        case arch::Generation::kAda: name = "RTX4090"; break;
+        case arch::Generation::kHopper: name = "H800"; break;
+      }
+      name += std::string(dpx::name(info.param.func));
+      std::string cleaned;
+      for (const char ch : name) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) cleaned.push_back(ch);
+      }
+      return cleaned;
+    });
+
+}  // namespace
+}  // namespace hsim::core

@@ -1,0 +1,87 @@
+// DPX benchmarks through the SM simulator: latency/throughput orderings
+// and the wave-quantisation sawtooth.
+#include "core/dpxbench.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hsim::core {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+using dpx::Func;
+
+TEST(DpxBench, EmulatedDevicesMatchEachOther) {
+  // A100 and RTX4090 both emulate: same instruction counts, same latency
+  // in cycles (the paper: "their performance is almost the same").
+  for (const auto func : {Func::kViAddMaxS32, Func::kViMax3S16x2Relu}) {
+    const auto a = dpx_latency(a100_pcie(), func).value();
+    const auto g = dpx_latency(rtx4090(), func).value();
+    EXPECT_DOUBLE_EQ(a.cycles_per_call, g.cycles_per_call) << dpx::name(func);
+  }
+}
+
+TEST(DpxBench, SimpleAddMaxCloseAcrossDevices) {
+  const auto emu = dpx_latency(a100_pcie(), Func::kViAddMaxS32).value();
+  const auto hw = dpx_latency(h800_pcie(), Func::kViAddMaxS32).value();
+  EXPECT_NEAR(emu.cycles_per_call, hw.cycles_per_call,
+              emu.cycles_per_call * 0.25);
+}
+
+TEST(DpxBench, ReluFormsAccelerateOnHopper) {
+  const auto emu = dpx_latency(a100_pcie(), Func::kViMax3S32Relu).value();
+  const auto hw = dpx_latency(h800_pcie(), Func::kViMax3S32Relu).value();
+  EXPECT_GT(emu.cycles_per_call / hw.cycles_per_call, 2.0);
+}
+
+TEST(DpxBench, SixteenBitFormsUpTo13x) {
+  const auto emu = dpx_latency(a100_pcie(), Func::kViMax3S16x2Relu).value();
+  const auto hw = dpx_latency(h800_pcie(), Func::kViMax3S16x2Relu).value();
+  const double speedup = emu.cycles_per_call / hw.cycles_per_call;
+  EXPECT_GT(speedup, 10.0);
+  EXPECT_LT(speedup, 15.0);
+}
+
+TEST(DpxBench, ThroughputHwBeatsEmuForComplexForms) {
+  const auto emu = dpx_throughput(a100_pcie(), Func::kViMax3S16x2).value();
+  const auto hw = dpx_throughput(h800_pcie(), Func::kViMax3S16x2).value();
+  ASSERT_TRUE(emu.measurable && hw.measurable);
+  EXPECT_GT(hw.calls_per_clk_sm, 3.0 * emu.calls_per_clk_sm);
+}
+
+TEST(DpxBench, BoundsFunctionsUnmeasurableWhenEmulated) {
+  EXPECT_FALSE(dpx_throughput(a100_pcie(), Func::kViBMaxS32).value().measurable);
+  EXPECT_FALSE(dpx_throughput(rtx4090(), Func::kViBMaxS32).value().measurable);
+  EXPECT_TRUE(dpx_throughput(h800_pcie(), Func::kViBMaxS32).value().measurable);
+}
+
+TEST(DpxBench, BlockSweepSawtooth) {
+  const auto& device = h800_pcie();
+  const int sms = device.sm_count;
+  const auto points = dpx_block_sweep(device, Func::kViMax3S32, sms + 2).value();
+  ASSERT_EQ(points.size(), static_cast<std::size_t>(sms + 2));
+  // Throughput grows ~linearly while blocks <= SMs...
+  EXPECT_NEAR(points[static_cast<std::size_t>(sms / 2 - 1)].gcalls_per_sec,
+              points.back().gcalls_per_sec, points.back().gcalls_per_sec * 0.2);
+  const double full = points[static_cast<std::size_t>(sms - 1)].gcalls_per_sec;
+  const double spill = points[static_cast<std::size_t>(sms)].gcalls_per_sec;
+  // ...then plummets when one block spills into a second wave.
+  EXPECT_LT(spill, 0.6 * full);
+  // And the ramp up to the full wave is monotone.
+  for (int i = 1; i < sms; ++i) {
+    EXPECT_GE(points[static_cast<std::size_t>(i)].gcalls_per_sec,
+              points[static_cast<std::size_t>(i - 1)].gcalls_per_sec * 0.999);
+  }
+}
+
+TEST(DpxBench, LatencyQuantisedToIssueCycles) {
+  // All measured latencies are whole numbers of scheduler cycles per call.
+  const auto r = dpx_latency(h800_pcie(), Func::kViMax3S32).value();
+  EXPECT_NEAR(r.cycles_per_call, std::round(r.cycles_per_call), 0.05);
+}
+
+}  // namespace
+}  // namespace hsim::core

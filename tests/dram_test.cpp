@@ -1,0 +1,66 @@
+#include "mem/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::mem {
+namespace {
+
+DramConfig h800_like() {
+  return {.peak_gbps = 2039, .core_clock_hz = 1.755e9, .latency_cycles = 478.8,
+          .sector_overhead_cycles = 0.0, .sector_bytes = 32};
+}
+
+TEST(Dram, PinBandwidthConversion) {
+  Dram dram(h800_like());
+  EXPECT_NEAR(dram.pin_bytes_per_clk(), 2039e9 / 1.755e9, 1e-9);
+}
+
+TEST(Dram, SingleRequestLatency) {
+  Dram dram(h800_like());
+  const double done = dram.request(0.0, 32);
+  EXPECT_NEAR(done, 32.0 / dram.pin_bytes_per_clk() + 478.8, 1e-9);
+}
+
+TEST(Dram, StreamingReachesPinBandwidthWithoutOverhead) {
+  Dram dram(h800_like());
+  EXPECT_NEAR(dram.streaming_bytes_per_clk(), dram.pin_bytes_per_clk(), 1e-9);
+}
+
+TEST(Dram, OverheadReducesEfficiency) {
+  auto cfg = h800_like();
+  const double per_sector_ideal = 32.0 / (2039e9 / 1.755e9);
+  cfg.sector_overhead_cycles = per_sector_ideal / 9.0;  // -> 90% efficiency
+  Dram dram(cfg);
+  EXPECT_NEAR(dram.streaming_bytes_per_clk() / dram.pin_bytes_per_clk(), 0.9,
+              1e-9);
+}
+
+TEST(Dram, RequestsSerialiseOnTheChannel) {
+  Dram dram(h800_like());
+  const double first = dram.request(0.0, 128);
+  const double second = dram.request(0.0, 128);
+  EXPECT_GT(second, first);
+  // Channel busy time = 2 x 128 bytes at pin rate.
+  EXPECT_NEAR(dram.busy_until(), 256.0 / dram.pin_bytes_per_clk(), 1e-9);
+}
+
+TEST(Dram, BytesMovedAccounting) {
+  Dram dram(h800_like());
+  dram.request(0.0, 128);
+  dram.request(0.0, 32);
+  EXPECT_EQ(dram.bytes_moved(), 160u);
+  dram.reset();
+  EXPECT_EQ(dram.bytes_moved(), 0u);
+  EXPECT_EQ(dram.busy_until(), 0.0);
+}
+
+TEST(Dram, PartialSectorRoundsUp) {
+  Dram dram(h800_like());
+  const double one = dram.request(0.0, 1) - 478.8;
+  dram.reset();
+  const double full = dram.request(0.0, 32) - 478.8;
+  EXPECT_NEAR(one, full, 1e-12);  // both one sector on the bus
+}
+
+}  // namespace
+}  // namespace hsim::mem

@@ -1,0 +1,171 @@
+// Distributed shared memory: clusters, the SM-to-SM fabric, ring-based
+// copy behaviour and the histogram application (functional + timing).
+#include <gtest/gtest.h>
+
+#include "dsm/cluster.hpp"
+#include "dsm/histogram.hpp"
+#include "dsm/rbc.hpp"
+
+namespace hsim::dsm {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+
+TEST(Cluster, RequiresHopper) {
+  EXPECT_FALSE(Cluster::create(a100_pcie(), 2).has_value());
+  EXPECT_FALSE(Cluster::create(rtx4090(), 2).has_value());
+  EXPECT_TRUE(Cluster::create(h800_pcie(), 2).has_value());
+}
+
+TEST(Cluster, SizeValidation) {
+  EXPECT_TRUE(Cluster::create(h800_pcie(), 1).has_value());
+  EXPECT_TRUE(Cluster::create(h800_pcie(), 16).has_value());
+  EXPECT_FALSE(Cluster::create(h800_pcie(), 32).has_value());
+  EXPECT_FALSE(Cluster::create(h800_pcie(), 3).has_value());
+  EXPECT_FALSE(Cluster::create(h800_pcie(), 0).has_value());
+}
+
+TEST(Cluster, MapSharedRank) {
+  const auto cluster = Cluster::create(h800_pcie(), 4).value();
+  const auto addr = cluster.map_shared_rank(128, 3);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr.value().rank, 3);
+  EXPECT_EQ(addr.value().offset, 128u);
+  EXPECT_FALSE(cluster.map_shared_rank(0, 4).has_value());
+  EXPECT_FALSE(cluster.map_shared_rank(0, -1).has_value());
+}
+
+TEST(Cluster, ContentionGrowsWithSize) {
+  const auto cs2 = Cluster::create(h800_pcie(), 2).value();
+  const auto cs4 = Cluster::create(h800_pcie(), 4).value();
+  const auto cs16 = Cluster::create(h800_pcie(), 16).value();
+  EXPECT_EQ(cs2.contention_factor(), 1.0);
+  EXPECT_LT(cs4.contention_factor(), 1.0);
+  EXPECT_LT(cs16.contention_factor(), cs4.contention_factor());
+}
+
+TEST(DsmLatency, MatchesPaperBallpark) {
+  const auto latency = measure_dsm_latency(h800_pcie());
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_NEAR(latency.value(), 180.0, 2.0);
+  EXPECT_FALSE(measure_dsm_latency(a100_pcie()).has_value());
+}
+
+TEST(Rbc, PeakAtClusterTwoLargeBlocks) {
+  const auto r = run_rbc(h800_pcie(), {.cluster_size = 2, .block_threads = 1024,
+                                       .ilp = 4});
+  ASSERT_TRUE(r.has_value());
+  // Port-bound: ~16 B/clk/SM -> ~3.2 TB/s across 114 SMs.
+  EXPECT_NEAR(r.value().total_tbps, 3.2, 0.15);
+  EXPECT_NEAR(r.value().bytes_per_clk_per_sm, 16.0, 0.5);
+}
+
+TEST(Rbc, SmallBlocksCannotFillThePipe) {
+  const auto small = run_rbc(h800_pcie(), {.cluster_size = 2,
+                                           .block_threads = 64, .ilp = 1});
+  ASSERT_TRUE(small.has_value());
+  // Little's law: 64 threads x 4 B / 180 cycles of latency.
+  EXPECT_NEAR(small.value().bytes_per_clk_per_sm, 64.0 * 4.0 / 180.25, 0.05);
+}
+
+TEST(Rbc, IlpRaisesThroughputUntilPortBound) {
+  double prev = 0;
+  for (const int ilp : {1, 2, 4}) {
+    const auto r = run_rbc(h800_pcie(), {.cluster_size = 2,
+                                         .block_threads = 256, .ilp = ilp});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GT(r.value().total_tbps, prev);
+    prev = r.value().total_tbps;
+  }
+}
+
+TEST(Rbc, LargerClustersLoseBandwidth) {
+  double prev = 1e18;
+  for (const int cs : {2, 4, 8, 16}) {
+    const auto r = run_rbc(h800_pcie(), {.cluster_size = cs,
+                                         .block_threads = 1024, .ilp = 4});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_LT(r.value().total_tbps, prev) << cs;
+    prev = r.value().total_tbps;
+  }
+}
+
+TEST(Rbc, Validation) {
+  EXPECT_FALSE(run_rbc(h800_pcie(), {.cluster_size = 2, .block_threads = 2048})
+                   .has_value());
+  EXPECT_FALSE(run_rbc(h800_pcie(), {.cluster_size = 2, .block_threads = 256,
+                                     .ilp = 99})
+                   .has_value());
+  EXPECT_FALSE(run_rbc(a100_pcie(), {}).has_value());
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, FunctionallyCorrectAcrossClusterSizes) {
+  const HistogramConfig base{.cluster_size = 1, .block_threads = 128,
+                             .nbins = 256, .elements = 100000};
+  const auto reference = reference_histogram(base);
+  for (const int cs : {1, 2, 4, 8}) {
+    auto cfg = base;
+    cfg.cluster_size = cs;
+    const auto result = run_histogram(h800_pcie(), cfg);
+    ASSERT_TRUE(result.has_value()) << cs;
+    EXPECT_EQ(result.value().bins, reference) << cs;
+  }
+}
+
+TEST(Histogram, TotalCountConserved) {
+  const HistogramConfig cfg{.cluster_size = 4, .block_threads = 256,
+                            .nbins = 512, .elements = 54321};
+  const auto result = run_histogram(h800_pcie(), cfg);
+  ASSERT_TRUE(result.has_value());
+  std::uint64_t total = 0;
+  for (const auto count : result.value().bins) total += count;
+  EXPECT_EQ(total, 54321u);
+}
+
+TEST(Histogram, RemoteFractionMatchesClusterSize) {
+  for (const int cs : {2, 4, 8}) {
+    const HistogramConfig cfg{.cluster_size = cs, .block_threads = 128,
+                              .nbins = 1024, .elements = 200000};
+    const auto result = run_histogram(h800_pcie(), cfg);
+    ASSERT_TRUE(result.has_value());
+    // Uniform keys: (cs-1)/cs of updates target another block's shard.
+    EXPECT_NEAR(result.value().remote_fraction, (cs - 1.0) / cs, 0.02) << cs;
+  }
+}
+
+TEST(Histogram, OccupancyCliffAtLargeNbins) {
+  const auto at = [&](int nbins, int cs) {
+    const HistogramConfig cfg{.cluster_size = cs, .block_threads = 128,
+                              .nbins = nbins, .elements = 1 << 18};
+    return run_histogram(h800_pcie(), cfg).value();
+  };
+  const auto small = at(1024, 1);
+  const auto large = at(2048, 1);
+  EXPECT_LT(large.active_blocks_per_sm, small.active_blocks_per_sm);
+  EXPECT_LT(large.elements_per_second, small.elements_per_second);
+  // Clustering relieves the cliff.
+  const auto clustered = at(2048, 2);
+  EXPECT_GT(clustered.elements_per_second, large.elements_per_second);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_FALSE(run_histogram(h800_pcie(), {.cluster_size = 4,
+                                           .block_threads = 128, .nbins = 6})
+                   .has_value());
+  EXPECT_FALSE(run_histogram(a100_pcie(), {.cluster_size = 2}).has_value());
+}
+
+TEST(Histogram, NonDsmDeviceRunsClassicKernel) {
+  const HistogramConfig cfg{.cluster_size = 1, .block_threads = 128,
+                            .nbins = 256, .elements = 50000};
+  const auto result = run_histogram(a100_pcie(), cfg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().bins, reference_histogram(cfg));
+}
+
+}  // namespace
+}  // namespace hsim::dsm

@@ -1,0 +1,76 @@
+#include "sim/engine.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hsim::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) queue.schedule_after(1.0, chain);
+  };
+  queue.schedule(0.0, chain);
+  queue.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(queue.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(5.0, [&] { ++fired; });
+  queue.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.now(), 2.0);
+  queue.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetClearsState) {
+  EventQueue queue;
+  queue.schedule(1.0, [] {});
+  queue.reset();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.now(), 0.0);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue queue;
+  double seen = -1;
+  queue.schedule(2.0, [&] {
+    queue.schedule_after(3.0, [&] { seen = queue.now(); });
+  });
+  queue.run();
+  EXPECT_EQ(seen, 5.0);
+}
+
+}  // namespace
+}  // namespace hsim::sim

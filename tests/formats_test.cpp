@@ -1,0 +1,241 @@
+// Software floating-point formats: rounding, subnormals, specials and
+// exhaustive round-trips for every 8- and 16-bit format.
+#include "numerics/formats.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "numerics/types.hpp"
+
+namespace hsim::num {
+namespace {
+
+// ---------- Exhaustive round-trips: decode(encode(x)) is the identity on
+// every representable value of every format. ----------
+
+class FormatRoundTrip : public ::testing::TestWithParam<const FormatSpec*> {};
+
+TEST_P(FormatRoundTrip, EveryBitPatternSurvivesDecodeEncode) {
+  const auto& spec = *GetParam();
+  const int bits = spec.total_bits();
+  ASSERT_LE(bits, 19);  // exhaustive only for small formats
+  const std::uint32_t count = 1u << bits;
+  for (std::uint32_t pattern = 0; pattern < count; ++pattern) {
+    const float value = decode(pattern, spec);
+    if (std::isnan(value)) {
+      EXPECT_TRUE(is_nan_bits(encode(value, spec), spec));
+      continue;
+    }
+    const std::uint32_t back = encode(value, spec);
+    EXPECT_EQ(back, pattern) << "pattern " << pattern << " value " << value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallFormats, FormatRoundTrip,
+                         ::testing::Values(&kFp16Spec, &kBf16Spec, &kTf32Spec,
+                                           &kE4m3Spec, &kE5m2Spec),
+                         [](const auto& info) {
+                           return std::string(info.param->name);
+                         });
+
+// ---------- Format constants ----------
+
+TEST(FormatSpec, MaxFiniteValues) {
+  EXPECT_EQ(kFp16Spec.max_finite(), 65504.0);
+  EXPECT_EQ(kE4m3Spec.max_finite(), 448.0);   // OCP E4M3
+  EXPECT_EQ(kE5m2Spec.max_finite(), 57344.0);
+  EXPECT_FLOAT_EQ(static_cast<float>(kBf16Spec.max_finite()), 3.3895314e38f);
+}
+
+TEST(FormatSpec, MinSubnormals) {
+  EXPECT_EQ(kFp16Spec.min_subnormal(), std::ldexp(1.0, -24));
+  EXPECT_EQ(kE4m3Spec.min_subnormal(), std::ldexp(1.0, -9));   // 2^-9
+  EXPECT_EQ(kE5m2Spec.min_subnormal(), std::ldexp(1.0, -16));
+}
+
+// ---------- Rounding behaviour ----------
+
+TEST(Fp16, RoundToNearestEvenAtHalfway) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10: ties-to-even
+  // rounds down to 1.0 (even mantissa).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(round_through(halfway, kFp16Spec), 1.0f);
+  // Just above halfway rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -20);
+  EXPECT_EQ(round_through(above, kFp16Spec), 1.0f + std::ldexp(1.0f, -10));
+  // Halfway between odd and even mantissa rounds *up* to the even one.
+  const float odd_halfway = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(round_through(odd_halfway, kFp16Spec),
+            1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Fp16, SubnormalsRepresentExactly) {
+  for (int i = 1; i < 16; ++i) {
+    const float sub = static_cast<float>(i) * std::ldexp(1.0f, -24);
+    EXPECT_EQ(round_through(sub, kFp16Spec), sub);
+  }
+}
+
+TEST(Fp16, GradualUnderflowRounds) {
+  // Half of the smallest subnormal rounds to zero (ties-to-even).
+  EXPECT_EQ(round_through(std::ldexp(1.0f, -25), kFp16Spec), 0.0f);
+  // 0.75 * min_subnormal rounds up to min_subnormal.
+  EXPECT_EQ(round_through(0.75f * std::ldexp(1.0f, -24), kFp16Spec),
+            std::ldexp(1.0f, -24));
+}
+
+TEST(Fp16, OverflowToInfinityByDefault) {
+  const std::uint32_t bits = encode(70000.0f, kFp16Spec);
+  EXPECT_TRUE(is_inf_bits(bits, kFp16Spec));
+  EXPECT_TRUE(std::isinf(decode(bits, kFp16Spec)));
+}
+
+TEST(Fp16, SatfiniteClampsToMax) {
+  const std::uint32_t bits = encode(70000.0f, kFp16Spec, Overflow::kSaturate);
+  EXPECT_EQ(decode(bits, kFp16Spec), 65504.0f);
+  const std::uint32_t neg = encode(-70000.0f, kFp16Spec, Overflow::kSaturate);
+  EXPECT_EQ(decode(neg, kFp16Spec), -65504.0f);
+}
+
+TEST(Fp16, ValuesJustBelowOverflowThresholdRoundToMax) {
+  // 65519.999 rounds to 65504 (below the 65520 halfway point)...
+  EXPECT_EQ(round_through(65519.0f, kFp16Spec), 65504.0f);
+  // ...and 65520 (exactly halfway, even would be 65536=overflow) overflows.
+  EXPECT_TRUE(std::isinf(round_through(65520.0f, kFp16Spec)));
+}
+
+// ---------- E4M3 specifics (OCP FP8) ----------
+
+TEST(E4m3, HasNoInfinity) {
+  const std::uint32_t bits = encode(1e6f, kE4m3Spec);
+  EXPECT_TRUE(is_nan_bits(bits, kE4m3Spec));
+  EXPECT_FALSE(is_inf_bits(bits, kE4m3Spec));
+}
+
+TEST(E4m3, InfinityInputBecomesNanOrSaturates) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(is_nan_bits(encode(inf, kE4m3Spec), kE4m3Spec));
+  EXPECT_EQ(decode(encode(inf, kE4m3Spec, Overflow::kSaturate), kE4m3Spec),
+            448.0f);
+}
+
+TEST(E4m3, TopExponentHoldsFiniteValues) {
+  // 256..448 use the all-ones exponent field.
+  EXPECT_EQ(round_through(256.0f, kE4m3Spec), 256.0f);
+  EXPECT_EQ(round_through(448.0f, kE4m3Spec), 448.0f);
+  // 449 rounds down to 448 (nearest); 480 is the NaN boundary halfway.
+  EXPECT_EQ(round_through(449.0f, kE4m3Spec), 448.0f);
+  EXPECT_TRUE(std::isnan(round_through(500.0f, kE4m3Spec)));
+}
+
+TEST(E4m3, SingleNanEncoding) {
+  int nan_count = 0;
+  for (std::uint32_t pattern = 0; pattern < 256; ++pattern) {
+    if (is_nan_bits(pattern, kE4m3Spec)) ++nan_count;
+  }
+  EXPECT_EQ(nan_count, 2);  // +NaN and -NaN only (S.1111.111)
+}
+
+TEST(E5m2, HasInfinityAndMultipleNans) {
+  EXPECT_TRUE(is_inf_bits(encode(1e9f, kE5m2Spec), kE5m2Spec));
+  int nan_count = 0;
+  for (std::uint32_t pattern = 0; pattern < 256; ++pattern) {
+    if (is_nan_bits(pattern, kE5m2Spec)) ++nan_count;
+  }
+  EXPECT_EQ(nan_count, 6);  // 3 mantissa patterns x 2 signs
+}
+
+// ---------- TF32 ----------
+
+TEST(Tf32, KeepsTenMantissaBits) {
+  // 1 + 2^-10 survives; 1 + 2^-11 rounds away.
+  EXPECT_EQ(round_through(1.0f + std::ldexp(1.0f, -10), kTf32Spec),
+            1.0f + std::ldexp(1.0f, -10));
+  EXPECT_EQ(round_through(1.0f + std::ldexp(1.0f, -12), kTf32Spec), 1.0f);
+}
+
+TEST(Tf32, FullFp32ExponentRange) {
+  EXPECT_EQ(round_through(std::ldexp(1.0f, 127), kTf32Spec),
+            std::ldexp(1.0f, 127));
+  EXPECT_EQ(round_through(std::ldexp(1.0f, -126), kTf32Spec),
+            std::ldexp(1.0f, -126));
+}
+
+TEST(Bf16, TruncatesLikeFp32HighHalf) {
+  // BF16 round-to-nearest of 1.00390625 (1 + 2^-8) ties to even -> 1.0.
+  EXPECT_EQ(round_through(1.0f + std::ldexp(1.0f, -8), kBf16Spec), 1.0f);
+  EXPECT_EQ(round_through(3.0f, kBf16Spec), 3.0f);
+}
+
+// ---------- Signs, zeros, NaN payloads ----------
+
+TEST(AllFormats, SignedZeroPreserved) {
+  for (const auto* spec : {&kFp16Spec, &kBf16Spec, &kTf32Spec, &kE4m3Spec,
+                           &kE5m2Spec}) {
+    EXPECT_EQ(encode(0.0f, *spec), 0u) << spec->name;
+    const std::uint32_t neg = encode(-0.0f, *spec);
+    EXPECT_NE(neg, 0u) << spec->name;
+    EXPECT_EQ(decode(neg, *spec), 0.0f) << spec->name;
+    EXPECT_TRUE(std::signbit(decode(neg, *spec))) << spec->name;
+  }
+}
+
+TEST(AllFormats, NanInProducesNanOut) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (const auto* spec : {&kFp16Spec, &kBf16Spec, &kTf32Spec, &kE4m3Spec,
+                           &kE5m2Spec}) {
+    EXPECT_TRUE(is_nan_bits(encode(nan, *spec), *spec)) << spec->name;
+  }
+}
+
+// ---------- Typed wrappers ----------
+
+TEST(TypedWrappers, ConstructConvertCompare) {
+  const fp16 a(1.5f);
+  EXPECT_EQ(a.to_float(), 1.5f);
+  EXPECT_EQ(fp16(1.5f), a);
+  EXPECT_FALSE(a.is_nan());
+  EXPECT_FALSE(a.is_inf());
+  const fp8_e4m3 b(448.0f);
+  EXPECT_EQ(b.to_float(), 448.0f);
+  EXPECT_TRUE(fp8_e4m3(1e9f).is_nan());
+  EXPECT_TRUE(fp16(1e9f).is_inf());
+}
+
+TEST(TypedWrappers, FromBitsRoundTrips) {
+  const auto v = fp16::from_bits(0x3C00);  // 1.0
+  EXPECT_EQ(v.to_float(), 1.0f);
+  EXPECT_EQ(v.bits(), 0x3C00);
+}
+
+TEST(IntSaturation, S8AndS4) {
+  EXPECT_EQ(saturate_to_s8(200), 127);
+  EXPECT_EQ(saturate_to_s8(-200), -128);
+  EXPECT_EQ(saturate_to_s8(5), 5);
+  EXPECT_EQ(saturate_to_s4(9), 7);
+  EXPECT_EQ(saturate_to_s4(-9), -8);
+  EXPECT_EQ(saturate_to_s4(-8), -8);
+}
+
+// ---------- Property: encode is monotone on finite positive values ----------
+
+TEST(AllFormats, EncodeIsMonotone) {
+  for (const auto* spec : {&kFp16Spec, &kE4m3Spec, &kE5m2Spec}) {
+    float prev_value = 0.0f;
+    std::uint32_t prev_bits = encode(0.0f, *spec);
+    for (int step = 1; step < 2000; ++step) {
+      const float value = static_cast<float>(step) * 0.037f;
+      if (value > static_cast<float>(spec->max_finite())) break;
+      const std::uint32_t bits = encode(value, *spec);
+      EXPECT_GE(bits, prev_bits)
+          << spec->name << " at " << value << " after " << prev_value;
+      prev_bits = bits;
+      prev_value = value;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsim::num

@@ -1,0 +1,79 @@
+// INT8 GEMM driver (IMMA/IGMMA tiles): exactness and projections.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensorcore/gemm.hpp"
+
+namespace hsim::tc {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using isa::TcInstr;
+using isa::TcPath;
+using num::DType;
+
+TcInstr imma() {
+  return {.path = TcPath::kMma, .shape = {16, 8, 32}, .ab = DType::kInt8,
+          .cd = DType::kInt32};
+}
+
+TEST(GemmInt8, ExactAgainstScalarReference) {
+  Xoshiro256ss rng(1);
+  MatI8 a(32, 64), b(64, 16);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  MatI32 c(32, 16);
+  for (auto& v : c.data()) v = static_cast<std::int32_t>(rng.range(-1000, 1000));
+  const auto result = gemm_int8(a, b, c, imma(), h800_pcie()).value();
+  for (int i = 0; i < 32; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      std::int64_t expected = c.at(i, j);
+      for (int k = 0; k < 64; ++k) {
+        expected += static_cast<int>(a.at(i, k)) * static_cast<int>(b.at(k, j));
+      }
+      ASSERT_EQ(result.d.at(i, j), static_cast<std::int32_t>(expected))
+          << i << "," << j;
+    }
+  }
+  EXPECT_EQ(result.instructions, 2u * 2 * 2);
+  EXPECT_GT(result.projected_tflops, 0.0);
+}
+
+TEST(GemmInt8, WgmmaTilesMatchMmaTiles) {
+  Xoshiro256ss rng(2);
+  MatI8 a(64, 64), b(64, 64);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  const MatI32 c(64, 64);
+  const TcInstr igmma{.path = TcPath::kWgmma, .shape = {64, 64, 32},
+                      .ab = DType::kInt8, .cd = DType::kInt32,
+                      .a_src = isa::OperandSource::kSharedMemory};
+  const auto via_wgmma = gemm_int8(a, b, c, igmma, h800_pcie()).value();
+  const auto via_mma = gemm_int8(a, b, c, imma(), h800_pcie()).value();
+  EXPECT_EQ(via_wgmma.d.data(), via_mma.d.data());  // integer: exactly equal
+}
+
+TEST(GemmInt8, Validation) {
+  MatI8 a(16, 32), b(32, 8);
+  MatI32 c(16, 8);
+  TcInstr wrong = imma();
+  wrong.ab = DType::kFp16;
+  wrong.cd = DType::kFp32;
+  EXPECT_FALSE(gemm_int8(a, b, c, wrong, h800_pcie()).has_value());
+  MatI8 a2(20, 32);
+  MatI32 c2(20, 8);
+  EXPECT_FALSE(gemm_int8(a2, b, c2, imma(), h800_pcie()).has_value());
+}
+
+TEST(GemmInt8, SaturatedInputsStillExact) {
+  MatI8 a(16, 32), b(32, 8);
+  for (auto& v : a.data()) v = -128;
+  for (auto& v : b.data()) v = 127;
+  const MatI32 c(16, 8);
+  const auto result = gemm_int8(a, b, c, imma(), a100_pcie()).value();
+  for (const auto v : result.d.data()) EXPECT_EQ(v, 32 * -128 * 127);
+}
+
+}  // namespace
+}  // namespace hsim::tc

@@ -1,0 +1,139 @@
+// Occupancy calculation and wave quantisation.
+#include "sm/launcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::sm {
+namespace {
+
+using arch::h800_pcie;
+using arch::rtx4090;
+
+isa::Program tiny_kernel() {
+  isa::Program p;
+  p.fadd(1, 1, 2);
+  p.set_iterations(64);
+  return p;
+}
+
+TEST(Occupancy, WarpLimited) {
+  const auto occ = compute_occupancy(
+      h800_pcie(), {.threads_per_block = 1024, .total_blocks = 1});
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ.value().blocks_per_sm, 2);  // 64 warps / 32 warps per block
+  EXPECT_EQ(occ.value().limited_by, OccupancyLimit::kWarps);
+}
+
+TEST(Occupancy, BlockLimited) {
+  const auto occ = compute_occupancy(
+      h800_pcie(), {.threads_per_block = 32, .total_blocks = 1,
+                    .regs_per_thread = 16});
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ.value().blocks_per_sm, 32);
+  EXPECT_EQ(occ.value().limited_by, OccupancyLimit::kBlocks);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const auto occ = compute_occupancy(
+      h800_pcie(), {.threads_per_block = 128, .total_blocks = 1,
+                    .smem_per_block = 64 * 1024});
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ.value().blocks_per_sm, 3);  // 228 KiB / 64 KiB
+  EXPECT_EQ(occ.value().limited_by, OccupancyLimit::kSharedMem);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const auto occ = compute_occupancy(
+      h800_pcie(), {.threads_per_block = 256, .total_blocks = 1,
+                    .regs_per_thread = 128});
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ.value().blocks_per_sm, 2);  // 65536 / (128*256)
+  EXPECT_EQ(occ.value().limited_by, OccupancyLimit::kRegisters);
+}
+
+TEST(Occupancy, AdaHasFewerWarps) {
+  const auto occ = compute_occupancy(
+      rtx4090(), {.threads_per_block = 1024, .total_blocks = 1,
+                  .regs_per_thread = 16});
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ.value().blocks_per_sm, 1);  // 48 warps max on Ada
+}
+
+TEST(Occupancy, RejectsImpossibleBlocks) {
+  EXPECT_FALSE(compute_occupancy(h800_pcie(),
+                                 {.threads_per_block = 2048, .total_blocks = 1})
+                   .has_value());
+  EXPECT_FALSE(
+      compute_occupancy(h800_pcie(), {.threads_per_block = 128,
+                                      .total_blocks = 1,
+                                      .smem_per_block = 300ull << 10})
+          .has_value());
+}
+
+TEST(Launch, OneBlockOneWave) {
+  const auto result = launch(h800_pcie(), tiny_kernel(),
+                             {.threads_per_block = 128, .total_blocks = 1});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value().waves, 1);
+  EXPECT_GT(result.value().cycles, 0.0);
+}
+
+TEST(Launch, WaveQuantisationStep) {
+  const auto& device = h800_pcie();
+  const LaunchConfig base{.threads_per_block = 1024, .total_blocks = 0,
+                          .regs_per_thread = 16};
+  // 1024 threads -> 2 resident blocks/SM -> 228-block waves.
+  auto cfg_full = base;
+  cfg_full.total_blocks = 2 * device.sm_count;
+  auto cfg_one_more = base;
+  cfg_one_more.total_blocks = 2 * device.sm_count + 1;
+
+  const auto full = launch(device, tiny_kernel(), cfg_full);
+  const auto spill = launch(device, tiny_kernel(), cfg_one_more);
+  ASSERT_TRUE(full.has_value() && spill.has_value());
+  EXPECT_EQ(full.value().waves, 1);
+  EXPECT_EQ(spill.value().waves, 2);
+  // One extra block costs a (mostly idle) second wave.
+  EXPECT_GT(spill.value().cycles, full.value().cycles * 1.3);
+}
+
+TEST(Launch, ThroughputScalesUpToFullWave) {
+  const auto& device = h800_pcie();
+  const auto one = launch(device, tiny_kernel(),
+                          {.threads_per_block = 256, .total_blocks = 1});
+  const auto half = launch(device, tiny_kernel(),
+                           {.threads_per_block = 256,
+                            .total_blocks = device.sm_count / 2});
+  ASSERT_TRUE(one.has_value() && half.has_value());
+  // Same wall time: blocks run on distinct SMs.
+  EXPECT_NEAR(one.value().cycles, half.value().cycles,
+              one.value().cycles * 0.01);
+}
+
+TEST(Launch, SecondsUseDeviceClock) {
+  const auto result = launch(h800_pcie(), tiny_kernel(),
+                             {.threads_per_block = 64, .total_blocks = 1});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result.value().seconds,
+              result.value().cycles / h800_pcie().clock_hz(), 1e-12);
+}
+
+TEST(Launch, RejectsZeroBlocks) {
+  EXPECT_FALSE(launch(h800_pcie(), tiny_kernel(),
+                      {.threads_per_block = 64, .total_blocks = 0})
+                   .has_value());
+}
+
+TEST(SmLimits, PerGeneration) {
+  EXPECT_EQ(sm_limits(h800_pcie()).max_warps_per_sm, 64);
+  EXPECT_EQ(sm_limits(rtx4090()).max_warps_per_sm, 48);
+  EXPECT_EQ(sm_limits(rtx4090()).max_blocks_per_sm, 24);
+}
+
+TEST(OccupancyLimit, Names) {
+  EXPECT_EQ(to_string(OccupancyLimit::kWarps), "warps");
+  EXPECT_EQ(to_string(OccupancyLimit::kSharedMem), "shared-memory");
+}
+
+}  // namespace
+}  // namespace hsim::sm

@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(original);
+}
+
+TEST(Log, MacrosRespectThreshold) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  // The stream expression must not be evaluated below the threshold.
+  HSIM_DEBUG("side effect " << ++evaluations);
+  HSIM_INFO("side effect " << ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  HSIM_ERROR("counted " << ++evaluations);
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(original);
+}
+
+TEST(Log, EnvInitParsesKnownLevels) {
+  const LogLevel original = log_level();
+  ::setenv("HSIM_LOG", "debug", 1);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  ::setenv("HSIM_LOG", "warn", 1);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  // Unknown values leave the level untouched.
+  ::setenv("HSIM_LOG", "shouting", 1);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  ::unsetenv("HSIM_LOG");
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace hsim

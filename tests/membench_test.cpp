@@ -1,0 +1,92 @@
+// Memory-throughput microbenchmarks: Table V's qualitative structure.
+#include "core/membench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::core {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+
+TEST(MemBench, VectorisedL1BeatsScalarOnAda) {
+  // Ada's L1 serves 32-bit loads at roughly half the float4 rate.
+  const auto scalar = measure_l1_throughput(rtx4090(), AccessKind::kFp32).value();
+  const auto vec = measure_l1_throughput(rtx4090(), AccessKind::kFp32V4).value();
+  EXPECT_GT(vec.bytes_per_clk, 1.7 * scalar.bytes_per_clk);
+}
+
+TEST(MemBench, L1NearFullWidthOnH800) {
+  const auto scalar = measure_l1_throughput(h800_pcie(), AccessKind::kFp32).value();
+  const auto vec = measure_l1_throughput(h800_pcie(), AccessKind::kFp32V4).value();
+  EXPECT_NEAR(scalar.bytes_per_clk, 126.0, 3.0);
+  EXPECT_NEAR(vec.bytes_per_clk, 124.0, 3.0);
+}
+
+TEST(MemBench, Fp64BottleneckedByComputeOnTrimmedParts) {
+  // The paper's finding: FP64 L1 "throughput" on RTX4090/H800 is really the
+  // FP64 unit, not the cache.
+  const auto ada = measure_l1_throughput(rtx4090(), AccessKind::kFp64).value();
+  EXPECT_LT(ada.bytes_per_clk, 16.0);
+  const auto h800 = measure_l1_throughput(h800_pcie(), AccessKind::kFp64).value();
+  EXPECT_NEAR(h800.bytes_per_clk, 16.0, 1.0);
+  // A100's wide FP64 pipe leaves the cache as the limit.
+  const auto a100 = measure_l1_throughput(a100_pcie(), AccessKind::kFp64).value();
+  EXPECT_GT(a100.bytes_per_clk, 100.0);
+}
+
+TEST(MemBench, SharedMemoryAtFullWidthEverywhere) {
+  for (const auto* device : arch::all_devices()) {
+    const auto r = measure_shared_throughput(*device).value();
+    EXPECT_NEAR(r.bytes_per_clk, 128.0, 0.5) << device->name;
+  }
+}
+
+TEST(MemBench, H800L2MoreThanDoublesOthers) {
+  const auto h = measure_l2_throughput(h800_pcie(), AccessKind::kFp32).value();
+  const auto a = measure_l2_throughput(a100_pcie(), AccessKind::kFp32).value();
+  const auto g = measure_l2_throughput(rtx4090(), AccessKind::kFp32).value();
+  EXPECT_GT(h.bytes_per_clk, 2.0 * a.bytes_per_clk);
+  EXPECT_GT(h.bytes_per_clk, 2.3 * g.bytes_per_clk);
+}
+
+TEST(MemBench, H800L2Fp64ComputeBound) {
+  const auto h = measure_l2_throughput(h800_pcie(), AccessKind::kFp64).value();
+  // 114 SMs x ~16 B/clk of FP64 adds.
+  EXPECT_NEAR(h.bytes_per_clk, 1850.0, 80.0);
+}
+
+TEST(MemBench, GlobalReaches90PercentOfPin) {
+  for (const auto* device : arch::all_devices()) {
+    const auto r = measure_global_throughput(*device).value();
+    const double fraction = r.gbps / device->memory.dram_peak_gbps;
+    EXPECT_GT(fraction, 0.88) << device->name;
+    EXPECT_LT(fraction, 0.95) << device->name;
+  }
+}
+
+TEST(MemBench, GlobalBandwidthOrdering) {
+  const double h = measure_global_throughput(h800_pcie()).value().gbps;
+  const double a = measure_global_throughput(a100_pcie()).value().gbps;
+  const double g = measure_global_throughput(rtx4090()).value().gbps;
+  EXPECT_GT(h, a);
+  EXPECT_GT(a, g);
+}
+
+TEST(MemBench, L2FasterThanGlobalEverywhere) {
+  for (const auto* device : arch::all_devices()) {
+    const auto l2 = measure_l2_throughput(*device, AccessKind::kFp32V4).value();
+    const auto global = measure_global_throughput(*device).value();
+    EXPECT_GT(l2.gbps, 1.5 * global.gbps) << device->name;
+  }
+}
+
+TEST(MemBench, AccessKindNames) {
+  EXPECT_EQ(to_string(AccessKind::kFp32), "FP32");
+  EXPECT_EQ(to_string(AccessKind::kFp64), "FP64");
+  EXPECT_EQ(to_string(AccessKind::kFp32V4), "FP32.v4");
+}
+
+}  // namespace
+}  // namespace hsim::core

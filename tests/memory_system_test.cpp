@@ -1,0 +1,119 @@
+// Composed memory hierarchy: cache-op semantics (ca vs cg), level
+// latencies, port contention.
+#include "mem/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::mem {
+namespace {
+
+using arch::h800_pcie;
+
+TEST(MemorySystem, ColdLoadComesFromDram) {
+  MemorySystem mem(h800_pcie(), 1);
+  const auto r = mem.load(0, 0, MemSpace::kGlobalCa, 0.0);
+  EXPECT_EQ(r.served_by, MemLevel::kDram);
+  EXPECT_GE(r.ready_time, h800_pcie().memory.dram_latency);
+}
+
+TEST(MemorySystem, CaAllocatesIntoL1) {
+  MemorySystem mem(h800_pcie(), 1);
+  mem.load(0, 64, MemSpace::kGlobalCa, 0.0);
+  const auto r = mem.load(0, 64, MemSpace::kGlobalCa, 0.0);
+  EXPECT_EQ(r.served_by, MemLevel::kL1);
+  EXPECT_DOUBLE_EQ(r.ready_time, h800_pcie().memory.l1_hit_latency);
+}
+
+TEST(MemorySystem, CgBypassesL1) {
+  MemorySystem mem(h800_pcie(), 1);
+  mem.load(0, 64, MemSpace::kGlobalCg, 0.0);
+  const auto again = mem.load(0, 64, MemSpace::kGlobalCg, 0.0);
+  EXPECT_EQ(again.served_by, MemLevel::kL2);
+  // And a ca load afterwards still misses L1 (cg did not allocate there).
+  const auto ca = mem.load(0, 64, MemSpace::kGlobalCa, 0.0);
+  EXPECT_EQ(ca.served_by, MemLevel::kL2);
+  // ...but that ca load allocated it.
+  EXPECT_EQ(mem.load(0, 64, MemSpace::kGlobalCa, 0.0).served_by, MemLevel::kL1);
+}
+
+TEST(MemorySystem, SharedLatencyConstant) {
+  MemorySystem mem(h800_pcie(), 1);
+  const auto r = mem.load(0, 12345, MemSpace::kShared, 100.0);
+  EXPECT_EQ(r.served_by, MemLevel::kShared);
+  EXPECT_DOUBLE_EQ(r.ready_time, 100.0 + h800_pcie().memory.smem_latency);
+}
+
+TEST(MemorySystem, TlbMissPenaltyOnFirstTouch) {
+  MemorySystem mem(h800_pcie(), 1);
+  const auto first = mem.load(0, 0, MemSpace::kGlobalCg, 0.0);
+  EXPECT_TRUE(first.tlb_miss);
+  EXPECT_GT(first.ready_time, h800_pcie().memory.dram_latency);
+  const auto second = mem.load(0, 1024, MemSpace::kGlobalCg, 0.0);
+  EXPECT_FALSE(second.tlb_miss);
+}
+
+TEST(MemorySystem, WarmPlacesRangeInLevel) {
+  MemorySystem mem(h800_pcie(), 1);
+  mem.warm(0, 4096, MemSpace::kGlobalCa);
+  for (std::uint64_t a = 0; a < 4096; a += 256) {
+    EXPECT_EQ(mem.load(0, a, MemSpace::kGlobalCa, 0.0).served_by, MemLevel::kL1);
+  }
+}
+
+TEST(MemorySystem, PerSmL1sAreIndependent) {
+  MemorySystem mem(h800_pcie(), 2);
+  mem.warm(0, 1024, MemSpace::kGlobalCa, /*sm=*/0);
+  EXPECT_EQ(mem.load(0, 0, MemSpace::kGlobalCa, 0.0).served_by, MemLevel::kL1);
+  EXPECT_EQ(mem.load(1, 0, MemSpace::kGlobalCa, 0.0).served_by, MemLevel::kL2);
+}
+
+TEST(MemorySystem, WidthSelectionByAccessSize) {
+  MemorySystem mem(h800_pcie(), 1);
+  const auto& m = h800_pcie().memory;
+  EXPECT_EQ(mem.l1_width(4), m.l1_bytes_per_clk_scalar);
+  EXPECT_EQ(mem.l1_width(8), m.l1_bytes_per_clk_wide);
+  EXPECT_EQ(mem.l1_width(16), m.l1_bytes_per_clk_vec);
+  EXPECT_EQ(mem.l2_width(4), m.l2_bytes_per_clk_scalar);
+  EXPECT_EQ(mem.l2_width(16), m.l2_bytes_per_clk_vec);
+}
+
+TEST(MemorySystem, WarpTransactionsQueueOnThePort) {
+  MemorySystem mem(h800_pcie(), 1);
+  mem.warm(0, 8192, MemSpace::kGlobalCa);
+  const double t1 = mem.warp_transaction(0, 0, 128, 4, MemSpace::kGlobalCa, 0.0);
+  const double t2 =
+      mem.warp_transaction(0, 128, 128, 4, MemSpace::kGlobalCa, 0.0);
+  EXPECT_GT(t2, t1);
+  // Steady state: spacing equals duration = bytes / width.
+  const double t3 =
+      mem.warp_transaction(0, 256, 128, 4, MemSpace::kGlobalCa, 0.0);
+  EXPECT_NEAR(t3 - t2, 128.0 / mem.l1_width(4), 1e-9);
+}
+
+TEST(MemorySystem, SharedTransactionsUseSmemWidth) {
+  MemorySystem mem(h800_pcie(), 1);
+  const double t1 = mem.warp_transaction(0, 0, 128, 4, MemSpace::kShared, 0.0);
+  EXPECT_NEAR(t1, 1.0 + h800_pcie().memory.smem_latency, 1e-9);
+}
+
+TEST(MemorySystem, ResetTimingClearsPortsNotCaches) {
+  MemorySystem mem(h800_pcie(), 1);
+  mem.warm(0, 1024, MemSpace::kGlobalCa);
+  mem.warp_transaction(0, 0, 128, 4, MemSpace::kGlobalCa, 0.0);
+  mem.reset_timing();
+  // Port cursor cleared...
+  const double t = mem.warp_transaction(0, 0, 128, 4, MemSpace::kGlobalCa, 0.0);
+  EXPECT_NEAR(t, 128.0 / mem.l1_width(4) + h800_pcie().memory.l1_hit_latency,
+              1e-9);
+  // ...but cache contents survive.
+  EXPECT_EQ(mem.load(0, 0, MemSpace::kGlobalCa, 0.0).served_by, MemLevel::kL1);
+}
+
+TEST(MemorySystem, LevelNames) {
+  EXPECT_EQ(to_string(MemLevel::kL1), "L1");
+  EXPECT_EQ(to_string(MemLevel::kShared), "Shared");
+  EXPECT_EQ(to_string(MemLevel::kDram), "Global");
+}
+
+}  // namespace
+}  // namespace hsim::mem

@@ -1,0 +1,168 @@
+// Functional mma/wgmma numerics: exactness against an FP64 reference for
+// exactly-representable inputs, accumulator-precision effects, sparse
+// equivalence, integer and binary paths.
+#include "tensorcore/mma_func.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hsim::tc {
+namespace {
+
+using num::DType;
+
+MatF random_matrix(int r, int c, DType storage, Xoshiro256ss& rng) {
+  MatF m(r, c);
+  fill_random(m, storage, rng);
+  return m;
+}
+
+TEST(MmaFp, ExactOnSmallIntegers) {
+  Xoshiro256ss rng(1);
+  MatF a(16, 16), b(16, 8), c(16, 8);
+  for (auto& v : a.data()) v = static_cast<float>(rng.range(-4, 4));
+  for (auto& v : b.data()) v = static_cast<float>(rng.range(-4, 4));
+  for (auto& v : c.data()) v = static_cast<float>(rng.range(-16, 16));
+  const MatF d = mma_fp(a, b, c, DType::kFp16, DType::kFp32);
+  const auto ref = matmul_f64(a, b, c);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(static_cast<double>(d.at(i, j)), ref.at(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(MmaFp, Fp32AccumulationErrorBounded) {
+  Xoshiro256ss rng(2);
+  const auto a = random_matrix(16, 16, DType::kFp16, rng);
+  const auto b = random_matrix(16, 8, DType::kFp16, rng);
+  const MatF c(16, 8);
+  const MatF d = mma_fp(a, b, c, DType::kFp16, DType::kFp32);
+  const auto ref = matmul_f64(a, b, c);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      // k=16 FP32 accumulation: relative error well below 2^-18.
+      EXPECT_NEAR(static_cast<double>(d.at(i, j)), ref.at(i, j),
+                  std::abs(ref.at(i, j)) * 1e-5 + 1e-6);
+    }
+  }
+}
+
+TEST(MmaFp, Fp16AccumulationIsLossier) {
+  Xoshiro256ss rng(3);
+  const auto a = random_matrix(16, 64, DType::kFp16, rng);
+  const auto b = random_matrix(64, 8, DType::kFp16, rng);
+  const MatF c(16, 8);
+  const MatF d16 = mma_fp(a, b, c, DType::kFp16, DType::kFp16);
+  const MatF d32 = mma_fp(a, b, c, DType::kFp16, DType::kFp32);
+  double err16 = 0, err32 = 0;
+  const auto ref = matmul_f64(a, b, c);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      err16 += std::abs(static_cast<double>(d16.at(i, j)) - ref.at(i, j));
+      err32 += std::abs(static_cast<double>(d32.at(i, j)) - ref.at(i, j));
+    }
+  }
+  EXPECT_GT(err16, err32 * 4.0);  // FP16 accumulate is markedly worse
+  // Every FP16-accumulated value is itself representable in FP16.
+  for (const float v : d16.data()) {
+    EXPECT_EQ(v, num::round_through(v, num::kFp16Spec));
+  }
+}
+
+TEST(MmaFp, InputsRoundedThroughStorage) {
+  // A value that FP16 cannot hold must behave as its rounded version.
+  MatF a(16, 16), b(16, 8), c(16, 8);
+  a.at(0, 0) = 1.0009765f;  // rounds to 1.0 + 2^-10 exactly? -> rounding
+  b.at(0, 0) = 1.0f;
+  const MatF d = mma_fp(a, b, c, DType::kFp16, DType::kFp32);
+  EXPECT_EQ(d.at(0, 0), num::round_through(1.0009765f, num::kFp16Spec));
+}
+
+TEST(MmaFp, Tf32KeepsMorePrecisionThanFp16) {
+  Xoshiro256ss rng(4);
+  MatF a(16, 8), b(8, 8), c(16, 8);
+  for (auto& v : a.data()) v = static_cast<float>(rng.uniform(0.9, 1.1));
+  for (auto& v : b.data()) v = static_cast<float>(rng.uniform(0.9, 1.1));
+  MatF a16 = a, b16 = b;
+  for (auto& v : a16.data()) v = round_to_storage(v, DType::kFp16);
+  for (auto& v : b16.data()) v = round_to_storage(v, DType::kFp16);
+  const auto ref = matmul_f64(a, b, c);  // unrounded reference
+  const MatF d_tf32 = mma_fp(a, b, c, DType::kTf32, DType::kFp32);
+  const MatF d_fp16 = mma_fp(a, b, c, DType::kFp16, DType::kFp32);
+  double err_tf32 = 0, err_fp16 = 0;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      err_tf32 += std::abs(static_cast<double>(d_tf32.at(i, j)) - ref.at(i, j));
+      err_fp16 += std::abs(static_cast<double>(d_fp16.at(i, j)) - ref.at(i, j));
+    }
+  }
+  // Same mantissa width (10 bits) but the inputs here are near 1.0 where
+  // both formats behave alike; use fp8 for a sharper contrast instead.
+  const MatF d_fp8 = mma_fp(a, b, c, DType::kFp8E4M3, DType::kFp32);
+  double err_fp8 = 0;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      err_fp8 += std::abs(static_cast<double>(d_fp8.at(i, j)) - ref.at(i, j));
+    }
+  }
+  EXPECT_GT(err_fp8, err_tf32 * 10.0);
+}
+
+TEST(MmaSparse, MatchesDenseOfDecompressed) {
+  Xoshiro256ss rng(5);
+  const auto dense = prune_2_4(random_matrix(16, 32, DType::kFp16, rng));
+  const auto b = random_matrix(32, 8, DType::kFp16, rng);
+  const MatF c(16, 8);
+  const Sparse24 compressed = compress_2_4(dense);
+  const MatF via_sparse =
+      mma_sparse_fp(compressed, b, c, DType::kFp16, DType::kFp32);
+  const MatF via_dense = mma_fp(dense, b, c, DType::kFp16, DType::kFp32);
+  EXPECT_EQ(via_sparse.data(), via_dense.data());
+}
+
+TEST(MmaInt, ExactInt8) {
+  Xoshiro256ss rng(6);
+  MatI8 a(16, 32), b(32, 8);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  MatI32 c(16, 8);
+  for (auto& v : c.data()) v = static_cast<std::int32_t>(rng.range(-100, 100));
+  const MatI32 d = mma_int(a, b, c);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      std::int64_t expected = c.at(i, j);
+      for (int k = 0; k < 32; ++k) {
+        expected += static_cast<int>(a.at(i, k)) * static_cast<int>(b.at(k, j));
+      }
+      EXPECT_EQ(d.at(i, j), static_cast<std::int32_t>(expected));
+    }
+  }
+}
+
+TEST(MmaBinary, AndPopcSemantics) {
+  MatB a(2, 2), b(2, 2);
+  a.at(0, 0) = 0xF0F0F0F0u;
+  a.at(0, 1) = 0xFFFFFFFFu;
+  b.at(0, 0) = 0xFF00FF00u;
+  b.at(1, 0) = 0x0000FFFFu;
+  MatI32 c(2, 2);
+  c.at(0, 0) = 1;
+  const MatI32 d = mma_binary(a, b, c);
+  // popc(F0F0F0F0 & FF00FF00) = popc(F000F000) = 8; popc(FFFFFFFF &
+  // 0000FFFF) = 16; + carry-in 1.
+  EXPECT_EQ(d.at(0, 0), 1 + 8 + 16);
+}
+
+TEST(MmaFp, AccumulatorCarryIn) {
+  MatF a(16, 8), b(8, 8), c(16, 8);
+  for (auto& v : c.data()) v = 3.0f;
+  const MatF d = mma_fp(a, b, c, DType::kFp16, DType::kFp32);
+  for (const float v : d.data()) EXPECT_EQ(v, 3.0f);  // A,B zero: D = C
+}
+
+}  // namespace
+}  // namespace hsim::tc

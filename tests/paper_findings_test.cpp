@@ -1,0 +1,291 @@
+// Integration suite: every headline claim from the paper's evaluation,
+// checked end-to-end through the full stack (bench harnesses included).
+// One TEST per claim, named after where the paper states it.
+#include <gtest/gtest.h>
+
+#include "async/tiled_gemm.hpp"
+#include "core/dpxbench.hpp"
+#include "core/membench.hpp"
+#include "core/pchase.hpp"
+#include "core/tcbench.hpp"
+#include "dsm/histogram.hpp"
+#include "dsm/rbc.hpp"
+#include "te/linear.hpp"
+#include "te/llm.hpp"
+
+namespace hsim {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+using isa::OperandSource;
+using isa::TcInstr;
+using isa::TcPath;
+using num::DType;
+
+// §IV-B: "the average latency of the L2 cache is 6.5 times that of the L1
+// cache, and the average latency of the global memory is 1.9 times that of
+// the L2 cache."
+TEST(PaperFindings, MemoryLatencyRatios) {
+  double l2_over_l1 = 0, dram_over_l2 = 0;
+  for (const auto* device : arch::all_devices()) {
+    const double l1 =
+        core::pchase(*device, mem::MemLevel::kL1).value().avg_latency_cycles;
+    const double l2 =
+        core::pchase(*device, mem::MemLevel::kL2).value().avg_latency_cycles;
+    const double dram =
+        core::pchase(*device, mem::MemLevel::kDram).value().avg_latency_cycles;
+    l2_over_l1 += l2 / l1;
+    dram_over_l2 += dram / l2;
+  }
+  EXPECT_NEAR(l2_over_l1 / 3.0, 6.5, 0.3);
+  EXPECT_NEAR(dram_over_l2 / 3.0, 1.9, 0.15);
+}
+
+// §IV-B: "for the throughput of L2 Cache, H800 is 2.6 times and 2.2 times
+// that of RTX4090 and A100 respectively."
+TEST(PaperFindings, H800L2ThroughputLead) {
+  const double h =
+      core::measure_l2_throughput(h800_pcie(), core::AccessKind::kFp32)
+          .value().bytes_per_clk;
+  const double g =
+      core::measure_l2_throughput(rtx4090(), core::AccessKind::kFp32)
+          .value().bytes_per_clk;
+  const double a =
+      core::measure_l2_throughput(a100_pcie(), core::AccessKind::kFp32)
+          .value().bytes_per_clk;
+  EXPECT_NEAR(h / g, 2.6, 0.3);
+  EXPECT_NEAR(h / a, 2.2, 0.3);
+}
+
+// §IV-B: "our results reach 92%, 90%, and 91% of the theoretical
+// performance on RTX4090, A100, and H800."
+TEST(PaperFindings, GlobalMemoryEfficiency) {
+  const double fractions[] = {
+      core::measure_global_throughput(rtx4090()).value().gbps / 1008.0,
+      core::measure_global_throughput(a100_pcie()).value().gbps / 1555.0,
+      core::measure_global_throughput(h800_pcie()).value().gbps / 2039.0,
+  };
+  EXPECT_NEAR(fractions[0], 0.92, 0.01);
+  EXPECT_NEAR(fractions[1], 0.90, 0.01);
+  EXPECT_NEAR(fractions[2], 0.91, 0.01);
+}
+
+// §IV-C: "on Hopper Tensor Cores, mma instructions can only attain an
+// average of 62.9% of the theoretical peak performance."
+TEST(PaperFindings, HopperMmaBelowPeak) {
+  double fraction_sum = 0;
+  int count = 0;
+  const struct { DType ab; DType cd; int k; } shapes[] = {
+      {DType::kFp16, DType::kFp16, 8},  {DType::kFp16, DType::kFp16, 16},
+      {DType::kTf32, DType::kFp32, 4},  {DType::kTf32, DType::kFp32, 8},
+      {DType::kInt8, DType::kInt32, 16}, {DType::kInt8, DType::kInt32, 32},
+  };
+  for (const auto& s : shapes) {
+    const TcInstr instr{.path = TcPath::kMma, .shape = {16, 8, s.k},
+                        .ab = s.ab, .cd = s.cd};
+    const auto r = core::bench_tc(instr, h800_pcie()).value();
+    fraction_sum += r.tflops_rand / h800_pcie().tc_peak_tflops(s.ab);
+    ++count;
+  }
+  // The paper quotes 62.9% on average; the cell-level average of its own
+  // Table VII is ~0.57 (small shapes pull it down).  Assert the structural
+  // story: well below peak, and the large shapes sit near 0.65.
+  EXPECT_GT(fraction_sum / count, 0.50);
+  EXPECT_LT(fraction_sum / count, 0.67);
+  const TcInstr large{.path = TcPath::kMma, .shape = {16, 8, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp16};
+  EXPECT_NEAR(core::bench_tc(large, h800_pcie()).value().tflops_rand /
+                  h800_pcie().tc_peak_tflops(DType::kFp16),
+              0.65, 0.02);
+}
+
+// §IV-C: "the complete potential of Hopper TCs can only be realized
+// through wgmma instructions."
+TEST(PaperFindings, WgmmaUnlocksHopperPeak) {
+  const TcInstr mma{.path = TcPath::kMma, .shape = {16, 8, 16},
+                    .ab = DType::kFp16, .cd = DType::kFp16};
+  const TcInstr wgmma{.path = TcPath::kWgmma, .shape = {64, 256, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp16,
+                      .a_src = OperandSource::kSharedMemory};
+  const auto mma_result = core::bench_tc(mma, h800_pcie()).value();
+  const auto wgmma_result = core::bench_tc(wgmma, h800_pcie()).value();
+  EXPECT_GT(wgmma_result.tflops_zero, 1.4 * mma_result.tflops_zero);
+  EXPECT_GT(wgmma_result.tflops_zero / h800_pcie().tc_peak_tflops(DType::kFp16),
+            0.95);
+}
+
+// §IV-C: "On the RTX4090, sparse mma instructions can achieve up to double
+// the throughput... for the A100, only the sparse mma instructions with
+// larger shapes can realize the theoretical speedups... on the H800, sparse
+// mma can only achieve an average speedup of 1.42x."
+TEST(PaperFindings, SparseSpeedupsPerDevice) {
+  const auto speedup = [&](const arch::DeviceSpec& device, int k_dense) {
+    const TcInstr dense{.path = TcPath::kMma, .shape = {16, 8, k_dense},
+                        .ab = DType::kFp16, .cd = DType::kFp16};
+    const TcInstr sparse{.path = TcPath::kMma, .shape = {16, 8, 2 * k_dense},
+                         .ab = DType::kFp16, .cd = DType::kFp16,
+                         .sparse = true};
+    return core::bench_tc(sparse, device).value().tflops_rand /
+           core::bench_tc(dense, device).value().tflops_rand;
+  };
+  EXPECT_NEAR(speedup(rtx4090(), 8), 2.0, 0.1);
+  EXPECT_NEAR(speedup(rtx4090(), 16), 2.0, 0.1);
+  EXPECT_LT(speedup(a100_pcie(), 8), 1.6);        // small shape misses 2x
+  EXPECT_NEAR(speedup(a100_pcie(), 16), 2.0, 0.1);  // large shape reaches it
+  const double h800_avg =
+      (speedup(h800_pcie(), 8) + speedup(h800_pcie(), 16)) / 2.0;
+  EXPECT_NEAR(h800_avg, 1.42, 0.12);
+}
+
+// Table X guidance: "it is advisable to opt for larger values of N (>= 64)
+// whenever possible."
+TEST(PaperFindings, WgmmaNeedsN64) {
+  const auto tput = [&](int n) {
+    const TcInstr instr{.path = TcPath::kWgmma, .shape = {64, n, 16},
+                        .ab = DType::kFp16, .cd = DType::kFp32,
+                        .a_src = OperandSource::kSharedMemory};
+    return core::bench_tc(instr, h800_pcie()).value().tflops_zero;
+  };
+  EXPECT_GT(tput(64), 0.95 * tput(256));
+  EXPECT_LT(tput(32), 0.75 * tput(64));
+  EXPECT_LT(tput(8), 0.30 * tput(64));
+}
+
+// Table VIII: the power-limit mechanism. "power consumption nearing the
+// 350W power limit of the H800-PCIe, subsequently causing a reduction in
+// frequency."
+TEST(PaperFindings, RandWgmmaHitsPowerWall) {
+  const TcInstr instr{.path = TcPath::kWgmma, .shape = {64, 256, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp32,
+                      .a_src = OperandSource::kRegister};
+  const auto r = core::bench_tc(instr, h800_pcie()).value();
+  EXPECT_TRUE(r.throttled);
+  EXPECT_NEAR(r.tflops_rand / r.tflops_zero, 0.913, 0.03);  // 665.4 / 728.5
+}
+
+// Table XI: "the average energy efficiency of H800 is 1.60x and 1.69x that
+// of A100 and RTX4090 respectively" (dense).
+TEST(PaperFindings, EnergyEfficiencyLeads) {
+  double h_sum = 0, a_sum = 0, g_sum = 0;
+  const struct { DType ab; DType cd; int k; } rows[] = {
+      {DType::kFp16, DType::kFp16, 16}, {DType::kFp16, DType::kFp32, 16},
+      {DType::kTf32, DType::kFp32, 8},  {DType::kInt8, DType::kInt32, 32},
+  };
+  for (const auto& row : rows) {
+    const TcInstr instr{.path = TcPath::kMma, .shape = {16, 8, row.k},
+                        .ab = row.ab, .cd = row.cd};
+    const auto eff = [&](const arch::DeviceSpec& device) {
+      const auto r = core::bench_tc(instr, device).value();
+      return r.tflops_rand / r.power_rand_w;
+    };
+    h_sum += eff(h800_pcie()) / eff(a100_pcie());
+    a_sum += 1.0;
+    g_sum += eff(h800_pcie()) / eff(rtx4090());
+  }
+  EXPECT_NEAR(h_sum / 4.0, 1.60, 0.2);
+  EXPECT_NEAR(g_sum / 4.0, 1.69, 0.25);
+}
+
+// Fig 4: "When N=16384, H800 and 4090 utilizing FP8 achieve almost twice
+// the throughput of FP16" (we reproduce the crossover and a >=1.5x gain).
+TEST(PaperFindings, Fp8LinearGains) {
+  for (const auto* device : {&rtx4090(), &h800_pcie()}) {
+    const te::CostModel model(*device);
+    const auto fp16 = te::linear_square(model, 16384, DType::kFp16).value();
+    const auto fp8 = te::linear_square(model, 16384, DType::kFp8E4M3).value();
+    EXPECT_GT(fp8.gflops / fp16.gflops, 1.5) << device->name;
+    // And at 1024 the ordering inverts (conversion overhead).
+    const auto fp16_small = te::linear_square(model, 1024, DType::kFp16).value();
+    const auto fp8_small =
+        te::linear_square(model, 1024, DType::kFp8E4M3).value();
+    EXPECT_LT(fp8_small.gflops, fp16_small.gflops) << device->name;
+  }
+}
+
+// §IV-E DPX: "when the number of blocks just exceeds an integral multiple
+// of the number of SMs, the throughput plummets... the DPX acceleration
+// unit is located at the SM level."
+TEST(PaperFindings, DpxWaveQuantisation) {
+  const int sms = h800_pcie().sm_count;
+  const auto points =
+      core::dpx_block_sweep(h800_pcie(), dpx::Func::kViMax3S32, sms + 1).value();
+  EXPECT_LT(points.back().gcalls_per_sec,
+            0.6 * points[static_cast<std::size_t>(sms - 1)].gcalls_per_sec);
+}
+
+// Tables XIII/XIV: "at a block size of 8x8, AsyncPipe shows an average
+// performance improvement... as block size increases, the benefits
+// diminish."
+TEST(PaperFindings, AsyncCopyBenefitShrinks) {
+  const auto gain = [&](const arch::DeviceSpec& device, int bd) {
+    const async::GemmWorkload w{.block_dim = bd};
+    const double a =
+        async::run_gemm(device, w, async::CopyVariant::kAsyncPipe, 8)
+            .value().gflops;
+    const double s =
+        async::run_gemm(device, w, async::CopyVariant::kSyncShare, 8)
+            .value().gflops;
+    return a / s;
+  };
+  for (const auto* device : {&h800_pcie(), &a100_pcie()}) {
+    const double small = gain(*device, 8);
+    const double large = gain(*device, 32);
+    EXPECT_GT(small, 1.15) << device->name;
+    EXPECT_GT(small, large) << device->name;
+    EXPECT_LT(large, 1.25) << device->name;
+  }
+}
+
+// §IV-E DSM: "SM-to-SM network latency is 180 cycles, a 32% reduction
+// compared to L2 cache."
+TEST(PaperFindings, DsmLatencyBeatsL2) {
+  const double dsm_latency = dsm::measure_dsm_latency(h800_pcie()).value();
+  const double l2 =
+      core::pchase(h800_pcie(), mem::MemLevel::kL2).value().avg_latency_cycles;
+  EXPECT_NEAR(dsm_latency, 180.0, 2.0);
+  EXPECT_NEAR(1.0 - dsm_latency / l2, 0.32, 0.03);
+}
+
+// Fig 8: "A peak throughput of nearly 3.27 TB/s is observed with a cluster
+// size of 2, reducing to 2.65 TB/s with a cluster size of 4."
+TEST(PaperFindings, DsmRingThroughput) {
+  const auto cs2 = dsm::run_rbc(h800_pcie(), {.cluster_size = 2,
+                                              .block_threads = 1024, .ilp = 4})
+                       .value();
+  const auto cs4 = dsm::run_rbc(h800_pcie(), {.cluster_size = 4,
+                                              .block_threads = 1024, .ilp = 4})
+                       .value();
+  EXPECT_NEAR(cs2.total_tbps, 3.27, 0.25);
+  EXPECT_NEAR(cs4.total_tbps, 2.65, 0.25);
+}
+
+// Fig 9: "a notable performance drop occurs from 1024 to 2048 Nbins when
+// CS=1... employing the cluster mechanism... mitigat[es] this issue."
+TEST(PaperFindings, DsmHistogramOccupancyRelief) {
+  const auto run = [&](int cs, int nbins) {
+    const dsm::HistogramConfig cfg{.cluster_size = cs, .block_threads = 128,
+                                   .nbins = nbins, .elements = 1 << 18};
+    return dsm::run_histogram(h800_pcie(), cfg).value().elements_per_second;
+  };
+  EXPECT_LT(run(1, 2048), 0.85 * run(1, 1024));
+  EXPECT_GT(run(2, 2048), 1.2 * run(1, 2048));
+}
+
+// Table XII context: FP8's compute advantage is invisible in short-sequence
+// decode; memory capacity decides which cells exist at all.
+TEST(PaperFindings, LlmDecodePrecisionStory) {
+  const te::CostModel hopper(h800_pcie());
+  const auto fp32 =
+      te::run_generation(hopper, te::llama_3b(), DType::kFp32, {}).value();
+  const auto fp8 =
+      te::run_generation(hopper, te::llama_3b(), DType::kFp8E4M3, {}).value();
+  EXPECT_GT(fp32.tokens_per_second, fp8.tokens_per_second);
+  const te::CostModel ada(rtx4090());
+  EXPECT_TRUE(
+      te::run_generation(ada, te::llama2_7b(), DType::kFp32, {}).value().oom);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,80 @@
+// P-chase latency benchmark against the simulated hierarchy.
+#include "core/pchase.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::core {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+using mem::MemLevel;
+
+TEST(PChase, MeasuresConfiguredLevelExactly) {
+  for (const auto* device : arch::all_devices()) {
+    const auto l1 = pchase(*device, MemLevel::kL1).value();
+    EXPECT_NEAR(l1.avg_latency_cycles, device->memory.l1_hit_latency, 1e-6)
+        << device->name;
+    EXPECT_EQ(l1.hit_rate, 1.0) << device->name;
+
+    const auto shared = pchase(*device, MemLevel::kShared).value();
+    EXPECT_NEAR(shared.avg_latency_cycles, device->memory.smem_latency, 1e-6);
+
+    const auto l2 = pchase(*device, MemLevel::kL2).value();
+    EXPECT_NEAR(l2.avg_latency_cycles, device->memory.l2_hit_latency, 1e-6);
+    EXPECT_EQ(l2.tlb_misses, 0u);
+
+    const auto dram = pchase(*device, MemLevel::kDram).value();
+    EXPECT_NEAR(dram.avg_latency_cycles, device->memory.dram_latency, 1e-6);
+    EXPECT_EQ(dram.tlb_misses, 0u) << device->name;
+  }
+}
+
+TEST(PChase, LevelOrderingHolds) {
+  for (const auto* device : arch::all_devices()) {
+    const double shared = pchase(*device, MemLevel::kShared).value().avg_latency_cycles;
+    const double l1 = pchase(*device, MemLevel::kL1).value().avg_latency_cycles;
+    const double l2 = pchase(*device, MemLevel::kL2).value().avg_latency_cycles;
+    const double dram = pchase(*device, MemLevel::kDram).value().avg_latency_cycles;
+    EXPECT_LT(shared, l1);
+    EXPECT_LT(l1, l2);
+    EXPECT_LT(l2, dram);
+    // The paper's cross-level ratios: L2/L1 ~ 6.5x, Global/L2 ~ 1.9x.
+    EXPECT_NEAR(l2 / l1, 6.5, 0.6);
+    EXPECT_NEAR(dram / l2, 1.9, 0.35);
+  }
+}
+
+TEST(PChase, ColdTlbInflatesGlobalLatency) {
+  PChaseConfig cfg;
+  cfg.warm_tlb = false;
+  cfg.iterations = 512;
+  const auto cold = pchase(h800_pcie(), MemLevel::kDram, cfg).value();
+  const auto warm = pchase(h800_pcie(), MemLevel::kDram).value();
+  EXPECT_GT(cold.tlb_misses, 0u);
+  EXPECT_GT(cold.avg_latency_cycles, warm.avg_latency_cycles + 1.0);
+}
+
+TEST(PChase, RejectsSubSectorStride) {
+  PChaseConfig cfg;
+  cfg.stride = 8;
+  EXPECT_FALSE(pchase(h800_pcie(), MemLevel::kL1, cfg).has_value());
+}
+
+TEST(PChase, RejectsTinyWorkingSet) {
+  PChaseConfig cfg;
+  cfg.working_set = 32;
+  EXPECT_FALSE(pchase(h800_pcie(), MemLevel::kL1, cfg).has_value());
+}
+
+TEST(PChase, AccessCounting) {
+  PChaseConfig cfg;
+  cfg.iterations = 777;
+  const auto r = pchase(a100_pcie(), MemLevel::kL1, cfg).value();
+  EXPECT_EQ(r.accesses, 777u);
+  EXPECT_EQ(r.intended_level, MemLevel::kL1);
+}
+
+}  // namespace
+}  // namespace hsim::core

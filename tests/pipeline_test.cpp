@@ -1,0 +1,67 @@
+#include "sim/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::sim {
+namespace {
+
+TEST(PipelinedUnit, BackToBackRespectsInitiationInterval) {
+  PipelinedUnit unit(2.0, 10.0);
+  EXPECT_EQ(unit.issue(0.0), 10.0);   // starts at 0
+  EXPECT_EQ(unit.issue(0.0), 12.0);   // starts at 2
+  EXPECT_EQ(unit.issue(0.0), 14.0);   // starts at 4
+}
+
+TEST(PipelinedUnit, LateArrivalStartsWhenReady) {
+  PipelinedUnit unit(2.0, 10.0);
+  EXPECT_EQ(unit.issue(100.0), 110.0);
+  EXPECT_EQ(unit.next_free(), 102.0);
+}
+
+TEST(PipelinedUnit, PerOpOverrides) {
+  PipelinedUnit unit(1.0, 1.0);
+  EXPECT_EQ(unit.issue(0.0, 5.0, 20.0), 20.0);
+  // Next op waits for the 5-cycle interval, not the default 1.
+  EXPECT_EQ(unit.issue(0.0, 1.0, 1.0), 6.0);
+}
+
+TEST(PipelinedUnit, ThroughputConvergesToInterval) {
+  PipelinedUnit unit(3.0, 50.0);
+  double last = 0;
+  constexpr int kOps = 1000;
+  for (int i = 0; i < kOps; ++i) last = unit.issue(0.0);
+  // last = (kOps-1)*ii + latency.
+  EXPECT_EQ(last, (kOps - 1) * 3.0 + 50.0);
+}
+
+TEST(PipelinedUnit, ResetClearsCursor) {
+  PipelinedUnit unit(2.0, 4.0);
+  unit.issue(0.0);
+  unit.reset();
+  EXPECT_EQ(unit.next_free(), 0.0);
+  EXPECT_EQ(unit.issue(0.0), 4.0);
+}
+
+TEST(Port, SerialisesAtBandwidth) {
+  Port port(16.0);  // bytes per cycle
+  EXPECT_EQ(port.transfer(0.0, 32.0), 2.0);
+  EXPECT_EQ(port.transfer(0.0, 32.0), 4.0);  // queued behind the first
+  EXPECT_EQ(port.transfer(10.0, 16.0), 11.0);
+}
+
+TEST(Port, SteadyStateBandwidth) {
+  Port port(8.0);
+  double done = 0;
+  for (int i = 0; i < 100; ++i) done = port.transfer(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(400.0 / done, 8.0);
+}
+
+TEST(Port, ResetClears) {
+  Port port(4.0);
+  port.transfer(0.0, 100.0);
+  port.reset();
+  EXPECT_EQ(port.next_free(), 0.0);
+}
+
+}  // namespace
+}  // namespace hsim::sim

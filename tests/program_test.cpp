@@ -1,0 +1,65 @@
+#include "isa/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::isa {
+namespace {
+
+TEST(Program, BuilderChains) {
+  Program p;
+  p.mov(1, 5).iadd3(2, 1, 1).fadd(3, 2, 2).bar_sync();
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.body()[0].op, Opcode::kMov);
+  EXPECT_EQ(p.body()[1].op, Opcode::kIAdd3);
+  EXPECT_EQ(p.body()[1].rd, 2);
+  EXPECT_EQ(p.body()[1].ra, 1);
+  EXPECT_EQ(p.body()[3].op, Opcode::kBarSync);
+}
+
+TEST(Program, IterationsDefaultAndSet) {
+  Program p;
+  p.mov(0, 0);
+  EXPECT_EQ(p.iterations(), 1u);
+  p.set_iterations(1024);
+  EXPECT_EQ(p.iterations(), 1024u);
+}
+
+TEST(Program, MemoryBuilderWidths) {
+  Program p;
+  p.ldg_ca(1, 2, 16).ldg_cg(3, 4).lds(5, 6, 8);
+  EXPECT_EQ(p.body()[0].access_bytes, 16u);
+  EXPECT_EQ(p.body()[1].access_bytes, 4u);
+  EXPECT_EQ(p.body()[2].op, Opcode::kLds);
+  EXPECT_EQ(p.body()[2].access_bytes, 8u);
+}
+
+TEST(Instruction, ToStringFormats) {
+  const Instruction inst{.op = Opcode::kIAdd3, .rd = 1, .ra = 2, .rb = 3};
+  EXPECT_EQ(inst.to_string(), "IADD3 R1, R2, R3");
+  const Instruction mov{.op = Opcode::kMov, .rd = 4, .imm = 42};
+  EXPECT_EQ(mov.to_string(), "MOV R4, 42");
+}
+
+TEST(Program, ToStringListsEverything) {
+  Program p;
+  p.mov(0, 1).fadd(1, 0, 0);
+  p.set_iterations(7);
+  const auto text = p.to_string();
+  EXPECT_NE(text.find("2 instructions x 7 iterations"), std::string::npos);
+  EXPECT_NE(text.find("FADD"), std::string::npos);
+}
+
+TEST(Opcode, MnemonicsAndUnits) {
+  EXPECT_EQ(mnemonic(Opcode::kVIMnMx), "VIMNMX");
+  EXPECT_EQ(mnemonic(Opcode::kLdgCa), "LDG.CA");
+  EXPECT_EQ(unit_of(Opcode::kFAdd), UnitClass::kFma);
+  EXPECT_EQ(unit_of(Opcode::kDAdd), UnitClass::kFp64);
+  EXPECT_EQ(unit_of(Opcode::kVIMnMx), UnitClass::kDpx);
+  EXPECT_EQ(unit_of(Opcode::kLds), UnitClass::kLsu);
+  EXPECT_EQ(unit_of(Opcode::kLdsRemote), UnitClass::kDsm);
+  EXPECT_EQ(unit_of(Opcode::kBarSync), UnitClass::kControl);
+  EXPECT_EQ(unit_of(Opcode::kIAdd3), UnitClass::kAlu);
+}
+
+}  // namespace
+}  // namespace hsim::isa

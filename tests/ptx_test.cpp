@@ -1,0 +1,185 @@
+// PTX tensor-core descriptors and the Table VI SASS lowering.
+#include "isa/ptx.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::isa {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+using num::DType;
+
+TcInstr mma(DType ab, DType cd, int k, bool sparse = false) {
+  return {.path = TcPath::kMma, .shape = {16, 8, k}, .ab = ab, .cd = cd,
+          .sparse = sparse};
+}
+TcInstr wgmma(DType ab, DType cd, int n, int k, bool sparse = false) {
+  return {.path = TcPath::kWgmma, .shape = {64, n, k}, .ab = ab, .cd = cd,
+          .sparse = sparse};
+}
+
+// ---------- Table VI mapping ----------
+
+TEST(Sass, HopperMmaFamilies) {
+  const auto& dev = h800_pcie();
+  EXPECT_EQ(compile_to_sass(mma(DType::kFp16, DType::kFp16, 16), dev).value(),
+            "HMMA.16816.F16");
+  EXPECT_EQ(compile_to_sass(mma(DType::kFp16, DType::kFp32, 16), dev).value(),
+            "HMMA.16816.F32");
+  EXPECT_EQ(compile_to_sass(mma(DType::kTf32, DType::kFp32, 8), dev).value(),
+            "HMMA.1688.F32.TF32");
+  EXPECT_EQ(compile_to_sass(mma(DType::kInt8, DType::kInt32, 32), dev).value(),
+            "IMMA.16832.S8.S8");
+  EXPECT_EQ(
+      compile_to_sass(mma(DType::kBinary, DType::kInt32, 256), dev).value(),
+      "BMMA.168256.AND.POPC");
+}
+
+TEST(Sass, HopperWgmmaFamilies) {
+  const auto& dev = h800_pcie();
+  EXPECT_EQ(compile_to_sass(wgmma(DType::kFp16, DType::kFp16, 256, 16), dev)
+                .value(),
+            "HGMMA.64x256x16.F16");
+  EXPECT_EQ(compile_to_sass(wgmma(DType::kFp16, DType::kFp32, 256, 16), dev)
+                .value(),
+            "HGMMA.64x256x16.F32");
+  EXPECT_EQ(compile_to_sass(wgmma(DType::kTf32, DType::kFp32, 256, 8), dev)
+                .value(),
+            "HGMMA.64x256x8.F32.TF32");
+  EXPECT_EQ(
+      compile_to_sass(wgmma(DType::kFp8E5M2, DType::kFp16, 256, 32), dev)
+          .value(),
+      "QGMMA.64x256x32.F16.E5M2.E5M2");
+  EXPECT_EQ(
+      compile_to_sass(wgmma(DType::kFp8E4M3, DType::kFp32, 256, 32), dev)
+          .value(),
+      "QGMMA.64x256x32.F32.E4M3.E4M3");
+  EXPECT_EQ(
+      compile_to_sass(wgmma(DType::kInt8, DType::kInt32, 256, 32), dev).value(),
+      "IGMMA.64x256x32.S8.S8");
+  EXPECT_EQ(
+      compile_to_sass(wgmma(DType::kBinary, DType::kInt32, 256, 256), dev)
+          .value(),
+      "BGMMA.64x256x256.AND.POPC");
+}
+
+TEST(Sass, Int4FallsBackToImadOnHopperOnly) {
+  EXPECT_EQ(compile_to_sass(mma(DType::kInt4, DType::kInt32, 32), h800_pcie())
+                .value(),
+            "IMAD.MOV.U32");
+  EXPECT_EQ(compile_to_sass(mma(DType::kInt4, DType::kInt32, 32), a100_pcie())
+                .value(),
+            "IMMA.16832.S4.S4");
+  EXPECT_EQ(compile_to_sass(mma(DType::kInt4, DType::kInt32, 32), rtx4090())
+                .value(),
+            "IMMA.16832.S4.S4");
+  EXPECT_FALSE(runs_on_tensor_cores(mma(DType::kInt4, DType::kInt32, 32),
+                                    h800_pcie()));
+  EXPECT_TRUE(runs_on_tensor_cores(mma(DType::kInt4, DType::kInt32, 32),
+                                   a100_pcie()));
+}
+
+TEST(Sass, Fp8HasNoMmaAnywhere) {
+  for (const auto* device : arch::all_devices()) {
+    EXPECT_FALSE(
+        compile_to_sass(mma(DType::kFp8E4M3, DType::kFp32, 32), *device)
+            .has_value())
+        << device->name;
+  }
+}
+
+TEST(Sass, WgmmaRequiresHopper) {
+  EXPECT_FALSE(compile_to_sass(wgmma(DType::kFp16, DType::kFp32, 256, 16),
+                               a100_pcie())
+                   .has_value());
+  EXPECT_FALSE(compile_to_sass(wgmma(DType::kFp16, DType::kFp32, 256, 16),
+                               rtx4090())
+                   .has_value());
+}
+
+TEST(Sass, SparseSuffix) {
+  EXPECT_EQ(compile_to_sass(mma(DType::kFp16, DType::kFp16, 32, true),
+                            h800_pcie())
+                .value(),
+            "HMMA.16832.F16.SP");
+  EXPECT_EQ(compile_to_sass(wgmma(DType::kFp16, DType::kFp16, 256, 32, true),
+                            h800_pcie())
+                .value(),
+            "HGMMA.SP.64x256x32.F16");
+}
+
+// ---------- Validation ----------
+
+TEST(Validate, MmaShapes) {
+  EXPECT_TRUE(validate(mma(DType::kFp16, DType::kFp16, 8)).has_value());
+  EXPECT_TRUE(validate(mma(DType::kFp16, DType::kFp16, 16)).has_value());
+  EXPECT_FALSE(validate(mma(DType::kFp16, DType::kFp16, 32)).has_value());
+  EXPECT_TRUE(validate(mma(DType::kTf32, DType::kFp32, 4)).has_value());
+  EXPECT_FALSE(validate(mma(DType::kTf32, DType::kFp32, 16)).has_value());
+  EXPECT_TRUE(validate(mma(DType::kInt8, DType::kInt32, 16)).has_value());
+  // Bad m/n.
+  TcInstr bad = mma(DType::kFp16, DType::kFp16, 16);
+  bad.shape.m = 8;
+  EXPECT_FALSE(validate(bad).has_value());
+}
+
+TEST(Validate, AccumulatorTypes) {
+  EXPECT_FALSE(validate(mma(DType::kFp16, DType::kInt32, 16)).has_value());
+  EXPECT_FALSE(validate(mma(DType::kInt8, DType::kFp32, 16)).has_value());
+  EXPECT_FALSE(validate(mma(DType::kTf32, DType::kFp16, 8)).has_value());
+  EXPECT_TRUE(
+      validate(wgmma(DType::kFp8E4M3, DType::kFp16, 64, 32)).has_value());
+}
+
+TEST(Validate, WgmmaNRange) {
+  EXPECT_TRUE(validate(wgmma(DType::kFp16, DType::kFp32, 8, 16)).has_value());
+  EXPECT_TRUE(validate(wgmma(DType::kFp16, DType::kFp32, 256, 16)).has_value());
+  EXPECT_FALSE(validate(wgmma(DType::kFp16, DType::kFp32, 12, 16)).has_value());
+  EXPECT_FALSE(validate(wgmma(DType::kFp16, DType::kFp32, 264, 16)).has_value());
+  EXPECT_FALSE(validate(wgmma(DType::kFp16, DType::kFp32, 256, 8)).has_value());
+}
+
+TEST(Validate, WgmmaInt4Unsupported) {
+  EXPECT_FALSE(
+      validate(wgmma(DType::kInt4, DType::kInt32, 256, 64)).has_value());
+}
+
+TEST(Validate, SparseDoublesK) {
+  EXPECT_TRUE(validate(mma(DType::kFp16, DType::kFp16, 32, true)).has_value());
+  EXPECT_FALSE(validate(mma(DType::kFp16, DType::kFp16, 8, true)).has_value());
+  EXPECT_TRUE(
+      validate(wgmma(DType::kInt8, DType::kInt32, 128, 64, true)).has_value());
+  EXPECT_FALSE(
+      validate(wgmma(DType::kInt8, DType::kInt32, 128, 32, true)).has_value());
+}
+
+// ---------- Descriptor arithmetic ----------
+
+TEST(TcInstr, OpsCountsDenseEquivalentWork) {
+  EXPECT_EQ(mma(DType::kFp16, DType::kFp16, 16).ops(), 2.0 * 16 * 8 * 16);
+  EXPECT_EQ(wgmma(DType::kFp16, DType::kFp32, 256, 16).ops(),
+            2.0 * 64 * 256 * 16);
+}
+
+TEST(TcInstr, OperandBytes) {
+  const auto dense = wgmma(DType::kFp16, DType::kFp32, 256, 16);
+  EXPECT_EQ(dense.a_bytes(), 64 * 16 * 2.0);
+  EXPECT_EQ(dense.b_bytes(), 256 * 16 * 2.0);
+  const auto sparse = wgmma(DType::kFp16, DType::kFp32, 256, 32, true);
+  EXPECT_EQ(sparse.a_bytes(), 64 * 16 * 2.0);  // stored compressed: k/2
+  EXPECT_EQ(sparse.b_bytes(), 256 * 32 * 2.0);
+}
+
+TEST(TcInstr, PtxNames) {
+  EXPECT_EQ(mma(DType::kFp16, DType::kFp32, 16).ptx_name(),
+            "mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32");
+  EXPECT_EQ(mma(DType::kInt8, DType::kInt32, 32, true).ptx_name(),
+            "mma.sp.sync.aligned.m16n8k32.row.col.s32.s8.s8.s32");
+  EXPECT_EQ(wgmma(DType::kFp8E4M3, DType::kFp16, 128, 32).ptx_name(),
+            "wgmma.mma_async.sync.aligned.m64n128k32.f16.e4m3.e4m3");
+}
+
+}  // namespace
+}  // namespace hsim::isa

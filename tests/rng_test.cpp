@@ -1,0 +1,127 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hsim {
+namespace {
+
+TEST(Xoshiro, DeterministicFromSeed) {
+  Xoshiro256ss a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256ss rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, BelowOneAlwaysZero) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, RangeInclusive) {
+  Xoshiro256ss rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256ss rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, NormalMeanAndVariance) {
+  Xoshiro256ss rng(13);
+  double sum = 0, sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Xoshiro, ForkProducesIndependentStream) {
+  Xoshiro256ss a(5);
+  Xoshiro256ss b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  Xoshiro256ss rng(3);
+  const auto perm = random_permutation(257, rng);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(RandomCycle, SingleCycleVisitsAll) {
+  Xoshiro256ss rng(4);
+  for (const std::uint32_t n : {2u, 3u, 17u, 256u, 1000u}) {
+    const auto next = random_cycle(n, rng);
+    // Follow the cycle: must return to 0 after exactly n hops, touching
+    // every element once.
+    std::vector<bool> seen(n, false);
+    std::uint32_t at = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      EXPECT_FALSE(seen[at]) << "n=" << n;
+      seen[at] = true;
+      at = next[at];
+    }
+    EXPECT_EQ(at, 0u) << "n=" << n;
+  }
+}
+
+TEST(RandomCycle, NoFixedPointsBeyondTrivial) {
+  Xoshiro256ss rng(6);
+  const auto next = random_cycle(64, rng);
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_NE(next[i], i);
+}
+
+TEST(SplitMix, Deterministic) {
+  std::uint64_t s1 = 99, s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);
+}
+
+}  // namespace
+}  // namespace hsim

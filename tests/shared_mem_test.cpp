@@ -1,0 +1,99 @@
+#include "mem/shared_mem.hpp"
+
+#include <array>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace hsim::mem {
+namespace {
+
+std::array<std::uint32_t, 32> lane_addrs(std::uint32_t (*fn)(int)) {
+  std::array<std::uint32_t, 32> addrs{};
+  for (int i = 0; i < 32; ++i) addrs[static_cast<std::size_t>(i)] = fn(i);
+  return addrs;
+}
+
+TEST(SharedMemory, LinearAccessIsConflictFree) {
+  SharedMemory smem(16384);
+  const auto addrs = lane_addrs([](int lane) {
+    return static_cast<std::uint32_t>(lane * 4);
+  });
+  EXPECT_EQ(smem.conflict_degree(addrs), 1);
+}
+
+TEST(SharedMemory, BroadcastIsConflictFree) {
+  SharedMemory smem(16384);
+  const auto addrs = lane_addrs([](int) { return 64u; });
+  EXPECT_EQ(smem.conflict_degree(addrs), 1);
+}
+
+TEST(SharedMemory, Stride2GivesTwoWayConflict) {
+  SharedMemory smem(16384);
+  const auto addrs = lane_addrs([](int lane) {
+    return static_cast<std::uint32_t>(lane * 8);  // stride 2 words
+  });
+  EXPECT_EQ(smem.conflict_degree(addrs), 2);
+}
+
+TEST(SharedMemory, Stride32IsWorstCase) {
+  SharedMemory smem(16384);
+  const auto addrs = lane_addrs([](int lane) {
+    return static_cast<std::uint32_t>(lane * 128);  // all lanes -> bank 0
+  });
+  EXPECT_EQ(smem.conflict_degree(addrs), 32);
+}
+
+TEST(SharedMemory, PowerOfTwoStrideSweep) {
+  SharedMemory smem(1 << 20);
+  // Classic result: stride s (in words) over 32 banks gives gcd-based
+  // conflict degree = s / gcd(s,32) ... specifically degree = min(32, s)
+  // for power-of-two strides.
+  for (const int stride_words : {1, 2, 4, 8, 16, 32}) {
+    std::array<std::uint32_t, 32> addrs{};
+    for (int lane = 0; lane < 32; ++lane) {
+      addrs[static_cast<std::size_t>(lane)] =
+          static_cast<std::uint32_t>(lane * stride_words * 4);
+    }
+    EXPECT_EQ(smem.conflict_degree(addrs), stride_words) << stride_words;
+  }
+}
+
+TEST(SharedMemory, OddStrideConflictFree) {
+  SharedMemory smem(1 << 20);
+  std::array<std::uint32_t, 32> addrs{};
+  for (int lane = 0; lane < 32; ++lane) {
+    addrs[static_cast<std::size_t>(lane)] =
+        static_cast<std::uint32_t>(lane * 33 * 4);  // odd stride: coprime
+  }
+  EXPECT_EQ(smem.conflict_degree(addrs), 1);
+}
+
+TEST(SharedMemory, LoadStoreRoundTrip) {
+  SharedMemory smem(4096);
+  smem.store_u32(100, 0xDEADBEEF);
+  EXPECT_EQ(smem.load_u32(100), 0xDEADBEEFu);
+  EXPECT_EQ(smem.load_u32(104), 0u);
+}
+
+TEST(SharedMemory, AtomicAddReturnsOld) {
+  SharedMemory smem(4096);
+  EXPECT_EQ(smem.atomic_add_u32(0, 5), 0u);
+  EXPECT_EQ(smem.atomic_add_u32(0, 7), 5u);
+  EXPECT_EQ(smem.load_u32(0), 12u);
+}
+
+TEST(SharedMemory, FillResets) {
+  SharedMemory smem(64);
+  smem.store_u32(0, 1234);
+  smem.fill(0);
+  EXPECT_EQ(smem.load_u32(0), 0u);
+}
+
+TEST(SharedMemory, EmptyAddressListDegreeOne) {
+  SharedMemory smem(64);
+  EXPECT_EQ(smem.conflict_degree({}), 1);
+}
+
+}  // namespace
+}  // namespace hsim::mem

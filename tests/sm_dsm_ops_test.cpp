@@ -1,0 +1,81 @@
+// SM-level distributed-shared-memory opcodes: remote accesses cost the
+// fabric latency on Hopper and fall back to the L2 path elsewhere.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sm/sm_core.hpp"
+
+namespace hsim::sm {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+
+isa::Program remote_chain(std::uint32_t iterations) {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kLdsRemote, .rd = 1, .ra = 1});
+  p.set_iterations(iterations);
+  return p;
+}
+
+TEST(SmDsmOps, RemoteLoadChainCostsFabricLatency) {
+  SmCore core(h800_pcie(), nullptr);
+  const auto run = core.run(remote_chain(256), {.threads_per_block = 32, .blocks = 1});
+  const double per_access = run.cycles / 256.0;
+  // 180-cycle fabric + the 128-byte port occupancy (8 cycles at 16 B/clk).
+  EXPECT_NEAR(per_access, h800_pcie().dsm.latency_cycles + 8.0, 2.0);
+}
+
+TEST(SmDsmOps, RemoteFasterThanL2OnHopper) {
+  SmCore remote(h800_pcie(), nullptr);
+  const double remote_cycles =
+      remote.run(remote_chain(128), {.threads_per_block = 32, .blocks = 1}).cycles;
+  EXPECT_LT(remote_cycles / 128.0, h800_pcie().memory.l2_hit_latency);
+}
+
+TEST(SmDsmOps, FallsBackToL2PathWithoutDsm) {
+  SmCore core(a100_pcie(), nullptr);
+  const auto run = core.run(remote_chain(128), {.threads_per_block = 32, .blocks = 1});
+  EXPECT_NEAR(run.cycles / 128.0, a100_pcie().memory.l2_hit_latency, 3.0);
+}
+
+TEST(SmDsmOps, MapaIsCheapAddressArithmetic) {
+  const auto program = isa::assemble(R"(
+    MAPA R1, R2
+    MAPA R1, R1
+    MAPA R1, R1
+    MAPA R1, R1
+  )");
+  ASSERT_TRUE(program.has_value());
+  SmCore core(h800_pcie(), nullptr);
+  const auto run = core.run(program.value(), {.threads_per_block = 32, .blocks = 1});
+  // Four dependent ALU-class ops: ~5 cycles each, nothing like 180.
+  EXPECT_LT(run.cycles, 30.0);
+}
+
+TEST(SmDsmOps, RemoteStoresShareThePort) {
+  // Two independent remote stores per iteration: port serialisation makes
+  // the pair cost ~2 port occupancies beyond one latency.
+  isa::Program p;
+  p.add({.op = isa::Opcode::kStsRemote, .ra = 2, .rb = 3});
+  p.add({.op = isa::Opcode::kStsRemote, .ra = 4, .rb = 5});
+  p.set_iterations(128);
+  SmCore core(h800_pcie(), nullptr);
+  const auto run = core.run(p, {.threads_per_block = 32, .blocks = 1});
+  const double per_pair = run.cycles / 128.0;
+  // Not latency-bound (stores don't chain): bounded by 2x port time.
+  EXPECT_LT(per_pair, 40.0);
+  EXPECT_GE(per_pair, 2.0 * 128.0 / h800_pcie().dsm.port_bytes_per_clk - 2.0);
+}
+
+TEST(SmDsmOps, RemoteAtomicTimingMatchesRemoteStore) {
+  isa::Program atomics;
+  atomics.add({.op = isa::Opcode::kAtomRemoteAdd, .rd = 1, .ra = 2, .rb = 3});
+  atomics.set_iterations(64);
+  SmCore core(h800_pcie(), nullptr);
+  const auto run = core.run(atomics, {.threads_per_block = 32, .blocks = 1});
+  EXPECT_GT(run.cycles / 64.0, h800_pcie().dsm.latency_cycles * 0.9);
+}
+
+}  // namespace
+}  // namespace hsim::sm

@@ -1,0 +1,104 @@
+// 2:4 structured sparsity: pruning, compression, metadata round-trips.
+#include "tensorcore/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hsim::tc {
+namespace {
+
+TEST(Sparse, DetectsProperty) {
+  MatF ok(2, 8);
+  ok.at(0, 0) = 1;
+  ok.at(0, 3) = 2;
+  ok.at(1, 4) = 3;
+  EXPECT_TRUE(is_2_4_sparse(ok));
+  MatF bad(1, 4);
+  bad.at(0, 0) = 1;
+  bad.at(0, 1) = 1;
+  bad.at(0, 2) = 1;
+  EXPECT_FALSE(is_2_4_sparse(bad));
+}
+
+TEST(Sparse, NonMultipleOf4ColsFailsProperty) {
+  const MatF m(2, 6);
+  EXPECT_FALSE(is_2_4_sparse(m));
+}
+
+TEST(Sparse, PruneKeepsTopTwoMagnitudes) {
+  MatF m(1, 4);
+  m.at(0, 0) = 0.1f;
+  m.at(0, 1) = -5.0f;
+  m.at(0, 2) = 2.0f;
+  m.at(0, 3) = 0.5f;
+  const MatF pruned = prune_2_4(m);
+  EXPECT_EQ(pruned.at(0, 0), 0.0f);
+  EXPECT_EQ(pruned.at(0, 1), -5.0f);
+  EXPECT_EQ(pruned.at(0, 2), 2.0f);
+  EXPECT_EQ(pruned.at(0, 3), 0.0f);
+  EXPECT_TRUE(is_2_4_sparse(pruned));
+}
+
+TEST(Sparse, PruneIdempotent) {
+  Xoshiro256ss rng(5);
+  MatF m(16, 32);
+  fill_random(m, num::DType::kFp16, rng);
+  const MatF once = prune_2_4(m);
+  const MatF twice = prune_2_4(once);
+  EXPECT_EQ(once.data(), twice.data());
+}
+
+TEST(Sparse, CompressDecompressRoundTrip) {
+  Xoshiro256ss rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    MatF dense(16, 16);
+    fill_random(dense, num::DType::kFp16, rng);
+    const MatF pruned = prune_2_4(dense);
+    const Sparse24 compressed = compress_2_4(pruned);
+    EXPECT_EQ(compressed.values.cols(), 8);
+    EXPECT_EQ(compressed.dense_k, 16);
+    const MatF restored = decompress(compressed);
+    EXPECT_EQ(restored.data(), pruned.data()) << "trial " << trial;
+  }
+}
+
+TEST(Sparse, CompressionHalvesStorage) {
+  MatF m(8, 32);
+  m.at(0, 0) = 1;  // mostly zero, trivially 2:4
+  const Sparse24 s = compress_2_4(m);
+  EXPECT_EQ(s.values.rows(), 8);
+  EXPECT_EQ(s.values.cols(), 16);
+  EXPECT_EQ(s.meta.size(), 8u * 8u);  // rows x k/4 groups
+}
+
+TEST(Sparse, MetadataIndicesDistinct) {
+  Xoshiro256ss rng(7);
+  MatF dense(16, 64);
+  fill_random(dense, num::DType::kFp16, rng);
+  const Sparse24 s = compress_2_4(prune_2_4(dense));
+  for (int r = 0; r < s.rows(); ++r) {
+    for (int g = 0; g < s.dense_k / 4; ++g) {
+      const auto meta = s.meta_at(r, g);
+      EXPECT_NE(meta & 3, (meta >> 2) & 3) << r << "," << g;
+    }
+  }
+}
+
+TEST(Sparse, AllZeroGroupCompresses) {
+  const MatF zeros(4, 8);
+  const Sparse24 s = compress_2_4(zeros);
+  const MatF back = decompress(s);
+  EXPECT_EQ(back.data(), zeros.data());
+}
+
+TEST(Sparse, SingleNonzeroPerGroup) {
+  MatF m(1, 8);
+  m.at(0, 2) = 7.0f;
+  m.at(0, 5) = -3.0f;
+  const MatF back = decompress(compress_2_4(m));
+  EXPECT_EQ(back.data(), m.data());
+}
+
+}  // namespace
+}  // namespace hsim::tc

@@ -1,0 +1,101 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hsim {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Xoshiro256ss rng(1);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleSet, PercentilesOnKnownData) {
+  SampleSet set;
+  for (int i = 1; i <= 100; ++i) set.add(i);
+  EXPECT_DOUBLE_EQ(set.median(), 50.5);
+  EXPECT_DOUBLE_EQ(set.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(set.percentile(100), 100.0);
+  EXPECT_NEAR(set.percentile(90), 90.1, 1e-9);
+  EXPECT_EQ(set.min(), 1.0);
+  EXPECT_EQ(set.max(), 100.0);
+}
+
+TEST(SampleSet, SingleElement) {
+  SampleSet set;
+  set.add(7.0);
+  EXPECT_EQ(set.median(), 7.0);
+  EXPECT_EQ(set.percentile(1), 7.0);
+  EXPECT_EQ(set.percentile(99), 7.0);
+}
+
+TEST(SampleSet, AddAfterQueryResorts) {
+  SampleSet set;
+  set.add(10.0);
+  set.add(20.0);
+  EXPECT_EQ(set.median(), 15.0);
+  set.add(0.0);  // must invalidate the sorted cache
+  EXPECT_EQ(set.median(), 10.0);
+  EXPECT_EQ(set.min(), 0.0);
+}
+
+TEST(SampleSet, MeanUnaffectedByOrder) {
+  SampleSet a, b;
+  for (int i = 0; i < 10; ++i) a.add(i);
+  for (int i = 9; i >= 0; --i) b.add(i);
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+}  // namespace
+}  // namespace hsim

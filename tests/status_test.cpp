@@ -1,0 +1,53 @@
+#include "common/status.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hsim {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> v(42);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(0), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(invalid_argument("bad input"));
+  EXPECT_FALSE(e.has_value());
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_EQ(e.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(e.error().message, "bad input");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.has_value());
+  auto owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(Error, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(unsupported("no FP8").to_string(), "unsupported: no FP8");
+  const Error bare{ErrorCode::kOutOfMemory, ""};
+  EXPECT_EQ(bare.to_string(), "out_of_memory");
+}
+
+TEST(ErrorCode, Names) {
+  EXPECT_EQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_EQ(to_string(ErrorCode::kInternal), "internal");
+  EXPECT_EQ(to_string(ErrorCode::kOutOfRange), "out_of_range");
+}
+
+TEST(ErrorFactories, Codes) {
+  EXPECT_EQ(invalid_argument("x").code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(unsupported("x").code, ErrorCode::kUnsupported);
+  EXPECT_EQ(out_of_memory("x").code, ErrorCode::kOutOfMemory);
+}
+
+}  // namespace
+}  // namespace hsim

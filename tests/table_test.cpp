@@ -1,0 +1,80 @@
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hsim {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table table("T");
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::ostringstream os;
+  table.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== T =="), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     |    22 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesNothingButJoinsWithCommas) {
+  Table table("T");
+  table.set_header({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.render_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RuleInsertedBetweenSections) {
+  Table table("T");
+  table.set_header({"x"});
+  table.add_row({"1"});
+  table.add_rule();
+  table.add_row({"2"});
+  std::ostringstream os;
+  table.render(os);
+  // Expect 5 horizontal rules: top, under header, section, bottom... -> 4
+  // plus the inserted one = 5? Count '+--' occurrences per line instead.
+  int rules = 0;
+  std::istringstream in(os.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);  // top, header, inserted, bottom
+}
+
+TEST(Table, RowAccess) {
+  Table table("T");
+  table.set_header({"x", "y"});
+  table.add_row({"a", "b"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_EQ(table.row(0)[1], "b");
+  EXPECT_EQ(table.title(), "T");
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt_fixed(3.14159, 1), "3.1");
+  EXPECT_EQ(fmt_fixed(3.15, 1), "3.1");  // round-to-nearest by printf
+  EXPECT_EQ(fmt_fixed(-2.5, 0), "-2");
+  EXPECT_EQ(fmt_fixed(100.0, 2), "100.00");
+}
+
+TEST(Fmt, EngineeringPicksDecimalsByMagnitude) {
+  EXPECT_EQ(fmt_eng(1234.5), "1234");  // printf rounds half-to-even
+  EXPECT_EQ(fmt_eng(123.45), "123.5");
+  EXPECT_EQ(fmt_eng(3.14159), "3.14");
+  EXPECT_EQ(fmt_eng(0.012345), "0.0123");
+}
+
+TEST(Fmt, LatTputCompound) {
+  EXPECT_EQ(fmt_lat_tput(128.0, 729.34), "128.0/729.3");
+  EXPECT_EQ(fmt_lat_tput(17.66, 310.04, 1, 0), "17.7/310");
+}
+
+}  // namespace
+}  // namespace hsim

@@ -1,0 +1,93 @@
+// Power / DVFS model: the Zero-vs-Rand mechanism and energy-efficiency
+// orderings.
+#include "tensorcore/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensorcore/timing.hpp"
+
+namespace hsim::tc {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+using isa::OperandSource;
+using isa::TcInstr;
+using isa::TcPath;
+using num::DType;
+
+TcInstr wgmma_fp16_fp32() {
+  return {.path = TcPath::kWgmma, .shape = {64, 256, 16}, .ab = DType::kFp16,
+          .cd = DType::kFp32, .a_src = OperandSource::kSharedMemory};
+}
+TcInstr mma_fp16(DType cd = DType::kFp16) {
+  return {.path = TcPath::kMma, .shape = {16, 8, 16}, .ab = DType::kFp16,
+          .cd = cd};
+}
+
+TEST(Power, ZeroOperandsDrawLittle) {
+  const auto r = apply_power(wgmma_fp16_fp32(), h800_pcie(), 730.0, false);
+  EXPECT_FALSE(r.throttled);
+  EXPECT_LT(r.power_w, 200.0);
+  EXPECT_EQ(r.throughput_tflops, 730.0);
+  EXPECT_EQ(r.clock_mhz, h800_pcie().observed_clock_mhz);
+}
+
+TEST(Power, RandomOperandsThrottleWgmmaOnH800) {
+  const auto r = apply_power(wgmma_fp16_fp32(), h800_pcie(), 730.0, true);
+  EXPECT_TRUE(r.throttled);
+  EXPECT_DOUBLE_EQ(r.power_w, h800_pcie().power.board_limit_w);
+  EXPECT_LT(r.throughput_tflops, 730.0);
+  EXPECT_GT(r.throughput_tflops, 600.0);  // ~665 in the paper
+  EXPECT_LT(r.clock_mhz, h800_pcie().observed_clock_mhz);
+}
+
+TEST(Power, ThrottleScalesClockAndThroughputTogether) {
+  const auto r = apply_power(wgmma_fp16_fp32(), h800_pcie(), 730.0, true);
+  EXPECT_NEAR(r.throughput_tflops / 730.0,
+              r.clock_mhz / h800_pcie().observed_clock_mhz, 1e-9);
+}
+
+TEST(Power, MmaStaysUnderTheCap) {
+  // mma only reaches ~65% of peak on Hopper, so it never hits 350 W.
+  const auto r = apply_power(mma_fp16(), h800_pcie(), 494.0, true);
+  EXPECT_FALSE(r.throttled);
+  EXPECT_LT(r.power_w, h800_pcie().power.board_limit_w);
+  EXPECT_GT(r.power_w, 150.0);
+}
+
+TEST(Power, EfficiencyOrderingAcrossDevices) {
+  // H800 leads energy efficiency for dense fp16 mma (paper Table XI).
+  const auto h = apply_power(mma_fp16(), h800_pcie(), 489.0, true);
+  const auto a = apply_power(mma_fp16(), a100_pcie(), 308.0, true);
+  const auto g = apply_power(mma_fp16(), rtx4090(), 356.0, true);
+  EXPECT_GT(h.efficiency_tflops_per_w(), 1.3 * a.efficiency_tflops_per_w());
+  EXPECT_GT(h.efficiency_tflops_per_w(), 1.3 * g.efficiency_tflops_per_w());
+}
+
+TEST(Power, SparseUsesLessEnergyPerCountedFlop) {
+  TcInstr dense = mma_fp16();
+  TcInstr sparse = mma_fp16();
+  sparse.sparse = true;
+  sparse.shape.k = 32;
+  const auto d = apply_power(dense, h800_pcie(), 489.0, true);
+  const auto s = apply_power(sparse, h800_pcie(), 727.0, true);
+  // Sparse throughput is ~1.5x at only slightly higher power.
+  EXPECT_LT(s.power_w, d.power_w * 1.15);
+  EXPECT_GT(s.efficiency_tflops_per_w(), 1.3 * d.efficiency_tflops_per_w());
+}
+
+TEST(Power, Fp32AccumulateDrawsMoreThanFp16) {
+  const auto acc16 = apply_power(mma_fp16(DType::kFp16), h800_pcie(), 489.0, true);
+  const auto acc32 = apply_power(mma_fp16(DType::kFp32), h800_pcie(), 489.0, true);
+  EXPECT_GT(acc32.power_w, acc16.power_w);
+}
+
+TEST(Power, IdleFloorAtZeroThroughput) {
+  const auto r = apply_power(mma_fp16(), h800_pcie(), 0.0, true);
+  EXPECT_DOUBLE_EQ(r.power_w, h800_pcie().power.idle_w);
+}
+
+}  // namespace
+}  // namespace hsim::tc

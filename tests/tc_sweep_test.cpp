@@ -1,0 +1,193 @@
+// Parameterised property sweeps over the tensor-core model: every legal
+// (device, path, dtype, shape, sparsity, source) combination must satisfy
+// the structural invariants — no cell-by-cell goldens, just laws.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/tcbench.hpp"
+#include "tensorcore/timing.hpp"
+
+namespace hsim::tc {
+namespace {
+
+using arch::DeviceSpec;
+using isa::OperandSource;
+using isa::TcInstr;
+using isa::TcPath;
+using num::DType;
+
+// ---------- mma sweep: device x dtype x shape x sparsity ----------
+
+struct MmaCase {
+  const DeviceSpec* device;
+  DType ab;
+  DType cd;
+  int k;
+  bool sparse;
+};
+
+std::vector<MmaCase> all_mma_cases() {
+  std::vector<MmaCase> cases;
+  const struct { DType ab; DType cd; int k_small; } combos[] = {
+      {DType::kFp16, DType::kFp16, 8}, {DType::kFp16, DType::kFp32, 8},
+      {DType::kBf16, DType::kFp32, 8}, {DType::kTf32, DType::kFp32, 4},
+      {DType::kInt8, DType::kInt32, 16},
+  };
+  for (const auto* device : arch::all_devices()) {
+    for (const auto& combo : combos) {
+      for (const int mult : {1, 2}) {
+        for (const bool sparse : {false, true}) {
+          cases.push_back({device, combo.ab, combo.cd,
+                           combo.k_small * mult * (sparse ? 2 : 1), sparse});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+class MmaSweep : public ::testing::TestWithParam<MmaCase> {};
+
+TEST_P(MmaSweep, StructuralInvariants) {
+  const auto& c = GetParam();
+  const TcInstr instr{.path = TcPath::kMma, .shape = {16, 8, c.k},
+                      .ab = c.ab, .cd = c.cd, .sparse = c.sparse};
+  const auto timing = tc_timing(instr, *c.device);
+  ASSERT_TRUE(timing.has_value()) << timing.error().to_string();
+  const auto& t = timing.value();
+
+  EXPECT_GT(t.latency, 0.0);
+  EXPECT_GT(t.cadence, 0.0);
+  EXPECT_TRUE(t.on_tensor_cores);
+
+  // Throughput never exceeds the (sparse-adjusted) architectural peak —
+  // evaluated at the device's own sustained clock.
+  const double peak_at_clock = c.device->tc_peak_tflops(c.ab) *
+                               (c.sparse ? 2.0 : 1.0) *
+                               c.device->clock_hz() /
+                               c.device->official_clock_hz();
+  EXPECT_LE(t.throughput_tflops(*c.device), peak_at_clock * 1.001);
+
+  // The bench harness agrees with the analytic model asymptotically.
+  const auto bench = core::bench_tc(instr, *c.device, {.iterations = 2048});
+  ASSERT_TRUE(bench.has_value());
+  EXPECT_NEAR(bench.value().latency_cycles, t.latency, 1e-6);
+  EXPECT_LE(bench.value().tflops_zero, t.throughput_tflops(*c.device) + 0.5);
+  EXPECT_GE(bench.value().tflops_zero, 0.98 * t.throughput_tflops(*c.device));
+  // Random data never exceeds zero-data throughput (DVFS only hurts).
+  EXPECT_LE(bench.value().tflops_rand, bench.value().tflops_zero + 1e-9);
+  // Power stays within the board envelope.
+  EXPECT_LE(bench.value().power_rand_w, c.device->power.board_limit_w + 1e-9);
+  EXPECT_GE(bench.value().power_zero_w, c.device->power.idle_w);
+}
+
+TEST_P(MmaSweep, SparseNeverSlowerThanDense) {
+  const auto& c = GetParam();
+  if (!c.sparse) GTEST_SKIP() << "dense case";
+  const TcInstr sparse{.path = TcPath::kMma, .shape = {16, 8, c.k},
+                       .ab = c.ab, .cd = c.cd, .sparse = true};
+  const TcInstr dense{.path = TcPath::kMma, .shape = {16, 8, c.k / 2},
+                      .ab = c.ab, .cd = c.cd, .sparse = false};
+  const auto s = tc_timing(sparse, *c.device);
+  const auto d = tc_timing(dense, *c.device);
+  ASSERT_TRUE(s && d);
+  EXPECT_GE(s.value().throughput_tflops(*c.device),
+            d.value().throughput_tflops(*c.device) * 0.999);
+  EXPECT_LE(s.value().throughput_tflops(*c.device),
+            d.value().throughput_tflops(*c.device) * 2.001);
+}
+
+std::string mma_case_name(const ::testing::TestParamInfo<MmaCase>& info) {
+  const auto& c = info.param;
+  std::string name;
+  switch (c.device->generation) {
+    case arch::Generation::kAmpere: name = "A100"; break;
+    case arch::Generation::kAda: name = "RTX4090"; break;
+    case arch::Generation::kHopper: name = "H800"; break;
+  }
+  name += "_" + std::string(num::to_string(c.ab)) + "_" +
+          std::string(num::to_string(c.cd)) + "_k" + std::to_string(c.k) +
+          (c.sparse ? "_sp" : "_d");
+  for (auto& ch : name) {
+    if (ch == '.') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevicesAndTypes, MmaSweep,
+                         ::testing::ValuesIn(all_mma_cases()), mma_case_name);
+
+// ---------- wgmma sweep: N x sparsity x source ----------
+
+struct WgmmaCase {
+  int n;
+  bool sparse;
+  OperandSource src;
+};
+
+class WgmmaSweep : public ::testing::TestWithParam<WgmmaCase> {};
+
+TEST_P(WgmmaSweep, StructuralInvariants) {
+  const auto& c = GetParam();
+  const auto& device = arch::h800_pcie();
+  const TcInstr instr{.path = TcPath::kWgmma,
+                      .shape = {64, c.n, c.sparse ? 32 : 16},
+                      .ab = DType::kFp16, .cd = DType::kFp32,
+                      .sparse = c.sparse, .a_src = c.src};
+  const auto timing = tc_timing(instr, device);
+  ASSERT_TRUE(timing.has_value());
+  const auto& t = timing.value();
+
+  const double peak = device.tc_peak_tflops(DType::kFp16) * (c.sparse ? 2 : 1);
+  EXPECT_LE(t.throughput_tflops(device), peak);
+  EXPECT_GE(t.latency, c.n / 2.0 - 1e-9);
+
+  // SS is never faster than RS, and never lower latency.
+  if (c.src == OperandSource::kSharedMemory) {
+    TcInstr rs = instr;
+    rs.a_src = OperandSource::kRegister;
+    const auto rs_t = tc_timing(rs, device).value();
+    EXPECT_LE(t.throughput_tflops(device),
+              rs_t.throughput_tflops(device) + 1e-9);
+    EXPECT_GE(t.latency, rs_t.latency);
+  }
+}
+
+TEST_P(WgmmaSweep, ThroughputMonotoneInN) {
+  const auto& c = GetParam();
+  if (c.n <= 8) GTEST_SKIP();
+  const auto& device = arch::h800_pcie();
+  const auto at_n = [&](int n) {
+    const TcInstr instr{.path = TcPath::kWgmma,
+                        .shape = {64, n, c.sparse ? 32 : 16},
+                        .ab = DType::kFp16, .cd = DType::kFp32,
+                        .sparse = c.sparse, .a_src = c.src};
+    return tc_timing(instr, device).value().throughput_tflops(device);
+  };
+  EXPECT_GE(at_n(c.n) + 1e-6, at_n(c.n / 2));
+}
+
+std::vector<WgmmaCase> all_wgmma_cases() {
+  std::vector<WgmmaCase> cases;
+  for (const int n : {8, 16, 32, 64, 128, 256}) {
+    for (const bool sparse : {false, true}) {
+      for (const auto src :
+           {OperandSource::kSharedMemory, OperandSource::kRegister}) {
+        cases.push_back({n, sparse, src});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NSweep, WgmmaSweep, ::testing::ValuesIn(all_wgmma_cases()),
+    [](const ::testing::TestParamInfo<WgmmaCase>& info) {
+      return "n" + std::to_string(info.param.n) +
+             (info.param.sparse ? "_sp" : "_d") +
+             (info.param.src == OperandSource::kSharedMemory ? "_ss" : "_rs");
+    });
+
+}  // namespace
+}  // namespace hsim::tc

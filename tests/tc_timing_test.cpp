@@ -1,0 +1,221 @@
+// Structural tensor-core timing: the paper's qualitative findings as
+// invariants (no golden numbers from the tables, only relationships).
+#include "tensorcore/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::tc {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+using isa::OperandSource;
+using isa::TcInstr;
+using isa::TcPath;
+using num::DType;
+
+TcInstr mma(DType ab, DType cd, int k, bool sparse = false) {
+  return {.path = TcPath::kMma, .shape = {16, 8, k}, .ab = ab, .cd = cd,
+          .sparse = sparse};
+}
+TcInstr wgmma_n(int n, bool sparse, OperandSource src) {
+  return {.path = TcPath::kWgmma, .shape = {64, n, sparse ? 32 : 16},
+          .ab = DType::kFp16, .cd = DType::kFp32, .sparse = sparse,
+          .a_src = src};
+}
+
+TEST(MmaTiming, LatencyGrowsWithK) {
+  for (const auto* device : arch::all_devices()) {
+    const auto k8 = tc_timing(mma(DType::kFp16, DType::kFp16, 8), *device);
+    const auto k16 = tc_timing(mma(DType::kFp16, DType::kFp16, 16), *device);
+    ASSERT_TRUE(k8 && k16);
+    EXPECT_GT(k16.value().latency, k8.value().latency) << device->name;
+  }
+}
+
+TEST(MmaTiming, SparseLatencyEqualsDenseOfCompressedShape) {
+  for (const auto* device : arch::all_devices()) {
+    const auto dense = tc_timing(mma(DType::kFp16, DType::kFp16, 8), *device);
+    const auto sparse =
+        tc_timing(mma(DType::kFp16, DType::kFp16, 16, true), *device);
+    ASSERT_TRUE(dense && sparse);
+    EXPECT_DOUBLE_EQ(sparse.value().latency, dense.value().latency)
+        << device->name;
+  }
+}
+
+TEST(MmaTiming, SparseDoublesThroughputOnAda) {
+  const auto dense = tc_timing(mma(DType::kFp16, DType::kFp16, 16), rtx4090());
+  const auto sparse =
+      tc_timing(mma(DType::kFp16, DType::kFp16, 32, true), rtx4090());
+  ASSERT_TRUE(dense && sparse);
+  const double speedup = sparse.value().throughput_tflops(rtx4090()) /
+                         dense.value().throughput_tflops(rtx4090());
+  EXPECT_NEAR(speedup, 2.0, 0.05);
+}
+
+TEST(MmaTiming, SmallSparseShapesMissTwoXOnAmpere) {
+  const auto dense = tc_timing(mma(DType::kFp16, DType::kFp16, 8), a100_pcie());
+  const auto sparse =
+      tc_timing(mma(DType::kFp16, DType::kFp16, 16, true), a100_pcie());
+  ASSERT_TRUE(dense && sparse);
+  const double speedup = sparse.value().throughput_tflops(a100_pcie()) /
+                         dense.value().throughput_tflops(a100_pcie());
+  EXPECT_LT(speedup, 1.6);  // the paper measured ~1.32x
+  EXPECT_GT(speedup, 1.1);
+  // Large sparse shapes do reach ~2x.
+  const auto dense16 =
+      tc_timing(mma(DType::kFp16, DType::kFp16, 16), a100_pcie());
+  const auto sparse32 =
+      tc_timing(mma(DType::kFp16, DType::kFp16, 32, true), a100_pcie());
+  const double speedup_large =
+      sparse32.value().throughput_tflops(a100_pcie()) /
+      dense16.value().throughput_tflops(a100_pcie());
+  EXPECT_NEAR(speedup_large, 2.0, 0.1);
+}
+
+TEST(MmaTiming, HopperMmaWellBelowPeak) {
+  // The headline: mma on Hopper averages ~63% of peak.
+  double total_fraction = 0;
+  int count = 0;
+  for (const auto& [ab, cd, k] :
+       {std::tuple{DType::kFp16, DType::kFp16, 16},
+        std::tuple{DType::kTf32, DType::kFp32, 8},
+        std::tuple{DType::kInt8, DType::kInt32, 32}}) {
+    const auto t = tc_timing(mma(ab, cd, k), h800_pcie());
+    ASSERT_TRUE(t.has_value());
+    total_fraction += t.value().throughput_tflops(h800_pcie()) /
+                      h800_pcie().tc_peak_tflops(ab);
+    ++count;
+  }
+  const double avg = total_fraction / count;
+  EXPECT_GT(avg, 0.55);
+  EXPECT_LT(avg, 0.72);
+}
+
+TEST(MmaTiming, AmpereAndAdaNearPeak) {
+  const auto a100 = tc_timing(mma(DType::kFp16, DType::kFp16, 16), a100_pcie());
+  EXPECT_GT(a100.value().throughput_tflops(a100_pcie()) /
+                a100_pcie().tc_peak_tflops(DType::kFp16),
+            0.95);
+  const auto ada = tc_timing(mma(DType::kFp16, DType::kFp16, 16), rtx4090());
+  // The 4090 exceeds its official peak thanks to its real sustained clock.
+  EXPECT_GT(ada.value().throughput_tflops(rtx4090()) /
+                rtx4090().tc_peak_tflops(DType::kFp16),
+            1.0);
+}
+
+TEST(MmaTiming, AdaFp32AccumHalfRate) {
+  const auto acc16 = tc_timing(mma(DType::kFp16, DType::kFp16, 16), rtx4090());
+  const auto acc32 = tc_timing(mma(DType::kFp16, DType::kFp32, 16), rtx4090());
+  EXPECT_NEAR(acc16.value().throughput_tflops(rtx4090()) /
+                  acc32.value().throughput_tflops(rtx4090()),
+              2.0, 0.05);
+  // Data-centre parts run FP32 accumulate at full rate.
+  const auto h16 = tc_timing(mma(DType::kFp16, DType::kFp16, 16), h800_pcie());
+  const auto h32 = tc_timing(mma(DType::kFp16, DType::kFp32, 16), h800_pcie());
+  EXPECT_NEAR(h16.value().throughput_tflops(h800_pcie()) /
+                  h32.value().throughput_tflops(h800_pcie()),
+              1.0, 0.01);
+}
+
+TEST(MmaTiming, Int4OffTensorCoresOnHopper) {
+  const auto hopper = tc_timing(mma(DType::kInt4, DType::kInt32, 32), h800_pcie());
+  ASSERT_TRUE(hopper.has_value());
+  EXPECT_FALSE(hopper.value().on_tensor_cores);
+  const auto ampere = tc_timing(mma(DType::kInt4, DType::kInt32, 32), a100_pcie());
+  ASSERT_TRUE(ampere.has_value());
+  EXPECT_TRUE(ampere.value().on_tensor_cores);
+  // And the CUDA-core fallback is dramatically slower.
+  EXPECT_GT(ampere.value().throughput_tflops(a100_pcie()),
+            20.0 * hopper.value().throughput_tflops(h800_pcie()));
+}
+
+// ---------- wgmma ----------
+
+TEST(WgmmaTiming, LatencyScalesWithNAboveFloor) {
+  for (const int n : {64, 128, 256}) {
+    const auto t = tc_timing(wgmma_n(n, false, OperandSource::kRegister),
+                             h800_pcie());
+    ASSERT_TRUE(t.has_value());
+    EXPECT_DOUBLE_EQ(t.value().latency, n / 2.0);
+  }
+}
+
+TEST(WgmmaTiming, SparseSsLatencyAlwaysPlus16) {
+  for (const int n : {8, 32, 64, 256}) {
+    const auto t = tc_timing(wgmma_n(n, true, OperandSource::kSharedMemory),
+                             h800_pcie());
+    ASSERT_TRUE(t.has_value());
+    EXPECT_DOUBLE_EQ(t.value().latency, n / 2.0 + 16.0);
+  }
+}
+
+TEST(WgmmaTiming, NearPeakAtLargeN) {
+  const auto t =
+      tc_timing(wgmma_n(256, false, OperandSource::kSharedMemory), h800_pcie());
+  EXPECT_GT(t.value().throughput_tflops(h800_pcie()) /
+                h800_pcie().tc_peak_tflops(DType::kFp16),
+            0.95);
+}
+
+TEST(WgmmaTiming, ThroughputFallsBelowN64) {
+  double prev = 1e18;
+  for (const int n : {256, 64, 32, 16, 8}) {
+    const auto t = tc_timing(wgmma_n(n, false, OperandSource::kSharedMemory),
+                             h800_pcie());
+    const double tput = t.value().throughput_tflops(h800_pcie());
+    EXPECT_LE(tput, prev + 1.0) << n;
+    prev = tput;
+  }
+  const auto n64 =
+      tc_timing(wgmma_n(64, false, OperandSource::kSharedMemory), h800_pcie());
+  const auto n32 =
+      tc_timing(wgmma_n(32, false, OperandSource::kSharedMemory), h800_pcie());
+  EXPECT_GT(n64.value().throughput_tflops(h800_pcie()),
+            1.3 * n32.value().throughput_tflops(h800_pcie()));
+}
+
+TEST(WgmmaTiming, DenseSsEqualsRsAtLargeN) {
+  const auto ss =
+      tc_timing(wgmma_n(256, false, OperandSource::kSharedMemory), h800_pcie());
+  const auto rs =
+      tc_timing(wgmma_n(256, false, OperandSource::kRegister), h800_pcie());
+  EXPECT_NEAR(ss.value().throughput_tflops(h800_pcie()),
+              rs.value().throughput_tflops(h800_pcie()), 1.0);
+  EXPECT_DOUBLE_EQ(ss.value().latency, rs.value().latency);
+}
+
+TEST(WgmmaTiming, SparseSsCannotReachSparseRs) {
+  const auto ss =
+      tc_timing(wgmma_n(256, true, OperandSource::kSharedMemory), h800_pcie());
+  const auto rs =
+      tc_timing(wgmma_n(256, true, OperandSource::kRegister), h800_pcie());
+  EXPECT_LT(ss.value().throughput_tflops(h800_pcie()),
+            0.92 * rs.value().throughput_tflops(h800_pcie()));
+  EXPECT_GT(ss.value().latency, rs.value().latency);
+}
+
+TEST(WgmmaTiming, BelowN32RsBeatsSs) {
+  for (const int n : {8, 16, 32}) {
+    const auto ss = tc_timing(wgmma_n(n, false, OperandSource::kSharedMemory),
+                              h800_pcie());
+    const auto rs =
+        tc_timing(wgmma_n(n, false, OperandSource::kRegister), h800_pcie());
+    EXPECT_GT(rs.value().throughput_tflops(h800_pcie()),
+              ss.value().throughput_tflops(h800_pcie()))
+        << n;
+    EXPECT_LT(rs.value().latency, ss.value().latency) << n;
+  }
+}
+
+TEST(KBase, PerDtype) {
+  EXPECT_EQ(k_base(DType::kFp16), 8);
+  EXPECT_EQ(k_base(DType::kTf32), 4);
+  EXPECT_EQ(k_base(DType::kInt8), 16);
+  EXPECT_EQ(k_base(DType::kBinary), 256);
+}
+
+}  // namespace
+}  // namespace hsim::tc

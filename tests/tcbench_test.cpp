@@ -1,0 +1,80 @@
+// Tensor-core bench harness: measured latency equals the timing model's,
+// throughput ramps correctly, Zero/Rand and SASS plumbing.
+#include "core/tcbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::core {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using isa::OperandSource;
+using isa::TcInstr;
+using isa::TcPath;
+using num::DType;
+
+TEST(TcBench, LatencyMatchesModel) {
+  const TcInstr instr{.path = TcPath::kMma, .shape = {16, 8, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp16};
+  const auto bench = bench_tc(instr, a100_pcie()).value();
+  const auto model = tc::tc_timing(instr, a100_pcie()).value();
+  EXPECT_NEAR(bench.latency_cycles, model.latency, 1e-9);
+}
+
+TEST(TcBench, ThroughputApproachesAnalyticAsymptote) {
+  const TcInstr instr{.path = TcPath::kMma, .shape = {16, 8, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp16};
+  const auto bench = bench_tc(instr, a100_pcie()).value();
+  const auto model = tc::tc_timing(instr, a100_pcie()).value();
+  const double asymptote = model.throughput_tflops(a100_pcie());
+  EXPECT_LT(bench.tflops_zero, asymptote);          // ramp loss
+  EXPECT_GT(bench.tflops_zero, 0.97 * asymptote);   // ...but small
+}
+
+TEST(TcBench, MoreIterationsCloserToPeak) {
+  const TcInstr instr{.path = TcPath::kMma, .shape = {16, 8, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp16};
+  const auto few = bench_tc(instr, a100_pcie(), {.iterations = 64}).value();
+  const auto many = bench_tc(instr, a100_pcie(), {.iterations = 4096}).value();
+  EXPECT_GT(many.tflops_zero, few.tflops_zero);
+}
+
+TEST(TcBench, RandThrottlesWgmmaButNotZero) {
+  const TcInstr instr{.path = TcPath::kWgmma, .shape = {64, 256, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp32,
+                      .a_src = OperandSource::kSharedMemory};
+  const auto bench = bench_tc(instr, h800_pcie()).value();
+  EXPECT_TRUE(bench.throttled);
+  EXPECT_LT(bench.tflops_rand, bench.tflops_zero);
+  EXPECT_DOUBLE_EQ(bench.power_rand_w, h800_pcie().power.board_limit_w);
+  EXPECT_LT(bench.power_zero_w, 200.0);
+  EXPECT_LT(bench.clock_rand_mhz, h800_pcie().observed_clock_mhz);
+}
+
+TEST(TcBench, SassIncluded) {
+  const TcInstr instr{.path = TcPath::kMma, .shape = {16, 8, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp32};
+  EXPECT_EQ(bench_tc(instr, h800_pcie()).value().sass, "HMMA.16816.F32");
+}
+
+TEST(TcBench, ErrorsPropagate) {
+  const TcInstr fp8_mma{.path = TcPath::kMma, .shape = {16, 8, 32},
+                        .ab = DType::kFp8E4M3, .cd = DType::kFp32};
+  EXPECT_FALSE(bench_tc(fp8_mma, h800_pcie()).has_value());
+  const TcInstr wgmma_instr{.path = TcPath::kWgmma, .shape = {64, 256, 16},
+                            .ab = DType::kFp16, .cd = DType::kFp32};
+  EXPECT_FALSE(bench_tc(wgmma_instr, a100_pcie()).has_value());
+}
+
+TEST(TcBench, Int4FallbackFlagged) {
+  const TcInstr instr{.path = TcPath::kMma, .shape = {16, 8, 64},
+                      .ab = DType::kInt4, .cd = DType::kInt32};
+  const auto bench = bench_tc(instr, h800_pcie()).value();
+  EXPECT_FALSE(bench.on_tensor_cores);
+  EXPECT_EQ(bench.sass, "IMAD.MOV.U32");
+  EXPECT_LT(bench.tflops_zero, 100.0);  // CUDA-core rates, not TC rates
+}
+
+}  // namespace
+}  // namespace hsim::core

@@ -1,0 +1,78 @@
+// te.LayerNormMLP: the fused module's FP8 advantage over the unfused
+// composition (the paper's stated rationale for the fusion).
+#include <gtest/gtest.h>
+
+#include "te/transformer.hpp"
+
+namespace hsim::te {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using num::DType;
+
+TEST(LayerNormMlp, FusionRemovesFp8InputCasts) {
+  const CostModel model(h800_pcie());
+  const auto cfg = paper_layer_config(4096).value();
+  const auto fused =
+      layernorm_mlp_forward(model, cfg, DType::kFp8E4M3, true).value();
+  const auto unfused =
+      layernorm_mlp_forward(model, cfg, DType::kFp8E4M3, false).value();
+  EXPECT_LT(fused.seconds, unfused.seconds);
+  EXPECT_LT(fused.cast_seconds, unfused.cast_seconds);
+  // The down projection's cast remains in both variants.
+  EXPECT_GT(fused.cast_seconds, 0.0);
+}
+
+TEST(LayerNormMlp, FusionIrrelevantForFp16) {
+  const CostModel model(h800_pcie());
+  const auto cfg = paper_layer_config(4096).value();
+  const auto fused = layernorm_mlp_forward(model, cfg, DType::kFp16, true).value();
+  const auto unfused =
+      layernorm_mlp_forward(model, cfg, DType::kFp16, false).value();
+  EXPECT_DOUBLE_EQ(fused.seconds, unfused.seconds);
+  EXPECT_EQ(fused.cast_seconds, 0.0);
+}
+
+TEST(LayerNormMlp, Fp8NormWritesFewerBytes) {
+  const CostModel model(h800_pcie());
+  const auto cfg = paper_layer_config(8192).value();
+  const auto fp16 = layernorm_mlp_forward(model, cfg, DType::kFp16, true).value();
+  const auto fp8 = layernorm_mlp_forward(model, cfg, DType::kFp8E4M3, true).value();
+  // The fused FP8 norm writes 1-byte outputs: cheaper than the FP16 norm.
+  EXPECT_LT(fp8.norm_seconds, fp16.norm_seconds);
+}
+
+TEST(LayerNormMlp, Fp8WinsAtLargeHiddenOnly) {
+  const CostModel model(h800_pcie());
+  const auto small = paper_layer_config(1024).value();
+  const auto large = paper_layer_config(8192).value();
+  const auto small16 = layernorm_mlp_forward(model, small, DType::kFp16).value();
+  const auto small8 =
+      layernorm_mlp_forward(model, small, DType::kFp8E4M3).value();
+  // At hidden 1024 FP8 offers no meaningful win (within ~25%).
+  EXPECT_LT(small16.seconds, small8.seconds * 1.25);
+  const auto large16 = layernorm_mlp_forward(model, large, DType::kFp16).value();
+  const auto large8 =
+      layernorm_mlp_forward(model, large, DType::kFp8E4M3).value();
+  EXPECT_GT(large16.seconds, large8.seconds);
+}
+
+TEST(LayerNormMlp, Fp8UnsupportedOnAmpere) {
+  const CostModel model(a100_pcie());
+  const auto cfg = paper_layer_config(4096).value();
+  EXPECT_FALSE(layernorm_mlp_forward(model, cfg, DType::kFp8E4M3).has_value());
+  EXPECT_TRUE(layernorm_mlp_forward(model, cfg, DType::kFp16).has_value());
+}
+
+TEST(LayerNormMlp, CheaperThanTheWholeLayer) {
+  const CostModel model(h800_pcie());
+  const auto cfg = paper_layer_config(4096).value();
+  const auto mlp = layernorm_mlp_forward(model, cfg, DType::kFp16).value();
+  const auto layer = transformer_layer_forward(model, cfg, DType::kFp16).value();
+  EXPECT_LT(mlp.seconds, layer.seconds);
+  EXPECT_GT(mlp.seconds, 0.3 * layer.seconds);  // the MLP dominates a layer
+}
+
+}  // namespace
+}  // namespace hsim::te

@@ -1,0 +1,138 @@
+// LLM generation model: memory accounting / OOM cells, throughput
+// orderings, workload synthesis.
+#include "te/llm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::te {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+using num::DType;
+
+TEST(Llama, ParameterCounts) {
+  EXPECT_NEAR(llama_3b().parameters(), 3.4e9, 0.2e9);
+  EXPECT_NEAR(llama2_7b().parameters(), 6.7e9, 0.3e9);
+  EXPECT_NEAR(llama2_13b().parameters(), 13.0e9, 0.5e9);
+}
+
+TEST(ShareGpt, LengthsClippedAndPositive) {
+  Xoshiro256ss rng(1);
+  const auto requests = synthesize_sharegpt(500, 128, 128, rng);
+  EXPECT_EQ(requests.size(), 500u);
+  int at_cap = 0;
+  for (const auto& request : requests) {
+    EXPECT_GE(request.input_len, 4);
+    EXPECT_LE(request.input_len, 128);
+    EXPECT_GE(request.output_len, 4);
+    EXPECT_LE(request.output_len, 128);
+    if (request.input_len == 128) ++at_cap;
+  }
+  // Heavy tail: a sizeable fraction hits the clip.
+  EXPECT_GT(at_cap, 50);
+  EXPECT_LT(at_cap, 450);
+}
+
+TEST(ShareGpt, DeterministicPerSeed) {
+  Xoshiro256ss a(9), b(9);
+  const auto ra = synthesize_sharegpt(32, 128, 128, a);
+  const auto rb = synthesize_sharegpt(32, 128, 128, b);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].input_len, rb[i].input_len);
+    EXPECT_EQ(ra[i].output_len, rb[i].output_len);
+  }
+}
+
+TEST(Generation, OomCellsMatchTableXII) {
+  const GenerationSetup setup{};
+  // RTX4090 (24 GB): 7B FP32 and FP8 OOM, BF16 fits.
+  const CostModel ada(rtx4090());
+  EXPECT_TRUE(run_generation(ada, llama2_7b(), DType::kFp32, setup).value().oom);
+  EXPECT_FALSE(run_generation(ada, llama2_7b(), DType::kBf16, setup).value().oom);
+  EXPECT_TRUE(
+      run_generation(ada, llama2_7b(), DType::kFp8E4M3, setup).value().oom);
+  EXPECT_FALSE(run_generation(ada, llama_3b(), DType::kFp32, setup).value().oom);
+  // A100 (40 GB): 13B FP32 OOM, BF16 fits.
+  const CostModel ampere(a100_pcie());
+  EXPECT_TRUE(
+      run_generation(ampere, llama2_13b(), DType::kFp32, setup).value().oom);
+  EXPECT_FALSE(
+      run_generation(ampere, llama2_13b(), DType::kBf16, setup).value().oom);
+  // H800 (80 GB): everything fits.
+  const CostModel hopper(h800_pcie());
+  for (const auto& model : {llama_3b(), llama2_7b(), llama2_13b()}) {
+    for (const auto dtype : {DType::kFp32, DType::kBf16, DType::kFp8E4M3}) {
+      EXPECT_FALSE(run_generation(hopper, model, dtype, setup).value().oom)
+          << model.name;
+    }
+  }
+}
+
+TEST(Generation, Fp8UnsupportedOnAmpere) {
+  const CostModel ampere(a100_pcie());
+  EXPECT_FALSE(
+      run_generation(ampere, llama_3b(), DType::kFp8E4M3, {}).has_value());
+}
+
+TEST(Generation, Fp16RejectedAsDtype) {
+  const CostModel hopper(h800_pcie());
+  EXPECT_FALSE(run_generation(hopper, llama_3b(), DType::kFp16, {}).has_value());
+}
+
+TEST(Generation, DecodeIsNotComputeBound) {
+  // FP8's 4x compute advantage must NOT show up: on H800 FP8 is the
+  // *slowest* dtype for 3B (paper Table XII).
+  const CostModel hopper(h800_pcie());
+  const auto fp32 = run_generation(hopper, llama_3b(), DType::kFp32, {}).value();
+  const auto fp8 =
+      run_generation(hopper, llama_3b(), DType::kFp8E4M3, {}).value();
+  EXPECT_GT(fp32.tokens_per_second, fp8.tokens_per_second);
+}
+
+TEST(Generation, Bf16BeatsFp32ForBigModels) {
+  // Weight traffic dominates at 7B+: halving bytes wins despite casts.
+  const CostModel hopper(h800_pcie());
+  const auto fp32 = run_generation(hopper, llama2_7b(), DType::kFp32, {}).value();
+  const auto bf16 = run_generation(hopper, llama2_7b(), DType::kBf16, {}).value();
+  EXPECT_GT(bf16.tokens_per_second, fp32.tokens_per_second);
+}
+
+TEST(Generation, ThroughputDropsWithModelSize) {
+  const CostModel hopper(h800_pcie());
+  const auto small = run_generation(hopper, llama_3b(), DType::kBf16, {}).value();
+  const auto mid = run_generation(hopper, llama2_7b(), DType::kBf16, {}).value();
+  const auto big = run_generation(hopper, llama2_13b(), DType::kBf16, {}).value();
+  EXPECT_GT(small.tokens_per_second, mid.tokens_per_second);
+  EXPECT_GT(mid.tokens_per_second, big.tokens_per_second);
+}
+
+TEST(Generation, H800OutpacesA100) {
+  const auto h =
+      run_generation(CostModel(h800_pcie()), llama2_7b(), DType::kBf16, {})
+          .value();
+  const auto a =
+      run_generation(CostModel(a100_pcie()), llama2_7b(), DType::kBf16, {})
+          .value();
+  EXPECT_GT(h.tokens_per_second, a.tokens_per_second);
+}
+
+TEST(Generation, MemoryAccountingFields) {
+  const CostModel hopper(h800_pcie());
+  const auto r = run_generation(hopper, llama2_7b(), DType::kBf16, {}).value();
+  EXPECT_NEAR(r.weight_bytes, llama2_7b().parameters() * 2.0, 1e6);
+  EXPECT_GT(r.kv_cache_bytes, 0.0);
+  EXPECT_GT(r.total_device_bytes, r.weight_bytes + r.kv_cache_bytes);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Generation, ThroughputInPlausibleRange) {
+  const CostModel hopper(h800_pcie());
+  const auto r = run_generation(hopper, llama_3b(), DType::kFp32, {}).value();
+  EXPECT_GT(r.tokens_per_second, 300.0);
+  EXPECT_LT(r.tokens_per_second, 1200.0);
+}
+
+}  // namespace
+}  // namespace hsim::te

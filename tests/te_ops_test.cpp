@@ -1,0 +1,178 @@
+// TE cost model: GEMM wave/tile behaviour, linear-layer profiles, the
+// transformer layer composition.
+#include <gtest/gtest.h>
+
+#include "te/linear.hpp"
+#include "te/ops.hpp"
+#include "te/transformer.hpp"
+
+namespace hsim::te {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+using num::DType;
+
+TEST(CostModel, PeakRatesByDtype) {
+  const CostModel model(h800_pcie());
+  // FP32 GEMMs route through TF32 tensor cores on sm_80+.
+  EXPECT_NEAR(model.gemm_peak_flops(DType::kFp32).value(), 378e12, 1e10);
+  EXPECT_NEAR(model.gemm_peak_flops(DType::kFp16).value(), 756.5e12, 1e10);
+  EXPECT_NEAR(model.gemm_peak_flops(DType::kFp8E4M3).value(), 1513e12, 1e10);
+  EXPECT_FALSE(CostModel(a100_pcie()).gemm_peak_flops(DType::kFp8E4M3)
+                   .has_value());
+}
+
+TEST(CostModel, GemmEfficiencyGrowsWithSize) {
+  const CostModel model(h800_pcie());
+  double prev_eff = 0;
+  for (const std::int64_t n : {512, 1024, 4096, 16384}) {
+    const double seconds = model.gemm_seconds(n, n, n, DType::kFp16).value();
+    const double eff = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n) / seconds /
+                       model.gemm_peak_flops(DType::kFp16).value();
+    EXPECT_GT(eff, prev_eff) << n;
+    prev_eff = eff;
+  }
+  EXPECT_GT(prev_eff, 0.85);  // near peak at 16k
+}
+
+TEST(CostModel, SkinnyGemmIsMemoryBound) {
+  const CostModel model(h800_pcie());
+  // m=8 decode-style GEMM: the weight matrix read dominates.
+  const double seconds = model.gemm_seconds(8, 4096, 4096, DType::kFp16).value();
+  const double weight_bytes = 4096.0 * 4096.0 * 2.0;
+  EXPECT_GT(seconds, weight_bytes / model.mem_bandwidth());
+  const double compute = 2.0 * 8 * 4096 * 4096 /
+                         model.gemm_peak_flops(DType::kFp16).value();
+  EXPECT_GT(seconds, 20.0 * compute);
+}
+
+TEST(CostModel, ElementwiseIncludesLaunchOverhead) {
+  const CostModel model(h800_pcie());
+  EXPECT_GE(model.elementwise_seconds(0.0), kKernelLaunchSeconds);
+  EXPECT_NEAR(model.elementwise_seconds(1e9),
+              1e9 / model.mem_bandwidth() + kKernelLaunchSeconds, 1e-9);
+}
+
+TEST(CostModel, RejectsBadDims) {
+  const CostModel model(h800_pcie());
+  EXPECT_FALSE(model.gemm_seconds(0, 8, 8, DType::kFp16).has_value());
+  EXPECT_FALSE(model.gemm_seconds(8, -1, 8, DType::kFp16).has_value());
+}
+
+TEST(Linear, Fp8ProfileHasConversionSlices) {
+  const CostModel model(h800_pcie());
+  const auto profile = linear_square(model, 4096, DType::kFp8E4M3).value();
+  EXPECT_GT(profile.fraction("gemm_fp8"), 0.2);
+  EXPECT_GT(profile.fraction("cast_input"), 0.0);
+  EXPECT_GT(profile.fraction("cast_weight"), 0.0);
+  EXPECT_GT(profile.fraction("amax"), 0.0);
+  EXPECT_GT(profile.fraction("rescale"), 0.0);
+  EXPECT_NEAR(profile.fraction("gemm_fp8") + profile.fraction("cast_input") +
+                  profile.fraction("cast_weight") + profile.fraction("amax") +
+                  profile.fraction("rescale"),
+              1.0, 1e-9);
+}
+
+TEST(Linear, ConversionShareShrinksWithN) {
+  const CostModel model(h800_pcie());
+  const auto small = linear_square(model, 1024, DType::kFp8E4M3).value();
+  const auto large = linear_square(model, 16384, DType::kFp8E4M3).value();
+  EXPECT_GT(small.fraction("cast_input") + small.fraction("cast_weight"),
+            2.0 * (large.fraction("cast_input") + large.fraction("cast_weight")));
+  EXPECT_LT(small.fraction("gemm_fp8"), large.fraction("gemm_fp8"));
+}
+
+TEST(Linear, Fp8CrossoverAboveMidSizes) {
+  const CostModel model(h800_pcie());
+  const auto fp16_small = linear_square(model, 1024, DType::kFp16).value();
+  const auto fp8_small = linear_square(model, 1024, DType::kFp8E4M3).value();
+  EXPECT_GT(fp16_small.gflops, fp8_small.gflops);  // overhead dominates
+  const auto fp16_large = linear_square(model, 16384, DType::kFp16).value();
+  const auto fp8_large = linear_square(model, 16384, DType::kFp8E4M3).value();
+  EXPECT_GT(fp8_large.gflops, 1.4 * fp16_large.gflops);
+}
+
+TEST(Linear, A100HasNoFp8Row) {
+  const CostModel model(a100_pcie());
+  EXPECT_FALSE(linear_square(model, 4096, DType::kFp8E4M3).has_value());
+  EXPECT_TRUE(linear_square(model, 4096, DType::kFp16).has_value());
+}
+
+TEST(TransformerLayer, PaperTableIIConfigs) {
+  const auto cfg = paper_layer_config(4096).value();
+  EXPECT_EQ(cfg.ffn_hidden_size, 11008);
+  EXPECT_EQ(cfg.num_attention_heads, 32);
+  EXPECT_EQ(cfg.batch, 4);
+  EXPECT_EQ(cfg.seq_len, 512);
+  EXPECT_EQ(paper_layer_config(8192).value().ffn_hidden_size, 22016);
+  EXPECT_FALSE(paper_layer_config(3000).has_value());
+}
+
+TEST(TransformerLayer, Fp16RoughlyHalvesFp32) {
+  const CostModel model(h800_pcie());
+  const auto cfg = paper_layer_config(8192).value();
+  const auto fp32 = transformer_layer_forward(model, cfg, DType::kFp32).value();
+  const auto fp16 = transformer_layer_forward(model, cfg, DType::kFp16).value();
+  const double speedup = fp32.seconds / fp16.seconds;
+  EXPECT_GT(speedup, 1.6);
+  EXPECT_LT(speedup, 2.4);
+}
+
+TEST(TransformerLayer, Fp8WinsOnlyAtLargeHidden) {
+  const CostModel model(h800_pcie());
+  const auto small = paper_layer_config(1024).value();
+  const auto large = paper_layer_config(8192).value();
+  const auto fp16_small =
+      transformer_layer_forward(model, small, DType::kFp16).value();
+  const auto fp8_small =
+      transformer_layer_forward(model, small, DType::kFp8E4M3).value();
+  EXPECT_LT(fp16_small.seconds, fp8_small.seconds);
+  const auto fp16_large =
+      transformer_layer_forward(model, large, DType::kFp16).value();
+  const auto fp8_large =
+      transformer_layer_forward(model, large, DType::kFp8E4M3).value();
+  EXPECT_GT(fp16_large.seconds, fp8_large.seconds);
+  // ...but never the full 2x: attention and norms stay FP16.
+  EXPECT_LT(fp16_large.seconds / fp8_large.seconds, 1.9);
+}
+
+TEST(TransformerLayer, Fp8CastOverheadTracked) {
+  const CostModel model(h800_pcie());
+  const auto cfg = paper_layer_config(4096).value();
+  const auto fp8 = transformer_layer_forward(model, cfg, DType::kFp8E4M3).value();
+  EXPECT_GT(fp8.cast_seconds, 0.0);
+  const auto fp16 = transformer_layer_forward(model, cfg, DType::kFp16).value();
+  EXPECT_EQ(fp16.cast_seconds, 0.0);
+}
+
+TEST(TransformerLayer, ComponentsSumToTotal) {
+  const CostModel model(h800_pcie());
+  const auto cfg = paper_layer_config(2048).value();
+  const auto p = transformer_layer_forward(model, cfg, DType::kFp16).value();
+  EXPECT_GT(p.attention_seconds, 0.0);
+  EXPECT_GT(p.mlp_seconds, 0.0);
+  EXPECT_GT(p.norm_seconds, 0.0);
+  EXPECT_LE(p.attention_seconds + p.mlp_seconds + p.norm_seconds,
+            p.seconds + 1e-12);
+}
+
+TEST(TransformerLayer, H800FastestDevice) {
+  const auto cfg = paper_layer_config(8192).value();
+  const auto h =
+      transformer_layer_forward(CostModel(h800_pcie()), cfg, DType::kFp16)
+          .value();
+  const auto a =
+      transformer_layer_forward(CostModel(a100_pcie()), cfg, DType::kFp16)
+          .value();
+  const auto g =
+      transformer_layer_forward(CostModel(rtx4090()), cfg, DType::kFp16)
+          .value();
+  EXPECT_LT(h.seconds, a.seconds);
+  EXPECT_LT(h.seconds, g.seconds);
+}
+
+}  // namespace
+}  // namespace hsim::te

@@ -1,0 +1,81 @@
+// FP8 scaling quantisation (the TE conversion pipeline).
+#include "te/quantize.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hsim::te {
+namespace {
+
+using num::DType;
+
+TEST(Quantize, ScaleMapsAmaxToMaxFinite) {
+  const std::vector<float> data{0.5f, -896.0f, 3.0f};
+  const float scale = compute_scale(data, DType::kFp8E4M3);
+  EXPECT_FLOAT_EQ(scale, 896.0f / 448.0f);
+  const auto q = quantize(data, DType::kFp8E4M3, scale);
+  const auto back = dequantize(q);
+  EXPECT_FLOAT_EQ(back[1], -896.0f);  // amax is exactly representable
+}
+
+TEST(Quantize, ZeroTensorScaleOne) {
+  const std::vector<float> zeros(8, 0.0f);
+  EXPECT_EQ(compute_scale(zeros, DType::kFp8E4M3), 1.0f);
+  const auto q = quantize(zeros, DType::kFp8E4M3);
+  for (const float v : dequantize(q)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Quantize, RoundTripErrorBounded) {
+  Xoshiro256ss rng(3);
+  std::vector<float> data(1024);
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-10.0, 10.0));
+  const auto q = quantize(data, DType::kFp8E4M3);
+  const auto back = dequantize(q);
+  // E4M3 has a 3-bit mantissa: relative error <= 2^-4 for normal values.
+  const double err = max_rel_error(data, back);
+  EXPECT_LT(err, 1.0 / 16.0 + 1e-6);
+  EXPECT_GT(err, 1e-4);  // it is genuinely lossy
+}
+
+TEST(Quantize, E5m2TradesPrecisionForRange) {
+  Xoshiro256ss rng(4);
+  std::vector<float> data(512);
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto e4m3 = dequantize(quantize(data, DType::kFp8E4M3));
+  const auto e5m2 = dequantize(quantize(data, DType::kFp8E5M2));
+  EXPECT_LT(max_rel_error(data, e4m3), max_rel_error(data, e5m2));
+}
+
+TEST(Quantize, SaturatesInsteadOfOverflowing) {
+  // With a stale (delayed-scaling) scale, new larger values must clamp.
+  const std::vector<float> data{1000.0f};
+  const auto q = quantize(data, DType::kFp8E4M3, /*scale=*/1.0f);
+  const auto back = dequantize(q);
+  EXPECT_EQ(back[0], 448.0f);
+}
+
+TEST(Quantize, ValuesStoredAsRealFp8Bits) {
+  const std::vector<float> data{448.0f};
+  const auto q = quantize(data, DType::kFp8E4M3, 1.0f);
+  EXPECT_EQ(q.values[0], 0x7E);  // E4M3 max finite bit pattern
+}
+
+TEST(Quantize, NegativeValuesKeepSign) {
+  const std::vector<float> data{-2.0f, 2.0f};
+  const auto back = dequantize(quantize(data, DType::kFp8E4M3, 1.0f));
+  EXPECT_EQ(back[0], -2.0f);
+  EXPECT_EQ(back[1], 2.0f);
+}
+
+TEST(MaxRelError, IgnoresExactZeros) {
+  const std::vector<float> a{0.0f, 1.0f};
+  const std::vector<float> b{5.0f, 1.1f};
+  EXPECT_NEAR(max_rel_error(a, b), 0.1, 1e-6);
+}
+
+}  // namespace
+}  // namespace hsim::te

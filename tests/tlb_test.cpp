@@ -1,0 +1,47 @@
+#include "mem/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hsim::mem {
+namespace {
+
+constexpr std::uint64_t kPage = 2ull << 20;
+
+TEST(Tlb, MissThenHit) {
+  Tlb tlb(4, kPage);
+  EXPECT_FALSE(tlb.access(0));
+  EXPECT_TRUE(tlb.access(0));
+  EXPECT_TRUE(tlb.access(kPage - 1));  // same page
+  EXPECT_FALSE(tlb.access(kPage));     // next page
+  EXPECT_EQ(tlb.hits(), 2u);
+  EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, LruEviction) {
+  Tlb tlb(2, kPage);
+  tlb.access(0 * kPage);
+  tlb.access(1 * kPage);
+  tlb.access(0 * kPage);      // refresh page 0
+  tlb.access(2 * kPage);      // evicts page 1
+  EXPECT_TRUE(tlb.access(0 * kPage));
+  EXPECT_FALSE(tlb.access(1 * kPage));
+}
+
+TEST(Tlb, WorkingSetWithinCapacityStaysResident) {
+  Tlb tlb(64, kPage);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t p = 0; p < 64; ++p) tlb.access(p * kPage);
+  }
+  EXPECT_EQ(tlb.hits(), 64u);
+  EXPECT_EQ(tlb.misses(), 64u);
+}
+
+TEST(Tlb, FlushDropsEverything) {
+  Tlb tlb(8, kPage);
+  tlb.access(0);
+  tlb.flush();
+  EXPECT_FALSE(tlb.access(0));
+}
+
+}  // namespace
+}  // namespace hsim::mem

@@ -1,0 +1,93 @@
+// The legacy wmma API: validation, lowering and the Table I performance
+// ladder (wmma < mma < wgmma).
+#include <gtest/gtest.h>
+
+#include "core/tcbench.hpp"
+#include "isa/ptx.hpp"
+#include "tensorcore/timing.hpp"
+
+namespace hsim::isa {
+namespace {
+
+using arch::a100_pcie;
+using arch::h800_pcie;
+using arch::rtx4090;
+using num::DType;
+
+TcInstr wmma(DType ab, DType cd, TcShape shape = {16, 16, 16}) {
+  return {.path = TcPath::kWmma, .shape = shape, .ab = ab, .cd = cd};
+}
+
+TEST(Wmma, LegalShapes) {
+  EXPECT_TRUE(validate(wmma(DType::kFp16, DType::kFp16)).has_value());
+  EXPECT_TRUE(validate(wmma(DType::kFp16, DType::kFp32, {32, 8, 16})).has_value());
+  EXPECT_TRUE(validate(wmma(DType::kFp16, DType::kFp32, {8, 32, 16})).has_value());
+  EXPECT_TRUE(validate(wmma(DType::kTf32, DType::kFp32, {16, 16, 8})).has_value());
+  EXPECT_FALSE(validate(wmma(DType::kFp16, DType::kFp16, {16, 8, 16})).has_value());
+  EXPECT_FALSE(validate(wmma(DType::kTf32, DType::kFp32, {16, 16, 16})).has_value());
+}
+
+TEST(Wmma, CannotExpressSparsityOrFp8) {
+  TcInstr sparse = wmma(DType::kFp16, DType::kFp16);
+  sparse.sparse = true;
+  EXPECT_FALSE(validate(sparse).has_value());
+  EXPECT_FALSE(validate(wmma(DType::kFp8E4M3, DType::kFp16)).has_value());
+  EXPECT_FALSE(validate(wmma(DType::kInt4, DType::kInt32)).has_value());
+}
+
+TEST(Wmma, PtxName) {
+  EXPECT_EQ(wmma(DType::kFp16, DType::kFp32).ptx_name(),
+            "wmma.mma.sync.aligned.m16n16k16.row.col.f32.f16");
+}
+
+TEST(Wmma, LowersToPairedNativeMma) {
+  EXPECT_EQ(compile_to_sass(wmma(DType::kFp16, DType::kFp16), h800_pcie()).value(),
+            "2x HMMA.16816.F16");
+  EXPECT_EQ(compile_to_sass(wmma(DType::kFp16, DType::kFp32), a100_pcie()).value(),
+            "2x HMMA.16816.F32");
+  EXPECT_EQ(compile_to_sass(wmma(DType::kTf32, DType::kFp32, {16, 16, 8}),
+                            rtx4090())
+                .value(),
+            "2x HMMA.1688.F32.TF32");
+  EXPECT_EQ(compile_to_sass(wmma(DType::kInt8, DType::kInt32), h800_pcie()).value(),
+            "2x IMMA.16816.S8.S8");
+}
+
+TEST(Wmma, SlowerThanMmaEverywhere) {
+  for (const auto* device : arch::all_devices()) {
+    const auto w = tc::tc_timing(wmma(DType::kFp16, DType::kFp16), *device);
+    const TcInstr mma{.path = TcPath::kMma, .shape = {16, 8, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp16};
+    const auto m = tc::tc_timing(mma, *device);
+    ASSERT_TRUE(w && m) << device->name;
+    EXPECT_LT(w.value().throughput_tflops(*device),
+              m.value().throughput_tflops(*device))
+        << device->name;
+    EXPECT_GT(w.value().latency, m.value().latency) << device->name;
+    // But not catastrophically slower: within ~35% of mma.
+    EXPECT_GT(w.value().throughput_tflops(*device),
+              0.6 * m.value().throughput_tflops(*device))
+        << device->name;
+  }
+}
+
+TEST(Wmma, HopperLadderWmmaMmaWgmma) {
+  const auto w =
+      core::bench_tc(wmma(DType::kFp16, DType::kFp16), h800_pcie()).value();
+  const TcInstr mma{.path = TcPath::kMma, .shape = {16, 8, 16},
+                    .ab = DType::kFp16, .cd = DType::kFp16};
+  const auto m = core::bench_tc(mma, h800_pcie()).value();
+  const TcInstr wgmma{.path = TcPath::kWgmma, .shape = {64, 256, 16},
+                      .ab = DType::kFp16, .cd = DType::kFp16,
+                      .a_src = OperandSource::kSharedMemory};
+  const auto g = core::bench_tc(wgmma, h800_pcie()).value();
+  EXPECT_LT(w.tflops_zero, m.tflops_zero);
+  EXPECT_LT(m.tflops_zero, g.tflops_zero);
+}
+
+TEST(Wmma, OpsAccounting) {
+  EXPECT_EQ(wmma(DType::kFp16, DType::kFp16).ops(), 2.0 * 16 * 16 * 16);
+}
+
+}  // namespace
+}  // namespace hsim::isa

@@ -1,0 +1,282 @@
+// hsim — command-line probe for the simulator, mirroring how one would
+// poke real silicon with the paper's microbenchmarks.
+//
+//   hsim devices
+//   hsim pchase    <device> [l1|l2|shared|global]
+//   hsim bandwidth <device>
+//   hsim sass      <device> <mma|wgmma|wmma> <dtype> [kN] [sparse]
+//   hsim tc        <device> <mma|wgmma|wmma> <dtype> [nN] [sparse] [rs|ss]
+//   hsim dpx       <device> <function-name>
+//   hsim dsm       [cluster-size] [block-threads] [ilp]
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/table.hpp"
+#include "core/dpxbench.hpp"
+#include "core/membench.hpp"
+#include "core/pchase.hpp"
+#include "core/tcbench.hpp"
+#include "dsm/rbc.hpp"
+
+namespace {
+
+using namespace hsim;
+
+int usage() {
+  std::cerr <<
+      "usage: hsim <command> ...\n"
+      "  devices                                   list the device registry\n"
+      "  pchase <device> [l1|l2|shared|global]     p-chase latency\n"
+      "  bandwidth <device>                        per-level throughput\n"
+      "  sass <device> <mma|wgmma|wmma> <dtype> [kN] [sparse]\n"
+      "  tc <device> <mma|wgmma|wmma> <dtype> [nN] [sparse] [rs|ss]\n"
+      "  dpx <device> <function>                   e.g. __viaddmax_s32_relu\n"
+      "  dsm [cs] [threads] [ilp]                  SM-to-SM ring copy (H800)\n";
+  return 2;
+}
+
+Expected<num::DType> parse_dtype(std::string_view text) {
+  using num::DType;
+  if (text == "fp16") return DType::kFp16;
+  if (text == "bf16") return DType::kBf16;
+  if (text == "tf32") return DType::kTf32;
+  if (text == "fp8" || text == "e4m3") return DType::kFp8E4M3;
+  if (text == "e5m2") return DType::kFp8E5M2;
+  if (text == "int8" || text == "s8") return DType::kInt8;
+  if (text == "int4" || text == "s4") return DType::kInt4;
+  if (text == "b1" || text == "binary") return DType::kBinary;
+  return invalid_argument("unknown dtype: " + std::string(text));
+}
+
+num::DType default_acc(num::DType ab) {
+  return num::is_integer(ab) ? num::DType::kInt32 : num::DType::kFp32;
+}
+
+Expected<isa::TcInstr> parse_tc(const std::vector<std::string>& args) {
+  if (args.size() < 2) return invalid_argument("need <path> <dtype>");
+  isa::TcInstr instr;
+  if (args[0] == "mma") {
+    instr.path = isa::TcPath::kMma;
+    instr.shape = {16, 8, 16};
+  } else if (args[0] == "wgmma") {
+    instr.path = isa::TcPath::kWgmma;
+    instr.shape = {64, 256, 16};
+    instr.a_src = isa::OperandSource::kSharedMemory;
+  } else if (args[0] == "wmma") {
+    instr.path = isa::TcPath::kWmma;
+    instr.shape = {16, 16, 16};
+  } else {
+    return invalid_argument("path must be mma, wgmma or wmma");
+  }
+  auto ab = parse_dtype(args[1]);
+  if (!ab) return ab.error();
+  instr.ab = ab.value();
+  instr.cd = default_acc(instr.ab);
+
+  int k_unit = 16;
+  switch (instr.ab) {
+    case num::DType::kTf32: k_unit = instr.path == isa::TcPath::kMma ? 8 : 8; break;
+    case num::DType::kFp8E4M3:
+    case num::DType::kFp8E5M2:
+    case num::DType::kInt8: k_unit = instr.path == isa::TcPath::kMma ? 32 : 32; break;
+    case num::DType::kInt4: k_unit = 64; break;
+    case num::DType::kBinary: k_unit = 256; break;
+    default: break;
+  }
+  if (instr.path != isa::TcPath::kWmma) instr.shape.k = k_unit;
+  if (instr.path == isa::TcPath::kWmma && instr.ab == num::DType::kTf32) {
+    instr.shape = {16, 16, 8};
+  }
+
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    if (arg == "sparse") {
+      instr.sparse = true;
+      instr.shape.k *= 2;
+    } else if (arg == "rs") {
+      instr.a_src = isa::OperandSource::kRegister;
+    } else if (arg == "ss") {
+      instr.a_src = isa::OperandSource::kSharedMemory;
+    } else if (arg.size() > 1 && (arg[0] == 'n' || arg[0] == 'k')) {
+      const int value = std::atoi(arg.c_str() + 1);
+      if (value <= 0) return invalid_argument("bad shape argument: " + arg);
+      (arg[0] == 'n' ? instr.shape.n : instr.shape.k) = value;
+    } else {
+      return invalid_argument("unknown option: " + arg);
+    }
+  }
+  return instr;
+}
+
+int cmd_devices() {
+  Table table("Device registry");
+  table.set_header({"Name", "CC", "SMs", "Boost MHz", "Mem", "TC gen",
+                    "DPX", "DSM", "TMA"});
+  for (const auto* device : arch::all_devices()) {
+    table.add_row({device->name, device->cc_string(),
+                   std::to_string(device->sm_count),
+                   fmt_fixed(device->boost_clock_mhz, 0),
+                   fmt_fixed(static_cast<double>(device->memory.dram_bytes) /
+                                 (1024.0 * 1024.0 * 1024.0), 0) +
+                       "GB " + device->memory.dram_type,
+                   std::to_string(device->tc.generation),
+                   device->dpx.hardware ? "hw" : "emu",
+                   device->dsm.available ? "yes" : "no",
+                   device->has_tma ? "yes" : "no"});
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+int cmd_pchase(const arch::DeviceSpec& device, const std::string& level_name) {
+  const auto level = [&]() -> Expected<mem::MemLevel> {
+    if (level_name == "l1") return mem::MemLevel::kL1;
+    if (level_name == "l2") return mem::MemLevel::kL2;
+    if (level_name == "shared") return mem::MemLevel::kShared;
+    if (level_name == "global") return mem::MemLevel::kDram;
+    return invalid_argument("unknown level: " + level_name);
+  }();
+  if (!level) {
+    std::cerr << level.error().to_string() << "\n";
+    return 1;
+  }
+  const auto result = core::pchase(device, level.value());
+  if (!result) {
+    std::cerr << result.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << device.name << " " << mem::to_string(level.value())
+            << " latency: " << fmt_fixed(result.value().avg_latency_cycles, 1)
+            << " cycles over " << result.value().accesses
+            << " dependent accesses (hit rate "
+            << fmt_fixed(100 * result.value().hit_rate, 1) << "%)\n";
+  return 0;
+}
+
+int cmd_bandwidth(const arch::DeviceSpec& device) {
+  Table table(device.name + ": memory throughput");
+  table.set_header({"Level", "FP32", "FP64", "FP32.v4", "unit"});
+  const auto fmt = [](const Expected<core::ThroughputResult>& r) {
+    return r ? fmt_fixed(r.value().bytes_per_clk, 1) : std::string("err");
+  };
+  table.add_row({"L1 (per SM)",
+                 fmt(core::measure_l1_throughput(device, core::AccessKind::kFp32)),
+                 fmt(core::measure_l1_throughput(device, core::AccessKind::kFp64)),
+                 fmt(core::measure_l1_throughput(device, core::AccessKind::kFp32V4)),
+                 "B/clk"});
+  table.add_row({"L2 (device)",
+                 fmt(core::measure_l2_throughput(device, core::AccessKind::kFp32)),
+                 fmt(core::measure_l2_throughput(device, core::AccessKind::kFp64)),
+                 fmt(core::measure_l2_throughput(device, core::AccessKind::kFp32V4)),
+                 "B/clk"});
+  const auto shared = core::measure_shared_throughput(device);
+  const auto global = core::measure_global_throughput(device);
+  table.add_row({"Shared (per SM)", fmt(shared), "-", "-", "B/clk"});
+  table.add_row({"Global", global ? fmt_fixed(global.value().gbps, 1) : "err",
+                 "-", "-", "GB/s"});
+  table.render(std::cout);
+  return 0;
+}
+
+int cmd_tc(const arch::DeviceSpec& device, const std::vector<std::string>& args,
+           bool sass_only) {
+  const auto instr = parse_tc(args);
+  if (!instr) {
+    std::cerr << instr.error().to_string() << "\n";
+    return 1;
+  }
+  const auto sass = isa::compile_to_sass(instr.value(), device);
+  std::cout << instr.value().ptx_name() << "\n  -> "
+            << (sass ? sass.value() : sass.error().to_string()) << "\n";
+  if (sass_only || !sass) return sass ? 0 : 1;
+  const auto result = core::bench_tc(instr.value(), device);
+  if (!result) {
+    std::cerr << result.error().to_string() << "\n";
+    return 1;
+  }
+  const auto& r = result.value();
+  std::cout << "  latency " << fmt_fixed(r.latency_cycles, 1) << " cycles\n"
+            << "  throughput " << fmt_fixed(r.tflops_zero, 1)
+            << " TFLOPS (zeros) / " << fmt_fixed(r.tflops_rand, 1)
+            << " TFLOPS (random" << (r.throttled ? ", throttled" : "") << ")\n"
+            << "  power " << fmt_fixed(r.power_zero_w, 0) << " W -> "
+            << fmt_fixed(r.power_rand_w, 0) << " W\n";
+  return 0;
+}
+
+int cmd_dpx(const arch::DeviceSpec& device, const std::string& name) {
+  for (const auto func : dpx::kAllFuncs) {
+    if (dpx::name(func) != name) continue;
+    const auto latency = core::dpx_latency(device, func);
+    const auto throughput = core::dpx_throughput(device, func);
+    if (!latency || !throughput) return 1;
+    std::cout << name << " on " << device.name << " ("
+              << (device.dpx.hardware ? "hardware" : "emulated") << ")\n"
+              << "  latency " << fmt_fixed(latency.value().cycles_per_call, 1)
+              << " cycles/call\n";
+    if (throughput.value().measurable) {
+      std::cout << "  throughput "
+                << fmt_fixed(throughput.value().gcalls_per_sec, 0)
+                << " Gcalls/s device-wide\n";
+    } else {
+      std::cout << "  throughput not measurable when emulated (compiler "
+                   "folds the predicate form)\n";
+    }
+    return 0;
+  }
+  std::cerr << "unknown DPX function; known names:\n";
+  for (const auto func : dpx::kAllFuncs) std::cerr << "  " << dpx::name(func) << "\n";
+  return 1;
+}
+
+int cmd_dsm(int cs, int threads, int ilp) {
+  const auto result = dsm::run_rbc(
+      arch::h800_pcie(), {.cluster_size = cs, .block_threads = threads, .ilp = ilp});
+  if (!result) {
+    std::cerr << result.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "ring copy, cluster " << cs << ", " << threads << " threads, ILP "
+            << ilp << ": " << fmt_fixed(result.value().total_tbps, 2)
+            << " TB/s aggregate ("
+            << fmt_fixed(result.value().bytes_per_clk_per_sm, 1) << " B/clk/SM)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  if (command == "devices") return cmd_devices();
+  if (command == "dsm") {
+    return cmd_dsm(args.size() > 0 ? std::atoi(args[0].c_str()) : 2,
+                   args.size() > 1 ? std::atoi(args[1].c_str()) : 1024,
+                   args.size() > 2 ? std::atoi(args[2].c_str()) : 4);
+  }
+
+  if (args.empty()) return usage();
+  const auto device = arch::find_device(args[0]);
+  if (!device) {
+    std::cerr << device.error().to_string() << "\n";
+    return 1;
+  }
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  if (command == "pchase") {
+    return cmd_pchase(*device.value(), rest.empty() ? "l1" : rest[0]);
+  }
+  if (command == "bandwidth") return cmd_bandwidth(*device.value());
+  if (command == "sass") return cmd_tc(*device.value(), rest, /*sass_only=*/true);
+  if (command == "tc") return cmd_tc(*device.value(), rest, /*sass_only=*/false);
+  if (command == "dpx") {
+    if (rest.empty()) return usage();
+    return cmd_dpx(*device.value(), rest[0]);
+  }
+  return usage();
+}

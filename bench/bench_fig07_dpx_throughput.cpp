@@ -1,7 +1,12 @@
 // Fig 7: DPX throughput per SM and the launched-block sweep whose sawtooth
 // (drops just past each multiple of the SM count) locates the DPX unit at
 // SM level.
+//
+// The function x device grid and every block count of the H800 sweep are
+// independent points on the parallel sweep engine; output is bit-identical
+// at any --threads value.
 #include <iostream>
+#include <optional>
 
 #include "bench/bench_util.hpp"
 #include "core/dpxbench.hpp"
@@ -12,50 +17,74 @@ int main(int argc, char** argv) {
 
   const arch::DeviceSpec* devices[] = {&arch::rtx4090(), &arch::a100_pcie(),
                                        &arch::h800_pcie()};
-
-  Table table("Fig 7 (left): DPX throughput (Gcalls/s device-wide)");
-  table.set_header({"Function", "RTX4090", "A100", "H800"});
   const dpx::Func funcs[] = {
       dpx::Func::kViAddMaxS32,      dpx::Func::kViAddMaxS32Relu,
       dpx::Func::kViMax3S32,        dpx::Func::kViMax3S32Relu,
       dpx::Func::kViBMaxS32,        dpx::Func::kViAddMaxS16x2,
       dpx::Func::kViAddMaxS16x2Relu, dpx::Func::kViMax3S16x2Relu,
   };
-  for (const auto func : funcs) {
-    std::vector<std::string> cells{std::string(dpx::name(func))};
-    for (const auto* device : devices) {
-      const auto r = core::dpx_throughput(*device, func);
+  constexpr std::size_t kDevices = 3;
+  constexpr std::size_t kFuncs = 8;
+
+  sim::CycleReport report;
+  const auto grid = sim::sweep(
+      kFuncs * kDevices,
+      [&](sim::SweepContext& ctx) -> std::optional<core::DpxThroughputResult> {
+        const auto func = funcs[ctx.index() / kDevices];
+        const auto* device = devices[ctx.index() % kDevices];
+        auto result = core::dpx_throughput(*device, func);
+        if (!result) return std::nullopt;
+        if (result.value().measurable) ctx.record(result.value().usage);
+        return std::move(result).value();
+      },
+      bench::sweep_options(opt), &report);
+
+  Table table("Fig 7 (left): DPX throughput (Gcalls/s device-wide)");
+  table.set_header({"Function", "RTX4090", "A100", "H800"});
+  for (std::size_t f = 0; f < kFuncs; ++f) {
+    std::vector<std::string> cells{std::string(dpx::name(funcs[f]))};
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      const auto& r = grid[f * kDevices + d];
       if (!r) {
         cells.push_back("err");
         continue;
       }
-      cells.push_back(r.value().measurable ? fmt_fixed(r.value().gcalls_per_sec, 0)
-                                           : "n/a");
+      cells.push_back(r->measurable ? fmt_fixed(r->gcalls_per_sec, 0) : "n/a");
     }
     table.add_row(std::move(cells));
   }
   bench::emit(table, opt);
 
-  // Block sweep on H800: the wave-quantisation sawtooth.
+  // Block sweep on H800: the wave-quantisation sawtooth.  Each block count
+  // is an independent launch, so the sweep fans them out too.
   const auto& h800 = arch::h800_pcie();
   const int sms = h800.sm_count;
+  const int max_blocks = opt.quick ? sms + 8 : 2 * sms + 8;
+  const auto points = sim::sweep(
+      static_cast<std::size_t>(max_blocks),
+      [&](sim::SweepContext& ctx) -> std::optional<core::DpxSweepPoint> {
+        const int blocks = static_cast<int>(ctx.index()) + 1;
+        auto point = core::dpx_block_point(h800, dpx::Func::kViMax3S32, blocks);
+        if (!point) return std::nullopt;
+        return point.value();
+      },
+      bench::sweep_options(opt));
+
   Table sweep("Fig 7 (right): H800 __vimax3_s32 throughput vs launched blocks");
   sweep.set_header({"blocks", "Gcalls/s", "note"});
-  const auto points = core::dpx_block_sweep(h800, dpx::Func::kViMax3S32,
-                                            opt.quick ? sms + 8 : 2 * sms + 8);
-  if (points) {
-    for (const auto& point : points.value()) {
-      std::string note;
-      if (point.blocks == sms) note = "<- full wave (" + std::to_string(sms) + " SMs)";
-      if (point.blocks == sms + 1) note = "<- throughput plummets";
-      if (point.blocks == 2 * sms) note = "<- second full wave";
-      // Print a decimated set plus the interesting neighbourhood.
-      if (point.blocks % 16 == 0 || !note.empty() || point.blocks <= 4) {
-        sweep.add_row({std::to_string(point.blocks),
-                       fmt_fixed(point.gcalls_per_sec, 0), note});
-      }
+  for (const auto& point : points) {
+    if (!point) continue;
+    std::string note;
+    if (point->blocks == sms) note = "<- full wave (" + std::to_string(sms) + " SMs)";
+    if (point->blocks == sms + 1) note = "<- throughput plummets";
+    if (point->blocks == 2 * sms) note = "<- second full wave";
+    // Print a decimated set plus the interesting neighbourhood.
+    if (point->blocks % 16 == 0 || !note.empty() || point->blocks <= 4) {
+      sweep.add_row({std::to_string(point->blocks),
+                     fmt_fixed(point->gcalls_per_sec, 0), note});
     }
   }
   bench::emit(sweep, opt);
+  bench::write_report(report, opt, argv[0]);
   return 0;
 }

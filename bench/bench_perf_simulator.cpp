@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "mem/cache.hpp"
 #include "numerics/formats.hpp"
+#include "sim/sweep.hpp"
 #include "sm/sm_core.hpp"
 #include "tensorcore/mma_func.hpp"
 
@@ -52,6 +53,45 @@ void BM_FunctionalMma(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * 16 * 8 * 16);
 }
 BENCHMARK(BM_FunctionalMma);
+
+// The parallel sweep engine over a batch of SmCore simulations — the shape
+// every paper-table bench now has.  Run with --benchmark_filter=Sweep to
+// compare thread counts: results are bit-identical across them, and on a
+// 4+-core host the 4-thread row should be >= 2x faster than the 1-thread
+// row (wall clock; the sweep is embarrassingly parallel).
+void BM_SweepEngineSmCore(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kPoints = 32;
+  isa::Program program;
+  for (int i = 0; i < 8; ++i) {
+    program.add({.op = isa::Opcode::kFAdd, .rd = 10 + i, .ra = 1, .rb = 2});
+  }
+  program.set_iterations(64);
+  double checksum = 0;
+  for (auto _ : state) {
+    sim::SweepOptions options;
+    options.threads = threads;
+    options.seed = 42;
+    const auto cycles = sim::sweep(
+        kPoints,
+        [&](sim::SweepContext&) {
+          sm::SmCore core(arch::h800_pcie(), nullptr);
+          return core.run(program, {.threads_per_block = 256, .blocks = 1})
+              .cycles;
+        },
+        options);
+    checksum = cycles.front();
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kPoints);
+}
+BENCHMARK(BM_SweepEngineSmCore)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SmCoreCycles(benchmark::State& state) {
   isa::Program program;

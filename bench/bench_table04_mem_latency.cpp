@@ -1,6 +1,12 @@
 // Table IV: latency clocks of different memory scopes on RTX4090 / A100 /
 // H800, measured with the p-chase microbenchmark.
+//
+// All twelve (level, device) cells are independent sweep points, fanned
+// across the parallel sweep engine; the rendered tables are bit-identical
+// at any --threads value because each point runs its own MemorySystem with
+// a seed derived from the point index.
 #include <iostream>
+#include <optional>
 
 #include "bench/bench_util.hpp"
 #include "core/pchase.hpp"
@@ -8,9 +14,6 @@
 int main(int argc, char** argv) {
   using namespace hsim;
   const auto opt = bench::parse_options(argc, argv);
-
-  Table table("Table IV: Latency clocks of different memory scopes");
-  table.set_header({"Type", "RTX4090", "A100", "H800"});
 
   const arch::DeviceSpec* devices[] = {&arch::rtx4090(), &arch::a100_pcie(),
                                        &arch::h800_pcie()};
@@ -23,16 +26,34 @@ int main(int argc, char** argv) {
       {"L2 Cache", mem::MemLevel::kL2},
       {"Global", mem::MemLevel::kDram},
   };
+  constexpr std::size_t kDevices = 3;
+  constexpr std::size_t kRows = 4;
 
-  for (const auto& row : rows) {
-    std::vector<std::string> cells{row.label};
-    for (const auto* device : devices) {
-      const auto result = core::pchase(*device, row.level);
-      if (!result) {
-        cells.push_back("err");
-        continue;
-      }
-      cells.push_back(fmt_fixed(result.value().avg_latency_cycles, 1));
+  sim::CycleReport report;
+  const auto results = sim::sweep(
+      kRows * kDevices,
+      [&](sim::SweepContext& ctx) -> std::optional<core::PChaseResult> {
+        const auto& row = rows[ctx.index() / kDevices];
+        const auto* device = devices[ctx.index() % kDevices];
+        core::PChaseConfig config;
+        config.seed = ctx.seed();
+        auto result = core::pchase(*device, row.level, config);
+        if (!result) return std::nullopt;
+        ctx.record(result.value().usage);
+        return std::move(result).value();
+      },
+      bench::sweep_options(opt), &report);
+  const auto cell = [&](std::size_t row, std::size_t dev) {
+    return results[row * kDevices + dev];
+  };
+
+  Table table("Table IV: Latency clocks of different memory scopes");
+  table.set_header({"Type", "RTX4090", "A100", "H800"});
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::vector<std::string> cells{rows[r].label};
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      const auto& result = cell(r, d);
+      cells.push_back(result ? fmt_fixed(result->avg_latency_cycles, 1) : "err");
     }
     table.add_row(std::move(cells));
   }
@@ -41,17 +62,16 @@ int main(int argc, char** argv) {
   // Companion finding from the paper: cross-level latency ratios.
   Table ratios("Latency ratios (paper: L2/L1 ~ 6.5x, Global/L2 ~ 1.9x)");
   ratios.set_header({"Device", "L2/L1", "Global/L2"});
-  for (const auto* device : devices) {
-    const auto l1 = core::pchase(*device, mem::MemLevel::kL1);
-    const auto l2 = core::pchase(*device, mem::MemLevel::kL2);
-    const auto dram = core::pchase(*device, mem::MemLevel::kDram);
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    const auto& l1 = cell(0, d);
+    const auto& l2 = cell(2, d);
+    const auto& dram = cell(3, d);
     if (!l1 || !l2 || !dram) continue;
-    ratios.add_row({device->name,
-                    fmt_fixed(l2.value().avg_latency_cycles /
-                                  l1.value().avg_latency_cycles, 2),
-                    fmt_fixed(dram.value().avg_latency_cycles /
-                                  l2.value().avg_latency_cycles, 2)});
+    ratios.add_row({devices[d]->name,
+                    fmt_fixed(l2->avg_latency_cycles / l1->avg_latency_cycles, 2),
+                    fmt_fixed(dram->avg_latency_cycles / l2->avg_latency_cycles, 2)});
   }
   bench::emit(ratios, opt);
+  bench::write_report(report, opt, argv[0]);
   return 0;
 }

@@ -1,12 +1,31 @@
 // Table V: throughput at different memory levels (FP32 / FP64 / FP32.v4)
 // plus the L2-vs-global ratio the paper highlights.
+//
+// Every (level, device, access-kind) measurement is an independent sweep
+// point over the parallel sweep engine; tables render from the ordered
+// result vector, so the output is bit-identical at any --threads value.
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/membench.hpp"
 
+namespace {
+
+using namespace hsim;
+
+enum class Kind : std::uint8_t { kL1, kL2, kShared, kGlobal };
+
+struct Point {
+  Kind kind;
+  const arch::DeviceSpec* device;
+  core::AccessKind access;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace hsim;
   const auto opt = bench::parse_options(argc, argv);
 
   const arch::DeviceSpec* devices[] = {&arch::rtx4090(), &arch::a100_pcie(),
@@ -15,13 +34,67 @@ int main(int argc, char** argv) {
                                     core::AccessKind::kFp64,
                                     core::AccessKind::kFp32V4};
 
+  // Flat sweep-point list; table rendering below indexes into it.
+  std::vector<Point> points;
+  for (const auto* device : devices) {
+    for (const auto kind : kinds) points.push_back({Kind::kL1, device, kind});
+  }
+  for (const auto* device : devices) {
+    for (const auto kind : kinds) points.push_back({Kind::kL2, device, kind});
+  }
+  for (const auto* device : devices) {
+    points.push_back({Kind::kShared, device, core::AccessKind::kFp32});
+  }
+  for (const auto* device : devices) {
+    points.push_back({Kind::kGlobal, device, core::AccessKind::kFp32V4});
+  }
+
+  sim::CycleReport report;
+  const auto results = sim::sweep(
+      points.size(),
+      [&](sim::SweepContext& ctx) -> std::optional<core::ThroughputResult> {
+        const auto& point = points[ctx.index()];
+        Expected<core::ThroughputResult> result = [&] {
+          switch (point.kind) {
+            case Kind::kL1:
+              return core::measure_l1_throughput(*point.device, point.access);
+            case Kind::kL2:
+              return core::measure_l2_throughput(*point.device, point.access);
+            case Kind::kShared:
+              return core::measure_shared_throughput(*point.device);
+            case Kind::kGlobal:
+            default:
+              return core::measure_global_throughput(*point.device);
+          }
+        }();
+        if (!result) return std::nullopt;
+        ctx.record(result.value().usage);
+        return std::move(result).value();
+      },
+      bench::sweep_options(opt), &report);
+
+  constexpr std::size_t kDevices = 3;
+  constexpr std::size_t kKinds = 3;
+  const auto l1_cell = [&](std::size_t d, std::size_t k) {
+    return results[d * kKinds + k];
+  };
+  const auto l2_cell = [&](std::size_t d, std::size_t k) {
+    return results[kDevices * kKinds + d * kKinds + k];
+  };
+  const auto shared_cell = [&](std::size_t d) {
+    return results[2 * kDevices * kKinds + d];
+  };
+  const auto global_cell = [&](std::size_t d) {
+    return results[2 * kDevices * kKinds + kDevices + d];
+  };
+
   Table l1("Table V (a): L1 cache throughput (byte/clk/SM)");
   l1.set_header({"Device", "FP32", "FP64", "FP32.v4"});
-  for (const auto* device : devices) {
-    std::vector<std::string> cells{device->name};
-    for (const auto kind : kinds) {
-      const auto r = core::measure_l1_throughput(*device, kind);
-      cells.push_back(r ? fmt_fixed(r.value().bytes_per_clk, 1) : "err");
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    std::vector<std::string> cells{devices[d]->name};
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      const auto& r = l1_cell(d, k);
+      cells.push_back(r ? fmt_fixed(r->bytes_per_clk, 1) : "err");
     }
     l1.add_row(std::move(cells));
   }
@@ -29,11 +102,11 @@ int main(int argc, char** argv) {
 
   Table l2("Table V (b): L2 cache throughput (byte/clk, device-wide)");
   l2.set_header({"Device", "FP32", "FP64", "FP32.v4"});
-  for (const auto* device : devices) {
-    std::vector<std::string> cells{device->name};
-    for (const auto kind : kinds) {
-      const auto r = core::measure_l2_throughput(*device, kind);
-      cells.push_back(r ? fmt_fixed(r.value().bytes_per_clk, 1) : "err");
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    std::vector<std::string> cells{devices[d]->name};
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      const auto& r = l2_cell(d, k);
+      cells.push_back(r ? fmt_fixed(r->bytes_per_clk, 1) : "err");
     }
     l2.add_row(std::move(cells));
   }
@@ -42,25 +115,25 @@ int main(int argc, char** argv) {
   Table rest("Table V (c): shared memory, global memory and L2-vs-global");
   rest.set_header({"Device", "Shared (byte/clk/SM)", "Global (GB/s)",
                    "Global/peak", "L2 vs Global"});
-  for (const auto* device : devices) {
-    const auto shared = core::measure_shared_throughput(*device);
-    const auto global = core::measure_global_throughput(*device);
-    const auto l2a = core::measure_l2_throughput(*device, core::AccessKind::kFp32);
-    const auto l2b =
-        core::measure_l2_throughput(*device, core::AccessKind::kFp32V4);
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    const auto* device = devices[d];
+    const auto& shared = shared_cell(d);
+    const auto& global = global_cell(d);
+    const auto& l2a = l2_cell(d, 0);   // FP32
+    const auto& l2b = l2_cell(d, 2);   // FP32.v4
     if (!shared || !global || !l2a || !l2b) continue;
     // The paper quotes the best L2 figure against global bandwidth at the
     // official boost clock.
-    const double l2_best =
-        std::max(l2a.value().bytes_per_clk, l2b.value().bytes_per_clk);
+    const double l2_best = std::max(l2a->bytes_per_clk, l2b->bytes_per_clk);
     const double global_bpc =
-        global.value().gbps * 1e9 / device->official_clock_hz();
+        global->gbps * 1e9 / device->official_clock_hz();
     const double ratio = l2_best / global_bpc;
-    rest.add_row({device->name, fmt_fixed(shared.value().bytes_per_clk, 1),
-                  fmt_fixed(global.value().gbps, 1),
-                  fmt_fixed(global.value().gbps / device->memory.dram_peak_gbps, 3),
+    rest.add_row({device->name, fmt_fixed(shared->bytes_per_clk, 1),
+                  fmt_fixed(global->gbps, 1),
+                  fmt_fixed(global->gbps / device->memory.dram_peak_gbps, 3),
                   fmt_fixed(ratio, 2) + "x"});
   }
   bench::emit(rest, opt);
+  bench::write_report(report, opt, argv[0]);
   return 0;
 }

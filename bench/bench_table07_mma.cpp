@@ -1,7 +1,12 @@
 // Table VII: dense and sparse mma latency / throughput on A100, RTX4090
 // and H800 tensor cores.
-#include <tuple>
+//
+// The 8 shapes x 3 devices x {dense, sparse} grid runs as independent
+// points on the parallel sweep engine; the findings table reuses the dense
+// results, so every instruction is timed exactly once.
 #include <iostream>
+#include <optional>
+#include <tuple>
 
 #include "bench/bench_util.hpp"
 #include "core/tcbench.hpp"
@@ -25,64 +30,81 @@ int main(int argc, char** argv) {
       {DType::kTf32, DType::kFp32, 4},  {DType::kTf32, DType::kFp32, 8},
       {DType::kInt8, DType::kInt32, 16}, {DType::kInt8, DType::kInt32, 32},
   };
+  constexpr std::size_t kRows = 8;
+  constexpr std::size_t kDevices = 3;
+
+  // Point layout: (row, device, dense|sparse) flattened row-major.
+  sim::CycleReport report;
+  const auto results = sim::sweep(
+      kRows * kDevices * 2,
+      [&](sim::SweepContext& ctx) -> std::optional<core::TcBenchResult> {
+        const std::size_t r = ctx.index() / (kDevices * 2);
+        const std::size_t d = (ctx.index() / 2) % kDevices;
+        const bool sparse = (ctx.index() % 2) != 0;
+        const auto& row = rows[r];
+        // Sparse rows list the compressed shape; the instruction modifier
+        // doubles k.
+        const isa::TcInstr instr{
+            .path = isa::TcPath::kMma,
+            .shape = {16, 8, sparse ? 2 * row.k_dense : row.k_dense},
+            .ab = row.ab,
+            .cd = row.cd,
+            .sparse = sparse};
+        auto result = core::bench_tc(instr, *devices[d]);
+        if (!result) return std::nullopt;
+        ctx.record(result.value().usage);
+        return std::move(result).value();
+      },
+      bench::sweep_options(opt), &report);
+  const auto cell = [&](std::size_t r, std::size_t d, bool sparse) {
+    return results[r * kDevices * 2 + d * 2 + (sparse ? 1 : 0)];
+  };
 
   Table table(
       "Table VII: mma LAT (cycles) / throughput (TFLOPS|TOPS), dense and "
       "2:4-sparse");
   table.set_header({"A/B", "C/D", "Shape", "A100 D", "A100 S", "4090 D",
                     "4090 S", "H800 D", "H800 S"});
-
-  for (const auto& row : rows) {
+  for (std::size_t r = 0; r < kRows; ++r) {
+    const auto& row = rows[r];
     std::vector<std::string> cells{
         std::string(num::to_string(row.ab)), std::string(num::to_string(row.cd)),
         "m16n8k" + std::to_string(row.k_dense)};
-    for (const auto* device : devices) {
-      const isa::TcInstr dense{.path = isa::TcPath::kMma,
-                               .shape = {16, 8, row.k_dense},
-                               .ab = row.ab,
-                               .cd = row.cd,
-                               .sparse = false};
-      // Sparse rows list the compressed shape; the instruction modifier
-      // doubles k.
-      const isa::TcInstr sparse{.path = isa::TcPath::kMma,
-                                .shape = {16, 8, 2 * row.k_dense},
-                                .ab = row.ab,
-                                .cd = row.cd,
-                                .sparse = true};
-      const auto d = core::bench_tc(dense, *device);
-      const auto s = core::bench_tc(sparse, *device);
-      cells.push_back(d ? fmt_lat_tput(d.value().latency_cycles,
-                                       d.value().tflops_rand)
-                        : "x");
-      cells.push_back(s ? fmt_lat_tput(s.value().latency_cycles,
-                                       s.value().tflops_rand)
-                        : "x");
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      const auto& dense = cell(r, d, false);
+      const auto& sparse = cell(r, d, true);
+      cells.push_back(dense ? fmt_lat_tput(dense->latency_cycles,
+                                           dense->tflops_rand)
+                            : "x");
+      cells.push_back(sparse ? fmt_lat_tput(sparse->latency_cycles,
+                                            sparse->tflops_rand)
+                             : "x");
     }
     table.add_row(std::move(cells));
   }
   bench::emit(table, opt);
 
-  // The paper's headline findings around this table.
+  // The paper's headline findings around this table, from the dense results
+  // already swept above (rows 1, 5, 7 are the larger shapes).
   Table findings("mma findings: fraction of peak (dense, larger shape)");
   findings.set_header({"Device", "FP16 frac", "TF32 frac", "INT8 frac"});
-  for (const auto* device : devices) {
-    std::vector<std::string> cells{device->name};
-    for (const auto& [ab, cd, k] :
-         {std::tuple{DType::kFp16, DType::kFp16, 16},
-          std::tuple{DType::kTf32, DType::kFp32, 8},
-          std::tuple{DType::kInt8, DType::kInt32, 32}}) {
-      const isa::TcInstr instr{.path = isa::TcPath::kMma, .shape = {16, 8, k},
-                               .ab = ab, .cd = cd};
-      const auto r = core::bench_tc(instr, *device);
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    std::vector<std::string> cells{devices[d]->name};
+    for (const auto& [row_index, ab] :
+         {std::tuple<std::size_t, DType>{1, DType::kFp16},
+          std::tuple<std::size_t, DType>{5, DType::kTf32},
+          std::tuple<std::size_t, DType>{7, DType::kInt8}}) {
+      const auto& r = cell(row_index, d, false);
       if (!r) {
         cells.push_back("x");
         continue;
       }
       cells.push_back(
-          fmt_fixed(r.value().tflops_rand / device->tc_peak_tflops(ab), 3));
+          fmt_fixed(r->tflops_rand / devices[d]->tc_peak_tflops(ab), 3));
     }
     findings.add_row(std::move(cells));
   }
   bench::emit(findings, opt);
+  bench::write_report(report, opt, argv[0]);
   return 0;
 }

@@ -2,27 +2,50 @@
 //
 // Every binary prints its table(s) to stdout in the paper's layout; pass
 // --csv to emit machine-readable CSV instead (for re-plotting figures).
+// Sweep-engine binaries also honour:
+//   --threads=N     fan sweep points over N threads (default: the process
+//                   pool / HSIM_SWEEP_THREADS; output is bit-identical at
+//                   any value);
+//   --report=PATH   write the per-unit cycle-accounting JSON to PATH
+//                   (default: <bench>_cycles.json next to the table);
+//   --trace=PATH    also write a Chrome-trace view of the same counters;
+//   --no-report     skip the report file.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "arch/device.hpp"
 #include "common/table.hpp"
+#include "sim/sweep.hpp"
 
 namespace hsim::bench {
 
 struct Options {
   bool csv = false;
-  bool quick = false;  // trim sweeps for CI
+  bool quick = false;        // trim sweeps for CI
+  bool report = true;        // cycle-accounting JSON next to the tables
+  std::size_t threads = 0;   // 0 = pool default (HSIM_SWEEP_THREADS aware)
+  std::string report_path;   // empty = derive from argv[0]
+  std::string trace_path;    // empty = no Chrome trace
 };
 
 inline Options parse_options(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
-    if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--csv") == 0) opt.csv = true;
+    if (std::strcmp(arg, "--quick") == 0) opt.quick = true;
+    if (std::strcmp(arg, "--no-report") == 0) opt.report = false;
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      const long parsed = std::strtol(arg + 10, nullptr, 10);
+      if (parsed >= 1) opt.threads = static_cast<std::size_t>(parsed);
+    }
+    if (std::strncmp(arg, "--report=", 9) == 0) opt.report_path = arg + 9;
+    if (std::strncmp(arg, "--trace=", 8) == 0) opt.trace_path = arg + 8;
   }
   return opt;
 }
@@ -34,6 +57,47 @@ inline void emit(const Table& table, const Options& opt) {
     table.render(std::cout);
   }
   std::cout << '\n';
+}
+
+/// Sweep options honouring --threads (0 keeps the engine default).
+inline sim::SweepOptions sweep_options(const Options& opt,
+                                       std::uint64_t seed = 1) {
+  sim::SweepOptions sweep;
+  sweep.threads = opt.threads;
+  sweep.seed = seed;
+  return sweep;
+}
+
+/// Default report path: the bench binary's basename + "_cycles.json".
+inline std::string default_report_path(const char* argv0) {
+  std::string name = argv0 == nullptr ? "bench" : argv0;
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name + "_cycles.json";
+}
+
+/// Write the cycle-accounting report (and optional Chrome trace) next to
+/// the bench's table output; announces the path on stdout so runs are
+/// self-describing.
+inline void write_report(const sim::CycleReport& report, const Options& opt,
+                         const char* argv0) {
+  if (!opt.report || report.empty()) return;
+  const std::string path =
+      opt.report_path.empty() ? default_report_path(argv0) : opt.report_path;
+  {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: could not write cycle report to " << path << '\n';
+      return;
+    }
+    report.write_json(out);
+  }
+  std::cout << "[cycle report: " << path << " — " << report.samples()
+            << " samples, " << report.units().size() << " units]\n";
+  if (!opt.trace_path.empty()) {
+    std::ofstream trace(opt.trace_path);
+    if (trace) report.write_chrome_trace(trace);
+  }
 }
 
 }  // namespace hsim::bench

@@ -52,8 +52,8 @@ void SampleSet::ensure_sorted() const {
   }
 }
 
-double SampleSet::mean() const noexcept {
-  if (samples_.empty()) return 0.0;
+double SampleSet::mean() const {
+  HSIM_ASSERT(!samples_.empty());
   double sum = 0.0;
   for (double s : samples_) sum += s;
   return sum / static_cast<double>(samples_.size());

@@ -37,6 +37,11 @@ class RunningStats {
 };
 
 /// Batch statistics that keeps samples for percentile queries.
+///
+/// Empty-set contract: every summary query (`mean`, `median`, `percentile`,
+/// `min`, `max`) asserts that at least one sample was added — a summary of
+/// nothing is a bug in the harness, not a value.  Check `count()` first if
+/// emptiness is a legitimate state.
 class SampleSet {
  public:
   void add(double x) {
@@ -46,7 +51,7 @@ class SampleSet {
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
-  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double mean() const;
   [[nodiscard]] double median() const;
   /// Linear-interpolated percentile, p in [0, 100].
   [[nodiscard]] double percentile(double p) const;

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace hsim {
+namespace {
+
+// Set while a thread is inside a pool's worker_loop; lets parallel_for
+// detect re-entrant use from a worker of the *same* pool, where blocking in
+// future.get() would deadlock (every worker waiting on chunks only workers
+// can run).
+thread_local const ThreadPool* t_worker_of = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -37,6 +47,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_of = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -50,25 +61,55 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::run_one_queued_task() {
+  std::packaged_task<void()> task;
+  {
+    const std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size() * 4));
-  std::atomic<std::size_t> next{begin};
+  const bool nested = t_worker_of == this;
+  // The caller claims indices too, so one fewer chunk is queued; a nested
+  // call on a saturated pool still makes progress even if no other worker
+  // ever picks a chunk up.
+  const std::size_t chunks =
+      std::min(n, std::max<std::size_t>(1, size() * 4)) - 1;
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  const auto claim_loop = [next, end, &fn] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      fn(i);
+    }
+  };
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    futures.push_back(submit([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= end) return;
-        fn(i);
-      }
-    }));
-  }
+  for (std::size_t c = 0; c < chunks; ++c) futures.push_back(submit(claim_loop));
+
   std::exception_ptr first_error;
+  try {
+    claim_loop();
+  } catch (...) {
+    first_error = std::current_exception();
+  }
   for (auto& future : futures) {
+    if (nested) {
+      // Help-drain: while this chunk is not done, run whatever is queued
+      // (our own chunks or unrelated tasks) instead of blocking a worker.
+      while (future.wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+        if (!run_one_queued_task()) std::this_thread::yield();
+      }
+    }
     try {
       future.get();
     } catch (...) {

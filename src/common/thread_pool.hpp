@@ -33,11 +33,17 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end) across the pool; blocks until complete.
   /// Exceptions inside fn propagate to the caller (first one wins).
+  /// The calling thread participates in the work, and a call made from one
+  /// of this pool's own workers is safe: instead of blocking, the worker
+  /// help-drains the shared queue until its chunks complete (no deadlock
+  /// from nested parallelism).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
+  /// Pop and run one queued task; false if the queue was empty.
+  bool run_one_queued_task();
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;

@@ -1,5 +1,7 @@
 #include "core/dpxbench.hpp"
 
+#include <string>
+
 #include "sm/launcher.hpp"
 #include "sm/sm_core.hpp"
 
@@ -38,7 +40,10 @@ Expected<DpxLatencyResult> dpx_latency(const arch::DeviceSpec& device,
   const auto program = latency_program(device, func, kIters);
   sm::SmCore core(device, nullptr);
   const auto run = core.run(program, {.threads_per_block = 32, .blocks = 1});
-  return DpxLatencyResult{run.cycles / kIters};
+  DpxLatencyResult out{run.cycles / kIters, {}};
+  out.usage = {std::string("dpx.latency.") + std::string(dpx::name(func)),
+               run.cycles, core.unit_usage()};
+  return out;
 }
 
 Expected<DpxThroughputResult> dpx_throughput(const arch::DeviceSpec& device,
@@ -60,27 +65,36 @@ Expected<DpxThroughputResult> dpx_throughput(const arch::DeviceSpec& device,
   out.gcalls_per_sec = out.calls_per_clk_sm *
                        static_cast<double>(device.sm_count) *
                        device.clock_hz() / 1e9;
+  out.usage = {std::string("dpx.throughput.") + std::string(dpx::name(func)),
+               run.cycles, core.unit_usage()};
   return out;
+}
+
+Expected<DpxSweepPoint> dpx_block_point(const arch::DeviceSpec& device,
+                                        dpx::Func func, int blocks) {
+  constexpr std::uint32_t kIters = 64;
+  constexpr int kThreads = 1024;
+  const auto program = throughput_program(device, func, kIters);
+  sm::LaunchConfig cfg{.threads_per_block = kThreads,
+                       .total_blocks = blocks,
+                       .smem_per_block = 0,
+                       .regs_per_thread = 32};
+  auto launched = sm::launch(device, program, cfg);
+  if (!launched) return launched.error();
+  const double calls = static_cast<double>(kIndependentChains) * kIters *
+                       static_cast<double>(kThreads) *
+                       static_cast<double>(blocks);
+  return DpxSweepPoint{blocks, calls / launched.value().seconds / 1e9};
 }
 
 Expected<std::vector<DpxSweepPoint>> dpx_block_sweep(const arch::DeviceSpec& device,
                                                      dpx::Func func,
                                                      int max_blocks) {
-  constexpr std::uint32_t kIters = 64;
-  constexpr int kThreads = 1024;
-  const auto program = throughput_program(device, func, kIters);
   std::vector<DpxSweepPoint> out;
   for (int blocks = 1; blocks <= max_blocks; ++blocks) {
-    sm::LaunchConfig cfg{.threads_per_block = kThreads,
-                         .total_blocks = blocks,
-                         .smem_per_block = 0,
-                         .regs_per_thread = 32};
-    auto launched = sm::launch(device, program, cfg);
-    if (!launched) return launched.error();
-    const double calls = static_cast<double>(kIndependentChains) * kIters *
-                         static_cast<double>(kThreads) *
-                         static_cast<double>(blocks);
-    out.push_back({blocks, calls / launched.value().seconds / 1e9});
+    auto point = dpx_block_point(device, func, blocks);
+    if (!point) return point.error();
+    out.push_back(point.value());
   }
   return out;
 }

@@ -13,11 +13,13 @@
 #include "arch/device.hpp"
 #include "common/status.hpp"
 #include "dpx/functions.hpp"
+#include "sim/accounting.hpp"
 
 namespace hsim::core {
 
 struct DpxLatencyResult {
   double cycles_per_call = 0;
+  sim::CycleSample usage;  // SM unit accounting for the chain
 };
 
 /// Dependent-chain latency: one thread issuing f repeatedly (Fig 6).
@@ -28,6 +30,7 @@ struct DpxThroughputResult {
   double calls_per_clk_sm = 0;    // DPX results retired per clock per SM
   double gcalls_per_sec = 0;      // device-wide
   bool measurable = true;         // __vib* cannot be measured when emulated
+  sim::CycleSample usage;         // SM unit accounting for the block
 };
 
 /// One block of 1024 threads issuing independent calls (Fig 7, left).
@@ -38,6 +41,11 @@ struct DpxSweepPoint {
   int blocks = 0;
   double gcalls_per_sec = 0;
 };
+
+/// One grid-sweep point: device-wide throughput at exactly `blocks`
+/// launched blocks (independent, so the sweep engine can fan points out).
+Expected<DpxSweepPoint> dpx_block_point(const arch::DeviceSpec& device,
+                                        dpx::Func func, int blocks);
 
 /// Grid sweep: throughput vs number of launched blocks (Fig 7, right) —
 /// the sawtooth that locates the DPX unit at SM level.

@@ -29,6 +29,15 @@ sim::PipelinedUnit make_fp64_pipe(const arch::DeviceSpec& device) {
   return sim::PipelinedUnit(ii, ii + 8.0);
 }
 
+sim::CycleSample usage_of(const mem::MemorySystem& memsys, std::string label,
+                          double total_cycles) {
+  sim::CycleSample sample;
+  sample.label = std::move(label);
+  sample.total_cycles = total_cycles;
+  sample.units = memsys.unit_usage();
+  return sample;
+}
+
 }  // namespace
 
 Expected<ThroughputResult> measure_l1_throughput(const arch::DeviceSpec& device,
@@ -57,6 +66,7 @@ Expected<ThroughputResult> measure_l1_throughput(const arch::DeviceSpec& device,
   out.transactions = transactions;
   out.bytes_per_clk = static_cast<double>(transactions) * bytes / last;
   out.gbps = out.bytes_per_clk * device.clock_hz() / 1e9;
+  out.usage = usage_of(memsys, "membench.l1", last);
   return out;
 }
 
@@ -72,6 +82,7 @@ Expected<ThroughputResult> measure_shared_throughput(const arch::DeviceSpec& dev
   out.transactions = transactions;
   out.bytes_per_clk = static_cast<double>(transactions) * 128.0 / last;
   out.gbps = out.bytes_per_clk * device.clock_hz() / 1e9;
+  out.usage = usage_of(memsys, "membench.shared", last);
   return out;
 }
 
@@ -104,6 +115,7 @@ Expected<ThroughputResult> measure_l2_throughput(const arch::DeviceSpec& device,
   out.transactions = transactions;
   out.bytes_per_clk = static_cast<double>(transactions) * bytes / last;
   out.gbps = out.bytes_per_clk * device.clock_hz() / 1e9;
+  out.usage = usage_of(memsys, "membench.l2", last);
   return out;
 }
 
@@ -125,6 +137,7 @@ Expected<ThroughputResult> measure_global_throughput(const arch::DeviceSpec& dev
   out.transactions = transactions;
   out.bytes_per_clk = static_cast<double>(transactions * 512) / last;
   out.gbps = out.bytes_per_clk * device.clock_hz() / 1e9;
+  out.usage = usage_of(memsys, "membench.global", last);
   return out;
 }
 

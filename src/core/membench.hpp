@@ -15,6 +15,7 @@
 #include "arch/device.hpp"
 #include "common/status.hpp"
 #include "mem/memory_system.hpp"
+#include "sim/accounting.hpp"
 
 namespace hsim::core {
 
@@ -37,6 +38,7 @@ struct ThroughputResult {
   double bytes_per_clk = 0;  // per SM for L1/shared, device-wide for L2
   double gbps = 0;
   std::uint64_t transactions = 0;
+  sim::CycleSample usage;    // per-unit cycle accounting for the stream
 };
 
 Expected<ThroughputResult> measure_l1_throughput(const arch::DeviceSpec& device,

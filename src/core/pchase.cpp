@@ -1,6 +1,7 @@
 #include "core/pchase.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/rng.hpp"
 
@@ -80,6 +81,9 @@ Expected<PChaseResult> pchase(const arch::DeviceSpec& device,
   out.avg_latency_cycles = now / static_cast<double>(config.iterations);
   out.hit_rate = static_cast<double>(intended_hits) /
                  static_cast<double>(config.iterations);
+  out.usage.label = std::string("pchase.") + std::string(mem::to_string(level));
+  out.usage.total_cycles = now;
+  out.usage.units = memsys.unit_usage();
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include "arch/device.hpp"
 #include "common/status.hpp"
 #include "mem/memory_system.hpp"
+#include "sim/accounting.hpp"
 
 namespace hsim::core {
 
@@ -21,6 +22,7 @@ struct PChaseResult {
   std::uint64_t accesses = 0;
   std::uint64_t tlb_misses = 0;   // should be 0 after proper warm-up
   double hit_rate = 0;            // in the intended level
+  sim::CycleSample usage;         // per-unit cycle accounting for the chase
 };
 
 struct PChaseConfig {

@@ -42,6 +42,8 @@ Expected<TcBenchResult> bench_tc(const isa::TcInstr& instr,
       last = pipe.issue(0.0, t.cadence, t.latency);
     }
     per_sm_ops_per_clk = t.ops * config.iterations / last;
+    out.usage = {"tc." + out.sass, last,
+                 {{"TC.pipe", pipe.busy_cycles(), pipe.ops()}}};
   }
   const double unthrottled = per_sm_ops_per_clk *
                              static_cast<double>(device.sm_count) *

@@ -13,6 +13,7 @@
 #include "arch/device.hpp"
 #include "common/status.hpp"
 #include "isa/ptx.hpp"
+#include "sim/accounting.hpp"
 #include "tensorcore/power.hpp"
 #include "tensorcore/timing.hpp"
 
@@ -28,6 +29,7 @@ struct TcBenchResult {
   double power_rand_w = 0;
   double clock_rand_mhz = 0;       // effective clock under random data
   bool throttled = false;
+  sim::CycleSample usage;          // tensor-core pipe accounting
 };
 
 struct TcBenchConfig {

@@ -62,6 +62,13 @@ class Dram {
 
   [[nodiscard]] std::uint64_t bytes_moved() const noexcept { return bytes_moved_; }
   [[nodiscard]] double busy_until() const noexcept { return channel_.next_free(); }
+  /// Cycle accounting: channel occupancy and sector count since reset().
+  [[nodiscard]] double channel_busy_cycles() const noexcept {
+    return channel_.busy_cycles();
+  }
+  [[nodiscard]] std::uint64_t channel_sectors() const noexcept {
+    return channel_.ops();
+  }
   void reset() noexcept {
     channel_.reset();
     bytes_moved_ = 0;

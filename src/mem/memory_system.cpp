@@ -110,11 +110,14 @@ double MemorySystem::warp_transaction(int sm, std::uint64_t addr, std::uint32_t 
     return port.issue(now, duration, duration + m.smem_latency);
   }
 
-  // Classify the transaction's sectors through the cache hierarchy.
+  // Classify the transaction's sectors through the cache hierarchy.  The
+  // loop start is aligned down so an access that straddles a sector
+  // boundary (e.g. addr=120, bytes=16, sector=32) still touches its
+  // trailing sector.
   const auto sector = static_cast<std::uint32_t>(m.sector_bytes);
   bool any_l2 = false;
   bool any_dram = false;
-  for (std::uint64_t a = addr; a < addr + bytes; a += sector) {
+  for (std::uint64_t a = addr / sector * sector; a < addr + bytes; a += sector) {
     bool l1_hit = false;
     if (space == MemSpace::kGlobalCa) {
       l1_hit = l1(sm).access(a) == CacheOutcome::kHit;
@@ -147,13 +150,27 @@ double MemorySystem::warp_transaction(int sm, std::uint64_t addr, std::uint32_t 
 
 void MemorySystem::warm(std::uint64_t base, std::uint64_t size, MemSpace space, int sm) {
   const auto sector = static_cast<std::uint64_t>(device_.memory.sector_bytes);
-  for (std::uint64_t a = base; a < base + size; a += sector) {
+  for (std::uint64_t a = base / sector * sector; a < base + size; a += sector) {
     if (space == MemSpace::kGlobalCa) l1(sm).access(a);
     if (space != MemSpace::kShared) {
       l2_->access(a);
       tlb_->access(a);
     }
   }
+}
+
+std::vector<sim::UnitSample> MemorySystem::unit_usage() const {
+  // L1.port busy cycles are averaged over the active per-SM ports so that
+  // occupancy = busy / total stays in [0, 1]; ops are summed across them.
+  sim::UnitSample l1{"L1.port", 0.0, 0};
+  for (const auto& port : l1_port_) {
+    l1.busy_cycles += port.busy_cycles();
+    l1.ops += port.ops();
+  }
+  l1.busy_cycles /= static_cast<double>(l1_port_.size());
+  return {std::move(l1),
+          {"L2.port", l2_port_.busy_cycles(), l2_port_.ops()},
+          {"DRAM.channel", dram_->channel_busy_cycles(), dram_->channel_sectors()}};
 }
 
 void MemorySystem::reset_timing() {

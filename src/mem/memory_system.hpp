@@ -17,6 +17,7 @@
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 #include "mem/tlb.hpp"
+#include "sim/accounting.hpp"
 #include "sim/pipeline.hpp"
 
 namespace hsim::mem {
@@ -68,6 +69,11 @@ class MemorySystem {
   [[nodiscard]] double l1_width(int access_bytes) const;
   /// Device-wide L2 width for this access size.
   [[nodiscard]] double l2_width(int access_bytes) const;
+
+  /// Per-unit busy-cycle counters since construction / reset_timing():
+  /// "L1.port" (busy averaged over active SMs, ops summed), "L2.port",
+  /// "DRAM.channel".
+  [[nodiscard]] std::vector<sim::UnitSample> unit_usage() const;
 
   void reset_timing();
 

@@ -1,0 +1,88 @@
+#include "sim/accounting.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace hsim::sim {
+namespace {
+
+/// JSON-safe formatting: never localised, compact for the magnitudes we
+/// emit (cycles, occupancies).
+void write_number(std::ostream& os, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  os << buffer;
+}
+
+void write_stats(std::ostream& os, const RunningStats& stats) {
+  os << "{\"mean\":";
+  write_number(os, stats.count() ? stats.mean() : 0.0);
+  os << ",\"min\":";
+  write_number(os, stats.count() ? stats.min() : 0.0);
+  os << ",\"max\":";
+  write_number(os, stats.count() ? stats.max() : 0.0);
+  os << ",\"stddev\":";
+  write_number(os, stats.count() ? stats.stddev() : 0.0);
+  os << ",\"count\":" << stats.count() << "}";
+}
+
+}  // namespace
+
+void CycleReport::add(const CycleSample& sample) {
+  ++samples_;
+  for (const auto& unit : sample.units) {
+    auto& entry = units_[unit.name];
+    entry.busy_cycles.add(unit.busy_cycles);
+    if (sample.total_cycles > 0) {
+      entry.occupancy.add(unit.busy_cycles / sample.total_cycles);
+    }
+    entry.ops += unit.ops;
+  }
+}
+
+void CycleReport::merge(const CycleReport& other) {
+  samples_ += other.samples_;
+  for (const auto& [name, entry] : other.units_) {
+    auto& mine = units_[name];
+    mine.busy_cycles.merge(entry.busy_cycles);
+    mine.occupancy.merge(entry.occupancy);
+    mine.ops += entry.ops;
+  }
+}
+
+void CycleReport::write_json(std::ostream& os) const {
+  os << "{\"samples\":" << samples_ << ",\"units\":[";
+  bool first = true;
+  for (const auto& [name, entry] : units_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << name << "\",\"ops\":" << entry.ops
+       << ",\"busy_cycles\":";
+    write_stats(os, entry.busy_cycles);
+    os << ",\"occupancy\":";
+    write_stats(os, entry.occupancy);
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+void CycleReport::write_chrome_trace(std::ostream& os) const {
+  // Counter events: one per unit, mean occupancy as the value; pid/tid 0 so
+  // all tracks sit together.
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t ts = 0;
+  for (const auto& [name, entry] : units_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << name << "\",\"ph\":\"C\",\"pid\":0,\"tid\":0,"
+       << "\"ts\":" << ts++ << ",\"args\":{\"occupancy\":";
+    write_number(os, entry.occupancy.count() ? entry.occupancy.mean() : 0.0);
+    os << ",\"busy_cycles\":";
+    write_number(os, entry.busy_cycles.count() ? entry.busy_cycles.mean() : 0.0);
+    os << "}}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace hsim::sim

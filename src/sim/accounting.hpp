@@ -1,0 +1,67 @@
+// Per-unit cycle accounting.
+//
+// Every structural unit (PipelinedUnit, Port) counts the cycles its issue
+// slot was occupied and the operations it issued.  Models snapshot those
+// counters into UnitSamples; a measurement bundles its samples with its
+// total simulated cycles as a CycleSample (so occupancy = busy / total is
+// well defined); CycleReport aggregates samples across sweep points via
+// RunningStats::merge and renders JSON or a Chrome trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace hsim::sim {
+
+/// One unit's counters snapshotted after a measurement.
+struct UnitSample {
+  std::string name;          // e.g. "SM.FMA", "L2.port", "DRAM.channel"
+  double busy_cycles = 0;
+  std::uint64_t ops = 0;
+};
+
+/// Per-unit usage for one sweep point / measurement.
+struct CycleSample {
+  std::string label;         // optional: which measurement produced this
+  double total_cycles = 0;
+  std::vector<UnitSample> units;
+};
+
+/// Aggregate of CycleSamples across sweep points.  Per unit it keeps
+/// RunningStats of busy cycles and occupancy plus the total op count;
+/// std::map keys give a deterministic unit order in every writer.
+class CycleReport {
+ public:
+  void add(const CycleSample& sample);
+  void merge(const CycleReport& other);
+
+  [[nodiscard]] bool empty() const noexcept { return units_.empty(); }
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+  /// JSON object: {"samples": N, "units": [{name, ops, busy_cycles:{...},
+  /// occupancy:{...}}, ...]} with mean/min/max/stddev/count per stat.
+  void write_json(std::ostream& os) const;
+  /// Chrome-trace (chrome://tracing, Perfetto) counter events: one track
+  /// per unit carrying mean occupancy and mean busy cycles.
+  void write_chrome_trace(std::ostream& os) const;
+
+  struct UnitEntry {
+    RunningStats busy_cycles;
+    RunningStats occupancy;
+    std::uint64_t ops = 0;
+  };
+  [[nodiscard]] const std::map<std::string, UnitEntry>& units() const noexcept {
+    return units_;
+  }
+
+ private:
+  std::map<std::string, UnitEntry> units_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace hsim::sim

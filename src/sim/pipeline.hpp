@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/status.hpp"
 
@@ -25,28 +26,38 @@ class PipelinedUnit {
   /// Issue an operation that is ready at `ready_time`.  Returns the
   /// completion time; the unit advances its next-free cursor.
   double issue(double ready_time) noexcept {
-    const double start = std::max(ready_time, next_free_);
-    next_free_ = start + ii_;
-    return start + latency_;
+    return issue(ready_time, ii_, latency_);
   }
 
   /// Issue with per-operation cost overrides (e.g. a wider transaction).
   double issue(double ready_time, double ii, double latency) noexcept {
     const double start = std::max(ready_time, next_free_);
     next_free_ = start + ii;
+    busy_cycles_ += ii;
+    ++ops_;
     return start + latency;
   }
 
   [[nodiscard]] double next_free() const noexcept { return next_free_; }
   [[nodiscard]] double initiation_interval() const noexcept { return ii_; }
   [[nodiscard]] double latency() const noexcept { return latency_; }
+  /// Cycle accounting: total cycles the issue slot was occupied, and how
+  /// many operations were issued, since construction / reset().
+  [[nodiscard]] double busy_cycles() const noexcept { return busy_cycles_; }
+  [[nodiscard]] std::uint64_t ops() const noexcept { return ops_; }
 
-  void reset() noexcept { next_free_ = 0.0; }
+  void reset() noexcept {
+    next_free_ = 0.0;
+    busy_cycles_ = 0.0;
+    ops_ = 0;
+  }
 
  private:
   double ii_ = 1.0;
   double latency_ = 1.0;
   double next_free_ = 0.0;
+  double busy_cycles_ = 0.0;
+  std::uint64_t ops_ = 0;
 };
 
 /// A bandwidth-limited port: transfers are serialised at `bytes_per_cycle`.
@@ -63,16 +74,27 @@ class Port {
     const double start = std::max(ready_time, next_free_);
     const double duration = bytes / bytes_per_cycle_;
     next_free_ = start + duration;
+    busy_cycles_ += duration;
+    ++ops_;
     return next_free_;
   }
 
   [[nodiscard]] double next_free() const noexcept { return next_free_; }
   [[nodiscard]] double bytes_per_cycle() const noexcept { return bytes_per_cycle_; }
-  void reset() noexcept { next_free_ = 0.0; }
+  /// Cycle accounting mirroring PipelinedUnit.
+  [[nodiscard]] double busy_cycles() const noexcept { return busy_cycles_; }
+  [[nodiscard]] std::uint64_t ops() const noexcept { return ops_; }
+  void reset() noexcept {
+    next_free_ = 0.0;
+    busy_cycles_ = 0.0;
+    ops_ = 0;
+  }
 
  private:
   double bytes_per_cycle_ = 1.0;
   double next_free_ = 0.0;
+  double busy_cycles_ = 0.0;
+  std::uint64_t ops_ = 0;
 };
 
 }  // namespace hsim::sim

@@ -1,0 +1,25 @@
+#include "sim/sweep.hpp"
+
+#include <cstdlib>
+
+namespace hsim::sim {
+
+std::size_t resolve_sweep_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("HSIM_SWEEP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  return global_pool().size();
+}
+
+std::uint64_t derive_point_seed(std::uint64_t base_seed, std::size_t index) {
+  // SplitMix64 over a mix of the base seed and index: a pure function of
+  // the two, so streams are independent of thread assignment, and distinct
+  // indices land in distinct well-separated streams.
+  std::uint64_t state =
+      base_seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(index) + 1));
+  return splitmix64(state);
+}
+
+}  // namespace hsim::sim

@@ -1,0 +1,114 @@
+// Parallel deterministic sweep engine.
+//
+// Every paper table is a sweep over independent configuration points
+// (device x stride x dtype x warp count ...).  The engine fans those points
+// across the process ThreadPool while keeping the output *bit-identical* to
+// a serial run at any thread count:
+//   * each point runs against its own simulator instances (the point
+//     function constructs them — nothing is shared between points);
+//   * each point draws randomness from its own RNG stream, derived purely
+//     from (base seed, point index), never from thread identity or
+//     scheduling order;
+//   * results land in a slot vector indexed by point, and per-point cycle
+//     accounting is merged in index order after the barrier.
+//
+// Cycle-accounting observability rides along: points record CycleSamples
+// (per-unit busy cycles/op counts snapshotted from PipelinedUnit/Port
+// counters), the engine aggregates them per unit across points via
+// RunningStats::merge, and CycleReport renders the aggregate as JSON or a
+// Chrome trace next to each bench's table output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/accounting.hpp"
+
+namespace hsim::sim {
+
+struct SweepOptions {
+  /// 0 = use the process-wide pool (its size, possibly overridden by the
+  /// HSIM_SWEEP_THREADS environment variable); 1 = serial in the calling
+  /// thread; otherwise a dedicated pool of exactly `threads` workers.
+  std::size_t threads = 0;
+  /// Base seed; every point's RNG stream derives from (seed, index) only.
+  std::uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// Resolve SweepOptions::threads == 0: HSIM_SWEEP_THREADS if set (>=1),
+/// else the global pool's size.
+std::size_t resolve_sweep_threads(std::size_t requested);
+
+/// Deterministic per-point seed: a pure function of (base seed, index).
+std::uint64_t derive_point_seed(std::uint64_t base_seed, std::size_t index);
+
+/// Handed to each sweep point: its index, its private RNG stream, and a
+/// sink for cycle-accounting samples.
+class SweepContext {
+ public:
+  SweepContext(std::size_t index, std::uint64_t base_seed)
+      : index_(index), seed_(derive_point_seed(base_seed, index)) {}
+
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  /// A fresh generator positioned at the start of this point's stream.
+  [[nodiscard]] Xoshiro256ss rng() const noexcept { return Xoshiro256ss(seed_); }
+
+  /// Record one measurement's unit usage (may be called multiple times).
+  void record(CycleSample sample) { samples_.push_back(std::move(sample)); }
+  [[nodiscard]] const std::vector<CycleSample>& recorded() const noexcept {
+    return samples_;
+  }
+  /// Relinquish the recorded samples (engine plumbing).
+  [[nodiscard]] std::vector<CycleSample> take_recorded() noexcept {
+    return std::move(samples_);
+  }
+
+ private:
+  std::size_t index_;
+  std::uint64_t seed_;
+  std::vector<CycleSample> samples_;
+};
+
+/// Run `fn(ctx)` for every point in [0, n) across the pool; returns results
+/// in point order.  Bit-identical output at any thread count: point work is
+/// independent, seeds derive from the index, and `report` (optional) is
+/// merged in index order after all points complete.  The result type must
+/// be default-constructible (slots are pre-sized); wrap non-default-
+/// constructible payloads (e.g. Expected<T>) in std::optional.
+template <typename Fn>
+auto sweep(std::size_t n, Fn&& fn, const SweepOptions& options = {},
+           CycleReport* report = nullptr)
+    -> std::vector<decltype(fn(std::declval<SweepContext&>()))> {
+  using Result = decltype(fn(std::declval<SweepContext&>()));
+  std::vector<Result> results(n);
+  std::vector<std::vector<CycleSample>> samples(n);
+
+  const auto run_point = [&](std::size_t i) {
+    SweepContext ctx(i, options.seed);
+    results[i] = fn(ctx);
+    samples[i] = ctx.take_recorded();
+  };
+
+  const std::size_t threads = resolve_sweep_threads(options.threads);
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_point(i);
+  } else if (options.threads == 0 && threads == global_pool().size()) {
+    global_pool().parallel_for(0, n, run_point);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(0, n, run_point);
+  }
+
+  if (report != nullptr) {
+    for (const auto& point_samples : samples) {
+      for (const auto& sample : point_samples) report->add(sample);
+    }
+  }
+  return results;
+}
+
+}  // namespace hsim::sim

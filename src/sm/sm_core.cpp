@@ -111,6 +111,33 @@ std::uint64_t SmCore::reg(int warp, int reg_index, int lane) const {
   return w.lane(reg_index, lane);
 }
 
+std::vector<sim::UnitSample> SmCore::unit_usage() const {
+  const auto& u = *units_;
+  // Quadrant-partitioned units report busy cycles averaged over the four
+  // per-scheduler slices so occupancy = busy / total stays in [0, 1];
+  // ops are summed.
+  const auto sum4 = [](const std::array<sim::PipelinedUnit, 4>& parts) {
+    sim::UnitSample out;
+    for (const auto& part : parts) {
+      out.busy_cycles += part.busy_cycles();
+      out.ops += part.ops();
+    }
+    out.busy_cycles /= 4.0;
+    return out;
+  };
+  auto fma = sum4(u.fma);
+  fma.name = "SM.FMA";
+  auto alu = sum4(u.alu);
+  alu.name = "SM.ALU";
+  auto dpx = sum4(u.dpx);
+  dpx.name = "SM.DPX";
+  return {std::move(fma), std::move(alu),
+          {"SM.FP64", u.fp64.busy_cycles(), u.fp64.ops()},
+          std::move(dpx),
+          {"SM.LSU", u.lsu.busy_cycles(), u.lsu.ops()},
+          {"SM.DSM", u.dsm.busy_cycles(), u.dsm.ops()}};
+}
+
 RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
   HSIM_ASSERT(!program.empty());
   HSIM_ASSERT(shape.blocks >= 1 && shape.threads_per_block >= 1);

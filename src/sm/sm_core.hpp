@@ -24,6 +24,7 @@
 #include "isa/program.hpp"
 #include "mem/memory_system.hpp"
 #include "mem/shared_mem.hpp"
+#include "sim/accounting.hpp"
 #include "sim/pipeline.hpp"
 
 namespace hsim::sm {
@@ -70,6 +71,11 @@ class SmCore {
 
   /// Read back a register lane after run() (functional checks, clock()).
   [[nodiscard]] std::uint64_t reg(int warp, int reg_index, int lane = 0) const;
+
+  /// Per-unit busy-cycle counters accumulated since construction (FMA/ALU/
+  /// DPX summed over the four scheduler partitions).  Pair with the run's
+  /// cycle count in a sim::CycleSample for occupancy reporting.
+  [[nodiscard]] std::vector<sim::UnitSample> unit_usage() const;
 
  private:
   struct Warp;

@@ -115,5 +115,44 @@ TEST(MemorySystem, LevelNames) {
   EXPECT_EQ(to_string(MemLevel::kDram), "Global");
 }
 
+
+// Regression: an access that straddles a sector boundary must classify and
+// allocate its trailing sector too.  addr=120, bytes=16 spans sectors
+// [96,128) and [128,160); the classification loop used to start at the
+// unaligned address and step by the sector size, never reaching the second
+// sector.
+TEST(MemorySystem, WarmCoversStraddledTrailingSector) {
+  MemorySystem mem(h800_pcie(), 1);
+  mem.warm(120, 16, MemSpace::kGlobalCa);
+  EXPECT_EQ(mem.load(0, 96, MemSpace::kGlobalCa, 0.0).served_by, MemLevel::kL1);
+  EXPECT_EQ(mem.load(0, 128, MemSpace::kGlobalCa, 0.0).served_by,
+            MemLevel::kL1);
+}
+
+TEST(MemorySystem, WarpTransactionAllocatesStraddledTrailingSector) {
+  MemorySystem mem(h800_pcie(), 1);
+  mem.warp_transaction(0, 120, 16, 16, MemSpace::kGlobalCa, 0.0);
+  // Both sectors the access touched are now resident in L1.
+  EXPECT_EQ(mem.load(0, 120, MemSpace::kGlobalCa, 0.0).served_by,
+            MemLevel::kL1);
+  EXPECT_EQ(mem.load(0, 128, MemSpace::kGlobalCa, 0.0).served_by,
+            MemLevel::kL1);
+}
+
+TEST(MemorySystem, StraddlingTransactionPaysForColdTrailingSector) {
+  // Leading sector warm in L1+L2, trailing sector cold: the straddling
+  // access must be slower than the same access with both sectors warm,
+  // because the trailing sector is fetched from DRAM.
+  MemorySystem cold_tail(h800_pcie(), 1);
+  cold_tail.warm(96, 32, MemSpace::kGlobalCa);
+  MemorySystem all_warm(h800_pcie(), 1);
+  all_warm.warm(96, 64, MemSpace::kGlobalCa);
+  const double t_cold =
+      cold_tail.warp_transaction(0, 120, 16, 16, MemSpace::kGlobalCa, 0.0);
+  const double t_warm =
+      all_warm.warp_transaction(0, 120, 16, 16, MemSpace::kGlobalCa, 0.0);
+  EXPECT_GT(t_cold, t_warm);
+}
+
 }  // namespace
 }  // namespace hsim::mem

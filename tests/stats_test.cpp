@@ -90,6 +90,27 @@ TEST(SampleSet, AddAfterQueryResorts) {
   EXPECT_EQ(set.min(), 0.0);
 }
 
+// The empty-set contract is uniform: every summary query asserts that at
+// least one sample was added.  mean() used to quietly return 0.0 while
+// min/max/percentile asserted — an easy way to average nothing into a
+// table cell.
+TEST(SampleSetDeathTest, EmptySummariesAssert) {
+  SampleSet set;
+  EXPECT_DEATH((void)set.mean(), "assertion failed");
+  EXPECT_DEATH((void)set.min(), "assertion failed");
+  EXPECT_DEATH((void)set.max(), "assertion failed");
+  EXPECT_DEATH((void)set.median(), "assertion failed");
+  EXPECT_DEATH((void)set.percentile(50), "assertion failed");
+}
+
+TEST(SampleSet, CountDistinguishesEmptiness) {
+  SampleSet set;
+  EXPECT_EQ(set.count(), 0u);
+  set.add(1.0);
+  EXPECT_EQ(set.count(), 1u);
+  EXPECT_DOUBLE_EQ(set.mean(), 1.0);
+}
+
 TEST(SampleSet, MeanUnaffectedByOrder) {
   SampleSet a, b;
   for (int i = 0; i < 10; ++i) a.add(i);

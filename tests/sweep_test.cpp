@@ -1,0 +1,162 @@
+// Parallel sweep engine: determinism across thread counts, seed
+// derivation, cycle-report aggregation.
+#include "sim/sweep.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/device.hpp"
+#include "core/dpxbench.hpp"
+
+namespace hsim::sim {
+namespace {
+
+// A point function with real RNG dependence: results change if any point
+// draws from the wrong stream or a stream is shared between points.
+std::vector<double> rng_sweep(std::size_t threads) {
+  SweepOptions options;
+  options.threads = threads;
+  options.seed = 1234;
+  return sweep(
+      64,
+      [](SweepContext& ctx) {
+        auto rng = ctx.rng();
+        double acc = static_cast<double>(ctx.index());
+        for (int draw = 0; draw < 100; ++draw) acc += rng.uniform(0.0, 1.0);
+        return acc;
+      },
+      options);
+}
+
+TEST(Sweep, BitIdenticalAcrossThreadCounts) {
+  const auto serial = rng_sweep(1);
+  EXPECT_EQ(serial, rng_sweep(2));
+  EXPECT_EQ(serial, rng_sweep(8));
+}
+
+TEST(Sweep, ReportBitIdenticalAcrossThreadCounts) {
+  const auto run = [](std::size_t threads) {
+    SweepOptions options;
+    options.threads = threads;
+    CycleReport report;
+    sweep(
+        32,
+        [](SweepContext& ctx) {
+          auto rng = ctx.rng();
+          const double busy = rng.uniform(0.0, 50.0);
+          ctx.record({"point", 100.0,
+                      {{"unit.a", busy, ctx.index()},
+                       {"unit.b", 2.0 * busy, 1}}});
+          return 0;
+        },
+        options, &report);
+    std::ostringstream json;
+    report.write_json(json);
+    return json.str();
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(Sweep, SimulatorPointsBitIdenticalAcrossThreadCounts) {
+  // End-to-end shape of a paper-table bench: independent simulator
+  // instances per point, usage recorded, table values compared exactly.
+  const auto run = [](std::size_t threads) {
+    SweepOptions options;
+    options.threads = threads;
+    CycleReport report;
+    const auto results = sweep(
+        6,
+        [](SweepContext& ctx) -> std::optional<double> {
+          const int blocks = static_cast<int>(ctx.index()) + 1;
+          auto point = core::dpx_block_point(arch::h800_pcie(),
+                                             dpx::Func::kViMax3S32, blocks);
+          if (!point) return std::nullopt;
+          return point.value().gcalls_per_sec;
+        },
+        options, &report);
+    return results;
+  };
+  const auto serial = run(1);
+  ASSERT_EQ(serial.size(), 6u);
+  for (const auto& r : serial) EXPECT_TRUE(r.has_value());
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(Sweep, PointSeedsArePureAndDistinct) {
+  EXPECT_EQ(derive_point_seed(7, 3), derive_point_seed(7, 3));
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 1000; ++i) seeds.insert(derive_point_seed(7, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(derive_point_seed(7, 0), derive_point_seed(8, 0));
+}
+
+TEST(Sweep, ContextRngRestartsPerCall) {
+  SweepContext ctx(5, 99);
+  auto a = ctx.rng();
+  auto b = ctx.rng();
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Sweep, ResultsLandInIndexOrder) {
+  SweepOptions options;
+  options.threads = 4;
+  const auto results =
+      sweep(100, [](SweepContext& ctx) { return ctx.index() * 3; }, options);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * 3);
+}
+
+TEST(Sweep, ReportAggregatesAcrossPoints) {
+  SweepOptions options;
+  options.threads = 1;
+  CycleReport report;
+  sweep(
+      4,
+      [](SweepContext& ctx) {
+        ctx.record({"p", 10.0,
+                    {{"u", static_cast<double>(ctx.index() + 1),
+                      ctx.index() + 1}}});
+        return 0;
+      },
+      options, &report);
+  ASSERT_EQ(report.samples(), 4u);
+  const auto& entry = report.units().at("u");
+  EXPECT_EQ(entry.busy_cycles.count(), 4u);
+  EXPECT_DOUBLE_EQ(entry.busy_cycles.mean(), 2.5);       // (1+2+3+4)/4
+  EXPECT_DOUBLE_EQ(entry.occupancy.mean(), 0.25);        // busy/total
+  EXPECT_EQ(entry.ops, 1u + 2u + 3u + 4u);
+}
+
+TEST(Sweep, ExceptionsPropagate) {
+  SweepOptions options;
+  options.threads = 2;
+  EXPECT_THROW(sweep(
+                   16,
+                   [](SweepContext& ctx) {
+                     if (ctx.index() == 7) throw std::runtime_error("boom");
+                     return 0;
+                   },
+                   options),
+               std::runtime_error);
+}
+
+TEST(Sweep, EnvOverrideResolvesThreadCount) {
+  ASSERT_EQ(setenv("HSIM_SWEEP_THREADS", "3", 1), 0);
+  EXPECT_EQ(resolve_sweep_threads(0), 3u);
+  // Explicit thread counts win over the environment.
+  EXPECT_EQ(resolve_sweep_threads(5), 5u);
+  ASSERT_EQ(unsetenv("HSIM_SWEEP_THREADS"), 0);
+  EXPECT_EQ(resolve_sweep_threads(0), global_pool().size());
+}
+
+}  // namespace
+}  // namespace hsim::sim

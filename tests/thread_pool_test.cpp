@@ -1,14 +1,40 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 namespace hsim {
 namespace {
+
+// Runs `fn` on a separate thread and waits up to `deadline` for it to
+// finish.  On timeout the thread is detached (so a regression fails the
+// test instead of hanging the binary); callers must keep any state the
+// callable touches alive via shared ownership.
+bool completes_within(std::chrono::seconds deadline, std::function<void()> fn) {
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::thread runner([done, fn = std::move(fn)] {
+    fn();
+    done->store(true);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  while (!done->load() && std::chrono::steady_clock::now() - start < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (!done->load()) {
+    runner.detach();
+    return false;
+  }
+  runner.join();
+  return true;
+}
 
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(2);
@@ -49,6 +75,51 @@ TEST(ThreadPool, SubmitExceptionInFuture) {
   ThreadPool pool(1);
   auto future = pool.submit([] { throw std::logic_error("bad"); });
   EXPECT_THROW(future.get(), std::logic_error);
+}
+
+// Regression: parallel_for called from inside a pool task used to deadlock
+// (the worker blocked on the future while holding the only worker slot).
+// Workers now detect the nested call and help drain the queue instead.
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  auto pool = std::make_shared<ThreadPool>(2);
+  auto hits = std::make_shared<std::vector<std::atomic<int>>>(64);
+  const bool finished = completes_within(std::chrono::seconds(30), [pool, hits] {
+    pool->parallel_for(0, 8, [&](std::size_t i) {
+      pool->parallel_for(0, 8, [&](std::size_t j) { ++(*hits)[i * 8 + j]; });
+    });
+  });
+  ASSERT_TRUE(finished) << "nested parallel_for deadlocked";
+  for (const auto& hit : *hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForFromSubmittedTaskSingleWorker) {
+  // One worker is the worst case: the worker itself must execute every
+  // chunk of the inner loop while it waits.
+  auto pool = std::make_shared<ThreadPool>(1);
+  auto total = std::make_shared<std::atomic<int>>(0);
+  const bool finished = completes_within(std::chrono::seconds(30), [pool, total] {
+    auto future = pool->submit([&] {
+      pool->parallel_for(0, 100, [&](std::size_t i) {
+        total->fetch_add(static_cast<int>(i));
+      });
+    });
+    future.get();
+  });
+  ASSERT_TRUE(finished) << "parallel_for from a worker task deadlocked";
+  EXPECT_EQ(total->load(), 4950);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [&](std::size_t i) {
+                                   pool.parallel_for(0, 4, [&](std::size_t j) {
+                                     if (i == 1 && j == 2) {
+                                       throw std::runtime_error("inner");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
 }
 
 TEST(ThreadPool, SizeDefaultsToHardware) {

@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/pchase.hpp"
+#include "trace/sinks.hpp"
 
 int main(int argc, char** argv) {
   using namespace hsim;
@@ -37,9 +38,18 @@ int main(int argc, char** argv) {
         const auto* device = devices[ctx.index() % kDevices];
         core::PChaseConfig config;
         config.seed = ctx.seed();
+        // Trace the chase: the aggregated breakdown shows which level
+        // serviced the dependent accesses, merged deterministically into the
+        // cycle report alongside the port-occupancy sample.
+        trace::AggregatingSink agg;
+        config.sink = &agg;
         auto result = core::pchase(*device, row.level, config);
         if (!result) return std::nullopt;
         ctx.record(result.value().usage);
+        if (!agg.empty()) {
+          ctx.record(agg.to_cycle_sample(result.value().usage.label + ".trace",
+                                         result.value().usage.total_cycles));
+        }
         return std::move(result).value();
       },
       bench::sweep_options(opt), &report);

@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/tcbench.hpp"
+#include "trace/sinks.hpp"
 
 int main(int argc, char** argv) {
   using namespace hsim;
@@ -50,9 +51,22 @@ int main(int argc, char** argv) {
             .ab = row.ab,
             .cd = row.cd,
             .sparse = sparse};
-        auto result = core::bench_tc(instr, *devices[d]);
+        // Trace the dependent-latency chain: the stall breakdown (scoreboard
+        // vs cadence cycles) merges into the cycle report deterministically.
+        trace::AggregatingSink agg;
+        core::TcBenchConfig config;
+        config.sink = &agg;
+        auto result = core::bench_tc(instr, *devices[d], config);
         if (!result) return std::nullopt;
         ctx.record(result.value().usage);
+        if (!agg.empty()) {
+          // Normalise against the traced latency chain's own span (every
+          // cycle there is either a stall or an in-flight issue), not the
+          // throughput loop behind usage.total_cycles.
+          ctx.record(agg.to_cycle_sample(result.value().usage.label + ".trace",
+                                         agg.stall_cycles() +
+                                             agg.issue_cycles()));
+        }
         return std::move(result).value();
       },
       bench::sweep_options(opt), &report);

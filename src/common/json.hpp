@@ -1,0 +1,66 @@
+// Minimal JSON string escaping shared by every writer that emits
+// user-influenced strings (unit names, kernel labels, trace event names).
+// Escapes the two structurally dangerous characters (quote, backslash) and
+// control characters; everything else passes through byte-for-byte.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace hsim {
+
+/// Stream `text` into `os` as the *contents* of a JSON string literal
+/// (the caller writes the surrounding quotes).
+inline void write_json_escaped(std::ostream& os, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Convenience: the escaped contents as a string.
+inline std::string json_escaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace hsim

@@ -37,6 +37,15 @@ void init_log_level_from_env() noexcept {
   else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
   else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
   else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+  else {
+    // A typo'd HSIM_LOG silently keeping the default is confusing; warn
+    // once (the level stays unchanged, and warnings are on by default).
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      HSIM_WARN("ignoring unknown HSIM_LOG value \"" << env
+                << "\"; accepted: debug, info, warn, error");
+    }
+  }
 }
 
 namespace detail {

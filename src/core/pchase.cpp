@@ -40,6 +40,7 @@ Expected<PChaseResult> pchase(const arch::DeviceSpec& device,
   if (n < 2) return invalid_argument("working set too small for the stride");
 
   mem::MemorySystem memsys(device, 1);
+  memsys.set_trace(config.sink);
   Xoshiro256ss rng(config.seed);
   const auto chain = random_cycle(n, rng);
 

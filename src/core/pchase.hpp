@@ -13,6 +13,7 @@
 #include "common/status.hpp"
 #include "mem/memory_system.hpp"
 #include "sim/accounting.hpp"
+#include "trace/trace.hpp"
 
 namespace hsim::core {
 
@@ -31,6 +32,9 @@ struct PChaseConfig {
   std::uint64_t iterations = 4096;
   bool warm_tlb = true;           // the paper's init pass; false shows why
   std::uint64_t seed = 1;
+  // Optional event sink: every chase access emits a kExecute event named
+  // after the level that serviced it (attached to the MemorySystem).
+  trace::TraceSink* sink = nullptr;
 };
 
 Expected<PChaseResult> pchase(const arch::DeviceSpec& device,

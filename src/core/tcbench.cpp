@@ -3,6 +3,19 @@
 #include "sim/pipeline.hpp"
 
 namespace hsim::core {
+namespace {
+
+// Event names must be static storage (Event keeps a string_view).
+constexpr std::string_view tc_event_name(isa::TcPath path) noexcept {
+  switch (path) {
+    case isa::TcPath::kMma: return "MMA";
+    case isa::TcPath::kWgmma: return "WGMMA";
+    case isa::TcPath::kWmma: return "WMMA";
+  }
+  return "TC";
+}
+
+}  // namespace
 
 Expected<TcBenchResult> bench_tc(const isa::TcInstr& instr,
                                  const arch::DeviceSpec& device,
@@ -21,11 +34,27 @@ Expected<TcBenchResult> bench_tc(const isa::TcInstr& instr,
   // result is architecturally visible (D feeds the next accumulate).
   {
     sim::PipelinedUnit pipe(t.cadence, t.latency);
+    const std::string_view name = tc_event_name(instr.path);
     double ready = 0;
     double issue_to_complete_sum = 0;
     for (int i = 0; i < config.iterations; ++i) {
-      const double start = std::max(ready, pipe.next_free());
+      const double free_at = pipe.next_free();
+      const double start = std::max(ready, free_at);
       const double completion = pipe.issue(ready, t.cadence, t.latency);
+      if (config.sink != nullptr) {
+        if (ready > free_at) {
+          config.sink->on_event({trace::EventKind::kStall,
+                                 trace::StallReason::kScoreboardRaw, free_at,
+                                 ready - free_at, 0, 0, i, name});
+        } else if (free_at > ready) {
+          config.sink->on_event({trace::EventKind::kStall,
+                                 trace::StallReason::kStructural, ready,
+                                 free_at - ready, 0, 0, i, name});
+        }
+        config.sink->on_event({trace::EventKind::kIssue,
+                               trace::StallReason::kNone, start,
+                               completion - start, 0, 0, i, name});
+      }
       issue_to_complete_sum += completion - start;
       ready = completion;
     }

@@ -16,6 +16,7 @@
 #include "sim/accounting.hpp"
 #include "tensorcore/power.hpp"
 #include "tensorcore/timing.hpp"
+#include "trace/trace.hpp"
 
 namespace hsim::core {
 
@@ -34,6 +35,10 @@ struct TcBenchResult {
 
 struct TcBenchConfig {
   int iterations = 1024;
+  // Optional event sink: the dependent-latency chain emits kIssue events
+  // plus kStall events splitting waits into scoreboard (operand pending)
+  // vs structural (pipe cadence) cycles.
+  trace::TraceSink* sink = nullptr;
 };
 
 Expected<TcBenchResult> bench_tc(const isa::TcInstr& instr,

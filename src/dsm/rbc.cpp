@@ -34,12 +34,28 @@ Expected<RbcResult> run_rbc(const arch::DeviceSpec& device, const RbcConfig& con
   const std::int64_t total_stores =
       static_cast<std::int64_t>(window) * config.iterations;
   double last = 0.0;
+  double port_free = 0.0;  // when the port last went idle (trace only)
   for (std::int64_t i = 0; i < total_stores; ++i) {
     const auto slot = static_cast<std::size_t>(i % window);
     const double ready = completion[slot];  // previous store in this slot
     const double port_done = port.transfer(ready, kStoreBytes);
     completion[slot] = port_done + latency;
     last = std::max(last, completion[slot]);
+    if (config.sink != nullptr) {
+      if (ready > port_free) {
+        // The slot waited on its in-flight predecessor, not the port.
+        config.sink->on_event({trace::EventKind::kStall,
+                               trace::StallReason::kDsmHop, port_free,
+                               ready - port_free, 0, -1,
+                               static_cast<std::int32_t>(slot), "DSM.window"});
+      }
+      config.sink->on_event({trace::EventKind::kExecute,
+                             trace::StallReason::kDsmHop,
+                             std::max(ready, port_free),
+                             completion[slot] - std::max(ready, port_free), 0,
+                             -1, static_cast<std::int32_t>(slot), "DSM.port"});
+      port_free = port_done;
+    }
   }
 
   RbcResult out;

@@ -14,6 +14,7 @@
 #include "arch/device.hpp"
 #include "common/status.hpp"
 #include "dsm/cluster.hpp"
+#include "trace/trace.hpp"
 
 namespace hsim::dsm {
 
@@ -22,6 +23,10 @@ struct RbcConfig {
   int block_threads = 1024;
   int ilp = 4;                 // independent stores in flight per thread
   int iterations = 64;         // ring rounds measured
+  // Optional event sink: each windowed store emits a kExecute event on the
+  // injection port, plus a kStall/kDsmHop event when the slot's previous
+  // store is still in flight (the Little's-law wait).
+  trace::TraceSink* sink = nullptr;
 };
 
 struct RbcResult {

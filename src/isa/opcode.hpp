@@ -27,6 +27,8 @@ enum class Opcode : std::uint8_t {
   kDAdd,      // FP64 add
   kDMul,
   kHAdd2,     // packed FP16x2 add
+  kHMma,      // tensor-core mma (m16n8k16 fp16 cadence); rd = ra*rb + rc
+              // per lane as an FP32 stand-in for the fragment math
   kLdgCa,     // rd = global load, L1-allocating (ld.global.ca)
   kLdgCg,     // rd = global load, L2-only (ld.global.cg)
   kStg,       // global store
@@ -64,6 +66,7 @@ constexpr std::string_view mnemonic(Opcode op) noexcept {
     case Opcode::kDAdd: return "DADD";
     case Opcode::kDMul: return "DMUL";
     case Opcode::kHAdd2: return "HADD2";
+    case Opcode::kHMma: return "HMMA.16816";
     case Opcode::kLdgCa: return "LDG.CA";
     case Opcode::kLdgCg: return "LDG.CG";
     case Opcode::kStg: return "STG";
@@ -91,6 +94,7 @@ enum class UnitClass : std::uint8_t {
   kFma,     // FP32 pipe
   kFp64,
   kDpx,     // Hopper hardware DPX (VIMNMX); emulated elsewhere
+  kTensor,  // tensor-core pipe (HMMA)
   kLsu,     // load/store (global + shared)
   kDsm,     // SM-to-SM network ops
   kControl, // barriers, clock, exit
@@ -108,6 +112,8 @@ constexpr UnitClass unit_of(Opcode op) noexcept {
       return UnitClass::kFp64;
     case Opcode::kVIMnMx:
       return UnitClass::kDpx;
+    case Opcode::kHMma:
+      return UnitClass::kTensor;
     case Opcode::kLdgCa:
     case Opcode::kLdgCg:
     case Opcode::kStg:

@@ -57,6 +57,9 @@ class Program {
   Program& fadd(int rd, int ra, int rb) {
     return add({.op = Opcode::kFAdd, .rd = rd, .ra = ra, .rb = rb});
   }
+  Program& hmma(int rd, int ra, int rb, int rc) {
+    return add({.op = Opcode::kHMma, .rd = rd, .ra = ra, .rb = rb, .rc = rc});
+  }
   Program& dadd(int rd, int ra, int rb) {
     return add({.op = Opcode::kDAdd, .rd = rd, .ra = ra, .rb = rb});
   }

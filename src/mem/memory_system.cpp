@@ -72,30 +72,27 @@ LoadResult MemorySystem::load(int sm, std::uint64_t addr, MemSpace space, double
   if (space == MemSpace::kShared) {
     out.ready_time = now + m.smem_latency;
     out.served_by = MemLevel::kShared;
-    return out;
-  }
-
-  out.tlb_miss = !tlb_->access(addr);
-  const double tlb_extra = out.tlb_miss ? m.tlb_miss_penalty : 0.0;
-
-  if (space == MemSpace::kGlobalCa) {
-    const auto l1_outcome = l1(sm).access(addr);
-    if (l1_outcome == CacheOutcome::kHit) {
+  } else {
+    out.tlb_miss = !tlb_->access(addr);
+    const double tlb_extra = out.tlb_miss ? m.tlb_miss_penalty : 0.0;
+    if (space == MemSpace::kGlobalCa &&
+        l1(sm).access(addr) == CacheOutcome::kHit) {
       out.ready_time = now + m.l1_hit_latency + tlb_extra;
       out.served_by = MemLevel::kL1;
-      return out;
+    } else if (l2_->access(addr) == CacheOutcome::kHit) {
+      out.ready_time = now + m.l2_hit_latency + tlb_extra;
+      out.served_by = MemLevel::kL2;
+    } else {
+      out.ready_time = now + m.dram_latency + tlb_extra;
+      out.served_by = MemLevel::kDram;
     }
   }
-
-  const auto l2_outcome = l2_->access(addr);
-  if (l2_outcome == CacheOutcome::kHit) {
-    out.ready_time = now + m.l2_hit_latency + tlb_extra;
-    out.served_by = MemLevel::kL2;
-    return out;
+  last_ = AccessClass{out.served_by, out.tlb_miss};
+  if (trace_ != nullptr) {
+    trace_->on_event({trace::EventKind::kExecute, stall_reason_of(last_), now,
+                      out.ready_time - now, sm, -1, -1,
+                      to_string(out.served_by)});
   }
-
-  out.ready_time = now + m.dram_latency + tlb_extra;
-  out.served_by = MemLevel::kDram;
   return out;
 }
 
@@ -107,7 +104,13 @@ double MemorySystem::warp_transaction(int sm, std::uint64_t addr, std::uint32_t 
     // analyser in the SM model.
     const double duration = static_cast<double>(bytes) / m.smem_bytes_per_clk;
     auto& port = l1_port_[static_cast<std::size_t>(sm)];  // unified L1/smem
-    return port.issue(now, duration, duration + m.smem_latency);
+    const double done = port.issue(now, duration, duration + m.smem_latency);
+    last_ = AccessClass{MemLevel::kShared, false};
+    if (trace_ != nullptr) {
+      trace_->on_event({trace::EventKind::kExecute, stall_reason_of(last_), now,
+                        done - now, sm, -1, -1, to_string(MemLevel::kShared)});
+    }
+    return done;
   }
 
   // Classify the transaction's sectors through the cache hierarchy.  The
@@ -144,6 +147,13 @@ double MemorySystem::warp_transaction(int sm, std::uint64_t addr, std::uint32_t 
   }
   if (any_dram) {
     done = std::max(done, dram_->request(now, bytes));
+  }
+  const MemLevel deepest =
+      any_dram ? MemLevel::kDram : (any_l2 ? MemLevel::kL2 : MemLevel::kL1);
+  last_ = AccessClass{deepest, false};
+  if (trace_ != nullptr) {
+    trace_->on_event({trace::EventKind::kExecute, stall_reason_of(last_), now,
+                      done - now, sm, -1, -1, to_string(deepest)});
   }
   return done;
 }

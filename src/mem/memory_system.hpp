@@ -19,6 +19,7 @@
 #include "mem/tlb.hpp"
 #include "sim/accounting.hpp"
 #include "sim/pipeline.hpp"
+#include "trace/trace.hpp"
 
 namespace hsim::mem {
 
@@ -40,6 +41,26 @@ struct LoadResult {
   MemLevel served_by = MemLevel::kL1;
   bool tlb_miss = false;
 };
+
+/// Classification of the most recent access (either path): the deepest
+/// level that had to service it, and whether it paid a TLB walk.  The SM
+/// model reads this to attribute a later stall on the loaded value.
+struct AccessClass {
+  MemLevel deepest = MemLevel::kL1;
+  bool tlb_miss = false;
+};
+
+/// Stall-reason taxonomy entry for a memory access class.
+constexpr trace::StallReason stall_reason_of(const AccessClass& access) noexcept {
+  if (access.tlb_miss) return trace::StallReason::kMemTlb;
+  switch (access.deepest) {
+    case MemLevel::kL1: return trace::StallReason::kMemL1;
+    case MemLevel::kL2: return trace::StallReason::kMemL2;
+    case MemLevel::kDram: return trace::StallReason::kMemDram;
+    case MemLevel::kShared: return trace::StallReason::kMemShared;
+  }
+  return trace::StallReason::kMemL1;
+}
 
 class MemorySystem {
  public:
@@ -77,8 +98,16 @@ class MemorySystem {
 
   void reset_timing();
 
+  /// Attach a lifecycle event sink: every load / warp transaction emits a
+  /// kExecute event named after the deepest level that serviced it.
+  void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
+  /// Which level serviced the most recent load()/warp_transaction().
+  [[nodiscard]] const AccessClass& last_access() const noexcept { return last_; }
+
  private:
   const arch::DeviceSpec& device_;
+  trace::TraceSink* trace_ = nullptr;
+  AccessClass last_;
   std::vector<std::unique_ptr<Cache>> l1_;
   std::vector<sim::PipelinedUnit> l1_port_;
   std::unique_ptr<Cache> l2_;

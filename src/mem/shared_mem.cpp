@@ -30,6 +30,18 @@ int SharedMemory::conflict_degree(std::span<const std::uint32_t> byte_addrs) con
   return static_cast<int>(degree);
 }
 
+int SharedMemory::conflict_degree(std::span<const std::uint32_t> byte_addrs,
+                                  double now, int sm, int warp) {
+  const int degree = conflict_degree(byte_addrs);
+  if (degree > 1 && trace_ != nullptr) {
+    trace_->on_event({trace::EventKind::kStall,
+                      trace::StallReason::kSmemBankConflict, now,
+                      static_cast<double>(degree - 1), sm, warp, -1,
+                      "Smem.bank"});
+  }
+  return degree;
+}
+
 std::uint32_t SharedMemory::load_u32(std::uint32_t byte_addr) const {
   HSIM_ASSERT(byte_addr + 4 <= data_.size());
   std::uint32_t value;

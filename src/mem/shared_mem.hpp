@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "trace/trace.hpp"
 
 namespace hsim::mem {
 
@@ -23,6 +24,15 @@ class SharedMemory {
   /// the max, over banks, of distinct words touched in that bank.
   /// Broadcasts (same word) do not conflict.  Returns >= 1.
   [[nodiscard]] int conflict_degree(std::span<const std::uint32_t> byte_addrs) const;
+
+  /// As above, but when a trace sink is attached and the access conflicts,
+  /// emits a kStall/kSmemBankConflict event whose duration is the extra
+  /// serialised phases (degree - 1) charged to `warp` on `sm` at `now`.
+  int conflict_degree(std::span<const std::uint32_t> byte_addrs, double now,
+                      int sm, int warp);
+
+  /// Attach (or detach, with nullptr) the bank-conflict event sink.
+  void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
 
   /// Functional 32-bit load/store (histogram bins, reduction scratch).
   [[nodiscard]] std::uint32_t load_u32(std::uint32_t byte_addr) const;
@@ -43,6 +53,7 @@ class SharedMemory {
   std::vector<std::uint8_t> data_;
   int banks_;
   int word_bytes_;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace hsim::mem

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "common/json.hpp"
+
 namespace hsim::sim {
 namespace {
 
@@ -56,8 +58,9 @@ void CycleReport::write_json(std::ostream& os) const {
   for (const auto& [name, entry] : units_) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":\"" << name << "\",\"ops\":" << entry.ops
-       << ",\"busy_cycles\":";
+    os << "{\"name\":\"";
+    write_json_escaped(os, name);
+    os << "\",\"ops\":" << entry.ops << ",\"busy_cycles\":";
     write_stats(os, entry.busy_cycles);
     os << ",\"occupancy\":";
     write_stats(os, entry.occupancy);
@@ -75,7 +78,9 @@ void CycleReport::write_chrome_trace(std::ostream& os) const {
   for (const auto& [name, entry] : units_) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":\"" << name << "\",\"ph\":\"C\",\"pid\":0,\"tid\":0,"
+    os << "{\"name\":\"";
+    write_json_escaped(os, name);
+    os << "\",\"ph\":\"C\",\"pid\":0,\"tid\":0,"
        << "\"ts\":" << ts++ << ",\"args\":{\"occupancy\":";
     write_number(os, entry.occupancy.count() ? entry.occupancy.mean() : 0.0);
     os << ",\"busy_cycles\":";

@@ -7,7 +7,9 @@
 #include <cstring>
 #include <limits>
 
+#include "isa/ptx.hpp"
 #include "numerics/types.hpp"
+#include "tensorcore/timing.hpp"
 
 namespace hsim::sm {
 namespace {
@@ -28,6 +30,8 @@ std::int32_t as_s32(std::uint64_t bits) {
   return static_cast<std::int32_t>(static_cast<std::uint32_t>(bits));
 }
 
+using trace::StallReason;
+
 }  // namespace
 
 struct SmCore::Warp {
@@ -39,8 +43,12 @@ struct SmCore::Warp {
   bool done = false;
   bool at_barrier = false;
   double blocked_until = 0;       // async-wait / barrier release
+  // What a wait until blocked_until means for stall attribution.
+  trace::StallReason block_reason = trace::StallReason::kBarrier;
   double last_issue_cycle = -1;
   std::vector<double> reg_ready;  // per register
+  // Why a RAW wait on each register would stall (producer classification).
+  std::vector<trace::StallReason> reg_reason;
   std::vector<std::uint64_t> lanes;  // regs * kLanes
   std::vector<double> async_groups;  // completion time per committed group
   double async_pending = 0;          // completion of the open (uncommitted) group
@@ -58,12 +66,14 @@ struct SmCore::Units {
   std::array<sim::PipelinedUnit, 4> alu;
   sim::PipelinedUnit fp64;
   std::array<sim::PipelinedUnit, 4> dpx;
+  sim::PipelinedUnit tensor;
   sim::PipelinedUnit lsu;
   sim::PipelinedUnit dsm;
   double fma_ii = 1, fma_lat = 4;
   double alu_ii = 2, alu_lat = 4;
   double fp64_ii = 1, fp64_lat = 8;
   double dpx_ii = 2, dpx_lat = 6;
+  double tensor_ii = 4, tensor_lat = 16;
   double lsu_ii = 1;
   double dsm_lat = 180;
   double dsm_bytes_per_clk = 16;
@@ -92,6 +102,19 @@ SmCore::SmCore(const arch::DeviceSpec& device, mem::MemorySystem* mem, int sm_id
     u.dpx[static_cast<std::size_t>(s)] = sim::PipelinedUnit(u.dpx_ii, u.dpx_lat);
   }
   u.fp64 = sim::PipelinedUnit(u.fp64_ii, u.fp64_lat);
+  // The SM-wide tensor pipe issues at the calibrated mma cadence; HMMA in
+  // the micro-ISA stands for the m16n8k16 FP16->FP32 instruction.
+  const auto mma = tc::tc_timing(
+      isa::TcInstr{.path = isa::TcPath::kMma,
+                   .shape = {16, 8, 16},
+                   .ab = num::DType::kFp16,
+                   .cd = num::DType::kFp32},
+      device);
+  if (mma) {
+    u.tensor_ii = mma.value().cadence;
+    u.tensor_lat = mma.value().latency;
+  }
+  u.tensor = sim::PipelinedUnit(u.tensor_ii, u.tensor_lat);
   u.lsu = sim::PipelinedUnit(u.lsu_ii, 1.0);
   u.dsm = sim::PipelinedUnit(1.0, u.dsm_lat);
 }
@@ -102,8 +125,14 @@ mem::SharedMemory& SmCore::shared() {
   if (!shared_) {
     shared_ = std::make_unique<mem::SharedMemory>(device_.memory.smem_max_per_sm,
                                                   device_.memory.smem_banks);
+    shared_->set_trace(trace_);
   }
   return *shared_;
+}
+
+void SmCore::set_trace(trace::TraceSink* sink) {
+  trace_ = sink;
+  if (shared_) shared_->set_trace(sink);
 }
 
 std::uint64_t SmCore::reg(int warp, int reg_index, int lane) const {
@@ -134,6 +163,7 @@ std::vector<sim::UnitSample> SmCore::unit_usage() const {
   return {std::move(fma), std::move(alu),
           {"SM.FP64", u.fp64.busy_cycles(), u.fp64.ops()},
           std::move(dpx),
+          {"SM.TC", u.tensor.busy_cycles(), u.tensor.ops()},
           {"SM.LSU", u.lsu.busy_cycles(), u.lsu.ops()},
           {"SM.DSM", u.dsm.busy_cycles(), u.dsm.ops()}};
 }
@@ -158,6 +188,8 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
     w.block = i / warps_per_block;
     w.scheduler = i % 4;
     w.reg_ready.assign(static_cast<std::size_t>(num_regs), 0.0);
+    w.reg_reason.assign(static_cast<std::size_t>(num_regs),
+                        StallReason::kScoreboardRaw);
     w.lanes.assign(static_cast<std::size_t>(num_regs) * kLanes, 0);
     // R0 is preloaded with the global thread id (lane-varying), the way
     // CUDA kernels derive addresses from threadIdx.
@@ -170,6 +202,13 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
   }
   barrier_target_ = warps_per_block;
   result_ = {};
+
+  if (trace_ != nullptr) {
+    for (const auto& w : warps_) {
+      trace_->on_event({trace::EventKind::kFetch, StallReason::kNone, 0.0, 0.0,
+                        sm_id_, w.id, 0, "warp"});
+    }
+  }
 
   double now = 0.0;
   int live = total_warps;
@@ -193,6 +232,7 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
           if (w.at_barrier) {
             w.at_barrier = false;
             w.blocked_until = now + 1;
+            w.block_reason = StallReason::kBarrier;
           }
         }
       }
@@ -207,19 +247,37 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
       }
       if (count == 0) continue;
       int seen = 0;
+      // Stall attribution for this scheduler slot: the reason the *first*
+      // live candidate (the round-robin head) could not issue.  If every
+      // warp of the scheduler has retired the slot is drain, not a stall.
+      StallReason slot_reason = StallReason::kIdle;
+      std::string_view slot_where = "drain";
+      int slot_warp = -1;
       for (int step = 0; step < total_warps && !issued; ++step) {
         const int idx = (rotate[static_cast<std::size_t>(s)] + step) % total_warps;
         auto& w = warps_[static_cast<std::size_t>(idx)];
         if (w.scheduler != s || w.done) continue;
         ++seen;
-        if (try_issue(w, now, program)) {
+        StallReason why = StallReason::kNone;
+        std::string_view where;
+        if (try_issue(w, now, program, why, where)) {
           issued = true;
           rotate[static_cast<std::size_t>(s)] = (idx + 1) % total_warps;
           if (w.done) --live;
+        } else if (slot_warp < 0 && why != StallReason::kNone) {
+          slot_warp = w.id;
+          slot_reason = why;
+          slot_where = where;
         }
         if (seen >= count) break;
       }
-      if (!issued) ++result_.stall_cycles;
+      if (!issued) {
+        ++result_.stall_cycles;
+        if (trace_ != nullptr) {
+          trace_->on_event({trace::EventKind::kStall, slot_reason, now, 1.0,
+                            sm_id_, slot_warp, -1, slot_where});
+        }
+      }
     }
     now += 1.0;
   }
@@ -239,17 +297,33 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
   return result_;
 }
 
-bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program) {
-  if (warp.done || warp.at_barrier) return false;
-  if (warp.blocked_until > now + kEps) return false;
-  if (warp.last_issue_cycle >= now - kEps) return false;
-
+bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program,
+                       trace::StallReason& why, std::string_view& where) {
+  if (warp.done) {
+    why = StallReason::kNone;
+    return false;
+  }
   const auto& inst = program.body()[warp.pc];
+  where = isa::mnemonic(inst.op);
+  if (warp.at_barrier) {
+    why = StallReason::kBarrier;
+    return false;
+  }
+  if (warp.blocked_until > now + kEps) {
+    why = warp.block_reason;
+    return false;
+  }
+  if (warp.last_issue_cycle >= now - kEps) {
+    why = StallReason::kNone;  // dual issue, not modelled — not a stall
+    return false;
+  }
 
-  // Source operands must be ready.
+  // Source operands must be ready; a wait inherits the classification of
+  // the pending producer (scoreboard, memory level, bank conflict, ...).
   for (const int src : {inst.ra, inst.rb, inst.rc}) {
     if (src != isa::kRegNone &&
         warp.reg_ready[static_cast<std::size_t>(src)] > now + kEps) {
+      why = warp.reg_reason[static_cast<std::size_t>(src)];
       return false;
     }
   }
@@ -258,50 +332,95 @@ bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program) {
   if (inst.rd != isa::kRegNone &&
       warp.reg_ready[static_cast<std::size_t>(inst.rd)] > now + kEps &&
       inst.op != isa::Opcode::kClock) {
+    why = StallReason::kScoreboardWaw;
     return false;
   }
 
   // Unit availability.
+  why = StallReason::kStructural;
   auto& u = *units_;
   const auto sched = static_cast<std::size_t>(warp.scheduler);
   switch (isa::unit_of(inst.op)) {
     case isa::UnitClass::kFma:
-      if (u.fma[sched].next_free() > now + kEps) return false;
+      if (u.fma[sched].next_free() > now + kEps) {
+        where = "SM.FMA";
+        return false;
+      }
       break;
     case isa::UnitClass::kAlu:
-      if (u.alu[sched].next_free() > now + kEps) return false;
+      if (u.alu[sched].next_free() > now + kEps) {
+        where = "SM.ALU";
+        return false;
+      }
       break;
     case isa::UnitClass::kFp64:
-      if (u.fp64.next_free() > now + kEps) return false;
+      if (u.fp64.next_free() > now + kEps) {
+        where = "SM.FP64";
+        return false;
+      }
       break;
     case isa::UnitClass::kDpx:
       if (device_.dpx.hardware) {
-        if (u.dpx[sched].next_free() > now + kEps) return false;
+        if (u.dpx[sched].next_free() > now + kEps) {
+          where = "SM.DPX";
+          return false;
+        }
       } else {
-        if (u.alu[sched].next_free() > now + kEps) return false;
+        if (u.alu[sched].next_free() > now + kEps) {
+          where = "SM.ALU";
+          return false;
+        }
+      }
+      break;
+    case isa::UnitClass::kTensor:
+      if (u.tensor.next_free() > now + kEps) {
+        where = "SM.TC";
+        return false;
       }
       break;
     case isa::UnitClass::kLsu:
-      if (u.lsu.next_free() > now + kEps) return false;
+      if (u.lsu.next_free() > now + kEps) {
+        where = "SM.LSU";
+        return false;
+      }
       break;
     case isa::UnitClass::kDsm:
-      // Remote traffic stalls at the SM's injection port, not the LSU.
-      if (u.dsm.next_free() > now + kEps) return false;
+      // Remote traffic stalls at the SM's injection port, not the LSU; a
+      // busy port means the SM-to-SM fabric is backed up.
+      if (u.dsm.next_free() > now + kEps) {
+        why = StallReason::kDsmHop;
+        where = "SM.DSM";
+        return false;
+      }
       break;
     case isa::UnitClass::kControl:
       break;
   }
+  why = StallReason::kNone;
 
+  value_reason_ = StallReason::kScoreboardRaw;
   const double completion = execute(warp, inst, now);
   if (inst.rd != isa::kRegNone) {
     warp.reg_ready[static_cast<std::size_t>(inst.rd)] = completion;
+    warp.reg_reason[static_cast<std::size_t>(inst.rd)] = value_reason_;
   }
   warp.last_issue_cycle = now;
   ++result_.instructions_issued;
+  if (trace_ != nullptr) {
+    trace_->on_event({trace::EventKind::kIssue, StallReason::kNone, now,
+                      completion - now, sm_id_, warp.id,
+                      static_cast<std::int32_t>(warp.pc),
+                      isa::mnemonic(inst.op)});
+  }
 
   // Advance control flow.
   if (inst.op == isa::Opcode::kExit) {
     warp.done = true;
+    if (trace_ != nullptr) {
+      trace_->on_event({trace::EventKind::kRetire, StallReason::kNone, now,
+                        0.0, sm_id_, warp.id,
+                        static_cast<std::int32_t>(warp.pc), "exit"});
+    }
     return true;
   }
   if (inst.op == isa::Opcode::kBarSync) {
@@ -311,7 +430,15 @@ bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program) {
   if (warp.pc >= program.size()) {
     warp.pc = 0;
     ++warp.iteration;
-    if (warp.iteration >= program.iterations()) warp.done = true;
+    if (warp.iteration >= program.iterations()) {
+      warp.done = true;
+      if (trace_ != nullptr) {
+        trace_->on_event({trace::EventKind::kRetire, StallReason::kNone, now,
+                          0.0, sm_id_, warp.id,
+                          static_cast<std::int32_t>(program.size() - 1),
+                          "retire"});
+      }
+    }
   }
   return true;
 }
@@ -428,6 +555,13 @@ double SmCore::execute(Warp& warp, const isa::Instruction& inst, double now) {
         return from_f64(as_f64(a) * as_f64(b));
       });
       return u.fp64.issue(now);
+    case Opcode::kHMma:
+      // Fragment math stands in as a per-lane FP32 FMA; the timing is the
+      // calibrated tensor-core cadence/latency.
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        return from_f32(as_f32(a) * as_f32(b) + as_f32(c));
+      });
+      return u.tensor.issue(now);
     case Opcode::kClock:
       for_lanes([&](std::uint64_t, std::uint64_t, std::uint64_t) {
         return static_cast<std::uint64_t>(now);
@@ -450,6 +584,7 @@ double SmCore::execute(Warp& warp, const isa::Instruction& inst, double now) {
         warp.async_groups.erase(warp.async_groups.begin());
       }
       warp.blocked_until = wait_until;
+      warp.block_reason = StallReason::kTmaWait;
       return wait_until;
     }
     default:
@@ -520,6 +655,7 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
       }
       u.lsu.issue(now);  // LSU dispatch slot
       double completion = now;
+      value_reason_ = StallReason::kMemL1;
       if (mem_ == nullptr) {
         completion = now + device_.memory.l1_hit_latency;
       } else {
@@ -540,14 +676,20 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
         if (num_lines == 1 && inst.access_bytes <= 8) {
           // Dependent/narrow access: pure latency path.
           completion = mem_->load(sm_id_, addrs[0], space, now).ready_time;
+          value_reason_ = mem::stall_reason_of(mem_->last_access());
         } else {
+          // A multi-line warp transaction classifies by the deepest level
+          // any of its lines had to reach.
+          auto deepest = mem::MemLevel::kL1;
           for (int j = 0; j < num_lines; ++j) {
             const std::uint64_t base = lines[static_cast<std::size_t>(j)] * 128;
             completion = std::max(
                 completion,
                 mem_->warp_transaction(sm_id_, base, 128,
                                        static_cast<int>(inst.access_bytes), space, now));
+            deepest = std::max(deepest, mem_->last_access().deepest);
           }
+          value_reason_ = mem::stall_reason_of(mem::AccessClass{deepest, false});
         }
       }
       if (inst.op == Opcode::kCpAsync) {
@@ -568,7 +710,9 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
         byte_addrs[static_cast<std::size_t>(l)] = static_cast<std::uint32_t>(
             addrs[static_cast<std::size_t>(l)] % smem.size());
       }
-      const int degree = smem.conflict_degree(byte_addrs);
+      const int degree = smem.conflict_degree(byte_addrs, now, sm_id_, warp.id);
+      value_reason_ = degree > 1 ? StallReason::kSmemBankConflict
+                                 : StallReason::kMemShared;
       const double ii = static_cast<double>(degree);
       const double latency =
           device_.memory.smem_latency + static_cast<double>(degree - 1);
@@ -608,8 +752,10 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
     case Opcode::kAtomRemoteAdd: {
       if (!device_.dsm.available) {
         // Without DSM these fall back to going through L2.
+        value_reason_ = StallReason::kMemL2;
         return u.lsu.issue(now, 1.0, device_.memory.l2_hit_latency);
       }
+      value_reason_ = StallReason::kDsmHop;
       const double bytes = 32.0 * static_cast<double>(inst.access_bytes);
       const double ii = bytes / units_->dsm_bytes_per_clk;
       return u.dsm.issue(now, ii, ii + units_->dsm_lat);

@@ -26,6 +26,7 @@
 #include "mem/shared_mem.hpp"
 #include "sim/accounting.hpp"
 #include "sim/pipeline.hpp"
+#include "trace/trace.hpp"
 
 namespace hsim::sm {
 
@@ -77,11 +78,21 @@ class SmCore {
   /// cycle count in a sim::CycleSample for occupancy reporting.
   [[nodiscard]] std::vector<sim::UnitSample> unit_usage() const;
 
+  /// Attach (or detach, with nullptr) a per-warp lifecycle event sink.
+  /// Every issue becomes a kIssue event, every scheduler slot that goes
+  /// unissued a kStall event with a typed reason; the core's SharedMemory
+  /// (if created) inherits the sink for bank-conflict events.  With no sink
+  /// attached the pipeline performs no tracing work beyond one branch per
+  /// event site and allocates nothing extra on the hot path.
+  void set_trace(trace::TraceSink* sink);
+  [[nodiscard]] trace::TraceSink* trace() const noexcept { return trace_; }
+
  private:
   struct Warp;
   struct Units;
 
-  bool try_issue(Warp& warp, double now, const isa::Program& program);
+  bool try_issue(Warp& warp, double now, const isa::Program& program,
+                 trace::StallReason& why, std::string_view& where);
   double execute(Warp& warp, const isa::Instruction& inst, double now);
   double memory_op(Warp& warp, const isa::Instruction& inst, double now);
 
@@ -94,6 +105,11 @@ class SmCore {
   std::unique_ptr<Units> units_;
   RunResult result_;
   int barrier_target_ = 0;  // warps per block, set by run()
+  trace::TraceSink* trace_ = nullptr;
+  // Why a wait on the value most recently produced by execute() would
+  // stall: scoreboard for ALU pipes, a memory level for loads, bank
+  // conflict for serialised shared accesses, DSM hop for remote traffic.
+  trace::StallReason value_reason_ = trace::StallReason::kScoreboardRaw;
 };
 
 }  // namespace hsim::sm

@@ -1,0 +1,156 @@
+#include "trace/kernels.hpp"
+
+#include <array>
+
+namespace hsim::trace {
+namespace {
+
+using isa::Opcode;
+using isa::Program;
+
+struct KernelEntry {
+  std::string_view name;
+  std::string_view description;
+  TraceKernel (*make)(std::uint32_t iterations);
+};
+
+TraceKernel with(std::string_view name, std::string_view description,
+                 Program program, std::uint32_t iterations,
+                 int threads_per_block = 32, int blocks = 1,
+                 bool needs_mem = false) {
+  program.set_iterations(iterations);
+  return TraceKernel{std::string(name), std::string(description),
+                     std::move(program), threads_per_block, blocks, needs_mem};
+}
+
+// Dependent tensor-core chain: each HMMA accumulates into its own source, so
+// every issue waits out the full mma latency on the scoreboard.
+TraceKernel make_mma(std::uint32_t iterations) {
+  return with("mma", "dependent HMMA.16816 chain (scoreboard_raw on SM.TC)",
+              Program().hmma(1, 2, 3, 1), iterations);
+}
+
+TraceKernel make_ffma_dep(std::uint32_t iterations) {
+  return with("ffma_dep", "dependent FFMA chain (scoreboard_raw on SM.FMA)",
+              Program().add({.op = Opcode::kFFma, .rd = 1, .ra = 2, .rb = 3,
+                             .rc = 1}),
+              iterations);
+}
+
+TraceKernel make_ffma_tput(std::uint32_t iterations) {
+  // Independent accumulators saturate the FP32 pipe: stalls are structural.
+  Program p;
+  for (int r = 1; r <= 8; ++r) {
+    p.add({.op = Opcode::kFFma, .rd = r, .ra = 9, .rb = 10, .rc = r});
+  }
+  return with("ffma_tput", "independent FFMA streams (unit_busy on SM.FMA)",
+              std::move(p), iterations);
+}
+
+TraceKernel make_mem_l1(std::uint32_t iterations) {
+  // r1 = load(r1): the loaded word is 0, so the address folds to 0 and every
+  // access after the first hits L1.
+  return with("mem_l1", "dependent ld.global.ca chain on a hot line (mem_l1)",
+              Program().ldg_ca(1, 1), iterations, 32, 1, /*needs_mem=*/true);
+}
+
+TraceKernel make_mem_l2(std::uint32_t iterations) {
+  return with("mem_l2", "dependent ld.global.cg chain on a hot line (mem_l2)",
+              Program().ldg_cg(1, 1), iterations, 32, 1, /*needs_mem=*/true);
+}
+
+TraceKernel make_mem_global(std::uint32_t iterations) {
+  // The address strides 4 KiB past everything previously touched, through
+  // the loaded value, so every iteration waits on a cold DRAM access (with a
+  // TLB walk every 2 MiB page boundary).
+  Program p;
+  p.mov(3, 4096)
+      .ldg_cg(2, 1)
+      .iadd3(1, 1, 3, 2);  // r1 = r1 + 4096 + loaded(0)
+  return with("mem_global", "striding dependent loads, always cold (mem_dram)",
+              std::move(p), iterations, 32, 1, /*needs_mem=*/true);
+}
+
+TraceKernel make_smem_conflict(std::uint32_t iterations) {
+  // r1 = tid * 128 puts all 32 lanes in bank 0 at distinct words: a 32-way
+  // conflict every access; the dependent add then waits out the serialised
+  // phases.
+  Program p;
+  p.add({.op = Opcode::kShf, .rd = 1, .ra = 0, .imm = 7})
+      .lds(2, 1)
+      .iadd3(3, 2, 2);
+  return with("smem_conflict", "32-way bank-conflicted LDS (smem_bank_conflict)",
+              std::move(p), iterations);
+}
+
+TraceKernel make_barrier(std::uint32_t iterations) {
+  // Eight warps ping-pong through a barrier; fast warps park on it.
+  Program p;
+  p.iadd3(1, 1, 1).bar_sync();
+  return with("barrier", "8-warp barrier ping-pong (barrier)", std::move(p),
+              iterations, /*threads_per_block=*/256, /*blocks=*/1);
+}
+
+TraceKernel make_dsm(std::uint32_t iterations) {
+  // Dependent remote shared-memory loads over the SM-to-SM network.
+  Program p;
+  p.add({.op = Opcode::kLdsRemote, .rd = 2, .ra = 1}).iadd3(1, 1, 2);
+  return with("dsm", "dependent remote (cluster) shared loads (dsm_hop)",
+              std::move(p), iterations);
+}
+
+TraceKernel make_tma(std::uint32_t iterations) {
+  // TMA bulk copy + immediate wait: the next iteration stalls on the
+  // outstanding async group.
+  Program p;
+  p.add({.op = Opcode::kTmaLoad, .imm = 16384})
+      .add({.op = Opcode::kCpAsyncCommit})
+      .add({.op = Opcode::kCpAsyncWait, .imm = 0});
+  return with("tma", "TMA box copy + wait_group 0 (tma_async_wait)",
+              std::move(p), iterations, 32, 1, /*needs_mem=*/true);
+}
+
+constexpr std::array<KernelEntry, 10> kKernels{{
+    {"mma", "dependent HMMA.16816 chain (scoreboard_raw on SM.TC)", make_mma},
+    {"ffma_dep", "dependent FFMA chain (scoreboard_raw on SM.FMA)",
+     make_ffma_dep},
+    {"ffma_tput", "independent FFMA streams (unit_busy on SM.FMA)",
+     make_ffma_tput},
+    {"mem_l1", "dependent ld.global.ca chain on a hot line (mem_l1)",
+     make_mem_l1},
+    {"mem_l2", "dependent ld.global.cg chain on a hot line (mem_l2)",
+     make_mem_l2},
+    {"mem_global", "striding dependent loads, always cold (mem_dram)",
+     make_mem_global},
+    {"smem_conflict", "32-way bank-conflicted LDS (smem_bank_conflict)",
+     make_smem_conflict},
+    {"barrier", "8-warp barrier ping-pong (barrier)", make_barrier},
+    {"dsm", "dependent remote (cluster) shared loads (dsm_hop)", make_dsm},
+    {"tma", "TMA box copy + wait_group 0 (tma_async_wait)", make_tma},
+}};
+
+}  // namespace
+
+std::vector<std::string_view> trace_kernel_names() {
+  std::vector<std::string_view> names;
+  names.reserve(kKernels.size());
+  for (const auto& k : kKernels) names.push_back(k.name);
+  return names;
+}
+
+std::string_view trace_kernel_description(std::string_view name) {
+  for (const auto& k : kKernels) {
+    if (k.name == name) return k.description;
+  }
+  return {};
+}
+
+std::optional<TraceKernel> make_trace_kernel(std::string_view name,
+                                             std::uint32_t iterations) {
+  for (const auto& k : kKernels) {
+    if (k.name == name) return k.make(iterations);
+  }
+  return std::nullopt;
+}
+
+}  // namespace hsim::trace

@@ -1,0 +1,39 @@
+// Canonical micro-kernels for the tracer: each one is built to spend its
+// cycles on one stall reason from the taxonomy, so `hsim trace <kernel>`
+// demonstrates (and tests pin down) the attribution for that reason.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace hsim::trace {
+
+/// A ready-to-run traced kernel: the program plus its launch shape.  The
+/// shape is kept as plain ints so this library does not depend on the SM
+/// model (which itself depends on hsim::trace).
+struct TraceKernel {
+  std::string name;
+  std::string description;
+  isa::Program program;
+  int threads_per_block = 32;
+  int blocks = 1;
+  bool needs_mem = false;  // attach a MemorySystem (global-memory kernels)
+};
+
+/// Names accepted by make_trace_kernel, in presentation order.
+[[nodiscard]] std::vector<std::string_view> trace_kernel_names();
+
+/// One-line description for a kernel name (empty view if unknown).
+[[nodiscard]] std::string_view trace_kernel_description(std::string_view name);
+
+/// Build a kernel by name with the body iterated `iterations` times.
+/// Returns std::nullopt for an unknown name.
+[[nodiscard]] std::optional<TraceKernel> make_trace_kernel(
+    std::string_view name, std::uint32_t iterations);
+
+}  // namespace hsim::trace

@@ -1,0 +1,248 @@
+#include "trace/sinks.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+
+namespace hsim::trace {
+
+// ---------------------------------------------------------------------------
+// AggregatingSink
+
+void AggregatingSink::on_event(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kStall: {
+      auto& bucket = stalls_[{event.reason, std::string(event.what)}];
+      bucket.cycles += event.duration;
+      ++bucket.events;
+      stall_cycles_ += event.duration;
+      if (event.reason != StallReason::kNone &&
+          event.reason != StallReason::kIdle) {
+        attributed_cycles_ += event.duration;
+      }
+      break;
+    }
+    case EventKind::kIssue:
+      ++issues_;
+      issue_cycles_ += event.duration;
+      break;
+    case EventKind::kExecute: {
+      auto& bucket = executes_[std::string(event.what)];
+      bucket.cycles += event.duration;
+      ++bucket.events;
+      break;
+    }
+    case EventKind::kRetire:
+      ++retires_;
+      break;
+    case EventKind::kFetch:
+      break;
+  }
+}
+
+void AggregatingSink::merge(const AggregatingSink& other) {
+  for (const auto& [key, bucket] : other.stalls_) {
+    auto& mine = stalls_[key];
+    mine.cycles += bucket.cycles;
+    mine.events += bucket.events;
+  }
+  for (const auto& [name, bucket] : other.executes_) {
+    auto& mine = executes_[name];
+    mine.cycles += bucket.cycles;
+    mine.events += bucket.events;
+  }
+  stall_cycles_ += other.stall_cycles_;
+  attributed_cycles_ += other.attributed_cycles_;
+  issue_cycles_ += other.issue_cycles_;
+  issues_ += other.issues_;
+  retires_ += other.retires_;
+}
+
+sim::CycleSample AggregatingSink::to_cycle_sample(std::string label,
+                                                  double total_cycles) const {
+  sim::CycleSample sample;
+  sample.label = std::move(label);
+  sample.total_cycles = total_cycles;
+  // Sum stall buckets per reason (locations collapse): the per-unit view
+  // lives in the summary table; reports want the reason histogram.
+  std::map<StallReason, Bucket> by_reason;
+  for (const auto& [key, bucket] : stalls_) {
+    auto& fold = by_reason[key.first];
+    fold.cycles += bucket.cycles;
+    fold.events += bucket.events;
+  }
+  for (const auto& [reason, bucket] : by_reason) {
+    sample.units.push_back({"Stall." + std::string(to_string(reason)),
+                            bucket.cycles, bucket.events});
+  }
+  for (const auto& [name, bucket] : executes_) {
+    sample.units.push_back({"Trace." + name, bucket.cycles, bucket.events});
+  }
+  return sample;
+}
+
+void AggregatingSink::write_summary(std::ostream& os, double slot_cycles,
+                                    int top_n) const {
+  struct Row {
+    StallKey key;
+    Bucket bucket;
+  };
+  std::vector<Row> rows;
+  rows.reserve(stalls_.size());
+  for (const auto& [key, bucket] : stalls_) rows.push_back({key, bucket});
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.bucket.cycles > b.bucket.cycles;
+  });
+  if (top_n > 0 && rows.size() > static_cast<std::size_t>(top_n)) {
+    rows.resize(static_cast<std::size_t>(top_n));
+  }
+
+  Table table("Stall breakdown (top " + std::to_string(rows.size()) + " of " +
+              std::to_string(stalls_.size()) + " buckets)");
+  const bool with_slots = slot_cycles > 0;
+  std::vector<std::string> header{"Reason", "At", "Cycles", "Events",
+                                  "% stalls"};
+  if (with_slots) header.push_back("% slots");
+  table.set_header(std::move(header));
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{
+        std::string(to_string(row.key.first)), row.key.second,
+        fmt_fixed(row.bucket.cycles, 0), std::to_string(row.bucket.events),
+        stall_cycles_ > 0
+            ? fmt_fixed(100.0 * row.bucket.cycles / stall_cycles_, 1)
+            : "-"};
+    if (with_slots) {
+      cells.push_back(fmt_fixed(100.0 * row.bucket.cycles / slot_cycles, 1));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.render(os);
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+
+ChromeTraceSink::ChromeTraceSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void ChromeTraceSink::on_event(const Event& event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  // Saturated: head_ walks the ring overwriting the oldest event.
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+namespace {
+
+void write_duration_event(std::ostream& os, bool& first, std::string_view name,
+                          double ts, double dur, int pid, int tid,
+                          StallReason reason, int pc) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"";
+  write_json_escaped(os, name);
+  os << "\",\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << dur
+     << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"args\":{";
+  if (reason != StallReason::kNone) {
+    os << "\"reason\":\"" << to_string(reason) << "\"";
+    if (pc >= 0) os << ",";
+  }
+  if (pc >= 0) os << "\"pc\":" << pc;
+  os << "}}";
+}
+
+/// An open, not-yet-flushed stall span on one warp track.
+struct PendingStall {
+  bool open = false;
+  StallReason reason = StallReason::kNone;
+  std::string_view what;
+  double start = 0;
+  double duration = 0;
+  int pid = 0;
+  int pc = -1;
+};
+
+}  // namespace
+
+void ChromeTraceSink::write(std::ostream& os) const {
+  os.precision(12);  // cycle counts past 1e6 must not round in the JSON
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // The memory side emits warp = -1 events; park them on a reserved track.
+  constexpr int kMemTid = 9999;
+
+  std::map<int, PendingStall> pending;  // per tid
+  const auto flush = [&](int tid, PendingStall& p) {
+    if (!p.open) return;
+    std::string name = "stall:" + std::string(to_string(p.reason));
+    write_duration_event(os, first, name, p.start, p.duration, p.pid, tid,
+                         p.reason, p.pc);
+    p.open = false;
+  };
+
+  const std::size_t count = size();
+  const std::size_t start = ring_.size() < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& e = ring_[(start + i) % ring_.size()];
+    const int tid = e.warp >= 0 ? e.warp : kMemTid;
+    auto& p = pending[tid];
+    if (e.kind == EventKind::kStall) {
+      // Coalesce back-to-back stalls with the same reason into one span.
+      if (p.open && p.reason == e.reason &&
+          e.cycle <= p.start + p.duration + 0.5) {
+        p.duration = (e.cycle + e.duration) - p.start;
+        continue;
+      }
+      flush(tid, p);
+      p = {true, e.reason, e.what, e.cycle, e.duration, e.sm, e.pc};
+      continue;
+    }
+    flush(tid, p);
+    switch (e.kind) {
+      case EventKind::kIssue:
+      case EventKind::kExecute:
+        write_duration_event(os, first, e.what, e.cycle,
+                             std::max(e.duration, 0.1), e.sm, tid, e.reason,
+                             e.pc);
+        break;
+      case EventKind::kFetch:
+      case EventKind::kRetire: {
+        if (!first) os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << to_string(e.kind)
+           << "\",\"ph\":\"i\",\"ts\":" << e.cycle << ",\"pid\":" << e.sm
+           << ",\"tid\":" << tid << ",\"s\":\"t\"}";
+        break;
+      }
+      case EventKind::kStall:
+        break;  // handled above
+    }
+  }
+  for (auto& [tid, p] : pending) flush(tid, p);
+
+  // Name the tracks so Perfetto shows "warp 3" instead of bare tids.
+  std::map<std::pair<int, int>, bool> tracks;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& e = ring_[(start + i) % ring_.size()];
+    tracks[{e.sm, e.warp >= 0 ? e.warp : kMemTid}] = e.warp < 0;
+  }
+  for (const auto& [key, is_mem] : tracks) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\""
+       << (is_mem ? std::string("memory") :
+                    "warp " + std::to_string(key.second))
+       << "\"}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace hsim::trace

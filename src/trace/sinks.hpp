@@ -1,0 +1,125 @@
+// The two shipped TraceSinks.
+//
+//   * AggregatingSink — folds the event stream into a stall-cycle breakdown
+//     histogram: cycles attributed per (stall reason, location) plus issue /
+//     execute totals.  Deterministic: buckets live in std::maps keyed by
+//     (reason, name), and `merge` combines sinks in caller-chosen (index)
+//     order, so sweep points traced in parallel aggregate bit-identically
+//     at any thread count — exactly like sim::CycleSample, into which a
+//     breakdown converts via `to_cycle_sample` for CycleReport plumbing.
+//
+//   * ChromeTraceSink — ring-buffers raw events and renders a Chrome-trace /
+//     Perfetto timeline: one track per warp slot with duration events for
+//     issues and (coalesced) stalls, memory-side execute events on their
+//     own track.  Bounded memory: the ring overwrites the oldest events and
+//     reports how many were dropped.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/accounting.hpp"
+#include "trace/trace.hpp"
+
+namespace hsim::trace {
+
+class AggregatingSink final : public TraceSink {
+ public:
+  struct Bucket {
+    double cycles = 0;
+    std::uint64_t events = 0;
+  };
+  /// (reason, location) — location is the stalled instruction's mnemonic or
+  /// the busy unit's name.
+  using StallKey = std::pair<StallReason, std::string>;
+
+  void on_event(const Event& event) override;
+
+  /// Fold another sink's buckets into this one.  Callers must merge in a
+  /// deterministic order (the sweep engine merges in point-index order).
+  void merge(const AggregatingSink& other);
+
+  [[nodiscard]] const std::map<StallKey, Bucket>& stalls() const noexcept {
+    return stalls_;
+  }
+  [[nodiscard]] const std::map<std::string, Bucket>& executes() const noexcept {
+    return executes_;
+  }
+  /// Total stall cycles across every reason, and the subset carrying a
+  /// *named* reason (everything except idle-drain).
+  [[nodiscard]] double stall_cycles() const noexcept { return stall_cycles_; }
+  [[nodiscard]] double attributed_stall_cycles() const noexcept {
+    return attributed_cycles_;
+  }
+  [[nodiscard]] std::uint64_t issues() const noexcept { return issues_; }
+  [[nodiscard]] double issue_cycles() const noexcept { return issue_cycles_; }
+  [[nodiscard]] std::uint64_t retires() const noexcept { return retires_; }
+  [[nodiscard]] bool empty() const noexcept {
+    return stalls_.empty() && executes_.empty() && issues_ == 0;
+  }
+
+  /// Render as per-unit cycle accounting: one "Stall.<reason>" unit per
+  /// stall reason (cycles summed over locations) plus "Trace.<name>" units
+  /// for execute buckets, so CycleReport / the sweep engine aggregate stall
+  /// breakdowns across points with the existing deterministic machinery.
+  [[nodiscard]] sim::CycleSample to_cycle_sample(std::string label,
+                                                 double total_cycles) const;
+
+  /// Human summary: top-N stall buckets by cycles, with shares of the total
+  /// stall cycles and of `slot_cycles` (all scheduler issue slots) if > 0.
+  void write_summary(std::ostream& os, double slot_cycles, int top_n) const;
+
+ private:
+  std::map<StallKey, Bucket> stalls_;
+  std::map<std::string, Bucket> executes_;
+  double stall_cycles_ = 0;
+  double attributed_cycles_ = 0;
+  double issue_cycles_ = 0;
+  std::uint64_t issues_ = 0;
+  std::uint64_t retires_ = 0;
+};
+
+/// Fans one event stream out to several sinks (aggregate + timeline in the
+/// same run).  Not itself an owner; callers keep the sinks alive.
+class TeeSink final : public TraceSink {
+ public:
+  void add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  void on_event(const Event& event) override {
+    for (auto* sink : sinks_) sink->on_event(event);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+class ChromeTraceSink final : public TraceSink {
+ public:
+  /// `capacity` bounds the ring buffer (events, not bytes).  The buffer
+  /// grows lazily up to the cap, then wraps, overwriting the oldest events.
+  explicit ChromeTraceSink(std::size_t capacity = 1 << 18);
+
+  void on_event(const Event& event) override;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Chrome-trace JSON ("traceEvents"): open in Perfetto (ui.perfetto.dev)
+  /// or chrome://tracing.  One tid per warp slot, pid per SM; issues render
+  /// as duration events named by mnemonic, consecutive same-reason stalls
+  /// coalesce into one "stall:<reason>" span.
+  void write(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // next overwrite position once saturated
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hsim::trace

@@ -1,0 +1,107 @@
+// hsim::trace — warp-level event tracing with stall-reason attribution.
+//
+// The simulator's aggregate counters (sim::CycleReport) say *how busy* each
+// unit was; this layer says *why* a cycle was spent: every per-warp,
+// per-instruction lifecycle event (fetch, issue, stall, execute, retire)
+// flows through a TraceSink, and every stall carries a typed reason from
+// the taxonomy below (scoreboard RAW/WAW, structural unit-busy,
+// memory-pending split by level, shared-memory bank conflict, barrier, DSM
+// hop, TMA/async wait).
+//
+// Zero overhead when disabled: emitters hold a raw `TraceSink*` that
+// defaults to nullptr, every emission site is guarded by that pointer, and
+// nothing on the disabled path allocates (asserted by pipeline_test).
+// Events reference names via std::string_view; emitters must pass pointers
+// to storage that outlives the sink (mnemonic tables, string literals).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hsim::trace {
+
+/// Lifecycle stage an event describes.
+enum class EventKind : std::uint8_t {
+  kFetch,    // warp activated (per warp, at kernel start)
+  kIssue,    // instruction issued; duration = issue-to-completion
+  kStall,    // a scheduler slot went unissued; duration = 1 cycle
+  kExecute,  // work performed inside a unit (memory level, port, pipe)
+  kRetire,   // warp finished its program
+};
+
+/// Why a warp (or scheduler slot) could not make progress.  The order is
+/// part of the public schema: sinks may index arrays by it.
+enum class StallReason : std::uint8_t {
+  kNone = 0,          // not a stall (issue/execute/fetch/retire events)
+  kScoreboardRaw,     // source register pending (ALU/FMA/FP64/DPX producer)
+  kScoreboardWaw,     // in-order WAW: destination's previous write pending
+  kStructural,        // functional unit issue slot busy
+  kMemL1,             // pending load serviced by L1
+  kMemL2,             // pending load serviced by L2
+  kMemDram,           // pending load serviced by DRAM
+  kMemTlb,            // pending load paid a TLB miss walk
+  kMemShared,         // pending conflict-free shared-memory access
+  kSmemBankConflict,  // shared-memory access serialised by bank conflicts
+  kBarrier,           // parked at bar.sync / waiting for release
+  kDsmHop,            // SM-to-SM network: remote access or injection port
+  kTmaWait,           // cp.async / TMA wait-group not yet satisfied
+  kIdle,              // scheduler had no live warp left (kernel drain)
+};
+inline constexpr int kStallReasonCount = static_cast<int>(StallReason::kIdle) + 1;
+
+constexpr std::string_view to_string(StallReason reason) noexcept {
+  switch (reason) {
+    case StallReason::kNone: return "none";
+    case StallReason::kScoreboardRaw: return "scoreboard_raw";
+    case StallReason::kScoreboardWaw: return "scoreboard_waw";
+    case StallReason::kStructural: return "unit_busy";
+    case StallReason::kMemL1: return "mem_l1";
+    case StallReason::kMemL2: return "mem_l2";
+    case StallReason::kMemDram: return "mem_dram";
+    case StallReason::kMemTlb: return "mem_tlb";
+    case StallReason::kMemShared: return "mem_shared";
+    case StallReason::kSmemBankConflict: return "smem_bank_conflict";
+    case StallReason::kBarrier: return "barrier";
+    case StallReason::kDsmHop: return "dsm_hop";
+    case StallReason::kTmaWait: return "tma_async_wait";
+    case StallReason::kIdle: return "idle_drain";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kFetch: return "fetch";
+    case EventKind::kIssue: return "issue";
+    case EventKind::kStall: return "stall";
+    case EventKind::kExecute: return "execute";
+    case EventKind::kRetire: return "retire";
+  }
+  return "?";
+}
+
+/// One lifecycle event.  Plain aggregate, trivially copyable: sinks may
+/// ring-buffer events by value.  `what` is the instruction mnemonic (issue),
+/// the unit or memory level (execute/stall), or the kernel label; it must
+/// point at storage that outlives the sink.
+struct Event {
+  EventKind kind = EventKind::kIssue;
+  StallReason reason = StallReason::kNone;
+  double cycle = 0;       // simulation time the event starts
+  double duration = 0;    // cycles covered (1 for stalls, 0 for markers)
+  std::int32_t sm = 0;    // emitting SM (or cluster rank for DSM)
+  std::int32_t warp = -1; // warp slot; -1 = not warp-specific (memory side)
+  std::int32_t pc = -1;   // program counter of the instruction, if any
+  std::string_view what;  // mnemonic / unit name (static storage)
+};
+
+/// Receives every event from the models it is attached to.  Implementations
+/// must tolerate out-of-order warp interleavings but may assume `cycle` is
+/// non-decreasing per emitter (simulation time is monotone).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+}  // namespace hsim::trace

@@ -1,0 +1,62 @@
+#include "sim/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace hsim::sim {
+namespace {
+
+// A unit name exercising every escape class: quote, backslash, newline, tab
+// and a raw control byte.
+// Note the split literal: \x escapes are greedy, so "\x01end" would parse
+// as \x1e followed by "nd".
+const std::string kHostileName = "evil\"unit\\path\nline\ttab\x01" "end";
+
+CycleReport report_with_hostile_unit() {
+  CycleReport report;
+  CycleSample sample;
+  sample.label = "hostile";
+  sample.total_cycles = 100.0;
+  sample.units.push_back({kHostileName, 40.0, 7});
+  report.add(sample);
+  return report;
+}
+
+TEST(JsonEscape, EscapesStructuralAndControlCharacters) {
+  EXPECT_EQ(json_escaped("plain.name"), "plain.name");
+  EXPECT_EQ(json_escaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escaped("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escaped("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escaped(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(CycleReport, WriteJsonEscapesUnitNames) {
+  std::ostringstream os;
+  report_with_hostile_unit().write_json(os);
+  const std::string out = os.str();
+  // The escaped name appears; the raw quote-breaking sequence does not.
+  EXPECT_NE(out.find("evil\\\"unit\\\\path\\nline\\ttab\\u0001end"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("evil\"unit"), std::string::npos) << out;
+  // No raw newline may survive inside the (single-line) document body.
+  EXPECT_EQ(out.find('\n'), out.size() - 1) << out;
+}
+
+TEST(CycleReport, WriteChromeTraceEscapesUnitNames) {
+  std::ostringstream os;
+  report_with_hostile_unit().write_chrome_trace(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("evil\\\"unit\\\\path\\nline\\ttab\\u0001end"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("evil\"unit"), std::string::npos) << out;
+  EXPECT_EQ(out.find('\n'), out.size() - 1) << out;
+}
+
+}  // namespace
+}  // namespace hsim::sim

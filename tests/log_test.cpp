@@ -35,12 +35,29 @@ TEST(Log, EnvInitParsesKnownLevels) {
   ::setenv("HSIM_LOG", "warn", 1);
   init_log_level_from_env();
   EXPECT_EQ(log_level(), LogLevel::kWarn);
-  // Unknown values leave the level untouched.
+  ::unsetenv("HSIM_LOG");
+  set_log_level(original);
+}
+
+// Single test for the unknown-value path: the one-time warning guard is
+// process-wide, so the first bad call must be the captured one.
+TEST(Log, EnvInitWarnsOnceOnUnknownValue) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kWarn);
   ::setenv("HSIM_LOG", "shouting", 1);
+  testing::internal::CaptureStderr();
   init_log_level_from_env();
+  init_log_level_from_env();  // one-time: the second call stays silent
+  const std::string err = testing::internal::GetCapturedStderr();
+  // Unknown values leave the level untouched.
   EXPECT_EQ(log_level(), LogLevel::kWarn);
   ::unsetenv("HSIM_LOG");
   set_log_level(original);
+  // The warning names the offending value and the accepted set, once.
+  EXPECT_NE(err.find("shouting"), std::string::npos) << err;
+  EXPECT_NE(err.find("debug, info, warn, error"), std::string::npos) << err;
+  EXPECT_EQ(err.find("shouting", err.find("shouting") + 1), std::string::npos)
+      << "warning emitted more than once: " << err;
 }
 
 }  // namespace

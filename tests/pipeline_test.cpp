@@ -2,6 +2,32 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "arch/device.hpp"
+#include "sm/sm_core.hpp"
+
+// Global allocation counter: the zero-overhead-when-disabled contract for
+// hsim::trace says the SM pipeline performs no extra allocations on the hot
+// path when no sink is attached, so issue-loop allocation counts must not
+// scale with the iteration count.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace hsim::sim {
 namespace {
 
@@ -61,6 +87,31 @@ TEST(Port, ResetClears) {
   port.transfer(0.0, 100.0);
   port.reset();
   EXPECT_EQ(port.next_free(), 0.0);
+}
+
+// With no TraceSink attached, running more iterations must not allocate
+// more: per-run setup (warp state) allocates, the per-cycle issue loop never
+// does.  This pins the zero-overhead-when-disabled contract of hsim::trace.
+TEST(SmPipeline, DisabledTracingAddsNoHotPathAllocations) {
+  const auto& device = arch::h800_pcie();
+  const auto allocations_for = [&](std::uint32_t iterations) {
+    isa::Program program;
+    program.add(
+        {.op = isa::Opcode::kFFma, .rd = 1, .ra = 2, .rb = 3, .rc = 1});
+    program.set_iterations(iterations);
+    sm::SmCore core(device, nullptr);
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    const auto result = core.run(program, {.threads_per_block = 64});
+    const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(result.instructions_issued, 2ull * iterations + 0ull);
+    return after - before;
+  };
+  const std::uint64_t small = allocations_for(64);
+  const std::uint64_t large = allocations_for(4096);
+  EXPECT_EQ(small, large)
+      << "issue loop allocated " << (large - small) << " extra times over "
+      << (4096 - 64) << " extra iterations";
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+#include "trace/sinks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/sweep.hpp"
+#include "sm/sm_core.hpp"
+#include "trace/kernels.hpp"
+
+namespace hsim::trace {
+namespace {
+
+struct TracedRun {
+  sm::RunResult result;
+  AggregatingSink agg;
+};
+
+TracedRun run_traced(const arch::DeviceSpec& device, std::string_view kernel,
+                     std::uint32_t iterations, TraceSink* extra = nullptr) {
+  auto spec = make_trace_kernel(kernel, iterations);
+  EXPECT_TRUE(spec.has_value()) << kernel;
+  TracedRun out;
+  TeeSink tee;
+  tee.add(&out.agg);
+  tee.add(extra);
+  std::unique_ptr<mem::MemorySystem> memsys;
+  if (spec.value().needs_mem) {
+    memsys = std::make_unique<mem::MemorySystem>(device, 1);
+    memsys->set_trace(&tee);
+  }
+  sm::SmCore core(device, memsys.get());
+  core.set_trace(&tee);
+  out.result = core.run(spec.value().program,
+                        {.threads_per_block = spec.value().threads_per_block,
+                         .blocks = spec.value().blocks});
+  return out;
+}
+
+TEST(TraceKernels, RegistryBuildsEveryKernel) {
+  const auto names = trace_kernel_names();
+  ASSERT_FALSE(names.empty());
+  for (const auto name : names) {
+    const auto spec = make_trace_kernel(name, 4);
+    ASSERT_TRUE(spec.has_value()) << name;
+    EXPECT_FALSE(spec.value().program.empty()) << name;
+    EXPECT_FALSE(trace_kernel_description(name).empty()) << name;
+  }
+  EXPECT_FALSE(make_trace_kernel("no_such_kernel", 4).has_value());
+}
+
+// Acceptance bar from the tracer's design: on a dependent-mma kernel, at
+// least 90% of the non-issue scheduler cycles carry a named stall reason.
+TEST(TraceAttribution, DependentMmaCoversNonIssueCycles) {
+  const auto run = run_traced(arch::h800_pcie(), "mma", 512);
+  ASSERT_GT(run.result.stall_cycles, 0u);
+  // Every scheduler-slot stall the core counted shows up as a stall event.
+  EXPECT_DOUBLE_EQ(run.agg.stall_cycles(),
+                   static_cast<double>(run.result.stall_cycles));
+  EXPECT_GE(run.agg.attributed_stall_cycles(),
+            0.9 * static_cast<double>(run.result.stall_cycles));
+  // The dominant bucket is the tensor-core RAW dependency.
+  double raw_cycles = 0;
+  for (const auto& [key, bucket] : run.agg.stalls()) {
+    if (key.first == StallReason::kScoreboardRaw) raw_cycles += bucket.cycles;
+  }
+  EXPECT_GE(raw_cycles, 0.9 * run.agg.stall_cycles());
+}
+
+TEST(TraceAttribution, KernelsLandInTheirIntendedBucket) {
+  const struct {
+    const char* kernel;
+    StallReason reason;
+  } cases[] = {
+      {"ffma_dep", StallReason::kScoreboardRaw},
+      {"mem_l2", StallReason::kMemL2},
+      {"mem_global", StallReason::kMemDram},
+      {"smem_conflict", StallReason::kSmemBankConflict},
+      {"barrier", StallReason::kBarrier},
+      {"dsm", StallReason::kDsmHop},
+      {"tma", StallReason::kTmaWait},
+  };
+  for (const auto& c : cases) {
+    const auto run = run_traced(arch::h800_pcie(), c.kernel, 64);
+    double intended = 0;
+    for (const auto& [key, bucket] : run.agg.stalls()) {
+      if (key.first == c.reason) intended += bucket.cycles;
+    }
+    EXPECT_GT(intended, 0.5 * run.agg.stall_cycles())
+        << c.kernel << " did not stall mostly on " << to_string(c.reason);
+  }
+}
+
+TEST(AggregatingSink, MergeSumsBuckets) {
+  AggregatingSink a, b;
+  a.on_event({EventKind::kStall, StallReason::kBarrier, 0, 3.0, 0, 0, -1, "X"});
+  a.on_event({EventKind::kIssue, StallReason::kNone, 0, 4.0, 0, 0, 0, "OP"});
+  b.on_event({EventKind::kStall, StallReason::kBarrier, 5, 2.0, 0, 1, -1, "X"});
+  b.on_event({EventKind::kStall, StallReason::kIdle, 7, 1.0, 0, -1, -1, "d"});
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.stall_cycles(), 6.0);
+  EXPECT_DOUBLE_EQ(a.attributed_stall_cycles(), 5.0);  // idle is unattributed
+  EXPECT_EQ(a.issues(), 1u);
+  const auto it = a.stalls().find({StallReason::kBarrier, "X"});
+  ASSERT_NE(it, a.stalls().end());
+  EXPECT_DOUBLE_EQ(it->second.cycles, 5.0);
+  EXPECT_EQ(it->second.events, 2u);
+}
+
+// The tentpole determinism guarantee: tracing the same kernels through the
+// sweep engine yields bit-identical aggregated breakdowns at 1 and 8
+// threads, because per-point sinks merge in point-index order.
+TEST(TraceSweep, BreakdownBitIdenticalAcrossThreadCounts) {
+  const char* kernels[] = {"mma",           "ffma_dep", "mem_l2",
+                           "mem_global",    "barrier",  "smem_conflict",
+                           "dsm",           "tma"};
+  constexpr std::size_t kPoints = 8;
+
+  const auto run_at = [&](std::size_t threads) {
+    sim::CycleReport report;
+    auto breakdowns = sim::sweep(
+        kPoints,
+        [&](sim::SweepContext& ctx) -> std::string {
+          const auto run = run_traced(arch::h800_pcie(),
+                                      kernels[ctx.index() % kPoints], 96);
+          ctx.record(run.agg.to_cycle_sample(
+              std::string(kernels[ctx.index() % kPoints]) + ".trace",
+              run.result.cycles));
+          std::ostringstream os;
+          run.agg.write_summary(os, /*slot_cycles=*/0, /*top_n=*/32);
+          return os.str();
+        },
+        {.threads = threads}, &report);
+    std::ostringstream os;
+    report.write_json(os);
+    return std::make_pair(std::move(breakdowns), os.str());
+  };
+
+  const auto serial = run_at(1);
+  const auto parallel = run_at(8);
+  EXPECT_EQ(serial.second, parallel.second);  // merged CycleReport JSON
+  ASSERT_EQ(serial.first.size(), parallel.first.size());
+  for (std::size_t i = 0; i < serial.first.size(); ++i) {
+    EXPECT_EQ(serial.first[i], parallel.first[i]) << "point " << i;
+  }
+}
+
+TEST(ChromeTraceSink, RingDropsOldestAndWritesJson) {
+  ChromeTraceSink small(4);
+  for (int i = 0; i < 10; ++i) {
+    small.on_event({EventKind::kIssue, StallReason::kNone,
+                    static_cast<double>(i), 1.0, 0, 0, i, "OP"});
+  }
+  EXPECT_EQ(small.size(), 4u);
+  EXPECT_EQ(small.dropped(), 6u);
+
+  ChromeTraceSink chrome;
+  const auto run = run_traced(arch::h800_pcie(), "mma", 32, &chrome);
+  EXPECT_GT(chrome.size(), 0u);
+  std::ostringstream os;
+  chrome.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("HMMA.16816"), std::string::npos);
+  EXPECT_NE(out.find("stall:scoreboard_raw"), std::string::npos);
+  EXPECT_NE(out.find("thread_name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsim::trace

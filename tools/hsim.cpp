@@ -8,8 +8,13 @@
 //   hsim tc        <device> <mma|wgmma|wmma> <dtype> [nN] [sparse] [rs|ss]
 //   hsim dpx       <device> <function-name>
 //   hsim dsm       [cluster-size] [block-threads] [ilp]
+//   hsim trace     <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]
+//                  [--top=N] [--trace-out=trace.json]
+#include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +25,9 @@
 #include "core/pchase.hpp"
 #include "core/tcbench.hpp"
 #include "dsm/rbc.hpp"
+#include "sm/sm_core.hpp"
+#include "trace/kernels.hpp"
+#include "trace/sinks.hpp"
 
 namespace {
 
@@ -34,7 +42,14 @@ int usage() {
       "  sass <device> <mma|wgmma|wmma> <dtype> [kN] [sparse]\n"
       "  tc <device> <mma|wgmma|wmma> <dtype> [nN] [sparse] [rs|ss]\n"
       "  dpx <device> <function>                   e.g. __viaddmax_s32_relu\n"
-      "  dsm [cs] [threads] [ilp]                  SM-to-SM ring copy (H800)\n";
+      "  dsm [cs] [threads] [ilp]                  SM-to-SM ring copy (H800)\n"
+      "  trace <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]\n"
+      "        [--top=N] [--trace-out=trace.json]   stall-reason breakdown;\n"
+      "        kernel is one of:\n";
+  for (const auto name : trace::trace_kernel_names()) {
+    std::cerr << "          " << name << " — "
+              << trace::trace_kernel_description(name) << "\n";
+  }
   return 2;
 }
 
@@ -232,6 +247,107 @@ int cmd_dpx(const arch::DeviceSpec& device, const std::string& name) {
   return 1;
 }
 
+int cmd_trace(const arch::DeviceSpec& device,
+              const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& kernel_name = args[0];
+  std::uint32_t iters = 256;
+  int warps = 0;   // 0 = kernel default
+  int blocks = 0;  // 0 = kernel default
+  int top_n = 10;
+  std::string trace_out;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto value_of = [&](std::string_view prefix) -> const char* {
+      return arg.compare(0, prefix.size(), prefix) == 0
+                 ? arg.c_str() + prefix.size()
+                 : nullptr;
+    };
+    if (const char* v = value_of("--iters=")) {
+      iters = static_cast<std::uint32_t>(std::max(1, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--warps=")) {
+      warps = std::atoi(v);
+      continue;
+    }
+    if (const char* v = value_of("--blocks=")) {
+      blocks = std::atoi(v);
+      continue;
+    }
+    if (const char* v = value_of("--top=")) {
+      top_n = std::max(1, std::atoi(v));
+      continue;
+    }
+    if (const char* v = value_of("--trace-out=")) {
+      trace_out = v;
+      continue;
+    }
+    std::cerr << "unknown option: " << arg << "\n";
+    return usage();
+  }
+
+  auto kernel = trace::make_trace_kernel(kernel_name, iters);
+  if (!kernel) {
+    std::cerr << "unknown kernel: " << kernel_name << "\n";
+    return usage();
+  }
+  sm::BlockShape shape;
+  shape.threads_per_block =
+      warps > 0 ? warps * 32 : kernel.value().threads_per_block;
+  shape.blocks = blocks > 0 ? blocks : kernel.value().blocks;
+
+  trace::AggregatingSink agg;
+  trace::ChromeTraceSink chrome;
+  trace::TeeSink tee;
+  tee.add(&agg);
+  if (!trace_out.empty()) tee.add(&chrome);
+
+  std::unique_ptr<mem::MemorySystem> memsys;
+  if (kernel.value().needs_mem) {
+    memsys = std::make_unique<mem::MemorySystem>(device, 1);
+  }
+  sm::SmCore core(device, memsys.get());
+  core.set_trace(&tee);
+  if (memsys) memsys->set_trace(&tee);
+  const auto result = core.run(kernel.value().program, shape);
+
+  std::cout << device.name << " :: " << kernel.value().name << " — "
+            << kernel.value().description << "\n"
+            << "  " << shape.total_warps() << " warp(s) x " << iters
+            << " iteration(s): " << fmt_fixed(result.cycles, 0) << " cycles, "
+            << result.instructions_issued << " instructions (IPC "
+            << fmt_fixed(result.ipc(), 2) << ")\n";
+  // Slots on schedulers with no resident warp never tick, so the scheduler
+  // slot total is issued + recorded stalls.
+  const double slot_cycles =
+      static_cast<double>(result.instructions_issued) + agg.stall_cycles();
+  const double coverage =
+      agg.stall_cycles() > 0
+          ? 100.0 * agg.attributed_stall_cycles() / agg.stall_cycles()
+          : 100.0;
+  std::cout << "  non-issue slots: " << fmt_fixed(agg.stall_cycles(), 0)
+            << " of " << fmt_fixed(slot_cycles, 0) << " ("
+            << fmt_fixed(coverage, 1)
+            << "% attributed to named stall reasons)\n\n";
+  agg.write_summary(std::cout, slot_cycles, top_n);
+
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::cerr << "cannot open " << trace_out << " for writing\n";
+      return 1;
+    }
+    chrome.write(os);
+    std::cout << "\nwrote " << chrome.size() << " events to " << trace_out;
+    if (chrome.dropped() > 0) {
+      std::cout << " (ring dropped " << chrome.dropped() << " oldest)";
+    }
+    std::cout << " — open in ui.perfetto.dev\n";
+  }
+  return 0;
+}
+
 int cmd_dsm(int cs, int threads, int ilp) {
   const auto result = dsm::run_rbc(
       arch::h800_pcie(), {.cluster_size = cs, .block_threads = threads, .ilp = ilp});
@@ -278,5 +394,6 @@ int main(int argc, char** argv) {
     if (rest.empty()) return usage();
     return cmd_dpx(*device.value(), rest[0]);
   }
+  if (command == "trace") return cmd_trace(*device.value(), rest);
   return usage();
 }

@@ -1,0 +1,424 @@
+#include "conformance/differ.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/sweep.hpp"
+#include "trace/sinks.hpp"
+
+namespace hsim::conformance {
+namespace {
+
+constexpr double kCycleEps = 1e-6;
+
+int register_count(const isa::Program& program) {
+  int max_reg = 0;
+  for (const auto& inst : program.body()) {
+    max_reg = std::max({max_reg, inst.rd, inst.ra, inst.rb, inst.rc});
+  }
+  return max_reg + 1;
+}
+
+/// Checks the per-event timing invariants the aggregate sink cannot see:
+/// non-negative times, monotone simulation time, no event outliving the
+/// kernel, and each warp retiring no earlier than its last issue.
+class InvariantSink final : public trace::TraceSink {
+ public:
+  void on_event(const trace::Event& event) override {
+    if (event.cycle < 0 || event.duration < 0) nonneg = false;
+    if (event.cycle + kCycleEps < last_cycle_) monotone = false;
+    last_cycle_ = std::max(last_cycle_, event.cycle);
+    max_event_end = std::max(max_event_end, event.cycle + event.duration);
+    if (event.warp >= 0) {
+      if (event.kind == trace::EventKind::kIssue) {
+        last_issue_[event.warp] = event.cycle;
+      } else if (event.kind == trace::EventKind::kRetire) {
+        const auto it = last_issue_.find(event.warp);
+        if (it != last_issue_.end() && event.cycle + kCycleEps < it->second) {
+          retire_after_issue = false;
+        }
+      }
+    }
+  }
+
+  double max_event_end = 0;
+  bool monotone = true;
+  bool nonneg = true;
+  bool retire_after_issue = true;
+
+ private:
+  double last_cycle_ = 0;
+  std::map<std::int32_t, double> last_issue_;
+};
+
+}  // namespace
+
+std::string DiffReport::summary() const {
+  std::string out;
+  for (const auto& failure : failures) {
+    if (!out.empty()) out += "; ";
+    out += failure;
+  }
+  return out;
+}
+
+Differ::Differ(const arch::DeviceSpec& device) : device_(device) {}
+
+PipelineObservation Differ::run_pipeline(
+    const FuzzCase& fuzz_case, std::span<const std::uint64_t> global) const {
+  // SmCore wants a mutable span (stores exist in the ISA even though the
+  // model never commits them); keep a private copy so the campaign image
+  // stays shared and read-only.
+  std::vector<std::uint64_t> global_copy(global.begin(), global.end());
+
+  mem::MemorySystem memory(device_, 1);
+  sm::SmCore core(device_, &memory, 0);
+  core.bind_global(global_copy);
+
+  trace::AggregatingSink agg;
+  InvariantSink inv;
+  trace::TeeSink tee;
+  tee.add(&agg);
+  tee.add(&inv);
+  core.set_trace(&tee);
+
+  PipelineObservation obs;
+  obs.result = core.run(fuzz_case.program, fuzz_case.shape);
+
+  const int num_regs = register_count(fuzz_case.program);
+  const int total_warps = fuzz_case.shape.total_warps();
+  obs.regs.assign(static_cast<std::size_t>(total_warps),
+                  std::vector<std::uint64_t>(
+                      static_cast<std::size_t>(num_regs) * kLanes, 0));
+  for (int w = 0; w < total_warps; ++w) {
+    for (int r = 0; r < num_regs; ++r) {
+      for (int l = 0; l < kLanes; ++l) {
+        obs.regs[static_cast<std::size_t>(w)]
+                [static_cast<std::size_t>(r) * kLanes +
+                 static_cast<std::size_t>(l)] = core.reg(w, r, l);
+      }
+    }
+  }
+  const auto shared = core.shared().bytes();
+  obs.shared.assign(shared.begin(), shared.end());
+
+  obs.agg_stall_cycles = agg.stall_cycles();
+  for (const auto& [key, bucket] : agg.stalls()) {
+    if (key.first == trace::StallReason::kSmemBankConflict &&
+        key.second == "Smem.bank") {
+      obs.bank_conflict_cycles += bucket.cycles;
+    }
+  }
+  obs.agg_issues = agg.issues();
+  obs.agg_retires = agg.retires();
+  obs.max_event_end = inv.max_event_end;
+  obs.monotone = inv.monotone;
+  obs.nonneg = inv.nonneg;
+  obs.retire_after_issue = inv.retire_after_issue;
+  return obs;
+}
+
+DiffReport Differ::diff(const FuzzCase& fuzz_case,
+                        std::span<const std::uint64_t> global) const {
+  DiffReport report;
+  const auto fail = [&](std::string message) {
+    report.failures.push_back(std::move(message));
+  };
+  const auto run = [&](const FuzzCase& c) {
+    return pipeline_ ? pipeline_(c, global) : run_pipeline(c, global);
+  };
+
+  RefInterp ref(device_);
+  ref.bind_global(global);
+  const RefResult expect = ref.run(fuzz_case.program, fuzz_case.shape);
+  const PipelineObservation obs = run(fuzz_case);
+
+  report.instructions = expect.instructions;
+  report.cycles = obs.result.cycles;
+
+  const auto total_warps =
+      static_cast<std::uint64_t>(fuzz_case.shape.total_warps());
+  std::ostringstream msg;
+  const auto flush = [&]() {
+    fail(msg.str());
+    msg.str({});
+  };
+
+  // --- Retirement ledger -------------------------------------------------
+  if (obs.result.instructions_issued != expect.instructions) {
+    msg << "instructions_issued " << obs.result.instructions_issued
+        << " != reference " << expect.instructions;
+    flush();
+  }
+  if (obs.result.warps_retired != total_warps) {
+    msg << "warps_retired " << obs.result.warps_retired << " != "
+        << total_warps << " launched";
+    flush();
+  }
+  if (expect.retire_order.size() != total_warps) {
+    msg << "reference retired " << expect.retire_order.size() << " of "
+        << total_warps << " warps";
+    flush();
+  }
+  if (obs.agg_issues != obs.result.instructions_issued) {
+    msg << "trace issues " << obs.agg_issues << " != counter "
+        << obs.result.instructions_issued;
+    flush();
+  }
+  if (obs.agg_retires != obs.result.warps_retired) {
+    msg << "trace retires " << obs.agg_retires << " != counter "
+        << obs.result.warps_retired;
+    flush();
+  }
+
+  // --- Timing sanity -----------------------------------------------------
+  if (!(obs.result.cycles > 0)) {
+    msg << "cycles " << obs.result.cycles << " not positive";
+    flush();
+  }
+  const double scheduler_stalls =
+      obs.agg_stall_cycles - obs.bank_conflict_cycles;
+  if (std::abs(scheduler_stalls -
+               static_cast<double>(obs.result.stall_cycles)) > kCycleEps) {
+    msg << "trace stall cycles " << scheduler_stalls << " != counter "
+        << obs.result.stall_cycles;
+    flush();
+  }
+  if (static_cast<double>(obs.result.stall_cycles) >
+      4.0 * obs.result.cycles + kCycleEps) {
+    msg << "stall cycles " << obs.result.stall_cycles
+        << " exceed 4 slots x " << obs.result.cycles << " cycles";
+    flush();
+  }
+  if (obs.max_event_end > obs.result.cycles + kCycleEps) {
+    msg << "event ends at " << obs.max_event_end << " after kernel end "
+        << obs.result.cycles;
+    flush();
+  }
+  if (!obs.nonneg) fail("negative event cycle or duration");
+  if (!obs.monotone) fail("event stream time went backwards");
+  if (!obs.retire_after_issue) fail("warp retired before its last issue");
+
+  // --- Architectural state ----------------------------------------------
+  if (expect.clock_tainted) {
+    // CLOCK read the cycle counter; registers legitimately diverge.
+  } else if (obs.regs.size() != expect.regs.size()) {
+    msg << "pipeline exposed " << obs.regs.size() << " warps, reference "
+        << expect.regs.size();
+    flush();
+  } else {
+    bool reported = false;
+    for (std::size_t w = 0; w < expect.regs.size() && !reported; ++w) {
+      if (obs.regs[w].size() != expect.regs[w].size()) {
+        msg << "warp " << w << " register file size " << obs.regs[w].size()
+            << " != " << expect.regs[w].size();
+        flush();
+        break;
+      }
+      for (std::size_t i = 0; i < expect.regs[w].size(); ++i) {
+        if (obs.regs[w][i] == expect.regs[w][i]) continue;
+        msg << "warp " << w << " R" << i / kLanes << " lane " << i % kLanes
+            << ": pipeline 0x" << std::hex << obs.regs[w][i]
+            << " != reference 0x" << expect.regs[w][i] << std::dec;
+        flush();
+        reported = true;  // first divergence is enough to act on
+        break;
+      }
+    }
+  }
+  if (obs.shared.size() != expect.shared.size()) {
+    msg << "shared image size " << obs.shared.size() << " != "
+        << expect.shared.size();
+    flush();
+  } else {
+    for (std::size_t i = 0; i < expect.shared.size(); ++i) {
+      if (obs.shared[i] == expect.shared[i]) continue;
+      msg << "shared[" << i << "]: pipeline "
+          << static_cast<int>(obs.shared[i]) << " != reference "
+          << static_cast<int>(expect.shared[i]);
+      flush();
+      break;
+    }
+  }
+
+  // --- Determinism -------------------------------------------------------
+  const PipelineObservation again = run(fuzz_case);
+  if (again.result.cycles != obs.result.cycles ||
+      again.result.instructions_issued != obs.result.instructions_issued ||
+      again.result.stall_cycles != obs.result.stall_cycles ||
+      again.regs != obs.regs || again.shared != obs.shared) {
+    fail("pipeline replay diverged from its first run");
+  }
+  return report;
+}
+
+FuzzCase Differ::shrink(const FuzzCase& fuzz_case,
+                        std::span<const std::uint64_t> global) const {
+  const auto fails = [&](const FuzzCase& candidate) {
+    return !diff(candidate, global).ok();
+  };
+  HSIM_ASSERT(fails(fuzz_case));
+  FuzzCase best = fuzz_case;
+
+  const auto try_adopt = [&](FuzzCase candidate) {
+    if (fails(candidate)) {
+      best = std::move(candidate);
+      return true;
+    }
+    return false;
+  };
+
+  if (best.program.iterations() > 1) {
+    FuzzCase candidate = best;
+    candidate.program.set_iterations(1);
+    try_adopt(std::move(candidate));
+  }
+  if (best.shape.blocks > 1) {
+    FuzzCase candidate = best;
+    candidate.shape.blocks = 1;
+    try_adopt(std::move(candidate));
+  }
+  if (best.shape.threads_per_block > 32) {
+    FuzzCase candidate = best;
+    candidate.shape.threads_per_block = 32;
+    try_adopt(std::move(candidate));
+  }
+
+  // Instruction removal to a fixpoint.  Greedy back-to-front: removing a
+  // consumer before its producer keeps more candidates well-formed.
+  bool changed = true;
+  while (changed && best.program.size() > 1) {
+    changed = false;
+    for (std::size_t skip = best.program.size(); skip-- > 0;) {
+      if (best.program.size() <= 1) break;
+      FuzzCase candidate = best;
+      isa::Program pruned;
+      pruned.set_iterations(best.program.iterations());
+      for (std::size_t i = 0; i < best.program.size(); ++i) {
+        if (i != skip) pruned.add(best.program.body()[i]);
+      }
+      candidate.program = std::move(pruned);
+      if (try_adopt(std::move(candidate))) changed = true;
+    }
+  }
+  return best;
+}
+
+CampaignResult Differ::campaign(const CampaignOptions& options) const {
+  const ProgramFuzzer fuzzer(options.fuzz);
+  const auto global = make_global_image(options.seed);
+
+  struct Outcome {
+    bool failed = false;
+    std::string message;
+    std::uint64_t instructions = 0;
+    double cycles = 0;
+  };
+  const auto outcomes = sim::sweep(
+      static_cast<std::size_t>(options.count),
+      [&](sim::SweepContext& ctx) {
+        const FuzzCase fuzz_case = fuzzer.generate(options.seed, ctx.index());
+        const DiffReport report = diff(fuzz_case, global);
+        return Outcome{!report.ok(), report.summary(), report.instructions,
+                       report.cycles};
+      },
+      {.threads = options.threads, .seed = options.seed});
+
+  CampaignResult result;
+  result.cases = options.count;
+  std::optional<std::size_t> first_bad;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    result.instructions += outcomes[i].instructions;
+    result.pipeline_cycles += outcomes[i].cycles;
+    if (outcomes[i].failed) {
+      ++result.failed;
+      if (!first_bad) first_bad = i;
+    }
+  }
+  if (first_bad) {
+    CampaignFailure failure;
+    failure.original = fuzzer.generate(options.seed, *first_bad);
+    failure.message = outcomes[*first_bad].message;
+    failure.shrunk = options.shrink ? shrink(failure.original, global)
+                                    : failure.original;
+    result.first_failure = std::move(failure);
+  }
+  return result;
+}
+
+std::string to_repro(const FuzzCase& fuzz_case, std::string_view device_name,
+                     std::string_view failure) {
+  std::ostringstream os;
+  os << "; hsim conformance reproducer (re-run: hsim fuzz <device> --replay=<file>)\n";
+  os << "; device=" << device_name << " seed=" << fuzz_case.base_seed
+     << " case=" << fuzz_case.index
+     << " threads_per_block=" << fuzz_case.shape.threads_per_block
+     << " blocks=" << fuzz_case.shape.blocks << '\n';
+  if (!failure.empty()) {
+    std::string one_line(failure);
+    std::replace(one_line.begin(), one_line.end(), '\n', ' ');
+    os << "; failure: " << one_line << '\n';
+  }
+  os << fuzz_case.program.to_string();
+  return os.str();
+}
+
+Expected<Repro> load_repro(std::string_view text) {
+  Repro repro;
+  const auto parse_u64 = [](const std::string& s,
+                            std::uint64_t& out) -> bool {
+    const auto* begin = s.data();
+    const auto* end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    return ec == std::errc{} && ptr == end;
+  };
+  // Header keys ride in comment lines as key=value tokens.
+  std::istringstream lines{std::string(text)};
+  for (std::string line; std::getline(lines, line);) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] != ';') continue;
+    std::istringstream tokens(line.substr(first + 1));
+    for (std::string token; tokens >> token;) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) continue;
+      const auto key = token.substr(0, eq);
+      const auto value = token.substr(eq + 1);
+      std::uint64_t number = 0;
+      if (key == "device") {
+        repro.device = value;
+        continue;
+      }
+      if (key != "seed" && key != "case" && key != "threads_per_block" &&
+          key != "blocks") {
+        continue;
+      }
+      if (!parse_u64(value, number)) {
+        return invalid_argument("bad reproducer header value: " + token);
+      }
+      if (key == "seed") {
+        repro.fuzz_case.base_seed = number;
+      } else if (key == "case") {
+        repro.fuzz_case.index = number;
+      } else if (key == "threads_per_block") {
+        repro.fuzz_case.shape.threads_per_block = static_cast<int>(number);
+      } else {
+        repro.fuzz_case.shape.blocks = static_cast<int>(number);
+      }
+    }
+  }
+  if (repro.fuzz_case.shape.threads_per_block < 32 ||
+      repro.fuzz_case.shape.blocks < 1) {
+    return invalid_argument("reproducer header has an invalid launch shape");
+  }
+  auto program = isa::assemble(text);
+  if (!program.has_value()) return program.error();
+  repro.fuzz_case.program = std::move(program).value();
+  return repro;
+}
+
+}  // namespace hsim::conformance

@@ -1,0 +1,144 @@
+// Differential conformance driver.
+//
+// Runs a program through both the functional reference interpreter
+// (ref_interp.hpp) and the cycle-level pipeline (sm::SmCore over
+// mem::MemorySystem), then diffs:
+//   * final architectural state — every register lane of every warp and
+//     the full shared-memory image (skipping registers when the program
+//     executed CLOCK, whose value only a timed model can produce);
+//   * the retirement ledger — instructions issued and warps retired must
+//     match the interpreter's counts exactly;
+//   * timing sanity invariants from the trace stream — retire not before
+//     the warp's last issue, non-negative durations, monotone event time,
+//     no event ending past the kernel's cycle count, scheduler stall
+//     cycles bounded by 4 slots x cycles and equal to the trace sinks'
+//     aggregate (net of bank-conflict serialisation events);
+//   * determinism — the pipeline run twice must reproduce itself, and a
+//     campaign swept at any --threads must be bit-identical (the sweep
+//     engine's per-index seeds make each case self-contained).
+//
+// A failing case is shrunk to a minimal reproducer (greedy delta
+// debugging: iterations, then shape, then instruction removal to a
+// fixpoint) and can be dumped as re-runnable `.hsim` assembly via
+// to_repro() / load_repro().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "conformance/fuzzer.hpp"
+#include "conformance/ref_interp.hpp"
+#include "sm/sm_core.hpp"
+
+namespace hsim::conformance {
+
+/// Everything the differ observes from one pipeline execution.
+struct PipelineObservation {
+  sm::RunResult result;
+  /// Same layout as RefResult::regs: per warp, reg * kLanes + lane.
+  std::vector<std::vector<std::uint64_t>> regs;
+  std::vector<std::uint8_t> shared;
+  // Trace-stream aggregates and invariant flags.
+  double agg_stall_cycles = 0;     // all kStall cycles seen by the sink
+  double bank_conflict_cycles = 0; // subset from smem serialisation events
+  std::uint64_t agg_issues = 0;
+  std::uint64_t agg_retires = 0;
+  double max_event_end = 0;        // max over events of cycle + duration
+  bool monotone = true;            // event cycles never decreased
+  bool nonneg = true;              // no negative cycle or duration
+  bool retire_after_issue = true;  // per warp: retire >= last issue cycle
+};
+
+/// Pipeline seam: tests substitute an implementation with an injected bug
+/// to prove the differ catches and shrinks it.
+using PipelineFn = std::function<PipelineObservation(
+    const FuzzCase&, std::span<const std::uint64_t> global)>;
+
+struct DiffReport {
+  std::vector<std::string> failures;
+  std::uint64_t instructions = 0;  // reference instruction count (work)
+  double cycles = 0;               // pipeline cycles (first run)
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  [[nodiscard]] std::string summary() const;  // ""; or failures joined by "; "
+};
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t count = 100;
+  std::size_t threads = 0;  // sim::SweepOptions semantics (0 = pool default)
+  bool shrink = true;       // shrink the first failure
+  FuzzOptions fuzz;
+};
+
+struct CampaignFailure {
+  FuzzCase original;
+  FuzzCase shrunk;  // == original when CampaignOptions::shrink is false
+  std::string message;
+};
+
+struct CampaignResult {
+  std::uint64_t cases = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t instructions = 0;  // reference instructions across cases
+  double pipeline_cycles = 0;      // simulated cycles across cases
+  std::optional<CampaignFailure> first_failure;
+  [[nodiscard]] bool ok() const noexcept { return failed == 0; }
+};
+
+class Differ {
+ public:
+  explicit Differ(const arch::DeviceSpec& device);
+
+  /// Replace the pipeline under test (bug-injection seam for tests).
+  void set_pipeline(PipelineFn fn) { pipeline_ = std::move(fn); }
+
+  /// The real pipeline: SmCore + MemorySystem + invariant trace sinks.
+  [[nodiscard]] PipelineObservation run_pipeline(
+      const FuzzCase& fuzz_case, std::span<const std::uint64_t> global) const;
+
+  /// Reference vs pipeline for one case (runs the pipeline twice for the
+  /// determinism check).
+  [[nodiscard]] DiffReport diff(const FuzzCase& fuzz_case,
+                                std::span<const std::uint64_t> global) const;
+
+  /// Greedy shrink: smallest derived case that still fails, as re-runnable
+  /// straight-line asm (iterations -> 1, shape -> one warp, instructions
+  /// removed to a fixpoint).  `fuzz_case` must currently fail.
+  [[nodiscard]] FuzzCase shrink(const FuzzCase& fuzz_case,
+                                std::span<const std::uint64_t> global) const;
+
+  /// Sweep `count` generated cases (deterministic at any thread count);
+  /// regenerates and shrinks the first failure serially.
+  [[nodiscard]] CampaignResult campaign(const CampaignOptions& options) const;
+
+  [[nodiscard]] const arch::DeviceSpec& device() const noexcept {
+    return device_;
+  }
+
+ private:
+  const arch::DeviceSpec& device_;
+  PipelineFn pipeline_;  // empty => run_pipeline
+};
+
+/// Render a failing case as a self-contained `.hsim` reproducer: header
+/// comments carry device/seed/shape, the body is Program::to_string().
+[[nodiscard]] std::string to_repro(const FuzzCase& fuzz_case,
+                                   std::string_view device_name,
+                                   std::string_view failure);
+
+struct Repro {
+  FuzzCase fuzz_case;
+  std::string device;  // empty when the header carried no device
+};
+
+/// Parse a reproducer produced by to_repro (tolerates hand-edits: any
+/// missing header key keeps its default).
+[[nodiscard]] Expected<Repro> load_repro(std::string_view text);
+
+}  // namespace hsim::conformance

@@ -1,0 +1,294 @@
+#include "conformance/fuzzer.hpp"
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "sim/sweep.hpp"
+
+namespace hsim::conformance {
+namespace {
+
+using isa::Instruction;
+using isa::kRegNone;
+using isa::Opcode;
+
+// Fixed-convention registers (see fuzzer.hpp).
+constexpr int kRegTid = 0;
+constexpr int kRegSlot = 1;        // 4 * tid: private shared slot
+constexpr int kRegGlobalMask = 2;
+constexpr int kRegRoBase = 3;
+constexpr int kRegRoMask = 4;
+constexpr int kRegGlobalAddr = 5;  // hygiene scratch: masked global address
+constexpr int kRegRoAddr = 6;      // hygiene scratch: masked window address
+
+enum class Category {
+  kAlu,
+  kFp,
+  kDpx,
+  kTensor,
+  kLdg,
+  kSmem,
+  kRoSmem,
+  kBarrier,
+  kTimingOnly,
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> make_global_image(std::uint64_t base_seed) {
+  // Decorrelate from the per-case streams, which derive from the same base.
+  Xoshiro256ss rng(base_seed ^ 0xA5A5F00DBEEF1234ULL);
+  std::vector<std::uint64_t> words(kGlobalWords);
+  for (auto& w : words) w = rng();
+  return words;
+}
+
+ProgramFuzzer::ProgramFuzzer(FuzzOptions options) : options_(options) {
+  HSIM_ASSERT(options_.min_body_ops >= 1 &&
+              options_.max_body_ops >= options_.min_body_ops);
+  HSIM_ASSERT(options_.value_regs >= 2 &&
+              kFirstValueReg + options_.value_regs <= isa::kMaxRegs);
+  HSIM_ASSERT(options_.max_iterations >= 1);
+  HSIM_ASSERT(options_.max_blocks >= 1 && options_.max_warps_per_block >= 1);
+}
+
+FuzzCase ProgramFuzzer::generate(std::uint64_t base_seed,
+                                 std::uint64_t index) const {
+  Xoshiro256ss rng(
+      sim::derive_point_seed(base_seed, static_cast<std::size_t>(index)));
+  FuzzCase out;
+  out.base_seed = base_seed;
+  out.index = index;
+  out.shape.threads_per_block =
+      32 * (1 + static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(options_.max_warps_per_block))));
+  out.shape.blocks =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(options_.max_blocks)));
+  out.program.set_iterations(
+      1 + static_cast<std::uint32_t>(rng.below(options_.max_iterations)));
+
+  // The read-only shared window carries either loads or commutative
+  // atomics per case, never both: mixing them would let one warp observe
+  // another's partial sums, and the observed value would then depend on
+  // the interleaving — exactly the nondeterminism race-free generation
+  // must exclude.
+  const bool window_atomics = rng.below(2) == 0;
+
+  isa::Program& p = out.program;
+  const auto random_value = [&]() -> std::int64_t {
+    return static_cast<std::int64_t>(rng() & 0xFFFFFFFFULL);
+  };
+
+  // Prologue: address conventions and the value pool.
+  p.add({.op = Opcode::kShf, .rd = kRegSlot, .ra = kRegTid, .imm = 2});
+  p.mov(kRegGlobalMask, static_cast<std::int64_t>(kGlobalWords) * 8 - 1);
+  p.mov(kRegRoBase, kRoSharedBase);
+  p.mov(kRegRoMask, kRoSharedMask);
+  for (int i = 0; i < options_.value_regs; ++i) {
+    p.mov(kFirstValueReg + i, random_value());
+  }
+
+  const auto value_reg = [&]() -> int {
+    return kFirstValueReg +
+           static_cast<int>(rng.below(static_cast<std::uint64_t>(options_.value_regs)));
+  };
+  // Mask a value register into a valid global byte address in R5.
+  const auto emit_global_addr = [&]() {
+    p.add({.op = Opcode::kLop3, .rd = kRegGlobalAddr, .ra = value_reg(),
+           .rb = kRegGlobalMask, .imm = 0});
+  };
+  // Mask a value register into a valid read-only-window address in R6.
+  const auto emit_window_addr = [&]() {
+    p.add({.op = Opcode::kLop3, .rd = kRegRoAddr, .ra = value_reg(),
+           .rb = kRegRoMask, .imm = 0});
+    p.add({.op = Opcode::kIAdd3, .rd = kRegRoAddr, .ra = kRegRoAddr,
+           .rb = kRegRoBase});
+  };
+  const auto random_width = [&]() -> std::uint32_t {
+    constexpr std::array<std::uint32_t, 3> kWidths{4, 8, 16};
+    return kWidths[rng.below(kWidths.size())];
+  };
+
+  const std::array<std::pair<Category, int>, 9> mix{{
+      {Category::kAlu, options_.w_alu},
+      {Category::kFp, options_.w_fp},
+      {Category::kDpx, options_.w_dpx},
+      {Category::kTensor, options_.w_tensor},
+      {Category::kLdg, options_.w_ldg},
+      {Category::kSmem, options_.w_smem},
+      {Category::kRoSmem, options_.w_ro_smem},
+      {Category::kBarrier, options_.w_barrier},
+      {Category::kTimingOnly, options_.w_timing_only},
+  }};
+  int total_weight = 0;
+  for (const auto& [cat, w] : mix) total_weight += w;
+  HSIM_ASSERT(total_weight > 0);
+  const auto pick_category = [&]() -> Category {
+    auto roll = static_cast<int>(rng.below(static_cast<std::uint64_t>(total_weight)));
+    for (const auto& [cat, w] : mix) {
+      roll -= w;
+      if (roll < 0) return cat;
+    }
+    return Category::kAlu;  // unreachable
+  };
+
+  const int ops = static_cast<int>(
+      rng.range(options_.min_body_ops, options_.max_body_ops));
+  for (int i = 0; i < ops; ++i) {
+    switch (pick_category()) {
+      case Category::kAlu: {
+        switch (rng.below(7)) {
+          case 0:
+            p.add({.op = Opcode::kIAdd3, .rd = value_reg(), .ra = value_reg(),
+                   .rb = value_reg(),
+                   .rc = rng.below(2) ? value_reg() : kRegNone});
+            break;
+          case 1:
+            p.add({.op = Opcode::kIMad, .rd = value_reg(), .ra = value_reg(),
+                   .rb = value_reg(), .rc = value_reg()});
+            break;
+          case 2:
+            p.add({.op = Opcode::kIMnMx, .rd = value_reg(), .ra = value_reg(),
+                   .rb = value_reg(),
+                   .imm = static_cast<std::int64_t>(rng.below(2))});
+            break;
+          case 3:
+            p.add({.op = Opcode::kLop3, .rd = value_reg(), .ra = value_reg(),
+                   .rb = value_reg(),
+                   .imm = static_cast<std::int64_t>(rng.below(3))});
+            break;
+          case 4:
+            p.add({.op = Opcode::kShf, .rd = value_reg(), .ra = value_reg(),
+                   .imm = static_cast<std::int64_t>(rng.below(32))});
+            break;
+          case 5:
+            p.add({.op = Opcode::kPopc, .rd = value_reg(), .ra = value_reg()});
+            break;
+          default:
+            p.mov(value_reg(), random_value());
+            break;
+        }
+        break;
+      }
+      case Category::kFp: {
+        switch (rng.below(6)) {
+          case 0:
+            p.fadd(value_reg(), value_reg(), value_reg());
+            break;
+          case 1:
+            p.add({.op = Opcode::kFMul, .rd = value_reg(), .ra = value_reg(),
+                   .rb = value_reg()});
+            break;
+          case 2:
+            p.add({.op = Opcode::kFFma, .rd = value_reg(), .ra = value_reg(),
+                   .rb = value_reg(), .rc = value_reg()});
+            break;
+          case 3:
+            p.dadd(value_reg(), value_reg(), value_reg());
+            break;
+          case 4:
+            p.add({.op = Opcode::kDMul, .rd = value_reg(), .ra = value_reg(),
+                   .rb = value_reg()});
+            break;
+          default:
+            p.add({.op = Opcode::kHAdd2, .rd = value_reg(), .ra = value_reg(),
+                   .rb = value_reg()});
+            break;
+        }
+        break;
+      }
+      case Category::kDpx:
+        p.add({.op = Opcode::kVIMnMx, .rd = value_reg(), .ra = value_reg(),
+               .rb = value_reg(), .rc = value_reg(),
+               .imm = static_cast<std::int64_t>(rng.below(4))});
+        break;
+      case Category::kTensor:
+        p.hmma(value_reg(), value_reg(), value_reg(), value_reg());
+        break;
+      case Category::kLdg: {
+        emit_global_addr();
+        const auto op = rng.below(2) ? Opcode::kLdgCa : Opcode::kLdgCg;
+        p.add({.op = op, .rd = value_reg(), .ra = kRegGlobalAddr,
+               .access_bytes = random_width()});
+        break;
+      }
+      case Category::kSmem: {
+        // Thread-private slot at [R1] — no other thread ever touches it.
+        switch (rng.below(3)) {
+          case 0:
+            p.add({.op = Opcode::kSts, .ra = kRegSlot, .rb = value_reg()});
+            break;
+          case 1:
+            p.lds(value_reg(), kRegSlot);
+            break;
+          default:
+            p.add({.op = Opcode::kAtomSharedAdd,
+                   .rd = rng.below(2) ? value_reg() : kRegNone,
+                   .ra = kRegSlot, .rb = value_reg()});
+            break;
+        }
+        break;
+      }
+      case Category::kRoSmem: {
+        emit_window_addr();
+        if (window_atomics) {
+          // Commutative, destination-less adds: the final image is
+          // order-independent even across blocks sharing the SM's smem.
+          p.add({.op = Opcode::kAtomSharedAdd, .ra = kRegRoAddr,
+                 .rb = value_reg()});
+        } else {
+          p.lds(value_reg(), kRegRoAddr);
+        }
+        break;
+      }
+      case Category::kBarrier:
+        p.bar_sync();
+        break;
+      case Category::kTimingOnly: {
+        switch (rng.below(4)) {
+          case 0:
+            emit_global_addr();
+            p.add({.op = Opcode::kStg, .ra = kRegGlobalAddr, .rb = value_reg(),
+                   .access_bytes = random_width()});
+            break;
+          case 1: {
+            emit_window_addr();
+            const auto which = rng.below(3);
+            if (which == 0) {
+              p.add({.op = Opcode::kLdsRemote, .rd = value_reg(),
+                     .ra = kRegRoAddr});
+            } else if (which == 1) {
+              p.add({.op = Opcode::kStsRemote, .ra = kRegRoAddr,
+                     .rb = value_reg()});
+            } else {
+              p.add({.op = Opcode::kAtomRemoteAdd, .ra = kRegRoAddr,
+                     .rb = value_reg()});
+            }
+            break;
+          }
+          case 2:
+            emit_global_addr();
+            p.add({.op = Opcode::kCpAsync, .ra = kRegGlobalAddr,
+                   .access_bytes = random_width()});
+            p.add({.op = Opcode::kCpAsyncCommit});
+            p.add({.op = Opcode::kCpAsyncWait});
+            break;
+          default:
+            emit_global_addr();
+            p.add({.op = Opcode::kTmaLoad, .ra = kRegGlobalAddr,
+                   .imm = 1024 << rng.below(3)});
+            break;
+        }
+        break;
+      }
+    }
+  }
+
+  // A quarter of cases retire through an explicit EXIT on iteration one;
+  // the rest run the body to iteration exhaustion.
+  if (rng.below(4) == 0) p.add({.op = Opcode::kExit});
+  return out;
+}
+
+}  // namespace hsim::conformance

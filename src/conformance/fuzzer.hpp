@@ -1,0 +1,92 @@
+// Seeded randomized program generator for differential conformance runs.
+//
+// Emits well-formed, *race-free* kernels over the hsim micro-ISA: uniform
+// straight-line bodies (every warp executes the same instruction sequence,
+// so barriers trivially align), thread-private shared-memory slots, a
+// read-only upper shared window for bank-conflict coverage, and read-only
+// global memory.  Race freedom is what makes differential testing sound:
+// the reference interpreter may execute warps in any order and must still
+// land on the same architectural state as the cycle-level pipeline.
+//
+// Register conventions inside a generated body (the pipeline preloads R0
+// with the global thread id):
+//   R0  thread id (never written)
+//   R1  4 * tid — this thread's private shared-memory slot address
+//   R2  global address mask (global image bytes - 1, power of two)
+//   R3  read-only shared window base,  R4  window mask (4-aligned)
+//   R5, R6  address-hygiene scratch (masked before every access)
+//   R7 ... R7+value_regs-1  value pool, seeded with random MOVs
+//
+// Every choice flows through Xoshiro256ss seeded from
+// sim::derive_point_seed(base_seed, index), so a campaign is a pure
+// function of (base seed, case index) and any failing case can be
+// regenerated from those two integers alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "isa/program.hpp"
+#include "sm/sm_core.hpp"
+
+namespace hsim::conformance {
+
+/// Knobs for the generator; defaults give a broad mix that still runs a
+/// single case in well under a millisecond of simulated pipeline.
+struct FuzzOptions {
+  int min_body_ops = 6;    // random ops beyond the fixed prologue
+  int max_body_ops = 36;
+  int value_regs = 12;     // register-pressure knob: pool size above R7
+  std::uint32_t max_iterations = 4;
+  int max_blocks = 2;
+  int max_warps_per_block = 8;
+  // Op-mix weights (relative); zero disables a category.
+  int w_alu = 10;          // IADD3/IMAD/LOP3/SHF/POPC/IMNMX/MOV
+  int w_fp = 5;            // FADD/FMUL/FFMA/DADD/DMUL/HADD2
+  int w_dpx = 3;           // VIMNMX variants
+  int w_tensor = 2;        // HMMA
+  int w_ldg = 4;           // masked global loads (.CA/.CG)
+  int w_smem = 4;          // private-slot STS/LDS/ATOMS.ADD
+  int w_ro_smem = 3;       // read-only-window LDS (bank conflicts)
+  int w_barrier = 2;       // BAR.SYNC
+  int w_timing_only = 3;   // STG / DSM remote / cp.async triple / TMA
+};
+
+/// One generated case: the program plus the launch shape it was built for.
+struct FuzzCase {
+  std::uint64_t base_seed = 0;
+  std::uint64_t index = 0;
+  isa::Program program;
+  sm::BlockShape shape;
+};
+
+/// First register of the value pool (R0..R6 are conventions, above).
+inline constexpr int kFirstValueReg = 7;
+/// Read-only shared window geometry (fits every device's smem capacity).
+inline constexpr std::int64_t kRoSharedBase = 65536;
+inline constexpr std::int64_t kRoSharedMask = 32764;  // 4-aligned, < 32 KiB
+/// Global image size in 64-bit words (power of two; 32 KiB of bytes).
+inline constexpr std::size_t kGlobalWords = 4096;
+
+/// The read-only global image every case in a campaign loads from — a pure
+/// function of the campaign base seed, so replaying a single case needs
+/// only (seed, index).
+[[nodiscard]] std::vector<std::uint64_t> make_global_image(
+    std::uint64_t base_seed);
+
+class ProgramFuzzer {
+ public:
+  explicit ProgramFuzzer(FuzzOptions options = {});
+
+  /// Deterministically generate case `index` of the campaign `base_seed`.
+  [[nodiscard]] FuzzCase generate(std::uint64_t base_seed,
+                                  std::uint64_t index) const;
+
+  [[nodiscard]] const FuzzOptions& options() const noexcept { return options_; }
+
+ private:
+  FuzzOptions options_;
+};
+
+}  // namespace hsim::conformance

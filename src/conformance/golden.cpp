@@ -1,0 +1,163 @@
+#include "conformance/golden.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace hsim::conformance {
+namespace {
+
+void skip_ws(std::string_view text, std::size_t& pos) {
+  while (pos < text.size() &&
+         (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+          text[pos] == '\r')) {
+    ++pos;
+  }
+}
+
+/// Parse a JSON string literal starting at `pos` (on the opening quote).
+bool parse_string(std::string_view text, std::size_t& pos, std::string& out) {
+  if (pos >= text.size() || text[pos] != '"') return false;
+  ++pos;
+  out.clear();
+  while (pos < text.size()) {
+    const char c = text[pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (pos >= text.size()) return false;
+    const char esc = text[pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (pos + 4 > text.size()) return false;
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = text[pos++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        // Snapshots only ever escape control characters, which are ASCII.
+        out += static_cast<char>(code & 0x7F);
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string shape_to_json(const ShapeMap& shape) {
+  std::ostringstream os;
+  os << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : shape) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"";
+    write_json_escaped(os, key);
+    os << "\": \"";
+    write_json_escaped(os, value);
+    os << '"';
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+Expected<ShapeMap> shape_from_json(std::string_view text) {
+  ShapeMap shape;
+  std::size_t pos = 0;
+  skip_ws(text, pos);
+  if (pos >= text.size() || text[pos] != '{') {
+    return invalid_argument("golden snapshot: expected '{'");
+  }
+  ++pos;
+  skip_ws(text, pos);
+  if (pos < text.size() && text[pos] == '}') return shape;  // empty object
+  for (;;) {
+    skip_ws(text, pos);
+    std::string key;
+    if (!parse_string(text, pos, key)) {
+      return invalid_argument("golden snapshot: expected a key string");
+    }
+    skip_ws(text, pos);
+    if (pos >= text.size() || text[pos] != ':') {
+      return invalid_argument("golden snapshot: expected ':' after key " + key);
+    }
+    ++pos;
+    skip_ws(text, pos);
+    std::string value;
+    if (!parse_string(text, pos, value)) {
+      return invalid_argument("golden snapshot: expected a string value for " +
+                              key);
+    }
+    shape[key] = value;
+    skip_ws(text, pos);
+    if (pos < text.size() && text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (pos < text.size() && text[pos] == '}') return shape;
+    return invalid_argument("golden snapshot: expected ',' or '}'");
+  }
+}
+
+Expected<ShapeMap> load_shape(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return invalid_argument("cannot open golden snapshot: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return shape_from_json(buffer.str());
+}
+
+void save_shape(const std::string& path, const ShapeMap& shape) {
+  std::ofstream out(path);
+  HSIM_ASSERT(static_cast<bool>(out));
+  out << shape_to_json(shape);
+  HSIM_ASSERT(static_cast<bool>(out));
+}
+
+std::vector<std::string> diff_shapes(const ShapeMap& expected,
+                                     const ShapeMap& actual) {
+  std::vector<std::string> diffs;
+  for (const auto& [key, value] : expected) {
+    const auto it = actual.find(key);
+    if (it == actual.end()) {
+      diffs.push_back("missing key: " + key + " (expected \"" + value + "\")");
+    } else if (it->second != value) {
+      diffs.push_back(key + ": \"" + it->second + "\" != golden \"" + value +
+                      "\"");
+    }
+  }
+  for (const auto& [key, value] : actual) {
+    if (!expected.contains(key)) {
+      diffs.push_back("unexpected key: " + key + " = \"" + value + "\"");
+    }
+  }
+  return diffs;
+}
+
+bool update_golden_requested() {
+  const char* env = std::getenv("HSIM_UPDATE_GOLDEN");
+  return env != nullptr && std::string_view(env) != "0" &&
+         std::string_view(env) != "";
+}
+
+}  // namespace hsim::conformance

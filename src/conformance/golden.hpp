@@ -1,0 +1,46 @@
+// Golden-shape snapshot I/O.
+//
+// The paper's headline results are *ordinal*: shared memory is faster than
+// L1 which beats L2 which beats DRAM (Table 4), FP64 never beats FP32
+// (Table 5), FP16 tensor cores lead the throughput ladder (Table 7), the
+// one-instruction DPX functions win over their emulated chains (Fig. 7).
+// Golden-shape tests snapshot those orderings — winners, orderings,
+// booleans — as a flat string->string map, persisted as a sorted JSON
+// object under tests/golden/.  Exact numbers stay free to move as the
+// model is tuned; a *shape* change (a flipped ordering) fails the test
+// until a human re-blesses the snapshot by re-running with
+// HSIM_UPDATE_GOLDEN=1.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hsim::conformance {
+
+/// Sorted key -> value facts ("table4.h800.order" -> "smem<l1<l2<dram").
+using ShapeMap = std::map<std::string, std::string>;
+
+/// Serialise as a stable, human-diffable JSON object (sorted keys, one
+/// entry per line).
+[[nodiscard]] std::string shape_to_json(const ShapeMap& shape);
+
+/// Parse the subset of JSON shape_to_json emits: one flat object of
+/// string values.
+[[nodiscard]] Expected<ShapeMap> shape_from_json(std::string_view text);
+
+[[nodiscard]] Expected<ShapeMap> load_shape(const std::string& path);
+/// Write-or-die (tests call this only under HSIM_UPDATE_GOLDEN=1).
+void save_shape(const std::string& path, const ShapeMap& shape);
+
+/// Human-readable differences: missing keys, stale keys, changed values.
+[[nodiscard]] std::vector<std::string> diff_shapes(const ShapeMap& expected,
+                                                   const ShapeMap& actual);
+
+/// True when the caller should regenerate snapshots instead of comparing
+/// (environment variable HSIM_UPDATE_GOLDEN set to anything but "0").
+[[nodiscard]] bool update_golden_requested();
+
+}  // namespace hsim::conformance

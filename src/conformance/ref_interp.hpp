@@ -1,0 +1,77 @@
+// Functional reference interpreter for the hsim micro-ISA.
+//
+// Executes an isa::Program with simple, obviously-correct semantics —
+// registers, predicates via imm flags, shared and global memory, block
+// barriers — and *no timing model at all*.  It is a deliberately
+// independent second implementation of the ISA's architectural contract:
+// the differential driver (differ.hpp) runs every fuzzed program through
+// both this interpreter and the cycle-level sm::SmCore pipeline and diffs
+// the final architectural state, so a timing-model refactor that corrupts
+// semantics is caught mechanically instead of by eyeballing tables.
+//
+// The interpreter mirrors the pipeline's *documented* architectural
+// contract, including its deliberate model gaps:
+//   * global stores (STG) and cp.async / TMA copies are timing-only — they
+//     never mutate architectural state;
+//   * DSM remote ops (LDS.REMOTE / STS.REMOTE / ATOMS.REMOTE.ADD) model
+//     fabric timing only, so destination registers keep their prior value;
+//   * CLOCK reads the cycle counter, which a timing-free interpreter cannot
+//     reproduce — it writes 0 and sets `clock_tainted` so the differ skips
+//     register comparison for such programs.
+//
+// Warps step round-robin, one instruction per sweep, with barrier release
+// once every live warp of a block is parked — any interleaving yields the
+// same final state for the race-free programs the fuzzer emits (thread-
+// private shared slots, commutative atomics, read-only global memory).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "isa/program.hpp"
+#include "sm/sm_core.hpp"
+
+namespace hsim::conformance {
+
+inline constexpr int kLanes = 32;
+
+/// Final architectural state plus a per-warp retirement log.
+struct RefResult {
+  int num_regs = 0;
+  /// Per warp: register lanes laid out as reg * kLanes + lane, matching
+  /// SmCore::reg(warp, reg, lane).
+  std::vector<std::vector<std::uint64_t>> regs;
+  /// Final shared-memory image (one per SM — the pipeline does not
+  /// partition shared memory between resident blocks, and neither do we).
+  std::vector<std::uint8_t> shared;
+  bool used_shared = false;    // any LDS/STS/ATOMS.ADD executed
+  /// Retirement log: instructions executed per warp, in warp-id order, and
+  /// the order in which warps retired.
+  std::vector<std::uint64_t> issued_per_warp;
+  std::vector<int> retire_order;
+  std::uint64_t instructions = 0;  // total across warps; must equal the
+                                   // pipeline's instructions_issued
+  bool clock_tainted = false;      // a CLOCK executed; registers not
+                                   // comparable against a timed model
+};
+
+class RefInterp {
+ public:
+  explicit RefInterp(const arch::DeviceSpec& device) : device_(device) {}
+
+  /// Backing storage for global loads (addresses are byte offsets; loads
+  /// read the containing 64-bit word, exactly like the pipeline).
+  void bind_global(std::span<const std::uint64_t> words) { global_ = words; }
+
+  /// Execute `program` over `shape` resident warps to completion.
+  [[nodiscard]] RefResult run(const isa::Program& program,
+                              const sm::BlockShape& shape) const;
+
+ private:
+  const arch::DeviceSpec& device_;
+  std::span<const std::uint64_t> global_;
+};
+
+}  // namespace hsim::conformance

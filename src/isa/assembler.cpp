@@ -17,7 +17,7 @@ struct MnemonicEntry {
 
 // Longest-match table (checked in order, so longer names come first where
 // one is a prefix of another).
-constexpr std::array<MnemonicEntry, 32> kMnemonics{{
+constexpr std::array<MnemonicEntry, 33> kMnemonics{{
     {"LDG.CA", Opcode::kLdgCa},
     {"LDG.CG", Opcode::kLdgCg},
     {"LDS.REMOTE", Opcode::kLdsRemote},
@@ -41,6 +41,7 @@ constexpr std::array<MnemonicEntry, 32> kMnemonics{{
     {"DADD", Opcode::kDAdd},
     {"DMUL", Opcode::kDMul},
     {"HADD2", Opcode::kHAdd2},
+    {"HMMA.16816", Opcode::kHMma},
     {"CLOCK", Opcode::kClock},
     {"MAPA", Opcode::kMapa},
     {"EXIT", Opcode::kExit},
@@ -88,11 +89,35 @@ std::optional<Operand> parse_operand(std::string_view text) {
     const auto close = text.find(']');
     if (close == std::string_view::npos) return std::nullopt;
     auto inner = trim(text.substr(1, close - 1));
-    if (inner.size() < 2 || (inner[0] != 'R' && inner[0] != 'r')) return std::nullopt;
-    const auto idx = parse_int(inner.substr(1));
-    if (!idx || *idx < 0 || *idx >= kMaxRegs) return std::nullopt;
+    if (inner.empty()) return std::nullopt;
     op.kind = Operand::Kind::kMem;
-    op.reg = static_cast<int>(*idx);
+    if (inner[0] == 'R' || inner[0] == 'r') {
+      // Register base with an optional signed byte offset: [R3], [R3+8],
+      // [R3-8].  The offset lands in the instruction's imm field, which the
+      // pipeline folds into every lane address.
+      const auto split = inner.find_first_of("+-", 1);
+      const auto reg_part = trim(inner.substr(0, split));
+      const auto idx = reg_part.size() >= 2
+                           ? parse_int(reg_part.substr(1))
+                           : std::optional<std::int64_t>{};
+      if (!idx || *idx < 0 || *idx >= kMaxRegs) return std::nullopt;
+      op.reg = static_cast<int>(*idx);
+      if (split != std::string_view::npos) {
+        auto offset_text = trim(inner.substr(split));
+        if (offset_text.front() == '+') offset_text.remove_prefix(1);
+        const auto offset = parse_int(offset_text);
+        if (!offset) return std::nullopt;
+        op.imm = *offset;
+      }
+    } else {
+      // Absolute form: [16] — no base register, offset only.
+      auto offset_text = inner;
+      if (offset_text.front() == '+') offset_text.remove_prefix(1);
+      const auto offset = parse_int(offset_text);
+      if (!offset) return std::nullopt;
+      op.reg = kRegNone;
+      op.imm = *offset;
+    }
     auto rest = trim(text.substr(close + 1));
     if (!rest.empty()) {
       if (rest.front() != '.') return std::nullopt;
@@ -223,6 +248,7 @@ Expected<Program> assemble(std::string_view source) {
           case Operand::Kind::kMem:
             if (slot == 0) slot = 1;  // stores may begin with a memory operand
             inst.ra = operand.reg;
+            inst.imm = operand.imm;  // bracket offset (0 when none given)
             inst.access_bytes = operand.width;
             slot = std::max(slot, static_cast<std::size_t>(2));
             break;

@@ -10,8 +10,10 @@
 //
 // Syntax: one instruction per line; `;` or `#` starts a comment; registers
 // are R0..R127; memory operands are bracketed registers with an optional
-// width suffix (e.g. `[R1].16` for a float4 access); directives start with
-// a dot (`.iterations N`).
+// signed byte offset and width suffix (`[R1]`, `[R1+8]`, `[R1-8].16`, or
+// the absolute form `[64]`); directives start with a dot (`.iterations N`).
+// The syntax round-trips: `Program::to_string()` output re-assembles to an
+// identical Program (pinned by tests/assembler_roundtrip_test.cpp).
 #pragma once
 
 #include <string_view>

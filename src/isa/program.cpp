@@ -1,29 +1,83 @@
 #include "isa/program.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace hsim::isa {
+namespace {
+
+// Opcodes whose `ra` is an address register and whose `imm` is a byte
+// offset folded into the address.  These print with the assembler's memory
+// operand syntax ([R1+8].16) so that disassembled text re-assembles to an
+// identical Instruction.
+constexpr bool memory_operand_style(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kLdgCa:
+    case Opcode::kLdgCg:
+    case Opcode::kStg:
+    case Opcode::kLds:
+    case Opcode::kSts:
+    case Opcode::kLdsRemote:
+    case Opcode::kStsRemote:
+    case Opcode::kAtomSharedAdd:
+    case Opcode::kAtomRemoteAdd:
+    case Opcode::kCpAsync:
+      return true;
+    // TMA.LOAD addresses through ra but its imm is the box size, not an
+    // offset, so the imm prints as a plain trailing operand instead.
+    case Opcode::kTmaLoad:
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 std::string Instruction::to_string() const {
   std::ostringstream os;
   os << mnemonic(op);
   bool first = true;
-  const auto emit_reg = [&](int r) {
-    if (r == kRegNone) return;
-    os << (first ? " " : ", ") << "R" << r;
+  const auto sep = [&]() -> std::ostringstream& {
+    os << (first ? " " : ", ");
     first = false;
+    return os;
   };
+  const auto emit_reg = [&](int r) {
+    if (r != kRegNone) sep() << "R" << r;
+  };
+  const bool mem = memory_operand_style(op) || op == Opcode::kTmaLoad;
+  if (!mem) {
+    emit_reg(rd);
+    emit_reg(ra);
+    emit_reg(rb);
+    emit_reg(rc);
+    if (imm != 0) sep() << imm;
+    return os.str();
+  }
+
+  // Memory form: rd (loads/atomics), the bracketed address, then any value
+  // registers.  An absent address register prints as an absolute offset.
   emit_reg(rd);
-  emit_reg(ra);
+  sep() << '[';
+  if (ra != kRegNone) {
+    os << 'R' << ra;
+    if (memory_operand_style(op) && imm > 0) os << '+' << imm;
+    if (memory_operand_style(op) && imm < 0) os << imm;
+  } else {
+    os << (memory_operand_style(op) ? imm : 0);
+  }
+  os << ']';
+  if (access_bytes != 4) os << '.' << access_bytes;
   emit_reg(rb);
   emit_reg(rc);
-  if (imm != 0) os << (first ? " " : ", ") << imm;
+  if (op == Opcode::kTmaLoad && imm != 0) sep() << imm;
   return os.str();
 }
 
 std::string Program::to_string() const {
   std::ostringstream os;
   os << "; " << body_.size() << " instructions x " << iterations_ << " iterations\n";
+  os << ".iterations " << iterations_ << '\n';
   for (const auto& inst : body_) os << inst.to_string() << '\n';
   return os.str();
 }

@@ -41,6 +41,10 @@ class SharedMemory {
   std::uint32_t atomic_add_u32(std::uint32_t byte_addr, std::uint32_t value);
 
   [[nodiscard]] std::uint64_t size() const noexcept { return data_.size(); }
+  /// Whole backing store, for snapshot/diff tooling (conformance driver).
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_.data(), data_.size()};
+  }
   [[nodiscard]] int banks() const noexcept { return banks_; }
   void fill(std::uint8_t byte) { std::fill(data_.begin(), data_.end(), byte); }
 

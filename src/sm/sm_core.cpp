@@ -202,6 +202,7 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
   }
   barrier_target_ = warps_per_block;
   result_ = {};
+  last_completion_ = 0.0;
 
   if (trace_ != nullptr) {
     for (const auto& w : warps_) {
@@ -293,6 +294,10 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
   // Outstanding store traffic drains before the kernel retires.
   finish = std::max(finish, units_->dsm.next_free());
   finish = std::max(finish, units_->lsu.next_free());
+  // An instruction with no destination register (a store, a rd-less
+  // atomic) still occupies its unit until completion; the kernel is not
+  // over while any issued instruction is in flight.
+  finish = std::max(finish, last_completion_);
   result_.cycles = finish;
   return result_;
 }
@@ -405,6 +410,7 @@ bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program,
     warp.reg_reason[static_cast<std::size_t>(inst.rd)] = value_reason_;
   }
   warp.last_issue_cycle = now;
+  last_completion_ = std::max(last_completion_, completion);
   ++result_.instructions_issued;
   if (trace_ != nullptr) {
     trace_->on_event({trace::EventKind::kIssue, StallReason::kNone, now,
@@ -416,6 +422,7 @@ bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program,
   // Advance control flow.
   if (inst.op == isa::Opcode::kExit) {
     warp.done = true;
+    ++result_.warps_retired;
     if (trace_ != nullptr) {
       trace_->on_event({trace::EventKind::kRetire, StallReason::kNone, now,
                         0.0, sm_id_, warp.id,
@@ -432,6 +439,7 @@ bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program,
     ++warp.iteration;
     if (warp.iteration >= program.iterations()) {
       warp.done = true;
+      ++result_.warps_retired;
       if (trace_ != nullptr) {
         trace_->on_event({trace::EventKind::kRetire, StallReason::kNone, now,
                           0.0, sm_id_, warp.id,

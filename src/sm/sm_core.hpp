@@ -46,6 +46,7 @@ struct RunResult {
   std::uint64_t instructions_issued = 0;
   std::uint64_t stall_cycles = 0;       // scheduler slots with no issuable warp
   std::uint64_t mem_transactions = 0;
+  std::uint64_t warps_retired = 0;      // must equal total_warps on a clean run
   double ipc() const {
     return cycles > 0 ? static_cast<double>(instructions_issued) / cycles : 0.0;
   }
@@ -104,6 +105,7 @@ class SmCore {
   std::vector<Warp> warps_;
   std::unique_ptr<Units> units_;
   RunResult result_;
+  double last_completion_ = 0;  // latest completion time of any issued inst
   int barrier_target_ = 0;  // warps per block, set by run()
   trace::TraceSink* trace_ = nullptr;
   // Why a wait on the value most recently produced by execute() would

@@ -1,0 +1,237 @@
+// Differential conformance subsystem: reference interpreter semantics,
+// the differ's cross-checks and timing invariants, failure shrinking, and
+// reproducer round-trips.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/device.hpp"
+#include "conformance/differ.hpp"
+#include "conformance/fuzzer.hpp"
+#include "conformance/ref_interp.hpp"
+#include "isa/program.hpp"
+
+namespace hsim::conformance {
+namespace {
+
+const arch::DeviceSpec& h800() {
+  return *arch::find_device("h800").value();
+}
+
+TEST(RefInterp, ArithmeticMatchesHandComputation) {
+  isa::Program program;
+  program.mov(1, 5);
+  program.iadd3(2, 0, 1);                                 // R2 = tid + 5
+  program.add({.op = isa::Opcode::kIMad, .rd = 3, .ra = 2, .rb = 2, .rc = 1});
+  const RefInterp interp(h800());
+  const auto result = interp.run(program, {.threads_per_block = 64, .blocks = 1});
+
+  ASSERT_EQ(result.regs.size(), 2u);
+  EXPECT_EQ(result.num_regs, 4);
+  for (int w = 0; w < 2; ++w) {
+    for (int l = 0; l < kLanes; ++l) {
+      const std::uint64_t tid = static_cast<std::uint64_t>(w) * 32 +
+                                static_cast<std::uint64_t>(l);
+      const auto at = [&](int r) {
+        return result.regs[static_cast<std::size_t>(w)]
+                          [static_cast<std::size_t>(r) * kLanes +
+                           static_cast<std::size_t>(l)];
+      };
+      EXPECT_EQ(at(2), tid + 5);
+      EXPECT_EQ(at(3), (tid + 5) * (tid + 5) + 5);
+    }
+  }
+  EXPECT_EQ(result.instructions, 2u * 3u);
+  EXPECT_FALSE(result.used_shared);
+  EXPECT_FALSE(result.clock_tainted);
+  EXPECT_EQ(result.retire_order.size(), 2u);
+}
+
+TEST(RefInterp, SharedMemoryAndBarriers) {
+  // Each thread stores 2*tid to its private slot, syncs, reads it back.
+  isa::Program program;
+  program.add({.op = isa::Opcode::kShf, .rd = 1, .ra = 0, .imm = 2});  // 4*tid
+  program.iadd3(2, 0, 0);                                  // R2 = 2*tid
+  program.add({.op = isa::Opcode::kSts, .ra = 1, .rb = 2});
+  program.bar_sync();
+  program.lds(3, 1);
+  const RefInterp interp(h800());
+  const auto result = interp.run(program, {.threads_per_block = 128, .blocks = 2});
+
+  EXPECT_TRUE(result.used_shared);
+  for (std::size_t w = 0; w < result.regs.size(); ++w) {
+    for (int l = 0; l < kLanes; ++l) {
+      const std::uint64_t tid = w * 32 + static_cast<std::uint64_t>(l);
+      EXPECT_EQ(result.regs[w][3 * kLanes + static_cast<std::size_t>(l)],
+                2 * tid);
+    }
+  }
+  EXPECT_EQ(result.retire_order.size(), 8u);
+}
+
+TEST(RefInterp, ClockTaintsRegisters) {
+  isa::Program program;
+  program.add({.op = isa::Opcode::kClock, .rd = 1});
+  const RefInterp interp(h800());
+  const auto result = interp.run(program, {.threads_per_block = 32, .blocks = 1});
+  EXPECT_TRUE(result.clock_tainted);
+}
+
+TEST(Differ, CleanCampaignPasses) {
+  const Differ differ(h800());
+  CampaignOptions options;
+  options.seed = 1;
+  options.count = 100;
+  const auto result = differ.campaign(options);
+  EXPECT_TRUE(result.ok()) << (result.first_failure
+                                   ? result.first_failure->message
+                                   : std::string());
+  EXPECT_EQ(result.cases, 100u);
+  EXPECT_GT(result.instructions, 0u);
+  EXPECT_GT(result.pipeline_cycles, 0.0);
+}
+
+TEST(Differ, CleanCampaignPassesOnEveryDevice) {
+  for (const auto* device : arch::all_devices()) {
+    const Differ differ(*device);
+    CampaignOptions options;
+    options.seed = 3;
+    options.count = 25;
+    const auto result = differ.campaign(options);
+    EXPECT_TRUE(result.ok())
+        << device->name << ": "
+        << (result.first_failure ? result.first_failure->message
+                                 : std::string());
+  }
+}
+
+TEST(Differ, HandWrittenKernelAgrees) {
+  isa::Program program;
+  program.add({.op = isa::Opcode::kShf, .rd = 1, .ra = 0, .imm = 3});  // 8*tid
+  program.ldg_ca(2, 1);
+  program.iadd3(3, 2, 0);
+  program.set_iterations(4);
+
+  FuzzCase fuzz_case;
+  fuzz_case.program = program;
+  fuzz_case.shape = {.threads_per_block = 64, .blocks = 2};
+  const auto global = make_global_image(5);
+  const Differ differ(h800());
+  const auto report = differ.diff(fuzz_case, global);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+/// Wraps the real pipeline and corrupts lane 0 of the destination of the
+/// first IADD3 in warp 0 — the observable signature of a scoreboard bug
+/// that let a dependent read beat its producer.
+PipelineFn injected_scoreboard_bug(const Differ& differ) {
+  return [&differ](const FuzzCase& fuzz_case,
+                   std::span<const std::uint64_t> global) {
+    auto obs = differ.run_pipeline(fuzz_case, global);
+    for (const auto& inst : fuzz_case.program.body()) {
+      if (inst.op == isa::Opcode::kIAdd3 && inst.rd != isa::kRegNone) {
+        obs.regs[0][static_cast<std::size_t>(inst.rd) * kLanes] ^= 0x1;
+        break;
+      }
+    }
+    return obs;
+  };
+}
+
+TEST(Differ, InjectedScoreboardBugIsCaughtAndShrunk) {
+  Differ differ(h800());
+  const Differ& clean = differ;
+  Differ buggy(h800());
+  buggy.set_pipeline(injected_scoreboard_bug(clean));
+
+  CampaignOptions options;
+  options.seed = 1;
+  options.count = 50;
+  const auto result = buggy.campaign(options);
+  ASSERT_FALSE(result.ok());
+  ASSERT_TRUE(result.first_failure.has_value());
+  const auto& failure = *result.first_failure;
+  EXPECT_NE(failure.message.find("reference"), std::string::npos)
+      << failure.message;
+
+  // The shrinker must reduce the reproducer to <= 10 instructions (here a
+  // lone IADD3 suffices to trip the injected bug) and the shrunk case must
+  // still fail.
+  EXPECT_LE(failure.shrunk.program.size(), 10u);
+  EXPECT_LE(failure.shrunk.program.size(), failure.original.program.size());
+  const auto global = make_global_image(1);
+  EXPECT_FALSE(buggy.diff(failure.shrunk, global).ok());
+  EXPECT_TRUE(clean.diff(failure.shrunk, global).ok());
+  EXPECT_EQ(failure.shrunk.program.iterations(), 1u);
+  EXPECT_EQ(failure.shrunk.shape.blocks, 1);
+  EXPECT_EQ(failure.shrunk.shape.threads_per_block, 32);
+}
+
+TEST(Differ, LostRetireIsCaught) {
+  Differ real(h800());
+  Differ buggy(h800());
+  buggy.set_pipeline([&real](const FuzzCase& fuzz_case,
+                             std::span<const std::uint64_t> global) {
+    auto obs = real.run_pipeline(fuzz_case, global);
+    obs.result.warps_retired -= 1;  // a warp silently vanished
+    return obs;
+  });
+  const ProgramFuzzer fuzzer;
+  const auto fuzz_case = fuzzer.generate(1, 0);
+  const auto report = buggy.diff(fuzz_case, make_global_image(1));
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("warps_retired"), std::string::npos);
+}
+
+TEST(Differ, NondeterministicPipelineIsCaught) {
+  Differ real(h800());
+  Differ buggy(h800());
+  int calls = 0;
+  buggy.set_pipeline([&real, &calls](const FuzzCase& fuzz_case,
+                                     std::span<const std::uint64_t> global) {
+    auto obs = real.run_pipeline(fuzz_case, global);
+    if (++calls % 2 == 0) obs.result.cycles += 1;  // replay diverges
+    return obs;
+  });
+  const ProgramFuzzer fuzzer;
+  const auto report = buggy.diff(fuzzer.generate(1, 0), make_global_image(1));
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("replay"), std::string::npos);
+}
+
+TEST(Repro, RoundTripsThroughAsmText) {
+  const ProgramFuzzer fuzzer;
+  const auto fuzz_case = fuzzer.generate(/*base_seed=*/11, /*index=*/3);
+  const auto text = to_repro(fuzz_case, "h800", "example failure message");
+
+  const auto loaded = load_repro(text);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().to_string();
+  const auto& repro = loaded.value();
+  EXPECT_EQ(repro.device, "h800");
+  EXPECT_EQ(repro.fuzz_case.base_seed, 11u);
+  EXPECT_EQ(repro.fuzz_case.index, 3u);
+  EXPECT_EQ(repro.fuzz_case.shape.threads_per_block,
+            fuzz_case.shape.threads_per_block);
+  EXPECT_EQ(repro.fuzz_case.shape.blocks, fuzz_case.shape.blocks);
+  ASSERT_EQ(repro.fuzz_case.program.size(), fuzz_case.program.size());
+  EXPECT_EQ(repro.fuzz_case.program.iterations(),
+            fuzz_case.program.iterations());
+  for (std::size_t i = 0; i < fuzz_case.program.size(); ++i) {
+    EXPECT_EQ(repro.fuzz_case.program.body()[i].to_string(),
+              fuzz_case.program.body()[i].to_string());
+  }
+
+  // A loaded reproducer of a passing case diffs clean.
+  const Differ differ(h800());
+  const auto global = make_global_image(repro.fuzz_case.base_seed);
+  EXPECT_TRUE(differ.diff(repro.fuzz_case, global).ok());
+}
+
+TEST(Repro, RejectsGarbage) {
+  EXPECT_FALSE(load_repro("").has_value());
+  EXPECT_FALSE(load_repro("; seed=1\nFROB R1, R2\n").has_value());
+  EXPECT_FALSE(load_repro("; threads_per_block=zebra\nMOV R1, 1\n").has_value());
+}
+
+}  // namespace
+}  // namespace hsim::conformance

@@ -1,0 +1,215 @@
+// Golden-shape regression tests for the paper's headline results.
+//
+// Each test distils a table or figure into its *ordinal* shape — which
+// level is fastest, which dtype wins the throughput ladder, whether the
+// sawtooth dips past a full wave — and compares against a JSON snapshot
+// under tests/golden/.  Exact numbers are free to move as the model is
+// tuned; a flipped ordering fails until a human re-blesses the snapshot:
+//
+//   HSIM_UPDATE_GOLDEN=1 ./build/tests/golden_shape_test
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "conformance/golden.hpp"
+#include "core/dpxbench.hpp"
+#include "core/membench.hpp"
+#include "core/pchase.hpp"
+#include "core/tcbench.hpp"
+#include "dpx/functions.hpp"
+#include "isa/ptx.hpp"
+#include "mem/memory_system.hpp"
+#include "numerics/dtype.hpp"
+
+namespace hsim::conformance {
+namespace {
+
+constexpr const char* kDevices[] = {"a100", "4090", "h800"};
+
+const arch::DeviceSpec& device(const char* short_name) {
+  return *arch::find_device(short_name).value();
+}
+
+const char* bool_str(bool v) { return v ? "true" : "false"; }
+
+/// Label order induced by the measured values: ascending joins with '<'
+/// (latency ladders), descending with '>' (throughput ladders).  Ties
+/// break on the label so the string is deterministic either way.
+std::string order_of(std::vector<std::pair<std::string, double>> entries,
+                     bool ascending) {
+  std::sort(entries.begin(), entries.end(),
+            [ascending](const auto& a, const auto& b) {
+              if (a.second != b.second) {
+                return ascending ? a.second < b.second : a.second > b.second;
+              }
+              return a.first < b.first;
+            });
+  std::string out;
+  for (const auto& [label, value] : entries) {
+    if (!out.empty()) out += ascending ? '<' : '>';
+    out += label;
+  }
+  return out;
+}
+
+void check_or_update(const std::string& file, const ShapeMap& actual) {
+  const std::string path = std::string(HSIM_GOLDEN_DIR) + "/" + file;
+  if (update_golden_requested()) {
+    save_shape(path, actual);
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  const auto expected = load_shape(path);
+  ASSERT_TRUE(expected.has_value())
+      << expected.error().to_string()
+      << " (regenerate with HSIM_UPDATE_GOLDEN=1)";
+  for (const auto& diff : diff_shapes(expected.value(), actual)) {
+    ADD_FAILURE() << file << ": " << diff;
+  }
+}
+
+// Table IV: pointer-chase latency must order shared < L1 < L2 < DRAM on
+// every device (the snapshot records whatever the model currently says;
+// review the JSON against the paper when re-blessing).
+TEST(GoldenShape, Table4LatencyOrder) {
+  ShapeMap shape;
+  constexpr std::pair<const char*, mem::MemLevel> kLevels[] = {
+      {"shared", mem::MemLevel::kShared},
+      {"l1", mem::MemLevel::kL1},
+      {"l2", mem::MemLevel::kL2},
+      {"dram", mem::MemLevel::kDram},
+  };
+  for (const char* name : kDevices) {
+    std::vector<std::pair<std::string, double>> latency;
+    for (const auto& [label, level] : kLevels) {
+      const auto result = core::pchase(device(name), level);
+      ASSERT_TRUE(result.has_value()) << name << "/" << label << ": "
+                                      << result.error().to_string();
+      latency.emplace_back(label, result.value().avg_latency_cycles);
+    }
+    shape["table4." + std::string(name) + ".latency_order"] =
+        order_of(latency, /*ascending=*/true);
+  }
+  check_or_update("table04_latency.json", shape);
+}
+
+// Table V: L1 streaming shape — FP64 never beats FP32 (trimmed-FP64 parts
+// bottleneck on the compute pipe), float4 never loses to scalar FP32, and
+// whether shared beats L1 on bytes/clk.
+TEST(GoldenShape, Table5ThroughputShape) {
+  ShapeMap shape;
+  for (const char* name : kDevices) {
+    const auto& dev = device(name);
+    const auto fp32 = core::measure_l1_throughput(dev, core::AccessKind::kFp32);
+    const auto fp64 = core::measure_l1_throughput(dev, core::AccessKind::kFp64);
+    const auto v4 = core::measure_l1_throughput(dev, core::AccessKind::kFp32V4);
+    const auto shared = core::measure_shared_throughput(dev);
+    ASSERT_TRUE(fp32.has_value() && fp64.has_value() && v4.has_value() &&
+                shared.has_value())
+        << name;
+    const std::string prefix = "table5." + std::string(name) + ".";
+    shape[prefix + "l1_fp64_le_fp32"] = bool_str(
+        fp64.value().bytes_per_clk <= fp32.value().bytes_per_clk);
+    shape[prefix + "l1_v4_ge_fp32"] = bool_str(
+        v4.value().bytes_per_clk >= fp32.value().bytes_per_clk);
+    shape[prefix + "shared_ge_l1_fp32"] = bool_str(
+        shared.value().bytes_per_clk >= fp32.value().bytes_per_clk);
+  }
+  check_or_update("table05_throughput.json", shape);
+}
+
+// Table VII: mma dtype ladders.  INT8 should lead throughput, TF32 trail;
+// random operands must never out-run zero operands (DVFS throttle only
+// ever costs).
+TEST(GoldenShape, Table7TensorCoreShape) {
+  struct DtypeCase {
+    const char* label;
+    num::DType ab;
+    int k;
+  };
+  constexpr DtypeCase kCases[] = {
+      {"fp16", num::DType::kFp16, 16},
+      {"tf32", num::DType::kTf32, 8},
+      {"int8", num::DType::kInt8, 32},
+  };
+  ShapeMap shape;
+  for (const char* name : kDevices) {
+    std::vector<std::pair<std::string, double>> latency;
+    std::vector<std::pair<std::string, double>> throughput;
+    bool rand_le_zero = true;
+    for (const auto& c : kCases) {
+      isa::TcInstr instr;
+      instr.path = isa::TcPath::kMma;
+      instr.shape = {16, 8, c.k};
+      instr.ab = c.ab;
+      instr.cd = c.ab == num::DType::kInt8 ? num::DType::kInt32
+                                           : num::DType::kFp32;
+      const auto result = core::bench_tc(instr, device(name));
+      ASSERT_TRUE(result.has_value()) << name << "/" << c.label << ": "
+                                      << result.error().to_string();
+      latency.emplace_back(c.label, result.value().latency_cycles);
+      throughput.emplace_back(c.label, result.value().tflops_zero);
+      rand_le_zero &= result.value().tflops_rand <=
+                      result.value().tflops_zero + 1e-9;
+    }
+    const std::string prefix = "table7." + std::string(name) + ".";
+    shape[prefix + "latency_order"] = order_of(latency, /*ascending=*/true);
+    shape[prefix + "throughput_order"] =
+        order_of(throughput, /*ascending=*/false);
+    shape[prefix + "rand_le_zero"] = bool_str(rand_le_zero);
+  }
+  check_or_update("table07_tensor.json", shape);
+}
+
+// Fig. 7: the DPX shape.  The fused 16x2+relu function is one hardware
+// instruction on Hopper but an emulated multi-op chain elsewhere, so H800
+// must win it outright; the block sweep on H800 must show the sawtooth
+// (throughput dips when a grid spills one block past a full wave and
+// recovers by two full waves).
+TEST(GoldenShape, Fig7DpxShape) {
+  ShapeMap shape;
+  std::vector<std::pair<std::string, double>> fused;
+  for (const char* name : kDevices) {
+    const auto& dev = device(name);
+    const auto simple = core::dpx_latency(dev, dpx::Func::kViAddMaxS32);
+    const auto relu = core::dpx_latency(dev, dpx::Func::kViAddMaxS16x2Relu);
+    ASSERT_TRUE(simple.has_value() && relu.has_value()) << name;
+    // The emulation chain for the fused form is several dependent
+    // instructions; "comparable" means native-speed (within 1.5x of the
+    // plain add-max).
+    shape["fig7." + std::string(name) + ".s16x2_relu_latency"] =
+        relu.value().cycles_per_call >
+                1.5 * simple.value().cycles_per_call
+            ? "emulated_slower"
+            : "comparable";
+    fused.emplace_back(name, relu.value().cycles_per_call);
+  }
+  shape["fig7.s16x2_relu_latency_winner"] =
+      std::min_element(fused.begin(), fused.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       })
+          ->first;
+
+  const auto& h800 = device("h800");
+  const int waves = h800.sm_count;
+  const auto point = [&](int blocks) {
+    const auto result =
+        core::dpx_block_point(h800, dpx::Func::kViAddMaxS16x2Relu, blocks);
+    EXPECT_TRUE(result.has_value()) << blocks;
+    return result.has_value() ? result.value().gcalls_per_sec : 0.0;
+  };
+  const double full_wave = point(waves);
+  const double spill = point(waves + 1);
+  const double two_waves = point(2 * waves);
+  shape["fig7.h800.sawtooth_dip_after_full_wave"] = bool_str(spill < full_wave);
+  shape["fig7.h800.sawtooth_recovers_by_two_waves"] =
+      bool_str(two_waves > spill);
+  check_or_update("fig07_dpx.json", shape);
+}
+
+}  // namespace
+}  // namespace hsim::conformance

@@ -10,16 +10,20 @@
 //   hsim dsm       [cluster-size] [block-threads] [ilp]
 //   hsim trace     <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]
 //                  [--top=N] [--trace-out=trace.json]
+//   hsim fuzz      <device> [--seed=N] [--count=K] [--threads=N]
+//                  [--no-shrink] [--out=repro.hsim] [--replay=repro.hsim]
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "arch/device.hpp"
 #include "common/table.hpp"
+#include "conformance/differ.hpp"
 #include "core/dpxbench.hpp"
 #include "core/membench.hpp"
 #include "core/pchase.hpp"
@@ -45,7 +49,10 @@ int usage() {
       "  dsm [cs] [threads] [ilp]                  SM-to-SM ring copy (H800)\n"
       "  trace <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]\n"
       "        [--top=N] [--trace-out=trace.json]   stall-reason breakdown;\n"
-      "        kernel is one of:\n";
+      "  fuzz <device> [--seed=N] [--count=K] [--threads=N] [--no-shrink]\n"
+      "        [--out=repro.hsim] [--replay=repro.hsim]\n"
+      "        differential conformance: reference interpreter vs pipeline\n"
+      "  (trace kernels:)\n";
   for (const auto name : trace::trace_kernel_names()) {
     std::cerr << "          " << name << " — "
               << trace::trace_kernel_description(name) << "\n";
@@ -348,6 +355,115 @@ int cmd_trace(const arch::DeviceSpec& device,
   return 0;
 }
 
+int cmd_fuzz(const arch::DeviceSpec& device,
+             const std::vector<std::string>& args) {
+  conformance::CampaignOptions options;
+  options.count = 100;
+  bool shrink_given = false;
+  std::string out_path;
+  std::string replay_path;
+  for (const auto& arg : args) {
+    const auto value_of = [&](std::string_view prefix) -> const char* {
+      return arg.compare(0, prefix.size(), prefix) == 0
+                 ? arg.c_str() + prefix.size()
+                 : nullptr;
+    };
+    if (const char* v = value_of("--seed=")) {
+      options.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+      continue;
+    }
+    if (const char* v = value_of("--count=")) {
+      options.count = static_cast<std::uint64_t>(std::max(1, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--threads=")) {
+      options.threads = static_cast<std::size_t>(std::max(1, std::atoi(v)));
+      continue;
+    }
+    if (arg == "--shrink") {
+      shrink_given = true;
+      continue;
+    }
+    if (arg == "--no-shrink") {
+      options.shrink = false;
+      continue;
+    }
+    if (const char* v = value_of("--out=")) {
+      out_path = v;
+      continue;
+    }
+    if (const char* v = value_of("--replay=")) {
+      replay_path = v;
+      continue;
+    }
+    std::cerr << "unknown option: " << arg << "\n";
+    return usage();
+  }
+  (void)shrink_given;  // --shrink is the (default) opposite of --no-shrink
+
+  const conformance::Differ differ(device);
+
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::cerr << "cannot open " << replay_path << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto repro = conformance::load_repro(buffer.str());
+    if (!repro.has_value()) {
+      std::cerr << repro.error().to_string() << "\n";
+      return 1;
+    }
+    const auto global =
+        conformance::make_global_image(repro.value().fuzz_case.base_seed);
+    const auto report = differ.diff(repro.value().fuzz_case, global);
+    std::cout << device.name << " replay of " << replay_path << " (seed "
+              << repro.value().fuzz_case.base_seed << ", case "
+              << repro.value().fuzz_case.index << "): "
+              << (report.ok() ? "PASS" : "FAIL") << "\n";
+    if (!report.ok()) {
+      for (const auto& failure : report.failures) {
+        std::cout << "  " << failure << "\n";
+      }
+      return 1;
+    }
+    return 0;
+  }
+
+  const auto result = differ.campaign(options);
+  std::cout << device.name << " fuzz: " << result.cases << " cases, seed "
+            << options.seed << " — " << (result.cases - result.failed)
+            << " passed, " << result.failed << " failed ("
+            << result.instructions << " instructions, "
+            << fmt_fixed(result.pipeline_cycles, 0)
+            << " cycles simulated)\n";
+  if (!result.first_failure) return 0;
+
+  const auto& failure = *result.first_failure;
+  std::cout << "first failure: case " << failure.original.index << " — "
+            << failure.message << "\n"
+            << "shrunk to " << failure.shrunk.program.size()
+            << " instruction(s)\n";
+  const auto repro = conformance::to_repro(
+      failure.shrunk, device.name,
+      differ.diff(failure.shrunk, conformance::make_global_image(options.seed))
+          .summary());
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::cerr << "cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+    os << repro;
+    std::cout << "reproducer written to " << out_path << "\n";
+  } else {
+    std::cout << "\n" << repro;
+  }
+  return 1;
+}
+
 int cmd_dsm(int cs, int threads, int ilp) {
   const auto result = dsm::run_rbc(
       arch::h800_pcie(), {.cluster_size = cs, .block_threads = threads, .ilp = ilp});
@@ -368,6 +484,19 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
+
+  // Reject unknown verbs before touching any other argument, so a typo'd
+  // command names the accepted set instead of complaining about devices.
+  static constexpr std::string_view kCommands[] = {
+      "devices", "pchase", "bandwidth", "sass", "tc",
+      "dpx",     "dsm",    "trace",     "fuzz"};
+  if (std::find(std::begin(kCommands), std::end(kCommands), command) ==
+      std::end(kCommands)) {
+    std::cerr << "unknown command: " << command << "\naccepted commands:";
+    for (const auto name : kCommands) std::cerr << " " << name;
+    std::cerr << "\n";
+    return usage();
+  }
 
   if (command == "devices") return cmd_devices();
   if (command == "dsm") {
@@ -395,5 +524,6 @@ int main(int argc, char** argv) {
     return cmd_dpx(*device.value(), rest[0]);
   }
   if (command == "trace") return cmd_trace(*device.value(), rest);
+  if (command == "fuzz") return cmd_fuzz(*device.value(), rest);
   return usage();
 }

@@ -56,21 +56,28 @@ int main(int argc, char** argv) {
   bench::emit(table, opt);
 
   // Block sweep on H800: the wave-quantisation sawtooth.  Each block count
-  // is an independent launch, so the sweep fans them out too.
+  // is an independent launch, so the sweep fans them out too.  Under
+  // --full-chip every point simulates all 114 SMs (gpu::GpuEngine) and the
+  // sawtooth must emerge from the dispatcher, not from ceil().
   const auto& h800 = arch::h800_pcie();
   const int sms = h800.sm_count;
   const int max_blocks = opt.quick ? sms + 8 : 2 * sms + 8;
+  const auto mode = opt.full_chip ? sm::LaunchMode::kFullChip
+                                  : sm::LaunchMode::kRepresentative;
   const auto points = sim::sweep(
       static_cast<std::size_t>(max_blocks),
       [&](sim::SweepContext& ctx) -> std::optional<core::DpxSweepPoint> {
         const int blocks = static_cast<int>(ctx.index()) + 1;
-        auto point = core::dpx_block_point(h800, dpx::Func::kViMax3S32, blocks);
+        auto point =
+            core::dpx_block_point(h800, dpx::Func::kViMax3S32, blocks, mode);
         if (!point) return std::nullopt;
         return point.value();
       },
       bench::sweep_options(opt));
 
-  Table sweep("Fig 7 (right): H800 __vimax3_s32 throughput vs launched blocks");
+  Table sweep(std::string("Fig 7 (right): H800 __vimax3_s32 throughput vs "
+                          "launched blocks") +
+              (opt.full_chip ? " [full chip]" : ""));
   sweep.set_header({"blocks", "Gcalls/s", "note"});
   for (const auto& point : points) {
     if (!point) continue;

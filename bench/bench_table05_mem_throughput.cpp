@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/membench.hpp"
+#include "gpu/gpu_engine.hpp"
 
 namespace {
 
@@ -22,6 +23,52 @@ struct Point {
   const arch::DeviceSpec* device;
   core::AccessKind access;
 };
+
+/// Unrolled 16-byte streaming loads, every warp on a disjoint slice of a
+/// `loads`-deep address range: load k of a thread touches
+/// tid*16 + k*total_threads*16, so the footprint is loads * threads * 16
+/// bytes and each line is touched exactly once per pass.
+isa::Program streaming_program(int total_threads, int loads,
+                               std::uint32_t iterations) {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kShf, .rd = 1, .ra = 0, .imm = 4});  // 16 * tid
+  const std::int64_t stride = static_cast<std::int64_t>(total_threads) * 16;
+  for (int k = 0; k < loads; ++k) {
+    p.add({.op = isa::Opcode::kLdgCg, .rd = 2, .ra = 1,
+           .imm = k * stride, .access_bytes = 16});
+  }
+  p.set_iterations(iterations);
+  return p;
+}
+
+struct FullChipStream {
+  double gbps = 0;
+  double frac_of_peak = 0;
+};
+
+/// Stream `loads * threads * 16` bytes across every SM through the shared
+/// slice fabric; `warm` pre-loads the footprint into L2 (and the TLBs) so
+/// the run measures L2 rather than DRAM bandwidth.
+Expected<FullChipStream> full_chip_stream(const arch::DeviceSpec& device,
+                                          int loads, std::uint32_t iterations,
+                                          bool warm) {
+  const sm::LaunchConfig config{.threads_per_block = 256,
+                                .total_blocks = 2 * device.sm_count};
+  const int total_threads = config.threads_per_block * config.total_blocks;
+  const auto program = streaming_program(total_threads, loads, iterations);
+  const std::uint64_t footprint =
+      static_cast<std::uint64_t>(total_threads) * 16 *
+      static_cast<std::uint64_t>(loads);
+  const gpu::GpuEngine engine(device);
+  std::vector<gpu::WarmRange> ranges;
+  if (warm) ranges.push_back({0, footprint, mem::MemSpace::kGlobalCg});
+  const auto result = engine.run(program, config, {}, ranges);
+  if (!result) return result.error();
+  const double bytes =
+      static_cast<double>(footprint) * static_cast<double>(iterations);
+  const double gbps = bytes / result.value().seconds / 1e9;
+  return FullChipStream{gbps, gbps / device.memory.dram_peak_gbps};
+}
 
 }  // namespace
 
@@ -134,6 +181,36 @@ int main(int argc, char** argv) {
                   fmt_fixed(ratio, 2) + "x"});
   }
   bench::emit(rest, opt);
+
+  if (opt.full_chip) {
+    // Full-chip cross-check: all SMs streaming concurrently through the
+    // shared slice fabric.  Cold (one pass over a footprint larger than
+    // L2) approaches DRAM bandwidth; warm (L2-resident footprint,
+    // pre-warmed) shows the higher L2 ceiling — the same ratio Table V's
+    // representative rows quote.
+    Table chip("Table V (d): full-chip streaming bandwidth (all SMs, "
+               "shared L2 fabric)");
+    chip.set_header({"Device", "Cold (GB/s)", "Cold/peak", "Warm-L2 (GB/s)",
+                     "Warm/cold"});
+    for (const auto* device : devices) {
+      const auto cold =
+          full_chip_stream(*device, /*loads=*/64, /*iterations=*/1,
+                           /*warm=*/false);
+      const auto warm =
+          full_chip_stream(*device, /*loads=*/8, /*iterations=*/4,
+                           /*warm=*/true);
+      if (!cold || !warm) {
+        chip.add_row({device->name, "err", "err", "err", "err"});
+        continue;
+      }
+      chip.add_row({device->name, fmt_fixed(cold.value().gbps, 1),
+                    fmt_fixed(cold.value().frac_of_peak, 3),
+                    fmt_fixed(warm.value().gbps, 1),
+                    fmt_fixed(warm.value().gbps / cold.value().gbps, 2) + "x"});
+    }
+    bench::emit(chip, opt);
+  }
+
   bench::write_report(report, opt, argv[0]);
   return 0;
 }

@@ -10,6 +10,9 @@
 //                   (default: <bench>_cycles.json next to the table);
 //   --trace=PATH    also write a Chrome-trace view of the same counters;
 //   --no-report     skip the report file.
+// Benches with a grid-level component also honour --full-chip: simulate
+// every SM against the shared L2 fabric (gpu::GpuEngine) instead of
+// extrapolating one representative SM.
 #pragma once
 
 #include <cstdlib>
@@ -28,6 +31,7 @@ struct Options {
   bool csv = false;
   bool quick = false;        // trim sweeps for CI
   bool report = true;        // cycle-accounting JSON next to the tables
+  bool full_chip = false;    // grid points via gpu::GpuEngine (all SMs)
   std::size_t threads = 0;   // 0 = pool default (HSIM_SWEEP_THREADS aware)
   std::string report_path;   // empty = derive from argv[0]
   std::string trace_path;    // empty = no Chrome trace
@@ -40,6 +44,7 @@ inline Options parse_options(int argc, char** argv) {
     if (std::strcmp(arg, "--csv") == 0) opt.csv = true;
     if (std::strcmp(arg, "--quick") == 0) opt.quick = true;
     if (std::strcmp(arg, "--no-report") == 0) opt.report = false;
+    if (std::strcmp(arg, "--full-chip") == 0) opt.full_chip = true;
     if (std::strncmp(arg, "--threads=", 10) == 0) {
       const long parsed = std::strtol(arg + 10, nullptr, 10);
       if (parsed >= 1) opt.threads = static_cast<std::size_t>(parsed);

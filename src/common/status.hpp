@@ -129,3 +129,17 @@ inline Error out_of_memory(std::string message) {
       std::abort();                                                            \
     }                                                                          \
   } while (false)
+
+// Like HSIM_ASSERT but appends a printf-formatted context message so the
+// failure is triageable from the log alone (fuzz reproducers depend on the
+// runtime values, not just the condition text).
+#define HSIM_ASSERT_MSG(cond, ...)                                             \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "hsim: assertion failed: %s at %s:%d: ", #cond,     \
+                   __FILE__, __LINE__);                                        \
+      std::fprintf(stderr, __VA_ARGS__);                                       \
+      std::fputc('\n', stderr);                                                \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (false)

@@ -56,6 +56,27 @@ class InvariantSink final : public trace::TraceSink {
   std::map<std::int32_t, double> last_issue_;
 };
 
+/// Invariants checkable on the full-chip *merged* stream.  Per-warp checks
+/// (retire-after-issue) are representative-mode-only: slot recycling reuses
+/// warp ids within an SM and across SMs, so issue/retire pairs no longer
+/// key by warp alone.
+class MergedInvariantSink final : public trace::TraceSink {
+ public:
+  void on_event(const trace::Event& event) override {
+    if (event.cycle < 0 || event.duration < 0) nonneg = false;
+    if (event.cycle + kCycleEps < last_cycle_) monotone = false;
+    last_cycle_ = std::max(last_cycle_, event.cycle);
+    max_event_end = std::max(max_event_end, event.cycle + event.duration);
+  }
+
+  double max_event_end = 0;
+  bool monotone = true;
+  bool nonneg = true;
+
+ private:
+  double last_cycle_ = 0;
+};
+
 }  // namespace
 
 std::string DiffReport::summary() const {
@@ -257,11 +278,205 @@ DiffReport Differ::diff(const FuzzCase& fuzz_case,
   return report;
 }
 
+FullChipObservation Differ::run_full_chip(const FuzzCase& fuzz_case,
+                                          std::span<const std::uint64_t> global,
+                                          int engine_threads) const {
+  // Shared read-only across every SM (stores are timing-only), so one copy
+  // serves the whole chip.
+  std::vector<std::uint64_t> global_copy(global.begin(), global.end());
+
+  trace::AggregatingSink agg;
+  MergedInvariantSink inv;
+  trace::TeeSink tee;
+  tee.add(&agg);
+  tee.add(&inv);
+
+  const int num_regs = register_count(fuzz_case.program);
+  const int wpb = fuzz_case.shape.warps_per_block();
+
+  FullChipObservation obs;
+  obs.regs.assign(static_cast<std::size_t>(fuzz_case.shape.total_warps()),
+                  std::vector<std::uint64_t>(
+                      static_cast<std::size_t>(num_regs) * kLanes, 0));
+
+  gpu::ChipOptions chip_options;
+  chip_options.threads = engine_threads;
+  chip_options.max_blocks_per_sm = 1;  // maximise dispatcher slot recycling
+  chip_options.trace = &tee;
+  chip_options.block_observer = [&](int /*sm*/, int slot, int block,
+                                    const sm::SmCore& core) {
+    ++obs.blocks_observed;
+    for (int j = 0; j < wpb; ++j) {
+      auto& dst = obs.regs[static_cast<std::size_t>(block * wpb + j)];
+      for (int r = 0; r < num_regs; ++r) {
+        for (int l = 0; l < kLanes; ++l) {
+          dst[static_cast<std::size_t>(r) * kLanes +
+              static_cast<std::size_t>(l)] = core.reg(slot * wpb + j, r, l);
+        }
+      }
+    }
+  };
+
+  const gpu::GpuEngine engine(device_, std::move(chip_options));
+  sm::LaunchConfig config;
+  config.threads_per_block = fuzz_case.shape.threads_per_block;
+  config.total_blocks = fuzz_case.shape.blocks;
+  auto chip = engine.run(fuzz_case.program, config, global_copy);
+  HSIM_ASSERT_MSG(static_cast<bool>(chip),
+                  "full-chip launch rejected a fuzz-generated config");
+  obs.chip = std::move(chip).value();
+
+  obs.agg_stall_cycles = agg.stall_cycles();
+  for (const auto& [key, bucket] : agg.stalls()) {
+    if (key.first == trace::StallReason::kSmemBankConflict &&
+        key.second == "Smem.bank") {
+      obs.bank_conflict_cycles += bucket.cycles;
+    }
+  }
+  obs.agg_issues = agg.issues();
+  obs.agg_retires = agg.retires();
+  obs.max_event_end = inv.max_event_end;
+  obs.monotone = inv.monotone;
+  obs.nonneg = inv.nonneg;
+  return obs;
+}
+
+DiffReport Differ::diff_full_chip(const FuzzCase& fuzz_case,
+                                  std::span<const std::uint64_t> global) const {
+  DiffReport report;
+  const auto fail = [&](std::string message) {
+    report.failures.push_back(std::move(message));
+  };
+
+  RefInterp ref(device_);
+  ref.bind_global(global);
+  const RefResult expect = ref.run(fuzz_case.program, fuzz_case.shape);
+  const FullChipObservation obs = run_full_chip(fuzz_case, global, 1);
+
+  report.instructions = expect.instructions;
+  report.cycles = obs.chip.cycles;
+
+  const auto total_warps =
+      static_cast<std::uint64_t>(fuzz_case.shape.total_warps());
+  std::ostringstream msg;
+  const auto flush = [&]() {
+    fail(msg.str());
+    msg.str({});
+  };
+
+  // --- Retirement ledger -------------------------------------------------
+  if (obs.chip.instructions_issued != expect.instructions) {
+    msg << "chip instructions_issued " << obs.chip.instructions_issued
+        << " != reference " << expect.instructions;
+    flush();
+  }
+  if (obs.chip.warps_retired != total_warps) {
+    msg << "chip warps_retired " << obs.chip.warps_retired << " != "
+        << total_warps << " launched";
+    flush();
+  }
+  if (obs.blocks_observed !=
+      static_cast<std::uint64_t>(fuzz_case.shape.blocks)) {
+    msg << "observer saw " << obs.blocks_observed << " blocks, grid has "
+        << fuzz_case.shape.blocks;
+    flush();
+  }
+  if (obs.agg_issues != obs.chip.instructions_issued) {
+    msg << "merged-trace issues " << obs.agg_issues << " != counter "
+        << obs.chip.instructions_issued;
+    flush();
+  }
+  if (obs.agg_retires != obs.chip.warps_retired) {
+    msg << "merged-trace retires " << obs.agg_retires << " != counter "
+        << obs.chip.warps_retired;
+    flush();
+  }
+
+  // --- Timing sanity -----------------------------------------------------
+  if (!(obs.chip.cycles > 0)) {
+    msg << "chip cycles " << obs.chip.cycles << " not positive";
+    flush();
+  }
+  const double scheduler_stalls =
+      obs.agg_stall_cycles - obs.bank_conflict_cycles;
+  if (std::abs(scheduler_stalls -
+               static_cast<double>(obs.chip.stall_cycles)) > kCycleEps) {
+    msg << "merged-trace stall cycles " << scheduler_stalls << " != counter "
+        << obs.chip.stall_cycles;
+    flush();
+  }
+  double stall_budget = 0;  // 4 issue slots per SM, each SM's own length
+  for (const auto& r : obs.chip.per_sm) stall_budget += 4.0 * r.cycles;
+  if (static_cast<double>(obs.chip.stall_cycles) > stall_budget + kCycleEps) {
+    msg << "chip stall cycles " << obs.chip.stall_cycles
+        << " exceed 4 slots x per-SM cycles " << stall_budget;
+    flush();
+  }
+  if (obs.max_event_end > obs.chip.cycles + kCycleEps) {
+    msg << "event ends at " << obs.max_event_end << " after chip end "
+        << obs.chip.cycles;
+    flush();
+  }
+  if (!obs.nonneg) fail("negative event cycle or duration");
+  if (!obs.monotone) fail("merged event stream not sorted by cycle");
+
+  // --- Architectural state (registers only: shared memory is per-SM) ----
+  if (expect.clock_tainted) {
+    // CLOCK read the cycle counter; registers legitimately diverge.
+  } else if (obs.regs.size() != expect.regs.size()) {
+    msg << "chip exposed " << obs.regs.size() << " warps, reference "
+        << expect.regs.size();
+    flush();
+  } else {
+    for (std::size_t w = 0; w < expect.regs.size(); ++w) {
+      if (obs.regs[w] == expect.regs[w]) continue;
+      for (std::size_t i = 0; i < expect.regs[w].size(); ++i) {
+        if (obs.regs[w][i] == expect.regs[w][i]) continue;
+        msg << "grid warp " << w << " R" << i / kLanes << " lane "
+            << i % kLanes << ": chip 0x" << std::hex << obs.regs[w][i]
+            << " != reference 0x" << expect.regs[w][i] << std::dec;
+        flush();
+        break;
+      }
+      break;  // first divergent warp is enough to act on
+    }
+  }
+
+  // --- Determinism -------------------------------------------------------
+  // Serial replay must reproduce itself, and a multi-threaded engine run
+  // must be bit-identical to the serial one (the epoch-barrier contract).
+  const auto same = [&](const FullChipObservation& other) {
+    return other.chip.cycles == obs.chip.cycles &&
+           other.chip.instructions_issued == obs.chip.instructions_issued &&
+           other.chip.stall_cycles == obs.chip.stall_cycles &&
+           other.chip.epochs == obs.chip.epochs && other.regs == obs.regs;
+  };
+  if (!same(run_full_chip(fuzz_case, global, 1))) {
+    fail("full-chip replay diverged from its first run");
+  }
+  if (!same(run_full_chip(fuzz_case, global, 4))) {
+    fail("full-chip run at 4 threads diverged from the serial run");
+  }
+  return report;
+}
+
 FuzzCase Differ::shrink(const FuzzCase& fuzz_case,
                         std::span<const std::uint64_t> global) const {
-  const auto fails = [&](const FuzzCase& candidate) {
+  return shrink_impl(fuzz_case, [&](const FuzzCase& candidate) {
     return !diff(candidate, global).ok();
-  };
+  });
+}
+
+FuzzCase Differ::shrink_full_chip(const FuzzCase& fuzz_case,
+                                  std::span<const std::uint64_t> global) const {
+  return shrink_impl(fuzz_case, [&](const FuzzCase& candidate) {
+    return !diff_full_chip(candidate, global).ok();
+  });
+}
+
+FuzzCase Differ::shrink_impl(
+    const FuzzCase& fuzz_case,
+    const std::function<bool(const FuzzCase&)>& fails) const {
   HSIM_ASSERT(fails(fuzz_case));
   FuzzCase best = fuzz_case;
 
@@ -310,6 +525,34 @@ FuzzCase Differ::shrink(const FuzzCase& fuzz_case,
 }
 
 CampaignResult Differ::campaign(const CampaignOptions& options) const {
+  return campaign_impl(
+      options,
+      [&](const FuzzCase& c, std::span<const std::uint64_t> g) {
+        return diff(c, g);
+      },
+      [&](const FuzzCase& c, std::span<const std::uint64_t> g) {
+        return shrink(c, g);
+      });
+}
+
+CampaignResult Differ::campaign_full_chip(const CampaignOptions& options) const {
+  return campaign_impl(
+      options,
+      [&](const FuzzCase& c, std::span<const std::uint64_t> g) {
+        return diff_full_chip(c, g);
+      },
+      [&](const FuzzCase& c, std::span<const std::uint64_t> g) {
+        return shrink_full_chip(c, g);
+      });
+}
+
+CampaignResult Differ::campaign_impl(
+    const CampaignOptions& options,
+    const std::function<DiffReport(const FuzzCase&,
+                                   std::span<const std::uint64_t>)>& oracle,
+    const std::function<FuzzCase(const FuzzCase&,
+                                 std::span<const std::uint64_t>)>& shrinker)
+    const {
   const ProgramFuzzer fuzzer(options.fuzz);
   const auto global = make_global_image(options.seed);
 
@@ -323,7 +566,7 @@ CampaignResult Differ::campaign(const CampaignOptions& options) const {
       static_cast<std::size_t>(options.count),
       [&](sim::SweepContext& ctx) {
         const FuzzCase fuzz_case = fuzzer.generate(options.seed, ctx.index());
-        const DiffReport report = diff(fuzz_case, global);
+        const DiffReport report = oracle(fuzz_case, global);
         return Outcome{!report.ok(), report.summary(), report.instructions,
                        report.cycles};
       },
@@ -344,7 +587,7 @@ CampaignResult Differ::campaign(const CampaignOptions& options) const {
     CampaignFailure failure;
     failure.original = fuzzer.generate(options.seed, *first_bad);
     failure.message = outcomes[*first_bad].message;
-    failure.shrunk = options.shrink ? shrink(failure.original, global)
+    failure.shrunk = options.shrink ? shrinker(failure.original, global)
                                     : failure.original;
     result.first_failure = std::move(failure);
   }

@@ -34,6 +34,7 @@
 #include "common/status.hpp"
 #include "conformance/fuzzer.hpp"
 #include "conformance/ref_interp.hpp"
+#include "gpu/gpu_engine.hpp"
 #include "sm/sm_core.hpp"
 
 namespace hsim::conformance {
@@ -74,6 +75,28 @@ struct CampaignOptions {
   std::size_t threads = 0;  // sim::SweepOptions semantics (0 = pool default)
   bool shrink = true;       // shrink the first failure
   FuzzOptions fuzz;
+};
+
+/// Everything the differ observes from one full-chip execution
+/// (gpu::GpuEngine).  Registers are snapshotted per block as it retires —
+/// the engine recycles block slots, so the grid's state only exists
+/// transiently — and re-indexed by *grid* warp id, the layout RefResult
+/// uses.  There is no grid-wide shared image: each SM holds its own
+/// overlay of several CTAs' private slots, so the shared comparison is a
+/// representative-mode-only check.
+struct FullChipObservation {
+  gpu::ChipResult chip;
+  std::vector<std::vector<std::uint64_t>> regs;  // per grid warp
+  std::uint64_t blocks_observed = 0;
+  // Merged-trace aggregates (cross-SM; per-warp invariants are not
+  // meaningful here because slot recycling reuses warp ids).
+  double agg_stall_cycles = 0;
+  double bank_conflict_cycles = 0;
+  std::uint64_t agg_issues = 0;
+  std::uint64_t agg_retires = 0;
+  double max_event_end = 0;
+  bool monotone = true;  // merged stream sorted by cycle (merge contract)
+  bool nonneg = true;
 };
 
 struct CampaignFailure {
@@ -117,11 +140,50 @@ class Differ {
   /// regenerates and shrinks the first failure serially.
   [[nodiscard]] CampaignResult campaign(const CampaignOptions& options) const;
 
+  // --- Full-chip cross-checking (gpu::GpuEngine) -------------------------
+  // The grid runs across every SM with shared-L2 contention and dispatcher
+  // slot recycling; the reference stays the same warp-order-independent
+  // interpreter, so these catch full-chip-only bugs (lost fixups, slot
+  // recycling corrupting state, nondeterministic barrier resolution).
+
+  /// One full-chip execution with `engine_threads` host threads; registers
+  /// captured via ChipOptions::block_observer.  Blocks-per-SM is capped at
+  /// 1 to maximise dispatcher churn on fuzz-sized grids.
+  [[nodiscard]] FullChipObservation run_full_chip(
+      const FuzzCase& fuzz_case, std::span<const std::uint64_t> global,
+      int engine_threads = 1) const;
+
+  /// Reference vs full-chip for one case: architectural registers, the
+  /// retirement ledger, trace aggregates, replay determinism, and
+  /// bit-identity between serial and multi-threaded engine runs.
+  [[nodiscard]] DiffReport diff_full_chip(
+      const FuzzCase& fuzz_case, std::span<const std::uint64_t> global) const;
+
+  /// campaign() with diff_full_chip as the oracle; FuzzOptions should set
+  /// max_grid_blocks so grids exceed the chip's capacity.
+  [[nodiscard]] CampaignResult campaign_full_chip(
+      const CampaignOptions& options) const;
+
+  /// shrink() with the full-chip oracle.
+  [[nodiscard]] FuzzCase shrink_full_chip(
+      const FuzzCase& fuzz_case, std::span<const std::uint64_t> global) const;
+
   [[nodiscard]] const arch::DeviceSpec& device() const noexcept {
     return device_;
   }
 
  private:
+  [[nodiscard]] FuzzCase shrink_impl(
+      const FuzzCase& fuzz_case,
+      const std::function<bool(const FuzzCase&)>& fails) const;
+  [[nodiscard]] CampaignResult campaign_impl(
+      const CampaignOptions& options,
+      const std::function<DiffReport(const FuzzCase&,
+                                     std::span<const std::uint64_t>)>& oracle,
+      const std::function<FuzzCase(const FuzzCase&,
+                                   std::span<const std::uint64_t>)>& shrinker)
+      const;
+
   const arch::DeviceSpec& device_;
   PipelineFn pipeline_;  // empty => run_pipeline
 };

@@ -1,5 +1,6 @@
 #include "conformance/fuzzer.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "common/rng.hpp"
@@ -60,11 +61,24 @@ FuzzCase ProgramFuzzer::generate(std::uint64_t base_seed,
   FuzzCase out;
   out.base_seed = base_seed;
   out.index = index;
-  out.shape.threads_per_block =
-      32 * (1 + static_cast<int>(rng.below(
-                    static_cast<std::uint64_t>(options_.max_warps_per_block))));
-  out.shape.blocks =
-      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(options_.max_blocks)));
+  if (options_.max_grid_blocks > 0) {
+    // Grid mode: small CTAs, many of them (see FuzzOptions::max_grid_blocks
+    // for the private-slot addressing bound this enforces).
+    const auto wpb_cap = static_cast<std::uint64_t>(
+        std::min(options_.max_warps_per_block, 2));
+    out.shape.threads_per_block = 32 * (1 + static_cast<int>(rng.below(wpb_cap)));
+    const auto blocks_cap = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(options_.max_grid_blocks),
+        static_cast<std::uint64_t>(kRoSharedBase) / 4 /
+            static_cast<std::uint64_t>(out.shape.threads_per_block));
+    out.shape.blocks = 1 + static_cast<int>(rng.below(blocks_cap));
+  } else {
+    out.shape.threads_per_block =
+        32 * (1 + static_cast<int>(rng.below(
+                      static_cast<std::uint64_t>(options_.max_warps_per_block))));
+    out.shape.blocks =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(options_.max_blocks)));
+  }
   out.program.set_iterations(
       1 + static_cast<std::uint32_t>(rng.below(options_.max_iterations)));
 

@@ -41,6 +41,15 @@ struct FuzzOptions {
   std::uint32_t max_iterations = 4;
   int max_blocks = 2;
   int max_warps_per_block = 8;
+  /// Grid mode (full-chip campaigns): when > 0, `blocks` is drawn from
+  /// [1, max_grid_blocks] (instead of [1, max_blocks]) so grids can exceed
+  /// the chip's resident capacity and exercise the dispatcher's slot
+  /// recycling.  Warps per block are capped at 2 and the block count is
+  /// clamped so every thread-private slot stays below the read-only window
+  /// (blocks * threads * 4 <= kRoSharedBase): grid thread ids address
+  /// CTA-private shared memory, and that bound keeps the addressing
+  /// race-free no matter how blocks are packed onto SMs.
+  int max_grid_blocks = 0;
   // Op-mix weights (relative); zero disables a category.
   int w_alu = 10;          // IADD3/IMAD/LOP3/SHF/POPC/IMNMX/MOV
   int w_fp = 5;            // FADD/FMUL/FFMA/DADD/DMUL/HADD2

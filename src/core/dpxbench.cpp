@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "gpu/gpu_engine.hpp"
 #include "sm/launcher.hpp"
 #include "sm/sm_core.hpp"
 
@@ -71,7 +72,8 @@ Expected<DpxThroughputResult> dpx_throughput(const arch::DeviceSpec& device,
 }
 
 Expected<DpxSweepPoint> dpx_block_point(const arch::DeviceSpec& device,
-                                        dpx::Func func, int blocks) {
+                                        dpx::Func func, int blocks,
+                                        sm::LaunchMode mode) {
   constexpr std::uint32_t kIters = 64;
   constexpr int kThreads = 1024;
   const auto program = throughput_program(device, func, kIters);
@@ -79,7 +81,7 @@ Expected<DpxSweepPoint> dpx_block_point(const arch::DeviceSpec& device,
                        .total_blocks = blocks,
                        .smem_per_block = 0,
                        .regs_per_thread = 32};
-  auto launched = sm::launch(device, program, cfg);
+  auto launched = gpu::launch(device, program, cfg, mode);
   if (!launched) return launched.error();
   const double calls = static_cast<double>(kIndependentChains) * kIters *
                        static_cast<double>(kThreads) *
@@ -87,16 +89,30 @@ Expected<DpxSweepPoint> dpx_block_point(const arch::DeviceSpec& device,
   return DpxSweepPoint{blocks, calls / launched.value().seconds / 1e9};
 }
 
+Expected<DpxSweepPoint> dpx_block_point(const arch::DeviceSpec& device,
+                                        dpx::Func func, int blocks) {
+  return dpx_block_point(device, func, blocks,
+                         sm::LaunchMode::kRepresentative);
+}
+
 Expected<std::vector<DpxSweepPoint>> dpx_block_sweep(const arch::DeviceSpec& device,
                                                      dpx::Func func,
-                                                     int max_blocks) {
+                                                     int max_blocks,
+                                                     sm::LaunchMode mode) {
   std::vector<DpxSweepPoint> out;
   for (int blocks = 1; blocks <= max_blocks; ++blocks) {
-    auto point = dpx_block_point(device, func, blocks);
+    auto point = dpx_block_point(device, func, blocks, mode);
     if (!point) return point.error();
     out.push_back(point.value());
   }
   return out;
+}
+
+Expected<std::vector<DpxSweepPoint>> dpx_block_sweep(const arch::DeviceSpec& device,
+                                                     dpx::Func func,
+                                                     int max_blocks) {
+  return dpx_block_sweep(device, func, max_blocks,
+                         sm::LaunchMode::kRepresentative);
 }
 
 }  // namespace hsim::core

@@ -14,6 +14,7 @@
 #include "common/status.hpp"
 #include "dpx/functions.hpp"
 #include "sim/accounting.hpp"
+#include "sm/launcher.hpp"
 
 namespace hsim::core {
 
@@ -44,11 +45,21 @@ struct DpxSweepPoint {
 
 /// One grid-sweep point: device-wide throughput at exactly `blocks`
 /// launched blocks (independent, so the sweep engine can fan points out).
+/// `mode` selects the launch model: kRepresentative extrapolates one SM by
+/// wave quantisation, kFullChip simulates every SM (gpu::GpuEngine) so the
+/// sawtooth must emerge rather than being imposed by ceil().
+Expected<DpxSweepPoint> dpx_block_point(const arch::DeviceSpec& device,
+                                        dpx::Func func, int blocks,
+                                        sm::LaunchMode mode);
 Expected<DpxSweepPoint> dpx_block_point(const arch::DeviceSpec& device,
                                         dpx::Func func, int blocks);
 
 /// Grid sweep: throughput vs number of launched blocks (Fig 7, right) —
 /// the sawtooth that locates the DPX unit at SM level.
+Expected<std::vector<DpxSweepPoint>> dpx_block_sweep(const arch::DeviceSpec& device,
+                                                     dpx::Func func,
+                                                     int max_blocks,
+                                                     sm::LaunchMode mode);
 Expected<std::vector<DpxSweepPoint>> dpx_block_sweep(const arch::DeviceSpec& device,
                                                      dpx::Func func,
                                                      int max_blocks);

@@ -1,0 +1,656 @@
+#include "gpu/gpu_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/tlb.hpp"
+#include "sim/pipeline.hpp"
+
+namespace hsim::gpu {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Same calibration as MemorySystem: solve for the per-sector command
+// overhead that lands streaming efficiency at the device's measured
+// fraction of pin bandwidth.  Scale-invariant, so it holds per slice.
+double overhead_for_efficiency(double efficiency, double pin_bytes_per_clk,
+                               int sector_bytes) {
+  HSIM_ASSERT(efficiency > 0.0 && efficiency <= 1.0);
+  const double per_sector_ideal =
+      static_cast<double>(sector_bytes) / pin_bytes_per_clk;
+  return per_sector_ideal * (1.0 / efficiency - 1.0);
+}
+
+/// Collects events during the parallel phase; merged (stable-sorted by
+/// cycle) into the user's sink once the run completes.
+class BufferSink final : public trace::TraceSink {
+ public:
+  void on_event(const trace::Event& event) override { events_.push_back(event); }
+  [[nodiscard]] std::vector<trace::Event>& events() noexcept { return events_; }
+
+ private:
+  std::vector<trace::Event> events_;
+};
+
+/// One deferred request against the shared L2/DRAM fabric, recorded during
+/// the parallel phase and resolved serially at the epoch barrier in
+/// (issue_time, sm, seq) order.
+struct Ticket {
+  enum class Kind : std::uint8_t { kLatency, kThroughput };
+  Kind kind = Kind::kLatency;
+  double issue_time = 0;
+  std::uint64_t seq = 0;  // per-SM issue order (ties within one cycle)
+  int sm = 0;
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 0;
+  int access_bytes = 4;
+  double l1_done = 0;    // throughput path: local L1-port completion
+  double tlb_extra = 0;  // latency path: TLB walk penalty already known
+  bool tlb_miss = false;
+  std::vector<std::uint64_t> miss_sectors;  // sectors that missed the L1
+  mem::DeferredFixup fixup;
+  bool has_fixup = false;
+};
+
+/// Per-SM memory path: the SM-private half of the hierarchy (L1 cache, L1
+/// port, TLB) is resolved in place during the parallel phase; anything that
+/// needs the shared L2/DRAM becomes a Ticket.  Mirrors MemorySystem's
+/// formulas exactly so a single-SM full-chip run matches the analytic
+/// model's representative SM.
+class SmPath final : public mem::MemPath {
+ public:
+  SmPath(const arch::DeviceSpec& device, int sm_id, trace::TraceSink* sink)
+      : device_(device),
+        sm_id_(sm_id),
+        trace_(sink),
+        l1_(mem::CacheConfig{.size_bytes = device.memory.l1_bytes_per_sm,
+                             .line_bytes = device.memory.l1_line_bytes,
+                             .sector_bytes = device.memory.sector_bytes,
+                             .ways = device.memory.l1_ways}),
+        tlb_(/*entries=*/128, /*page_bytes=*/2ull << 20) {}
+
+  mem::LoadResult load(int sm, std::uint64_t addr, mem::MemSpace space,
+                       double now) override {
+    (void)sm;
+    const auto& m = device_.memory;
+    mem::LoadResult out;
+    pending_ = false;
+    if (space == mem::MemSpace::kShared) {
+      out.ready_time = now + m.smem_latency;
+      out.served_by = mem::MemLevel::kShared;
+    } else {
+      out.tlb_miss = !tlb_.access(addr);
+      const double tlb_extra = out.tlb_miss ? m.tlb_miss_penalty : 0.0;
+      if (space == mem::MemSpace::kGlobalCa &&
+          l1_.access(addr) == mem::CacheOutcome::kHit) {
+        out.ready_time = now + m.l1_hit_latency + tlb_extra;
+        out.served_by = mem::MemLevel::kL1;
+      } else {
+        // L2 vs DRAM is decided at the barrier against the shared slices.
+        pending_ = true;
+        out.ready_time = kInf;
+        out.served_by = mem::MemLevel::kL2;  // provisional
+        Ticket ticket;
+        ticket.kind = Ticket::Kind::kLatency;
+        ticket.issue_time = now;
+        ticket.seq = seq_++;
+        ticket.sm = sm_id_;
+        ticket.addr = addr;
+        ticket.tlb_extra = tlb_extra;
+        ticket.tlb_miss = out.tlb_miss;
+        tickets_.push_back(std::move(ticket));
+      }
+    }
+    last_ = mem::AccessClass{out.served_by, out.tlb_miss};
+    if (trace_ != nullptr && !pending_) {
+      trace_->on_event({trace::EventKind::kExecute, stall_reason_of(last_), now,
+                        out.ready_time - now, sm_id_, -1, -1,
+                        to_string(out.served_by)});
+    }
+    return out;
+  }
+
+  double warp_transaction(int sm, std::uint64_t addr, std::uint32_t bytes,
+                          int access_bytes, mem::MemSpace space,
+                          double now) override {
+    (void)sm;
+    const auto& m = device_.memory;
+    pending_ = false;
+    if (space == mem::MemSpace::kShared) {
+      const double duration =
+          static_cast<double>(bytes) / m.smem_bytes_per_clk;
+      const double done =
+          l1_port_.issue(now, duration, duration + m.smem_latency);
+      last_ = mem::AccessClass{mem::MemLevel::kShared, false};
+      if (trace_ != nullptr) {
+        trace_->on_event({trace::EventKind::kExecute, stall_reason_of(last_),
+                          now, done - now, sm_id_, -1, -1,
+                          to_string(mem::MemLevel::kShared)});
+      }
+      return done;
+    }
+
+    const auto sector = static_cast<std::uint32_t>(m.sector_bytes);
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t a = addr / sector * sector; a < addr + bytes;
+         a += sector) {
+      bool l1_hit = false;
+      if (space == mem::MemSpace::kGlobalCa) {
+        l1_hit = l1_.access(a) == mem::CacheOutcome::kHit;
+      }
+      if (!l1_hit) missing.push_back(a);
+    }
+
+    const double l1_duration =
+        static_cast<double>(bytes) / l1_width(access_bytes);
+    const double done =
+        l1_port_.issue(now, l1_duration, l1_duration + m.l1_hit_latency);
+    if (missing.empty()) {
+      last_ = mem::AccessClass{mem::MemLevel::kL1, false};
+      if (trace_ != nullptr) {
+        trace_->on_event({trace::EventKind::kExecute, stall_reason_of(last_),
+                          now, done - now, sm_id_, -1, -1,
+                          to_string(mem::MemLevel::kL1)});
+      }
+      return done;
+    }
+
+    pending_ = true;
+    last_ = mem::AccessClass{mem::MemLevel::kL2, false};  // provisional
+    Ticket ticket;
+    ticket.kind = Ticket::Kind::kThroughput;
+    ticket.issue_time = now;
+    ticket.seq = seq_++;
+    ticket.sm = sm_id_;
+    ticket.addr = addr;
+    ticket.bytes = bytes;
+    ticket.access_bytes = access_bytes;
+    ticket.l1_done = done;
+    ticket.miss_sectors = std::move(missing);
+    tickets_.push_back(std::move(ticket));
+    return kInf;
+  }
+
+  [[nodiscard]] const mem::AccessClass& last_access() const noexcept override {
+    return last_;
+  }
+  [[nodiscard]] bool last_pending() const noexcept override { return pending_; }
+
+  int attach_fixup(const mem::DeferredFixup& fixup) override {
+    int covered = 0;
+    for (std::size_t i = first_unattached_; i < tickets_.size(); ++i) {
+      tickets_[i].fixup = fixup;
+      tickets_[i].has_fixup = true;
+      ++covered;
+    }
+    first_unattached_ = tickets_.size();
+    return covered;
+  }
+
+  /// Drain the epoch's tickets (engine side, at the barrier).
+  std::vector<Ticket> take_tickets() {
+    HSIM_ASSERT_MSG(first_unattached_ == tickets_.size(),
+                    "sm %d: %zu tickets left unattached at the barrier",
+                    sm_id_, tickets_.size() - first_unattached_);
+    std::vector<Ticket> out = std::move(tickets_);
+    tickets_.clear();
+    first_unattached_ = 0;
+    return out;
+  }
+
+  void warm(std::uint64_t base, std::uint64_t size, mem::MemSpace space) {
+    const auto sector = static_cast<std::uint64_t>(device_.memory.sector_bytes);
+    for (std::uint64_t a = base / sector * sector; a < base + size;
+         a += sector) {
+      if (space == mem::MemSpace::kGlobalCa) l1_.access(a);
+      if (space != mem::MemSpace::kShared) tlb_.access(a);
+    }
+  }
+
+  [[nodiscard]] const sim::PipelinedUnit& l1_port() const noexcept {
+    return l1_port_;
+  }
+
+ private:
+  [[nodiscard]] double l1_width(int access_bytes) const {
+    const auto& m = device_.memory;
+    if (access_bytes >= 16) return m.l1_bytes_per_clk_vec;
+    if (access_bytes >= 8) return m.l1_bytes_per_clk_wide;
+    return m.l1_bytes_per_clk_scalar;
+  }
+
+  const arch::DeviceSpec& device_;
+  int sm_id_;
+  trace::TraceSink* trace_;
+  mem::Cache l1_;
+  sim::PipelinedUnit l1_port_;  // unified L1/smem port, as in MemorySystem
+  mem::Tlb tlb_;
+  mem::AccessClass last_;
+  bool pending_ = false;
+  std::uint64_t seq_ = 0;
+  std::vector<Ticket> tickets_;
+  std::size_t first_unattached_ = 0;
+};
+
+/// Address-interleaved L2 + DRAM slices.  Each slice owns an equal share of
+/// L2 capacity, L2 port width and DRAM pin bandwidth; a line maps to slice
+/// (line_addr % n).  Only the engine's serial barrier phase touches this,
+/// so no locking is needed and resolution order fully determines state.
+class SliceFabric {
+ public:
+  SliceFabric(const arch::DeviceSpec& device, int slices)
+      : device_(device), slices_count_(slices) {
+    const auto& m = device.memory;
+    slices_.reserve(static_cast<std::size_t>(slices));
+    const double slice_gbps = m.dram_peak_gbps / slices;
+    mem::DramConfig dcfg;
+    dcfg.peak_gbps = slice_gbps;
+    dcfg.core_clock_hz = device.clock_hz();
+    dcfg.latency_cycles = m.dram_latency;
+    dcfg.sector_bytes = m.sector_bytes;
+    const double slice_pin = slice_gbps * 1e9 / device.clock_hz();
+    dcfg.sector_overhead_cycles =
+        overhead_for_efficiency(m.dram_efficiency, slice_pin, m.sector_bytes);
+    for (int i = 0; i < slices; ++i) {
+      slices_.push_back(std::make_unique<Slice>(
+          mem::CacheConfig{.size_bytes = m.l2_bytes / slices,
+                           .line_bytes = m.l1_line_bytes,
+                           .sector_bytes = m.sector_bytes,
+                           .ways = m.l2_ways},
+          dcfg));
+    }
+  }
+
+  struct Resolution {
+    double completion = 0;
+    mem::MemLevel deepest = mem::MemLevel::kL2;
+  };
+
+  /// Resolve one ticket against its slice.  Mirrors MemorySystem's load /
+  /// warp_transaction tail with the slice's share of width and bandwidth.
+  Resolution resolve(const Ticket& ticket) {
+    const auto& m = device_.memory;
+    Slice& s = slice_of(ticket.addr);
+    if (ticket.kind == Ticket::Kind::kLatency) {
+      const bool hit =
+          s.l2.access(slice_local(ticket.addr)) == mem::CacheOutcome::kHit;
+      const double latency = hit ? m.l2_hit_latency : m.dram_latency;
+      return {ticket.issue_time + latency + ticket.tlb_extra,
+              hit ? mem::MemLevel::kL2 : mem::MemLevel::kDram};
+    }
+    bool any_dram = false;
+    for (const std::uint64_t a : ticket.miss_sectors) {
+      if (s.l2.access(slice_local(a)) != mem::CacheOutcome::kHit) {
+        any_dram = true;
+      }
+    }
+    const double l2_duration = static_cast<double>(ticket.bytes) /
+                               (l2_width(ticket.access_bytes) / slices_count_);
+    const double l2_done = s.port.issue(ticket.issue_time, l2_duration,
+                                        l2_duration + m.l2_hit_latency);
+    double done = std::max(ticket.l1_done - m.l1_hit_latency, l2_done);
+    if (any_dram) {
+      done = std::max(done, s.dram.request(ticket.issue_time, ticket.bytes));
+    }
+    return {done, any_dram ? mem::MemLevel::kDram : mem::MemLevel::kL2};
+  }
+
+  void warm(std::uint64_t base, std::uint64_t size) {
+    const auto sector = static_cast<std::uint64_t>(device_.memory.sector_bytes);
+    for (std::uint64_t a = base / sector * sector; a < base + size;
+         a += sector) {
+      slice_of(a).l2.access(slice_local(a));
+    }
+  }
+
+  /// "L2.port" / "DRAM.channel" samples: busy averaged over slices so
+  /// occupancy stays in [0, 1], ops summed (MemorySystem's convention for
+  /// multi-instance units).
+  [[nodiscard]] std::vector<sim::UnitSample> unit_usage() const {
+    sim::UnitSample l2{"L2.port", 0.0, 0};
+    sim::UnitSample dram{"DRAM.channel", 0.0, 0};
+    for (const auto& s : slices_) {
+      l2.busy_cycles += s->port.busy_cycles();
+      l2.ops += s->port.ops();
+      dram.busy_cycles += s->dram.channel_busy_cycles();
+      dram.ops += s->dram.channel_sectors();
+    }
+    const auto n = static_cast<double>(slices_.size());
+    l2.busy_cycles /= n;
+    dram.busy_cycles /= n;
+    return {std::move(l2), std::move(dram)};
+  }
+
+ private:
+  struct Slice {
+    Slice(const mem::CacheConfig& l2cfg, const mem::DramConfig& dcfg)
+        : l2(l2cfg), dram(dcfg) {}
+    mem::Cache l2;
+    sim::PipelinedUnit port;
+    mem::Dram dram;
+  };
+
+  [[nodiscard]] Slice& slice_of(std::uint64_t addr) {
+    const auto line =
+        addr / static_cast<std::uint64_t>(device_.memory.l1_line_bytes);
+    return *slices_[static_cast<std::size_t>(
+        line % static_cast<std::uint64_t>(slices_.size()))];
+  }
+
+  /// Address as seen by a slice's cache: the interleave picks the slice
+  /// from the low line bits, so those bits must be compacted out before
+  /// set indexing — otherwise every slice aliases into 1/n of its sets
+  /// and the effective L2 capacity collapses by the slice count.
+  [[nodiscard]] std::uint64_t slice_local(std::uint64_t addr) const {
+    const auto line_bytes =
+        static_cast<std::uint64_t>(device_.memory.l1_line_bytes);
+    const std::uint64_t line = addr / line_bytes;
+    return (line / static_cast<std::uint64_t>(slices_count_)) * line_bytes +
+           addr % line_bytes;
+  }
+  [[nodiscard]] double l2_width(int access_bytes) const {
+    const auto& m = device_.memory;
+    if (access_bytes >= 16) return m.l2_bytes_per_clk_vec;
+    if (access_bytes >= 8) return m.l2_bytes_per_clk_wide;
+    return m.l2_bytes_per_clk_scalar;
+  }
+
+  const arch::DeviceSpec& device_;
+  int slices_count_;
+  std::vector<std::unique_ptr<Slice>> slices_;
+};
+
+/// Fold one resolved completion back into the issuing core's scoreboard —
+/// the DeferredFixup contract from memory_system.hpp.
+void apply_fixup(const Ticket& ticket, const SliceFabric::Resolution& res) {
+  if (!ticket.has_fixup) return;
+  const mem::DeferredFixup& f = ticket.fixup;
+  if (f.time_slot != nullptr) {
+    const double value = res.completion + f.offset;
+    *f.time_slot = std::isfinite(*f.time_slot)
+                       ? std::max({*f.time_slot, value, f.floor})
+                       : std::max(value, f.floor);
+  }
+  if (f.reason_slot != nullptr) {
+    const auto resolved =
+        stall_reason_of(mem::AccessClass{res.deepest, ticket.tlb_miss});
+    if (static_cast<int>(resolved) > static_cast<int>(*f.reason_slot)) {
+      *f.reason_slot = resolved;
+    }
+  }
+  if (f.drain_slot != nullptr) {
+    *f.drain_slot = std::max(*f.drain_slot, res.completion);
+  }
+  if (f.outstanding != nullptr) --*f.outstanding;
+}
+
+}  // namespace
+
+GpuEngine::GpuEngine(const arch::DeviceSpec& device, ChipOptions options)
+    : device_(device), options_(std::move(options)) {}
+
+Expected<ChipResult> GpuEngine::run(const isa::Program& program,
+                                    const sm::LaunchConfig& config,
+                                    std::span<std::uint64_t> global,
+                                    std::span<const WarmRange> warm) const {
+  auto occ = sm::compute_occupancy(device_, config);
+  if (!occ) return occ.error();
+  if (config.total_blocks < 1) {
+    return invalid_argument("total_blocks must be >= 1");
+  }
+  if (options_.epoch < 1.0) return invalid_argument("epoch must be >= 1 cycle");
+  if (options_.l2_slices < 1) return invalid_argument("l2_slices must be >= 1");
+
+  const int sms = device_.sm_count;
+  int slots = occ.value().blocks_per_sm;
+  if (options_.max_blocks_per_sm > 0) {
+    slots = std::min(slots, options_.max_blocks_per_sm);
+  }
+  const int total = config.total_blocks;
+  // Correctness bound, not a tunable: a deferred access must never be able
+  // to complete before the barrier that resolves it (see header).
+  const double epoch = std::min(options_.epoch, device_.memory.l2_hit_latency);
+
+  // Per-SM state.  Trace buffers exist only when a sink is attached.
+  const bool tracing = options_.trace != nullptr;
+  std::vector<BufferSink> buffers(tracing ? static_cast<std::size_t>(sms) : 0);
+  std::vector<std::unique_ptr<SmPath>> paths;
+  std::vector<std::unique_ptr<sm::SmCore>> cores;
+  paths.reserve(static_cast<std::size_t>(sms));
+  cores.reserve(static_cast<std::size_t>(sms));
+  SliceFabric fabric(device_, options_.l2_slices);
+  for (int i = 0; i < sms; ++i) {
+    trace::TraceSink* sink = tracing ? &buffers[static_cast<std::size_t>(i)]
+                                     : nullptr;
+    paths.push_back(std::make_unique<SmPath>(device_, i, sink));
+    cores.push_back(
+        std::make_unique<sm::SmCore>(device_, paths.back().get(), i));
+    cores.back()->bind_global(global);
+    if (sink != nullptr) cores.back()->set_trace(sink);
+    cores.back()->begin(program, slots, config.threads_per_block);
+  }
+  for (const WarmRange& range : warm) {
+    for (auto& path : paths) path->warm(range.base, range.size, range.space);
+    if (range.space != mem::MemSpace::kShared) {
+      fabric.warm(range.base, range.size);
+    }
+  }
+
+  // Which block occupies each (sm, slot); -1 = empty / already observed.
+  std::vector<std::vector<int>> slot_block(
+      static_cast<std::size_t>(sms),
+      std::vector<int>(static_cast<std::size_t>(slots), -1));
+
+  // Initial fill, breadth-first: block b lands on SM (b % sms), matching
+  // the round-robin distribution the representative model assumes — a
+  // homogeneous grid therefore reproduces its wave shape emergently.
+  int next_block = 0;
+  for (int s = 0; s < slots && next_block < total; ++s) {
+    for (int smid = 0; smid < sms && next_block < total; ++smid) {
+      slot_block[static_cast<std::size_t>(smid)][static_cast<std::size_t>(s)] =
+          next_block;
+      cores[static_cast<std::size_t>(smid)]->launch_block(s, next_block++, 0.0);
+    }
+  }
+
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> own_pool;
+  if (options_.threads == 0) {
+    pool = &global_pool();
+  } else if (options_.threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options_.threads));
+    pool = own_pool.get();
+  }
+
+  struct Freed {
+    double retire = 0;
+    int sm = 0;
+    int slot = 0;
+  };
+  std::vector<Ticket> epoch_tickets;
+  std::vector<Freed> freed;
+  double now = 0;
+  int epochs = 0;
+  for (;;) {
+    bool any_work = next_block < total;
+    for (std::size_t i = 0; !any_work && i < cores.size(); ++i) {
+      any_work = cores[i]->live_warps() > 0;
+    }
+    if (!any_work) break;
+    now += epoch;
+    ++epochs;
+    HSIM_ASSERT_MSG(now < 5e9, "full-chip run exceeded 5e9 cycles (epoch %d)",
+                    epochs);
+
+    // Parallel phase: each SM advances through [now-epoch, now) touching
+    // only its own state.  Any schedule yields identical per-SM results.
+    if (pool == nullptr) {
+      for (auto& core : cores) core->advance(now);
+    } else {
+      pool->parallel_for(0, cores.size(),
+                         [&](std::size_t i) { cores[i]->advance(now); });
+    }
+
+    // Barrier: resolve this epoch's shared-fabric traffic serially in
+    // (issue_time, sm, seq) order — the arbitration order hardware would
+    // see, independent of host threading.
+    epoch_tickets.clear();
+    for (auto& path : paths) {
+      auto drained = path->take_tickets();
+      epoch_tickets.insert(epoch_tickets.end(),
+                           std::make_move_iterator(drained.begin()),
+                           std::make_move_iterator(drained.end()));
+    }
+    std::sort(epoch_tickets.begin(), epoch_tickets.end(),
+              [](const Ticket& a, const Ticket& b) {
+                if (a.issue_time != b.issue_time) {
+                  return a.issue_time < b.issue_time;
+                }
+                if (a.sm != b.sm) return a.sm < b.sm;
+                return a.seq < b.seq;
+              });
+    for (const Ticket& ticket : epoch_tickets) {
+      const SliceFabric::Resolution res = fabric.resolve(ticket);
+      apply_fixup(ticket, res);
+      if (tracing) {
+        buffers[static_cast<std::size_t>(ticket.sm)].on_event(
+            {trace::EventKind::kExecute,
+             stall_reason_of(mem::AccessClass{res.deepest, ticket.tlb_miss}),
+             ticket.issue_time, res.completion - ticket.issue_time, ticket.sm,
+             -1, -1, to_string(res.deepest)});
+      }
+    }
+    for (auto& core : cores) core->resolve_async_waits();
+
+    // Retired blocks: report to the observer, then hand the freed slots to
+    // the dispatcher in the order the blocks actually drained.
+    freed.clear();
+    for (int smid = 0; smid < sms; ++smid) {
+      auto& core = *cores[static_cast<std::size_t>(smid)];
+      for (int s = 0; s < slots; ++s) {
+        int& occupant =
+            slot_block[static_cast<std::size_t>(smid)][static_cast<std::size_t>(s)];
+        if (occupant < 0) continue;
+        const double retired = core.block_retire_time(s);
+        if (retired < 0) continue;
+        if (options_.block_observer) {
+          options_.block_observer(smid, s, occupant, core);
+        }
+        occupant = -1;
+        freed.push_back(Freed{retired, smid, s});
+      }
+    }
+    if (next_block < total && !freed.empty()) {
+      std::sort(freed.begin(), freed.end(),
+                [](const Freed& a, const Freed& b) {
+                  if (a.retire != b.retire) return a.retire < b.retire;
+                  if (a.sm != b.sm) return a.sm < b.sm;
+                  return a.slot < b.slot;
+                });
+      for (const Freed& f : freed) {
+        if (next_block >= total) break;
+        slot_block[static_cast<std::size_t>(f.sm)]
+                  [static_cast<std::size_t>(f.slot)] = next_block;
+        cores[static_cast<std::size_t>(f.sm)]->launch_block(f.slot,
+                                                            next_block++, now);
+      }
+    }
+  }
+
+  ChipResult out;
+  out.sms = sms;
+  out.block_slots = slots;
+  out.waves = static_cast<double>(total) /
+              (static_cast<double>(slots) * static_cast<double>(sms));
+  out.epochs = epochs;
+  out.per_sm.reserve(static_cast<std::size_t>(sms));
+  for (auto& core : cores) {
+    const sm::RunResult r = core->finalize();
+    out.cycles = std::max(out.cycles, r.cycles);
+    out.instructions_issued += r.instructions_issued;
+    out.stall_cycles += r.stall_cycles;
+    out.mem_transactions += r.mem_transactions;
+    out.warps_retired += r.warps_retired;
+    out.per_sm.push_back(r);
+  }
+  out.seconds = out.cycles / device_.clock_hz();
+
+  // Unit occupancy: SM pipes and L1 ports averaged over the SMs that carry
+  // them (instances), fabric units averaged over slices; ops summed.
+  {
+    std::vector<sim::UnitSample> acc;
+    std::map<std::string, std::size_t> index;
+    auto fold = [&](const sim::UnitSample& s, double weight) {
+      auto [it, inserted] = index.try_emplace(s.name, acc.size());
+      if (inserted) acc.push_back(sim::UnitSample{s.name, 0.0, 0});
+      acc[it->second].busy_cycles += s.busy_cycles * weight;
+      acc[it->second].ops += s.ops;
+    };
+    for (const auto& core : cores) {
+      for (const auto& s : core->unit_usage()) {
+        fold(s, 1.0 / static_cast<double>(sms));
+      }
+    }
+    for (const auto& path : paths) {
+      fold(sim::UnitSample{"L1.port", path->l1_port().busy_cycles(),
+                           path->l1_port().ops()},
+           1.0 / static_cast<double>(sms));
+    }
+    for (const auto& s : fabric.unit_usage()) fold(s, 1.0);  // pre-averaged
+    out.unit_usage = std::move(acc);
+  }
+
+  if (tracing) {
+    std::size_t count = 0;
+    for (auto& b : buffers) count += b.events().size();
+    std::vector<trace::Event> merged;
+    merged.reserve(count);
+    for (auto& b : buffers) {
+      merged.insert(merged.end(), b.events().begin(), b.events().end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const trace::Event& a, const trace::Event& b) {
+                       return a.cycle < b.cycle;
+                     });
+    for (const trace::Event& e : merged) options_.trace->on_event(e);
+  }
+  return out;
+}
+
+Expected<sm::LaunchResult> launch(const arch::DeviceSpec& device,
+                                  const isa::Program& program,
+                                  const sm::LaunchConfig& config,
+                                  sm::LaunchMode mode,
+                                  const ChipOptions& options) {
+  if (mode == sm::LaunchMode::kRepresentative) {
+    return sm::launch(device, program, config);
+  }
+  auto occ = sm::compute_occupancy(device, config);
+  if (!occ) return occ.error();
+  GpuEngine engine(device, options);
+  auto chip = engine.run(program, config);
+  if (!chip) return chip.error();
+  const ChipResult& c = chip.value();
+  sm::LaunchResult out;
+  out.cycles = c.cycles;
+  out.seconds = c.seconds;
+  out.waves = static_cast<int>(std::ceil(c.waves));
+  out.occupancy = occ.value();
+  // Representative = the SM that paced the chip.
+  for (const sm::RunResult& r : c.per_sm) {
+    if (r.cycles >= out.representative.cycles) out.representative = r;
+  }
+  return out;
+}
+
+}  // namespace hsim::gpu

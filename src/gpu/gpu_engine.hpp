@@ -1,0 +1,123 @@
+// Full-chip multi-SM engine with shared-L2 contention.
+//
+// Where sm::launch() simulates ONE representative SM and extrapolates by
+// wave quantisation, GpuEngine instantiates every SM on the device and
+// advances them concurrently in deterministic epoch-synced steps, sharing a
+// sliced L2 + DRAM model so inter-SM bandwidth contention is *simulated*
+// rather than assumed away.
+//
+// Determinism contract: results are bit-identical at any thread count and
+// across repeated runs.  During an epoch [t, t+E) each SM touches only
+// SM-private state (its core, its L1/TLB, its trace buffer); every access
+// that would need the shared L2/DRAM fabric is recorded as a deferred
+// ticket instead of being resolved in place.  At the epoch barrier the
+// tickets are sorted by (issue_time, sm, seq) and resolved serially against
+// the slice fabric, folding true completion times back into the issuing
+// cores via mem::DeferredFixup.  The epoch length is capped at the L2 hit
+// latency, so a deferred access can never legitimately complete before the
+// barrier that resolves it — deferral changes *who wins arbitration*, never
+// the causal order within an SM.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "isa/program.hpp"
+#include "sim/accounting.hpp"
+#include "sm/launcher.hpp"
+#include "sm/sm_core.hpp"
+#include "trace/trace.hpp"
+
+namespace hsim::gpu {
+
+struct ChipOptions {
+  /// Worker threads for the parallel SM advance: 0 = shared global pool,
+  /// 1 = serial.  Any value produces bit-identical results.
+  int threads = 0;
+  /// Epoch length in cycles.  Clamped to the device's L2 hit latency (the
+  /// correctness bound — see file header); smaller epochs tighten
+  /// arbitration granularity at more barrier overhead.
+  double epoch = 64.0;
+  /// Number of L2 slices (address-interleaved at line granularity).
+  int l2_slices = 8;
+  /// Cap on resident blocks per SM (0 = occupancy-derived).
+  int max_blocks_per_sm = 0;
+  /// Merged event stream (per-SM buffers, stable-sorted by cycle at the
+  /// end of the run).  Null disables tracing entirely.
+  trace::TraceSink* trace = nullptr;
+  /// Called as each block fully retires, before its slot is recycled, with
+  /// the core still holding the block's architectural state.  Lets a
+  /// conformance differ snapshot registers for grids larger than the
+  /// device's resident capacity.
+  std::function<void(int sm, int slot, int block_global_id,
+                     const sm::SmCore& core)>
+      block_observer;
+};
+
+/// Warm a byte range into the memory hierarchy before the run (the
+/// benchmark warm-up pass): L2 slices + every SM's TLB, plus every SM's L1
+/// for kGlobalCa.
+struct WarmRange {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  mem::MemSpace space = mem::MemSpace::kGlobalCg;
+};
+
+struct ChipResult {
+  double cycles = 0;  // wall time: slowest SM's finish
+  double seconds = 0;
+  int sms = 0;
+  int block_slots = 0;  // resident blocks per SM the dispatcher used
+  double waves = 0;     // total_blocks / (block_slots * sms)
+  int epochs = 0;       // barrier count (diagnostic)
+  /// Sums over SMs.
+  std::uint64_t instructions_issued = 0;
+  std::uint64_t stall_cycles = 0;
+  std::uint64_t mem_transactions = 0;
+  std::uint64_t warps_retired = 0;
+  /// Per-SM timing/attribution, index = SM id.  per_sm[i].cycles is that
+  /// SM's own finish time, so load imbalance is visible directly.
+  std::vector<sm::RunResult> per_sm;
+  /// Aggregated unit occupancy: SM pipes + per-SM L1 ports averaged over
+  /// SMs, L2 slice ports and DRAM channels averaged over slices (ops
+  /// summed), same convention as sim::CycleReport expects.
+  std::vector<sim::UnitSample> unit_usage;
+
+  [[nodiscard]] double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions_issued) / cycles : 0.0;
+  }
+  [[nodiscard]] sim::CycleSample cycle_sample(std::string label) const {
+    return sim::CycleSample{std::move(label), cycles, unit_usage};
+  }
+};
+
+class GpuEngine {
+ public:
+  GpuEngine(const arch::DeviceSpec& device, ChipOptions options = {});
+
+  /// Simulate a full grid launch of `program` across every SM.  `global`
+  /// optionally backs global loads (shared read-only across SMs — the ISA's
+  /// stores are timing-only).  Each call is an independent kernel launch on
+  /// a cold chip.
+  [[nodiscard]] Expected<ChipResult> run(
+      const isa::Program& program, const sm::LaunchConfig& config,
+      std::span<std::uint64_t> global = {},
+      std::span<const WarmRange> warm = {}) const;
+
+ private:
+  const arch::DeviceSpec& device_;
+  ChipOptions options_;
+};
+
+/// sm::launch()-shaped convenience wrapper: kRepresentative delegates to
+/// sm::launch, kFullChip runs the GpuEngine and reports the chip's wall
+/// time (representative = busiest SM's RunResult, waves rounded up).
+Expected<sm::LaunchResult> launch(const arch::DeviceSpec& device,
+                                  const isa::Program& program,
+                                  const sm::LaunchConfig& config,
+                                  sm::LaunchMode mode,
+                                  const ChipOptions& options = {});
+
+}  // namespace hsim::gpu

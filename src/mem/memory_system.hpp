@@ -62,19 +62,76 @@ constexpr trace::StallReason stall_reason_of(const AccessClass& access) noexcept
   return trace::StallReason::kMemL1;
 }
 
-class MemorySystem {
+/// Fixup registered by a core for a deferred access (full-chip mode): the
+/// shared fabric resolves the request at the next epoch barrier and folds
+/// the true completion time `c` into the registered slots:
+///   *time_slot   = max(*time_slot (if finite, else floor), c + offset, floor)
+///   *reason_slot = max(*reason_slot, resolved memory reason)   [enum order]
+///   *drain_slot  = max(*drain_slot, c)
+///   *outstanding is decremented once per resolved ticket.
+/// Slots must stay valid until the next barrier resolution.
+struct DeferredFixup {
+  double* time_slot = nullptr;
+  trace::StallReason* reason_slot = nullptr;
+  double offset = 0.0;  // added to the resolved completion (e.g. smem hop)
+  double floor = 0.0;   // finite local part computed at issue time
+  double* drain_slot = nullptr;
+  int* outstanding = nullptr;
+};
+
+/// Seam between the SM core and whatever services its global-memory
+/// traffic: the plain MemorySystem (single-SM benchmarks, resolves every
+/// access at issue time) or a full-chip per-SM path that defers shared
+/// L2/DRAM arbitration to deterministic epoch barriers.  A deferred access
+/// returns +infinity and reports last_pending(); the issuing core then
+/// registers a DeferredFixup for the scoreboard slots the provisional time
+/// flowed into.
+class MemPath {
+ public:
+  virtual ~MemPath() = default;
+
+  /// Latency path: a single (thread-granular) dependent load.
+  virtual LoadResult load(int sm, std::uint64_t addr, MemSpace space,
+                          double now) = 0;
+
+  /// Throughput path: one coalesced warp transaction of `bytes` total,
+  /// made of `access_bytes`-wide per-thread accesses (4 = FP32, 8 = FP64,
+  /// 16 = float4).  Returns the completion time.
+  virtual double warp_transaction(int sm, std::uint64_t addr,
+                                  std::uint32_t bytes, int access_bytes,
+                                  MemSpace space, double now) = 0;
+
+  /// Which level serviced the most recent load()/warp_transaction().
+  [[nodiscard]] virtual const AccessClass& last_access() const noexcept = 0;
+
+  /// True when the most recent access was deferred to an epoch barrier
+  /// (its returned completion time is +infinity and provisional).
+  [[nodiscard]] virtual bool last_pending() const noexcept { return false; }
+
+  /// Attach `fixup` to every deferred ticket created since the previous
+  /// attach call; returns how many tickets it covered (0 on the immediate
+  /// path).
+  virtual int attach_fixup(const DeferredFixup& fixup) {
+    (void)fixup;
+    return 0;
+  }
+};
+
+class MemorySystem final : public MemPath {
  public:
   /// `active_sms` controls how many per-SM L1 instances are materialised.
   MemorySystem(const arch::DeviceSpec& device, int active_sms);
 
   /// Latency path: a single (thread-granular) dependent load.
-  LoadResult load(int sm, std::uint64_t addr, MemSpace space, double now);
+  LoadResult load(int sm, std::uint64_t addr, MemSpace space,
+                  double now) override;
 
   /// Throughput path: one coalesced warp transaction of `bytes` total,
   /// made of `access_bytes`-wide per-thread accesses (4 = FP32, 8 = FP64,
   /// 16 = float4).  Returns the completion time.
   double warp_transaction(int sm, std::uint64_t addr, std::uint32_t bytes,
-                          int access_bytes, MemSpace space, double now);
+                          int access_bytes, MemSpace space,
+                          double now) override;
 
   /// Pre-fill a byte range into a level (the benchmark warm-up phase).
   void warm(std::uint64_t base, std::uint64_t size, MemSpace space, int sm = 0);
@@ -102,7 +159,9 @@ class MemorySystem {
   /// kExecute event named after the deepest level that serviced it.
   void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
   /// Which level serviced the most recent load()/warp_transaction().
-  [[nodiscard]] const AccessClass& last_access() const noexcept { return last_; }
+  [[nodiscard]] const AccessClass& last_access() const noexcept override {
+    return last_;
+  }
 
  private:
   const arch::DeviceSpec& device_;

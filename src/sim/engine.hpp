@@ -21,7 +21,8 @@ class EventQueue {
   /// Schedule `fn` at absolute time `when` (cycles).  Must not be earlier
   /// than the current time.
   void schedule(double when, Callback fn) {
-    HSIM_ASSERT(when >= now_);
+    HSIM_ASSERT_MSG(when >= now_, "schedule into the past: when=%.17g now=%.17g",
+                    when, now_);
     heap_.push(Event{when, sequence_++, std::move(fn)});
   }
 

@@ -24,6 +24,13 @@ struct LaunchConfig {
   int regs_per_thread = 32;
 };
 
+/// How a grid launch is simulated: kRepresentative extrapolates one fully
+/// loaded SM by wave quantisation (this file's launch()); kFullChip runs
+/// every SM concurrently against a shared sliced L2/DRAM fabric
+/// (gpu::GpuEngine — `hsim chip`, the benches' --full-chip flag).  The enum
+/// lives here so callers can select a mode without depending on hs_gpu.
+enum class LaunchMode : std::uint8_t { kRepresentative, kFullChip };
+
 enum class OccupancyLimit : std::uint8_t { kWarps, kBlocks, kSharedMem, kRegisters };
 
 constexpr std::string_view to_string(OccupancyLimit l) noexcept {

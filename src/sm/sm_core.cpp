@@ -5,6 +5,7 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <limits>
 
 #include "isa/ptx.hpp"
@@ -16,6 +17,7 @@ namespace {
 
 constexpr int kLanes = 32;
 constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 float as_f32(std::uint64_t bits) {
   return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
@@ -50,8 +52,17 @@ struct SmCore::Warp {
   // Why a RAW wait on each register would stall (producer classification).
   std::vector<trace::StallReason> reg_reason;
   std::vector<std::uint64_t> lanes;  // regs * kLanes
-  std::vector<double> async_groups;  // completion time per committed group
-  double async_pending = 0;          // completion of the open (uncommitted) group
+  // Async-copy group bookkeeping.  Slots live in a deque so their addresses
+  // are stable fixup targets for deferred (full-chip) completions: `known`
+  // is the max completion folded in so far, `outstanding` counts tickets
+  // still waiting on an epoch-barrier resolution.
+  struct AsyncSlot {
+    double known = 0;
+    int outstanding = 0;
+  };
+  std::deque<AsyncSlot> async_slots;
+  AsyncSlot* async_open = nullptr;       // accumulating uncommitted copies
+  std::vector<AsyncSlot*> async_groups;  // committed groups, FIFO
 
   [[nodiscard]] std::uint64_t& lane(int r, int l) {
     return lanes[static_cast<std::size_t>(r) * kLanes + static_cast<std::size_t>(l)];
@@ -79,7 +90,16 @@ struct SmCore::Units {
   double dsm_bytes_per_clk = 16;
 };
 
-SmCore::SmCore(const arch::DeviceSpec& device, mem::MemorySystem* mem, int sm_id)
+// A warp parked on cp.async.wait whose groups still had unresolved tickets;
+// resolve_async_waits() turns it into a real blocked_until once the epoch
+// barrier has landed every completion.
+struct SmCore::AsyncWait {
+  int warp = 0;
+  double floor = 0;  // wait time implied by the already-resolved groups
+  std::vector<Warp::AsyncSlot*> groups;
+};
+
+SmCore::SmCore(const arch::DeviceSpec& device, mem::MemPath* mem, int sm_id)
     : device_(device), mem_(mem), sm_id_(sm_id), units_(std::make_unique<Units>()) {
   auto& u = *units_;
   // Per-partition FP32 lanes set the FMA initiation interval for a warp.
@@ -169,54 +189,105 @@ std::vector<sim::UnitSample> SmCore::unit_usage() const {
 }
 
 RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
-  HSIM_ASSERT(!program.empty());
   HSIM_ASSERT(shape.blocks >= 1 && shape.threads_per_block >= 1);
+  begin(program, shape.blocks, shape.threads_per_block);
+  for (int b = 0; b < shape.blocks; ++b) launch_block(b, b, 0.0);
+  advance(kInf);
+  return finalize();
+}
+
+void SmCore::begin(const isa::Program& program, int block_slots,
+                   int threads_per_block) {
+  HSIM_ASSERT(!program.empty());
+  HSIM_ASSERT(block_slots >= 1 && threads_per_block >= 1);
+  program_ = &program;
 
   // Size the register file to what the program touches.
   int max_reg = 0;
   for (const auto& inst : program.body()) {
     max_reg = std::max({max_reg, inst.rd, inst.ra, inst.rb, inst.rc});
   }
-  const int num_regs = max_reg + 1;
+  num_regs_ = max_reg + 1;
 
-  const int warps_per_block = shape.warps_per_block();
-  const int total_warps = shape.total_warps();
+  const int warps_per_block = (threads_per_block + 31) / 32;
+  const int total_warps = block_slots * warps_per_block;
   warps_.assign(static_cast<std::size_t>(total_warps), Warp{});
   for (int i = 0; i < total_warps; ++i) {
     auto& w = warps_[static_cast<std::size_t>(i)];
     w.id = i;
     w.block = i / warps_per_block;
     w.scheduler = i % 4;
-    w.reg_ready.assign(static_cast<std::size_t>(num_regs), 0.0);
-    w.reg_reason.assign(static_cast<std::size_t>(num_regs),
-                        StallReason::kScoreboardRaw);
-    w.lanes.assign(static_cast<std::size_t>(num_regs) * kLanes, 0);
-    // R0 is preloaded with the global thread id (lane-varying), the way
-    // CUDA kernels derive addresses from threadIdx.
-    if (num_regs > 0) {
-      for (int l = 0; l < kLanes; ++l) {
-        w.lane(0, l) = static_cast<std::uint64_t>(i) * kLanes +
-                       static_cast<std::uint64_t>(l);
-      }
-    }
+    w.done = true;  // slots are empty until a block is launched into them
   }
   barrier_target_ = warps_per_block;
   result_ = {};
   last_completion_ = 0.0;
+  now_ = 0.0;
+  live_ = 0;
+  rotate_ = {0, 0, 0, 0};
+  block_live_.assign(static_cast<std::size_t>(block_slots), 0);
+  block_retire_.assign(static_cast<std::size_t>(block_slots), -1.0);
+  async_waits_.clear();
+  access_pending_ = false;
+}
 
+void SmCore::launch_block(int slot, int block_global_id, double at) {
+  const int warps_per_block = barrier_target_;
+  HSIM_ASSERT_MSG(slot >= 0 && slot < block_slots(), "slot=%d of %d", slot,
+                  block_slots());
+  HSIM_ASSERT_MSG(block_live_[static_cast<std::size_t>(slot)] == 0,
+                  "slot %d still has %d live warps", slot,
+                  block_live_[static_cast<std::size_t>(slot)]);
+  now_ = std::max(now_, at);
+  block_live_[static_cast<std::size_t>(slot)] = warps_per_block;
+  block_retire_[static_cast<std::size_t>(slot)] = -1.0;
+  for (int j = 0; j < warps_per_block; ++j) {
+    auto& w = warps_[static_cast<std::size_t>(slot * warps_per_block + j)];
+    w.pc = 0;
+    w.iteration = 0;
+    w.done = false;
+    w.at_barrier = false;
+    w.blocked_until = 0;
+    w.block_reason = StallReason::kBarrier;
+    w.last_issue_cycle = -1;
+    w.reg_ready.assign(static_cast<std::size_t>(num_regs_), 0.0);
+    w.reg_reason.assign(static_cast<std::size_t>(num_regs_),
+                        StallReason::kScoreboardRaw);
+    w.lanes.assign(static_cast<std::size_t>(num_regs_) * kLanes, 0);
+    // R0 is preloaded with the *grid* thread id (lane-varying), the way
+    // CUDA kernels derive addresses from blockIdx/threadIdx.  For a
+    // single-SM run() block_global_id equals the slot, so this reduces to
+    // the SM-local warp index.
+    for (int l = 0; l < kLanes; ++l) {
+      w.lane(0, l) =
+          (static_cast<std::uint64_t>(block_global_id) *
+               static_cast<std::uint64_t>(warps_per_block) +
+           static_cast<std::uint64_t>(j)) *
+              kLanes +
+          static_cast<std::uint64_t>(l);
+    }
+    w.async_slots.clear();
+    w.async_groups.clear();
+    w.async_open = &w.async_slots.emplace_back();
+    ++live_;
+  }
   if (trace_ != nullptr) {
-    for (const auto& w : warps_) {
-      trace_->on_event({trace::EventKind::kFetch, StallReason::kNone, 0.0, 0.0,
+    for (int j = 0; j < warps_per_block; ++j) {
+      const auto& w = warps_[static_cast<std::size_t>(slot * warps_per_block + j)];
+      trace_->on_event({trace::EventKind::kFetch, StallReason::kNone, now_, 0.0,
                         sm_id_, w.id, 0, "warp"});
     }
   }
+}
 
-  double now = 0.0;
-  int live = total_warps;
-  std::array<int, 4> rotate{0, 0, 0, 0};
+bool SmCore::advance(double until) {
+  HSIM_ASSERT(program_ != nullptr);
+  const isa::Program& program = *program_;
+  const int warps_per_block = barrier_target_;
+  const int total_warps = static_cast<int>(warps_.size());
 
-  while (live > 0) {
-    HSIM_ASSERT(now < 5e9);  // deadlock guard
+  while (live_ > 0 && now_ + kEps < until) {
+    HSIM_ASSERT(now_ < 5e9);  // deadlock guard
 
     // Barrier release: when every live warp of a block is parked at the
     // barrier, release them all on the next cycle.
@@ -232,7 +303,7 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
           auto& w = warps_[static_cast<std::size_t>(b * warps_per_block + i)];
           if (w.at_barrier) {
             w.at_barrier = false;
-            w.blocked_until = now + 1;
+            w.blocked_until = now_ + 1;
             w.block_reason = StallReason::kBarrier;
           }
         }
@@ -255,16 +326,22 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
       std::string_view slot_where = "drain";
       int slot_warp = -1;
       for (int step = 0; step < total_warps && !issued; ++step) {
-        const int idx = (rotate[static_cast<std::size_t>(s)] + step) % total_warps;
+        const int idx = (rotate_[static_cast<std::size_t>(s)] + step) % total_warps;
         auto& w = warps_[static_cast<std::size_t>(idx)];
         if (w.scheduler != s || w.done) continue;
         ++seen;
         StallReason why = StallReason::kNone;
         std::string_view where;
-        if (try_issue(w, now, program, why, where)) {
+        if (try_issue(w, now_, program, why, where)) {
           issued = true;
-          rotate[static_cast<std::size_t>(s)] = (idx + 1) % total_warps;
-          if (w.done) --live;
+          rotate_[static_cast<std::size_t>(s)] = (idx + 1) % total_warps;
+          if (w.done) {
+            --live_;
+            auto& remaining = block_live_[static_cast<std::size_t>(w.block)];
+            if (--remaining == 0) {
+              block_retire_[static_cast<std::size_t>(w.block)] = now_;
+            }
+          }
         } else if (slot_warp < 0 && why != StallReason::kNone) {
           slot_warp = w.id;
           slot_reason = why;
@@ -275,18 +352,36 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
       if (!issued) {
         ++result_.stall_cycles;
         if (trace_ != nullptr) {
-          trace_->on_event({trace::EventKind::kStall, slot_reason, now, 1.0,
+          trace_->on_event({trace::EventKind::kStall, slot_reason, now_, 1.0,
                             sm_id_, slot_warp, -1, slot_where});
         }
       }
     }
-    now += 1.0;
+    now_ += 1.0;
   }
+  return live_ > 0;
+}
 
+void SmCore::resolve_async_waits() {
+  for (const auto& wait : async_waits_) {
+    double until = wait.floor;
+    for (const auto* group : wait.groups) {
+      HSIM_ASSERT_MSG(group->outstanding == 0,
+                      "async group with %d unresolved tickets at barrier",
+                      group->outstanding);
+      until = std::max(until, group->known);
+    }
+    auto& w = warps_[static_cast<std::size_t>(wait.warp)];
+    w.blocked_until = until;  // block_reason stays kTmaWait
+  }
+  async_waits_.clear();
+}
+
+RunResult SmCore::finalize() {
   // Completion: the last value becomes visible when its register is ready,
   // and a warp that retired while parked on an async wait keeps the kernel
   // alive until the wait resolves.
-  double finish = now;
+  double finish = now_;
   for (const auto& w : warps_) {
     for (const double t : w.reg_ready) finish = std::max(finish, t);
     finish = std::max(finish, w.blocked_until);
@@ -298,6 +393,8 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
   // atomic) still occupies its unit until completion; the kernel is not
   // over while any issued instruction is in flight.
   finish = std::max(finish, last_completion_);
+  HSIM_ASSERT_MSG(std::isfinite(finish),
+                  "deferred access unresolved at finalize (finish=%g)", finish);
   result_.cycles = finish;
   return result_;
 }
@@ -404,18 +501,42 @@ bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program,
   why = StallReason::kNone;
 
   value_reason_ = StallReason::kScoreboardRaw;
+  access_pending_ = false;
+  access_floor_ = now;
   const double completion = execute(warp, inst, now);
   if (inst.rd != isa::kRegNone) {
     warp.reg_ready[static_cast<std::size_t>(inst.rd)] = completion;
     warp.reg_reason[static_cast<std::size_t>(inst.rd)] = value_reason_;
   }
+  if (access_pending_) {
+    // Deferred full-chip access: the provisional completion is +inf; the
+    // epoch-barrier resolution patches the scoreboard slot (and the kernel
+    // drain tracker) with the arbitrated time.
+    mem::DeferredFixup fixup;
+    if (inst.rd != isa::kRegNone) {
+      fixup.time_slot = &warp.reg_ready[static_cast<std::size_t>(inst.rd)];
+      fixup.reason_slot = &warp.reg_reason[static_cast<std::size_t>(inst.rd)];
+    }
+    fixup.floor = access_floor_;
+    fixup.drain_slot = &last_completion_;
+    mem_->attach_fixup(fixup);
+    access_pending_ = false;
+  }
   warp.last_issue_cycle = now;
-  last_completion_ = std::max(last_completion_, completion);
+  if (std::isfinite(completion)) {
+    last_completion_ = std::max(last_completion_, completion);
+  } else {
+    last_completion_ = std::max(last_completion_, access_floor_);
+  }
   ++result_.instructions_issued;
   if (trace_ != nullptr) {
-    trace_->on_event({trace::EventKind::kIssue, StallReason::kNone, now,
-                      completion - now, sm_id_, warp.id,
-                      static_cast<std::int32_t>(warp.pc),
+    // A deferred access has no completion yet; report the L2-hit latency as
+    // a provisional lower bound on the issue span.
+    const double span = std::isfinite(completion)
+                            ? completion - now
+                            : device_.memory.l2_hit_latency;
+    trace_->on_event({trace::EventKind::kIssue, StallReason::kNone, now, span,
+                      sm_id_, warp.id, static_cast<std::int32_t>(warp.pc),
                       isa::mnemonic(inst.op)});
   }
 
@@ -580,23 +701,53 @@ double SmCore::execute(Warp& warp, const isa::Instruction& inst, double now) {
     case Opcode::kExit:
       return now;
     case Opcode::kCpAsyncCommit:
-      warp.async_groups.push_back(warp.async_pending);
-      warp.async_pending = 0;
+      warp.async_groups.push_back(warp.async_open);
+      warp.async_open = &warp.async_slots.emplace_back();
       return now;
     case Opcode::kCpAsyncWait: {
       // cp.async.wait_group N: wait until at most N groups are in flight.
       const auto keep = static_cast<std::size_t>(std::max<std::int64_t>(inst.imm, 0));
       double wait_until = now;
+      std::vector<Warp::AsyncSlot*> unresolved;
       while (warp.async_groups.size() > keep) {
-        wait_until = std::max(wait_until, warp.async_groups.front());
+        Warp::AsyncSlot* group = warp.async_groups.front();
         warp.async_groups.erase(warp.async_groups.begin());
+        if (group->outstanding > 0) {
+          unresolved.push_back(group);  // value lands at the next barrier
+        } else {
+          wait_until = std::max(wait_until, group->known);
+        }
       }
-      warp.blocked_until = wait_until;
+      if (unresolved.empty()) {
+        warp.blocked_until = wait_until;
+      } else {
+        warp.blocked_until = kInf;
+        async_waits_.push_back(AsyncWait{warp.id, wait_until, std::move(unresolved)});
+      }
       warp.block_reason = StallReason::kTmaWait;
       return wait_until;
     }
     default:
       return memory_op(warp, inst, now);
+  }
+}
+
+// Fold an async copy's completion into the warp's open group.  `ready` is
+// the finite part (local completion plus the shared-memory write hop); when
+// `pending`, the deferred tickets' completions are folded in at the next
+// epoch barrier via the registered fixup.
+void SmCore::fold_async(Warp& warp, double ready, bool pending) {
+  auto* slot = warp.async_open;
+  slot->known = std::max(slot->known, ready);
+  if (pending) {
+    mem::DeferredFixup fixup;
+    fixup.time_slot = &slot->known;
+    fixup.offset = device_.memory.smem_latency;
+    fixup.outstanding = &slot->outstanding;
+    // Like deferred stores, in-flight async traffic must drain before the
+    // kernel retires even when no wait ever observes the group.
+    fixup.drain_slot = &last_completion_;
+    slot->outstanding += mem_->attach_fixup(fixup);
   }
 }
 
@@ -629,6 +780,7 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
       u.lsu.issue(now);
       const auto bytes = static_cast<std::uint32_t>(std::max<std::int64_t>(inst.imm, 32));
       double completion;
+      bool pending = false;
       if (mem_ == nullptr) {
         completion = now + device_.memory.dram_latency;
       } else {
@@ -636,15 +788,18 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
         completion = now;
         // The engine streams the box in 128-byte lines straight to smem.
         for (std::uint32_t off = 0; off < bytes; off += 128) {
-          completion = std::max(
-              completion,
+          const double t =
               mem_->warp_transaction(sm_id_, base + off,
                                      std::min<std::uint32_t>(128, bytes - off),
-                                     16, mem::MemSpace::kGlobalCg, now));
+                                     16, mem::MemSpace::kGlobalCg, now);
+          if (mem_->last_pending()) {
+            pending = true;
+          } else {
+            completion = std::max(completion, t);
+          }
         }
       }
-      warp.async_pending = std::max(warp.async_pending,
-                                    completion + device_.memory.smem_latency);
+      fold_async(warp, completion + device_.memory.smem_latency, pending);
       return now + 1;
     }
     case Opcode::kLdgCa:
@@ -685,26 +840,35 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
           // Dependent/narrow access: pure latency path.
           completion = mem_->load(sm_id_, addrs[0], space, now).ready_time;
           value_reason_ = mem::stall_reason_of(mem_->last_access());
+          access_pending_ = mem_->last_pending();
         } else {
           // A multi-line warp transaction classifies by the deepest level
           // any of its lines had to reach.
           auto deepest = mem::MemLevel::kL1;
+          double finite = completion;
           for (int j = 0; j < num_lines; ++j) {
             const std::uint64_t base = lines[static_cast<std::size_t>(j)] * 128;
-            completion = std::max(
-                completion,
+            const double t =
                 mem_->warp_transaction(sm_id_, base, 128,
-                                       static_cast<int>(inst.access_bytes), space, now));
+                                       static_cast<int>(inst.access_bytes), space, now);
+            if (mem_->last_pending()) {
+              access_pending_ = true;
+            } else {
+              finite = std::max(finite, t);
+            }
             deepest = std::max(deepest, mem_->last_access().deepest);
           }
+          access_floor_ = finite;
+          completion = access_pending_ ? kInf : finite;
           value_reason_ = mem::stall_reason_of(mem::AccessClass{deepest, false});
         }
       }
       if (inst.op == Opcode::kCpAsync) {
         // Asynchronous: the warp is not blocked; completion lands in the
         // open async group (plus the shared-memory write hop).
-        warp.async_pending = std::max(
-            warp.async_pending, completion + device_.memory.smem_latency);
+        const double finite = access_pending_ ? access_floor_ : completion;
+        fold_async(warp, finite + device_.memory.smem_latency, access_pending_);
+        access_pending_ = false;
         return now + 1;
       }
       return completion;

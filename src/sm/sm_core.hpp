@@ -15,6 +15,7 @@
 // clock().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -55,8 +56,9 @@ struct RunResult {
 class SmCore {
  public:
   /// `mem` may be null for pure-ALU kernels.  `sm_id` selects which L1 the
-  /// core uses inside the MemorySystem.
-  SmCore(const arch::DeviceSpec& device, mem::MemorySystem* mem, int sm_id = 0);
+  /// core uses inside the memory path (a MemorySystem for single-SM runs,
+  /// a per-SM full-chip path under gpu::GpuEngine).
+  SmCore(const arch::DeviceSpec& device, mem::MemPath* mem, int sm_id = 0);
   ~SmCore();
   SmCore(const SmCore&) = delete;
   SmCore& operator=(const SmCore&) = delete;
@@ -69,7 +71,44 @@ class SmCore {
   [[nodiscard]] mem::SharedMemory& shared();
 
   /// Execute `program` over `shape` resident warps; returns timing.
+  /// Equivalent to begin() + launch_block() per slot + advance(inf) +
+  /// finalize(), and kept bit-identical to that sequence by construction.
   RunResult run(const isa::Program& program, const BlockShape& shape);
+
+  // --- Incremental interface (gpu::GpuEngine) -------------------------------
+  // The engine sizes the SM to `block_slots` resident CTAs, launches blocks
+  // into free slots as earlier ones drain, and advances all SMs in
+  // epoch-sized steps.  Warp storage is allocated once in begin() and slots
+  // are recycled, so scoreboard addresses handed to mem::DeferredFixup stay
+  // stable for the lifetime of the run.
+
+  /// Reset kernel state for `block_slots` resident blocks of
+  /// `threads_per_block` threads.  All slots start empty (retired).
+  void begin(const isa::Program& program, int block_slots, int threads_per_block);
+  /// Make `block_global_id` resident in `slot` (previously empty or fully
+  /// retired) no earlier than time `at`.  R0 is preloaded with the *grid*
+  /// thread id, so non-homogeneous per-block work falls out of addressing.
+  void launch_block(int slot, int block_global_id, double at);
+  /// Run the issue loop until `until` (or quiescence).  Returns true while
+  /// any warp is live.
+  bool advance(double until);
+  /// Re-evaluate warps parked on async groups whose tickets have since been
+  /// resolved; the engine calls this after each barrier resolution.
+  void resolve_async_waits();
+  /// Compute the RunResult exactly as run() does.  Every deferred fixup
+  /// must have been resolved (asserted).
+  RunResult finalize();
+
+  [[nodiscard]] int live_warps() const noexcept { return live_; }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  /// Retire time of the block in `slot`, or a negative value while it is
+  /// still running (also negative for never-launched slots).
+  [[nodiscard]] double block_retire_time(int slot) const {
+    return block_retire_[static_cast<std::size_t>(slot)];
+  }
+  [[nodiscard]] int block_slots() const noexcept {
+    return static_cast<int>(block_retire_.size());
+  }
 
   /// Read back a register lane after run() (functional checks, clock()).
   [[nodiscard]] std::uint64_t reg(int warp, int reg_index, int lane = 0) const;
@@ -96,9 +135,10 @@ class SmCore {
                  trace::StallReason& why, std::string_view& where);
   double execute(Warp& warp, const isa::Instruction& inst, double now);
   double memory_op(Warp& warp, const isa::Instruction& inst, double now);
+  void fold_async(Warp& warp, double ready, bool pending);
 
   const arch::DeviceSpec& device_;
-  mem::MemorySystem* mem_;
+  mem::MemPath* mem_;
   int sm_id_;
   std::span<std::uint64_t> global_;
   std::unique_ptr<mem::SharedMemory> shared_;
@@ -106,8 +146,21 @@ class SmCore {
   std::unique_ptr<Units> units_;
   RunResult result_;
   double last_completion_ = 0;  // latest completion time of any issued inst
-  int barrier_target_ = 0;  // warps per block, set by run()
+  int barrier_target_ = 0;  // warps per block, set by begin()
   trace::TraceSink* trace_ = nullptr;
+  // Incremental-run state (begin/advance); run() drives the same loop.
+  const isa::Program* program_ = nullptr;
+  int num_regs_ = 0;
+  double now_ = 0;
+  int live_ = 0;
+  std::array<int, 4> rotate_{0, 0, 0, 0};
+  std::vector<int> block_live_;       // live warps per slot
+  std::vector<double> block_retire_;  // retire time per slot (< 0: running)
+  // Deferred-access bookkeeping for full-chip mode (see mem::DeferredFixup).
+  bool access_pending_ = false;   // most recent memory_op left open tickets
+  double access_floor_ = 0;       // finite local part of that access
+  struct AsyncWait;
+  std::vector<AsyncWait> async_waits_;
   // Why a wait on the value most recently produced by execute() would
   // stall: scoreboard for ALU pipes, a memory level for loads, bank
   // conflict for serialised shared accesses, DSM hop for remote traffic.

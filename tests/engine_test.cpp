@@ -62,6 +62,19 @@ TEST(EventQueue, ResetClearsState) {
   EXPECT_EQ(queue.now(), 0.0);
 }
 
+TEST(EventQueueDeathTest, ScheduleIntoThePastReportsWhenAndNow) {
+  // The assert must carry both the requested time and the current time so a
+  // fuzz reproducer's log is triageable without rerunning under a debugger.
+  EXPECT_DEATH(
+      {
+        EventQueue queue;
+        queue.schedule(7.0, [] {});
+        queue.run();  // now == 7
+        queue.schedule(3.0, [] {});
+      },
+      "when=3.*now=7");
+}
+
 TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
   EventQueue queue;
   double seen = -1;

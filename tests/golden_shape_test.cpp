@@ -211,5 +211,33 @@ TEST(GoldenShape, Fig7DpxShape) {
   check_or_update("fig07_dpx.json", shape);
 }
 
+// Fig 7's wave-quantisation sawtooth again, but under the full-chip engine
+// (every SM simulated, shared L2 fabric): the dip past a full wave must
+// *emerge* from the dispatcher leaving one SM running a second block while
+// the rest idle — no ceil() imposes it — and at exactly one homogeneous
+// wave the full chip must agree with the analytic model.
+TEST(GoldenShape, Fig7DpxFullChipShape) {
+  ShapeMap shape;
+  const auto& h800 = device("h800");
+  const int waves = h800.sm_count;
+  const auto point = [&](int blocks, sm::LaunchMode mode) {
+    const auto result = core::dpx_block_point(
+        h800, dpx::Func::kViAddMaxS16x2Relu, blocks, mode);
+    EXPECT_TRUE(result.has_value()) << blocks;
+    return result.has_value() ? result.value().gcalls_per_sec : 0.0;
+  };
+  const double full_wave = point(waves, sm::LaunchMode::kFullChip);
+  const double spill = point(waves + 1, sm::LaunchMode::kFullChip);
+  const double two_waves = point(2 * waves, sm::LaunchMode::kFullChip);
+  const double analytic = point(waves, sm::LaunchMode::kRepresentative);
+  shape["fig7.h800.fullchip_sawtooth_dip_after_full_wave"] =
+      bool_str(spill < full_wave);
+  shape["fig7.h800.fullchip_sawtooth_recovers_by_two_waves"] =
+      bool_str(two_waves > spill);
+  shape["fig7.h800.fullchip_matches_analytic_at_full_wave"] =
+      bool_str(std::abs(full_wave - analytic) <= 0.02 * analytic);
+  check_or_update("fig07_dpx_fullchip.json", shape);
+}
+
 }  // namespace
 }  // namespace hsim::conformance

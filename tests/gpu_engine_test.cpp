@@ -1,0 +1,265 @@
+// Full-chip engine: determinism at any thread count, dispatcher slot
+// recycling, epoch invariance, emergent wave quantisation, and the
+// grid-level differential fuzz campaign from the conformance subsystem.
+#include "gpu/gpu_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "conformance/differ.hpp"
+#include "conformance/fuzzer.hpp"
+#include "sm/launcher.hpp"
+
+namespace hsim::gpu {
+namespace {
+
+using arch::h800_pcie;
+
+isa::Program alu_kernel(std::uint32_t iterations = 64) {
+  isa::Program p;
+  p.fadd(1, 1, 2);
+  p.add({.op = isa::Opcode::kIMad, .rd = 3, .ra = 3, .rb = 1, .rc = 2});
+  p.set_iterations(iterations);
+  return p;
+}
+
+// Dependent global loads with per-thread masked addresses: every warp keeps
+// the L1/L2/DRAM ticket machinery busy so barrier resolution order matters.
+isa::Program memory_kernel(std::uint32_t iterations = 8) {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kShf, .rd = 1, .ra = 0, .imm = 3});  // 8 * tid
+  p.mov(2, static_cast<std::int64_t>(
+               conformance::kGlobalWords * 8 - 1));  // byte-address mask
+  p.add({.op = isa::Opcode::kLop3, .rd = 1, .ra = 1, .rb = 2, .imm = 0});
+  p.add({.op = isa::Opcode::kLdgCg, .rd = 3, .ra = 1, .access_bytes = 8});
+  p.add({.op = isa::Opcode::kLop3, .rd = 1, .ra = 3, .rb = 2, .imm = 0});
+  p.add({.op = isa::Opcode::kLdgCa, .rd = 4, .ra = 1, .access_bytes = 4});
+  p.add({.op = isa::Opcode::kIAdd3, .rd = 5, .ra = 5, .rb = 4});
+  p.set_iterations(iterations);
+  return p;
+}
+
+void expect_identical(const ChipResult& a, const ChipResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.instructions_issued, b.instructions_issued);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+  EXPECT_EQ(a.mem_transactions, b.mem_transactions);
+  EXPECT_EQ(a.warps_retired, b.warps_retired);
+  ASSERT_EQ(a.per_sm.size(), b.per_sm.size());
+  for (std::size_t i = 0; i < a.per_sm.size(); ++i) {
+    EXPECT_EQ(a.per_sm[i].cycles, b.per_sm[i].cycles) << "sm " << i;
+    EXPECT_EQ(a.per_sm[i].instructions_issued, b.per_sm[i].instructions_issued)
+        << "sm " << i;
+    EXPECT_EQ(a.per_sm[i].stall_cycles, b.per_sm[i].stall_cycles)
+        << "sm " << i;
+  }
+}
+
+TEST(GpuEngine, SingleBlockMatchesRepresentativeLaunch) {
+  // One pure-ALU block: the full chip runs it on SM 0 with an idle fabric,
+  // so its wall time must equal the representative model's bit-for-bit.
+  const auto& device = h800_pcie();
+  const sm::LaunchConfig config{.threads_per_block = 256, .total_blocks = 1};
+  const auto rep = sm::launch(device, alu_kernel(), config);
+  const auto chip = GpuEngine(device).run(alu_kernel(), config);
+  ASSERT_TRUE(rep.has_value() && chip.has_value());
+  EXPECT_EQ(chip.value().cycles, rep.value().cycles);
+  EXPECT_EQ(chip.value().warps_retired, 8u);
+  EXPECT_GT(chip.value().ipc(), 0.0);
+}
+
+TEST(GpuEngine, HomogeneousFullWaveMatchesAnalytic) {
+  // A full wave of identical ALU blocks: every SM runs the same resident
+  // set with no shared-memory-system coupling, so the emergent full-chip
+  // time equals the analytic wave model exactly.
+  const auto& device = h800_pcie();
+  const sm::LaunchConfig config{.threads_per_block = 1024,
+                                .total_blocks = 2 * device.sm_count,
+                                .regs_per_thread = 16};
+  const auto rep = sm::launch(device, alu_kernel(), config);
+  const auto chip = GpuEngine(device).run(alu_kernel(), config);
+  ASSERT_TRUE(rep.has_value() && chip.has_value());
+  EXPECT_EQ(chip.value().block_slots, 2);
+  EXPECT_DOUBLE_EQ(chip.value().waves, 1.0);
+  EXPECT_EQ(chip.value().cycles, rep.value().cycles);
+}
+
+TEST(GpuEngine, WaveQuantisationEmerges) {
+  // 2*sms blocks fill one wave; one more block forces a mostly-idle second
+  // wave; 4*sms costs about twice one wave.  The full chip reproduces the
+  // sawtooth without the analytic model's ceil().
+  const auto& device = h800_pcie();
+  sm::LaunchConfig config{.threads_per_block = 1024, .regs_per_thread = 16};
+  const GpuEngine engine(device);
+  config.total_blocks = 2 * device.sm_count;
+  const auto full = engine.run(alu_kernel(), config);
+  config.total_blocks = 2 * device.sm_count + 1;
+  const auto spill = engine.run(alu_kernel(), config);
+  config.total_blocks = 4 * device.sm_count;
+  const auto two = engine.run(alu_kernel(), config);
+  ASSERT_TRUE(full.has_value() && spill.has_value() && two.has_value());
+  EXPECT_GT(spill.value().cycles, full.value().cycles * 1.3);
+  EXPECT_NEAR(two.value().cycles, 2 * full.value().cycles,
+              0.1 * full.value().cycles);
+}
+
+TEST(GpuEngine, BitIdenticalAcrossThreadCounts) {
+  const auto& device = h800_pcie();
+  auto global = conformance::make_global_image(7);
+  const sm::LaunchConfig config{.threads_per_block = 128,
+                                .total_blocks = 3 * device.sm_count + 5};
+  std::vector<ChipResult> results;
+  for (const int threads : {1, 4, 8, 1}) {  // trailing 1: rerun stability
+    const auto r = GpuEngine(device, {.threads = threads})
+                       .run(memory_kernel(), config, global);
+    ASSERT_TRUE(r.has_value()) << "threads=" << threads;
+    results.push_back(r.value());
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(results[0], results[i]);
+  }
+  EXPECT_GT(results[0].mem_transactions, 0u);
+}
+
+TEST(GpuEngine, FuzzCorpusBitIdenticalAcrossThreads) {
+  // Satellite pin: generated multi-CTA cases — the exact corpus the
+  // campaign draws from — must observe identical registers and timing
+  // whether the engine advances SMs serially or on 4/8 workers.
+  const auto& device = h800_pcie();
+  const conformance::Differ differ(device);
+  conformance::FuzzOptions fuzz;
+  fuzz.max_grid_blocks = 2 * device.sm_count;
+  const conformance::ProgramFuzzer fuzzer(fuzz);
+  const auto global = conformance::make_global_image(11);
+  for (std::uint64_t index = 0; index < 6; ++index) {
+    SCOPED_TRACE(index);
+    const auto fuzz_case = fuzzer.generate(11, index);
+    const auto serial = differ.run_full_chip(fuzz_case, global, 1);
+    for (const int threads : {4, 8}) {
+      const auto parallel = differ.run_full_chip(fuzz_case, global, threads);
+      EXPECT_EQ(serial.chip.cycles, parallel.chip.cycles);
+      EXPECT_EQ(serial.chip.instructions_issued,
+                parallel.chip.instructions_issued);
+      EXPECT_EQ(serial.chip.stall_cycles, parallel.chip.stall_cycles);
+      EXPECT_EQ(serial.chip.epochs, parallel.chip.epochs);
+      EXPECT_EQ(serial.blocks_observed, parallel.blocks_observed);
+      EXPECT_EQ(serial.regs, parallel.regs);
+    }
+  }
+}
+
+TEST(GpuEngine, ObserverSeesEveryBlockExactlyOnce) {
+  // More blocks than SMs with one slot each: the dispatcher must recycle
+  // slots, and every grid block must retire through the observer once.
+  const auto& device = h800_pcie();
+  const int total = 2 * device.sm_count + 17;
+  std::vector<int> seen(static_cast<std::size_t>(total), 0);
+  ChipOptions options;
+  options.max_blocks_per_sm = 1;
+  options.block_observer = [&](int sm, int slot, int block,
+                               const sm::SmCore&) {
+    ASSERT_GE(block, 0);
+    ASSERT_LT(block, total);
+    EXPECT_EQ(slot, 0);
+    EXPECT_LT(sm, device.sm_count);
+    ++seen[static_cast<std::size_t>(block)];
+  };
+  const auto r = GpuEngine(device, std::move(options))
+                     .run(alu_kernel(8), {.threads_per_block = 64,
+                                          .total_blocks = total});
+  ASSERT_TRUE(r.has_value());
+  for (int b = 0; b < total; ++b) EXPECT_EQ(seen[static_cast<std::size_t>(b)], 1) << "block " << b;
+  EXPECT_EQ(r.value().warps_retired, static_cast<std::uint64_t>(2 * total));
+  EXPECT_GT(r.value().waves, 2.0);
+}
+
+TEST(GpuEngine, EpochSizeInvariantForResidentGrids) {
+  // For a grid that fits in one wave there are no epoch-quantised block
+  // launches, so timing must be independent of the barrier interval (the
+  // engine clamps it to the L2 hit latency above that).
+  const auto& device = h800_pcie();
+  auto global = conformance::make_global_image(3);
+  const sm::LaunchConfig config{.threads_per_block = 256,
+                                .total_blocks = device.sm_count};
+  const auto base = GpuEngine(device, {.epoch = 64.0})
+                        .run(memory_kernel(), config, global);
+  ASSERT_TRUE(base.has_value());
+  for (const double epoch : {17.0, 130.0, 1e9}) {
+    const auto r = GpuEngine(device, {.epoch = epoch})
+                       .run(memory_kernel(), config, global);
+    ASSERT_TRUE(r.has_value()) << "epoch=" << epoch;
+    EXPECT_EQ(r.value().cycles, base.value().cycles) << "epoch=" << epoch;
+    EXPECT_EQ(r.value().stall_cycles, base.value().stall_cycles)
+        << "epoch=" << epoch;
+  }
+}
+
+TEST(GpuEngine, SliceCountPreservesStreamingBandwidthShape) {
+  // Consecutive lines interleave across slices, so a streaming kernel's
+  // wall time should be nearly slice-count independent (per-slice ports
+  // are narrower but see proportionally fewer transactions).
+  const auto& device = h800_pcie();
+  auto global = conformance::make_global_image(5);
+  const sm::LaunchConfig config{.threads_per_block = 256,
+                                .total_blocks = device.sm_count};
+  const auto one = GpuEngine(device, {.l2_slices = 1})
+                       .run(memory_kernel(), config, global);
+  const auto eight = GpuEngine(device, {.l2_slices = 8})
+                         .run(memory_kernel(), config, global);
+  ASSERT_TRUE(one.has_value() && eight.has_value());
+  EXPECT_NEAR(eight.value().cycles, one.value().cycles,
+              0.25 * one.value().cycles);
+}
+
+TEST(GpuEngine, RejectsDegenerateLaunches) {
+  const auto& device = h800_pcie();
+  EXPECT_FALSE(GpuEngine(device)
+                   .run(alu_kernel(), {.threads_per_block = 64,
+                                       .total_blocks = 0})
+                   .has_value());
+  EXPECT_FALSE(GpuEngine(device)
+                   .run(alu_kernel(), {.threads_per_block = 2048,
+                                       .total_blocks = 1})
+                   .has_value());
+}
+
+TEST(GpuLaunch, FullChipModeReportsWaves) {
+  const auto& device = h800_pcie();
+  const sm::LaunchConfig config{.threads_per_block = 1024,
+                                .total_blocks = 2 * device.sm_count + 1,
+                                .regs_per_thread = 16};
+  const auto rep =
+      launch(device, alu_kernel(), config, sm::LaunchMode::kRepresentative);
+  const auto chip = launch(device, alu_kernel(), config,
+                           sm::LaunchMode::kFullChip);
+  ASSERT_TRUE(rep.has_value() && chip.has_value());
+  EXPECT_EQ(rep.value().waves, 2);
+  EXPECT_EQ(chip.value().waves, 2);
+  EXPECT_GT(chip.value().cycles, 0.0);
+  EXPECT_NEAR(chip.value().seconds,
+              chip.value().cycles / device.clock_hz(), 1e-12);
+}
+
+TEST(GpuEngineCampaign, GridFuzzDifferentialClean) {
+  // Acceptance pin: a 200-case multi-CTA campaign cross-checked against
+  // the reference interpreter, with grids up to twice the chip's one-slot
+  // capacity so dispatcher recycling is constantly exercised.
+  const auto& device = h800_pcie();
+  const conformance::Differ differ(device);
+  conformance::CampaignOptions options;
+  options.seed = 2026;
+  options.count = 200;
+  options.fuzz.max_grid_blocks = 2 * device.sm_count;
+  const auto result = differ.campaign_full_chip(options);
+  EXPECT_TRUE(result.ok())
+      << "failed " << result.failed << "/" << result.cases << ": "
+      << (result.first_failure ? result.first_failure->message : "");
+  EXPECT_EQ(result.cases, 200u);
+  EXPECT_GT(result.instructions, 0u);
+}
+
+}  // namespace
+}  // namespace hsim::gpu

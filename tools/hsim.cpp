@@ -10,8 +10,11 @@
 //   hsim dsm       [cluster-size] [block-threads] [ilp]
 //   hsim trace     <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]
 //                  [--top=N] [--trace-out=trace.json]
+//   hsim chip      <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]
+//                  [--threads=N] [--epoch=E] [--slices=N] [--top=N]
 //   hsim fuzz      <device> [--seed=N] [--count=K] [--threads=N]
 //                  [--no-shrink] [--out=repro.hsim] [--replay=repro.hsim]
+//                  [--full-chip] [--grid-blocks=N]
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -29,6 +32,8 @@
 #include "core/pchase.hpp"
 #include "core/tcbench.hpp"
 #include "dsm/rbc.hpp"
+#include "gpu/gpu_engine.hpp"
+#include "sm/launcher.hpp"
 #include "sm/sm_core.hpp"
 #include "trace/kernels.hpp"
 #include "trace/sinks.hpp"
@@ -49,8 +54,12 @@ int usage() {
       "  dsm [cs] [threads] [ilp]                  SM-to-SM ring copy (H800)\n"
       "  trace <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]\n"
       "        [--top=N] [--trace-out=trace.json]   stall-reason breakdown;\n"
+      "  chip <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]\n"
+      "        [--threads=N] [--epoch=E] [--slices=N] [--top=N]\n"
+      "        full-chip run: every SM simulated against a shared L2 fabric\n"
       "  fuzz <device> [--seed=N] [--count=K] [--threads=N] [--no-shrink]\n"
-      "        [--out=repro.hsim] [--replay=repro.hsim]\n"
+      "        [--out=repro.hsim] [--replay=repro.hsim] [--full-chip]\n"
+      "        [--grid-blocks=N]\n"
       "        differential conformance: reference interpreter vs pipeline\n"
       "  (trace kernels:)\n";
   for (const auto name : trace::trace_kernel_names()) {
@@ -355,11 +364,113 @@ int cmd_trace(const arch::DeviceSpec& device,
   return 0;
 }
 
+int cmd_chip(const arch::DeviceSpec& device,
+             const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& kernel_name = args[0];
+  std::uint32_t iters = 256;
+  int warps = 0;   // 0 = kernel default
+  int blocks = 0;  // 0 = one block per SM
+  int top_n = 10;
+  gpu::ChipOptions chip_options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto value_of = [&](std::string_view prefix) -> const char* {
+      return arg.compare(0, prefix.size(), prefix) == 0
+                 ? arg.c_str() + prefix.size()
+                 : nullptr;
+    };
+    if (const char* v = value_of("--iters=")) {
+      iters = static_cast<std::uint32_t>(std::max(1, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--warps=")) {
+      warps = std::atoi(v);
+      continue;
+    }
+    if (const char* v = value_of("--blocks=")) {
+      blocks = std::atoi(v);
+      continue;
+    }
+    if (const char* v = value_of("--threads=")) {
+      chip_options.threads = std::max(1, std::atoi(v));
+      continue;
+    }
+    if (const char* v = value_of("--epoch=")) {
+      chip_options.epoch = std::max(1.0, std::atof(v));
+      continue;
+    }
+    if (const char* v = value_of("--slices=")) {
+      chip_options.l2_slices = std::max(1, std::atoi(v));
+      continue;
+    }
+    if (const char* v = value_of("--top=")) {
+      top_n = std::max(1, std::atoi(v));
+      continue;
+    }
+    std::cerr << "unknown option: " << arg << "\n";
+    return usage();
+  }
+
+  auto kernel = trace::make_trace_kernel(kernel_name, iters);
+  if (!kernel) {
+    std::cerr << "unknown kernel: " << kernel_name << "\n";
+    return usage();
+  }
+  sm::LaunchConfig config;
+  config.threads_per_block =
+      warps > 0 ? warps * 32 : kernel.value().threads_per_block;
+  config.total_blocks = blocks > 0 ? blocks : device.sm_count;
+
+  trace::AggregatingSink agg;
+  chip_options.trace = &agg;
+  const gpu::GpuEngine engine(device, std::move(chip_options));
+  const auto result = engine.run(kernel.value().program, config);
+  if (!result) {
+    std::cerr << result.error().to_string() << "\n";
+    return 1;
+  }
+  const auto& chip = result.value();
+
+  double min_sm = chip.per_sm.empty() ? 0.0 : chip.per_sm.front().cycles;
+  double max_sm = 0;
+  double sum_sm = 0;
+  for (const auto& sm : chip.per_sm) {
+    min_sm = std::min(min_sm, sm.cycles);
+    max_sm = std::max(max_sm, sm.cycles);
+    sum_sm += sm.cycles;
+  }
+  const double mean_sm =
+      chip.per_sm.empty() ? 0.0 : sum_sm / static_cast<double>(chip.per_sm.size());
+
+  std::cout << device.name << " :: " << kernel.value().name << " — "
+            << kernel.value().description << "\n"
+            << "  full chip: " << chip.sms << " SMs x " << chip.block_slots
+            << " block slot(s), " << config.total_blocks << " block(s), "
+            << fmt_fixed(chip.waves, 2) << " wave(s), " << chip.epochs
+            << " epoch barrier(s)\n"
+            << "  " << fmt_fixed(chip.cycles, 0) << " cycles ("
+            << fmt_fixed(chip.seconds * 1e6, 1) << " us), "
+            << chip.instructions_issued << " instructions (chip IPC "
+            << fmt_fixed(chip.ipc(), 2) << ")\n"
+            << "  per-SM finish: min " << fmt_fixed(min_sm, 0) << " / mean "
+            << fmt_fixed(mean_sm, 0) << " / max " << fmt_fixed(max_sm, 0)
+            << " cycles\n"
+            << "  " << chip.mem_transactions << " memory transaction(s), "
+            << chip.warps_retired << " warp(s) retired\n\n";
+  const double slot_cycles =
+      static_cast<double>(chip.instructions_issued) + agg.stall_cycles();
+  agg.write_summary(std::cout, slot_cycles, top_n);
+  return 0;
+}
+
 int cmd_fuzz(const arch::DeviceSpec& device,
              const std::vector<std::string>& args) {
   conformance::CampaignOptions options;
   options.count = 100;
   bool shrink_given = false;
+  bool full_chip = false;
+  int grid_blocks = 0;  // 0 = 2 * sm_count under --full-chip
   std::string out_path;
   std::string replay_path;
   for (const auto& arg : args) {
@@ -396,10 +507,24 @@ int cmd_fuzz(const arch::DeviceSpec& device,
       replay_path = v;
       continue;
     }
+    if (arg == "--full-chip") {
+      full_chip = true;
+      continue;
+    }
+    if (const char* v = value_of("--grid-blocks=")) {
+      grid_blocks = std::max(1, std::atoi(v));
+      continue;
+    }
     std::cerr << "unknown option: " << arg << "\n";
     return usage();
   }
   (void)shrink_given;  // --shrink is the (default) opposite of --no-shrink
+  if (full_chip) {
+    // Multi-CTA grids up to twice the chip's one-slot capacity, so the
+    // dispatcher's block recycling is part of every case.
+    options.fuzz.max_grid_blocks =
+        grid_blocks > 0 ? grid_blocks : 2 * device.sm_count;
+  }
 
   const conformance::Differ differ(device);
 
@@ -418,7 +543,9 @@ int cmd_fuzz(const arch::DeviceSpec& device,
     }
     const auto global =
         conformance::make_global_image(repro.value().fuzz_case.base_seed);
-    const auto report = differ.diff(repro.value().fuzz_case, global);
+    const auto report =
+        full_chip ? differ.diff_full_chip(repro.value().fuzz_case, global)
+                  : differ.diff(repro.value().fuzz_case, global);
     std::cout << device.name << " replay of " << replay_path << " (seed "
               << repro.value().fuzz_case.base_seed << ", case "
               << repro.value().fuzz_case.index << "): "
@@ -432,8 +559,10 @@ int cmd_fuzz(const arch::DeviceSpec& device,
     return 0;
   }
 
-  const auto result = differ.campaign(options);
-  std::cout << device.name << " fuzz: " << result.cases << " cases, seed "
+  const auto result =
+      full_chip ? differ.campaign_full_chip(options) : differ.campaign(options);
+  std::cout << device.name << (full_chip ? " full-chip" : "")
+            << " fuzz: " << result.cases << " cases, seed "
             << options.seed << " — " << (result.cases - result.failed)
             << " passed, " << result.failed << " failed ("
             << result.instructions << " instructions, "
@@ -446,9 +575,11 @@ int cmd_fuzz(const arch::DeviceSpec& device,
             << failure.message << "\n"
             << "shrunk to " << failure.shrunk.program.size()
             << " instruction(s)\n";
+  const auto shrunk_global = conformance::make_global_image(options.seed);
   const auto repro = conformance::to_repro(
       failure.shrunk, device.name,
-      differ.diff(failure.shrunk, conformance::make_global_image(options.seed))
+      (full_chip ? differ.diff_full_chip(failure.shrunk, shrunk_global)
+                 : differ.diff(failure.shrunk, shrunk_global))
           .summary());
   if (!out_path.empty()) {
     std::ofstream os(out_path);
@@ -489,7 +620,7 @@ int main(int argc, char** argv) {
   // command names the accepted set instead of complaining about devices.
   static constexpr std::string_view kCommands[] = {
       "devices", "pchase", "bandwidth", "sass", "tc",
-      "dpx",     "dsm",    "trace",     "fuzz"};
+      "dpx",     "dsm",    "trace",     "chip", "fuzz"};
   if (std::find(std::begin(kCommands), std::end(kCommands), command) ==
       std::end(kCommands)) {
     std::cerr << "unknown command: " << command << "\naccepted commands:";
@@ -524,6 +655,7 @@ int main(int argc, char** argv) {
     return cmd_dpx(*device.value(), rest[0]);
   }
   if (command == "trace") return cmd_trace(*device.value(), rest);
+  if (command == "chip") return cmd_chip(*device.value(), rest);
   if (command == "fuzz") return cmd_fuzz(*device.value(), rest);
   return usage();
 }

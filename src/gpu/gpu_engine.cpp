@@ -46,6 +46,10 @@ class BufferSink final : public trace::TraceSink {
 /// (issue_time, sm, seq) order.
 struct Ticket {
   enum class Kind : std::uint8_t { kLatency, kThroughput };
+  // A throughput ticket covers at most one 128-byte line (possibly
+  // unaligned by up to a sector), so its L1-missing sectors fit inline —
+  // keeping the per-epoch ticket buffers free of per-ticket heap blocks.
+  static constexpr std::size_t kMaxMissSectors = 8;
   Kind kind = Kind::kLatency;
   double issue_time = 0;
   std::uint64_t seq = 0;  // per-SM issue order (ties within one cycle)
@@ -56,7 +60,8 @@ struct Ticket {
   double l1_done = 0;    // throughput path: local L1-port completion
   double tlb_extra = 0;  // latency path: TLB walk penalty already known
   bool tlb_miss = false;
-  std::vector<std::uint64_t> miss_sectors;  // sectors that missed the L1
+  std::uint32_t miss_count = 0;  // sectors that missed the L1
+  std::array<std::uint64_t, kMaxMissSectors> miss_sectors{};
   mem::DeferredFixup fixup;
   bool has_fixup = false;
 };
@@ -140,21 +145,27 @@ class SmPath final : public mem::MemPath {
     }
 
     const auto sector = static_cast<std::uint32_t>(m.sector_bytes);
-    std::vector<std::uint64_t> missing;
+    std::array<std::uint64_t, Ticket::kMaxMissSectors> missing{};
+    std::uint32_t miss_count = 0;
     for (std::uint64_t a = addr / sector * sector; a < addr + bytes;
          a += sector) {
       bool l1_hit = false;
       if (space == mem::MemSpace::kGlobalCa) {
         l1_hit = l1_.access(a) == mem::CacheOutcome::kHit;
       }
-      if (!l1_hit) missing.push_back(a);
+      if (!l1_hit) {
+        HSIM_ASSERT_MSG(miss_count < Ticket::kMaxMissSectors,
+                        "warp transaction spans >%zu sectors (bytes=%u)",
+                        Ticket::kMaxMissSectors, bytes);
+        missing[miss_count++] = a;
+      }
     }
 
     const double l1_duration =
         static_cast<double>(bytes) / l1_width(access_bytes);
     const double done =
         l1_port_.issue(now, l1_duration, l1_duration + m.l1_hit_latency);
-    if (missing.empty()) {
+    if (miss_count == 0) {
       last_ = mem::AccessClass{mem::MemLevel::kL1, false};
       if (trace_ != nullptr) {
         trace_->on_event({trace::EventKind::kExecute, stall_reason_of(last_),
@@ -166,7 +177,7 @@ class SmPath final : public mem::MemPath {
 
     pending_ = true;
     last_ = mem::AccessClass{mem::MemLevel::kL2, false};  // provisional
-    Ticket ticket;
+    Ticket& ticket = tickets_.emplace_back();
     ticket.kind = Ticket::Kind::kThroughput;
     ticket.issue_time = now;
     ticket.seq = seq_++;
@@ -175,8 +186,8 @@ class SmPath final : public mem::MemPath {
     ticket.bytes = bytes;
     ticket.access_bytes = access_bytes;
     ticket.l1_done = done;
-    ticket.miss_sectors = std::move(missing);
-    tickets_.push_back(std::move(ticket));
+    ticket.miss_count = miss_count;
+    ticket.miss_sectors = missing;
     return kInf;
   }
 
@@ -196,15 +207,19 @@ class SmPath final : public mem::MemPath {
     return covered;
   }
 
-  /// Drain the epoch's tickets (engine side, at the barrier).
-  std::vector<Ticket> take_tickets() {
+  /// The epoch's tickets (engine side, at the barrier).  The engine reads
+  /// them in place and calls clear_tickets() once resolved, so the buffer's
+  /// capacity is reused epoch over epoch.
+  [[nodiscard]] std::span<const Ticket> epoch_tickets() const {
     HSIM_ASSERT_MSG(first_unattached_ == tickets_.size(),
                     "sm %d: %zu tickets left unattached at the barrier",
                     sm_id_, tickets_.size() - first_unattached_);
-    std::vector<Ticket> out = std::move(tickets_);
+    return tickets_;
+  }
+
+  void clear_tickets() {
     tickets_.clear();
     first_unattached_ = 0;
-    return out;
   }
 
   void warm(std::uint64_t base, std::uint64_t size, mem::MemSpace space) {
@@ -288,8 +303,9 @@ class SliceFabric {
               hit ? mem::MemLevel::kL2 : mem::MemLevel::kDram};
     }
     bool any_dram = false;
-    for (const std::uint64_t a : ticket.miss_sectors) {
-      if (s.l2.access(slice_local(a)) != mem::CacheOutcome::kHit) {
+    for (std::uint32_t i = 0; i < ticket.miss_count; ++i) {
+      if (s.l2.access(slice_local(ticket.miss_sectors[i])) !=
+          mem::CacheOutcome::kHit) {
         any_dram = true;
       }
     }
@@ -477,7 +493,11 @@ Expected<ChipResult> GpuEngine::run(const isa::Program& program,
     int sm = 0;
     int slot = 0;
   };
-  std::vector<Ticket> epoch_tickets;
+  // Barrier scratch, hoisted so the steady state reuses capacity instead of
+  // reallocating per epoch.
+  std::vector<const Ticket*> ticket_order;
+  std::vector<std::uint32_t> bucket_pos;
+  const int buckets = static_cast<int>(std::ceil(epoch)) + 1;
   std::vector<Freed> freed;
   double now = 0;
   int epochs = 0;
@@ -504,32 +524,77 @@ Expected<ChipResult> GpuEngine::run(const isa::Program& program,
     // Barrier: resolve this epoch's shared-fabric traffic serially in
     // (issue_time, sm, seq) order — the arbitration order hardware would
     // see, independent of host threading.
-    epoch_tickets.clear();
+    //
+    // Fast path: issue times within an epoch window land on the window
+    // base + a whole number of cycles whenever block launch times do
+    // (always true for integral epochs, the common case), so a counting
+    // sort over per-cycle buckets replaces the comparison sort.  Visiting
+    // paths in SM order with per-path seq order makes the within-bucket
+    // order exactly the (sm, seq) tie-break.  Any ticket off the integer
+    // grid falls back to the comparison sort — provably the same order.
+    ticket_order.clear();
+    const double window_base = now - epoch;
+    bool bucketable = !options_.sorted_tickets;
+    std::size_t total_tickets = 0;
+    bucket_pos.assign(static_cast<std::size_t>(buckets), 0);
     for (auto& path : paths) {
-      auto drained = path->take_tickets();
-      epoch_tickets.insert(epoch_tickets.end(),
-                           std::make_move_iterator(drained.begin()),
-                           std::make_move_iterator(drained.end()));
-    }
-    std::sort(epoch_tickets.begin(), epoch_tickets.end(),
-              [](const Ticket& a, const Ticket& b) {
-                if (a.issue_time != b.issue_time) {
-                  return a.issue_time < b.issue_time;
-                }
-                if (a.sm != b.sm) return a.sm < b.sm;
-                return a.seq < b.seq;
-              });
-    for (const Ticket& ticket : epoch_tickets) {
-      const SliceFabric::Resolution res = fabric.resolve(ticket);
-      apply_fixup(ticket, res);
-      if (tracing) {
-        buffers[static_cast<std::size_t>(ticket.sm)].on_event(
-            {trace::EventKind::kExecute,
-             stall_reason_of(mem::AccessClass{res.deepest, ticket.tlb_miss}),
-             ticket.issue_time, res.completion - ticket.issue_time, ticket.sm,
-             -1, -1, to_string(res.deepest)});
+      for (const Ticket& ticket : path->epoch_tickets()) {
+        ++total_tickets;
+        if (!bucketable) continue;
+        const double off = ticket.issue_time - window_base;
+        const int k = static_cast<int>(off);
+        if (k < 0 || k >= buckets || static_cast<double>(k) != off) {
+          bucketable = false;
+        } else {
+          ++bucket_pos[static_cast<std::size_t>(k)];
+        }
       }
     }
+    if (total_tickets > 0) {
+      ticket_order.resize(total_tickets);
+      if (bucketable) {
+        std::uint32_t running = 0;
+        for (auto& count : bucket_pos) {
+          const std::uint32_t start = running;
+          running += count;
+          count = start;  // now the bucket's next write position
+        }
+        for (auto& path : paths) {
+          for (const Ticket& ticket : path->epoch_tickets()) {
+            const auto k = static_cast<std::size_t>(
+                static_cast<int>(ticket.issue_time - window_base));
+            ticket_order[bucket_pos[k]++] = &ticket;
+          }
+        }
+      } else {
+        std::size_t i = 0;
+        for (auto& path : paths) {
+          for (const Ticket& ticket : path->epoch_tickets()) {
+            ticket_order[i++] = &ticket;
+          }
+        }
+        std::sort(ticket_order.begin(), ticket_order.end(),
+                  [](const Ticket* a, const Ticket* b) {
+                    if (a->issue_time != b->issue_time) {
+                      return a->issue_time < b->issue_time;
+                    }
+                    if (a->sm != b->sm) return a->sm < b->sm;
+                    return a->seq < b->seq;
+                  });
+      }
+    }
+    for (const Ticket* ticket : ticket_order) {
+      const SliceFabric::Resolution res = fabric.resolve(*ticket);
+      apply_fixup(*ticket, res);
+      if (tracing) {
+        buffers[static_cast<std::size_t>(ticket->sm)].on_event(
+            {trace::EventKind::kExecute,
+             stall_reason_of(mem::AccessClass{res.deepest, ticket->tlb_miss}),
+             ticket->issue_time, res.completion - ticket->issue_time,
+             ticket->sm, -1, -1, to_string(res.deepest)});
+      }
+    }
+    for (auto& path : paths) path->clear_tickets();
     for (auto& core : cores) core->resolve_async_waits();
 
     // Retired blocks: report to the observer, then hand the freed slots to

@@ -44,6 +44,11 @@ struct ChipOptions {
   int l2_slices = 8;
   /// Cap on resident blocks per SM (0 = occupancy-derived).
   int max_blocks_per_sm = 0;
+  /// Force the reference comparison sort for barrier ticket resolution
+  /// instead of the per-cycle counting sort.  Both produce the same
+  /// (issue_time, sm, seq) order — this toggle exists so the perf-identity
+  /// suite can pin that bit-for-bit.
+  bool sorted_tickets = false;
   /// Merged event stream (per-SM buffers, stable-sorted by cycle at the
   /// end of the run).  Null disables tracing entirely.
   trace::TraceSink* trace = nullptr;

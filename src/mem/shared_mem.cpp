@@ -1,6 +1,7 @@
 #include "mem/shared_mem.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 namespace hsim::mem {
@@ -13,8 +14,37 @@ SharedMemory::SharedMemory(std::uint64_t size_bytes, int banks, int bank_word_by
 int SharedMemory::conflict_degree(std::span<const std::uint32_t> byte_addrs) const {
   if (byte_addrs.empty()) return 1;
   // For each bank, count *distinct* words (broadcast of one word is free).
-  // Lane counts are tiny (<= 32), so linear scans of small vectors beat any
-  // hash structure here.
+  // This sits on the SM issue hot loop, so the common case (a warp's worth
+  // of lanes against <= 64 banks) dedups into fixed stack buffers; a linear
+  // scan over <= 64 entries beats any hash or heap structure here.
+  constexpr std::size_t kStackAddrs = 64;
+  if (byte_addrs.size() <= kStackAddrs &&
+      banks_ <= static_cast<int>(kStackAddrs)) {
+    std::array<std::uint32_t, kStackAddrs> uniq_words;
+    std::array<std::uint8_t, kStackAddrs> uniq_banks;
+    std::size_t uniq = 0;
+    for (const std::uint32_t addr : byte_addrs) {
+      const std::uint32_t word = addr / static_cast<std::uint32_t>(word_bytes_);
+      bool seen = false;
+      for (std::size_t k = 0; k < uniq; ++k) {
+        if (uniq_words[k] == word) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        uniq_words[uniq] = word;
+        uniq_banks[uniq] = static_cast<std::uint8_t>(bank_of(addr));
+        ++uniq;
+      }
+    }
+    std::array<std::uint8_t, kStackAddrs> per_bank{};
+    int degree = 1;
+    for (std::size_t k = 0; k < uniq; ++k) {
+      degree = std::max(degree, static_cast<int>(++per_bank[uniq_banks[k]]));
+    }
+    return degree;
+  }
   std::vector<std::vector<std::uint32_t>> words_per_bank(
       static_cast<std::size_t>(banks_));
   for (const std::uint32_t addr : byte_addrs) {

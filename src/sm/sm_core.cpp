@@ -36,6 +36,17 @@ using trace::StallReason;
 
 }  // namespace
 
+// Async-copy group bookkeeping.  Slots live in a deque so their addresses
+// are stable fixup targets for deferred (full-chip) completions: `known` is
+// the max completion folded in so far, `outstanding` counts tickets still
+// waiting on an epoch-barrier resolution.  Slots are recycled per launch
+// via Warp::async_used rather than destroyed, so the steady state allocates
+// nothing.
+struct SmCore::AsyncSlot {
+  double known = 0;
+  int outstanding = 0;
+};
+
 struct SmCore::Warp {
   int id = 0;
   int block = 0;
@@ -48,21 +59,15 @@ struct SmCore::Warp {
   // What a wait until blocked_until means for stall attribution.
   trace::StallReason block_reason = trace::StallReason::kBarrier;
   double last_issue_cycle = -1;
-  std::vector<double> reg_ready;  // per register
-  // Why a RAW wait on each register would stall (producer classification).
-  std::vector<trace::StallReason> reg_reason;
-  std::vector<std::uint64_t> lanes;  // regs * kLanes
-  // Async-copy group bookkeeping.  Slots live in a deque so their addresses
-  // are stable fixup targets for deferred (full-chip) completions: `known`
-  // is the max completion folded in so far, `outstanding` counts tickets
-  // still waiting on an epoch-barrier resolution.
-  struct AsyncSlot {
-    double known = 0;
-    int outstanding = 0;
-  };
+  // Scoreboard slices into the core's flat stores (stable addresses).
+  double* reg_ready = nullptr;               // per register
+  trace::StallReason* reg_reason = nullptr;  // producer classification
+  std::uint64_t* lanes = nullptr;            // regs * kLanes
   std::deque<AsyncSlot> async_slots;
+  std::size_t async_used = 0;            // slots handed out this launch
   AsyncSlot* async_open = nullptr;       // accumulating uncommitted copies
   std::vector<AsyncSlot*> async_groups;  // committed groups, FIFO
+  std::size_t async_head = 0;            // FIFO consume position
 
   [[nodiscard]] std::uint64_t& lane(int r, int l) {
     return lanes[static_cast<std::size_t>(r) * kLanes + static_cast<std::size_t>(l)];
@@ -90,13 +95,37 @@ struct SmCore::Units {
   double dsm_bytes_per_clk = 16;
 };
 
+// Everything issue needs that is a pure function of the static instruction,
+// resolved once per program in begin(): operand indices (sources compacted,
+// kRegNone dropped), WAW eligibility, the per-scheduler pipe whose issue
+// slot gates the instruction (already folded for DPX hardware vs. ALU
+// emulation), and the strings/reasons trace attribution would report.
+struct SmCore::MicroOp {
+  isa::Opcode op = isa::Opcode::kNop;
+  int rd = isa::kRegNone;
+  int ra = isa::kRegNone;
+  int rb = isa::kRegNone;
+  int rc = isa::kRegNone;
+  std::int64_t imm = 0;
+  std::uint32_t access_bytes = 4;
+  int num_srcs = 0;
+  std::array<int, 3> srcs{};
+  bool waw_check = false;
+  trace::StallReason busy_reason = trace::StallReason::kStructural;
+  std::array<sim::PipelinedUnit*, 4> pipe{};  // issue gate; null = none
+  std::string_view name;        // mnemonic (static storage, trace-safe)
+  std::string_view busy_where;  // unit name when the pipe gates issue
+};
+
 // A warp parked on cp.async.wait whose groups still had unresolved tickets;
 // resolve_async_waits() turns it into a real blocked_until once the epoch
-// barrier has landed every completion.
+// barrier has landed every completion.  Groups live in the core's
+// wait_groups_ arena ([group_begin, group_begin + group_count)).
 struct SmCore::AsyncWait {
   int warp = 0;
   double floor = 0;  // wait time implied by the already-resolved groups
-  std::vector<Warp::AsyncSlot*> groups;
+  std::uint32_t group_begin = 0;
+  std::uint32_t group_count = 0;
 };
 
 SmCore::SmCore(const arch::DeviceSpec& device, mem::MemPath* mem, int sm_id)
@@ -196,11 +225,83 @@ RunResult SmCore::run(const isa::Program& program, const BlockShape& shape) {
   return finalize();
 }
 
+void SmCore::decode_program(const isa::Program& program) {
+  auto& u = *units_;
+  decoded_.clear();
+  decoded_.reserve(program.size());
+  for (const auto& inst : program.body()) {
+    MicroOp m;
+    m.op = inst.op;
+    m.rd = inst.rd;
+    m.ra = inst.ra;
+    m.rb = inst.rb;
+    m.rc = inst.rc;
+    m.imm = inst.imm;
+    m.access_bytes = inst.access_bytes;
+    for (const int src : {inst.ra, inst.rb, inst.rc}) {
+      if (src != isa::kRegNone) m.srcs[static_cast<std::size_t>(m.num_srcs++)] = src;
+    }
+    m.waw_check = inst.rd != isa::kRegNone && inst.op != isa::Opcode::kClock;
+    m.name = isa::mnemonic(inst.op);
+    switch (isa::unit_of(inst.op)) {
+      case isa::UnitClass::kFma:
+        for (int s = 0; s < 4; ++s) m.pipe[static_cast<std::size_t>(s)] =
+            &u.fma[static_cast<std::size_t>(s)];
+        m.busy_where = "SM.FMA";
+        break;
+      case isa::UnitClass::kAlu:
+        for (int s = 0; s < 4; ++s) m.pipe[static_cast<std::size_t>(s)] =
+            &u.alu[static_cast<std::size_t>(s)];
+        m.busy_where = "SM.ALU";
+        break;
+      case isa::UnitClass::kFp64:
+        m.pipe.fill(&u.fp64);
+        m.busy_where = "SM.FP64";
+        break;
+      case isa::UnitClass::kDpx:
+        // Hardware DPX dispatches to the per-scheduler DPX pipe; on devices
+        // without it the op is ALU-emulated.  Resolving the choice here
+        // keeps the issue gate and execute() permanently in agreement.
+        if (device_.dpx.hardware) {
+          for (int s = 0; s < 4; ++s) m.pipe[static_cast<std::size_t>(s)] =
+              &u.dpx[static_cast<std::size_t>(s)];
+          m.busy_where = "SM.DPX";
+        } else {
+          for (int s = 0; s < 4; ++s) m.pipe[static_cast<std::size_t>(s)] =
+              &u.alu[static_cast<std::size_t>(s)];
+          m.busy_where = "SM.ALU";
+        }
+        break;
+      case isa::UnitClass::kTensor:
+        m.pipe.fill(&u.tensor);
+        m.busy_where = "SM.TC";
+        break;
+      case isa::UnitClass::kLsu:
+        m.pipe.fill(&u.lsu);
+        m.busy_where = "SM.LSU";
+        break;
+      case isa::UnitClass::kDsm:
+        // Remote traffic stalls at the SM's injection port, not the LSU; a
+        // busy port means the SM-to-SM fabric is backed up.
+        m.pipe.fill(&u.dsm);
+        m.busy_where = "SM.DSM";
+        m.busy_reason = StallReason::kDsmHop;
+        break;
+      case isa::UnitClass::kControl:
+        break;
+    }
+    decoded_.push_back(m);
+  }
+}
+
 void SmCore::begin(const isa::Program& program, int block_slots,
                    int threads_per_block) {
   HSIM_ASSERT(!program.empty());
   HSIM_ASSERT(block_slots >= 1 && threads_per_block >= 1);
   program_ = &program;
+  prog_size_ = program.size();
+  prog_iterations_ = program.iterations();
+  decode_program(program);
 
   // Size the register file to what the program touches.
   int max_reg = 0;
@@ -211,13 +312,28 @@ void SmCore::begin(const isa::Program& program, int block_slots,
 
   const int warps_per_block = (threads_per_block + 31) / 32;
   const int total_warps = block_slots * warps_per_block;
+  const auto regs = static_cast<std::size_t>(num_regs_);
+  reg_ready_store_.assign(static_cast<std::size_t>(total_warps) * regs, 0.0);
+  reg_reason_store_.assign(static_cast<std::size_t>(total_warps) * regs,
+                           StallReason::kScoreboardRaw);
+  lane_store_.assign(static_cast<std::size_t>(total_warps) * regs * kLanes, 0);
   warps_.assign(static_cast<std::size_t>(total_warps), Warp{});
+  for (auto& list : sched_warps_) list.clear();
   for (int i = 0; i < total_warps; ++i) {
     auto& w = warps_[static_cast<std::size_t>(i)];
     w.id = i;
     w.block = i / warps_per_block;
     w.scheduler = i % 4;
     w.done = true;  // slots are empty until a block is launched into them
+    w.reg_ready = reg_ready_store_.data() + static_cast<std::size_t>(i) * regs;
+    w.reg_reason = reg_reason_store_.data() + static_cast<std::size_t>(i) * regs;
+    w.lanes = lane_store_.data() + static_cast<std::size_t>(i) * regs * kLanes;
+    sched_warps_[static_cast<std::size_t>(w.scheduler)].push_back(i);
+  }
+  wake_.assign(static_cast<std::size_t>(total_warps), kInf);
+  active_scheds_ = 0;
+  for (const auto& list : sched_warps_) {
+    if (!list.empty()) ++active_scheds_;
   }
   barrier_target_ = warps_per_block;
   result_ = {};
@@ -227,7 +343,13 @@ void SmCore::begin(const isa::Program& program, int block_slots,
   rotate_ = {0, 0, 0, 0};
   block_live_.assign(static_cast<std::size_t>(block_slots), 0);
   block_retire_.assign(static_cast<std::size_t>(block_slots), -1.0);
+  barrier_dirty_.clear();
+  // At most one entry per block slot (barrier_marked_ dedups), so sizing it
+  // here keeps the issue loop allocation-free.
+  barrier_dirty_.reserve(static_cast<std::size_t>(block_slots));
+  barrier_marked_.assign(static_cast<std::size_t>(block_slots), 0);
   async_waits_.clear();
+  wait_groups_.clear();
   access_pending_ = false;
 }
 
@@ -241,6 +363,7 @@ void SmCore::launch_block(int slot, int block_global_id, double at) {
   now_ = std::max(now_, at);
   block_live_[static_cast<std::size_t>(slot)] = warps_per_block;
   block_retire_[static_cast<std::size_t>(slot)] = -1.0;
+  const auto regs = static_cast<std::size_t>(num_regs_);
   for (int j = 0; j < warps_per_block; ++j) {
     auto& w = warps_[static_cast<std::size_t>(slot * warps_per_block + j)];
     w.pc = 0;
@@ -250,10 +373,10 @@ void SmCore::launch_block(int slot, int block_global_id, double at) {
     w.blocked_until = 0;
     w.block_reason = StallReason::kBarrier;
     w.last_issue_cycle = -1;
-    w.reg_ready.assign(static_cast<std::size_t>(num_regs_), 0.0);
-    w.reg_reason.assign(static_cast<std::size_t>(num_regs_),
-                        StallReason::kScoreboardRaw);
-    w.lanes.assign(static_cast<std::size_t>(num_regs_) * kLanes, 0);
+    wake_[static_cast<std::size_t>(w.id)] = 0.0;
+    std::fill_n(w.reg_ready, regs, 0.0);
+    std::fill_n(w.reg_reason, regs, StallReason::kScoreboardRaw);
+    std::fill_n(w.lanes, regs * kLanes, std::uint64_t{0});
     // R0 is preloaded with the *grid* thread id (lane-varying), the way
     // CUDA kernels derive addresses from blockIdx/threadIdx.  For a
     // single-SM run() block_global_id equals the slot, so this reduces to
@@ -266,9 +389,10 @@ void SmCore::launch_block(int slot, int block_global_id, double at) {
               kLanes +
           static_cast<std::uint64_t>(l);
     }
-    w.async_slots.clear();
+    w.async_used = 0;
     w.async_groups.clear();
-    w.async_open = &w.async_slots.emplace_back();
+    w.async_head = 0;
+    w.async_open = acquire_async_slot(w);
     ++live_;
   }
   if (trace_ != nullptr) {
@@ -280,92 +404,260 @@ void SmCore::launch_block(int slot, int block_global_id, double at) {
   }
 }
 
+SmCore::AsyncSlot* SmCore::acquire_async_slot(Warp& warp) {
+  if (warp.async_used < warp.async_slots.size()) {
+    auto& slot = warp.async_slots[warp.async_used++];
+    slot.known = 0;
+    slot.outstanding = 0;
+    return &slot;
+  }
+  ++warp.async_used;
+  return &warp.async_slots.emplace_back();
+}
+
+void SmCore::mark_barrier_dirty(int block) {
+  auto& marked = barrier_marked_[static_cast<std::size_t>(block)];
+  if (marked == 0) {
+    marked = 1;
+    barrier_dirty_.push_back(block);
+  }
+}
+
+// Barrier release: when every live warp of a block is parked at the
+// barrier, release them all on the next cycle.  The condition can only
+// become true when a warp parks or retires, so only blocks marked dirty by
+// those transitions need re-checking.
+void SmCore::release_dirty_barriers() {
+  const int warps_per_block = barrier_target_;
+  for (const int b : barrier_dirty_) {
+    barrier_marked_[static_cast<std::size_t>(b)] = 0;
+    int waiting = 0, alive = 0;
+    for (int i = 0; i < warps_per_block; ++i) {
+      const auto& w = warps_[static_cast<std::size_t>(b * warps_per_block + i)];
+      if (!w.done) ++alive;
+      if (w.at_barrier) ++waiting;
+    }
+    if (alive > 0 && waiting == alive) {
+      for (int i = 0; i < warps_per_block; ++i) {
+        auto& w = warps_[static_cast<std::size_t>(b * warps_per_block + i)];
+        if (w.at_barrier) {
+          w.at_barrier = false;
+          w.blocked_until = now_ + 1;
+          w.block_reason = StallReason::kBarrier;
+          wake_[static_cast<std::size_t>(w.id)] = w.blocked_until;
+        }
+      }
+    }
+  }
+  barrier_dirty_.clear();
+}
+
+// Earliest number of whole cycles to jump, from a cycle where no scheduler
+// issued, such that some warp could clear every issue gate (or `until` is
+// reached).  The frozen state makes this exact: with no issues, no gate
+// time can change, and barrier releases only follow issues.
+double SmCore::idle_step(double until) {
+  double wake = kInf;
+  const std::size_t n = warps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // A cached bound still in the future is exact enough for a minimum: the
+    // true wake can only be later, and landing early just means one normal
+    // (no-issue) cycle followed by a recompute here.
+    if (wake_[i] > now_ + kEps) {
+      wake = std::min(wake, wake_[i]);
+      continue;
+    }
+    const Warp& w = warps_[i];
+    if (w.done || w.at_barrier) {  // normally cached as +inf; self-heal
+      wake_[i] = kInf;
+      continue;
+    }
+    double t = w.blocked_until;
+    const MicroOp& m = decoded_[w.pc];
+    if (const sim::PipelinedUnit* pipe = m.pipe[static_cast<std::size_t>(w.scheduler)];
+        pipe != nullptr) {
+      t = std::max(t, pipe->next_free());
+    }
+    for (int k = 0; k < m.num_srcs; ++k) {
+      t = std::max(t, w.reg_ready[static_cast<std::size_t>(
+                          m.srcs[static_cast<std::size_t>(k)])]);
+    }
+    if (m.waw_check) {
+      t = std::max(t, w.reg_ready[static_cast<std::size_t>(m.rd)]);
+    }
+    wake_[i] = t;
+    wake = std::min(wake, t);
+  }
+  double steps = std::isfinite(wake)
+                     ? std::max(1.0, std::ceil(wake - now_ - kEps))
+                     : kInf;
+  if (std::isfinite(until)) {
+    steps = std::min(steps, std::max(1.0, std::ceil(until - now_ - kEps)));
+  }
+  HSIM_ASSERT_MSG(std::isfinite(steps),
+                  "deadlock: %d live warps, none can ever issue (now=%g)",
+                  live_, now_);
+  return steps;
+}
+
 bool SmCore::advance(double until) {
   HSIM_ASSERT(program_ != nullptr);
-  const isa::Program& program = *program_;
-  const int warps_per_block = barrier_target_;
-  const int total_warps = static_cast<int>(warps_.size());
-
   while (live_ > 0 && now_ + kEps < until) {
     HSIM_ASSERT(now_ < 5e9);  // deadlock guard
 
-    // Barrier release: when every live warp of a block is parked at the
-    // barrier, release them all on the next cycle.
-    for (int b = 0; b * warps_per_block < total_warps; ++b) {
-      int waiting = 0, alive = 0;
-      for (int i = 0; i < warps_per_block; ++i) {
-        const auto& w = warps_[static_cast<std::size_t>(b * warps_per_block + i)];
-        if (!w.done) ++alive;
-        if (w.at_barrier) ++waiting;
-      }
-      if (alive > 0 && waiting == alive) {
-        for (int i = 0; i < warps_per_block; ++i) {
-          auto& w = warps_[static_cast<std::size_t>(b * warps_per_block + i)];
-          if (w.at_barrier) {
-            w.at_barrier = false;
-            w.blocked_until = now_ + 1;
-            w.block_reason = StallReason::kBarrier;
-          }
+    if (!barrier_dirty_.empty()) release_dirty_barriers();
+
+    bool issued_any = false;
+    if (trace_ == nullptr) {
+      for (int s = 0; s < 4; ++s) {
+        if (sched_warps_[static_cast<std::size_t>(s)].empty()) continue;
+        if (step_scheduler_fast(s)) {
+          issued_any = true;
+        } else {
+          ++result_.stall_cycles;
         }
+      }
+    } else {
+      for (int s = 0; s < 4; ++s) {
+        if (sched_warps_[static_cast<std::size_t>(s)].empty()) continue;
+        if (step_scheduler_traced(s)) issued_any = true;
       }
     }
 
-    for (int s = 0; s < 4; ++s) {
-      bool issued = false;
-      // Loose round-robin over this scheduler's warps.
-      int count = 0;
-      for (int i = 0; i < total_warps; ++i) {
-        if (warps_[static_cast<std::size_t>(i)].scheduler == s) ++count;
+    if (!issued_any && cycle_skip_ && trace_ == nullptr && live_ > 0) {
+      const double steps = idle_step(until);
+      if (steps > 1.0) {
+        result_.stall_cycles +=
+            static_cast<std::uint64_t>(steps - 1.0) *
+            static_cast<std::uint64_t>(active_scheds_);
       }
-      if (count == 0) continue;
-      int seen = 0;
-      // Stall attribution for this scheduler slot: the reason the *first*
-      // live candidate (the round-robin head) could not issue.  If every
-      // warp of the scheduler has retired the slot is drain, not a stall.
-      StallReason slot_reason = StallReason::kIdle;
-      std::string_view slot_where = "drain";
-      int slot_warp = -1;
-      for (int step = 0; step < total_warps && !issued; ++step) {
-        const int idx = (rotate_[static_cast<std::size_t>(s)] + step) % total_warps;
-        auto& w = warps_[static_cast<std::size_t>(idx)];
-        if (w.scheduler != s || w.done) continue;
-        ++seen;
-        StallReason why = StallReason::kNone;
-        std::string_view where;
-        if (try_issue(w, now_, program, why, where)) {
-          issued = true;
-          rotate_[static_cast<std::size_t>(s)] = (idx + 1) % total_warps;
-          if (w.done) {
-            --live_;
-            auto& remaining = block_live_[static_cast<std::size_t>(w.block)];
-            if (--remaining == 0) {
-              block_retire_[static_cast<std::size_t>(w.block)] = now_;
-            }
-          }
-        } else if (slot_warp < 0 && why != StallReason::kNone) {
-          slot_warp = w.id;
-          slot_reason = why;
-          slot_where = where;
-        }
-        if (seen >= count) break;
-      }
-      if (!issued) {
-        ++result_.stall_cycles;
-        if (trace_ != nullptr) {
-          trace_->on_event({trace::EventKind::kStall, slot_reason, now_, 1.0,
-                            sm_id_, slot_warp, -1, slot_where});
-        }
-      }
+      now_ += steps;
+    } else {
+      now_ += 1.0;
     }
-    now_ += 1.0;
   }
   return live_ > 0;
 }
 
+// Untraced scheduler step: same candidate order and gate semantics as the
+// traced path, minus all stall attribution.  The issue decision is a
+// conjunction of order-independent gates, so checking them in the cheapest
+// order is safe.
+bool SmCore::step_scheduler_fast(int s) {
+  const auto& list = sched_warps_[static_cast<std::size_t>(s)];
+  const int n = static_cast<int>(list.size());
+  int& rot = rotate_[static_cast<std::size_t>(s)];
+  const double now = now_;
+  for (int step = 0; step < n; ++step) {
+    int p = rot + step;
+    if (p >= n) p -= n;
+    const int wid = list[static_cast<std::size_t>(p)];
+    // Cheapest gate first: a cached wake bound in the future proves the
+    // warp cannot issue without touching its (cold) Warp struct at all.
+    // When a gate below fails, its time is recorded as the new bound — an
+    // exact lower bound on the warp's next issue (gate times only move
+    // forward), so a blocked warp pays one full probe per state change
+    // instead of one per cycle.
+    if (wake_[static_cast<std::size_t>(wid)] > now + kEps) continue;
+    Warp& w = warps_[static_cast<std::size_t>(wid)];
+    if (w.done || w.at_barrier) continue;
+    if (w.blocked_until > now + kEps) {
+      wake_[static_cast<std::size_t>(wid)] = w.blocked_until;
+      continue;
+    }
+    if (w.last_issue_cycle >= now - kEps) continue;
+    const MicroOp& m = decoded_[w.pc];
+    if (const sim::PipelinedUnit* pipe = m.pipe[static_cast<std::size_t>(s)];
+        pipe != nullptr && pipe->next_free() > now + kEps) {
+      wake_[static_cast<std::size_t>(wid)] = pipe->next_free();
+      continue;
+    }
+    bool blocked = false;
+    for (int k = 0; k < m.num_srcs; ++k) {
+      const double ready = w.reg_ready[static_cast<std::size_t>(
+          m.srcs[static_cast<std::size_t>(k)])];
+      if (ready > now + kEps) {
+        wake_[static_cast<std::size_t>(wid)] = ready;
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    if (m.waw_check) {
+      const double ready = w.reg_ready[static_cast<std::size_t>(m.rd)];
+      if (ready > now + kEps) {
+        wake_[static_cast<std::size_t>(wid)] = ready;
+        continue;
+      }
+    }
+    issue_at(w, m, now);
+    rot = p + 1 == n ? 0 : p + 1;
+    if (w.done) {
+      --live_;
+      auto& remaining = block_live_[static_cast<std::size_t>(w.block)];
+      if (--remaining == 0) {
+        block_retire_[static_cast<std::size_t>(w.block)] = now_;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+bool SmCore::step_scheduler_traced(int s) {
+  const auto& list = sched_warps_[static_cast<std::size_t>(s)];
+  const int n = static_cast<int>(list.size());
+  bool issued = false;
+  // Stall attribution for this scheduler slot: the reason the *first*
+  // live candidate (the round-robin head) could not issue.  If every
+  // warp of the scheduler has retired the slot is drain, not a stall.
+  StallReason slot_reason = StallReason::kIdle;
+  std::string_view slot_where = "drain";
+  int slot_warp = -1;
+  for (int step = 0; step < n && !issued; ++step) {
+    int p = rotate_[static_cast<std::size_t>(s)] + step;
+    if (p >= n) p -= n;
+    Warp& w = warps_[static_cast<std::size_t>(list[static_cast<std::size_t>(p)])];
+    if (w.done) continue;
+    StallReason why = StallReason::kNone;
+    std::string_view where;
+    if (try_issue_traced(w, now_, why, where)) {
+      issued = true;
+      rotate_[static_cast<std::size_t>(s)] = p + 1 == n ? 0 : p + 1;
+      if (w.done) {
+        --live_;
+        auto& remaining = block_live_[static_cast<std::size_t>(w.block)];
+        if (--remaining == 0) {
+          block_retire_[static_cast<std::size_t>(w.block)] = now_;
+        }
+      }
+    } else if (slot_warp < 0 && why != StallReason::kNone) {
+      slot_warp = w.id;
+      slot_reason = why;
+      slot_where = where;
+    }
+  }
+  if (!issued) {
+    ++result_.stall_cycles;
+    trace_->on_event({trace::EventKind::kStall, slot_reason, now_, 1.0,
+                      sm_id_, slot_warp, -1, slot_where});
+  }
+  return issued;
+}
+
 void SmCore::resolve_async_waits() {
+  // The epoch barrier that just landed may have patched scoreboard slots
+  // from +inf down to finite times (mem::DeferredFixup), the one event that
+  // can move an issue gate *backwards* — drop every cached wake bound.
+  for (const auto& w : warps_) {
+    wake_[static_cast<std::size_t>(w.id)] =
+        (w.done || w.at_barrier) ? kInf : 0.0;
+  }
   for (const auto& wait : async_waits_) {
     double until = wait.floor;
-    for (const auto* group : wait.groups) {
+    for (std::uint32_t g = 0; g < wait.group_count; ++g) {
+      const AsyncSlot* group =
+          wait_groups_[static_cast<std::size_t>(wait.group_begin + g)];
       HSIM_ASSERT_MSG(group->outstanding == 0,
                       "async group with %d unresolved tickets at barrier",
                       group->outstanding);
@@ -373,8 +665,12 @@ void SmCore::resolve_async_waits() {
     }
     auto& w = warps_[static_cast<std::size_t>(wait.warp)];
     w.blocked_until = until;  // block_reason stays kTmaWait
+    if (!w.done && !w.at_barrier) {
+      wake_[static_cast<std::size_t>(wait.warp)] = until;
+    }
   }
   async_waits_.clear();
+  wait_groups_.clear();
 }
 
 RunResult SmCore::finalize() {
@@ -382,10 +678,8 @@ RunResult SmCore::finalize() {
   // and a warp that retired while parked on an async wait keeps the kernel
   // alive until the wait resolves.
   double finish = now_;
-  for (const auto& w : warps_) {
-    for (const double t : w.reg_ready) finish = std::max(finish, t);
-    finish = std::max(finish, w.blocked_until);
-  }
+  for (const double t : reg_ready_store_) finish = std::max(finish, t);
+  for (const auto& w : warps_) finish = std::max(finish, w.blocked_until);
   // Outstanding store traffic drains before the kernel retires.
   finish = std::max(finish, units_->dsm.next_free());
   finish = std::max(finish, units_->lsu.next_free());
@@ -399,14 +693,10 @@ RunResult SmCore::finalize() {
   return result_;
 }
 
-bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program,
-                       trace::StallReason& why, std::string_view& where) {
-  if (warp.done) {
-    why = StallReason::kNone;
-    return false;
-  }
-  const auto& inst = program.body()[warp.pc];
-  where = isa::mnemonic(inst.op);
+bool SmCore::try_issue_traced(Warp& warp, double now, trace::StallReason& why,
+                              std::string_view& where) {
+  const MicroOp& m = decoded_[warp.pc];
+  where = m.name;
   if (warp.at_barrier) {
     why = StallReason::kBarrier;
     return false;
@@ -422,100 +712,53 @@ bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program,
 
   // Source operands must be ready; a wait inherits the classification of
   // the pending producer (scoreboard, memory level, bank conflict, ...).
-  for (const int src : {inst.ra, inst.rb, inst.rc}) {
-    if (src != isa::kRegNone &&
-        warp.reg_ready[static_cast<std::size_t>(src)] > now + kEps) {
+  for (int k = 0; k < m.num_srcs; ++k) {
+    const int src = m.srcs[static_cast<std::size_t>(k)];
+    if (warp.reg_ready[static_cast<std::size_t>(src)] > now + kEps) {
       why = warp.reg_reason[static_cast<std::size_t>(src)];
       return false;
     }
   }
   // In-order issue: the destination's previous write must have retired
   // enough to rename; we conservatively require WAW ordering.
-  if (inst.rd != isa::kRegNone &&
-      warp.reg_ready[static_cast<std::size_t>(inst.rd)] > now + kEps &&
-      inst.op != isa::Opcode::kClock) {
+  if (m.waw_check &&
+      warp.reg_ready[static_cast<std::size_t>(m.rd)] > now + kEps) {
     why = StallReason::kScoreboardWaw;
     return false;
   }
 
   // Unit availability.
-  why = StallReason::kStructural;
-  auto& u = *units_;
-  const auto sched = static_cast<std::size_t>(warp.scheduler);
-  switch (isa::unit_of(inst.op)) {
-    case isa::UnitClass::kFma:
-      if (u.fma[sched].next_free() > now + kEps) {
-        where = "SM.FMA";
-        return false;
-      }
-      break;
-    case isa::UnitClass::kAlu:
-      if (u.alu[sched].next_free() > now + kEps) {
-        where = "SM.ALU";
-        return false;
-      }
-      break;
-    case isa::UnitClass::kFp64:
-      if (u.fp64.next_free() > now + kEps) {
-        where = "SM.FP64";
-        return false;
-      }
-      break;
-    case isa::UnitClass::kDpx:
-      if (device_.dpx.hardware) {
-        if (u.dpx[sched].next_free() > now + kEps) {
-          where = "SM.DPX";
-          return false;
-        }
-      } else {
-        if (u.alu[sched].next_free() > now + kEps) {
-          where = "SM.ALU";
-          return false;
-        }
-      }
-      break;
-    case isa::UnitClass::kTensor:
-      if (u.tensor.next_free() > now + kEps) {
-        where = "SM.TC";
-        return false;
-      }
-      break;
-    case isa::UnitClass::kLsu:
-      if (u.lsu.next_free() > now + kEps) {
-        where = "SM.LSU";
-        return false;
-      }
-      break;
-    case isa::UnitClass::kDsm:
-      // Remote traffic stalls at the SM's injection port, not the LSU; a
-      // busy port means the SM-to-SM fabric is backed up.
-      if (u.dsm.next_free() > now + kEps) {
-        why = StallReason::kDsmHop;
-        where = "SM.DSM";
-        return false;
-      }
-      break;
-    case isa::UnitClass::kControl:
-      break;
+  if (const sim::PipelinedUnit* pipe =
+          m.pipe[static_cast<std::size_t>(warp.scheduler)];
+      pipe != nullptr && pipe->next_free() > now + kEps) {
+    why = m.busy_reason;
+    where = m.busy_where;
+    return false;
   }
   why = StallReason::kNone;
+  issue_at(warp, m, now);
+  return true;
+}
 
+// Post-gate issue body: functional execute, scoreboard/fixup bookkeeping,
+// trace events, control flow.  Shared by the fast and traced paths.
+void SmCore::issue_at(Warp& warp, const MicroOp& m, double now) {
   value_reason_ = StallReason::kScoreboardRaw;
   access_pending_ = false;
   access_floor_ = now;
-  const double completion = execute(warp, inst, now);
-  if (inst.rd != isa::kRegNone) {
-    warp.reg_ready[static_cast<std::size_t>(inst.rd)] = completion;
-    warp.reg_reason[static_cast<std::size_t>(inst.rd)] = value_reason_;
+  const double completion = execute(warp, m, now);
+  if (m.rd != isa::kRegNone) {
+    warp.reg_ready[static_cast<std::size_t>(m.rd)] = completion;
+    warp.reg_reason[static_cast<std::size_t>(m.rd)] = value_reason_;
   }
   if (access_pending_) {
     // Deferred full-chip access: the provisional completion is +inf; the
     // epoch-barrier resolution patches the scoreboard slot (and the kernel
     // drain tracker) with the arbitrated time.
     mem::DeferredFixup fixup;
-    if (inst.rd != isa::kRegNone) {
-      fixup.time_slot = &warp.reg_ready[static_cast<std::size_t>(inst.rd)];
-      fixup.reason_slot = &warp.reg_reason[static_cast<std::size_t>(inst.rd)];
+    if (m.rd != isa::kRegNone) {
+      fixup.time_slot = &warp.reg_ready[static_cast<std::size_t>(m.rd)];
+      fixup.reason_slot = &warp.reg_reason[static_cast<std::size_t>(m.rd)];
     }
     fixup.floor = access_floor_;
     fixup.drain_slot = &last_completion_;
@@ -537,130 +780,149 @@ bool SmCore::try_issue(Warp& warp, double now, const isa::Program& program,
                             : device_.memory.l2_hit_latency;
     trace_->on_event({trace::EventKind::kIssue, StallReason::kNone, now, span,
                       sm_id_, warp.id, static_cast<std::int32_t>(warp.pc),
-                      isa::mnemonic(inst.op)});
+                      m.name});
   }
 
   // Advance control flow.
-  if (inst.op == isa::Opcode::kExit) {
+  if (m.op == isa::Opcode::kExit) {
     warp.done = true;
     ++result_.warps_retired;
+    mark_barrier_dirty(warp.block);
+    wake_[static_cast<std::size_t>(warp.id)] = kInf;
     if (trace_ != nullptr) {
       trace_->on_event({trace::EventKind::kRetire, StallReason::kNone, now,
                         0.0, sm_id_, warp.id,
                         static_cast<std::int32_t>(warp.pc), "exit"});
     }
-    return true;
+    return;
   }
-  if (inst.op == isa::Opcode::kBarSync) {
+  if (m.op == isa::Opcode::kBarSync) {
     warp.at_barrier = true;
+    mark_barrier_dirty(warp.block);
   }
   ++warp.pc;
-  if (warp.pc >= program.size()) {
+  if (warp.pc >= prog_size_) {
     warp.pc = 0;
     ++warp.iteration;
-    if (warp.iteration >= program.iterations()) {
+    if (warp.iteration >= prog_iterations_) {
       warp.done = true;
       ++result_.warps_retired;
+      mark_barrier_dirty(warp.block);
       if (trace_ != nullptr) {
         trace_->on_event({trace::EventKind::kRetire, StallReason::kNone, now,
                           0.0, sm_id_, warp.id,
-                          static_cast<std::int32_t>(program.size() - 1),
+                          static_cast<std::int32_t>(prog_size_ - 1),
                           "retire"});
       }
     }
   }
-  return true;
+  // Refresh the cached wake bound for the *next* instruction: the dual-issue
+  // gate forbids a reissue this cycle and blocked_until is already final for
+  // this issue, so max(now + 1, blocked_until) is an exact lower bound (the
+  // next instruction's operands can only push it later).
+  wake_[static_cast<std::size_t>(warp.id)] =
+      (warp.done || warp.at_barrier) ? kInf
+                                     : std::max(now + 1.0, warp.blocked_until);
 }
 
-double SmCore::execute(Warp& warp, const isa::Instruction& inst, double now) {
+double SmCore::execute(Warp& warp, const MicroOp& m, double now) {
   using isa::Opcode;
-  auto& u = *units_;
   const auto sched = static_cast<std::size_t>(warp.scheduler);
 
-  const auto src = [&](int r, int l) -> std::uint64_t {
-    return r == isa::kRegNone ? 0 : warp.lane(r, l);
+  // Unreferenced operands read from a shared zero block so the lane loop is
+  // three contiguous streams with no per-lane branches or index math.
+  static constexpr std::array<std::uint64_t, kLanes> kZeroLanes{};
+  const auto lanes_of = [&](int r) -> const std::uint64_t* {
+    return r == isa::kRegNone
+               ? kZeroLanes.data()
+               : warp.lanes + static_cast<std::size_t>(r) * kLanes;
   };
   const auto for_lanes = [&](auto&& fn) {
-    if (inst.rd == isa::kRegNone) return;
+    if (m.rd == isa::kRegNone) return;
+    const std::uint64_t* pa = lanes_of(m.ra);
+    const std::uint64_t* pb = lanes_of(m.rb);
+    const std::uint64_t* pc = lanes_of(m.rc);
+    std::uint64_t* pd = warp.lanes + static_cast<std::size_t>(m.rd) * kLanes;
     for (int l = 0; l < kLanes; ++l) {
-      warp.lane(inst.rd, l) = fn(src(inst.ra, l), src(inst.rb, l), src(inst.rc, l));
+      pd[l] = fn(pa[l], pb[l], pc[l]);
     }
   };
 
-  switch (inst.op) {
+  switch (m.op) {
     case Opcode::kNop:
       return now;
     case Opcode::kMov:
       for_lanes([&](std::uint64_t, std::uint64_t, std::uint64_t) {
-        return static_cast<std::uint64_t>(inst.imm);
+        return static_cast<std::uint64_t>(m.imm);
       });
-      return u.alu[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kIAdd3:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
         return a + b + c;
       });
-      return u.alu[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kIMad:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
         return a * b + c;
       });
-      return u.alu[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kIMnMx:
       for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t) {
         const auto x = as_s32(a), y = as_s32(b);
         return static_cast<std::uint64_t>(
-            static_cast<std::uint32_t>((inst.imm & 1) ? std::max(x, y) : std::min(x, y)));
+            static_cast<std::uint32_t>((m.imm & 1) ? std::max(x, y) : std::min(x, y)));
       });
-      return u.alu[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kVIMnMx: {
-      // Hopper fused DPX op: rd = minmax(ra + rb, rc), optional relu.
+      // Hopper fused DPX op: rd = minmax(ra + rb, rc), optional relu.  The
+      // pre-decoded pipe already folded hardware-DPX vs. ALU emulation.
       for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
         const std::int64_t sum =
             static_cast<std::int64_t>(as_s32(a)) + static_cast<std::int64_t>(as_s32(b));
         const auto clamped = static_cast<std::int32_t>(
             std::clamp<std::int64_t>(sum, std::numeric_limits<std::int32_t>::min(),
                                      std::numeric_limits<std::int32_t>::max()));
-        std::int32_t r = (inst.imm & 1) ? std::max(clamped, as_s32(c))
-                                        : std::min(clamped, as_s32(c));
-        if (inst.imm & 2) r = std::max(r, 0);
+        std::int32_t r = (m.imm & 1) ? std::max(clamped, as_s32(c))
+                                     : std::min(clamped, as_s32(c));
+        if (m.imm & 2) r = std::max(r, 0);
         return static_cast<std::uint64_t>(static_cast<std::uint32_t>(r));
       });
-      return device_.dpx.hardware ? u.dpx[sched].issue(now) : u.alu[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     }
     case Opcode::kLop3:
       for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-        switch (inst.imm) {
+        switch (m.imm) {
           case 1: return a | b;
           case 2: return a ^ b;
           default: return a & b;
         }
       });
-      return u.alu[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kShf:
       for_lanes([&](std::uint64_t a, std::uint64_t, std::uint64_t) {
-        return a << (inst.imm & 63);
+        return a << (m.imm & 63);
       });
-      return u.alu[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kPopc:
       for_lanes([](std::uint64_t a, std::uint64_t, std::uint64_t) {
         return static_cast<std::uint64_t>(std::popcount(a));
       });
-      return u.alu[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kFAdd:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
         return from_f32(as_f32(a) + as_f32(b));
       });
-      return u.fma[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kFMul:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
         return from_f32(as_f32(a) * as_f32(b));
       });
-      return u.fma[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kFFma:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
         return from_f32(as_f32(a) * as_f32(b) + as_f32(c));
       });
-      return u.fma[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kHAdd2:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
         using num::fp16;
@@ -673,24 +935,24 @@ double SmCore::execute(Warp& warp, const isa::Instruction& inst, double now) {
         }
         return out;
       });
-      return u.fma[sched].issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kDAdd:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
         return from_f64(as_f64(a) + as_f64(b));
       });
-      return u.fp64.issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kDMul:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
         return from_f64(as_f64(a) * as_f64(b));
       });
-      return u.fp64.issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kHMma:
       // Fragment math stands in as a per-lane FP32 FMA; the timing is the
       // calibrated tensor-core cadence/latency.
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
         return from_f32(as_f32(a) * as_f32(b) + as_f32(c));
       });
-      return u.tensor.issue(now);
+      return m.pipe[sched]->issue(now);
     case Opcode::kClock:
       for_lanes([&](std::uint64_t, std::uint64_t, std::uint64_t) {
         return static_cast<std::uint64_t>(now);
@@ -702,33 +964,35 @@ double SmCore::execute(Warp& warp, const isa::Instruction& inst, double now) {
       return now;
     case Opcode::kCpAsyncCommit:
       warp.async_groups.push_back(warp.async_open);
-      warp.async_open = &warp.async_slots.emplace_back();
+      warp.async_open = acquire_async_slot(warp);
       return now;
     case Opcode::kCpAsyncWait: {
       // cp.async.wait_group N: wait until at most N groups are in flight.
-      const auto keep = static_cast<std::size_t>(std::max<std::int64_t>(inst.imm, 0));
+      const auto keep = static_cast<std::size_t>(std::max<std::int64_t>(m.imm, 0));
       double wait_until = now;
-      std::vector<Warp::AsyncSlot*> unresolved;
-      while (warp.async_groups.size() > keep) {
-        Warp::AsyncSlot* group = warp.async_groups.front();
-        warp.async_groups.erase(warp.async_groups.begin());
+      const auto group_begin = static_cast<std::uint32_t>(wait_groups_.size());
+      while (warp.async_groups.size() - warp.async_head > keep) {
+        AsyncSlot* group = warp.async_groups[warp.async_head++];
         if (group->outstanding > 0) {
-          unresolved.push_back(group);  // value lands at the next barrier
+          wait_groups_.push_back(group);  // value lands at the next barrier
         } else {
           wait_until = std::max(wait_until, group->known);
         }
       }
-      if (unresolved.empty()) {
+      const auto group_count =
+          static_cast<std::uint32_t>(wait_groups_.size()) - group_begin;
+      if (group_count == 0) {
         warp.blocked_until = wait_until;
       } else {
         warp.blocked_until = kInf;
-        async_waits_.push_back(AsyncWait{warp.id, wait_until, std::move(unresolved)});
+        async_waits_.push_back(
+            AsyncWait{warp.id, wait_until, group_begin, group_count});
       }
       warp.block_reason = StallReason::kTmaWait;
       return wait_until;
     }
     default:
-      return memory_op(warp, inst, now);
+      return memory_op(warp, m, now);
   }
 }
 
@@ -751,7 +1015,7 @@ void SmCore::fold_async(Warp& warp, double ready, bool pending) {
   }
 }
 
-double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
+double SmCore::memory_op(Warp& warp, const MicroOp& m, double now) {
   using isa::Opcode;
   auto& u = *units_;
   ++result_.mem_transactions;
@@ -760,8 +1024,8 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
   std::array<std::uint64_t, kLanes> addrs{};
   for (int l = 0; l < kLanes; ++l) {
     addrs[static_cast<std::size_t>(l)] =
-        (inst.ra == isa::kRegNone ? 0 : warp.lane(inst.ra, l)) +
-        static_cast<std::uint64_t>(inst.imm);
+        (m.ra == isa::kRegNone ? 0 : warp.lane(m.ra, l)) +
+        static_cast<std::uint64_t>(m.imm);
   }
 
   const auto load_word = [&](std::uint64_t addr) -> std::uint64_t {
@@ -770,7 +1034,7 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
     return 0;
   };
 
-  switch (inst.op) {
+  switch (m.op) {
     case Opcode::kTmaLoad: {
       // Bulk tensor copy: the TMA engine, not the threads, generates the
       // addresses — only the block's elected warp issues it, and it costs a
@@ -778,13 +1042,13 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
       const int warps_per_block = std::max(barrier_target_, 1);
       if (warp.id % warps_per_block != 0) return now + 1;  // non-elected: nop
       u.lsu.issue(now);
-      const auto bytes = static_cast<std::uint32_t>(std::max<std::int64_t>(inst.imm, 32));
+      const auto bytes = static_cast<std::uint32_t>(std::max<std::int64_t>(m.imm, 32));
       double completion;
       bool pending = false;
       if (mem_ == nullptr) {
         completion = now + device_.memory.dram_latency;
       } else {
-        const std::uint64_t base = inst.ra == isa::kRegNone ? 0 : warp.lane(inst.ra, 0);
+        const std::uint64_t base = m.ra == isa::kRegNone ? 0 : warp.lane(m.ra, 0);
         completion = now;
         // The engine streams the box in 128-byte lines straight to smem.
         for (std::uint32_t off = 0; off < bytes; off += 128) {
@@ -806,14 +1070,14 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
     case Opcode::kLdgCg:
     case Opcode::kStg:
     case Opcode::kCpAsync: {
-      const auto space = inst.op == Opcode::kLdgCa || inst.op == Opcode::kCpAsync
+      const auto space = m.op == Opcode::kLdgCa || m.op == Opcode::kCpAsync
                              ? mem::MemSpace::kGlobalCa
                              : mem::MemSpace::kGlobalCg;
       // Functional load.
-      if (inst.rd != isa::kRegNone &&
-          (inst.op == Opcode::kLdgCa || inst.op == Opcode::kLdgCg)) {
+      if (m.rd != isa::kRegNone &&
+          (m.op == Opcode::kLdgCa || m.op == Opcode::kLdgCg)) {
         for (int l = 0; l < kLanes; ++l) {
-          warp.lane(inst.rd, l) = load_word(addrs[static_cast<std::size_t>(l)]);
+          warp.lane(m.rd, l) = load_word(addrs[static_cast<std::size_t>(l)]);
         }
       }
       u.lsu.issue(now);  // LSU dispatch slot
@@ -836,7 +1100,7 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
           }
           if (!seen) lines[static_cast<std::size_t>(num_lines++)] = line;
         }
-        if (num_lines == 1 && inst.access_bytes <= 8) {
+        if (num_lines == 1 && m.access_bytes <= 8) {
           // Dependent/narrow access: pure latency path.
           completion = mem_->load(sm_id_, addrs[0], space, now).ready_time;
           value_reason_ = mem::stall_reason_of(mem_->last_access());
@@ -850,7 +1114,7 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
             const std::uint64_t base = lines[static_cast<std::size_t>(j)] * 128;
             const double t =
                 mem_->warp_transaction(sm_id_, base, 128,
-                                       static_cast<int>(inst.access_bytes), space, now);
+                                       static_cast<int>(m.access_bytes), space, now);
             if (mem_->last_pending()) {
               access_pending_ = true;
             } else {
@@ -863,7 +1127,7 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
           value_reason_ = mem::stall_reason_of(mem::AccessClass{deepest, false});
         }
       }
-      if (inst.op == Opcode::kCpAsync) {
+      if (m.op == Opcode::kCpAsync) {
         // Asynchronous: the warp is not blocked; completion lands in the
         // open async group (plus the shared-memory write hop).
         const double finite = access_pending_ ? access_floor_ : completion;
@@ -892,33 +1156,33 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
       const auto src_val = [&](int r, int l) -> std::uint64_t {
         return r == isa::kRegNone ? 0 : warp.lane(r, l);
       };
-      if (inst.op == Opcode::kLds && inst.rd != isa::kRegNone) {
+      if (m.op == Opcode::kLds && m.rd != isa::kRegNone) {
         for (int l = 0; l < kLanes; ++l) {
-          warp.lane(inst.rd, l) = smem.load_u32(byte_addrs[static_cast<std::size_t>(l)]);
+          warp.lane(m.rd, l) = smem.load_u32(byte_addrs[static_cast<std::size_t>(l)]);
         }
-      } else if (inst.op == Opcode::kSts && inst.ra != isa::kRegNone) {
+      } else if (m.op == Opcode::kSts && m.ra != isa::kRegNone) {
         for (int l = 0; l < kLanes; ++l) {
           smem.store_u32(byte_addrs[static_cast<std::size_t>(l)],
-                         static_cast<std::uint32_t>(src_val(inst.rb, l)));
+                         static_cast<std::uint32_t>(src_val(m.rb, l)));
         }
-      } else if (inst.op == Opcode::kAtomSharedAdd) {
+      } else if (m.op == Opcode::kAtomSharedAdd) {
         for (int l = 0; l < kLanes; ++l) {
           const auto old = smem.atomic_add_u32(
               byte_addrs[static_cast<std::size_t>(l)],
-              static_cast<std::uint32_t>(src_val(inst.rb, l)));
-          if (inst.rd != isa::kRegNone) warp.lane(inst.rd, l) = old;
+              static_cast<std::uint32_t>(src_val(m.rb, l)));
+          if (m.rd != isa::kRegNone) warp.lane(m.rd, l) = old;
         }
       }
       return completion;
     }
     case Opcode::kMapa:
       // Address mapping is a cheap ALU-class operation.
-      if (inst.rd != isa::kRegNone) {
+      if (m.rd != isa::kRegNone) {
         for (int l = 0; l < kLanes; ++l) {
-          warp.lane(inst.rd, l) = addrs[static_cast<std::size_t>(l)];
+          warp.lane(m.rd, l) = addrs[static_cast<std::size_t>(l)];
         }
       }
-      return u.alu[static_cast<std::size_t>(warp.scheduler)].issue(now);
+      return m.pipe[static_cast<std::size_t>(warp.scheduler)]->issue(now);
     case Opcode::kLdsRemote:
     case Opcode::kStsRemote:
     case Opcode::kAtomRemoteAdd: {
@@ -928,7 +1192,7 @@ double SmCore::memory_op(Warp& warp, const isa::Instruction& inst, double now) {
         return u.lsu.issue(now, 1.0, device_.memory.l2_hit_latency);
       }
       value_reason_ = StallReason::kDsmHop;
-      const double bytes = 32.0 * static_cast<double>(inst.access_bytes);
+      const double bytes = 32.0 * static_cast<double>(m.access_bytes);
       const double ii = bytes / units_->dsm_bytes_per_clk;
       return u.dsm.issue(now, ii, ii + units_->dsm_lat);
     }

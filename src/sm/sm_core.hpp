@@ -127,14 +127,37 @@ class SmCore {
   void set_trace(trace::TraceSink* sink);
   [[nodiscard]] trace::TraceSink* trace() const noexcept { return trace_; }
 
+  /// Event-driven idle skipping: when no scheduler can issue and no sink is
+  /// attached, jump straight to the next cycle any warp could become
+  /// issuable (crediting the skipped scheduler slots as stall cycles).
+  /// Bit-identical to stepping cycle by cycle — pinned by the perf-identity
+  /// suite, which uses this toggle to compare both paths.  Tracing always
+  /// steps cycle by cycle so per-cycle kStall events stay exact.
+  void set_cycle_skip(bool enabled) noexcept { cycle_skip_ = enabled; }
+  [[nodiscard]] bool cycle_skip() const noexcept { return cycle_skip_; }
+
  private:
   struct Warp;
   struct Units;
+  struct AsyncSlot;
+  // One statically-decoded instruction: everything about issuing it that is
+  // a pure function of the opcode/operands (source list, WAW eligibility,
+  // per-scheduler issue pipe, stall attribution strings) is resolved once
+  // in begin() instead of once per dynamic instruction.
+  struct MicroOp;
 
-  bool try_issue(Warp& warp, double now, const isa::Program& program,
-                 trace::StallReason& why, std::string_view& where);
-  double execute(Warp& warp, const isa::Instruction& inst, double now);
-  double memory_op(Warp& warp, const isa::Instruction& inst, double now);
+  void decode_program(const isa::Program& program);
+  bool step_scheduler_fast(int s);
+  bool step_scheduler_traced(int s);
+  bool try_issue_traced(Warp& warp, double now, trace::StallReason& why,
+                        std::string_view& where);
+  void issue_at(Warp& warp, const MicroOp& m, double now);
+  void mark_barrier_dirty(int block);
+  void release_dirty_barriers();
+  double idle_step(double until);  // cycles to jump when nothing issued
+  AsyncSlot* acquire_async_slot(Warp& warp);
+  double execute(Warp& warp, const MicroOp& m, double now);
+  double memory_op(Warp& warp, const MicroOp& m, double now);
   void fold_async(Warp& warp, double ready, bool pending);
 
   const arch::DeviceSpec& device_;
@@ -150,17 +173,46 @@ class SmCore {
   trace::TraceSink* trace_ = nullptr;
   // Incremental-run state (begin/advance); run() drives the same loop.
   const isa::Program* program_ = nullptr;
+  std::vector<MicroOp> decoded_;  // one per static instruction, from begin()
+  std::size_t prog_size_ = 0;
+  std::uint32_t prog_iterations_ = 1;
   int num_regs_ = 0;
   double now_ = 0;
   int live_ = 0;
+  bool cycle_skip_ = true;
+  // Scoreboard storage, struct-of-arrays: one flat block per kind, sized in
+  // begin() and never resized, so per-register addresses handed to
+  // mem::DeferredFixup stay stable for the lifetime of the run.  Each Warp
+  // holds raw pointers at its slice.
+  std::vector<double> reg_ready_store_;
+  std::vector<trace::StallReason> reg_reason_store_;
+  std::vector<std::uint64_t> lane_store_;
+  // Loose round-robin state, one warp-id list per scheduler (ascending
+  // ids); rotate_ is a position in that list.
+  std::array<std::vector<int>, 4> sched_warps_;
+  // Per-warp cached lower bound on the next possible issue time, indexed by
+  // warp id (+inf while done or parked at a barrier).  Kept flat so the
+  // scheduler probe and the idle-step scan touch one contiguous array
+  // instead of one Warp struct per candidate.  Every issue gate only moves
+  // forward in time between the events that reset the bound (own issue,
+  // barrier release, launch, and the epoch-barrier fixup pass via
+  // resolve_async_waits), so a stale entry can only under-estimate — which
+  // costs a rescan but never skips an issue.
+  std::vector<double> wake_;
   std::array<int, 4> rotate_{0, 0, 0, 0};
+  int active_scheds_ = 0;  // schedulers with at least one resident warp
   std::vector<int> block_live_;       // live warps per slot
   std::vector<double> block_retire_;  // retire time per slot (< 0: running)
+  // Blocks whose barrier-release condition may have changed (a warp parked
+  // at the barrier or retired); re-checked at the top of the next cycle.
+  std::vector<int> barrier_dirty_;
+  std::vector<std::uint8_t> barrier_marked_;
   // Deferred-access bookkeeping for full-chip mode (see mem::DeferredFixup).
   bool access_pending_ = false;   // most recent memory_op left open tickets
   double access_floor_ = 0;       // finite local part of that access
   struct AsyncWait;
   std::vector<AsyncWait> async_waits_;
+  std::vector<AsyncSlot*> wait_groups_;  // arena backing AsyncWait groups
   // Why a wait on the value most recently produced by execute() would
   // stall: scoreboard for ALU pipes, a memory level for loads, bank
   // conflict for serialised shared accesses, DSM hop for remote traffic.

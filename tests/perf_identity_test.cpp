@@ -1,0 +1,359 @@
+// Bit-identity pins for the hot-path engine optimisations.
+//
+// The fast paths introduced by the pre-decode / zero-alloc / bucket-
+// resolution rework all keep a reference twin in-tree:
+//   * SmCore::set_cycle_skip(false) forces the original cycle-by-cycle
+//     stepping instead of event-driven idle skipping;
+//   * gpu::ChipOptions::sorted_tickets forces the original comparison sort
+//     for epoch-barrier ticket resolution instead of the counting sort.
+// These tests pin the optimised defaults byte-for-byte against those
+// reference paths on the paper's kernel shapes (Tables 4/5/7, Fig. 7), a
+// 200-case fuzz campaign, and a full-chip grid — plus the zero-allocation
+// steady-state contract of the issue loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "conformance/fuzzer.hpp"
+#include "dpx/functions.hpp"
+#include "gpu/gpu_engine.hpp"
+#include "mem/memory_system.hpp"
+#include "sm/sm_core.hpp"
+#include "trace/trace.hpp"
+
+// Global allocation counter (same pattern as pipeline_test): the issue
+// loop's steady state must allocate nothing, so allocation counts across an
+// advance() window must be exactly zero once the launch is warm.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hsim {
+namespace {
+
+constexpr int kLanes = 32;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class CollectingSink final : public trace::TraceSink {
+ public:
+  void on_event(const trace::Event& event) override {
+    events_.push_back(event);
+  }
+  [[nodiscard]] const std::vector<trace::Event>& events() const {
+    return events_;
+  }
+
+ private:
+  std::vector<trace::Event> events_;
+};
+
+int highest_reg(const isa::Program& program) {
+  int max_reg = 0;
+  for (const auto& inst : program.body()) {
+    max_reg = std::max({max_reg, inst.rd, inst.ra, inst.rb, inst.rc});
+  }
+  return max_reg;
+}
+
+struct Observation {
+  sm::RunResult result;
+  std::vector<std::uint64_t> regs;  // warp-major, all regs, all lanes
+};
+
+void expect_identical(const Observation& a, const Observation& b,
+                      const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.result.cycles, b.result.cycles);
+  EXPECT_EQ(a.result.instructions_issued, b.result.instructions_issued);
+  EXPECT_EQ(a.result.stall_cycles, b.result.stall_cycles);
+  EXPECT_EQ(a.result.mem_transactions, b.result.mem_transactions);
+  EXPECT_EQ(a.result.warps_retired, b.result.warps_retired);
+  EXPECT_EQ(a.regs, b.regs);
+}
+
+/// Run `program` on a fresh SmCore (fresh MemorySystem when `with_mem`) and
+/// snapshot the RunResult plus every architectural register lane.
+Observation observe(const arch::DeviceSpec& device, const isa::Program& program,
+                    const sm::BlockShape& shape, bool with_mem, bool skip,
+                    trace::TraceSink* sink = nullptr) {
+  std::unique_ptr<mem::MemorySystem> mem;
+  if (with_mem) mem = std::make_unique<mem::MemorySystem>(device, 1);
+  sm::SmCore core(device, mem.get());
+  core.set_cycle_skip(skip);
+  core.set_trace(sink);
+  Observation obs;
+  obs.result = core.run(program, shape);
+  const int regs = highest_reg(program) + 1;
+  for (int w = 0; w < shape.total_warps(); ++w) {
+    for (int r = 0; r < regs; ++r) {
+      for (int l = 0; l < kLanes; ++l) {
+        obs.regs.push_back(core.reg(w, r, l));
+      }
+    }
+  }
+  return obs;
+}
+
+// --- paper-shaped kernels ---------------------------------------------------
+
+// Table 4 shape: one warp chasing a dependent global-load chain.
+isa::Program table4_latency_kernel() {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kLdgCg, .rd = 1, .ra = 1, .access_bytes = 4});
+  p.set_iterations(512);
+  return p;
+}
+
+// Table 5 shape: streaming loads + stores from many warps.
+isa::Program table5_throughput_kernel() {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kLdgCa, .rd = 2, .ra = 0, .access_bytes = 16});
+  p.add({.op = isa::Opcode::kIAdd3, .rd = 3, .ra = 2, .rb = 2});
+  p.add({.op = isa::Opcode::kStg, .ra = 0, .rb = 3, .access_bytes = 16});
+  p.set_iterations(32);
+  return p;
+}
+
+// Table 7 shape: back-to-back tensor-core MMA issue.
+isa::Program table7_mma_kernel() {
+  isa::Program p;
+  for (int i = 0; i < 4; ++i) {
+    p.add({.op = isa::Opcode::kHMma, .rd = 8 + i, .ra = 1, .rb = 2, .rc = 8 + i});
+  }
+  p.set_iterations(64);
+  return p;
+}
+
+// Fig. 7 shape: eight independent hardware-DPX chains per warp.
+isa::Program fig7_dpx_kernel(const arch::DeviceSpec& device) {
+  isa::Program p;
+  for (int c = 0; c < 8; ++c) {
+    dpx::append(p, dpx::Func::kViMax3S32, 20 + c, 1, 2, 3,
+                device.dpx.hardware, 40 + 8 * c);
+  }
+  p.set_iterations(64);
+  return p;
+}
+
+// Barrier-heavy shape: compute phases separated by BAR.SYNC, plus shared
+// traffic, so barrier parking/release and the dirty-block path are hit.
+isa::Program barrier_kernel() {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kIAdd3, .rd = 4, .ra = 0, .rb = 0});
+  p.add({.op = isa::Opcode::kSts, .ra = 0, .rb = 4, .access_bytes = 4});
+  p.add({.op = isa::Opcode::kBarSync});
+  p.add({.op = isa::Opcode::kLds, .rd = 5, .ra = 0, .access_bytes = 4});
+  p.add({.op = isa::Opcode::kFFma, .rd = 6, .ra = 5, .rb = 5, .rc = 6});
+  p.set_iterations(16);
+  return p;
+}
+
+// cp.async triple: the AsyncSlot arena and group FIFO under commit/wait.
+// Addresses are fixed (no R0 dependence) so a relaunched block touches the
+// same, already-warm memory structures as the first.
+isa::Program async_kernel() {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kCpAsync, .rd = 2, .access_bytes = 16});
+  p.add({.op = isa::Opcode::kCpAsyncCommit});
+  p.add({.op = isa::Opcode::kCpAsyncWait, .imm = 0});
+  p.add({.op = isa::Opcode::kLds, .rd = 3, .imm = 128, .access_bytes = 4});
+  p.set_iterations(8);
+  return p;
+}
+
+struct NamedKernel {
+  const char* name;
+  isa::Program program;
+  sm::BlockShape shape;
+  bool with_mem;
+};
+
+std::vector<NamedKernel> paper_kernels(const arch::DeviceSpec& device) {
+  std::vector<NamedKernel> kernels;
+  kernels.push_back({"table4_latency", table4_latency_kernel(),
+                     {.threads_per_block = 32, .blocks = 1}, true});
+  kernels.push_back({"table5_throughput", table5_throughput_kernel(),
+                     {.threads_per_block = 256, .blocks = 2}, true});
+  kernels.push_back({"table7_mma", table7_mma_kernel(),
+                     {.threads_per_block = 128, .blocks = 1}, false});
+  kernels.push_back({"fig7_dpx", fig7_dpx_kernel(device),
+                     {.threads_per_block = 1024, .blocks = 1}, false});
+  kernels.push_back({"barrier", barrier_kernel(),
+                     {.threads_per_block = 128, .blocks = 2}, true});
+  kernels.push_back({"cp_async", async_kernel(),
+                     {.threads_per_block = 64, .blocks = 1}, true});
+  return kernels;
+}
+
+// --- tests ------------------------------------------------------------------
+
+// Event-driven idle skipping must be invisible in every architectural
+// output: cycles, counters, and all register lanes, on every paper shape.
+TEST(PerfIdentity, CycleSkipMatchesCycleByCycleOnPaperKernels) {
+  const auto& device = arch::h800_pcie();
+  for (auto& k : paper_kernels(device)) {
+    const auto fast = observe(device, k.program, k.shape, k.with_mem, true);
+    const auto slow = observe(device, k.program, k.shape, k.with_mem, false);
+    expect_identical(fast, slow, k.name);
+  }
+}
+
+// Attaching a trace sink steps cycle-by-cycle and stages events, but must
+// not change the simulation itself; issue events must match the counter.
+TEST(PerfIdentity, TracingDoesNotPerturbResults) {
+  const auto& device = arch::h800_pcie();
+  for (auto& k : paper_kernels(device)) {
+    CollectingSink sink;
+    const auto plain = observe(device, k.program, k.shape, k.with_mem, true);
+    const auto traced =
+        observe(device, k.program, k.shape, k.with_mem, true, &sink);
+    expect_identical(plain, traced, k.name);
+    std::uint64_t issues = 0;
+    for (const auto& e : sink.events()) {
+      if (e.kind == trace::EventKind::kIssue) ++issues;
+    }
+    EXPECT_EQ(issues, traced.result.instructions_issued) << k.name;
+  }
+}
+
+// 200 generated programs (ALU/FP/DPX/tensor/loads/shared/barriers/async),
+// each pinned skip-vs-noskip byte-for-byte.
+TEST(PerfIdentity, FuzzCampaign200SkipIdentity) {
+  const auto& device = arch::h800_pcie();
+  conformance::ProgramFuzzer fuzzer;
+  const auto global = conformance::make_global_image(0x5eed);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto fuzz = fuzzer.generate(0x5eed, i);
+    Observation obs[2];
+    for (int skip = 0; skip < 2; ++skip) {
+      mem::MemorySystem mem(device, 1);
+      sm::SmCore core(device, &mem);
+      core.set_cycle_skip(skip == 1);
+      auto image = global;
+      core.bind_global(image);
+      obs[skip].result = core.run(fuzz.program, fuzz.shape);
+      const int regs = highest_reg(fuzz.program) + 1;
+      for (int w = 0; w < fuzz.shape.total_warps(); ++w) {
+        for (int r = 0; r < regs; ++r) {
+          for (int l = 0; l < kLanes; ++l) {
+            obs[skip].regs.push_back(core.reg(w, r, l));
+          }
+        }
+      }
+    }
+    expect_identical(obs[1], obs[0],
+                     ("fuzz case " + std::to_string(i)).c_str());
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+void expect_chip_identical(const gpu::ChipResult& a, const gpu::ChipResult& b,
+                           const char* label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.block_slots, b.block_slots);
+  EXPECT_EQ(a.instructions_issued, b.instructions_issued);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+  EXPECT_EQ(a.mem_transactions, b.mem_transactions);
+  EXPECT_EQ(a.warps_retired, b.warps_retired);
+  ASSERT_EQ(a.per_sm.size(), b.per_sm.size());
+  for (std::size_t i = 0; i < a.per_sm.size(); ++i) {
+    EXPECT_EQ(a.per_sm[i].cycles, b.per_sm[i].cycles) << "sm " << i;
+    EXPECT_EQ(a.per_sm[i].instructions_issued, b.per_sm[i].instructions_issued)
+        << "sm " << i;
+    EXPECT_EQ(a.per_sm[i].stall_cycles, b.per_sm[i].stall_cycles) << "sm " << i;
+  }
+}
+
+// The counting-sort ticket resolution must order every epoch's tickets
+// exactly as the reference (issue_time, sm, seq) comparison sort — pinned
+// on a grid with global + shared traffic and slot recycling, across thread
+// counts.
+TEST(PerfIdentity, FullChipBucketResolutionMatchesSortedReference) {
+  const auto& device = arch::h800_pcie();
+  isa::Program p;
+  p.add({.op = isa::Opcode::kLdgCg, .rd = 2, .ra = 0, .access_bytes = 8});
+  p.add({.op = isa::Opcode::kIAdd3, .rd = 3, .ra = 2, .rb = 2});
+  p.add({.op = isa::Opcode::kVIMnMx, .rd = 4, .ra = 3, .rb = 2, .rc = 0,
+         .imm = 1});
+  p.add({.op = isa::Opcode::kStg, .ra = 0, .rb = 4, .access_bytes = 8});
+  p.set_iterations(4);
+  const sm::LaunchConfig config{.threads_per_block = 64,
+                                .total_blocks = device.sm_count + 3,
+                                .smem_per_block = 0,
+                                .regs_per_thread = 16};
+
+  gpu::ChipOptions bucketed;
+  bucketed.threads = 1;
+  gpu::ChipOptions sorted;
+  sorted.threads = 1;
+  sorted.sorted_tickets = true;
+  gpu::ChipOptions sorted_mt;
+  sorted_mt.threads = 3;
+  sorted_mt.sorted_tickets = true;
+
+  const auto a = gpu::GpuEngine(device, bucketed).run(p, config);
+  const auto b = gpu::GpuEngine(device, sorted).run(p, config);
+  const auto c = gpu::GpuEngine(device, sorted_mt).run(p, config);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(c.has_value());
+  expect_chip_identical(a.value(), b.value(), "bucket vs sorted");
+  expect_chip_identical(a.value(), c.value(), "bucket vs sorted, 3 threads");
+}
+
+// Steady-state zero-allocation contract: once a block is launched, the
+// issue loop (scheduler scan, idle skip, scoreboard, pipelined units) runs
+// to completion without a single heap allocation.
+TEST(PerfIdentity, IssueLoopSteadyStateAllocatesNothing) {
+  const auto& device = arch::h800_pcie();
+  const auto program = fig7_dpx_kernel(device);
+  sm::SmCore core(device, nullptr);
+  core.begin(program, 1, 1024);
+  core.launch_block(0, 0, 0.0);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  core.advance(kInf);
+  const auto result = core.finalize();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(result.warps_retired, 32u);
+}
+
+// AsyncSlot recycling: relaunching a drained block slot reuses the per-warp
+// async-group arena, so the second block's cp.async traffic allocates
+// nothing (the first launch may size deques, caches, and TLB structures).
+TEST(PerfIdentity, AsyncSlotsRecycleAcrossBlockRelaunch) {
+  const auto& device = arch::h800_pcie();
+  const auto program = async_kernel();
+  mem::MemorySystem mem(device, 1);
+  sm::SmCore core(device, &mem);
+  core.begin(program, 1, 64);
+  core.launch_block(0, 0, 0.0);
+  core.advance(kInf);
+  ASSERT_EQ(core.live_warps(), 0);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  core.launch_block(0, 1, core.now());
+  core.advance(kInf);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(core.live_warps(), 0);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(core.finalize().warps_retired, 4u);
+}
+
+}  // namespace
+}  // namespace hsim

@@ -10,7 +10,25 @@
 
 #include "bench/bench_util.hpp"
 #include "core/pchase.hpp"
+#include "prof/pmu.hpp"
 #include "trace/sinks.hpp"
+
+namespace {
+
+/// Chase measurement plus the PMU block its loads were counted into.
+struct ProfiledChase {
+  hsim::core::PChaseResult result;
+  hsim::prof::PmuCounters pmu;
+};
+
+std::string hit_rate(const hsim::prof::PmuCounters& pmu,
+                     hsim::prof::Counter hits, hsim::prof::Counter accesses) {
+  const double total = pmu.get(accesses);
+  if (total <= 0.0) return "-";
+  return hsim::fmt_fixed(100.0 * pmu.get(hits) / total, 1) + "%";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hsim;
@@ -33,7 +51,7 @@ int main(int argc, char** argv) {
   sim::CycleReport report;
   const auto results = sim::sweep(
       kRows * kDevices,
-      [&](sim::SweepContext& ctx) -> std::optional<core::PChaseResult> {
+      [&](sim::SweepContext& ctx) -> std::optional<ProfiledChase> {
         const auto& row = rows[ctx.index() / kDevices];
         const auto* device = devices[ctx.index() % kDevices];
         core::PChaseConfig config;
@@ -43,6 +61,10 @@ int main(int argc, char** argv) {
         // cycle report alongside the port-occupancy sample.
         trace::AggregatingSink agg;
         config.sink = &agg;
+        // Count the chase's sector traffic too: the companion table shows
+        // the hit rates the profiler attributes to each level.
+        ProfiledChase chase;
+        config.pmu = &chase.pmu;
         auto result = core::pchase(*device, row.level, config);
         if (!result) return std::nullopt;
         ctx.record(result.value().usage);
@@ -50,7 +72,8 @@ int main(int argc, char** argv) {
           ctx.record(agg.to_cycle_sample(result.value().usage.label + ".trace",
                                          result.value().usage.total_cycles));
         }
-        return std::move(result).value();
+        chase.result = std::move(result).value();
+        return chase;
       },
       bench::sweep_options(opt), &report);
   const auto cell = [&](std::size_t row, std::size_t dev) {
@@ -63,7 +86,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{rows[r].label};
     for (std::size_t d = 0; d < kDevices; ++d) {
       const auto& result = cell(r, d);
-      cells.push_back(result ? fmt_fixed(result->avg_latency_cycles, 1) : "err");
+      cells.push_back(
+          result ? fmt_fixed(result->result.avg_latency_cycles, 1) : "err");
     }
     table.add_row(std::move(cells));
   }
@@ -77,11 +101,37 @@ int main(int argc, char** argv) {
     const auto& l2 = cell(2, d);
     const auto& dram = cell(3, d);
     if (!l1 || !l2 || !dram) continue;
-    ratios.add_row({devices[d]->name,
-                    fmt_fixed(l2->avg_latency_cycles / l1->avg_latency_cycles, 2),
-                    fmt_fixed(dram->avg_latency_cycles / l2->avg_latency_cycles, 2)});
+    ratios.add_row(
+        {devices[d]->name,
+         fmt_fixed(l2->result.avg_latency_cycles / l1->result.avg_latency_cycles,
+                   2),
+         fmt_fixed(
+             dram->result.avg_latency_cycles / l2->result.avg_latency_cycles,
+             2)});
   }
   bench::emit(ratios, opt);
+
+  // Profiler view of the same chases: where the dependent loads actually
+  // hit.  An L1 chase should be ~100% L1-resident, the L2 chase should
+  // miss L1 and hit L2, and the global chase should fall through to DRAM
+  // (low L2 hit rate) — the counters make the row labels checkable.
+  Table counters("Profiler counters: hit rates seen by each chase (H800)");
+  counters.set_header({"Type", "L1 hit", "L2 hit", "TLB miss"});
+  constexpr std::size_t kH800 = 2;  // column index in `devices`
+  for (std::size_t r = 0; r < kRows; ++r) {
+    const auto& result = cell(r, kH800);
+    if (!result) continue;
+    const auto& pmu = result->pmu;
+    counters.add_row(
+        {rows[r].label,
+         hit_rate(pmu, prof::Counter::kL1SectorHits,
+                  prof::Counter::kL1SectorAccesses),
+         hit_rate(pmu, prof::Counter::kL2SectorHits,
+                  prof::Counter::kL2SectorAccesses),
+         hit_rate(pmu, prof::Counter::kTlbMisses,
+                  prof::Counter::kTlbAccesses)});
+  }
+  bench::emit(counters, opt);
   bench::write_report(report, opt, argv[0]);
   return 0;
 }

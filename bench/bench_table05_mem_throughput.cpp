@@ -11,6 +11,7 @@
 #include "bench/bench_util.hpp"
 #include "core/membench.hpp"
 #include "gpu/gpu_engine.hpp"
+#include "prof/pmu.hpp"
 
 namespace {
 
@@ -22,6 +23,12 @@ struct Point {
   Kind kind;
   const arch::DeviceSpec* device;
   core::AccessKind access;
+};
+
+/// Stream measurement plus the PMU block its accesses were counted into.
+struct ProfiledStream {
+  core::ThroughputResult result;
+  prof::PmuCounters pmu;
 };
 
 /// Unrolled 16-byte streaming loads, every warp on a disjoint slice of a
@@ -99,24 +106,30 @@ int main(int argc, char** argv) {
   sim::CycleReport report;
   const auto results = sim::sweep(
       points.size(),
-      [&](sim::SweepContext& ctx) -> std::optional<core::ThroughputResult> {
+      [&](sim::SweepContext& ctx) -> std::optional<ProfiledStream> {
         const auto& point = points[ctx.index()];
+        ProfiledStream stream;
         Expected<core::ThroughputResult> result = [&] {
           switch (point.kind) {
             case Kind::kL1:
-              return core::measure_l1_throughput(*point.device, point.access);
+              return core::measure_l1_throughput(*point.device, point.access,
+                                                 &stream.pmu);
             case Kind::kL2:
-              return core::measure_l2_throughput(*point.device, point.access);
+              return core::measure_l2_throughput(*point.device, point.access,
+                                                 &stream.pmu);
             case Kind::kShared:
-              return core::measure_shared_throughput(*point.device);
+              return core::measure_shared_throughput(*point.device,
+                                                     &stream.pmu);
             case Kind::kGlobal:
             default:
-              return core::measure_global_throughput(*point.device);
+              return core::measure_global_throughput(*point.device,
+                                                     &stream.pmu);
           }
         }();
         if (!result) return std::nullopt;
         ctx.record(result.value().usage);
-        return std::move(result).value();
+        stream.result = std::move(result).value();
+        return stream;
       },
       bench::sweep_options(opt), &report);
 
@@ -141,7 +154,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{devices[d]->name};
     for (std::size_t k = 0; k < kKinds; ++k) {
       const auto& r = l1_cell(d, k);
-      cells.push_back(r ? fmt_fixed(r->bytes_per_clk, 1) : "err");
+      cells.push_back(r ? fmt_fixed(r->result.bytes_per_clk, 1) : "err");
     }
     l1.add_row(std::move(cells));
   }
@@ -153,7 +166,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{devices[d]->name};
     for (std::size_t k = 0; k < kKinds; ++k) {
       const auto& r = l2_cell(d, k);
-      cells.push_back(r ? fmt_fixed(r->bytes_per_clk, 1) : "err");
+      cells.push_back(r ? fmt_fixed(r->result.bytes_per_clk, 1) : "err");
     }
     l2.add_row(std::move(cells));
   }
@@ -171,16 +184,45 @@ int main(int argc, char** argv) {
     if (!shared || !global || !l2a || !l2b) continue;
     // The paper quotes the best L2 figure against global bandwidth at the
     // official boost clock.
-    const double l2_best = std::max(l2a->bytes_per_clk, l2b->bytes_per_clk);
+    const double l2_best =
+        std::max(l2a->result.bytes_per_clk, l2b->result.bytes_per_clk);
     const double global_bpc =
-        global->gbps * 1e9 / device->official_clock_hz();
+        global->result.gbps * 1e9 / device->official_clock_hz();
     const double ratio = l2_best / global_bpc;
-    rest.add_row({device->name, fmt_fixed(shared->bytes_per_clk, 1),
-                  fmt_fixed(global->gbps, 1),
-                  fmt_fixed(global->gbps / device->memory.dram_peak_gbps, 3),
-                  fmt_fixed(ratio, 2) + "x"});
+    rest.add_row(
+        {device->name, fmt_fixed(shared->result.bytes_per_clk, 1),
+         fmt_fixed(global->result.gbps, 1),
+         fmt_fixed(global->result.gbps / device->memory.dram_peak_gbps, 3),
+         fmt_fixed(ratio, 2) + "x"});
   }
   bench::emit(rest, opt);
+
+  // Profiler view of the FP32 streams: the counters confirm what each row
+  // claims to measure — the L1 stream stays cache-resident, the L2 stream
+  // misses L1 but hits L2, the global stream falls through to DRAM.
+  Table counters(
+      "Profiler counters: FP32 stream residency (hit % / DRAM sectors)");
+  counters.set_header({"Device", "L1 run: L1 hit", "L2 run: L2 hit",
+                       "Global run: L2 hit", "Global run: DRAM sectors"});
+  const auto pct = [](double num, double den) {
+    return den > 0.0 ? fmt_fixed(100.0 * num / den, 1) + "%" : "-";
+  };
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    const auto& l1 = l1_cell(d, 0);
+    const auto& l2 = l2_cell(d, 0);
+    const auto& global = global_cell(d);
+    if (!l1 || !l2 || !global) continue;
+    counters.add_row(
+        {devices[d]->name,
+         pct(l1->pmu.get(prof::Counter::kL1SectorHits),
+             l1->pmu.get(prof::Counter::kL1SectorAccesses)),
+         pct(l2->pmu.get(prof::Counter::kL2SectorHits),
+             l2->pmu.get(prof::Counter::kL2SectorAccesses)),
+         pct(global->pmu.get(prof::Counter::kL2SectorHits),
+             global->pmu.get(prof::Counter::kL2SectorAccesses)),
+         fmt_fixed(global->pmu.get(prof::Counter::kDramSectors), 0)});
+  }
+  bench::emit(counters, opt);
 
   if (opt.full_chip) {
     // Full-chip cross-check: all SMs streaming concurrently through the

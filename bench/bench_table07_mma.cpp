@@ -10,7 +10,18 @@
 
 #include "bench/bench_util.hpp"
 #include "core/tcbench.hpp"
+#include "prof/pmu.hpp"
 #include "trace/sinks.hpp"
+
+namespace {
+
+/// Tensor-core measurement plus the PMU block its issues were counted into.
+struct ProfiledTc {
+  hsim::core::TcBenchResult result;
+  hsim::prof::PmuCounters pmu;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hsim;
@@ -38,7 +49,7 @@ int main(int argc, char** argv) {
   sim::CycleReport report;
   const auto results = sim::sweep(
       kRows * kDevices * 2,
-      [&](sim::SweepContext& ctx) -> std::optional<core::TcBenchResult> {
+      [&](sim::SweepContext& ctx) -> std::optional<ProfiledTc> {
         const std::size_t r = ctx.index() / (kDevices * 2);
         const std::size_t d = (ctx.index() / 2) % kDevices;
         const bool sparse = (ctx.index() % 2) != 0;
@@ -54,8 +65,10 @@ int main(int argc, char** argv) {
         // Trace the dependent-latency chain: the stall breakdown (scoreboard
         // vs cadence cycles) merges into the cycle report deterministically.
         trace::AggregatingSink agg;
+        ProfiledTc tc;
         core::TcBenchConfig config;
         config.sink = &agg;
+        config.pmu = &tc.pmu;  // count the throughput pass's tensor issues
         auto result = core::bench_tc(instr, *devices[d], config);
         if (!result) return std::nullopt;
         ctx.record(result.value().usage);
@@ -67,7 +80,8 @@ int main(int argc, char** argv) {
                                          agg.stall_cycles() +
                                              agg.issue_cycles()));
         }
-        return std::move(result).value();
+        tc.result = std::move(result).value();
+        return tc;
       },
       bench::sweep_options(opt), &report);
   const auto cell = [&](std::size_t r, std::size_t d, bool sparse) {
@@ -87,11 +101,11 @@ int main(int argc, char** argv) {
     for (std::size_t d = 0; d < kDevices; ++d) {
       const auto& dense = cell(r, d, false);
       const auto& sparse = cell(r, d, true);
-      cells.push_back(dense ? fmt_lat_tput(dense->latency_cycles,
-                                           dense->tflops_rand)
+      cells.push_back(dense ? fmt_lat_tput(dense->result.latency_cycles,
+                                           dense->result.tflops_rand)
                             : "x");
-      cells.push_back(sparse ? fmt_lat_tput(sparse->latency_cycles,
-                                            sparse->tflops_rand)
+      cells.push_back(sparse ? fmt_lat_tput(sparse->result.latency_cycles,
+                                            sparse->result.tflops_rand)
                              : "x");
     }
     table.add_row(std::move(cells));
@@ -113,12 +127,39 @@ int main(int argc, char** argv) {
         cells.push_back("x");
         continue;
       }
-      cells.push_back(
-          fmt_fixed(r->tflops_rand / devices[d]->tc_peak_tflops(ab), 3));
+      cells.push_back(fmt_fixed(
+          r->result.tflops_rand / devices[d]->tc_peak_tflops(ab), 3));
     }
     findings.add_row(std::move(cells));
   }
   bench::emit(findings, opt);
+
+  // Profiler view of the dense throughput passes (larger shapes): the
+  // tensor pipe should be near-saturated, and the counted FLOPs per issued
+  // mma must equal 2*M*N*K for the shape.
+  Table counters("Profiler counters: dense mma throughput pass (H800)");
+  counters.set_header(
+      {"Shape", "Tensor pipe active", "FLOPs/inst", "mma issued"});
+  constexpr std::size_t kH800Col = 2;  // column index in `devices`
+  for (const std::size_t r : {std::size_t{1}, std::size_t{5}, std::size_t{7}}) {
+    const auto& result = cell(r, kH800Col, false);
+    if (!result) continue;
+    const auto& pmu = result->pmu;
+    const double issued = pmu.get(prof::Counter::kIssuedTensor);
+    const double total = result->result.usage.total_cycles;
+    counters.add_row(
+        {"m16n8k" + std::to_string(rows[r].k_dense),
+         total > 0.0
+             ? fmt_fixed(
+                   100.0 * pmu.get(prof::Counter::kTensorActiveCycles) / total,
+                   1) + "%"
+             : "-",
+         issued > 0.0
+             ? fmt_fixed(pmu.get(prof::Counter::kFlops) / issued, 0)
+             : "-",
+         fmt_fixed(issued, 0)});
+  }
+  bench::emit(counters, opt);
   bench::write_report(report, opt, argv[0]);
   return 0;
 }

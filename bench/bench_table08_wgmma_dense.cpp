@@ -4,6 +4,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/tcbench.hpp"
+#include "prof/pmu.hpp"
 
 int main(int argc, char** argv) {
   using namespace hsim;
@@ -24,21 +25,29 @@ int main(int argc, char** argv) {
 
   Table table("Table VIII: dense wgmma m64n256kX on H800 (LAT/TFLOPS)");
   table.set_header({"A/B", "C/D", "Instruction", "SS,Zero", "RS,Zero",
-                    "SS,Rand", "RS,Rand"});
+                    "SS,Rand", "RS,Rand", "TC act", "FLOPs/inst"});
   for (const auto& row : rows) {
     isa::TcInstr ss{.path = isa::TcPath::kWgmma, .shape = {64, 256, row.k},
                     .ab = row.ab, .cd = row.cd,
                     .a_src = isa::OperandSource::kSharedMemory};
     isa::TcInstr rs = ss;
     rs.a_src = isa::OperandSource::kRegister;
-    const auto ss_result = core::bench_tc(ss, h800);
+    // Profiler columns: the throughput pass's tensor-pipe occupancy and the
+    // per-instruction FLOP count (2*M*N*K) from the PMU block.
+    prof::PmuCounters pmu;
+    core::TcBenchConfig ss_config;
+    ss_config.pmu = &pmu;
+    const auto ss_result = core::bench_tc(ss, h800, ss_config);
     const auto rs_result = core::bench_tc(rs, h800);
     if (!ss_result || !rs_result) {
       table.add_row({std::string(num::to_string(row.ab)),
                      std::string(num::to_string(row.cd)),
-                     "m64n256k" + std::to_string(row.k), "x", "x", "x", "x"});
+                     "m64n256k" + std::to_string(row.k), "x", "x", "x", "x",
+                     "x", "x"});
       continue;
     }
+    const double issued = pmu.get(prof::Counter::kIssuedTensor);
+    const double total = ss_result.value().usage.total_cycles;
     table.add_row({std::string(num::to_string(row.ab)),
                    std::string(num::to_string(row.cd)),
                    "m64n256k" + std::to_string(row.k),
@@ -47,7 +56,16 @@ int main(int argc, char** argv) {
                    fmt_lat_tput(rs_result.value().latency_cycles,
                                 rs_result.value().tflops_zero),
                    fmt_fixed(ss_result.value().tflops_rand, 1),
-                   fmt_fixed(rs_result.value().tflops_rand, 1)});
+                   fmt_fixed(rs_result.value().tflops_rand, 1),
+                   total > 0.0
+                       ? fmt_fixed(100.0 *
+                                       pmu.get(prof::Counter::kTensorActiveCycles) /
+                                       total,
+                                   1) + "%"
+                       : "-",
+                   issued > 0.0
+                       ? fmt_fixed(pmu.get(prof::Counter::kFlops) / issued, 0)
+                       : "-"});
   }
   bench::emit(table, opt);
 

@@ -1,0 +1,84 @@
+// Shared JSON-writing helpers: one escaping implementation and one number
+// formatter for every writer in the tree (sweep reports, trace exports,
+// golden snapshots, profile exports).  Escaping covers the two structurally
+// dangerous characters (quote, backslash) and control characters; everything
+// else passes through byte-for-byte.  Numbers are never localised.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace hsim {
+
+namespace detail {
+
+/// Append the escape sequence for `c` to `sink` (any callable taking a
+/// string_view).  Single source of truth for the escape table.
+template <typename Sink>
+void append_json_escape(Sink&& sink, char c) {
+  switch (c) {
+    case '"': sink("\\\""); return;
+    case '\\': sink("\\\\"); return;
+    case '\b': sink("\\b"); return;
+    case '\f': sink("\\f"); return;
+    case '\n': sink("\\n"); return;
+    case '\r': sink("\\r"); return;
+    case '\t': sink("\\t"); return;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        sink(std::string_view(buffer));
+      } else {
+        sink(std::string_view(&c, 1));
+      }
+  }
+}
+
+}  // namespace detail
+
+/// Stream `text` into `os` as the *contents* of a JSON string literal
+/// (the caller writes the surrounding quotes).
+inline void write_json_escaped(std::ostream& os, std::string_view text) {
+  for (const char c : text) {
+    detail::append_json_escape([&os](std::string_view s) { os << s; }, c);
+  }
+}
+
+/// Convenience: the escaped contents as a string.
+inline std::string json_escaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    detail::append_json_escape([&out](std::string_view s) { out += s; }, c);
+  }
+  return out;
+}
+
+/// JSON-safe number formatting: never localised, compact for the magnitudes
+/// the reports emit (cycles, occupancies, throughputs).
+inline void write_json_number(std::ostream& os, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  os << buffer;
+}
+
+/// Round-trip-exact variant for values that are compared bit-for-bit across
+/// runs (PMU counters): %.17g reproduces the double exactly.
+inline void write_json_number_exact(std::ostream& os, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  os << buffer;
+}
+
+/// Write a quoted, escaped JSON string literal including the quotes.
+inline void write_json_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  write_json_escaped(os, text);
+  os << '"';
+}
+
+}  // namespace hsim

@@ -109,6 +109,8 @@ PipelineObservation Differ::run_pipeline(
   core.set_trace(&tee);
 
   PipelineObservation obs;
+  core.set_pmu(&obs.pmu);
+  memory.set_pmu(&obs.pmu);
   obs.result = core.run(fuzz_case.program, fuzz_case.shape);
 
   const int num_regs = register_count(fuzz_case.program);
@@ -195,6 +197,37 @@ DiffReport Differ::diff(const FuzzCase& fuzz_case,
     msg << "trace retires " << obs.agg_retires << " != counter "
         << obs.result.warps_retired;
     flush();
+  }
+
+  // --- Counter conservation ----------------------------------------------
+  // Internal invariants of the PMU block, then cross-checks against the
+  // core's own retirement ledger.  Gated on the block being populated so a
+  // test-injected PipelineFn without counters stays usable.
+  std::string why;
+  if (!obs.pmu.conserved(&why)) {
+    msg << "pmu conservation: " << why;
+    flush();
+  }
+  if (obs.pmu.get(prof::Counter::kInstIssued) > 0) {
+    if (obs.pmu.get(prof::Counter::kInstIssued) !=
+        static_cast<double>(obs.result.instructions_issued)) {
+      msg << "pmu inst_issued " << obs.pmu.get(prof::Counter::kInstIssued)
+          << " != counter " << obs.result.instructions_issued;
+      flush();
+    }
+    if (obs.pmu.get(prof::Counter::kInstRetired) !=
+        obs.pmu.get(prof::Counter::kInstIssued)) {
+      msg << "pmu inst_retired " << obs.pmu.get(prof::Counter::kInstRetired)
+          << " != issued " << obs.pmu.get(prof::Counter::kInstIssued)
+          << " at kernel end";
+      flush();
+    }
+    if (obs.pmu.get(prof::Counter::kWarpsRetired) !=
+        static_cast<double>(obs.result.warps_retired)) {
+      msg << "pmu warps_retired " << obs.pmu.get(prof::Counter::kWarpsRetired)
+          << " != counter " << obs.result.warps_retired;
+      flush();
+    }
   }
 
   // --- Timing sanity -----------------------------------------------------
@@ -303,6 +336,7 @@ FullChipObservation Differ::run_full_chip(const FuzzCase& fuzz_case,
   chip_options.threads = engine_threads;
   chip_options.max_blocks_per_sm = 1;  // maximise dispatcher slot recycling
   chip_options.trace = &tee;
+  chip_options.pmu = &obs.pmu;
   chip_options.block_observer = [&](int /*sm*/, int slot, int block,
                                     const sm::SmCore& core) {
     ++obs.blocks_observed;
@@ -392,6 +426,33 @@ DiffReport Differ::diff_full_chip(const FuzzCase& fuzz_case,
     flush();
   }
 
+  // --- Counter conservation ----------------------------------------------
+  std::string why;
+  if (!obs.pmu.conserved(&why)) {
+    msg << "chip pmu conservation: " << why;
+    flush();
+  }
+  if (obs.pmu.get(prof::Counter::kInstIssued) !=
+      static_cast<double>(obs.chip.instructions_issued)) {
+    msg << "chip pmu inst_issued " << obs.pmu.get(prof::Counter::kInstIssued)
+        << " != counter " << obs.chip.instructions_issued;
+    flush();
+  }
+  if (obs.pmu.get(prof::Counter::kInstRetired) !=
+      obs.pmu.get(prof::Counter::kInstIssued)) {
+    msg << "chip pmu inst_retired " << obs.pmu.get(prof::Counter::kInstRetired)
+        << " != issued " << obs.pmu.get(prof::Counter::kInstIssued)
+        << " at grid end";
+    flush();
+  }
+  if (obs.pmu.get(prof::Counter::kWarpsRetired) !=
+      static_cast<double>(obs.chip.warps_retired)) {
+    msg << "chip pmu warps_retired "
+        << obs.pmu.get(prof::Counter::kWarpsRetired) << " != counter "
+        << obs.chip.warps_retired;
+    flush();
+  }
+
   // --- Timing sanity -----------------------------------------------------
   if (!(obs.chip.cycles > 0)) {
     msg << "chip cycles " << obs.chip.cycles << " not positive";
@@ -449,7 +510,9 @@ DiffReport Differ::diff_full_chip(const FuzzCase& fuzz_case,
     return other.chip.cycles == obs.chip.cycles &&
            other.chip.instructions_issued == obs.chip.instructions_issued &&
            other.chip.stall_cycles == obs.chip.stall_cycles &&
-           other.chip.epochs == obs.chip.epochs && other.regs == obs.regs;
+           other.chip.epochs == obs.chip.epochs && other.regs == obs.regs &&
+           other.pmu.values == obs.pmu.values &&
+           other.pmu.occ_hist == obs.pmu.occ_hist;
   };
   if (!same(run_full_chip(fuzz_case, global, 1))) {
     fail("full-chip replay diverged from its first run");

@@ -35,6 +35,7 @@
 #include "conformance/fuzzer.hpp"
 #include "conformance/ref_interp.hpp"
 #include "gpu/gpu_engine.hpp"
+#include "prof/pmu.hpp"
 #include "sm/sm_core.hpp"
 
 namespace hsim::conformance {
@@ -54,6 +55,11 @@ struct PipelineObservation {
   bool monotone = true;            // event cycles never decreased
   bool nonneg = true;              // no negative cycle or duration
   bool retire_after_issue = true;  // per warp: retire >= last issue cycle
+  /// Hardware counters collected from the core + memory system; diff()
+  /// checks the block's conservation invariants (issued >= retired, level
+  /// accesses == hits + misses, occupancy samples sum to sampled cycles)
+  /// and cross-checks it against the retirement ledger.
+  prof::PmuCounters pmu;
 };
 
 /// Pipeline seam: tests substitute an implementation with an injected bug
@@ -97,6 +103,9 @@ struct FullChipObservation {
   double max_event_end = 0;
   bool monotone = true;  // merged stream sorted by cycle (merge contract)
   bool nonneg = true;
+  /// Chip-wide counters via gpu::ChipOptions::pmu (per-SM blocks merged in
+  /// SM-index order); part of the serial-vs-threaded bit-identity check.
+  prof::PmuCounters pmu;
 };
 
 struct CampaignFailure {

@@ -4,7 +4,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/json.hpp"
+#include "common/json_writer.hpp"
 
 namespace hsim::conformance {
 namespace {

@@ -41,10 +41,12 @@ sim::CycleSample usage_of(const mem::MemorySystem& memsys, std::string label,
 }  // namespace
 
 Expected<ThroughputResult> measure_l1_throughput(const arch::DeviceSpec& device,
-                                                 AccessKind kind) {
+                                                 AccessKind kind,
+                                                 prof::PmuCounters* pmu) {
   mem::MemorySystem memsys(device, 1);
   const std::uint64_t ws = 32 * 1024;  // resident in every L1
   memsys.warm(0, ws, mem::MemSpace::kGlobalCa);
+  memsys.set_pmu(pmu);
 
   const int access_bytes = access_bytes_of(kind);
   const std::uint32_t bytes = warp_bytes(access_bytes);
@@ -70,8 +72,10 @@ Expected<ThroughputResult> measure_l1_throughput(const arch::DeviceSpec& device,
   return out;
 }
 
-Expected<ThroughputResult> measure_shared_throughput(const arch::DeviceSpec& device) {
+Expected<ThroughputResult> measure_shared_throughput(
+    const arch::DeviceSpec& device, prof::PmuCounters* pmu) {
   mem::MemorySystem memsys(device, 1);
+  memsys.set_pmu(pmu);
   const std::uint64_t transactions = 30000;
   double last = 0;
   for (std::uint64_t i = 0; i < transactions; ++i) {
@@ -87,10 +91,12 @@ Expected<ThroughputResult> measure_shared_throughput(const arch::DeviceSpec& dev
 }
 
 Expected<ThroughputResult> measure_l2_throughput(const arch::DeviceSpec& device,
-                                                 AccessKind kind) {
+                                                 AccessKind kind,
+                                                 prof::PmuCounters* pmu) {
   mem::MemorySystem memsys(device, device.sm_count);
   const std::uint64_t ws = device.memory.l2_bytes / 4;
   memsys.warm(0, ws, mem::MemSpace::kGlobalCg);
+  memsys.set_pmu(pmu);
 
   const int access_bytes = access_bytes_of(kind);
   const std::uint32_t bytes = warp_bytes(access_bytes);
@@ -119,8 +125,10 @@ Expected<ThroughputResult> measure_l2_throughput(const arch::DeviceSpec& device,
   return out;
 }
 
-Expected<ThroughputResult> measure_global_throughput(const arch::DeviceSpec& device) {
+Expected<ThroughputResult> measure_global_throughput(
+    const arch::DeviceSpec& device, prof::PmuCounters* pmu) {
   mem::MemorySystem memsys(device, device.sm_count);
+  memsys.set_pmu(pmu);
   // Working set far beyond L2; float4 accesses, 5 reads + 1 write per
   // thread round as in the paper (writes share the channel).
   const std::uint64_t ws = 4 * device.memory.l2_bytes;

@@ -41,11 +41,17 @@ struct ThroughputResult {
   sim::CycleSample usage;    // per-unit cycle accounting for the stream
 };
 
+// Each bench optionally counts its streamed accesses into `pmu` (sector
+// hits/misses per level, TLB traffic); the warm-up pass is not counted.
 Expected<ThroughputResult> measure_l1_throughput(const arch::DeviceSpec& device,
-                                                 AccessKind kind);
-Expected<ThroughputResult> measure_shared_throughput(const arch::DeviceSpec& device);
+                                                 AccessKind kind,
+                                                 prof::PmuCounters* pmu = nullptr);
+Expected<ThroughputResult> measure_shared_throughput(
+    const arch::DeviceSpec& device, prof::PmuCounters* pmu = nullptr);
 Expected<ThroughputResult> measure_l2_throughput(const arch::DeviceSpec& device,
-                                                 AccessKind kind);
-Expected<ThroughputResult> measure_global_throughput(const arch::DeviceSpec& device);
+                                                 AccessKind kind,
+                                                 prof::PmuCounters* pmu = nullptr);
+Expected<ThroughputResult> measure_global_throughput(
+    const arch::DeviceSpec& device, prof::PmuCounters* pmu = nullptr);
 
 }  // namespace hsim::core

@@ -41,6 +41,7 @@ Expected<PChaseResult> pchase(const arch::DeviceSpec& device,
 
   mem::MemorySystem memsys(device, 1);
   memsys.set_trace(config.sink);
+  memsys.set_pmu(config.pmu);
   Xoshiro256ss rng(config.seed);
   const auto chain = random_cycle(n, rng);
 

@@ -35,6 +35,9 @@ struct PChaseConfig {
   // Optional event sink: every chase access emits a kExecute event named
   // after the level that serviced it (attached to the MemorySystem).
   trace::TraceSink* sink = nullptr;
+  // Optional performance-counter block (attached to the MemorySystem for
+  // the chase itself; the warm-up pass is deliberately not counted).
+  prof::PmuCounters* pmu = nullptr;
 };
 
 Expected<PChaseResult> pchase(const arch::DeviceSpec& device,

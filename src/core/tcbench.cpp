@@ -69,6 +69,13 @@ Expected<TcBenchResult> bench_tc(const isa::TcInstr& instr,
     double last = 0;
     for (int i = 0; i < config.iterations; ++i) {
       last = pipe.issue(0.0, t.cadence, t.latency);
+      if (config.pmu != nullptr) {
+        config.pmu->inc(prof::Counter::kInstIssued);
+        config.pmu->inc(prof::Counter::kInstRetired);
+        config.pmu->inc(prof::Counter::kIssuedTensor);
+        config.pmu->add(prof::Counter::kTensorActiveCycles, t.cadence);
+        config.pmu->add(prof::Counter::kFlops, t.ops);
+      }
     }
     per_sm_ops_per_clk = t.ops * config.iterations / last;
     out.usage = {"tc." + out.sass, last,

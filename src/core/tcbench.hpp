@@ -13,6 +13,7 @@
 #include "arch/device.hpp"
 #include "common/status.hpp"
 #include "isa/ptx.hpp"
+#include "prof/pmu.hpp"
 #include "sim/accounting.hpp"
 #include "tensorcore/power.hpp"
 #include "tensorcore/timing.hpp"
@@ -39,6 +40,9 @@ struct TcBenchConfig {
   // plus kStall events splitting waits into scoreboard (operand pending)
   // vs structural (pipe cadence) cycles.
   trace::TraceSink* sink = nullptr;
+  // Optional performance-counter block: the throughput pass counts each
+  // issue (tensor class), its pipe-occupancy cycles and its MACs-as-flops.
+  prof::PmuCounters* pmu = nullptr;
 };
 
 Expected<TcBenchResult> bench_tc(const isa::TcInstr& instr,

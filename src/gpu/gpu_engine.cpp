@@ -73,10 +73,12 @@ struct Ticket {
 /// model's representative SM.
 class SmPath final : public mem::MemPath {
  public:
-  SmPath(const arch::DeviceSpec& device, int sm_id, trace::TraceSink* sink)
+  SmPath(const arch::DeviceSpec& device, int sm_id, trace::TraceSink* sink,
+         prof::PmuCounters* pmu)
       : device_(device),
         sm_id_(sm_id),
         trace_(sink),
+        pmu_(pmu),
         l1_(mem::CacheConfig{.size_bytes = device.memory.l1_bytes_per_sm,
                              .line_bytes = device.memory.l1_line_bytes,
                              .sector_bytes = device.memory.sector_bytes,
@@ -94,9 +96,21 @@ class SmPath final : public mem::MemPath {
       out.served_by = mem::MemLevel::kShared;
     } else {
       out.tlb_miss = !tlb_.access(addr);
+      if (pmu_ != nullptr) {
+        pmu_->inc(prof::Counter::kTlbAccesses);
+        if (out.tlb_miss) pmu_->inc(prof::Counter::kTlbMisses);
+      }
       const double tlb_extra = out.tlb_miss ? m.tlb_miss_penalty : 0.0;
-      if (space == mem::MemSpace::kGlobalCa &&
-          l1_.access(addr) == mem::CacheOutcome::kHit) {
+      bool l1_hit = false;
+      if (space == mem::MemSpace::kGlobalCa) {
+        l1_hit = l1_.access(addr) == mem::CacheOutcome::kHit;
+        if (pmu_ != nullptr) {
+          pmu_->inc(prof::Counter::kL1SectorAccesses);
+          pmu_->inc(l1_hit ? prof::Counter::kL1SectorHits
+                           : prof::Counter::kL1SectorMisses);
+        }
+      }
+      if (l1_hit) {
         out.ready_time = now + m.l1_hit_latency + tlb_extra;
         out.served_by = mem::MemLevel::kL1;
       } else {
@@ -135,6 +149,7 @@ class SmPath final : public mem::MemPath {
           static_cast<double>(bytes) / m.smem_bytes_per_clk;
       const double done =
           l1_port_.issue(now, duration, duration + m.smem_latency);
+      if (pmu_ != nullptr) pmu_->inc(prof::Counter::kSmemAccesses);
       last_ = mem::AccessClass{mem::MemLevel::kShared, false};
       if (trace_ != nullptr) {
         trace_->on_event({trace::EventKind::kExecute, stall_reason_of(last_),
@@ -152,6 +167,11 @@ class SmPath final : public mem::MemPath {
       bool l1_hit = false;
       if (space == mem::MemSpace::kGlobalCa) {
         l1_hit = l1_.access(a) == mem::CacheOutcome::kHit;
+        if (pmu_ != nullptr) {
+          pmu_->inc(prof::Counter::kL1SectorAccesses);
+          pmu_->inc(l1_hit ? prof::Counter::kL1SectorHits
+                           : prof::Counter::kL1SectorMisses);
+        }
       }
       if (!l1_hit) {
         HSIM_ASSERT_MSG(miss_count < Ticket::kMaxMissSectors,
@@ -246,6 +266,7 @@ class SmPath final : public mem::MemPath {
   const arch::DeviceSpec& device_;
   int sm_id_;
   trace::TraceSink* trace_;
+  prof::PmuCounters* pmu_;
   mem::Cache l1_;
   sim::PipelinedUnit l1_port_;  // unified L1/smem port, as in MemorySystem
   mem::Tlb tlb_;
@@ -290,6 +311,11 @@ class SliceFabric {
     mem::MemLevel deepest = mem::MemLevel::kL2;
   };
 
+  /// Attach the fabric-level counter block.  resolve() runs only in the
+  /// serial barrier phase in deterministic ticket order, so counting here
+  /// is thread-safe and bit-identical at any thread count.
+  void set_pmu(prof::PmuCounters* pmu) noexcept { pmu_ = pmu; }
+
   /// Resolve one ticket against its slice.  Mirrors MemorySystem's load /
   /// warp_transaction tail with the slice's share of width and bandwidth.
   Resolution resolve(const Ticket& ticket) {
@@ -298,16 +324,27 @@ class SliceFabric {
     if (ticket.kind == Ticket::Kind::kLatency) {
       const bool hit =
           s.l2.access(slice_local(ticket.addr)) == mem::CacheOutcome::kHit;
+      if (pmu_ != nullptr) {
+        pmu_->inc(prof::Counter::kL2SectorAccesses);
+        pmu_->inc(hit ? prof::Counter::kL2SectorHits
+                      : prof::Counter::kL2SectorMisses);
+        if (!hit) pmu_->inc(prof::Counter::kDramSectors);
+      }
       const double latency = hit ? m.l2_hit_latency : m.dram_latency;
       return {ticket.issue_time + latency + ticket.tlb_extra,
               hit ? mem::MemLevel::kL2 : mem::MemLevel::kDram};
     }
     bool any_dram = false;
     for (std::uint32_t i = 0; i < ticket.miss_count; ++i) {
-      if (s.l2.access(slice_local(ticket.miss_sectors[i])) !=
-          mem::CacheOutcome::kHit) {
-        any_dram = true;
+      const bool hit = s.l2.access(slice_local(ticket.miss_sectors[i])) ==
+                       mem::CacheOutcome::kHit;
+      if (pmu_ != nullptr) {
+        pmu_->inc(prof::Counter::kL2SectorAccesses);
+        pmu_->inc(hit ? prof::Counter::kL2SectorHits
+                      : prof::Counter::kL2SectorMisses);
+        if (!hit) pmu_->inc(prof::Counter::kDramSectors);
       }
+      if (!hit) any_dram = true;
     }
     const double l2_duration = static_cast<double>(ticket.bytes) /
                                (l2_width(ticket.access_bytes) / slices_count_);
@@ -382,6 +419,7 @@ class SliceFabric {
 
   const arch::DeviceSpec& device_;
   int slices_count_;
+  prof::PmuCounters* pmu_ = nullptr;
   std::vector<std::unique_ptr<Slice>> slices_;
 };
 
@@ -436,22 +474,32 @@ Expected<ChipResult> GpuEngine::run(const isa::Program& program,
   // to complete before the barrier that resolves it (see header).
   const double epoch = std::min(options_.epoch, device_.memory.l2_hit_latency);
 
-  // Per-SM state.  Trace buffers exist only when a sink is attached.
+  // Per-SM state.  Trace buffers exist only when a sink is attached; PMU
+  // blocks likewise — each SM counts into a private block during the
+  // parallel phase, the fabric counts into its own block during the serial
+  // barrier phase, and everything is merged in SM-index order at the end.
   const bool tracing = options_.trace != nullptr;
+  const bool counting = options_.pmu != nullptr;
   std::vector<BufferSink> buffers(tracing ? static_cast<std::size_t>(sms) : 0);
+  std::vector<prof::PmuCounters> pmu_blocks(
+      counting ? static_cast<std::size_t>(sms) + 1 : 0);
   std::vector<std::unique_ptr<SmPath>> paths;
   std::vector<std::unique_ptr<sm::SmCore>> cores;
   paths.reserve(static_cast<std::size_t>(sms));
   cores.reserve(static_cast<std::size_t>(sms));
   SliceFabric fabric(device_, options_.l2_slices);
+  if (counting) fabric.set_pmu(&pmu_blocks.back());
   for (int i = 0; i < sms; ++i) {
     trace::TraceSink* sink = tracing ? &buffers[static_cast<std::size_t>(i)]
                                      : nullptr;
-    paths.push_back(std::make_unique<SmPath>(device_, i, sink));
+    prof::PmuCounters* block =
+        counting ? &pmu_blocks[static_cast<std::size_t>(i)] : nullptr;
+    paths.push_back(std::make_unique<SmPath>(device_, i, sink, block));
     cores.push_back(
         std::make_unique<sm::SmCore>(device_, paths.back().get(), i));
     cores.back()->bind_global(global);
     if (sink != nullptr) cores.back()->set_trace(sink);
+    if (block != nullptr) cores.back()->set_pmu(block);
     cores.back()->begin(program, slots, config.threads_per_block);
   }
   for (const WarmRange& range : warm) {
@@ -649,6 +697,13 @@ Expected<ChipResult> GpuEngine::run(const isa::Program& program,
     out.per_sm.push_back(r);
   }
   out.seconds = out.cycles / device_.clock_hz();
+  if (counting) {
+    // SM blocks in index order, fabric block last: a fixed merge order so
+    // the accumulated doubles are bit-identical at any thread count.
+    for (const prof::PmuCounters& block : pmu_blocks) {
+      options_.pmu->merge(block);
+    }
+  }
 
   // Unit occupancy: SM pipes and L1 ports averaged over the SMs that carry
   // them (instances), fabric units averaged over slices; ops summed.

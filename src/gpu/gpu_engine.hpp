@@ -25,6 +25,7 @@
 
 #include "arch/device.hpp"
 #include "isa/program.hpp"
+#include "prof/pmu.hpp"
 #include "sim/accounting.hpp"
 #include "sm/launcher.hpp"
 #include "sm/sm_core.hpp"
@@ -52,6 +53,13 @@ struct ChipOptions {
   /// Merged event stream (per-SM buffers, stable-sorted by cycle at the
   /// end of the run).  Null disables tracing entirely.
   trace::TraceSink* trace = nullptr;
+  /// Chip-wide performance counters.  When attached, every SM core and its
+  /// private L1/TLB path count into an SM-local block during the parallel
+  /// phase, the shared fabric counts L2/DRAM sectors during the serial
+  /// barrier phase, and the blocks are merged in SM-index order at the end
+  /// of the run — so the totals are bit-identical at any thread count.
+  /// Null disables counting entirely (one branch per site).
+  prof::PmuCounters* pmu = nullptr;
   /// Called as each block fully retires, before its slot is recycled, with
   /// the core still holding the block's architectural state.  Lets a
   /// conformance differ snapshot registers for grids larger than the

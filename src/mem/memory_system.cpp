@@ -74,17 +74,38 @@ LoadResult MemorySystem::load(int sm, std::uint64_t addr, MemSpace space, double
     out.served_by = MemLevel::kShared;
   } else {
     out.tlb_miss = !tlb_->access(addr);
+    if (pmu_ != nullptr) {
+      pmu_->inc(prof::Counter::kTlbAccesses);
+      if (out.tlb_miss) pmu_->inc(prof::Counter::kTlbMisses);
+    }
     const double tlb_extra = out.tlb_miss ? m.tlb_miss_penalty : 0.0;
-    if (space == MemSpace::kGlobalCa &&
-        l1(sm).access(addr) == CacheOutcome::kHit) {
+    bool l1_hit = false;
+    if (space == MemSpace::kGlobalCa) {
+      l1_hit = l1(sm).access(addr) == CacheOutcome::kHit;
+      if (pmu_ != nullptr) {
+        pmu_->inc(prof::Counter::kL1SectorAccesses);
+        pmu_->inc(l1_hit ? prof::Counter::kL1SectorHits
+                         : prof::Counter::kL1SectorMisses);
+      }
+    }
+    if (l1_hit) {
       out.ready_time = now + m.l1_hit_latency + tlb_extra;
       out.served_by = MemLevel::kL1;
-    } else if (l2_->access(addr) == CacheOutcome::kHit) {
-      out.ready_time = now + m.l2_hit_latency + tlb_extra;
-      out.served_by = MemLevel::kL2;
     } else {
-      out.ready_time = now + m.dram_latency + tlb_extra;
-      out.served_by = MemLevel::kDram;
+      const bool l2_hit = l2_->access(addr) == CacheOutcome::kHit;
+      if (pmu_ != nullptr) {
+        pmu_->inc(prof::Counter::kL2SectorAccesses);
+        pmu_->inc(l2_hit ? prof::Counter::kL2SectorHits
+                         : prof::Counter::kL2SectorMisses);
+        if (!l2_hit) pmu_->inc(prof::Counter::kDramSectors);
+      }
+      if (l2_hit) {
+        out.ready_time = now + m.l2_hit_latency + tlb_extra;
+        out.served_by = MemLevel::kL2;
+      } else {
+        out.ready_time = now + m.dram_latency + tlb_extra;
+        out.served_by = MemLevel::kDram;
+      }
     }
   }
   last_ = AccessClass{out.served_by, out.tlb_miss};
@@ -105,6 +126,7 @@ double MemorySystem::warp_transaction(int sm, std::uint64_t addr, std::uint32_t 
     const double duration = static_cast<double>(bytes) / m.smem_bytes_per_clk;
     auto& port = l1_port_[static_cast<std::size_t>(sm)];  // unified L1/smem
     const double done = port.issue(now, duration, duration + m.smem_latency);
+    if (pmu_ != nullptr) pmu_->inc(prof::Counter::kSmemAccesses);
     last_ = AccessClass{MemLevel::kShared, false};
     if (trace_ != nullptr) {
       trace_->on_event({trace::EventKind::kExecute, stall_reason_of(last_), now,
@@ -124,9 +146,21 @@ double MemorySystem::warp_transaction(int sm, std::uint64_t addr, std::uint32_t 
     bool l1_hit = false;
     if (space == MemSpace::kGlobalCa) {
       l1_hit = l1(sm).access(a) == CacheOutcome::kHit;
+      if (pmu_ != nullptr) {
+        pmu_->inc(prof::Counter::kL1SectorAccesses);
+        pmu_->inc(l1_hit ? prof::Counter::kL1SectorHits
+                         : prof::Counter::kL1SectorMisses);
+      }
     }
     if (!l1_hit) {
-      if (l2_->access(a) == CacheOutcome::kHit) {
+      const bool l2_hit = l2_->access(a) == CacheOutcome::kHit;
+      if (pmu_ != nullptr) {
+        pmu_->inc(prof::Counter::kL2SectorAccesses);
+        pmu_->inc(l2_hit ? prof::Counter::kL2SectorHits
+                         : prof::Counter::kL2SectorMisses);
+        if (!l2_hit) pmu_->inc(prof::Counter::kDramSectors);
+      }
+      if (l2_hit) {
         any_l2 = true;
       } else {
         any_dram = true;

@@ -17,6 +17,7 @@
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 #include "mem/tlb.hpp"
+#include "prof/pmu.hpp"
 #include "sim/accounting.hpp"
 #include "sim/pipeline.hpp"
 #include "trace/trace.hpp"
@@ -158,6 +159,11 @@ class MemorySystem final : public MemPath {
   /// Attach a lifecycle event sink: every load / warp transaction emits a
   /// kExecute event named after the deepest level that serviced it.
   void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
+  /// Attach a performance-counter block: load() and warp_transaction()
+  /// count per-level sector accesses/hits/misses and TLB traffic into it
+  /// (warm() is setup and deliberately not counted).  Zero overhead beyond
+  /// one branch per site when detached.
+  void set_pmu(prof::PmuCounters* pmu) noexcept { pmu_ = pmu; }
   /// Which level serviced the most recent load()/warp_transaction().
   [[nodiscard]] const AccessClass& last_access() const noexcept override {
     return last_;
@@ -166,6 +172,7 @@ class MemorySystem final : public MemPath {
  private:
   const arch::DeviceSpec& device_;
   trace::TraceSink* trace_ = nullptr;
+  prof::PmuCounters* pmu_ = nullptr;
   AccessClass last_;
   std::vector<std::unique_ptr<Cache>> l1_;
   std::vector<sim::PipelinedUnit> l1_port_;

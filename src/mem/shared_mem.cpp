@@ -63,6 +63,13 @@ int SharedMemory::conflict_degree(std::span<const std::uint32_t> byte_addrs) con
 int SharedMemory::conflict_degree(std::span<const std::uint32_t> byte_addrs,
                                   double now, int sm, int warp) {
   const int degree = conflict_degree(byte_addrs);
+  if (pmu_ != nullptr) {
+    pmu_->inc(prof::Counter::kSmemAccesses);
+    if (degree > 1) {
+      pmu_->add(prof::Counter::kSmemConflictPhases,
+                static_cast<double>(degree - 1));
+    }
+  }
   if (degree > 1 && trace_ != nullptr) {
     trace_->on_event({trace::EventKind::kStall,
                       trace::StallReason::kSmemBankConflict, now,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "prof/pmu.hpp"
 #include "trace/trace.hpp"
 
 namespace hsim::mem {
@@ -33,6 +34,11 @@ class SharedMemory {
 
   /// Attach (or detach, with nullptr) the bank-conflict event sink.
   void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }
+
+  /// Attach (or detach, with nullptr) a performance-counter block: the
+  /// timed conflict_degree overload counts each warp access and its extra
+  /// serialised phases.  Zero overhead beyond one branch when detached.
+  void set_pmu(prof::PmuCounters* pmu) noexcept { pmu_ = pmu; }
 
   /// Functional 32-bit load/store (histogram bins, reduction scratch).
   [[nodiscard]] std::uint32_t load_u32(std::uint32_t byte_addr) const;
@@ -58,6 +64,7 @@ class SharedMemory {
   int banks_;
   int word_bytes_;
   trace::TraceSink* trace_ = nullptr;
+  prof::PmuCounters* pmu_ = nullptr;
 };
 
 }  // namespace hsim::mem

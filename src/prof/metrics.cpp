@@ -1,0 +1,280 @@
+#include "prof/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "common/json_writer.hpp"
+
+namespace hsim::prof {
+namespace {
+
+using C = Counter;
+
+double ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+double pct(double num, double den) { return 100.0 * ratio(num, den); }
+
+Metric m(std::string name, double value, std::string unit = "") {
+  return Metric{std::move(name), value, std::move(unit)};
+}
+
+Section occupancy_section(const ProfileInput& in) {
+  const auto& pmu = in.pmu;
+  const double sampled = pmu.sampled_cycles();
+  const double active_warps = ratio(pmu.warp_cycles(), sampled);
+  Section s{"occupancy", "Occupancy", {}};
+  s.metrics.push_back(m("theoretical_warps_per_sm", kMaxWarpsPerSm, "warp"));
+  s.metrics.push_back(m("achieved_active_warps_per_sm", active_warps, "warp"));
+  s.metrics.push_back(m("achieved_occupancy",
+                        pct(active_warps, kMaxWarpsPerSm), "%"));
+  s.metrics.push_back(m("sampled_cycles", sampled, "cycle"));
+  s.metrics.push_back(m("warps_launched", pmu.get(C::kWarpsLaunched), "warp"));
+  s.metrics.push_back(m("warps_retired", pmu.get(C::kWarpsRetired), "warp"));
+  return s;
+}
+
+Section issue_section(const ProfileInput& in) {
+  const auto& pmu = in.pmu;
+  const double issued = pmu.get(C::kInstIssued);
+  // 4 schedulers per SM, one issue slot each per cycle.
+  const double slots = 4.0 * in.cycles * static_cast<double>(in.sms);
+  Section s{"issue", "Issue & Instruction Mix", {}};
+  s.metrics.push_back(m("inst_issued", issued, "inst"));
+  s.metrics.push_back(m("inst_retired", pmu.get(C::kInstRetired), "inst"));
+  s.metrics.push_back(
+      m("ipc_per_sm",
+        ratio(issued, in.cycles * static_cast<double>(in.sms)), "inst/cyc"));
+  s.metrics.push_back(m("issue_slot_utilization", pct(issued, slots), "%"));
+  static constexpr std::array<std::pair<C, const char*>, 8> kClasses{{
+      {C::kIssuedAlu, "mix_alu"},
+      {C::kIssuedFma, "mix_fma"},
+      {C::kIssuedFp64, "mix_fp64"},
+      {C::kIssuedDpx, "mix_dpx"},
+      {C::kIssuedTensor, "mix_tensor"},
+      {C::kIssuedLsu, "mix_lsu"},
+      {C::kIssuedDsm, "mix_dsm"},
+      {C::kIssuedControl, "mix_control"},
+  }};
+  for (const auto& [counter, name] : kClasses) {
+    s.metrics.push_back(m(name, pct(pmu.get(counter), issued), "%"));
+  }
+  return s;
+}
+
+Section memory_section(const arch::DeviceSpec& device, const ProfileInput& in) {
+  const auto& pmu = in.pmu;
+  const double sector = static_cast<double>(device.memory.sector_bytes);
+  const double seconds = in.cycles / device.clock_hz();
+  const double dram_bytes = pmu.get(C::kDramSectors) * sector;
+  Section s{"memory", "Memory Chart", {}};
+  s.metrics.push_back(m("l1_sector_accesses", pmu.get(C::kL1SectorAccesses)));
+  s.metrics.push_back(m("l1_hit_rate",
+                        pct(pmu.get(C::kL1SectorHits),
+                            pmu.get(C::kL1SectorAccesses)), "%"));
+  s.metrics.push_back(m("l2_sector_accesses", pmu.get(C::kL2SectorAccesses)));
+  s.metrics.push_back(m("l2_hit_rate",
+                        pct(pmu.get(C::kL2SectorHits),
+                            pmu.get(C::kL2SectorAccesses)), "%"));
+  s.metrics.push_back(m("dram_sectors", pmu.get(C::kDramSectors)));
+  s.metrics.push_back(
+      m("dram_throughput", seconds > 0.0 ? dram_bytes / seconds / 1e9 : 0.0,
+        "GB/s"));
+  s.metrics.push_back(m("dram_pct_of_peak",
+                        pct(seconds > 0.0 ? dram_bytes / seconds / 1e9 : 0.0,
+                            device.memory.dram_peak_gbps), "%"));
+  s.metrics.push_back(m("tlb_miss_rate",
+                        pct(pmu.get(C::kTlbMisses),
+                            pmu.get(C::kTlbAccesses)), "%"));
+  s.metrics.push_back(m("smem_accesses", pmu.get(C::kSmemAccesses)));
+  s.metrics.push_back(m("smem_conflict_phases_per_access",
+                        ratio(pmu.get(C::kSmemConflictPhases),
+                              pmu.get(C::kSmemAccesses)), "phase"));
+  s.metrics.push_back(m("tma_bytes", pmu.get(C::kTmaBytes), "B"));
+  s.metrics.push_back(m("cp_async_bytes", pmu.get(C::kCpAsyncBytes), "B"));
+  return s;
+}
+
+Section sol_section(const ProfileInput& in) {
+  Section s{"sol", "Speed of Light (busy % of run)", {}};
+  double sm_max = 0.0;
+  double mem_max = 0.0;
+  for (const auto& unit : in.units) {
+    const double busy_pct = pct(unit.busy_cycles, in.cycles);
+    const bool is_mem = unit.name.rfind("SM.", 0) != 0;
+    (is_mem ? mem_max : sm_max) = std::max(is_mem ? mem_max : sm_max, busy_pct);
+  }
+  s.metrics.push_back(m("sm_pct", sm_max, "%"));
+  s.metrics.push_back(m("memory_pct", mem_max, "%"));
+  for (const auto& unit : in.units) {
+    s.metrics.push_back(m("sol_" + unit.name, pct(unit.busy_cycles, in.cycles),
+                          "%"));
+  }
+  return s;
+}
+
+Section roofline_section(const arch::DeviceSpec& device,
+                         const ProfileInput& in) {
+  const auto& pmu = in.pmu;
+  const double seconds = in.cycles / device.clock_hz();
+  const double flops = pmu.get(C::kFlops);
+  const double dram_bytes =
+      pmu.get(C::kDramSectors) * static_cast<double>(device.memory.sector_bytes);
+  // FP32 FMA roof for the SMs the run actually used; the tensor roof is
+  // reported separately so mma kernels can be placed against it.
+  const double peak_fp32_gflops = static_cast<double>(device.cores_per_sm) *
+                                  2.0 * device.clock_hz() *
+                                  static_cast<double>(in.sms) / 1e9;
+  const double peak_tc_gflops =
+      device.tc.peak_fp16_tflops * 1e3 * static_cast<double>(in.sms) /
+      static_cast<double>(device.sm_count);
+  const double peak_mem_gbps =
+      device.memory.dram_peak_gbps * device.memory.dram_efficiency;
+  const double ai = ratio(flops, dram_bytes);
+  const double achieved_gflops = seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+  // Roof at this arithmetic intensity: memory-slope until the ridge, flat
+  // compute roof after it.
+  const double compute_roof =
+      pmu.get(C::kIssuedTensor) > 0.0 ? peak_tc_gflops : peak_fp32_gflops;
+  const double roof = dram_bytes > 0.0
+                          ? std::min(compute_roof, ai * peak_mem_gbps)
+                          : compute_roof;
+  Section s{"roofline", "Roofline", {}};
+  s.metrics.push_back(m("flops", flops, "flop"));
+  s.metrics.push_back(m("dram_bytes", dram_bytes, "B"));
+  s.metrics.push_back(m("arithmetic_intensity", ai, "flop/B"));
+  s.metrics.push_back(m("achieved_gflops", achieved_gflops, "GFLOP/s"));
+  s.metrics.push_back(m("peak_fp32_gflops", peak_fp32_gflops, "GFLOP/s"));
+  s.metrics.push_back(m("peak_tensor_gflops", peak_tc_gflops, "GFLOP/s"));
+  s.metrics.push_back(m("peak_dram_gbps", peak_mem_gbps, "GB/s"));
+  s.metrics.push_back(
+      m("ridge_intensity", ratio(compute_roof, peak_mem_gbps), "flop/B"));
+  s.metrics.push_back(m("pct_of_roof", pct(achieved_gflops, roof), "%"));
+  s.metrics.push_back(
+      m("compute_bound", dram_bytes <= 0.0 || ai * peak_mem_gbps >= compute_roof
+                             ? 1.0
+                             : 0.0));
+  return s;
+}
+
+}  // namespace
+
+const Section* ProfileReport::section(std::string_view id) const {
+  for (const auto& s : sections) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+double ProfileReport::metric(std::string_view section_id,
+                             std::string_view name) const {
+  if (const Section* s = section(section_id); s != nullptr) {
+    for (const auto& entry : s->metrics) {
+      if (entry.name == name) return entry.value;
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string content_key(const ProfileConfig& config) {
+  // FNV-1a, 64-bit, over the identity fields with separators so that
+  // ("ab","c") and ("a","bc") hash differently.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::string_view text) {
+    for (const char c : text) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 1099511628211ull;
+    }
+    h ^= 0x1f;
+    h *= 1099511628211ull;
+  };
+  mix(config.device);
+  mix(config.kernel);
+  mix(config.config);
+  mix(config.full_chip ? "full-chip" : "single-sm");
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buffer;
+}
+
+ProfileReport build_profile(const arch::DeviceSpec& device,
+                            const ProfileInput& input, ProfileConfig config) {
+  ProfileReport report;
+  report.config = std::move(config);
+  report.key = content_key(report.config);
+  report.pmu = input.pmu;
+  report.cycles = input.cycles;
+  report.sms = input.sms;
+  report.sections.push_back(occupancy_section(input));
+  report.sections.push_back(issue_section(input));
+  report.sections.push_back(memory_section(device, input));
+  report.sections.push_back(sol_section(input));
+  report.sections.push_back(roofline_section(device, input));
+  return report;
+}
+
+void render_text(const ProfileReport& report, std::ostream& os) {
+  os << "== hsim profile: " << report.config.kernel << " on "
+     << report.config.device
+     << (report.config.full_chip ? " (full chip)" : " (single SM)") << " ==\n";
+  if (!report.config.config.empty()) {
+    os << "   config: " << report.config.config << "\n";
+  }
+  os << "   key: " << report.key << "   cycles: " << report.cycles
+     << "   sms: " << report.sms << "\n";
+  char line[160];
+  for (const auto& section : report.sections) {
+    os << "\n-- " << section.title << " --\n";
+    for (const auto& metric : section.metrics) {
+      std::snprintf(line, sizeof(line), "  %-34s %14.4g %s",
+                    metric.name.c_str(), metric.value, metric.unit.c_str());
+      os << line << "\n";
+    }
+  }
+}
+
+void write_profile_json(const ProfileReport& report, std::ostream& os) {
+  os << "{\"schema\":\"hsim-profile-v1\",\"key\":";
+  write_json_string(os, report.key);
+  os << ",\"device\":";
+  write_json_string(os, report.config.device);
+  os << ",\"kernel\":";
+  write_json_string(os, report.config.kernel);
+  os << ",\"config\":";
+  write_json_string(os, report.config.config);
+  os << ",\"full_chip\":" << (report.config.full_chip ? "true" : "false");
+  os << ",\"cycles\":";
+  write_json_number_exact(os, report.cycles);
+  os << ",\"sms\":" << report.sms;
+  os << ",\"pmu\":";
+  report.pmu.write_json(os);
+  os << ",\"sections\":[";
+  bool first_section = true;
+  for (const auto& section : report.sections) {
+    if (!first_section) os << ",";
+    first_section = false;
+    os << "{\"id\":";
+    write_json_string(os, section.id);
+    os << ",\"title\":";
+    write_json_string(os, section.title);
+    os << ",\"metrics\":[";
+    bool first_metric = true;
+    for (const auto& metric : section.metrics) {
+      if (!first_metric) os << ",";
+      first_metric = false;
+      os << "{\"name\":";
+      write_json_string(os, metric.name);
+      os << ",\"value\":";
+      write_json_number(os, metric.value);
+      os << ",\"unit\":";
+      write_json_string(os, metric.unit);
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace hsim::prof

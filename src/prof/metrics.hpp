@@ -1,0 +1,78 @@
+// Derived-metric engine: turns a raw PmuCounters block plus run timing into
+// Nsight-Compute-style report sections — achieved occupancy, IPC /
+// issue-slot utilization, per-unit speed-of-light %, a memory chart with
+// per-level hit rates and throughputs, and roofline placement against the
+// DeviceSpec peaks.  Every metric is a pure function of (counters, cycles,
+// device), so reports are as deterministic as the counters themselves.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "prof/pmu.hpp"
+#include "sim/accounting.hpp"
+
+namespace hsim::prof {
+
+/// Identity of a profiled run; the content-addressed export key hashes
+/// exactly these fields, so equal configurations share a cache slot.
+struct ProfileConfig {
+  std::string device;  // short name ("h800")
+  std::string kernel;  // kernel registry name ("mem_l2")
+  std::string config;  // free-form knob descriptor ("iters=64 blocks=4 ...")
+  bool full_chip = false;
+};
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  // "%", "inst/cyc", "GB/s", "" for raw counts
+};
+
+struct Section {
+  std::string id;     // stable machine key: occupancy|issue|memory|sol|roofline
+  std::string title;  // human heading
+  std::vector<Metric> metrics;
+};
+
+/// Raw inputs to the derivation.
+struct ProfileInput {
+  PmuCounters pmu;
+  double cycles = 0.0;  // elapsed SM-clock cycles for the run
+  int sms = 1;          // SMs contributing issue slots (1 for single-SM)
+  std::vector<sim::UnitSample> units;  // per-unit busy-cycle accounting
+};
+
+struct ProfileReport {
+  ProfileConfig config;
+  std::string key;  // content address (see content_key)
+  PmuCounters pmu;  // raw counters, exported alongside the sections
+  double cycles = 0.0;
+  int sms = 1;
+  std::vector<Section> sections;
+
+  [[nodiscard]] const Section* section(std::string_view id) const;
+  /// Metric lookup; NaN when the section or metric is absent.
+  [[nodiscard]] double metric(std::string_view section_id,
+                              std::string_view name) const;
+};
+
+/// FNV-1a content address over (device, kernel, config, full_chip) — the
+/// cache key a future `hsim serve` can use to dedupe repeated queries.
+[[nodiscard]] std::string content_key(const ProfileConfig& config);
+
+[[nodiscard]] ProfileReport build_profile(const arch::DeviceSpec& device,
+                                          const ProfileInput& input,
+                                          ProfileConfig config);
+
+/// Sectioned human-readable report (the `hsim profile` default output).
+void render_text(const ProfileReport& report, std::ostream& os);
+
+/// Machine-readable export: config + content key + raw counters (exact) +
+/// every section/metric.  Schema keys are fixed; see docs/MODEL_REFERENCE.md.
+void write_profile_json(const ProfileReport& report, std::ostream& os);
+
+}  // namespace hsim::prof

@@ -1,0 +1,158 @@
+#include "prof/pmu.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/json_writer.hpp"
+
+namespace hsim::prof {
+namespace {
+
+struct CounterInfo {
+  std::string_view name;
+  std::string_view description;
+};
+
+// Indexed by Counter; order must match the enum (schema order).
+constexpr std::array<CounterInfo, kNumCounters> kCounterInfo{{
+    {"inst_issued", "instructions that won an issue slot"},
+    {"inst_retired", "instructions whose completion is known"},
+    {"inst_issued_alu", "INT32-pipe instructions issued"},
+    {"inst_issued_fma", "FP32/FMA-pipe instructions issued"},
+    {"inst_issued_fp64", "FP64-pipe instructions issued"},
+    {"inst_issued_dpx", "DPX instructions issued"},
+    {"inst_issued_tensor", "tensor-core (HMMA) instructions issued"},
+    {"inst_issued_lsu", "load/store instructions issued"},
+    {"inst_issued_dsm", "SM-to-SM (distributed smem) instructions issued"},
+    {"inst_issued_control", "control instructions issued (bar, exit, ...)"},
+    {"warps_launched", "warps made resident by block launches"},
+    {"warps_retired", "warps that ran to completion"},
+    {"flops", "functional floating-point operations"},
+    {"sampled_cycles", "cycles covered by the warp-occupancy sampler"},
+    {"l1_sector_accesses", "sector requests entering L1 tag lookup"},
+    {"l1_sector_hits", "L1 sector hits"},
+    {"l1_sector_misses", "L1 sector misses (sector or line)"},
+    {"l2_sector_accesses", "sector requests entering L2 tag lookup"},
+    {"l2_sector_hits", "L2 sector hits"},
+    {"l2_sector_misses", "L2 sector misses"},
+    {"dram_sectors", "sectors served by DRAM"},
+    {"tlb_accesses", "address translations attempted"},
+    {"tlb_misses", "address translations that missed the TLB"},
+    {"smem_accesses", "warp-level shared-memory accesses"},
+    {"smem_conflict_phases", "extra serialised phases from bank conflicts"},
+    {"tensor_active_cycles", "tensor-core pipe busy cycles"},
+    {"tma_bytes", "bytes moved by TMA bulk copies"},
+    {"cp_async_bytes", "bytes moved by cp.async copies"},
+}};
+
+}  // namespace
+
+std::string_view counter_name(Counter c) noexcept {
+  return kCounterInfo[static_cast<std::size_t>(c)].name;
+}
+
+std::string_view counter_description(Counter c) noexcept {
+  return kCounterInfo[static_cast<std::size_t>(c)].description;
+}
+
+void PmuCounters::merge(const PmuCounters& other) noexcept {
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] += other.values[i];
+  for (std::size_t i = 0; i < occ_hist.size(); ++i) {
+    occ_hist[i] += other.occ_hist[i];
+  }
+}
+
+double PmuCounters::warp_cycles() const noexcept {
+  double total = 0.0;
+  for (std::size_t w = 0; w < occ_hist.size(); ++w) {
+    total += static_cast<double>(w) * occ_hist[w];
+  }
+  return total;
+}
+
+bool PmuCounters::conserved(std::string* why) const {
+  const auto fail = [&](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  const auto describe = [](std::string_view what, double lhs, double rhs) {
+    std::ostringstream os;
+    os << what << ": " << lhs << " vs " << rhs;
+    return os.str();
+  };
+
+  const double issued = get(Counter::kInstIssued);
+  const double retired = get(Counter::kInstRetired);
+  if (retired > issued) {
+    return fail(describe("inst_retired exceeds inst_issued", retired, issued));
+  }
+  double per_class = 0.0;
+  for (auto c = static_cast<std::size_t>(Counter::kIssuedAlu);
+       c <= static_cast<std::size_t>(Counter::kIssuedControl); ++c) {
+    per_class += values[c];
+  }
+  if (per_class != issued) {
+    return fail(
+        describe("per-class issue counters do not sum to inst_issued",
+                 per_class, issued));
+  }
+  if (get(Counter::kWarpsRetired) > get(Counter::kWarpsLaunched)) {
+    return fail(describe("warps_retired exceeds warps_launched",
+                         get(Counter::kWarpsRetired),
+                         get(Counter::kWarpsLaunched)));
+  }
+  const auto level = [&](Counter acc, Counter hit, Counter miss,
+                         std::string_view what) {
+    return get(acc) == get(hit) + get(miss)
+               ? std::string{}
+               : describe(what, get(acc), get(hit) + get(miss));
+  };
+  if (auto m = level(Counter::kL1SectorAccesses, Counter::kL1SectorHits,
+                     Counter::kL1SectorMisses, "L1 accesses != hits + misses");
+      !m.empty()) {
+    return fail(m);
+  }
+  if (auto m = level(Counter::kL2SectorAccesses, Counter::kL2SectorHits,
+                     Counter::kL2SectorMisses, "L2 accesses != hits + misses");
+      !m.empty()) {
+    return fail(m);
+  }
+  if (get(Counter::kTlbMisses) > get(Counter::kTlbAccesses)) {
+    return fail(describe("tlb_misses exceeds tlb_accesses",
+                         get(Counter::kTlbMisses),
+                         get(Counter::kTlbAccesses)));
+  }
+  double hist = 0.0;
+  for (const double h : occ_hist) hist += h;
+  if (hist != sampled_cycles()) {
+    return fail(describe("occupancy samples do not sum to sampled cycles",
+                         hist, sampled_cycles()));
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+void PmuCounters::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (i != 0) os << ",";
+    write_json_string(os, kCounterInfo[i].name);
+    os << ":";
+    write_json_number_exact(os, values[i]);
+  }
+  os << "},\"occupancy_hist\":[";
+  for (std::size_t w = 0; w < occ_hist.size(); ++w) {
+    if (w != 0) os << ",";
+    write_json_number_exact(os, occ_hist[w]);
+  }
+  os << "]}";
+}
+
+std::string PmuCounters::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace hsim::prof

@@ -1,0 +1,131 @@
+// Typed hardware performance-counter (PMU) registry.
+//
+// One `PmuCounters` block is the unit of collection: the SM core, the memory
+// hierarchy, shared memory, and the full-chip slice fabric all take an
+// optional `PmuCounters*` and increment into it behind a single branch per
+// event site — the same zero-overhead-when-disabled contract as
+// trace::TraceSink (no sink attached: no work beyond the branch, no
+// allocation ever; the steady state is pinned by tests/profile_test.cpp).
+//
+// Determinism: every increment is an exact integer-valued double (or a fixed
+// multiple of a device constant), per-SM blocks are private to their SM
+// during a full-chip epoch, and the engine merges them in SM-index order at
+// the end — so the merged block is bit-identical at any `--threads`, the
+// same way trace buffers are.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace hsim::prof {
+
+/// Counter identifiers.  The enumerator order is the public schema of the
+/// JSON export — append, never reorder.  The per-class issue counters are
+/// laid out in isa::UnitClass order so `kIssuedAlu + unit_class` indexes the
+/// right slot without a switch on the hot path.
+enum class Counter : std::uint16_t {
+  // Issue / retire ledger.
+  kInstIssued = 0,   // every instruction that won an issue slot
+  kInstRetired,      // completion known (deferred accesses retire at the
+                     // epoch barrier), so issued >= retired at all times
+  kIssuedAlu,        // per-UnitClass breakdown of kInstIssued
+  kIssuedFma,
+  kIssuedFp64,
+  kIssuedDpx,
+  kIssuedTensor,
+  kIssuedLsu,
+  kIssuedDsm,
+  kIssuedControl,
+  kWarpsLaunched,
+  kWarpsRetired,
+  kFlops,            // functional FLOP count (roofline numerator)
+  // Warp-state occupancy sampling (see PmuCounters::occ_hist).
+  kSampledCycles,
+  // Memory-hierarchy sector ledger.  Accesses are counted where the request
+  // enters a level, hits/misses where the tag lookup classifies it, so
+  // accesses == hits + misses is a real conservation check.
+  kL1SectorAccesses,
+  kL1SectorHits,
+  kL1SectorMisses,
+  kL2SectorAccesses,
+  kL2SectorHits,
+  kL2SectorMisses,
+  kDramSectors,      // sectors that fell through L2 to DRAM
+  kTlbAccesses,
+  kTlbMisses,
+  // Shared memory.
+  kSmemAccesses,        // warp-level shared accesses through the bank model
+  kSmemConflictPhases,  // extra serialised phases (degree - 1 per access)
+  // Tensor core / asynchronous copies.
+  kTensorActiveCycles,  // pipe-busy cycles charged at the mma cadence
+  kTmaBytes,            // bulk-copy bytes moved by the TMA engine
+  kCpAsyncBytes,        // cp.async bytes in flight through the LSU
+  kCount
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Occupancy histogram range: Hopper's 64 warps per SM (sm::SmLimits).
+inline constexpr int kMaxWarpsPerSm = 64;
+
+[[nodiscard]] std::string_view counter_name(Counter c) noexcept;
+[[nodiscard]] std::string_view counter_description(Counter c) noexcept;
+
+struct PmuCounters {
+  std::array<double, kNumCounters> values{};
+  // occ_hist[w] = cycles sampled with exactly w live warps on the SM; the
+  // issue loop samples every advanced cycle (idle skips credit their whole
+  // span), so sum(occ_hist) == kSampledCycles by conservation.
+  std::array<double, kMaxWarpsPerSm + 1> occ_hist{};
+
+  [[nodiscard]] double get(Counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+  void add(Counter c, double v) noexcept {
+    values[static_cast<std::size_t>(c)] += v;
+  }
+  void inc(Counter c) noexcept { values[static_cast<std::size_t>(c)] += 1.0; }
+  /// Per-class issue slot for a pre-resolved isa::UnitClass index.
+  void inc_issued_class(std::uint8_t unit_class) noexcept {
+    values[static_cast<std::size_t>(Counter::kIssuedAlu) + unit_class] += 1.0;
+  }
+  void sample_occupancy(int live_warps, double cycles) noexcept {
+    const int w = live_warps < 0 ? 0
+                  : live_warps > kMaxWarpsPerSm ? kMaxWarpsPerSm
+                                                : live_warps;
+    occ_hist[static_cast<std::size_t>(w)] += cycles;
+    values[static_cast<std::size_t>(Counter::kSampledCycles)] += cycles;
+  }
+
+  void reset() noexcept {
+    values.fill(0.0);
+    occ_hist.fill(0.0);
+  }
+  /// Element-wise accumulate; callers merge per-SM blocks in SM-index order
+  /// so the result is bit-identical regardless of host thread count.
+  void merge(const PmuCounters& other) noexcept;
+
+  /// Warp-cycles integral: sum over w of w * occ_hist[w].
+  [[nodiscard]] double warp_cycles() const noexcept;
+  /// Cycles the occupancy sampler covered (== get(kSampledCycles)).
+  [[nodiscard]] double sampled_cycles() const noexcept {
+    return get(Counter::kSampledCycles);
+  }
+
+  /// Internal conservation invariants (issued >= retired, level accesses ==
+  /// hits + misses, occupancy samples sum to sampled cycles).  Returns true
+  /// when all hold; otherwise false with a description in `why` (if given).
+  [[nodiscard]] bool conserved(std::string* why = nullptr) const;
+
+  /// Round-trip-exact JSON object (counter name -> value, plus the
+  /// occupancy histogram as an array).  Used by the bit-identity tests.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace hsim::prof

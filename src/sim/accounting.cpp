@@ -3,28 +3,20 @@
 #include <cstdio>
 #include <ostream>
 
-#include "common/json.hpp"
+#include "common/json_writer.hpp"
 
 namespace hsim::sim {
 namespace {
 
-/// JSON-safe formatting: never localised, compact for the magnitudes we
-/// emit (cycles, occupancies).
-void write_number(std::ostream& os, double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
-  os << buffer;
-}
-
 void write_stats(std::ostream& os, const RunningStats& stats) {
   os << "{\"mean\":";
-  write_number(os, stats.count() ? stats.mean() : 0.0);
+  write_json_number(os, stats.count() ? stats.mean() : 0.0);
   os << ",\"min\":";
-  write_number(os, stats.count() ? stats.min() : 0.0);
+  write_json_number(os, stats.count() ? stats.min() : 0.0);
   os << ",\"max\":";
-  write_number(os, stats.count() ? stats.max() : 0.0);
+  write_json_number(os, stats.count() ? stats.max() : 0.0);
   os << ",\"stddev\":";
-  write_number(os, stats.count() ? stats.stddev() : 0.0);
+  write_json_number(os, stats.count() ? stats.stddev() : 0.0);
   os << ",\"count\":" << stats.count() << "}";
 }
 
@@ -82,9 +74,9 @@ void CycleReport::write_chrome_trace(std::ostream& os) const {
     write_json_escaped(os, name);
     os << "\",\"ph\":\"C\",\"pid\":0,\"tid\":0,"
        << "\"ts\":" << ts++ << ",\"args\":{\"occupancy\":";
-    write_number(os, entry.occupancy.count() ? entry.occupancy.mean() : 0.0);
+    write_json_number(os, entry.occupancy.count() ? entry.occupancy.mean() : 0.0);
     os << ",\"busy_cycles\":";
-    write_number(os, entry.busy_cycles.count() ? entry.busy_cycles.mean() : 0.0);
+    write_json_number(os, entry.busy_cycles.count() ? entry.busy_cycles.mean() : 0.0);
     os << "}}";
   }
   os << "]}\n";

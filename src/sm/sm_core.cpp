@@ -111,6 +111,8 @@ struct SmCore::MicroOp {
   int num_srcs = 0;
   std::array<int, 3> srcs{};
   bool waw_check = false;
+  std::uint8_t unit_class = 0;  // isa::UnitClass, pre-resolved for the PMU
+  double flops = 0;             // per-warp FLOPs this instruction performs
   trace::StallReason busy_reason = trace::StallReason::kStructural;
   std::array<sim::PipelinedUnit*, 4> pipe{};  // issue gate; null = none
   std::string_view name;        // mnemonic (static storage, trace-safe)
@@ -175,6 +177,7 @@ mem::SharedMemory& SmCore::shared() {
     shared_ = std::make_unique<mem::SharedMemory>(device_.memory.smem_max_per_sm,
                                                   device_.memory.smem_banks);
     shared_->set_trace(trace_);
+    shared_->set_pmu(pmu_);
   }
   return *shared_;
 }
@@ -182,6 +185,11 @@ mem::SharedMemory& SmCore::shared() {
 void SmCore::set_trace(trace::TraceSink* sink) {
   trace_ = sink;
   if (shared_) shared_->set_trace(sink);
+}
+
+void SmCore::set_pmu(prof::PmuCounters* pmu) {
+  pmu_ = pmu;
+  if (shared_) shared_->set_pmu(pmu);
 }
 
 std::uint64_t SmCore::reg(int warp, int reg_index, int lane) const {
@@ -243,6 +251,26 @@ void SmCore::decode_program(const isa::Program& program) {
     }
     m.waw_check = inst.rd != isa::kRegNone && inst.op != isa::Opcode::kClock;
     m.name = isa::mnemonic(inst.op);
+    m.unit_class = static_cast<std::uint8_t>(isa::unit_of(inst.op));
+    // Per-warp FLOP weights for the roofline numerator: 32 lanes, FMA
+    // counts two, packed-half two per lane, HMMA the full m16n8k16 tile.
+    switch (inst.op) {
+      case isa::Opcode::kFAdd:
+      case isa::Opcode::kFMul:
+      case isa::Opcode::kDAdd:
+      case isa::Opcode::kDMul:
+        m.flops = 32.0;
+        break;
+      case isa::Opcode::kFFma:
+      case isa::Opcode::kHAdd2:
+        m.flops = 64.0;
+        break;
+      case isa::Opcode::kHMma:
+        m.flops = 2.0 * 16.0 * 8.0 * 16.0;
+        break;
+      default:
+        break;
+    }
     switch (isa::unit_of(inst.op)) {
       case isa::UnitClass::kFma:
         for (int s = 0; s < 4; ++s) m.pipe[static_cast<std::size_t>(s)] =
@@ -351,6 +379,7 @@ void SmCore::begin(const isa::Program& program, int block_slots,
   async_waits_.clear();
   wait_groups_.clear();
   access_pending_ = false;
+  pmu_pending_retire_ = 0;
 }
 
 void SmCore::launch_block(int slot, int block_global_id, double at) {
@@ -394,6 +423,10 @@ void SmCore::launch_block(int slot, int block_global_id, double at) {
     w.async_head = 0;
     w.async_open = acquire_async_slot(w);
     ++live_;
+  }
+  if (pmu_ != nullptr) {
+    pmu_->add(prof::Counter::kWarpsLaunched,
+              static_cast<double>(warps_per_block));
   }
   if (trace_ != nullptr) {
     for (int j = 0; j < warps_per_block; ++j) {
@@ -531,8 +564,13 @@ bool SmCore::advance(double until) {
             static_cast<std::uint64_t>(steps - 1.0) *
             static_cast<std::uint64_t>(active_scheds_);
       }
+      // The skipped span had no issues, so the live-warp count is constant
+      // across it — crediting the whole span here is bit-identical to
+      // sampling it cycle by cycle.
+      if (pmu_ != nullptr) pmu_->sample_occupancy(live_, steps);
       now_ += steps;
     } else {
+      if (pmu_ != nullptr) pmu_->sample_occupancy(live_, 1.0);
       now_ += 1.0;
     }
   }
@@ -671,6 +709,13 @@ void SmCore::resolve_async_waits() {
   }
   async_waits_.clear();
   wait_groups_.clear();
+  // Every deferred access from previous epochs has a resolved ticket once
+  // the barrier lands, so the instructions it kept in flight retire here.
+  if (pmu_ != nullptr && pmu_pending_retire_ != 0) {
+    pmu_->add(prof::Counter::kInstRetired,
+              static_cast<double>(pmu_pending_retire_));
+    pmu_pending_retire_ = 0;
+  }
 }
 
 RunResult SmCore::finalize() {
@@ -751,6 +796,7 @@ void SmCore::issue_at(Warp& warp, const MicroOp& m, double now) {
     warp.reg_ready[static_cast<std::size_t>(m.rd)] = completion;
     warp.reg_reason[static_cast<std::size_t>(m.rd)] = value_reason_;
   }
+  const bool deferred = access_pending_;
   if (access_pending_) {
     // Deferred full-chip access: the provisional completion is +inf; the
     // epoch-barrier resolution patches the scoreboard slot (and the kernel
@@ -772,6 +818,23 @@ void SmCore::issue_at(Warp& warp, const MicroOp& m, double now) {
     last_completion_ = std::max(last_completion_, access_floor_);
   }
   ++result_.instructions_issued;
+  if (pmu_ != nullptr) {
+    pmu_->inc(prof::Counter::kInstIssued);
+    pmu_->inc_issued_class(m.unit_class);
+    if (m.flops != 0.0) pmu_->add(prof::Counter::kFlops, m.flops);
+    if (m.unit_class == static_cast<std::uint8_t>(isa::UnitClass::kTensor)) {
+      // The pipe is busy for one initiation interval per back-to-back issue.
+      pmu_->add(prof::Counter::kTensorActiveCycles, units_->tensor_ii);
+    }
+    // Retirement: known-completion instructions retire at issue (the model
+    // resolves them functionally); deferred full-chip accesses retire when
+    // the epoch barrier lands their tickets (resolve_async_waits).
+    if (deferred) {
+      ++pmu_pending_retire_;
+    } else {
+      pmu_->inc(prof::Counter::kInstRetired);
+    }
+  }
   if (trace_ != nullptr) {
     // A deferred access has no completion yet; report the L2-hit latency as
     // a provisional lower bound on the issue span.
@@ -787,6 +850,7 @@ void SmCore::issue_at(Warp& warp, const MicroOp& m, double now) {
   if (m.op == isa::Opcode::kExit) {
     warp.done = true;
     ++result_.warps_retired;
+    if (pmu_ != nullptr) pmu_->inc(prof::Counter::kWarpsRetired);
     mark_barrier_dirty(warp.block);
     wake_[static_cast<std::size_t>(warp.id)] = kInf;
     if (trace_ != nullptr) {
@@ -807,6 +871,7 @@ void SmCore::issue_at(Warp& warp, const MicroOp& m, double now) {
     if (warp.iteration >= prog_iterations_) {
       warp.done = true;
       ++result_.warps_retired;
+      if (pmu_ != nullptr) pmu_->inc(prof::Counter::kWarpsRetired);
       mark_barrier_dirty(warp.block);
       if (trace_ != nullptr) {
         trace_->on_event({trace::EventKind::kRetire, StallReason::kNone, now,
@@ -1043,6 +1108,9 @@ double SmCore::memory_op(Warp& warp, const MicroOp& m, double now) {
       if (warp.id % warps_per_block != 0) return now + 1;  // non-elected: nop
       u.lsu.issue(now);
       const auto bytes = static_cast<std::uint32_t>(std::max<std::int64_t>(m.imm, 32));
+      if (pmu_ != nullptr) {
+        pmu_->add(prof::Counter::kTmaBytes, static_cast<double>(bytes));
+      }
       double completion;
       bool pending = false;
       if (mem_ == nullptr) {
@@ -1130,6 +1198,10 @@ double SmCore::memory_op(Warp& warp, const MicroOp& m, double now) {
       if (m.op == Opcode::kCpAsync) {
         // Asynchronous: the warp is not blocked; completion lands in the
         // open async group (plus the shared-memory write hop).
+        if (pmu_ != nullptr) {
+          pmu_->add(prof::Counter::kCpAsyncBytes,
+                    32.0 * static_cast<double>(m.access_bytes));
+        }
         const double finite = access_pending_ ? access_floor_ : completion;
         fold_async(warp, finite + device_.memory.smem_latency, access_pending_);
         access_pending_ = false;

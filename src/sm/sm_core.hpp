@@ -25,6 +25,7 @@
 #include "isa/program.hpp"
 #include "mem/memory_system.hpp"
 #include "mem/shared_mem.hpp"
+#include "prof/pmu.hpp"
 #include "sim/accounting.hpp"
 #include "sim/pipeline.hpp"
 #include "trace/trace.hpp"
@@ -127,6 +128,15 @@ class SmCore {
   void set_trace(trace::TraceSink* sink);
   [[nodiscard]] trace::TraceSink* trace() const noexcept { return trace_; }
 
+  /// Attach (or detach, with nullptr) a performance-counter block.  Same
+  /// zero-overhead contract as set_trace: with no block attached the issue
+  /// loop does nothing beyond one branch per counter site and never
+  /// allocates; the core's SharedMemory (if created) inherits the block.
+  /// Counters accumulate across begin()/run() calls; callers wanting a
+  /// per-run reading attach a fresh block (or reset() it).
+  void set_pmu(prof::PmuCounters* pmu);
+  [[nodiscard]] prof::PmuCounters* pmu() const noexcept { return pmu_; }
+
   /// Event-driven idle skipping: when no scheduler can issue and no sink is
   /// attached, jump straight to the next cycle any warp could become
   /// issuable (crediting the skipped scheduler slots as stall cycles).
@@ -171,6 +181,11 @@ class SmCore {
   double last_completion_ = 0;  // latest completion time of any issued inst
   int barrier_target_ = 0;  // warps per block, set by begin()
   trace::TraceSink* trace_ = nullptr;
+  prof::PmuCounters* pmu_ = nullptr;
+  // Instructions issued with a deferred (full-chip) completion; they count
+  // as retired once the epoch barrier resolves their tickets, so
+  // inst_issued >= inst_retired holds at every observable point.
+  std::uint64_t pmu_pending_retire_ = 0;
   // Incremental-run state (begin/advance); run() drives the same loop.
   const isa::Program* program_ = nullptr;
   std::vector<MicroOp> decoded_;  // one per static instruction, from begin()

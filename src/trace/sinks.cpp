@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
-#include "common/json.hpp"
+#include "common/json_writer.hpp"
 #include "common/table.hpp"
 
 namespace hsim::trace {

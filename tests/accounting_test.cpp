@@ -5,7 +5,7 @@
 #include <sstream>
 #include <string>
 
-#include "common/json.hpp"
+#include "common/json_writer.hpp"
 
 namespace hsim::sim {
 namespace {

@@ -1,0 +1,450 @@
+#include "prof/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "conformance/golden.hpp"
+#include "gpu/gpu_engine.hpp"
+#include "mem/memory_system.hpp"
+#include "prof/pmu.hpp"
+#include "sim/sweep.hpp"
+#include "sm/sm_core.hpp"
+#include "trace/kernels.hpp"
+
+// Global allocation counter: the PMU inherits trace's zero-overhead
+// contract — with no counter block attached the issue loop must not
+// allocate, and even with one attached every increment is a plain array
+// add, so allocation counts must not scale with the iteration count.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hsim::prof {
+namespace {
+
+constexpr const char* kKernels[] = {"mma",    "ffma_dep",      "mem_l2",
+                                    "mem_global", "smem_conflict", "barrier",
+                                    "dsm",    "tma"};
+
+struct ProfiledRun {
+  sm::RunResult result;
+  PmuCounters pmu;
+};
+
+ProfiledRun run_profiled(const arch::DeviceSpec& device,
+                         std::string_view kernel, std::uint32_t iterations,
+                         bool attach = true) {
+  auto spec = trace::make_trace_kernel(kernel, iterations);
+  ProfiledRun out;
+  EXPECT_TRUE(spec.has_value()) << kernel;
+  if (!spec.has_value()) return out;
+  std::unique_ptr<mem::MemorySystem> memsys;
+  if (spec.value().needs_mem) {
+    memsys = std::make_unique<mem::MemorySystem>(device, 1);
+    if (attach) memsys->set_pmu(&out.pmu);
+  }
+  sm::SmCore core(device, memsys.get());
+  if (attach) core.set_pmu(&out.pmu);
+  out.result = core.run(spec.value().program,
+                        {.threads_per_block = spec.value().threads_per_block,
+                         .blocks = spec.value().blocks});
+  return out;
+}
+
+TEST(PmuCounters, MergeAccumulatesValuesAndHistogram) {
+  PmuCounters a, b;
+  a.inc(Counter::kInstIssued);
+  a.inc_issued_class(0);
+  a.sample_occupancy(3, 10.0);
+  b.add(Counter::kInstIssued, 2.0);
+  b.add(Counter::kIssuedFma, 2.0);
+  b.sample_occupancy(3, 5.0);
+  b.sample_occupancy(70, 1.0);  // clamps into the top bucket
+  b.sample_occupancy(-2, 1.0);  // clamps into bucket 0
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get(Counter::kInstIssued), 3.0);
+  EXPECT_DOUBLE_EQ(a.occ_hist[3], 15.0);
+  EXPECT_DOUBLE_EQ(a.occ_hist[kMaxWarpsPerSm], 1.0);
+  EXPECT_DOUBLE_EQ(a.occ_hist[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.sampled_cycles(), 17.0);
+  EXPECT_DOUBLE_EQ(a.warp_cycles(), 3.0 * 15.0 + 64.0);
+  EXPECT_TRUE(a.conserved());
+}
+
+TEST(PmuCounters, ConservedCatchesEachImbalance) {
+  PmuCounters pmu;
+  EXPECT_TRUE(pmu.conserved());  // all-zero block is trivially conserved
+
+  pmu.inc(Counter::kInstIssued);
+  std::string why;
+  EXPECT_FALSE(pmu.conserved(&why));  // per-class sum 0 != issued 1
+  EXPECT_FALSE(why.empty());
+  pmu.inc_issued_class(0);  // kIssuedAlu
+  pmu.inc(Counter::kInstRetired);
+  EXPECT_TRUE(pmu.conserved());
+
+  pmu.inc(Counter::kInstRetired);  // retired 2 > issued 1
+  EXPECT_FALSE(pmu.conserved());
+  pmu.inc(Counter::kInstIssued);
+  pmu.inc_issued_class(1);
+  EXPECT_TRUE(pmu.conserved());
+
+  pmu.add(Counter::kL1SectorAccesses, 2.0);
+  pmu.inc(Counter::kL1SectorHits);
+  EXPECT_FALSE(pmu.conserved(&why));  // accesses 2 != hits 1 + misses 0
+  pmu.inc(Counter::kL1SectorMisses);
+  EXPECT_TRUE(pmu.conserved());
+
+  pmu.occ_hist[4] += 1.0;  // histogram no longer sums to sampled cycles
+  EXPECT_FALSE(pmu.conserved());
+}
+
+TEST(PmuCounters, JsonRoundsNothing) {
+  PmuCounters pmu;
+  pmu.add(Counter::kFlops, 1e15 + 1.0);  // needs all 17 digits
+  const std::string json = pmu.to_json();
+  EXPECT_NE(json.find("\"flops\":1000000000000001"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"occupancy_hist\""), std::string::npos);
+}
+
+// Every bundled kernel must produce a conserved counter block whose ledger
+// agrees with the core's own result counters.
+TEST(PmuProfile, KernelsConserveAndMatchTheLedger) {
+  const auto& device = arch::h800_pcie();
+  for (const char* kernel : kKernels) {
+    const auto run = run_profiled(device, kernel, 64);
+    std::string why;
+    EXPECT_TRUE(run.pmu.conserved(&why)) << kernel << ": " << why;
+    EXPECT_EQ(run.pmu.get(Counter::kInstIssued),
+              static_cast<double>(run.result.instructions_issued))
+        << kernel;
+    EXPECT_EQ(run.pmu.get(Counter::kInstRetired),
+              run.pmu.get(Counter::kInstIssued))
+        << kernel << ": not all instructions retired at kernel end";
+    EXPECT_EQ(run.pmu.get(Counter::kWarpsRetired),
+              static_cast<double>(run.result.warps_retired))
+        << kernel;
+    EXPECT_GT(run.pmu.sampled_cycles(), 0.0) << kernel;
+  }
+}
+
+TEST(PmuProfile, CountersLandWhereTheKernelPointsThem) {
+  const auto& device = arch::h800_pcie();
+  const auto l2 = run_profiled(device, "mem_l2", 64);
+  EXPECT_GT(l2.pmu.get(Counter::kL2SectorAccesses), 0.0);
+  EXPECT_GT(l2.pmu.get(Counter::kTlbAccesses), 0.0);
+  EXPECT_GT(l2.pmu.get(Counter::kIssuedLsu), 0.0);
+
+  const auto mma = run_profiled(device, "mma", 64);
+  EXPECT_GT(mma.pmu.get(Counter::kIssuedTensor), 0.0);
+  EXPECT_GT(mma.pmu.get(Counter::kTensorActiveCycles), 0.0);
+  EXPECT_GT(mma.pmu.get(Counter::kFlops), 0.0);
+
+  const auto smem = run_profiled(device, "smem_conflict", 64);
+  EXPECT_GT(smem.pmu.get(Counter::kSmemAccesses), 0.0);
+  EXPECT_GT(smem.pmu.get(Counter::kSmemConflictPhases), 0.0);
+
+  const auto tma = run_profiled(device, "tma", 64);
+  EXPECT_GT(tma.pmu.get(Counter::kTmaBytes), 0.0);
+}
+
+// Attaching a counter block must not change timing, and the issue loop must
+// not allocate per iteration whether or not a block is attached (the
+// trace-sink zero-overhead contract, extended to the PMU).
+TEST(PmuProfile, DisabledCollectionIsFreeAndTimingInvariant) {
+  const auto& device = arch::h800_pcie();
+  const auto with = run_profiled(device, "mma", 256, /*attach=*/true);
+  const auto without = run_profiled(device, "mma", 256, /*attach=*/false);
+  EXPECT_EQ(with.result.cycles, without.result.cycles);
+  EXPECT_EQ(with.result.instructions_issued, without.result.instructions_issued);
+  EXPECT_EQ(with.result.stall_cycles, without.result.stall_cycles);
+  EXPECT_EQ(without.pmu.get(Counter::kInstIssued), 0.0);  // untouched
+
+  const auto allocations_for = [&](std::uint32_t iterations,
+                                   bool attach) -> std::uint64_t {
+    auto spec = trace::make_trace_kernel("mma", iterations);
+    EXPECT_TRUE(spec.has_value());
+    if (!spec.has_value()) return 0;
+    PmuCounters pmu;
+    sm::SmCore core(device, nullptr);
+    if (attach) core.set_pmu(&pmu);
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    const auto result = core.run(
+        spec.value().program,
+        {.threads_per_block = spec.value().threads_per_block,
+         .blocks = spec.value().blocks});
+    const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_GT(result.instructions_issued, 0u);
+    return after - before;
+  };
+  for (const bool attach : {false, true}) {
+    const std::uint64_t small = allocations_for(64, attach);
+    const std::uint64_t large = allocations_for(4096, attach);
+    EXPECT_EQ(small, large)
+        << (attach ? "attached" : "detached")
+        << " counting allocated " << (large - small) << " extra times";
+  }
+}
+
+// Counter blocks collected through the sweep engine are bit-identical at 1
+// and 8 host threads (mirrors trace_test's breakdown identity).
+TEST(PmuSweep, SingleSmBitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kPoints = 8;
+  const auto run_at = [&](std::size_t threads) {
+    return sim::sweep(
+        kPoints,
+        [&](sim::SweepContext& ctx) -> std::string {
+          const auto run = run_profiled(arch::h800_pcie(),
+                                        kKernels[ctx.index() % kPoints], 96);
+          return run.pmu.to_json();
+        },
+        {.threads = threads});
+  };
+  const auto serial = run_at(1);
+  const auto parallel = run_at(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "point " << i;
+  }
+}
+
+// Full-chip counters: per-SM blocks merged in SM-index order plus the
+// fabric block must be bit-identical at any engine thread count, conserved,
+// and in agreement with the chip's retirement ledger.
+TEST(PmuFullChip, BitIdenticalAcrossEngineThreads) {
+  const auto& device = arch::h800_pcie();
+  for (const char* kernel : {"mem_l2", "mma"}) {
+    auto spec = trace::make_trace_kernel(kernel, 48);
+    ASSERT_TRUE(spec.has_value());
+    sm::LaunchConfig config;
+    config.threads_per_block = spec.value().threads_per_block;
+    config.total_blocks = 2 * device.sm_count;  // force slot recycling
+
+    std::vector<std::string> snapshots;
+    for (const int threads : {1, 4, 8}) {
+      PmuCounters pmu;
+      gpu::ChipOptions options;
+      options.threads = threads;
+      options.max_blocks_per_sm = 1;
+      options.pmu = &pmu;
+      const gpu::GpuEngine engine(device, std::move(options));
+      const auto chip = engine.run(spec.value().program, config);
+      ASSERT_TRUE(chip.has_value()) << kernel;
+      std::string why;
+      EXPECT_TRUE(pmu.conserved(&why)) << kernel << ": " << why;
+      EXPECT_EQ(pmu.get(Counter::kInstIssued),
+                static_cast<double>(chip.value().instructions_issued))
+          << kernel;
+      EXPECT_EQ(pmu.get(Counter::kInstRetired),
+                pmu.get(Counter::kInstIssued))
+          << kernel;
+      EXPECT_EQ(pmu.get(Counter::kWarpsRetired),
+                static_cast<double>(chip.value().warps_retired))
+          << kernel;
+      snapshots.push_back(pmu.to_json());
+    }
+    EXPECT_EQ(snapshots[0], snapshots[1]) << kernel << ": 1 vs 4 threads";
+    EXPECT_EQ(snapshots[0], snapshots[2]) << kernel << ": 1 vs 8 threads";
+  }
+}
+
+// Running with no PMU attached must leave the chip result bit-identical to
+// a counted run (counters observe, never perturb).
+TEST(PmuFullChip, CountingDoesNotPerturbTheChip) {
+  const auto& device = arch::h800_pcie();
+  auto spec = trace::make_trace_kernel("ffma_dep", 32);
+  ASSERT_TRUE(spec.has_value());
+  sm::LaunchConfig config;
+  config.threads_per_block = spec.value().threads_per_block;
+  config.total_blocks = device.sm_count;
+
+  const auto run_chip = [&](PmuCounters* pmu) {
+    gpu::ChipOptions options;
+    options.pmu = pmu;
+    const gpu::GpuEngine engine(device, std::move(options));
+    auto chip = engine.run(spec.value().program, config);
+    EXPECT_TRUE(chip.has_value());
+    return std::move(chip).value();
+  };
+  PmuCounters pmu;
+  const auto counted = run_chip(&pmu);
+  const auto plain = run_chip(nullptr);
+  EXPECT_EQ(counted.cycles, plain.cycles);
+  EXPECT_EQ(counted.instructions_issued, plain.instructions_issued);
+  EXPECT_EQ(counted.stall_cycles, plain.stall_cycles);
+  EXPECT_EQ(counted.epochs, plain.epochs);
+}
+
+TEST(ProfileReport, SectionsMetricsAndContentKey) {
+  const auto& device = arch::h800_pcie();
+  const auto run = run_profiled(device, "mem_l2", 128);
+
+  ProfileInput input;
+  input.pmu = run.pmu;
+  input.cycles = run.result.cycles;
+  input.sms = 1;
+
+  ProfileConfig config;
+  config.device = device.name;
+  config.kernel = "mem_l2";
+  config.config = "iters=128";
+  const ProfileReport report = build_profile(device, input, config);
+
+  for (const char* id : {"occupancy", "issue", "memory", "sol", "roofline"}) {
+    EXPECT_NE(report.section(id), nullptr) << id;
+  }
+  EXPECT_EQ(report.metric("issue", "inst_issued"),
+            run.pmu.get(Counter::kInstIssued));
+  EXPECT_GT(report.metric("memory", "l2_hit_rate"), 0.0);
+  EXPECT_GT(report.metric("occupancy", "achieved_occupancy"), 0.0);
+  EXPECT_TRUE(std::isnan(report.metric("memory", "no_such_metric")));
+  EXPECT_TRUE(std::isnan(report.metric("no_such_section", "l2_hit_rate")));
+
+  // The issue mix is a partition of issued instructions.
+  double mix = 0.0;
+  for (const char* m : {"mix_alu", "mix_fma", "mix_fp64", "mix_dpx",
+                        "mix_tensor", "mix_lsu", "mix_dsm", "mix_control"}) {
+    mix += report.metric("issue", m);
+  }
+  EXPECT_NEAR(mix, 100.0, 1e-9);
+
+  // Content key: pure function of the config, sensitive to every field.
+  EXPECT_EQ(report.key, content_key(config));
+  ProfileConfig chip_config = config;
+  chip_config.full_chip = true;
+  EXPECT_NE(content_key(chip_config), content_key(config));
+  ProfileConfig other_kernel = config;
+  other_kernel.kernel = "mma";
+  EXPECT_NE(content_key(other_kernel), content_key(config));
+
+  std::ostringstream text;
+  render_text(report, text);
+  EXPECT_NE(text.str().find("== hsim profile: mem_l2"), std::string::npos);
+  EXPECT_NE(text.str().find("-- Memory Chart --"), std::string::npos);
+
+  std::ostringstream json;
+  write_profile_json(report, json);
+  EXPECT_NE(json.str().find("\"schema\":\"hsim-profile-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"sections\":["), std::string::npos);
+  EXPECT_NE(json.str().find("\"key\":\"" + report.key + "\""),
+            std::string::npos);
+}
+
+TEST(ProfileReport, RooflineSwitchesPeakWithTensorUse) {
+  const auto& device = arch::h800_pcie();
+  const auto mma = run_profiled(device, "mma", 64);
+  ProfileInput input;
+  input.pmu = mma.pmu;
+  input.cycles = mma.result.cycles;
+  const auto report =
+      build_profile(device, input, {device.name, "mma", "", false});
+  EXPECT_GT(report.metric("roofline", "flops"), 0.0);
+  EXPECT_GT(report.metric("roofline", "peak_tensor_gflops"),
+            report.metric("roofline", "peak_fp32_gflops"));
+
+  const auto ffma = run_profiled(device, "ffma_dep", 64);
+  ProfileInput scalar_input;
+  scalar_input.pmu = ffma.pmu;
+  scalar_input.cycles = ffma.result.cycles;
+  const auto scalar =
+      build_profile(device, scalar_input, {device.name, "ffma_dep", "", false});
+  // No tensor issues: the compute roof falls back to the FP32 peak.
+  EXPECT_EQ(scalar.metric("roofline", "flops"),
+            ffma.pmu.get(Counter::kFlops));
+}
+
+// Golden profile shape: the *ordinal* facts of a report — section layout,
+// the dominant issue class, memory- vs compute-bound placement — snapshot
+// under tests/golden/.  Exact counter values stay free to move with the
+// model; re-bless with HSIM_UPDATE_GOLDEN=1.
+TEST(ProfileGolden, ReportShape) {
+  const auto& device = arch::h800_pcie();
+  conformance::ShapeMap shape;
+  static constexpr std::array<std::pair<const char*, const char*>, 8>
+      kMixMetrics{{{"mix_alu", "alu"},
+                   {"mix_fma", "fma"},
+                   {"mix_fp64", "fp64"},
+                   {"mix_dpx", "dpx"},
+                   {"mix_tensor", "tensor"},
+                   {"mix_lsu", "lsu"},
+                   {"mix_dsm", "dsm"},
+                   {"mix_control", "control"}}};
+  for (const char* kernel : {"mem_l2", "mma", "ffma_dep"}) {
+    const auto run = run_profiled(device, kernel, 128);
+    ProfileInput input;
+    input.pmu = run.pmu;
+    input.cycles = run.result.cycles;
+    const auto report = build_profile(
+        device, input, {"h800", kernel, "iters=128", false});
+    const std::string prefix = std::string("profile.") + kernel + ".";
+
+    std::string ids;
+    for (const auto& section : report.sections) {
+      if (!ids.empty()) ids += ',';
+      ids += section.id;
+    }
+    shape[prefix + "sections"] = ids;
+
+    double best = -1.0;
+    std::string dominant = "none";
+    for (const auto& [metric, label] : kMixMetrics) {
+      const double value = report.metric("issue", metric);
+      if (value > best) {
+        best = value;
+        dominant = label;
+      }
+    }
+    shape[prefix + "dominant_mix"] = dominant;
+    shape[prefix + "compute_bound"] =
+        report.metric("roofline", "compute_bound") > 0.0 ? "true" : "false";
+    shape[prefix + "touches_l2"] =
+        report.metric("memory", "l2_sector_accesses") > 0.0 ? "true" : "false";
+    shape[prefix + "retires_all"] =
+        report.metric("issue", "inst_retired") ==
+                report.metric("issue", "inst_issued")
+            ? "true"
+            : "false";
+  }
+
+  const std::string path =
+      std::string(HSIM_GOLDEN_DIR) + "/profile_shape.json";
+  if (conformance::update_golden_requested()) {
+    conformance::save_shape(path, shape);
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  const auto expected = conformance::load_shape(path);
+  ASSERT_TRUE(expected.has_value())
+      << expected.error().to_string()
+      << " (regenerate with HSIM_UPDATE_GOLDEN=1)";
+  for (const auto& diff : conformance::diff_shapes(expected.value(), shape)) {
+    ADD_FAILURE() << "profile_shape.json: " << diff;
+  }
+}
+
+}  // namespace
+}  // namespace hsim::prof

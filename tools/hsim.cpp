@@ -12,9 +12,14 @@
 //                  [--top=N] [--trace-out=trace.json]
 //   hsim chip      <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]
 //                  [--threads=N] [--epoch=E] [--slices=N] [--top=N]
+//   hsim profile   <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]
+//                  [--full-chip] [--threads=N] [--json=out.json]
 //   hsim fuzz      <device> [--seed=N] [--count=K] [--threads=N]
 //                  [--no-shrink] [--out=repro.hsim] [--replay=repro.hsim]
 //                  [--full-chip] [--grid-blocks=N]
+//
+// Every subcommand rejects unrecognised `--flags` with the usage text and a
+// nonzero exit, so typos never silently fall back to defaults.
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -33,6 +38,8 @@
 #include "core/tcbench.hpp"
 #include "dsm/rbc.hpp"
 #include "gpu/gpu_engine.hpp"
+#include "prof/metrics.hpp"
+#include "prof/pmu.hpp"
 #include "sm/launcher.hpp"
 #include "sm/sm_core.hpp"
 #include "trace/kernels.hpp"
@@ -57,6 +64,10 @@ int usage() {
       "  chip <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]\n"
       "        [--threads=N] [--epoch=E] [--slices=N] [--top=N]\n"
       "        full-chip run: every SM simulated against a shared L2 fabric\n"
+      "  profile <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]\n"
+      "        [--full-chip] [--threads=N] [--json=out.json]\n"
+      "        hardware-counter profile: occupancy, issue, memory chart,\n"
+      "        speed-of-light and roofline sections\n"
       "  fuzz <device> [--seed=N] [--count=K] [--threads=N] [--no-shrink]\n"
       "        [--out=repro.hsim] [--replay=repro.hsim] [--full-chip]\n"
       "        [--grid-blocks=N]\n"
@@ -67,6 +78,19 @@ int usage() {
               << trace::trace_kernel_description(name) << "\n";
   }
   return 2;
+}
+
+/// Gate for subcommands whose operands are purely positional: any
+/// `-`-prefixed argument is unknown by construction.  (Commands with real
+/// flags reject unknown ones inside their own parse loops.)
+bool has_unknown_flags(const std::vector<std::string>& args) {
+  for (const auto& arg : args) {
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return true;
+    }
+  }
+  return false;
 }
 
 Expected<num::DType> parse_dtype(std::string_view text) {
@@ -464,6 +488,129 @@ int cmd_chip(const arch::DeviceSpec& device,
   return 0;
 }
 
+int cmd_profile(const arch::DeviceSpec& device,
+                const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& kernel_name = args[0];
+  std::uint32_t iters = 256;
+  int warps = 0;   // 0 = kernel default
+  int blocks = 0;  // 0 = kernel default (single SM) / one per SM (chip)
+  int threads = 0;
+  bool full_chip = false;
+  std::string json_out;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto value_of = [&](std::string_view prefix) -> const char* {
+      return arg.compare(0, prefix.size(), prefix) == 0
+                 ? arg.c_str() + prefix.size()
+                 : nullptr;
+    };
+    if (const char* v = value_of("--iters=")) {
+      iters = static_cast<std::uint32_t>(std::max(1, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--warps=")) {
+      warps = std::atoi(v);
+      continue;
+    }
+    if (const char* v = value_of("--blocks=")) {
+      blocks = std::atoi(v);
+      continue;
+    }
+    if (const char* v = value_of("--threads=")) {
+      threads = std::max(1, std::atoi(v));
+      continue;
+    }
+    if (arg == "--full-chip") {
+      full_chip = true;
+      continue;
+    }
+    if (const char* v = value_of("--json=")) {
+      json_out = v;
+      continue;
+    }
+    std::cerr << "unknown option: " << arg << "\n";
+    return usage();
+  }
+
+  auto kernel = trace::make_trace_kernel(kernel_name, iters);
+  if (!kernel) {
+    std::cerr << "unknown kernel: " << kernel_name << "\n";
+    return usage();
+  }
+
+  prof::PmuCounters pmu;
+  prof::ProfileInput input;
+  if (full_chip) {
+    sm::LaunchConfig config;
+    config.threads_per_block =
+        warps > 0 ? warps * 32 : kernel.value().threads_per_block;
+    config.total_blocks = blocks > 0 ? blocks : device.sm_count;
+    gpu::ChipOptions chip_options;
+    chip_options.threads = threads;
+    chip_options.pmu = &pmu;
+    const gpu::GpuEngine engine(device, std::move(chip_options));
+    const auto result = engine.run(kernel.value().program, config);
+    if (!result) {
+      std::cerr << result.error().to_string() << "\n";
+      return 1;
+    }
+    input.cycles = result.value().cycles;
+    input.sms = result.value().sms;
+    input.units = result.value().unit_usage;
+  } else {
+    sm::BlockShape shape;
+    shape.threads_per_block =
+        warps > 0 ? warps * 32 : kernel.value().threads_per_block;
+    shape.blocks = blocks > 0 ? blocks : kernel.value().blocks;
+    std::unique_ptr<mem::MemorySystem> memsys;
+    if (kernel.value().needs_mem) {
+      memsys = std::make_unique<mem::MemorySystem>(device, 1);
+      memsys->set_pmu(&pmu);
+    }
+    sm::SmCore core(device, memsys.get());
+    core.set_pmu(&pmu);
+    const auto result = core.run(kernel.value().program, shape);
+    input.cycles = result.cycles;
+    input.sms = 1;
+    input.units = core.unit_usage();
+    if (memsys) {
+      for (auto& sample : memsys->unit_usage()) {
+        input.units.push_back(std::move(sample));
+      }
+    }
+  }
+  input.pmu = pmu;
+
+  prof::ProfileConfig profile_config;
+  profile_config.device = device.name;
+  profile_config.kernel = kernel.value().name;
+  profile_config.config = "iters=" + std::to_string(iters) +
+                          " warps=" + std::to_string(warps) +
+                          " blocks=" + std::to_string(blocks);
+  profile_config.full_chip = full_chip;
+  const prof::ProfileReport report =
+      prof::build_profile(device, input, std::move(profile_config));
+
+  std::string why;
+  if (!input.pmu.conserved(&why)) {
+    std::cerr << "counter conservation violated: " << why << "\n";
+    return 1;
+  }
+  prof::render_text(report, std::cout);
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::cerr << "cannot open " << json_out << " for writing\n";
+      return 1;
+    }
+    prof::write_profile_json(report, os);
+    std::cout << "\nwrote profile JSON to " << json_out << " (key "
+              << report.key << ")\n";
+  }
+  return 0;
+}
+
 int cmd_fuzz(const arch::DeviceSpec& device,
              const std::vector<std::string>& args) {
   conformance::CampaignOptions options;
@@ -619,13 +766,23 @@ int main(int argc, char** argv) {
   // Reject unknown verbs before touching any other argument, so a typo'd
   // command names the accepted set instead of complaining about devices.
   static constexpr std::string_view kCommands[] = {
-      "devices", "pchase", "bandwidth", "sass", "tc",
-      "dpx",     "dsm",    "trace",     "chip", "fuzz"};
+      "devices", "pchase", "bandwidth", "sass", "tc",      "dpx",
+      "dsm",     "trace",  "chip",      "fuzz", "profile"};
   if (std::find(std::begin(kCommands), std::end(kCommands), command) ==
       std::end(kCommands)) {
     std::cerr << "unknown command: " << command << "\naccepted commands:";
     for (const auto name : kCommands) std::cerr << " " << name;
     std::cerr << "\n";
+    return usage();
+  }
+
+  // Positional-only commands share one unknown-flag gate; the rest reject
+  // unknown flags inside their own parse loops.
+  static constexpr std::string_view kPositionalOnly[] = {
+      "devices", "pchase", "bandwidth", "sass", "tc", "dpx", "dsm"};
+  if (std::find(std::begin(kPositionalOnly), std::end(kPositionalOnly),
+                command) != std::end(kPositionalOnly) &&
+      has_unknown_flags(args)) {
     return usage();
   }
 
@@ -656,6 +813,7 @@ int main(int argc, char** argv) {
   }
   if (command == "trace") return cmd_trace(*device.value(), rest);
   if (command == "chip") return cmd_chip(*device.value(), rest);
+  if (command == "profile") return cmd_profile(*device.value(), rest);
   if (command == "fuzz") return cmd_fuzz(*device.value(), rest);
   return usage();
 }

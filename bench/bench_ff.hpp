@@ -1,0 +1,92 @@
+// Shared --fast-forward section for the paper-table benches.
+//
+// When a bench is invoked with --fast-forward it appends a validation
+// table for its representative kernels: the sampled estimate (functional
+// fast-forward + detailed windows) against the exact cycle-accurate run,
+// with the cycle error and the fraction of instructions that were
+// simulated in detail.  One sweep point per (device, kernel) pair, so the
+// section is bit-identical at any --threads like everything else.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "bench_util.hpp"
+#include "ff/fast_forward.hpp"
+#include "trace/kernels.hpp"
+
+namespace hsim::bench {
+
+struct FastForwardSpec {
+  std::string kernel;        // trace-kernel name
+  std::uint32_t iters = 2048;
+  int warps = 8;             // per block; 0 = kernel default
+  int blocks = 4;            // 0 = kernel default
+};
+
+/// Append the sampled-vs-exact table for `specs` x `devices` to stdout.
+/// No-op unless opt.fast_forward.
+inline void emit_fast_forward_section(
+    std::span<const arch::DeviceSpec* const> devices,
+    std::span<const FastForwardSpec> specs, const Options& opt) {
+  if (!opt.fast_forward) return;
+
+  struct Point {
+    double est = 0;
+    double exact = 0;
+    double detailed_pct = 0;
+  };
+  std::vector<Point> points = sim::sweep(
+      devices.size() * specs.size(),
+      [&](sim::SweepContext& ctx) {
+        const auto& device = *devices[ctx.index() / specs.size()];
+        const auto& spec = specs[ctx.index() % specs.size()];
+        auto kernel = trace::make_trace_kernel(spec.kernel, spec.iters);
+        Point point;
+        if (!kernel) return point;
+        sm::BlockShape shape;
+        shape.threads_per_block =
+            spec.warps > 0 ? spec.warps * 32 : kernel->threads_per_block;
+        shape.blocks = spec.blocks > 0 ? spec.blocks : kernel->blocks;
+        const ff::FastForwardEngine engine(device);
+        ff::SampleOptions options;
+        options.interval = 128;
+        options.detail = 2;
+        options.warmup = 2;
+        const auto sampled =
+            engine.sample(kernel->program, shape, kernel->needs_mem, options);
+        const auto exact =
+            engine.exact(kernel->program, shape, kernel->needs_mem);
+        point.est = sampled.cycles_est;
+        point.exact = exact.result.cycles;
+        point.detailed_pct =
+            sampled.instructions > 0
+                ? 100.0 * static_cast<double>(sampled.detailed_instructions) /
+                      static_cast<double>(sampled.instructions)
+                : 0.0;
+        return point;
+      },
+      sweep_options(opt));
+
+  Table table("Fast-forward validation (sampled vs exact cycles)");
+  table.set_header(
+      {"Device", "Kernel", "Sampled est", "Exact", "Error %", "Detailed %"});
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      const auto& point = points[d * specs.size() + k];
+      const double err = point.exact > 0
+                             ? 100.0 * std::abs(point.est - point.exact) /
+                                   point.exact
+                             : 0.0;
+      table.add_row({devices[d]->name, specs[k].kernel,
+                     fmt_fixed(point.est, 0), fmt_fixed(point.exact, 0),
+                     fmt_fixed(err, 2), fmt_fixed(point.detailed_pct, 1)});
+    }
+  }
+  emit(table, opt);
+}
+
+}  // namespace hsim::bench

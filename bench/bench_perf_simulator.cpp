@@ -30,6 +30,7 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "dpx/functions.hpp"
+#include "ff/fast_forward.hpp"
 #include "gpu/gpu_engine.hpp"
 #include "mem/cache.hpp"
 #include "mem/memory_system.hpp"
@@ -37,6 +38,7 @@
 #include "sim/sweep.hpp"
 #include "sm/sm_core.hpp"
 #include "tensorcore/mma_func.hpp"
+#include "trace/kernels.hpp"
 
 namespace {
 
@@ -220,6 +222,32 @@ RateCase run_full_chip_dpx(const arch::DeviceSpec& device, double budget) {
   return r;
 }
 
+// Sampled smem bank-conflict kernel via the fast-forward engine: functional
+// warp mode between detailed windows.  Counts *estimated* cycles per wall
+// second — the rate a user sweeping with `hsim sample` actually gets, and
+// the case that regresses if the functional interpreter or the warmup
+// replay slows down.
+RateCase run_sampled_smem(const arch::DeviceSpec& device, double budget) {
+  RateCase r{.name = "sampled_smem_conflict"};
+  const auto kernel = trace::make_trace_kernel("smem_conflict", 8192);
+  if (!kernel) return r;
+  const ff::FastForwardEngine engine(device);
+  ff::SampleOptions options;
+  options.interval = 1024;
+  options.detail = 2;
+  options.warmup = 2;
+  const sm::BlockShape shape{.threads_per_block = 256, .blocks = 4};
+  const auto t0 = Clock::now();
+  do {
+    const auto sampled =
+        engine.sample(kernel->program, shape, kernel->needs_mem, options);
+    r.cycles += sampled.cycles_est;
+    ++r.reps;
+    r.wall_seconds = secs_since(t0);
+  } while (r.wall_seconds < budget);
+  return r;
+}
+
 void write_rates_json(const std::vector<RateCase>& cases,
                       const std::string& path) {
   std::ofstream out(path);
@@ -268,6 +296,7 @@ int run_sim_rate_suite(bool smoke, const std::string& baseline_path,
   cases.push_back(run_single_sm_dpx(device, budget));
   cases.push_back(run_single_sm_ldg(device, budget));
   cases.push_back(run_full_chip_dpx(device, budget));
+  cases.push_back(run_sampled_smem(device, budget));
 
   std::printf("%-24s %14s %6s %10s %14s\n", "case", "cycles", "reps",
               "wall (s)", "cycles/sec");

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <optional>
 
+#include "bench/bench_ff.hpp"
 #include "bench/bench_util.hpp"
 #include "core/pchase.hpp"
 #include "prof/pmu.hpp"
@@ -132,6 +133,9 @@ int main(int argc, char** argv) {
                   prof::Counter::kTlbAccesses)});
   }
   bench::emit(counters, opt);
+  const bench::FastForwardSpec ff_specs[] = {{"mem_global", 2048, 8, 4}};
+  bench::emit_fast_forward_section(devices, ff_specs, opt);
+
   bench::write_report(report, opt, argv[0]);
   return 0;
 }

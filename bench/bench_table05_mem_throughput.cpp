@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "bench/bench_ff.hpp"
 #include "bench/bench_util.hpp"
 #include "core/membench.hpp"
 #include "gpu/gpu_engine.hpp"
@@ -252,6 +253,9 @@ int main(int argc, char** argv) {
     }
     bench::emit(chip, opt);
   }
+
+  const bench::FastForwardSpec ff_specs[] = {{"mem_global", 2048, 8, 4}, {"smem_conflict", 2048, 8, 4}};
+  bench::emit_fast_forward_section(devices, ff_specs, opt);
 
   bench::write_report(report, opt, argv[0]);
   return 0;

@@ -8,6 +8,7 @@
 #include <optional>
 #include <tuple>
 
+#include "bench/bench_ff.hpp"
 #include "bench/bench_util.hpp"
 #include "core/tcbench.hpp"
 #include "prof/pmu.hpp"
@@ -160,6 +161,9 @@ int main(int argc, char** argv) {
          fmt_fixed(issued, 0)});
   }
   bench::emit(counters, opt);
+  const bench::FastForwardSpec ff_specs[] = {{"mma", 2048, 0, 0}};
+  bench::emit_fast_forward_section(devices, ff_specs, opt);
+
   bench::write_report(report, opt, argv[0]);
   return 0;
 }

@@ -13,6 +13,10 @@
 // Benches with a grid-level component also honour --full-chip: simulate
 // every SM against the shared L2 fabric (gpu::GpuEngine) instead of
 // extrapolating one representative SM.
+// Benches over sampleable kernels also honour --fast-forward: append a
+// sampled-vs-exact validation table (ff::FastForwardEngine) for the
+// bench's representative kernels — estimated cycles, exact cycles, error,
+// and the detailed-simulation fraction.
 #pragma once
 
 #include <cstdlib>
@@ -32,6 +36,7 @@ struct Options {
   bool quick = false;        // trim sweeps for CI
   bool report = true;        // cycle-accounting JSON next to the tables
   bool full_chip = false;    // grid points via gpu::GpuEngine (all SMs)
+  bool fast_forward = false; // append the sampled-vs-exact validation table
   std::size_t threads = 0;   // 0 = pool default (HSIM_SWEEP_THREADS aware)
   std::string report_path;   // empty = derive from argv[0]
   std::string trace_path;    // empty = no Chrome trace
@@ -45,6 +50,7 @@ inline Options parse_options(int argc, char** argv) {
     if (std::strcmp(arg, "--quick") == 0) opt.quick = true;
     if (std::strcmp(arg, "--no-report") == 0) opt.report = false;
     if (std::strcmp(arg, "--full-chip") == 0) opt.full_chip = true;
+    if (std::strcmp(arg, "--fast-forward") == 0) opt.fast_forward = true;
     if (std::strncmp(arg, "--threads=", 10) == 0) {
       const long parsed = std::strtol(arg + 10, nullptr, 10);
       if (parsed >= 1) opt.threads = static_cast<std::size_t>(parsed);

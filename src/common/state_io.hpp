@@ -1,0 +1,190 @@
+// Binary state serialization for simulator snapshot/restore.
+//
+// Every timing component exposes `save_state(StateWriter&)` /
+// `load_state(StateReader&)` built on these two classes.  The format is a
+// flat little-endian byte stream: fixed-width scalars, length-prefixed
+// blobs, and explicit section markers so a reader that drifts out of sync
+// with its writer fails at the next marker instead of silently
+// reinterpreting garbage.  The reader never throws and never reads out of
+// bounds — any overrun or marker mismatch latches `ok() == false` and all
+// subsequent reads return zeroes, so callers check once at the end.
+//
+// Versioning, content hashes and device/program identity live one level up
+// in the snapshot container (src/ff/snapshot); this layer is deliberately
+// dumb bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hsim::common {
+
+/// 64-bit FNV-1a over a byte range — the content address used by snapshot
+/// files (and, with the same constants, by the profiler's section keys).
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                                         std::uint64_t seed =
+                                             0xcbf29ce484222325ull) noexcept {
+  std::uint64_t hash = seed;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Append-only little-endian byte stream builder.
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  /// Length-prefixed raw blob.
+  void blob(std::span<const std::uint8_t> bytes) {
+    u64(bytes.size());
+    raw(bytes.data(), bytes.size());
+  }
+  /// Length-prefixed vector of doubles (scoreboards, wake caches).
+  void f64_vec(std::span<const double> v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(double));
+  }
+  /// Length-prefixed vector of u64 (register lanes).
+  void u64_vec(std::span<const std::uint64_t> v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(std::uint64_t));
+  }
+
+  /// Section marker: cheap structural checksum between components.
+  void marker(std::uint32_t tag) { u32(tag); }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {buf_.data(), buf_.size()};
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a byte span.  Sticky-fails on overrun or
+/// marker mismatch; all reads after a failure return zero values.
+class StateReader {
+ public:
+  explicit StateReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  double f64() {
+    double v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!check(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t n = u64();
+    if (!check(n)) return {};
+    std::vector<std::uint8_t> v(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() +
+                                    static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return v;
+  }
+  std::vector<double> f64_vec() {
+    const std::uint64_t n = u64();
+    if (!check(n * sizeof(double))) return {};
+    std::vector<double> v(static_cast<std::size_t>(n));
+    raw(v.data(), v.size() * sizeof(double));
+    return v;
+  }
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = u64();
+    if (!check(n * sizeof(std::uint64_t))) return {};
+    std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+    raw(v.data(), v.size() * sizeof(std::uint64_t));
+    return v;
+  }
+
+  /// Consume a marker written by StateWriter::marker; mismatch fails.
+  bool expect_marker(std::uint32_t tag) {
+    if (u32() != tag) ok_ = false;
+    return ok_;
+  }
+  /// Structural expectation (e.g. a restored vector must match the size the
+  /// live component was constructed with); mismatch latches failure.
+  bool expect(bool condition) {
+    if (!condition) ok_ = false;
+    return ok_;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  bool check(std::uint64_t n) {
+    if (!ok_ || n > data_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  void raw(void* p, std::size_t n) {
+    if (!check(n)) {
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace hsim::common

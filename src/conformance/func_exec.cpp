@@ -1,0 +1,452 @@
+#include "conformance/func_exec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/status.hpp"
+#include "numerics/types.hpp"
+
+namespace hsim::conformance {
+namespace {
+
+float as_f32(std::uint64_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+}
+std::uint64_t from_f32(float value) {
+  return std::bit_cast<std::uint32_t>(value);
+}
+double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+std::uint64_t from_f64(double value) { return std::bit_cast<std::uint64_t>(value); }
+std::int32_t as_s32(std::uint64_t bits) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(bits));
+}
+
+// Hardware canonicalizes NaN arithmetic results to one quiet-NaN encoding;
+// the pipeline mirrors that, so the reference must too (see ref_interp.cpp).
+std::uint64_t canon_f32(float value) {
+  return std::isnan(value) ? std::uint64_t{0x7fffffffu} : from_f32(value);
+}
+std::uint64_t canon_f64(double value) {
+  return std::isnan(value) ? std::uint64_t{0x7fffffffffffffffull}
+                           : from_f64(value);
+}
+
+std::uint32_t load_shared_u32(const std::vector<std::uint8_t>& shared,
+                              std::uint32_t byte_addr) {
+  HSIM_ASSERT(byte_addr + 4 <= shared.size());
+  std::uint32_t value;
+  std::memcpy(&value, shared.data() + byte_addr, sizeof(value));
+  return value;
+}
+
+void store_shared_u32(std::vector<std::uint8_t>& shared, std::uint32_t byte_addr,
+                      std::uint32_t value) {
+  HSIM_ASSERT(byte_addr + 4 <= shared.size());
+  std::memcpy(shared.data() + byte_addr, &value, sizeof(value));
+}
+
+void insert_sorted_unique(std::vector<std::uint64_t>& lines, std::uint64_t v) {
+  const auto it = std::lower_bound(lines.begin(), lines.end(), v);
+  if (it == lines.end() || *it != v) lines.insert(it, v);
+}
+
+}  // namespace
+
+FuncExec::FuncExec(const arch::DeviceSpec& device, const isa::Program& program,
+                   const sm::BlockShape& shape,
+                   std::span<const std::uint64_t> global)
+    : device_(device), program_(program), global_(global) {
+  HSIM_ASSERT(!program.empty());
+  HSIM_ASSERT(shape.blocks >= 1 && shape.threads_per_block >= 1);
+
+  int max_reg = 0;
+  for (const auto& inst : program.body()) {
+    max_reg = std::max({max_reg, inst.rd, inst.ra, inst.rb, inst.rc});
+  }
+  num_regs_ = max_reg + 1;
+  warps_per_block_ = shape.warps_per_block();
+  const int total_warps = shape.total_warps();
+  live_ = total_warps;
+
+  regs_.assign(static_cast<std::size_t>(total_warps),
+               std::vector<std::uint64_t>(
+                   static_cast<std::size_t>(num_regs_) * kLanes, 0));
+  shared_.assign(device.memory.smem_max_per_sm, 0);
+  issued_per_warp_.assign(static_cast<std::size_t>(total_warps), 0);
+  warps_.assign(static_cast<std::size_t>(total_warps), WarpState{});
+
+  // R0 carries the global thread id, lane-varying, like the pipeline.
+  for (int w = 0; w < total_warps; ++w) {
+    for (int l = 0; l < kLanes; ++l) {
+      regs_[static_cast<std::size_t>(w)][static_cast<std::size_t>(l)] =
+          static_cast<std::uint64_t>(w) * kLanes + static_cast<std::uint64_t>(l);
+    }
+  }
+}
+
+void FuncExec::touch_line(std::uint64_t addr, bool l1) {
+  const std::uint64_t base = addr & ~std::uint64_t{127};
+  insert_sorted_unique(l1 ? ca_lines_ : cg_lines_, base);
+}
+
+void FuncExec::step(int warp_id) {
+  auto& w = warps_[static_cast<std::size_t>(warp_id)];
+  auto& regs = regs_[static_cast<std::size_t>(warp_id)];
+  const auto& inst = program_.body()[w.pc];
+
+  const auto lane = [&](int r, int l) -> std::uint64_t {
+    return r == isa::kRegNone
+               ? 0
+               : regs[static_cast<std::size_t>(r) * kLanes +
+                      static_cast<std::size_t>(l)];
+  };
+  const auto set_lane = [&](int r, int l, std::uint64_t v) {
+    regs[static_cast<std::size_t>(r) * kLanes + static_cast<std::size_t>(l)] = v;
+  };
+  const auto for_lanes = [&](auto&& fn) {
+    if (inst.rd == isa::kRegNone) return;
+    for (int l = 0; l < kLanes; ++l) {
+      set_lane(inst.rd, l,
+               fn(lane(inst.ra, l), lane(inst.rb, l), lane(inst.rc, l)));
+    }
+  };
+  const auto addr_of = [&](int l) -> std::uint64_t {
+    return lane(inst.ra, l) + static_cast<std::uint64_t>(inst.imm);
+  };
+  const auto load_global_word = [&](std::uint64_t addr) -> std::uint64_t {
+    const std::uint64_t index = addr / 8;
+    return index < global_.size() ? global_[index] : 0;
+  };
+
+  using isa::Opcode;
+  switch (inst.op) {
+    case Opcode::kNop:
+    case Opcode::kExit:
+    case Opcode::kBarSync:
+    // Timing-only operations: no architectural effect in the pipeline's
+    // contract, so none here either.
+    case Opcode::kStg:
+    case Opcode::kCpAsync:
+    case Opcode::kCpAsyncCommit:
+    case Opcode::kCpAsyncWait:
+    case Opcode::kTmaLoad:
+    case Opcode::kLdsRemote:
+    case Opcode::kStsRemote:
+    case Opcode::kAtomRemoteAdd:
+      break;
+    case Opcode::kMov:
+      for_lanes([&](std::uint64_t, std::uint64_t, std::uint64_t) {
+        return static_cast<std::uint64_t>(inst.imm);
+      });
+      break;
+    case Opcode::kIAdd3:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        return a + b + c;
+      });
+      break;
+    case Opcode::kIMad:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        return a * b + c;
+      });
+      break;
+    case Opcode::kIMnMx:
+      for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        const auto x = as_s32(a), y = as_s32(b);
+        return static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+            (inst.imm & 1) ? std::max(x, y) : std::min(x, y)));
+      });
+      break;
+    case Opcode::kVIMnMx:
+      for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        const std::int64_t sum = static_cast<std::int64_t>(as_s32(a)) +
+                                 static_cast<std::int64_t>(as_s32(b));
+        const auto clamped = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+            sum, std::numeric_limits<std::int32_t>::min(),
+            std::numeric_limits<std::int32_t>::max()));
+        std::int32_t r = (inst.imm & 1) ? std::max(clamped, as_s32(c))
+                                        : std::min(clamped, as_s32(c));
+        if (inst.imm & 2) r = std::max(r, 0);
+        return static_cast<std::uint64_t>(static_cast<std::uint32_t>(r));
+      });
+      break;
+    case Opcode::kLop3:
+      for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        switch (inst.imm) {
+          case 1: return a | b;
+          case 2: return a ^ b;
+          default: return a & b;
+        }
+      });
+      break;
+    case Opcode::kShf:
+      for_lanes([&](std::uint64_t a, std::uint64_t, std::uint64_t) {
+        return a << (inst.imm & 63);
+      });
+      break;
+    case Opcode::kPopc:
+      for_lanes([](std::uint64_t a, std::uint64_t, std::uint64_t) {
+        return static_cast<std::uint64_t>(std::popcount(a));
+      });
+      break;
+    case Opcode::kFAdd:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        return canon_f32(as_f32(a) + as_f32(b));
+      });
+      break;
+    case Opcode::kFMul:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        return canon_f32(as_f32(a) * as_f32(b));
+      });
+      break;
+    case Opcode::kFFma:
+    case Opcode::kHMma:  // fragment math stands in as per-lane FP32 FMA
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+        return canon_f32(as_f32(a) * as_f32(b) + as_f32(c));
+      });
+      break;
+    case Opcode::kHAdd2:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        using num::fp16;
+        std::uint64_t packed = 0;
+        for (int half = 0; half < 2; ++half) {
+          const auto av =
+              fp16::from_bits(static_cast<std::uint16_t>(a >> (16 * half)));
+          const auto bv =
+              fp16::from_bits(static_cast<std::uint16_t>(b >> (16 * half)));
+          const float sum = av.to_float() + bv.to_float();
+          const std::uint16_t bits =
+              std::isnan(sum) ? std::uint16_t{0x7fff} : fp16(sum).bits();
+          packed |= static_cast<std::uint64_t>(bits) << (16 * half);
+        }
+        return packed;
+      });
+      break;
+    case Opcode::kDAdd:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        return canon_f64(as_f64(a) + as_f64(b));
+      });
+      break;
+    case Opcode::kDMul:
+      for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
+        return canon_f64(as_f64(a) * as_f64(b));
+      });
+      break;
+    case Opcode::kClock:
+      // A timing-free interpreter has no cycle counter; the differ must
+      // not compare registers once one of these executes.
+      clock_tainted_ = true;
+      for_lanes([](std::uint64_t, std::uint64_t, std::uint64_t) {
+        return std::uint64_t{0};
+      });
+      break;
+    case Opcode::kMapa:
+      if (inst.rd != isa::kRegNone) {
+        for (int l = 0; l < kLanes; ++l) set_lane(inst.rd, l, addr_of(l));
+      }
+      break;
+    case Opcode::kLdgCa:
+    case Opcode::kLdgCg:
+      if (inst.rd != isa::kRegNone) {
+        for (int l = 0; l < kLanes; ++l) {
+          const std::uint64_t addr = addr_of(l);
+          touch_line(addr, inst.op == Opcode::kLdgCa);
+          set_lane(inst.rd, l, load_global_word(addr));
+        }
+      }
+      break;
+    case Opcode::kLds:
+      used_shared_ = true;
+      if (inst.rd != isa::kRegNone) {
+        for (int l = 0; l < kLanes; ++l) {
+          const auto byte_addr =
+              static_cast<std::uint32_t>(addr_of(l) % shared_.size());
+          set_lane(inst.rd, l, load_shared_u32(shared_, byte_addr));
+        }
+      }
+      break;
+    case Opcode::kSts:
+      used_shared_ = true;
+      if (inst.ra != isa::kRegNone) {
+        for (int l = 0; l < kLanes; ++l) {
+          const auto byte_addr =
+              static_cast<std::uint32_t>(addr_of(l) % shared_.size());
+          store_shared_u32(shared_, byte_addr,
+                           static_cast<std::uint32_t>(lane(inst.rb, l)));
+        }
+      }
+      break;
+    case Opcode::kAtomSharedAdd:
+      used_shared_ = true;
+      for (int l = 0; l < kLanes; ++l) {
+        const auto byte_addr =
+            static_cast<std::uint32_t>(addr_of(l) % shared_.size());
+        const std::uint32_t old = load_shared_u32(shared_, byte_addr);
+        store_shared_u32(shared_, byte_addr,
+                         old + static_cast<std::uint32_t>(lane(inst.rb, l)));
+        if (inst.rd != isa::kRegNone) set_lane(inst.rd, l, old);
+      }
+      break;
+  }
+
+  ++issued_per_warp_[static_cast<std::size_t>(warp_id)];
+  ++instructions_;
+
+  if (inst.op == Opcode::kExit) {
+    w.done = true;
+    --live_;
+    retire_order_.push_back(warp_id);
+    return;
+  }
+  if (inst.op == Opcode::kBarSync) w.at_barrier = true;
+  ++w.pc;
+  if (w.pc >= program_.size()) {
+    w.pc = 0;
+    ++w.iteration;
+    if (w.iteration >= program_.iterations()) {
+      w.done = true;
+      --live_;
+      retire_order_.push_back(warp_id);
+    }
+  }
+}
+
+void FuncExec::release_barriers() {
+  const int total = total_warps();
+  for (int b = 0; b * warps_per_block_ < total; ++b) {
+    int alive = 0, waiting = 0;
+    for (int i = 0; i < warps_per_block_; ++i) {
+      const auto& w = warps_[static_cast<std::size_t>(b * warps_per_block_ + i)];
+      if (!w.done) ++alive;
+      if (w.at_barrier) ++waiting;
+    }
+    if (alive > 0 && waiting == alive) {
+      for (int i = 0; i < warps_per_block_; ++i) {
+        warps_[static_cast<std::size_t>(b * warps_per_block_ + i)].at_barrier =
+            false;
+      }
+    }
+  }
+}
+
+bool FuncExec::step_round() {
+  if (live_ == 0) return false;
+  release_barriers();
+  bool progress = false;
+  const int total = total_warps();
+  for (int i = 0; i < total; ++i) {
+    const auto& w = warps_[static_cast<std::size_t>(i)];
+    if (w.done || w.at_barrier) continue;
+    step(i);
+    progress = true;
+  }
+  // Uniform control flow (every warp runs the same straight-line body)
+  // cannot deadlock at a barrier; anything else is an interpreter bug.
+  HSIM_ASSERT(progress || live_ == 0);
+  return live_ > 0;
+}
+
+void FuncExec::run_to_completion() {
+  while (step_round()) {
+  }
+}
+
+void FuncExec::run_to_iteration(std::uint32_t iteration) {
+  const auto behind = [&] {
+    for (const auto& w : warps_) {
+      if (!w.done && w.iteration < iteration) return true;
+    }
+    return false;
+  };
+  while (behind() && step_round()) {
+  }
+  // One more release so warps parked on an end-of-iteration barrier hand
+  // over as releasable state rather than a stuck-looking one.
+  release_barriers();
+}
+
+void FuncExec::run_to_instructions(std::uint64_t count) {
+  while (instructions_ < count && step_round()) {
+  }
+}
+
+sm::ArchState FuncExec::export_arch() const {
+  sm::ArchState arch;
+  arch.num_regs = num_regs_;
+  arch.warps.reserve(warps_.size());
+  for (const auto& w : warps_) {
+    arch.warps.push_back(
+        {static_cast<std::uint64_t>(w.pc), w.iteration, w.done, w.at_barrier});
+  }
+  arch.lanes.reserve(warps_.size() *
+                     static_cast<std::size_t>(num_regs_) * kLanes);
+  for (const auto& regs : regs_) {
+    arch.lanes.insert(arch.lanes.end(), regs.begin(), regs.end());
+  }
+  if (used_shared_) arch.shared = shared_;
+  return arch;
+}
+
+void FuncExec::import_arch(const sm::ArchState& arch) {
+  HSIM_ASSERT(arch.num_regs == num_regs_);
+  HSIM_ASSERT(arch.warps.size() == warps_.size());
+  const auto stride = static_cast<std::size_t>(num_regs_) * kLanes;
+  HSIM_ASSERT(arch.lanes.size() == warps_.size() * stride);
+  live_ = 0;
+  for (std::size_t i = 0; i < warps_.size(); ++i) {
+    auto& w = warps_[i];
+    const auto& a = arch.warps[i];
+    // A warp may retire inside a detailed segment; adopt the retirement in
+    // warp-id order (the detailed core's retire order is not part of the
+    // handoff, and no cross-mode consumer depends on it).  A live warp in
+    // the handoff that we already retired would be a resurrection — bug.
+    HSIM_ASSERT_MSG(!w.done || a.done,
+                    "warp %zu resurrected across the mode boundary", i);
+    if (a.done && !w.done) {
+      w.done = true;
+      retire_order_.push_back(static_cast<int>(i));
+    }
+    w.pc = static_cast<std::size_t>(a.pc);
+    w.iteration = a.iteration;
+    w.at_barrier = a.at_barrier;
+    if (!w.done) ++live_;
+    std::copy(arch.lanes.begin() + static_cast<std::ptrdiff_t>(i * stride),
+              arch.lanes.begin() + static_cast<std::ptrdiff_t>((i + 1) * stride),
+              regs_[i].begin());
+  }
+  if (!arch.shared.empty()) {
+    HSIM_ASSERT(arch.shared.size() == shared_.size());
+    shared_ = arch.shared;
+    used_shared_ = true;
+  }
+}
+
+std::vector<WarmLine> FuncExec::touched_lines() const {
+  std::vector<WarmLine> lines;
+  lines.reserve(ca_lines_.size() + cg_lines_.size());
+  for (const auto base : ca_lines_) lines.push_back({base, true});
+  for (const auto base : cg_lines_) lines.push_back({base, false});
+  return lines;
+}
+
+void FuncExec::clear_touched() {
+  ca_lines_.clear();
+  cg_lines_.clear();
+}
+
+RefResult FuncExec::result() const {
+  RefResult out;
+  out.num_regs = num_regs_;
+  out.regs = regs_;
+  out.shared = shared_;
+  out.used_shared = used_shared_;
+  out.issued_per_warp = issued_per_warp_;
+  out.retire_order = retire_order_;
+  out.instructions = instructions_;
+  out.clock_tainted = clock_tainted_;
+  return out;
+}
+
+}  // namespace hsim::conformance

@@ -1,0 +1,121 @@
+// Steppable functional executor: the engine behind RefInterp::run and the
+// fast-forward mode of src/ff.
+//
+// Holds the interpreter's architectural state (per-warp pc/iteration/
+// barrier flags, register lanes, one shared-memory image) as a live object
+// so execution can pause at instruction boundaries, hand state across the
+// functional/cycle-accurate mode boundary (sm::ArchState), and resume.
+// Semantics are identical to RefInterp — same round-robin sweeps, same
+// barrier release rule, same deliberate model gaps (timing-only stores,
+// CLOCK taint) — and RefInterp::run is now a thin wrapper over this class,
+// so the conformance oracle and the fast-forward engine cannot drift apart.
+//
+// Beyond execution, the executor keeps a cache-warmth summary: the set of
+// 128-byte global lines its loads touched since the last clear, split by
+// cache modifier (ld.ca allocates in L1+L2, ld.cg in L2 only).  The
+// fast-forward engine replays that footprint through MemorySystem::warm()
+// before a detailed sample window, so the window starts with realistically
+// heated tags instead of cold misses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "conformance/ref_interp.hpp"
+#include "isa/program.hpp"
+#include "sm/sm_core.hpp"
+
+namespace hsim::conformance {
+
+/// One touched global line for cache warming.
+struct WarmLine {
+  std::uint64_t base = 0;  // 128-byte aligned byte address
+  bool l1 = false;         // ld.ca (allocates in L1 too) vs ld.cg (L2 only)
+};
+
+class FuncExec {
+ public:
+  FuncExec(const arch::DeviceSpec& device, const isa::Program& program,
+           const sm::BlockShape& shape,
+           std::span<const std::uint64_t> global);
+
+  /// One round-robin sweep: release barriers whose blocks are fully
+  /// parked, then step every live, unparked warp one instruction.
+  /// Returns false once every warp has retired.
+  bool step_round();
+  void run_to_completion();
+  /// Advance until every live warp has reached `iteration` (all warps
+  /// land aligned at pc 0 of that iteration — uniform control flow keeps
+  /// the round-robin sweeps in lockstep).
+  void run_to_iteration(std::uint32_t iteration);
+  /// Advance whole rounds until at least `count` total instructions have
+  /// executed (may overshoot by up to one instruction per live warp).
+  void run_to_instructions(std::uint64_t count);
+
+  [[nodiscard]] bool done() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::uint64_t instructions() const noexcept {
+    return instructions_;
+  }
+  [[nodiscard]] int total_warps() const noexcept {
+    return static_cast<int>(warps_.size());
+  }
+  [[nodiscard]] int num_regs() const noexcept { return num_regs_; }
+  [[nodiscard]] bool clock_tainted() const noexcept { return clock_tainted_; }
+  [[nodiscard]] bool used_shared() const noexcept { return used_shared_; }
+  [[nodiscard]] const std::vector<int>& retire_order() const noexcept {
+    return retire_order_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& issued_per_warp()
+      const noexcept {
+    return issued_per_warp_;
+  }
+
+  /// Mode-boundary handoff (see sm::SmCore::import_arch/export_arch).
+  [[nodiscard]] sm::ArchState export_arch() const;
+  void import_arch(const sm::ArchState& arch);
+
+  /// Global lines loaded since the last clear, in deterministic
+  /// (address-sorted, ca-before-cg) order.
+  [[nodiscard]] std::vector<WarmLine> touched_lines() const;
+  void clear_touched();
+
+  /// Snapshot the architectural state into the RefResult shape the Differ
+  /// compares (retirement ledger included).  Valid at any boundary; the
+  /// conformance oracle calls it at completion.
+  [[nodiscard]] RefResult result() const;
+
+ private:
+  struct WarpState {
+    std::size_t pc = 0;
+    std::uint32_t iteration = 0;
+    bool done = false;
+    bool at_barrier = false;
+  };
+
+  void step(int warp_id);
+  void release_barriers();
+  void touch_line(std::uint64_t addr, bool l1);
+
+  const arch::DeviceSpec& device_;
+  const isa::Program& program_;
+  std::span<const std::uint64_t> global_;
+  int warps_per_block_ = 1;
+  int num_regs_ = 0;
+  int live_ = 0;
+  std::vector<WarpState> warps_;
+  std::vector<std::vector<std::uint64_t>> regs_;
+  std::vector<std::uint8_t> shared_;
+  std::vector<std::uint64_t> issued_per_warp_;
+  std::vector<int> retire_order_;
+  std::uint64_t instructions_ = 0;
+  bool used_shared_ = false;
+  bool clock_tainted_ = false;
+  // Touched-line sets, kept sorted-unique (footprints are small: the
+  // fuzzer's global window is 32 KiB, the trace kernels' strides loop).
+  std::vector<std::uint64_t> ca_lines_;
+  std::vector<std::uint64_t> cg_lines_;
+};
+
+}  // namespace hsim::conformance

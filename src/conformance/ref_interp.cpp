@@ -1,329 +1,17 @@
 #include "conformance/ref_interp.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <cstring>
-#include <limits>
-
-#include "common/status.hpp"
-#include "numerics/types.hpp"
+#include "conformance/func_exec.hpp"
 
 namespace hsim::conformance {
-namespace {
 
-float as_f32(std::uint64_t bits) {
-  return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
-}
-std::uint64_t from_f32(float value) {
-  return std::bit_cast<std::uint32_t>(value);
-}
-double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
-std::uint64_t from_f64(double value) { return std::bit_cast<std::uint64_t>(value); }
-std::int32_t as_s32(std::uint64_t bits) {
-  return static_cast<std::int32_t>(static_cast<std::uint32_t>(bits));
-}
-
-struct WarpState {
-  std::size_t pc = 0;
-  std::uint32_t iteration = 0;
-  bool done = false;
-  bool at_barrier = false;
-};
-
-std::uint32_t load_shared_u32(const std::vector<std::uint8_t>& shared,
-                              std::uint32_t byte_addr) {
-  HSIM_ASSERT(byte_addr + 4 <= shared.size());
-  std::uint32_t value;
-  std::memcpy(&value, shared.data() + byte_addr, sizeof(value));
-  return value;
-}
-
-void store_shared_u32(std::vector<std::uint8_t>& shared, std::uint32_t byte_addr,
-                      std::uint32_t value) {
-  HSIM_ASSERT(byte_addr + 4 <= shared.size());
-  std::memcpy(shared.data() + byte_addr, &value, sizeof(value));
-}
-
-}  // namespace
-
+// The interpreter's execution engine lives in FuncExec so the fast-forward
+// mode (src/ff) can pause it at instruction boundaries; running it to
+// completion in one call is exactly the original RefInterp semantics.
 RefResult RefInterp::run(const isa::Program& program,
                          const sm::BlockShape& shape) const {
-  HSIM_ASSERT(!program.empty());
-  HSIM_ASSERT(shape.blocks >= 1 && shape.threads_per_block >= 1);
-
-  int max_reg = 0;
-  for (const auto& inst : program.body()) {
-    max_reg = std::max({max_reg, inst.rd, inst.ra, inst.rb, inst.rc});
-  }
-  const int num_regs = max_reg + 1;
-  const int warps_per_block = shape.warps_per_block();
-  const int total_warps = shape.total_warps();
-
-  RefResult out;
-  out.num_regs = num_regs;
-  out.regs.assign(static_cast<std::size_t>(total_warps),
-                  std::vector<std::uint64_t>(
-                      static_cast<std::size_t>(num_regs) * kLanes, 0));
-  out.shared.assign(device_.memory.smem_max_per_sm, 0);
-  out.issued_per_warp.assign(static_cast<std::size_t>(total_warps), 0);
-
-  // R0 carries the global thread id, lane-varying, like the pipeline.
-  for (int w = 0; w < total_warps; ++w) {
-    for (int l = 0; l < kLanes; ++l) {
-      out.regs[static_cast<std::size_t>(w)][static_cast<std::size_t>(l)] =
-          static_cast<std::uint64_t>(w) * kLanes + static_cast<std::uint64_t>(l);
-    }
-  }
-
-  std::vector<WarpState> warps(static_cast<std::size_t>(total_warps));
-
-  const auto step = [&](int warp_id) {
-    auto& w = warps[static_cast<std::size_t>(warp_id)];
-    auto& regs = out.regs[static_cast<std::size_t>(warp_id)];
-    const auto& inst = program.body()[w.pc];
-
-    const auto lane = [&](int r, int l) -> std::uint64_t {
-      return r == isa::kRegNone
-                 ? 0
-                 : regs[static_cast<std::size_t>(r) * kLanes +
-                        static_cast<std::size_t>(l)];
-    };
-    const auto set_lane = [&](int r, int l, std::uint64_t v) {
-      regs[static_cast<std::size_t>(r) * kLanes + static_cast<std::size_t>(l)] = v;
-    };
-    const auto for_lanes = [&](auto&& fn) {
-      if (inst.rd == isa::kRegNone) return;
-      for (int l = 0; l < kLanes; ++l) {
-        set_lane(inst.rd, l,
-                 fn(lane(inst.ra, l), lane(inst.rb, l), lane(inst.rc, l)));
-      }
-    };
-    const auto addr_of = [&](int l) -> std::uint64_t {
-      return lane(inst.ra, l) + static_cast<std::uint64_t>(inst.imm);
-    };
-    const auto load_global_word = [&](std::uint64_t addr) -> std::uint64_t {
-      const std::uint64_t index = addr / 8;
-      return index < global_.size() ? global_[index] : 0;
-    };
-
-    using isa::Opcode;
-    switch (inst.op) {
-      case Opcode::kNop:
-      case Opcode::kExit:
-      case Opcode::kBarSync:
-      // Timing-only operations: no architectural effect in the pipeline's
-      // contract, so none here either.
-      case Opcode::kStg:
-      case Opcode::kCpAsync:
-      case Opcode::kCpAsyncCommit:
-      case Opcode::kCpAsyncWait:
-      case Opcode::kTmaLoad:
-      case Opcode::kLdsRemote:
-      case Opcode::kStsRemote:
-      case Opcode::kAtomRemoteAdd:
-        break;
-      case Opcode::kMov:
-        for_lanes([&](std::uint64_t, std::uint64_t, std::uint64_t) {
-          return static_cast<std::uint64_t>(inst.imm);
-        });
-        break;
-      case Opcode::kIAdd3:
-        for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-          return a + b + c;
-        });
-        break;
-      case Opcode::kIMad:
-        for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-          return a * b + c;
-        });
-        break;
-      case Opcode::kIMnMx:
-        for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-          const auto x = as_s32(a), y = as_s32(b);
-          return static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-              (inst.imm & 1) ? std::max(x, y) : std::min(x, y)));
-        });
-        break;
-      case Opcode::kVIMnMx:
-        for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-          const std::int64_t sum = static_cast<std::int64_t>(as_s32(a)) +
-                                   static_cast<std::int64_t>(as_s32(b));
-          const auto clamped = static_cast<std::int32_t>(std::clamp<std::int64_t>(
-              sum, std::numeric_limits<std::int32_t>::min(),
-              std::numeric_limits<std::int32_t>::max()));
-          std::int32_t r = (inst.imm & 1) ? std::max(clamped, as_s32(c))
-                                          : std::min(clamped, as_s32(c));
-          if (inst.imm & 2) r = std::max(r, 0);
-          return static_cast<std::uint64_t>(static_cast<std::uint32_t>(r));
-        });
-        break;
-      case Opcode::kLop3:
-        for_lanes([&](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-          switch (inst.imm) {
-            case 1: return a | b;
-            case 2: return a ^ b;
-            default: return a & b;
-          }
-        });
-        break;
-      case Opcode::kShf:
-        for_lanes([&](std::uint64_t a, std::uint64_t, std::uint64_t) {
-          return a << (inst.imm & 63);
-        });
-        break;
-      case Opcode::kPopc:
-        for_lanes([](std::uint64_t a, std::uint64_t, std::uint64_t) {
-          return static_cast<std::uint64_t>(std::popcount(a));
-        });
-        break;
-      case Opcode::kFAdd:
-        for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-          return from_f32(as_f32(a) + as_f32(b));
-        });
-        break;
-      case Opcode::kFMul:
-        for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-          return from_f32(as_f32(a) * as_f32(b));
-        });
-        break;
-      case Opcode::kFFma:
-      case Opcode::kHMma:  // fragment math stands in as per-lane FP32 FMA
-        for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-          return from_f32(as_f32(a) * as_f32(b) + as_f32(c));
-        });
-        break;
-      case Opcode::kHAdd2:
-        for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-          using num::fp16;
-          std::uint64_t packed = 0;
-          for (int half = 0; half < 2; ++half) {
-            const auto av =
-                fp16::from_bits(static_cast<std::uint16_t>(a >> (16 * half)));
-            const auto bv =
-                fp16::from_bits(static_cast<std::uint16_t>(b >> (16 * half)));
-            const auto sum = fp16(av.to_float() + bv.to_float());
-            packed |= static_cast<std::uint64_t>(sum.bits()) << (16 * half);
-          }
-          return packed;
-        });
-        break;
-      case Opcode::kDAdd:
-        for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-          return from_f64(as_f64(a) + as_f64(b));
-        });
-        break;
-      case Opcode::kDMul:
-        for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-          return from_f64(as_f64(a) * as_f64(b));
-        });
-        break;
-      case Opcode::kClock:
-        // A timing-free interpreter has no cycle counter; the differ must
-        // not compare registers once one of these executes.
-        out.clock_tainted = true;
-        for_lanes([](std::uint64_t, std::uint64_t, std::uint64_t) {
-          return std::uint64_t{0};
-        });
-        break;
-      case Opcode::kMapa:
-        if (inst.rd != isa::kRegNone) {
-          for (int l = 0; l < kLanes; ++l) set_lane(inst.rd, l, addr_of(l));
-        }
-        break;
-      case Opcode::kLdgCa:
-      case Opcode::kLdgCg:
-        if (inst.rd != isa::kRegNone) {
-          for (int l = 0; l < kLanes; ++l) {
-            set_lane(inst.rd, l, load_global_word(addr_of(l)));
-          }
-        }
-        break;
-      case Opcode::kLds:
-        out.used_shared = true;
-        if (inst.rd != isa::kRegNone) {
-          for (int l = 0; l < kLanes; ++l) {
-            const auto byte_addr =
-                static_cast<std::uint32_t>(addr_of(l) % out.shared.size());
-            set_lane(inst.rd, l, load_shared_u32(out.shared, byte_addr));
-          }
-        }
-        break;
-      case Opcode::kSts:
-        out.used_shared = true;
-        if (inst.ra != isa::kRegNone) {
-          for (int l = 0; l < kLanes; ++l) {
-            const auto byte_addr =
-                static_cast<std::uint32_t>(addr_of(l) % out.shared.size());
-            store_shared_u32(out.shared, byte_addr,
-                             static_cast<std::uint32_t>(lane(inst.rb, l)));
-          }
-        }
-        break;
-      case Opcode::kAtomSharedAdd:
-        out.used_shared = true;
-        for (int l = 0; l < kLanes; ++l) {
-          const auto byte_addr =
-              static_cast<std::uint32_t>(addr_of(l) % out.shared.size());
-          const std::uint32_t old = load_shared_u32(out.shared, byte_addr);
-          store_shared_u32(out.shared, byte_addr,
-                           old + static_cast<std::uint32_t>(lane(inst.rb, l)));
-          if (inst.rd != isa::kRegNone) set_lane(inst.rd, l, old);
-        }
-        break;
-    }
-
-    ++out.issued_per_warp[static_cast<std::size_t>(warp_id)];
-    ++out.instructions;
-
-    if (inst.op == Opcode::kExit) {
-      w.done = true;
-      out.retire_order.push_back(warp_id);
-      return;
-    }
-    if (inst.op == Opcode::kBarSync) w.at_barrier = true;
-    ++w.pc;
-    if (w.pc >= program.size()) {
-      w.pc = 0;
-      ++w.iteration;
-      if (w.iteration >= program.iterations()) {
-        w.done = true;
-        out.retire_order.push_back(warp_id);
-      }
-    }
-  };
-
-  for (;;) {
-    // Barrier release: once every live warp of a block is parked, unpark.
-    for (int b = 0; b * warps_per_block < total_warps; ++b) {
-      int alive = 0, waiting = 0;
-      for (int i = 0; i < warps_per_block; ++i) {
-        const auto& w = warps[static_cast<std::size_t>(b * warps_per_block + i)];
-        if (!w.done) ++alive;
-        if (w.at_barrier) ++waiting;
-      }
-      if (alive > 0 && waiting == alive) {
-        for (int i = 0; i < warps_per_block; ++i) {
-          warps[static_cast<std::size_t>(b * warps_per_block + i)].at_barrier =
-              false;
-        }
-      }
-    }
-    bool progress = false;
-    int live = 0;
-    for (int i = 0; i < total_warps; ++i) {
-      auto& w = warps[static_cast<std::size_t>(i)];
-      if (w.done) continue;
-      ++live;
-      if (w.at_barrier) continue;
-      step(i);
-      progress = true;
-    }
-    if (live == 0) break;
-    // Uniform control flow (every warp runs the same straight-line body)
-    // cannot deadlock at a barrier; anything else is an interpreter bug.
-    HSIM_ASSERT(progress || live == 0);
-  }
-  return out;
+  FuncExec exec(device_, program, shape, global_);
+  exec.run_to_completion();
+  return exec.result();
 }
 
 }  // namespace hsim::conformance

@@ -1,0 +1,378 @@
+#include "ff/fast_forward.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <memory>
+
+#include "common/state_io.hpp"
+#include "common/status.hpp"
+#include "conformance/func_exec.hpp"
+#include "conformance/fuzzer.hpp"
+#include "ff/snapshot.hpp"
+#include "isa/opcode.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/sweep.hpp"
+
+namespace hsim::ff {
+namespace {
+
+constexpr double kForever = std::numeric_limits<double>::infinity();
+constexpr std::uint64_t kLineBytes = 128;
+
+bool has_opcode(const isa::Program& program, isa::Opcode op) {
+  for (const auto& inst : program.body()) {
+    if (inst.op == op) return true;
+  }
+  return false;
+}
+
+/// Static per-body issue histogram in isa::UnitClass order, plus the FLOP
+/// weight of one warp-iteration — the functional credit for fast-forwarded
+/// instructions uses the same weights the detailed decoder assigns, so the
+/// merged PMU block stays conserved and roofline-coherent.
+struct BodyWeights {
+  std::array<double, 8> per_class{};
+  double flops = 0;
+};
+
+BodyWeights weigh_body(const isa::Program& program) {
+  BodyWeights w;
+  for (const auto& inst : program.body()) {
+    w.per_class[static_cast<std::size_t>(isa::unit_of(inst.op))] += 1.0;
+    switch (inst.op) {
+      case isa::Opcode::kFAdd:
+      case isa::Opcode::kFMul:
+      case isa::Opcode::kDAdd:
+      case isa::Opcode::kDMul:
+        w.flops += 32.0;
+        break;
+      case isa::Opcode::kFFma:
+      case isa::Opcode::kHAdd2:
+        w.flops += 64.0;
+        break;
+      case isa::Opcode::kHMma:
+        w.flops += 2.0 * 16.0 * 8.0 * 16.0;
+        break;
+      default:
+        break;
+    }
+  }
+  return w;
+}
+
+/// One throwaway detailed probe: a fresh SmCore (plus MemorySystem when the
+/// kernel touches global memory) with every block slot resident.
+struct Probe {
+  std::unique_ptr<mem::MemorySystem> memory;
+  std::unique_ptr<sm::SmCore> core;
+
+  Probe(const arch::DeviceSpec& device, const isa::Program& program,
+        const sm::BlockShape& shape, std::span<std::uint64_t> global,
+        bool needs_mem, prof::PmuCounters* pmu) {
+    if (needs_mem) memory = std::make_unique<mem::MemorySystem>(device, 1);
+    core = std::make_unique<sm::SmCore>(device, memory.get(), 0);
+    core->bind_global(global);
+    if (pmu != nullptr) {
+      core->set_pmu(pmu);
+      if (memory) memory->set_pmu(pmu);
+    }
+    core->begin(program, shape.blocks, shape.threads_per_block);
+    for (int b = 0; b < shape.blocks; ++b) core->launch_block(b, b, 0.0);
+  }
+};
+
+/// Deterministic 64-bit mixer for the mode-switch plan.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FastForwardEngine::can_sample(const isa::Program& program,
+                                   const SampleOptions& options) const {
+  if (program.size() == 0) return false;
+  if (program.iterations() <= std::max(1u, options.interval)) return false;
+  // EXIT retires warps early, breaking the iteration alignment the
+  // functional/detailed handoff relies on; CLOCK values differ between the
+  // models and could feed back into addressing.  Both fall back to exact.
+  if (has_opcode(program, isa::Opcode::kExit)) return false;
+  if (has_opcode(program, isa::Opcode::kClock)) return false;
+  return true;
+}
+
+SampleResult FastForwardEngine::sample(const isa::Program& program,
+                                       const sm::BlockShape& shape,
+                                       bool needs_mem,
+                                       const SampleOptions& options) const {
+  SampleResult out;
+  if (!can_sample(program, options)) {
+    ExactOptions fallback;
+    fallback.global_seed = options.global_seed;
+    const ExactResult exact_run = exact(program, shape, needs_mem, fallback);
+    out.cycles_est = exact_run.result.cycles;
+    out.instructions = exact_run.result.instructions_issued;
+    out.detailed_cycles = exact_run.result.cycles;
+    out.detailed_instructions = exact_run.result.instructions_issued;
+    return out;
+  }
+
+  const std::uint32_t iters = program.iterations();
+  const std::uint32_t interval = std::max(1u, options.interval);
+  const std::uint32_t detail = std::clamp(options.detail, 1u, interval);
+  const std::uint32_t warmup = std::min(options.warmup, interval);
+  const auto per_iter =
+      static_cast<std::uint64_t>(shape.total_warps()) * program.size();
+
+  const auto image = conformance::make_global_image(options.global_seed);
+  std::vector<std::uint64_t> global_copy = image;  // SmCore wants mutable
+  conformance::FuncExec func(device_, program, shape, image);
+  prof::PmuCounters* pmu = options.collect_pmu ? &out.pmu : nullptr;
+
+  double est = 0.0;
+  for (std::uint32_t start = 0; start < iters; start += interval) {
+    // Hand off at the warmup boundary; the interpreter is the authority
+    // for everything before it.
+    const std::uint32_t warm_from = start > warmup ? start - warmup : 0;
+    func.run_to_iteration(warm_from);
+
+    Probe probe(device_, program, shape, global_copy, needs_mem, pmu);
+    probe.core->import_arch(func.export_arch());
+    if (probe.memory) {
+      // Replay the interpreter's global footprint so the window starts
+      // with realistically heated tags instead of cold compulsory misses.
+      for (const auto& line : func.touched_lines()) {
+        probe.memory->warm(line.base, kLineBytes,
+                           line.l1 ? mem::MemSpace::kGlobalCa
+                                   : mem::MemSpace::kGlobalCg,
+                           0);
+      }
+    }
+    // Unmeasured warmup replay: re-heats scoreboards and pipelines.  The
+    // first window has nothing before it and measures the true cold start.
+    const std::uint64_t warm_budget = per_iter * (start - warm_from);
+    if (warm_budget > 0) {
+      probe.core->set_issue_budget(warm_budget);
+      probe.core->advance(kForever);
+    }
+    const double c0 = probe.core->now();
+    const std::uint64_t i0 = probe.core->instructions_issued();
+    const std::uint32_t measure_end = std::min(start + detail, iters);
+    probe.core->set_issue_budget(i0 + per_iter * (measure_end - start));
+    probe.core->advance(kForever);
+    const double c1 = probe.core->now();
+    const std::uint64_t i1 = probe.core->instructions_issued();
+    HSIM_ASSERT(i1 > i0 && c1 > c0);
+
+    SampleWindow window;
+    window.measure_start = start;
+    window.measure_iters = measure_end - start;
+    window.instructions = i1 - i0;
+    window.cycles = c1 - c0;
+    const std::uint32_t period_end = std::min(start + interval, iters);
+    est += static_cast<double>(per_iter) *
+           static_cast<double>(period_end - start) / window.ipc();
+    out.detailed_cycles += c1;
+    out.detailed_instructions += i1;
+    out.windows.push_back(window);
+  }
+
+  out.sampled = true;
+  out.cycles_est = est;
+  out.instructions = per_iter * iters;
+  if (pmu != nullptr) {
+    // Functional credit for the fast-forwarded instructions, so the merged
+    // block conserves (per-class sums to issued, retired <= issued).
+    const std::uint64_t credit = out.instructions - out.detailed_instructions;
+    HSIM_ASSERT(credit % program.size() == 0);
+    const auto warp_iters =
+        static_cast<double>(credit / program.size());
+    const BodyWeights weights = weigh_body(program);
+    out.pmu.add(prof::Counter::kInstIssued, static_cast<double>(credit));
+    out.pmu.add(prof::Counter::kInstRetired, static_cast<double>(credit));
+    for (std::size_t c = 0; c < weights.per_class.size(); ++c) {
+      out.pmu.add(static_cast<prof::Counter>(
+                      static_cast<std::size_t>(prof::Counter::kIssuedAlu) + c),
+                  weights.per_class[c] * warp_iters);
+    }
+    out.pmu.add(prof::Counter::kFlops, weights.flops * warp_iters);
+  }
+  return out;
+}
+
+ExactResult FastForwardEngine::exact(const isa::Program& program,
+                                     const sm::BlockShape& shape,
+                                     bool needs_mem,
+                                     const ExactOptions& options) const {
+  ExactResult out;
+  const auto image = conformance::make_global_image(options.global_seed);
+  std::vector<std::uint64_t> global_copy = image;
+
+  std::unique_ptr<mem::MemorySystem> memory;
+  std::unique_ptr<sm::SmCore> core;
+  const auto build = [&] {
+    memory.reset();
+    if (needs_mem) memory = std::make_unique<mem::MemorySystem>(device_, 1);
+    core = std::make_unique<sm::SmCore>(device_, memory.get(), 0);
+    core->bind_global(global_copy);
+    core->begin(program, shape.blocks, shape.threads_per_block);
+    for (int b = 0; b < shape.blocks; ++b) core->launch_block(b, b, 0.0);
+  };
+  build();
+
+  const std::uint32_t snap_iter =
+      std::min(options.snapshot_iteration, program.iterations());
+  const auto boundary =
+      static_cast<std::uint64_t>(shape.total_warps()) * program.size() *
+      snap_iter;
+  SnapshotKey key;
+  key.device = device_.name;
+  key.program_hash = SnapshotKey::hash_program(program);
+  key.blocks = shape.blocks;
+  key.threads_per_block = shape.threads_per_block;
+  key.boundary = boundary;
+
+  const bool want_snapshot = !options.snapshot_file.empty() && boundary > 0;
+  if (want_snapshot) {
+    const auto payload = read_snapshot_file(options.snapshot_file, key);
+    if (payload.has_value()) {
+      common::StateReader r(payload.value());
+      core->load_state(r);
+      if (memory) memory->load_state(r);
+      if (r.ok() && r.remaining() == 0) {
+        out.snapshot_restored = true;
+      } else {
+        // Geometry drift inside a digest-clean payload (e.g. a build with
+        // different unit counts): discard the half-applied state entirely.
+        out.snapshot_note = "snapshot stream inconsistent; re-simulating";
+        build();
+      }
+    } else {
+      out.snapshot_note = payload.error().to_string();
+    }
+  }
+
+  if (!out.snapshot_restored && boundary > 0) {
+    core->set_issue_budget(boundary);
+    core->advance(kForever);
+    if (want_snapshot) {
+      common::StateWriter w;
+      core->save_state(w);
+      if (memory) memory->save_state(w);
+      const auto wrote =
+          write_snapshot_file(options.snapshot_file, key, w.bytes());
+      if (wrote.has_value()) {
+        out.snapshot_saved = true;
+      } else {
+        out.snapshot_note = wrote.error().to_string();
+      }
+    }
+  }
+
+  core->set_issue_budget(0);
+  core->advance(kForever);
+  out.result = core->finalize();
+  return out;
+}
+
+conformance::PipelineFn make_mode_switch_pipeline(
+    const arch::DeviceSpec& device, int max_switches) {
+  const arch::DeviceSpec* dev = &device;
+  const int switches = std::max(1, max_switches);
+  return [dev, switches](const conformance::FuzzCase& fuzz_case,
+                         std::span<const std::uint64_t> global)
+             -> conformance::PipelineObservation {
+    // Dry functional run: the exact dynamic instruction count anchors the
+    // switch plan (case programs may EXIT early, so it is not static).
+    std::uint64_t total = 0;
+    {
+      conformance::FuncExec dry(*dev, fuzz_case.program, fuzz_case.shape,
+                                global);
+      dry.run_to_completion();
+      total = dry.instructions();
+    }
+
+    // Pseudorandom switch plan from the case identity alone, so shrunk and
+    // replayed cases reproduce the same mode sequence.
+    std::uint64_t rng = mix64(
+        sim::derive_point_seed(fuzz_case.base_seed ^ 0xff5eedull,
+                               static_cast<std::size_t>(fuzz_case.index)));
+    const auto next = [&rng] { return rng = mix64(rng); };
+    std::vector<std::uint64_t> cuts;
+    if (total > 1) {
+      const auto n_cuts =
+          1 + static_cast<std::size_t>(next() %
+                                       static_cast<std::uint64_t>(2 * switches));
+      for (std::size_t i = 0; i < n_cuts; ++i) {
+        cuts.push_back(1 + next() % (total - 1));
+      }
+      std::sort(cuts.begin(), cuts.end());
+      cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    }
+    bool detailed = (next() & 1) != 0;
+
+    conformance::FuncExec func(*dev, fuzz_case.program, fuzz_case.shape,
+                               global);
+    std::vector<std::uint64_t> global_copy(global.begin(), global.end());
+    double detailed_cycles = 0.0;
+    std::uint64_t executed = 0;
+    std::size_t cut = 0;
+    while (executed < total) {
+      const std::uint64_t target = cut < cuts.size() ? cuts[cut++] : total;
+      if (target <= executed) {
+        detailed = !detailed;
+        continue;
+      }
+      const std::uint64_t want = target - executed;
+      if (detailed) {
+        mem::MemorySystem memory(*dev, 1);
+        sm::SmCore core(*dev, &memory, 0);
+        core.bind_global(global_copy);
+        core.begin(fuzz_case.program, fuzz_case.shape.blocks,
+                   fuzz_case.shape.threads_per_block);
+        for (int b = 0; b < fuzz_case.shape.blocks; ++b) {
+          core.launch_block(b, b, 0.0);
+        }
+        core.import_arch(func.export_arch());
+        core.set_issue_budget(want);
+        core.advance(kForever);
+        func.import_arch(core.export_arch());
+        HSIM_ASSERT(core.instructions_issued() > 0);
+        executed += core.instructions_issued();
+        detailed_cycles += core.now();
+      } else {
+        const std::uint64_t before = func.instructions();
+        // Whole-round stepping may overshoot the cut by a few
+        // instructions; account for what actually ran.
+        func.run_to_instructions(before + want);
+        HSIM_ASSERT(func.instructions() > before);
+        executed += func.instructions() - before;
+      }
+      detailed = !detailed;
+    }
+    HSIM_ASSERT(executed == total);
+    HSIM_ASSERT(func.done());
+
+    // Synthesize the ledger the differ checks: the architectural fields
+    // are real (handed out of the final engine); trace-derived fields are
+    // consistent zeros (no sink was attached), and the PMU block is left
+    // empty, which diff() treats as "counters not collected".
+    const conformance::RefResult fin = func.result();
+    conformance::PipelineObservation obs;
+    obs.result.cycles = detailed_cycles > 0 ? detailed_cycles : 1.0;
+    obs.result.instructions_issued = executed;
+    obs.result.warps_retired =
+        static_cast<std::uint64_t>(fuzz_case.shape.total_warps());
+    obs.result.stall_cycles = 0;
+    obs.regs = fin.regs;
+    obs.shared = fin.shared;
+    obs.agg_issues = obs.result.instructions_issued;
+    obs.agg_retires = obs.result.warps_retired;
+    return obs;
+  };
+}
+
+}  // namespace hsim::ff

@@ -1,0 +1,135 @@
+// Fast-forward execution: functional warp mode, snapshot/restore, and
+// SMARTS-style sampled simulation.
+//
+// The engine advances warps at interpreter speed (conformance::FuncExec)
+// through the regions nobody wants to measure, and runs short detailed
+// windows on a throwaway SmCore/MemorySystem pair for the regions that set
+// the estimate.  Each window is seeded with the functional architectural
+// state (SmCore::import_arch), its caches pre-heated from the interpreter's
+// touched-line footprint (MemorySystem::warm), and a few unmeasured warmup
+// iterations replayed in detail so scoreboards and pipelines reach steady
+// state before the measured span.  The estimate is then
+//
+//   cycles_est = sum over periods of  period_instructions / window_ipc
+//
+// with the functional instruction counts exact (the interpreter is the
+// authority for *what* executes; the windows only estimate *how fast*).
+//
+// The exact path lives here too: a full cycle-accurate run with an optional
+// versioned snapshot at a post-warmup instruction boundary, so parameter
+// sweeps restore one shared snapshot instead of re-simulating the warmup,
+// and so sampled runs can be cross-checked (the error oracle) against the
+// exact run they claim to approximate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "conformance/differ.hpp"
+#include "isa/program.hpp"
+#include "prof/pmu.hpp"
+#include "sm/sm_core.hpp"
+
+namespace hsim::ff {
+
+struct SampleOptions {
+  std::uint32_t interval = 32;  // iterations per sampling period
+  std::uint32_t detail = 2;     // measured detailed iterations per window
+  std::uint32_t warmup = 2;     // unmeasured detailed iterations before each
+                                // window (replayed to re-heat scoreboards;
+                                // the first window starts genuinely cold)
+  std::uint64_t global_seed = 1;  // seed for the bound global image
+  bool collect_pmu = true;        // merge window counters + functional credit
+};
+
+/// One measured detailed window.
+struct SampleWindow {
+  std::uint32_t measure_start = 0;  // first measured iteration
+  std::uint32_t measure_iters = 0;
+  std::uint64_t instructions = 0;   // measured issues (excludes warmup)
+  double cycles = 0;                // measured cycles (excludes warmup)
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles > 0 ? static_cast<double>(instructions) / cycles : 0.0;
+  }
+};
+
+struct SampleResult {
+  bool sampled = false;       // false: fell back to the exact path
+  double cycles_est = 0;      // estimated whole-kernel cycles
+  std::uint64_t instructions = 0;        // exact (functional authority)
+  double detailed_cycles = 0;            // simulated in detail, warmup incl.
+  std::uint64_t detailed_instructions = 0;
+  std::vector<SampleWindow> windows;
+  /// Merged counters: detailed windows as measured, fast-forwarded
+  /// instructions credited functionally (per-unit-class and FLOP weights
+  /// from the static body), so conservation checks still hold.
+  prof::PmuCounters pmu;
+  [[nodiscard]] double ipc_est() const noexcept {
+    return cycles_est > 0 ? static_cast<double>(instructions) / cycles_est
+                          : 0.0;
+  }
+};
+
+struct ExactOptions {
+  /// Snapshot file to restore from / save to (empty: no snapshot IO).
+  std::string snapshot_file;
+  /// Iteration boundary of the snapshot point (0: no snapshot point).
+  std::uint32_t snapshot_iteration = 0;
+  std::uint64_t global_seed = 1;
+};
+
+struct ExactResult {
+  sm::RunResult result;
+  bool snapshot_restored = false;
+  bool snapshot_saved = false;
+  /// Why a present snapshot file was rejected (empty when unused/clean).
+  std::string snapshot_note;
+};
+
+class FastForwardEngine {
+ public:
+  explicit FastForwardEngine(const arch::DeviceSpec& device)
+      : device_(device) {}
+
+  /// Sampling needs uniform progress: a straight-line body iterated more
+  /// than one period, with no EXIT (early retirement breaks the
+  /// iteration-boundary alignment the handoff relies on).
+  [[nodiscard]] bool can_sample(const isa::Program& program,
+                                const SampleOptions& options = {}) const;
+
+  /// Sampled run; falls back to the exact path (sampled == false) when
+  /// can_sample says no.
+  [[nodiscard]] SampleResult sample(const isa::Program& program,
+                                    const sm::BlockShape& shape,
+                                    bool needs_mem,
+                                    const SampleOptions& options = {}) const;
+
+  /// Full cycle-accurate run with optional snapshot restore/save at the
+  /// post-warmup boundary.  Bit-identical to SmCore::run whether or not a
+  /// snapshot was taken or restored.
+  [[nodiscard]] ExactResult exact(const isa::Program& program,
+                                  const sm::BlockShape& shape, bool needs_mem,
+                                  const ExactOptions& options = {}) const;
+
+  [[nodiscard]] const arch::DeviceSpec& device() const noexcept {
+    return device_;
+  }
+
+ private:
+  const arch::DeviceSpec& device_;
+};
+
+/// Differ oracle for the mode switch itself: runs each fuzz case by
+/// alternating functional (FuncExec) and detailed (SmCore) segments at
+/// pseudorandom instruction boundaries derived from the case identity,
+/// handing ArchState across every switch.  The architectural result must
+/// match the reference interpreter bit for bit; ledger fields are
+/// synthesized to satisfy Differ::diff's invariants (the PMU block is left
+/// empty, which the differ treats as "counters not collected").  Install
+/// with Differ::set_pipeline.
+[[nodiscard]] conformance::PipelineFn make_mode_switch_pipeline(
+    const arch::DeviceSpec& device, int max_switches = 3);
+
+}  // namespace hsim::ff

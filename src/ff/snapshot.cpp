@@ -1,0 +1,116 @@
+#include "ff/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hsim::ff {
+
+std::uint64_t SnapshotKey::hash_program(const isa::Program& program) {
+  const std::string text = program.to_string();
+  std::uint64_t h = common::fnv1a(
+      {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+  // to_string may or may not render the iteration count; fold it in
+  // explicitly so re-iterated programs never share a hash.
+  const std::uint32_t iters = program.iterations();
+  h = common::fnv1a(
+      {reinterpret_cast<const std::uint8_t*>(&iters), sizeof(iters)}, h);
+  return h;
+}
+
+std::vector<std::uint8_t> seal_snapshot(const SnapshotKey& key,
+                                        std::span<const std::uint8_t> payload) {
+  common::StateWriter w;
+  w.u64(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  w.str(key.device);
+  w.u64(key.program_hash);
+  w.u32(static_cast<std::uint32_t>(key.blocks));
+  w.u32(static_cast<std::uint32_t>(key.threads_per_block));
+  w.u64(key.boundary);
+  w.u64(common::fnv1a(payload));
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+Expected<std::vector<std::uint8_t>> open_snapshot(
+    std::span<const std::uint8_t> bytes, const SnapshotKey& expect) {
+  common::StateReader r(bytes);
+  if (r.u64() != kSnapshotMagic || !r.ok()) {
+    return invalid_argument("not a snapshot file (bad magic)");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion) {
+    std::ostringstream os;
+    os << "snapshot version " << version << " unsupported (this build reads "
+       << kSnapshotVersion << ")";
+    return unsupported(os.str());
+  }
+  const std::string device = r.str();
+  const std::uint64_t program_hash = r.u64();
+  const auto blocks = static_cast<int>(r.u32());
+  const auto threads = static_cast<int>(r.u32());
+  const std::uint64_t boundary = r.u64();
+  const std::uint64_t digest = r.u64();
+  if (!r.ok()) {
+    return invalid_argument("snapshot header truncated or corrupt");
+  }
+  const auto mismatch = [](std::string_view what, const auto& got,
+                           const auto& want) {
+    std::ostringstream os;
+    os << "snapshot " << what << " mismatch: file has " << got
+       << ", expected " << want;
+    return invalid_argument(os.str());
+  };
+  if (device != expect.device) {
+    return mismatch("device", device, expect.device);
+  }
+  if (program_hash != expect.program_hash) {
+    return mismatch("program hash", program_hash, expect.program_hash);
+  }
+  if (blocks != expect.blocks || threads != expect.threads_per_block) {
+    std::ostringstream os;
+    os << "snapshot shape mismatch: file has " << blocks << "x" << threads
+       << ", expected " << expect.blocks << "x" << expect.threads_per_block;
+    return invalid_argument(os.str());
+  }
+  if (boundary != expect.boundary) {
+    return mismatch("boundary", boundary, expect.boundary);
+  }
+  std::vector<std::uint8_t> payload = r.blob();
+  if (!r.ok()) {
+    return invalid_argument("snapshot payload truncated");
+  }
+  if (common::fnv1a(payload) != digest) {
+    return invalid_argument("snapshot payload digest mismatch (corrupted)");
+  }
+  return payload;
+}
+
+Expected<bool> write_snapshot_file(const std::string& path,
+                                   const SnapshotKey& key,
+                                   std::span<const std::uint8_t> payload) {
+  const auto bytes = seal_snapshot(key, payload);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return invalid_argument("cannot open " + path + " for writing");
+  }
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) {
+    return invalid_argument("short write to " + path);
+  }
+  return true;
+}
+
+Expected<std::vector<std::uint8_t>> read_snapshot_file(
+    const std::string& path, const SnapshotKey& expect) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return invalid_argument("cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  return open_snapshot(bytes, expect);
+}
+
+}  // namespace hsim::ff

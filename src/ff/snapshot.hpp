@@ -1,0 +1,59 @@
+// Versioned, content-addressed snapshot container for simulator state.
+//
+// The payload is an opaque StateWriter byte stream (SmCore + MemorySystem,
+// see their save_state methods); this layer adds what the raw stream cannot
+// carry safely across processes: a magic/version header, the identity of
+// the simulation the state belongs to, and an FNV-1a digest of the payload.
+// Restoring into a mismatched device/program/shape — or from a truncated or
+// bit-flipped file — is rejected with a typed Error, never undefined
+// behaviour: every sweep point of a parameter study can restore one shared
+// post-warmup snapshot and trust what it got.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/state_io.hpp"
+#include "common/status.hpp"
+#include "isa/program.hpp"
+
+namespace hsim::ff {
+
+/// "HSIMSNAP", little-endian.
+inline constexpr std::uint64_t kSnapshotMagic = 0x50414e534d495348ull;
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Identity of the simulation a snapshot belongs to.  All fields are
+/// compared on open; the program is content-addressed (its disassembly plus
+/// iteration count), so editing a kernel invalidates stale snapshots.
+struct SnapshotKey {
+  std::string device;
+  std::uint64_t program_hash = 0;
+  int blocks = 0;
+  int threads_per_block = 0;
+  /// Issue count at the snapshot boundary (the post-warmup point).
+  std::uint64_t boundary = 0;
+
+  [[nodiscard]] static std::uint64_t hash_program(const isa::Program& program);
+};
+
+/// Wrap a payload in the versioned container.
+[[nodiscard]] std::vector<std::uint8_t> seal_snapshot(
+    const SnapshotKey& key, std::span<const std::uint8_t> payload);
+
+/// Validate a container and return the payload.  Errors name the first
+/// check that failed: bad magic, unsupported version, identity mismatch
+/// (which field), truncation, or digest mismatch.
+[[nodiscard]] Expected<std::vector<std::uint8_t>> open_snapshot(
+    std::span<const std::uint8_t> bytes, const SnapshotKey& expect);
+
+/// File convenience wrappers (binary IO, whole-file reads).
+[[nodiscard]] Expected<bool> write_snapshot_file(
+    const std::string& path, const SnapshotKey& key,
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] Expected<std::vector<std::uint8_t>> read_snapshot_file(
+    const std::string& path, const SnapshotKey& expect);
+
+}  // namespace hsim::ff

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hpp"
 #include "common/status.hpp"
 
 namespace hsim::mem {
@@ -57,6 +58,39 @@ class Cache {
 
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] int num_sets() const noexcept { return num_sets_; }
+
+  /// Snapshot tag/LRU/stat state.  Restore requires an identically
+  /// configured cache (geometry is checked, not re-created).
+  void save_state(common::StateWriter& w) const {
+    w.marker(0x43414348u);  // "CACH"
+    w.u64(lines_.size());
+    for (const auto& line : lines_) {
+      w.u64(line.tag);
+      w.u32(line.sector_valid);
+      w.u64(line.lru_stamp);
+      w.boolean(line.valid);
+    }
+    w.u64(next_stamp_);
+    w.u64(stats_.hits);
+    w.u64(stats_.sector_misses);
+    w.u64(stats_.line_misses);
+    w.u64(stats_.evictions);
+  }
+  void load_state(common::StateReader& r) {
+    r.expect_marker(0x43414348u);
+    if (!r.expect(r.u64() == lines_.size())) return;
+    for (auto& line : lines_) {
+      line.tag = r.u64();
+      line.sector_valid = r.u32();
+      line.lru_stamp = r.u64();
+      line.valid = r.boolean();
+    }
+    next_stamp_ = r.u64();
+    stats_.hits = r.u64();
+    stats_.sector_misses = r.u64();
+    stats_.line_misses = r.u64();
+    stats_.evictions = r.u64();
+  }
 
  private:
   struct Line {

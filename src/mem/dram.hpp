@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/state_io.hpp"
 #include "common/status.hpp"
 #include "sim/pipeline.hpp"
 
@@ -72,6 +73,17 @@ class Dram {
   void reset() noexcept {
     channel_.reset();
     bytes_moved_ = 0;
+  }
+
+  void save_state(common::StateWriter& w) const {
+    w.marker(0x4452414du);  // "DRAM"
+    channel_.save_state(w);
+    w.u64(bytes_moved_);
+  }
+  void load_state(common::StateReader& r) {
+    r.expect_marker(0x4452414du);
+    channel_.load_state(r);
+    bytes_moved_ = r.u64();
   }
 
  private:

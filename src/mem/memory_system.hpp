@@ -156,6 +156,34 @@ class MemorySystem final : public MemPath {
 
   void reset_timing();
 
+  /// Snapshot the full hierarchy (every L1, L2, DRAM, TLB, ports).  Restore
+  /// requires a MemorySystem built for the same device/active_sms; geometry
+  /// mismatches fail the reader rather than resizing.
+  void save_state(common::StateWriter& w) const {
+    w.marker(0x4d454d53u);  // "MEMS"
+    w.u64(l1_.size());
+    for (std::size_t i = 0; i < l1_.size(); ++i) {
+      l1_[i]->save_state(w);
+      l1_port_[i].save_state(w);
+    }
+    l2_->save_state(w);
+    l2_port_.save_state(w);
+    dram_->save_state(w);
+    tlb_->save_state(w);
+  }
+  void load_state(common::StateReader& r) {
+    r.expect_marker(0x4d454d53u);
+    if (!r.expect(r.u64() == l1_.size())) return;
+    for (std::size_t i = 0; i < l1_.size(); ++i) {
+      l1_[i]->load_state(r);
+      l1_port_[i].load_state(r);
+    }
+    l2_->load_state(r);
+    l2_port_.load_state(r);
+    dram_->load_state(r);
+    tlb_->load_state(r);
+  }
+
   /// Attach a lifecycle event sink: every load / warp transaction emits a
   /// kExecute event named after the deepest level that serviced it.
   void set_trace(trace::TraceSink* sink) noexcept { trace_ = sink; }

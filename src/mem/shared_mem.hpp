@@ -7,10 +7,12 @@
 // bins here).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/state_io.hpp"
 #include "common/status.hpp"
 #include "prof/pmu.hpp"
 #include "trace/trace.hpp"
@@ -53,6 +55,24 @@ class SharedMemory {
   }
   [[nodiscard]] int banks() const noexcept { return banks_; }
   void fill(std::uint8_t byte) { std::fill(data_.begin(), data_.end(), byte); }
+
+  /// Overwrite the backing store (fast-forward handoff, snapshot restore).
+  /// The image must match the configured size.
+  void import_bytes(std::span<const std::uint8_t> image) {
+    HSIM_ASSERT(image.size() == data_.size());
+    std::copy(image.begin(), image.end(), data_.begin());
+  }
+
+  void save_state(common::StateWriter& w) const {
+    w.marker(0x534d454du);  // "SMEM"
+    w.blob(bytes());
+  }
+  void load_state(common::StateReader& r) {
+    r.expect_marker(0x534d454du);
+    const auto image = r.blob();
+    if (!r.expect(image.size() == data_.size())) return;
+    std::copy(image.begin(), image.end(), data_.begin());
+  }
 
  private:
   [[nodiscard]] int bank_of(std::uint32_t byte_addr) const noexcept {

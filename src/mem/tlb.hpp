@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/state_io.hpp"
 #include "common/status.hpp"
 
 namespace hsim::mem {
@@ -46,6 +47,31 @@ class Tlb {
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
   void flush() { slots_.clear(); }
+
+  void save_state(common::StateWriter& w) const {
+    w.marker(0x544c4221u);  // "TLB!"
+    w.u64(slots_.size());
+    for (const auto& slot : slots_) {
+      w.u64(slot.page);
+      w.u64(slot.stamp);
+    }
+    w.u64(next_stamp_);
+    w.u64(hits_);
+    w.u64(misses_);
+  }
+  void load_state(common::StateReader& r) {
+    r.expect_marker(0x544c4221u);
+    const std::uint64_t n = r.u64();
+    if (!r.expect(n <= static_cast<std::uint64_t>(entries_))) return;
+    slots_.resize(static_cast<std::size_t>(n));
+    for (auto& slot : slots_) {
+      slot.page = r.u64();
+      slot.stamp = r.u64();
+    }
+    next_stamp_ = r.u64();
+    hits_ = r.u64();
+    misses_ = r.u64();
+  }
 
  private:
   struct Slot {

@@ -14,12 +14,15 @@
 // same way trace buffers are.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
+
+#include "common/state_io.hpp"
 
 namespace hsim::prof {
 
@@ -126,6 +129,24 @@ struct PmuCounters {
   /// occupancy histogram as an array).  Used by the bit-identity tests.
   void write_json(std::ostream& os) const;
   [[nodiscard]] std::string to_json() const;
+
+  /// Binary snapshot (schema is the append-only Counter order; a snapshot
+  /// from a build with a different kNumCounters fails the size check).
+  void save_state(common::StateWriter& w) const {
+    w.marker(0x504d5521u);  // "PMU!"
+    w.f64_vec({values.data(), values.size()});
+    w.f64_vec({occ_hist.data(), occ_hist.size()});
+  }
+  void load_state(common::StateReader& r) {
+    r.expect_marker(0x504d5521u);
+    const auto v = r.f64_vec();
+    const auto h = r.f64_vec();
+    if (!r.expect(v.size() == values.size() && h.size() == occ_hist.size())) {
+      return;
+    }
+    std::copy(v.begin(), v.end(), values.begin());
+    std::copy(h.begin(), h.end(), occ_hist.begin());
+  }
 };
 
 }  // namespace hsim::prof

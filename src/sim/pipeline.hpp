@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/state_io.hpp"
 #include "common/status.hpp"
 
 namespace hsim::sim {
@@ -52,6 +53,19 @@ class PipelinedUnit {
     ops_ = 0;
   }
 
+  /// Snapshot the dynamic state (ii/latency are construction config and
+  /// must match on restore — the snapshot container checks identity).
+  void save_state(common::StateWriter& w) const {
+    w.f64(next_free_);
+    w.f64(busy_cycles_);
+    w.u64(ops_);
+  }
+  void load_state(common::StateReader& r) {
+    next_free_ = r.f64();
+    busy_cycles_ = r.f64();
+    ops_ = r.u64();
+  }
+
  private:
   double ii_ = 1.0;
   double latency_ = 1.0;
@@ -88,6 +102,17 @@ class Port {
     next_free_ = 0.0;
     busy_cycles_ = 0.0;
     ops_ = 0;
+  }
+
+  void save_state(common::StateWriter& w) const {
+    w.f64(next_free_);
+    w.f64(busy_cycles_);
+    w.u64(ops_);
+  }
+  void load_state(common::StateReader& r) {
+    next_free_ = r.f64();
+    busy_cycles_ = r.f64();
+    ops_ = r.u64();
   }
 
  private:

@@ -28,6 +28,18 @@ std::uint64_t from_f32(float value) {
 double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
 std::uint64_t from_f64(double value) { return std::bit_cast<std::uint64_t>(value); }
 
+// NVIDIA GPUs canonicalize every NaN arithmetic result to a single quiet-NaN
+// encoding (0x7fffffff for f32).  Mirroring that keeps results independent of
+// the host compiler's instruction selection, which otherwise chooses which
+// operand's payload survives NaN+NaN.
+std::uint64_t canon_f32(float value) {
+  return std::isnan(value) ? std::uint64_t{0x7fffffffu} : from_f32(value);
+}
+std::uint64_t canon_f64(double value) {
+  return std::isnan(value) ? std::uint64_t{0x7fffffffffffffffull}
+                           : from_f64(value);
+}
+
 std::int32_t as_s32(std::uint64_t bits) {
   return static_cast<std::int32_t>(static_cast<std::uint32_t>(bits));
 }
@@ -537,6 +549,12 @@ bool SmCore::advance(double until) {
   HSIM_ASSERT(program_ != nullptr);
   while (live_ > 0 && now_ + kEps < until) {
     HSIM_ASSERT(now_ < 5e9);  // deadlock guard
+    // Issue-budget boundary (fast-forward segments): stop with the issue
+    // count exactly at the budget instead of idle-stepping forever on
+    // warps that are ready but not allowed to issue.
+    if (issue_budget_ != 0 && result_.instructions_issued >= issue_budget_) {
+      break;
+    }
 
     if (!barrier_dirty_.empty()) release_dirty_barriers();
 
@@ -582,6 +600,9 @@ bool SmCore::advance(double until) {
 // conjunction of order-independent gates, so checking them in the cheapest
 // order is safe.
 bool SmCore::step_scheduler_fast(int s) {
+  if (issue_budget_ != 0 && result_.instructions_issued >= issue_budget_) {
+    return false;
+  }
   const auto& list = sched_warps_[static_cast<std::size_t>(s)];
   const int n = static_cast<int>(list.size());
   int& rot = rotate_[static_cast<std::size_t>(s)];
@@ -643,6 +664,9 @@ bool SmCore::step_scheduler_fast(int s) {
 }
 
 bool SmCore::step_scheduler_traced(int s) {
+  if (issue_budget_ != 0 && result_.instructions_issued >= issue_budget_) {
+    return false;
+  }
   const auto& list = sched_warps_[static_cast<std::size_t>(s)];
   const int n = static_cast<int>(list.size());
   bool issued = false;
@@ -736,6 +760,226 @@ RunResult SmCore::finalize() {
                   "deferred access unresolved at finalize (finish=%g)", finish);
   result_.cycles = finish;
   return result_;
+}
+
+ArchState SmCore::export_arch() const {
+  HSIM_ASSERT(program_ != nullptr);
+  ArchState arch;
+  arch.num_regs = num_regs_;
+  arch.warps.reserve(warps_.size());
+  for (const auto& w : warps_) {
+    arch.warps.push_back({static_cast<std::uint64_t>(w.pc), w.iteration,
+                          w.done, w.at_barrier});
+  }
+  arch.lanes = lane_store_;
+  if (shared_ != nullptr) {
+    const auto bytes = shared_->bytes();
+    arch.shared.assign(bytes.begin(), bytes.end());
+  }
+  return arch;
+}
+
+void SmCore::import_arch(const ArchState& arch) {
+  HSIM_ASSERT(program_ != nullptr);
+  HSIM_ASSERT_MSG(arch.num_regs == num_regs_, "arch regs %d vs core %d",
+                  arch.num_regs, num_regs_);
+  HSIM_ASSERT(arch.warps.size() == warps_.size());
+  HSIM_ASSERT(arch.lanes.size() == lane_store_.size());
+  std::copy(arch.lanes.begin(), arch.lanes.end(), lane_store_.begin());
+  const auto regs = static_cast<std::size_t>(num_regs_);
+  for (std::size_t i = 0; i < warps_.size(); ++i) {
+    auto& w = warps_[i];
+    const auto& a = arch.warps[i];
+    // Importing a live warp into an empty slot would corrupt the per-block
+    // accounting: callers launch_block() every slot first.
+    HSIM_ASSERT_MSG(!w.done || a.done, "warp %zu live in arch but not resident", i);
+    w.pc = static_cast<std::size_t>(a.pc);
+    w.iteration = a.iteration;
+    w.at_barrier = a.at_barrier;
+    w.blocked_until = now_;
+    w.block_reason = StallReason::kBarrier;
+    w.last_issue_cycle = now_ - 1.0;
+    // The functional model has no timing: every register is ready now, and
+    // the warmup replay rebuilds realistic scoreboard pressure.
+    std::fill_n(w.reg_ready, regs, now_);
+    std::fill_n(w.reg_reason, regs, StallReason::kScoreboardRaw);
+    if (a.done && !w.done) {
+      w.done = true;
+      --live_;
+      auto& remaining = block_live_[static_cast<std::size_t>(w.block)];
+      if (--remaining == 0) {
+        block_retire_[static_cast<std::size_t>(w.block)] = now_;
+      }
+    }
+    wake_[i] = (w.done || w.at_barrier) ? kInf : now_;
+    if (w.at_barrier) mark_barrier_dirty(w.block);
+  }
+  if (!arch.shared.empty()) {
+    shared().import_bytes(
+        {arch.shared.data(), arch.shared.size()});
+  }
+}
+
+void SmCore::save_state(common::StateWriter& w) const {
+  HSIM_ASSERT(program_ != nullptr);
+  // Deferred full-chip tickets hold raw pointers into scoreboards across
+  // the fabric; a snapshot between their creation and resolution is not a
+  // self-contained state.  The single-SM MemorySystem never defers.
+  HSIM_ASSERT(async_waits_.empty() && wait_groups_.empty() && !access_pending_);
+  w.marker(0x534d4352u);  // "SMCR"
+  w.f64(now_);
+  w.i64(live_);
+  w.f64(last_completion_);
+  w.u64(pmu_pending_retire_);
+  w.f64(result_.cycles);
+  w.u64(result_.instructions_issued);
+  w.u64(result_.stall_cycles);
+  w.u64(result_.mem_transactions);
+  w.u64(result_.warps_retired);
+  for (const int r : rotate_) w.i64(r);
+  w.f64_vec(reg_ready_store_);
+  {
+    std::vector<std::uint8_t> reasons(reg_reason_store_.size());
+    for (std::size_t i = 0; i < reasons.size(); ++i) {
+      reasons[i] = static_cast<std::uint8_t>(reg_reason_store_[i]);
+    }
+    w.blob(reasons);
+  }
+  w.u64_vec(lane_store_);
+  w.f64_vec(wake_);
+  w.u64(block_live_.size());
+  for (const int v : block_live_) w.i64(v);
+  w.f64_vec(block_retire_);
+  w.u64(barrier_dirty_.size());
+  for (const int b : barrier_dirty_) w.i64(b);
+  w.blob(barrier_marked_);
+  w.u64(warps_.size());
+  for (const auto& warp : warps_) {
+    w.u64(warp.pc);
+    w.u32(warp.iteration);
+    w.boolean(warp.done);
+    w.boolean(warp.at_barrier);
+    w.f64(warp.blocked_until);
+    w.u8(static_cast<std::uint8_t>(warp.block_reason));
+    w.f64(warp.last_issue_cycle);
+    w.u64(warp.async_slots.size());
+    for (const auto& slot : warp.async_slots) {
+      w.f64(slot.known);
+      w.i64(slot.outstanding);
+    }
+    w.u64(warp.async_used);
+    const auto slot_index = [&](const AsyncSlot* s) -> std::uint64_t {
+      if (s == nullptr) return ~std::uint64_t{0};
+      for (std::size_t k = 0; k < warp.async_slots.size(); ++k) {
+        if (&warp.async_slots[k] == s) return k;
+      }
+      HSIM_ASSERT_MSG(false, "async group outside its warp's arena");
+      return ~std::uint64_t{0};
+    };
+    w.u64(slot_index(warp.async_open));
+    w.u64(warp.async_groups.size());
+    for (const auto* g : warp.async_groups) w.u64(slot_index(g));
+    w.u64(warp.async_head);
+  }
+  const auto& u = *units_;
+  for (const auto& p : u.fma) p.save_state(w);
+  for (const auto& p : u.alu) p.save_state(w);
+  u.fp64.save_state(w);
+  for (const auto& p : u.dpx) p.save_state(w);
+  u.tensor.save_state(w);
+  u.lsu.save_state(w);
+  u.dsm.save_state(w);
+  w.boolean(shared_ != nullptr);
+  if (shared_ != nullptr) shared_->save_state(w);
+}
+
+void SmCore::load_state(common::StateReader& r) {
+  HSIM_ASSERT(program_ != nullptr);  // begin() must precede load_state()
+  if (!r.expect_marker(0x534d4352u)) return;
+  now_ = r.f64();
+  live_ = static_cast<int>(r.i64());
+  last_completion_ = r.f64();
+  pmu_pending_retire_ = r.u64();
+  result_.cycles = r.f64();
+  result_.instructions_issued = r.u64();
+  result_.stall_cycles = r.u64();
+  result_.mem_transactions = r.u64();
+  result_.warps_retired = r.u64();
+  for (int& rot : rotate_) rot = static_cast<int>(r.i64());
+  const auto ready = r.f64_vec();
+  const auto reasons = r.blob();
+  const auto lanes = r.u64_vec();
+  const auto wake = r.f64_vec();
+  if (!r.expect(ready.size() == reg_ready_store_.size() &&
+                reasons.size() == reg_reason_store_.size() &&
+                lanes.size() == lane_store_.size() &&
+                wake.size() == wake_.size())) {
+    return;
+  }
+  std::copy(ready.begin(), ready.end(), reg_ready_store_.begin());
+  for (std::size_t i = 0; i < reasons.size(); ++i) {
+    reg_reason_store_[i] = static_cast<StallReason>(reasons[i]);
+  }
+  std::copy(lanes.begin(), lanes.end(), lane_store_.begin());
+  std::copy(wake.begin(), wake.end(), wake_.begin());
+  if (!r.expect(r.u64() == block_live_.size())) return;
+  for (int& v : block_live_) v = static_cast<int>(r.i64());
+  const auto retire = r.f64_vec();
+  if (!r.expect(retire.size() == block_retire_.size())) return;
+  std::copy(retire.begin(), retire.end(), block_retire_.begin());
+  const std::uint64_t dirty = r.u64();
+  if (!r.expect(dirty <= block_live_.size())) return;
+  barrier_dirty_.clear();
+  for (std::uint64_t i = 0; i < dirty; ++i) {
+    barrier_dirty_.push_back(static_cast<int>(r.i64()));
+  }
+  const auto marked = r.blob();
+  if (!r.expect(marked.size() == barrier_marked_.size())) return;
+  std::copy(marked.begin(), marked.end(), barrier_marked_.begin());
+  if (!r.expect(r.u64() == warps_.size())) return;
+  for (auto& warp : warps_) {
+    warp.pc = static_cast<std::size_t>(r.u64());
+    warp.iteration = r.u32();
+    warp.done = r.boolean();
+    warp.at_barrier = r.boolean();
+    warp.blocked_until = r.f64();
+    warp.block_reason = static_cast<StallReason>(r.u8());
+    warp.last_issue_cycle = r.f64();
+    const std::uint64_t slots = r.u64();
+    if (!r.expect(slots < (1u << 20))) return;  // sanity vs corrupt counts
+    warp.async_slots.resize(static_cast<std::size_t>(slots));
+    for (auto& slot : warp.async_slots) {
+      slot.known = r.f64();
+      slot.outstanding = static_cast<int>(r.i64());
+    }
+    warp.async_used = static_cast<std::size_t>(r.u64());
+    const auto slot_at = [&](std::uint64_t index) -> AsyncSlot* {
+      if (index == ~std::uint64_t{0}) return nullptr;
+      if (!r.expect(index < warp.async_slots.size())) return nullptr;
+      return &warp.async_slots[static_cast<std::size_t>(index)];
+    };
+    warp.async_open = slot_at(r.u64());
+    const std::uint64_t groups = r.u64();
+    if (!r.expect(groups <= warp.async_slots.size())) return;
+    warp.async_groups.clear();
+    for (std::uint64_t g = 0; g < groups; ++g) {
+      warp.async_groups.push_back(slot_at(r.u64()));
+    }
+    warp.async_head = static_cast<std::size_t>(r.u64());
+    if (!r.expect(warp.async_head <= warp.async_groups.size())) return;
+  }
+  auto& u = *units_;
+  for (auto& p : u.fma) p.load_state(r);
+  for (auto& p : u.alu) p.load_state(r);
+  u.fp64.load_state(r);
+  for (auto& p : u.dpx) p.load_state(r);
+  u.tensor.load_state(r);
+  u.lsu.load_state(r);
+  u.dsm.load_state(r);
+  if (r.boolean()) shared().load_state(r);
+  async_waits_.clear();
+  wait_groups_.clear();
+  access_pending_ = false;
 }
 
 bool SmCore::try_issue_traced(Warp& warp, double now, trace::StallReason& why,
@@ -975,17 +1219,17 @@ double SmCore::execute(Warp& warp, const MicroOp& m, double now) {
       return m.pipe[sched]->issue(now);
     case Opcode::kFAdd:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-        return from_f32(as_f32(a) + as_f32(b));
+        return canon_f32(as_f32(a) + as_f32(b));
       });
       return m.pipe[sched]->issue(now);
     case Opcode::kFMul:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-        return from_f32(as_f32(a) * as_f32(b));
+        return canon_f32(as_f32(a) * as_f32(b));
       });
       return m.pipe[sched]->issue(now);
     case Opcode::kFFma:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-        return from_f32(as_f32(a) * as_f32(b) + as_f32(c));
+        return canon_f32(as_f32(a) * as_f32(b) + as_f32(c));
       });
       return m.pipe[sched]->issue(now);
     case Opcode::kHAdd2:
@@ -995,27 +1239,29 @@ double SmCore::execute(Warp& warp, const MicroOp& m, double now) {
         for (int half = 0; half < 2; ++half) {
           const auto av = fp16::from_bits(static_cast<std::uint16_t>(a >> (16 * half)));
           const auto bv = fp16::from_bits(static_cast<std::uint16_t>(b >> (16 * half)));
-          const auto sum = fp16(av.to_float() + bv.to_float());
-          out |= static_cast<std::uint64_t>(sum.bits()) << (16 * half);
+          const float sum = av.to_float() + bv.to_float();
+          const std::uint16_t bits =
+              std::isnan(sum) ? std::uint16_t{0x7fff} : fp16(sum).bits();
+          out |= static_cast<std::uint64_t>(bits) << (16 * half);
         }
         return out;
       });
       return m.pipe[sched]->issue(now);
     case Opcode::kDAdd:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-        return from_f64(as_f64(a) + as_f64(b));
+        return canon_f64(as_f64(a) + as_f64(b));
       });
       return m.pipe[sched]->issue(now);
     case Opcode::kDMul:
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t) {
-        return from_f64(as_f64(a) * as_f64(b));
+        return canon_f64(as_f64(a) * as_f64(b));
       });
       return m.pipe[sched]->issue(now);
     case Opcode::kHMma:
       // Fragment math stands in as a per-lane FP32 FMA; the timing is the
       // calibrated tensor-core cadence/latency.
       for_lanes([](std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-        return from_f32(as_f32(a) * as_f32(b) + as_f32(c));
+        return canon_f32(as_f32(a) * as_f32(b) + as_f32(c));
       });
       return m.pipe[sched]->issue(now);
     case Opcode::kClock:

@@ -43,6 +43,25 @@ struct BlockShape {
   [[nodiscard]] int total_warps() const { return warps_per_block() * blocks; }
 };
 
+/// Architectural (timing-free) warp state: exactly what survives a switch
+/// between the functional fast-forward model and the cycle-accurate core.
+/// Registers and control flow are architecturally current at issue time in
+/// both models, so a state exported at an instruction boundary imports
+/// losslessly; all timing state (scoreboards, pipes, caches) is deliberately
+/// absent — the importer re-heats it with a warmup replay.
+struct ArchState {
+  struct WarpArch {
+    std::uint64_t pc = 0;
+    std::uint32_t iteration = 0;
+    bool done = false;
+    bool at_barrier = false;
+  };
+  int num_regs = 0;
+  std::vector<WarpArch> warps;
+  std::vector<std::uint64_t> lanes;  // warps * num_regs * 32, warp-major
+  std::vector<std::uint8_t> shared;  // smem image; empty when untouched
+};
+
 struct RunResult {
   double cycles = 0;
   std::uint64_t instructions_issued = 0;
@@ -146,6 +165,39 @@ class SmCore {
   void set_cycle_skip(bool enabled) noexcept { cycle_skip_ = enabled; }
   [[nodiscard]] bool cycle_skip() const noexcept { return cycle_skip_; }
 
+  // --- Fast-forward / snapshot interface (src/ff) ---------------------------
+
+  /// Stop issuing once `instructions_issued` reaches `budget` (0 = no
+  /// limit): advance() returns with the count exactly at the budget, at an
+  /// architecturally consistent instruction boundary.  The fast-forward
+  /// engine uses this to end detailed segments at functional switch points.
+  void set_issue_budget(std::uint64_t budget) noexcept { issue_budget_ = budget; }
+  [[nodiscard]] std::uint64_t issue_budget() const noexcept {
+    return issue_budget_;
+  }
+  /// Running issue count (the value finalize() reports), readable mid-run
+  /// so a sample window can measure IPC between two budget boundaries.
+  [[nodiscard]] std::uint64_t instructions_issued() const noexcept {
+    return result_.instructions_issued;
+  }
+
+  /// Read the architectural state at the current instruction boundary.
+  [[nodiscard]] ArchState export_arch() const;
+  /// Overwrite the architectural state.  Call after begin() plus
+  /// launch_block() for every slot; timing state (scoreboards, wake cache)
+  /// is reset to "ready now", so a warmup replay should precede any
+  /// measurement.  Warps marked done retire immediately.
+  void import_arch(const ArchState& arch);
+
+  /// Serialize the full dynamic state (timing included).  Restore contract:
+  /// construct an SmCore for the same device, call begin() with the same
+  /// program/slots/threads and re-attach the same sinks, then load_state();
+  /// geometry mismatches latch the reader's failure bit instead of UB.
+  /// Only valid on the immediate (single-SM) memory path — deferred
+  /// full-chip tickets are not serializable mid-epoch (asserted).
+  void save_state(common::StateWriter& w) const;
+  void load_state(common::StateReader& r);
+
  private:
   struct Warp;
   struct Units;
@@ -195,6 +247,7 @@ class SmCore {
   double now_ = 0;
   int live_ = 0;
   bool cycle_skip_ = true;
+  std::uint64_t issue_budget_ = 0;  // 0 = unlimited
   // Scoreboard storage, struct-of-arrays: one flat block per kind, sized in
   // begin() and never resized, so per-register addresses handed to
   // mem::DeferredFixup stay stable for the lifetime of the run.  Each Warp

@@ -1,0 +1,244 @@
+// Snapshot round-trip property tests for the fast-forward subsystem.
+//
+// The contract under test: save -> restore -> continue is bit-identical to
+// an uninterrupted run, at any sweep thread count; and every malformed
+// snapshot file (truncated, bit-flipped, wrong version, wrong identity)
+// fails with a typed diagnostic, never undefined behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "common/state_io.hpp"
+#include "ff/fast_forward.hpp"
+#include "ff/snapshot.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/sweep.hpp"
+#include "sm/sm_core.hpp"
+#include "trace/kernels.hpp"
+
+namespace hsim::ff {
+namespace {
+
+const arch::DeviceSpec& h800() {
+  return *arch::find_device("h800").value();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+trace::TraceKernel kernel(std::string_view name, std::uint32_t iters) {
+  auto k = trace::make_trace_kernel(name, iters);
+  EXPECT_TRUE(k.has_value());
+  return *k;
+}
+
+struct RunTriple {
+  double cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t stalls = 0;
+  bool operator==(const RunTriple&) const = default;
+};
+
+RunTriple triple(const sm::RunResult& r) {
+  return {r.cycles, r.instructions_issued, r.stall_cycles};
+}
+
+TEST(Snapshot, SaveRestoreContinueBitIdentical) {
+  const auto& device = h800();
+  const auto k = kernel("mem_global", 512);
+  const sm::BlockShape shape{k.threads_per_block, k.blocks};
+  const FastForwardEngine engine(device);
+
+  ExactOptions plain;
+  const auto baseline = engine.exact(k.program, shape, k.needs_mem, plain);
+
+  ExactOptions snap;
+  snap.snapshot_file = temp_path("roundtrip.hsnap");
+  snap.snapshot_iteration = 128;
+  std::remove(snap.snapshot_file.c_str());
+
+  const auto first = engine.exact(k.program, shape, k.needs_mem, snap);
+  EXPECT_FALSE(first.snapshot_restored);
+  EXPECT_TRUE(first.snapshot_saved) << first.snapshot_note;
+  EXPECT_EQ(triple(first.result), triple(baseline.result));
+
+  const auto second = engine.exact(k.program, shape, k.needs_mem, snap);
+  EXPECT_TRUE(second.snapshot_restored) << second.snapshot_note;
+  EXPECT_EQ(triple(second.result), triple(baseline.result));
+  std::remove(snap.snapshot_file.c_str());
+}
+
+TEST(Snapshot, RestoreBitIdenticalAtAnyThreadCount) {
+  const auto& device = h800();
+  const auto k = kernel("smem_conflict", 256);
+  const sm::BlockShape shape{k.threads_per_block, k.blocks};
+  const FastForwardEngine engine(device);
+
+  ExactOptions snap;
+  snap.snapshot_file = temp_path("sweep.hsnap");
+  snap.snapshot_iteration = 64;
+  std::remove(snap.snapshot_file.c_str());
+  // Prime the shared post-warmup snapshot once; every sweep point below
+  // restores it instead of re-simulating the warmup.
+  const auto primed = engine.exact(k.program, shape, k.needs_mem, snap);
+  ASSERT_TRUE(primed.snapshot_saved) << primed.snapshot_note;
+
+  const auto run_points = [&](std::size_t threads) {
+    sim::SweepOptions options;
+    options.threads = threads;
+    return sim::sweep(
+        8,
+        [&](sim::SweepContext&) {
+          const auto point =
+              engine.exact(k.program, shape, k.needs_mem, snap);
+          EXPECT_TRUE(point.snapshot_restored) << point.snapshot_note;
+          return triple(point.result);
+        },
+        options);
+  };
+
+  const auto serial = run_points(1);
+  for (const auto& point : serial) {
+    EXPECT_EQ(point, triple(primed.result));
+  }
+  EXPECT_EQ(serial, run_points(4));
+  EXPECT_EQ(serial, run_points(8));
+  std::remove(snap.snapshot_file.c_str());
+}
+
+TEST(Snapshot, CoreStateRoundTripsMidRun) {
+  const auto& device = h800();
+  const auto k = kernel("mem_global", 256);
+  const sm::BlockShape shape{k.threads_per_block, k.blocks};
+  const auto per_iter =
+      static_cast<std::uint64_t>(shape.total_warps()) * k.program.size();
+
+  const auto build = [&](std::unique_ptr<mem::MemorySystem>& memory) {
+    memory = std::make_unique<mem::MemorySystem>(device, 1);
+    auto core = std::make_unique<sm::SmCore>(device, memory.get(), 0);
+    core->begin(k.program, shape.blocks, shape.threads_per_block);
+    for (int b = 0; b < shape.blocks; ++b) core->launch_block(b, b, 0.0);
+    return core;
+  };
+  constexpr double kForever = std::numeric_limits<double>::infinity();
+
+  std::unique_ptr<mem::MemorySystem> mem_a;
+  auto core_a = build(mem_a);
+  core_a->set_issue_budget(per_iter * 100);
+  core_a->advance(kForever);
+
+  common::StateWriter w;
+  core_a->save_state(w);
+  mem_a->save_state(w);
+
+  std::unique_ptr<mem::MemorySystem> mem_b;
+  auto core_b = build(mem_b);
+  common::StateReader r(w.bytes());
+  core_b->load_state(r);
+  mem_b->load_state(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+
+  core_a->set_issue_budget(0);
+  core_b->set_issue_budget(0);
+  core_a->advance(kForever);
+  core_b->advance(kForever);
+  EXPECT_EQ(triple(core_a->finalize()), triple(core_b->finalize()));
+}
+
+TEST(Snapshot, TruncatedFileFailsCleanly) {
+  SnapshotKey key;
+  key.device = "H800 PCIe";
+  key.program_hash = 0x1234;
+  key.blocks = 1;
+  key.threads_per_block = 32;
+  key.boundary = 100;
+  const std::vector<std::uint8_t> payload(4096, 0xab);
+  const auto sealed = seal_snapshot(key, payload);
+
+  // Every proper prefix must be rejected with a diagnostic, not UB.  Walk
+  // a coarse grid plus the exact header boundaries.
+  for (std::size_t len = 0; len < sealed.size(); len += 97) {
+    const std::span<const std::uint8_t> prefix(sealed.data(), len);
+    const auto opened = open_snapshot(prefix, key);
+    EXPECT_FALSE(opened.has_value()) << "prefix length " << len;
+  }
+  const auto whole = open_snapshot(sealed, key);
+  ASSERT_TRUE(whole.has_value()) << whole.error().to_string();
+  EXPECT_EQ(whole.value(), payload);
+}
+
+TEST(Snapshot, CorruptedPayloadFailsDigestCheck) {
+  SnapshotKey key;
+  key.device = "H800 PCIe";
+  key.boundary = 1;
+  const std::vector<std::uint8_t> payload(1024, 0x5c);
+  auto sealed = seal_snapshot(key, payload);
+  sealed[sealed.size() - 17] ^= 0x01;  // flip one payload bit
+  const auto opened = open_snapshot(sealed, key);
+  ASSERT_FALSE(opened.has_value());
+  EXPECT_NE(opened.error().to_string().find("digest"), std::string::npos)
+      << opened.error().to_string();
+}
+
+TEST(Snapshot, WrongVersionFailsCleanly) {
+  SnapshotKey key;
+  key.device = "x";
+  const auto sealed = seal_snapshot(key, std::vector<std::uint8_t>(16, 1));
+  auto bumped = sealed;
+  bumped[8] += 1;  // version field sits right after the u64 magic
+  const auto opened = open_snapshot(bumped, key);
+  ASSERT_FALSE(opened.has_value());
+  EXPECT_NE(opened.error().to_string().find("version"), std::string::npos)
+      << opened.error().to_string();
+}
+
+TEST(Snapshot, IdentityMismatchesAreNamed) {
+  SnapshotKey key;
+  key.device = "H800 PCIe";
+  key.program_hash = 7;
+  key.blocks = 2;
+  key.threads_per_block = 64;
+  key.boundary = 9;
+  const auto sealed = seal_snapshot(key, std::vector<std::uint8_t>(8, 2));
+
+  const auto expect_reject = [&](SnapshotKey other, std::string_view what) {
+    const auto opened = open_snapshot(sealed, other);
+    ASSERT_FALSE(opened.has_value()) << what;
+    EXPECT_NE(opened.error().to_string().find(what), std::string::npos)
+        << opened.error().to_string();
+  };
+  auto other = key;
+  other.device = "A100";
+  expect_reject(other, "device");
+  other = key;
+  other.program_hash = 8;
+  expect_reject(other, "program hash");
+  other = key;
+  other.threads_per_block = 32;
+  expect_reject(other, "shape");
+  other = key;
+  other.boundary = 10;
+  expect_reject(other, "boundary");
+}
+
+TEST(Snapshot, MissingFileIsRejectedNotCreated) {
+  SnapshotKey key;
+  key.device = "x";
+  const auto path = temp_path("does_not_exist.hsnap");
+  std::remove(path.c_str());
+  const auto opened = read_snapshot_file(path, key);
+  EXPECT_FALSE(opened.has_value());
+  std::ifstream probe(path);
+  EXPECT_FALSE(probe.good());
+}
+
+}  // namespace
+}  // namespace hsim::ff

@@ -16,11 +16,16 @@
 //                  [--full-chip] [--threads=N] [--json=out.json]
 //   hsim fuzz      <device> [--seed=N] [--count=K] [--threads=N]
 //                  [--no-shrink] [--out=repro.hsim] [--replay=repro.hsim]
-//                  [--full-chip] [--grid-blocks=N]
+//                  [--full-chip] [--grid-blocks=N] [--fast-forward]
+//   hsim sample    <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]
+//                  [--interval=N] [--detail=N] [--warmup=N]
+//                  [--snapshot=FILE] [--no-check]
 //
 // Every subcommand rejects unrecognised `--flags` with the usage text and a
 // nonzero exit, so typos never silently fall back to defaults.
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -37,6 +42,7 @@
 #include "core/pchase.hpp"
 #include "core/tcbench.hpp"
 #include "dsm/rbc.hpp"
+#include "ff/fast_forward.hpp"
 #include "gpu/gpu_engine.hpp"
 #include "prof/metrics.hpp"
 #include "prof/pmu.hpp"
@@ -70,8 +76,16 @@ int usage() {
       "        speed-of-light and roofline sections\n"
       "  fuzz <device> [--seed=N] [--count=K] [--threads=N] [--no-shrink]\n"
       "        [--out=repro.hsim] [--replay=repro.hsim] [--full-chip]\n"
-      "        [--grid-blocks=N]\n"
+      "        [--grid-blocks=N] [--fast-forward]\n"
       "        differential conformance: reference interpreter vs pipeline\n"
+      "        (--fast-forward: pipeline switches between functional and\n"
+      "        detailed mode at random instruction boundaries)\n"
+      "  sample <device> <kernel> [--iters=N] [--warps=N] [--blocks=N]\n"
+      "        [--interval=N] [--detail=N] [--warmup=N] [--snapshot=FILE]\n"
+      "        [--no-check]\n"
+      "        sampled simulation: functional fast-forward with detailed\n"
+      "        windows; cross-checked against the exact run unless\n"
+      "        --no-check (--snapshot caches the exact run's warmup)\n"
       "  (trace kernels:)\n";
   for (const auto name : trace::trace_kernel_names()) {
     std::cerr << "          " << name << " — "
@@ -611,12 +625,143 @@ int cmd_profile(const arch::DeviceSpec& device,
   return 0;
 }
 
+int cmd_sample(const arch::DeviceSpec& device,
+               const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& kernel_name = args[0];
+  std::uint32_t iters = 4096;
+  int warps = 0;
+  int blocks = 0;
+  bool check = true;
+  ff::SampleOptions sample_options;
+  std::string snapshot;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto value_of = [&](std::string_view prefix) -> const char* {
+      return arg.compare(0, prefix.size(), prefix) == 0
+                 ? arg.c_str() + prefix.size()
+                 : nullptr;
+    };
+    if (const char* v = value_of("--iters=")) {
+      iters = static_cast<std::uint32_t>(std::max(1, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--warps=")) {
+      warps = std::atoi(v);
+      continue;
+    }
+    if (const char* v = value_of("--blocks=")) {
+      blocks = std::atoi(v);
+      continue;
+    }
+    if (const char* v = value_of("--interval=")) {
+      sample_options.interval =
+          static_cast<std::uint32_t>(std::max(1, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--detail=")) {
+      sample_options.detail =
+          static_cast<std::uint32_t>(std::max(1, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--warmup=")) {
+      sample_options.warmup =
+          static_cast<std::uint32_t>(std::max(0, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--snapshot=")) {
+      snapshot = v;
+      continue;
+    }
+    if (arg == "--no-check") {
+      check = false;
+      continue;
+    }
+    std::cerr << "unknown option: " << arg << "\n";
+    return usage();
+  }
+
+  auto kernel = trace::make_trace_kernel(kernel_name, iters);
+  if (!kernel) {
+    std::cerr << "unknown kernel: " << kernel_name << "\n";
+    return usage();
+  }
+  sm::BlockShape shape;
+  shape.threads_per_block =
+      warps > 0 ? warps * 32 : kernel.value().threads_per_block;
+  shape.blocks = blocks > 0 ? blocks : kernel.value().blocks;
+
+  const ff::FastForwardEngine engine(device);
+  const auto wall = [] { return std::chrono::steady_clock::now(); };
+  const auto seconds = [](auto a, auto b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  const auto t0 = wall();
+  const auto sampled = engine.sample(kernel.value().program, shape,
+                                     kernel.value().needs_mem, sample_options);
+  const double sampled_wall = seconds(t0, wall());
+
+  std::cout << device.name << " :: " << kernel.value().name << " — "
+            << shape.total_warps() << " warp(s) x " << iters
+            << " iteration(s), interval " << sample_options.interval
+            << ", detail " << sample_options.detail << ", warmup "
+            << sample_options.warmup << "\n";
+  if (!sampled.sampled) {
+    std::cout << "  (kernel not sampleable; ran the exact path)\n";
+  }
+  const double detailed_pct =
+      sampled.instructions > 0
+          ? 100.0 * static_cast<double>(sampled.detailed_instructions) /
+                static_cast<double>(sampled.instructions)
+          : 0.0;
+  std::cout << "  sampled: " << fmt_fixed(sampled.cycles_est, 0)
+            << " cycles est (IPC " << fmt_fixed(sampled.ipc_est(), 2) << "), "
+            << sampled.windows.size() << " window(s), "
+            << fmt_fixed(detailed_pct, 1) << "% of "
+            << sampled.instructions << " instructions detailed, "
+            << fmt_fixed(sampled_wall, 3) << " s\n";
+
+  if (!check) return 0;
+
+  ff::ExactOptions exact_options;
+  exact_options.snapshot_file = snapshot;
+  exact_options.snapshot_iteration = snapshot.empty()
+                                         ? 0
+                                         : sample_options.interval;
+  const auto t1 = wall();
+  const auto exact = engine.exact(kernel.value().program, shape,
+                                  kernel.value().needs_mem, exact_options);
+  const double exact_wall = seconds(t1, wall());
+
+  std::cout << "  exact:   " << fmt_fixed(exact.result.cycles, 0)
+            << " cycles (IPC " << fmt_fixed(exact.result.ipc(), 2) << "), "
+            << fmt_fixed(exact_wall, 3) << " s";
+  if (exact.snapshot_restored) std::cout << "  [snapshot restored]";
+  if (exact.snapshot_saved) std::cout << "  [snapshot saved]";
+  std::cout << "\n";
+  if (!exact.snapshot_note.empty()) {
+    std::cout << "  snapshot: " << exact.snapshot_note << "\n";
+  }
+
+  const double err =
+      exact.result.cycles > 0
+          ? 100.0 * std::abs(sampled.cycles_est - exact.result.cycles) /
+                exact.result.cycles
+          : 0.0;
+  const double speedup = sampled_wall > 0 ? exact_wall / sampled_wall : 0.0;
+  std::cout << "  cycle error " << fmt_fixed(err, 2) << "%, wall-clock speedup "
+            << fmt_fixed(speedup, 1) << "x\n";
+  return 0;
+}
+
 int cmd_fuzz(const arch::DeviceSpec& device,
              const std::vector<std::string>& args) {
   conformance::CampaignOptions options;
   options.count = 100;
   bool shrink_given = false;
   bool full_chip = false;
+  bool fast_forward = false;
   int grid_blocks = 0;  // 0 = 2 * sm_count under --full-chip
   std::string out_path;
   std::string replay_path;
@@ -662,7 +807,15 @@ int cmd_fuzz(const arch::DeviceSpec& device,
       grid_blocks = std::max(1, std::atoi(v));
       continue;
     }
+    if (arg == "--fast-forward") {
+      fast_forward = true;
+      continue;
+    }
     std::cerr << "unknown option: " << arg << "\n";
+    return usage();
+  }
+  if (fast_forward && full_chip) {
+    std::cerr << "--fast-forward is a single-SM oracle; drop --full-chip\n";
     return usage();
   }
   (void)shrink_given;  // --shrink is the (default) opposite of --no-shrink
@@ -673,7 +826,12 @@ int cmd_fuzz(const arch::DeviceSpec& device,
         grid_blocks > 0 ? grid_blocks : 2 * device.sm_count;
   }
 
-  const conformance::Differ differ(device);
+  conformance::Differ differ(device);
+  if (fast_forward) {
+    // The pipeline under test becomes the mode-switching run: functional
+    // and detailed segments alternating at case-derived boundaries.
+    differ.set_pipeline(ff::make_mode_switch_pipeline(device));
+  }
 
   if (!replay_path.empty()) {
     std::ifstream in(replay_path);
@@ -767,7 +925,7 @@ int main(int argc, char** argv) {
   // command names the accepted set instead of complaining about devices.
   static constexpr std::string_view kCommands[] = {
       "devices", "pchase", "bandwidth", "sass", "tc",      "dpx",
-      "dsm",     "trace",  "chip",      "fuzz", "profile"};
+      "dsm",     "trace",  "chip",      "fuzz", "profile", "sample"};
   if (std::find(std::begin(kCommands), std::end(kCommands), command) ==
       std::end(kCommands)) {
     std::cerr << "unknown command: " << command << "\naccepted commands:";
@@ -815,5 +973,6 @@ int main(int argc, char** argv) {
   if (command == "chip") return cmd_chip(*device.value(), rest);
   if (command == "profile") return cmd_profile(*device.value(), rest);
   if (command == "fuzz") return cmd_fuzz(*device.value(), rest);
+  if (command == "sample") return cmd_sample(*device.value(), rest);
   return usage();
 }

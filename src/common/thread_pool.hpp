@@ -1,8 +1,10 @@
 // Minimal work-stealing-free thread pool.
 //
-// The simulator itself is single-threaded per device (cycle-accurate state),
-// but benches sweep independent configurations (three devices x many shapes)
-// which parallelise trivially.  `parallel_for` partitions an index range
+// The simulator is single-threaded per *shard* of cycle-accurate state:
+// benches sweep independent configurations (three devices x many shapes),
+// the full-chip engine advances SM-private cores in parallel between epoch
+// barriers, and each barrier's fabric resolution fans out again, one task
+// per L2 slice (gpu::GpuEngine).  `parallel_for` partitions an index range
 // across the pool and blocks until done.
 #pragma once
 

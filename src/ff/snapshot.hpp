@@ -23,6 +23,10 @@ namespace hsim::ff {
 
 /// "HSIMSNAP", little-endian.
 inline constexpr std::uint64_t kSnapshotMagic = 0x50414e534d495348ull;
+/// Bump only when a component's *wire* format changes, not its in-memory
+/// layout: mem::Cache's packed tag-path rework deliberately kept the
+/// original per-line stream (tag, sector_valid, u64 lru_stamp, valid — see
+/// Cache::save_state), so version-1 snapshots interchange across it.
 inline constexpr std::uint32_t kSnapshotVersion = 1;
 
 /// Identity of the simulation a snapshot belongs to.  All fields are

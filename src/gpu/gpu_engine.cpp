@@ -311,24 +311,45 @@ class SliceFabric {
     mem::MemLevel deepest = mem::MemLevel::kL2;
   };
 
-  /// Attach the fabric-level counter block.  resolve() runs only in the
-  /// serial barrier phase in deterministic ticket order, so counting here
-  /// is thread-safe and bit-identical at any thread count.
-  void set_pmu(prof::PmuCounters* pmu) noexcept { pmu_ = pmu; }
+  /// Enable fabric-level counting: one private PmuCounters block per slice,
+  /// incremented by resolve() for tickets of that slice only — so sharded
+  /// (concurrent) and serial resolution count into the same blocks without
+  /// locks.  merge_pmu_into() folds them in slice-index order; every
+  /// increment is +1.0 on an exact integer, so the merged totals are
+  /// bit-identical to the single-block serial accumulation.
+  void enable_pmu() { pmu_blocks_.assign(slices_.size(), prof::PmuCounters{}); }
+  void merge_pmu_into(prof::PmuCounters& target) const {
+    for (const prof::PmuCounters& block : pmu_blocks_) target.merge(block);
+  }
 
-  /// Resolve one ticket against its slice.  Mirrors MemorySystem's load /
-  /// warp_transaction tail with the slice's share of width and bandwidth.
-  Resolution resolve(const Ticket& ticket) {
+  /// Which slice an address interleaves to — the shard key for the
+  /// barrier's parallel resolution.
+  [[nodiscard]] int slice_index(std::uint64_t addr) const {
+    const auto line =
+        addr / static_cast<std::uint64_t>(device_.memory.l1_line_bytes);
+    return static_cast<int>(line %
+                            static_cast<std::uint64_t>(slices_.size()));
+  }
+
+  /// Resolve one ticket against its slice (`slice` = slice_index(addr),
+  /// precomputed by the shard partition).  Touches only that slice's state
+  /// and counter block, so distinct slices may resolve concurrently.
+  /// Mirrors MemorySystem's load / warp_transaction tail with the slice's
+  /// share of width and bandwidth.
+  Resolution resolve(const Ticket& ticket, int slice) {
     const auto& m = device_.memory;
-    Slice& s = slice_of(ticket.addr);
+    Slice& s = *slices_[static_cast<std::size_t>(slice)];
+    prof::PmuCounters* pmu =
+        pmu_blocks_.empty() ? nullptr
+                            : &pmu_blocks_[static_cast<std::size_t>(slice)];
     if (ticket.kind == Ticket::Kind::kLatency) {
       const bool hit =
           s.l2.access(slice_local(ticket.addr)) == mem::CacheOutcome::kHit;
-      if (pmu_ != nullptr) {
-        pmu_->inc(prof::Counter::kL2SectorAccesses);
-        pmu_->inc(hit ? prof::Counter::kL2SectorHits
+      if (pmu != nullptr) {
+        pmu->inc(prof::Counter::kL2SectorAccesses);
+        pmu->inc(hit ? prof::Counter::kL2SectorHits
                       : prof::Counter::kL2SectorMisses);
-        if (!hit) pmu_->inc(prof::Counter::kDramSectors);
+        if (!hit) pmu->inc(prof::Counter::kDramSectors);
       }
       const double latency = hit ? m.l2_hit_latency : m.dram_latency;
       return {ticket.issue_time + latency + ticket.tlb_extra,
@@ -338,11 +359,11 @@ class SliceFabric {
     for (std::uint32_t i = 0; i < ticket.miss_count; ++i) {
       const bool hit = s.l2.access(slice_local(ticket.miss_sectors[i])) ==
                        mem::CacheOutcome::kHit;
-      if (pmu_ != nullptr) {
-        pmu_->inc(prof::Counter::kL2SectorAccesses);
-        pmu_->inc(hit ? prof::Counter::kL2SectorHits
+      if (pmu != nullptr) {
+        pmu->inc(prof::Counter::kL2SectorAccesses);
+        pmu->inc(hit ? prof::Counter::kL2SectorHits
                       : prof::Counter::kL2SectorMisses);
-        if (!hit) pmu_->inc(prof::Counter::kDramSectors);
+        if (!hit) pmu->inc(prof::Counter::kDramSectors);
       }
       if (!hit) any_dram = true;
     }
@@ -419,7 +440,7 @@ class SliceFabric {
 
   const arch::DeviceSpec& device_;
   int slices_count_;
-  prof::PmuCounters* pmu_ = nullptr;
+  std::vector<prof::PmuCounters> pmu_blocks_;  // per slice; empty = disabled
   std::vector<std::unique_ptr<Slice>> slices_;
 };
 
@@ -482,13 +503,13 @@ Expected<ChipResult> GpuEngine::run(const isa::Program& program,
   const bool counting = options_.pmu != nullptr;
   std::vector<BufferSink> buffers(tracing ? static_cast<std::size_t>(sms) : 0);
   std::vector<prof::PmuCounters> pmu_blocks(
-      counting ? static_cast<std::size_t>(sms) + 1 : 0);
+      counting ? static_cast<std::size_t>(sms) : 0);
   std::vector<std::unique_ptr<SmPath>> paths;
   std::vector<std::unique_ptr<sm::SmCore>> cores;
   paths.reserve(static_cast<std::size_t>(sms));
   cores.reserve(static_cast<std::size_t>(sms));
   SliceFabric fabric(device_, options_.l2_slices);
-  if (counting) fabric.set_pmu(&pmu_blocks.back());
+  if (counting) fabric.enable_pmu();
   for (int i = 0; i < sms; ++i) {
     trace::TraceSink* sink = tracing ? &buffers[static_cast<std::size_t>(i)]
                                      : nullptr;
@@ -547,6 +568,17 @@ Expected<ChipResult> GpuEngine::run(const isa::Program& program,
   std::vector<std::uint32_t> bucket_pos;
   const int buckets = static_cast<int>(std::ceil(epoch)) + 1;
   std::vector<Freed> freed;
+  // Shard scratch: per-slice views of the ordered ticket stream (indices
+  // into ticket_order) and each ticket's resolution, written by its slice's
+  // task and consumed by the ordered fixup/trace pass.
+  const auto slices = static_cast<std::size_t>(options_.l2_slices);
+  std::vector<std::vector<std::uint32_t>> slice_tickets(
+      options_.serial_fabric ? 0 : slices);
+  std::vector<SliceFabric::Resolution> resolutions;
+  // Below this many tickets an epoch's resolution is cheaper than the
+  // parallel_for dispatch itself; the shard partition is identical either
+  // way, so the cutover cannot change results.
+  constexpr std::size_t kParallelFabricMinTickets = 96;
   double now = 0;
   int epochs = 0;
   for (;;) {
@@ -631,15 +663,60 @@ Expected<ChipResult> GpuEngine::run(const isa::Program& program,
                   });
       }
     }
-    for (const Ticket* ticket : ticket_order) {
-      const SliceFabric::Resolution res = fabric.resolve(*ticket);
-      apply_fixup(*ticket, res);
-      if (tracing) {
-        buffers[static_cast<std::size_t>(ticket->sm)].on_event(
-            {trace::EventKind::kExecute,
-             stall_reason_of(mem::AccessClass{res.deepest, ticket->tlb_miss}),
-             ticket->issue_time, res.completion - ticket->issue_time,
-             ticket->sm, -1, -1, to_string(res.deepest)});
+    if (options_.serial_fabric) {
+      // Reference twin: resolve + fixup + trace one ticket at a time in
+      // global order on the barrier thread, exactly as PR 4 shipped it.
+      for (const Ticket* ticket : ticket_order) {
+        const SliceFabric::Resolution res =
+            fabric.resolve(*ticket, fabric.slice_index(ticket->addr));
+        apply_fixup(*ticket, res);
+        if (tracing) {
+          buffers[static_cast<std::size_t>(ticket->sm)].on_event(
+              {trace::EventKind::kExecute,
+               stall_reason_of(mem::AccessClass{res.deepest, ticket->tlb_miss}),
+               ticket->issue_time, res.completion - ticket->issue_time,
+               ticket->sm, -1, -1, to_string(res.deepest)});
+        }
+      }
+    } else if (!ticket_order.empty()) {
+      // Sharded resolution.  A ticket's slice is a pure function of its
+      // address, each slice's state (L2 tags, port, DRAM channel, PMU
+      // block) is touched only by that slice's tickets, and the per-slice
+      // streams below preserve the global (issue_time, sm, seq) order —
+      // so resolving the slices concurrently computes exactly the
+      // completions the serial reference would, regardless of schedule.
+      for (auto& list : slice_tickets) list.clear();
+      for (std::size_t i = 0; i < ticket_order.size(); ++i) {
+        slice_tickets[static_cast<std::size_t>(
+                          fabric.slice_index(ticket_order[i]->addr))]
+            .push_back(static_cast<std::uint32_t>(i));
+      }
+      resolutions.resize(ticket_order.size());
+      const auto resolve_slice = [&](std::size_t s) {
+        for (const std::uint32_t i : slice_tickets[s]) {
+          resolutions[i] =
+              fabric.resolve(*ticket_order[i], static_cast<int>(s));
+        }
+      };
+      if (pool != nullptr && ticket_order.size() >= kParallelFabricMinTickets) {
+        pool->parallel_for(0, slices, resolve_slice);
+      } else {
+        for (std::size_t s = 0; s < slices; ++s) resolve_slice(s);
+      }
+      // Scoreboard fixups and trace events are side effects on SM-shared
+      // state, so they are applied after the barrier in the same global
+      // ticket order the serial reference uses — bit-identical buffers.
+      for (std::size_t i = 0; i < ticket_order.size(); ++i) {
+        const Ticket* ticket = ticket_order[i];
+        const SliceFabric::Resolution& res = resolutions[i];
+        apply_fixup(*ticket, res);
+        if (tracing) {
+          buffers[static_cast<std::size_t>(ticket->sm)].on_event(
+              {trace::EventKind::kExecute,
+               stall_reason_of(mem::AccessClass{res.deepest, ticket->tlb_miss}),
+               ticket->issue_time, res.completion - ticket->issue_time,
+               ticket->sm, -1, -1, to_string(res.deepest)});
+        }
       }
     }
     for (auto& path : paths) path->clear_tickets();
@@ -698,11 +775,14 @@ Expected<ChipResult> GpuEngine::run(const isa::Program& program,
   }
   out.seconds = out.cycles / device_.clock_hz();
   if (counting) {
-    // SM blocks in index order, fabric block last: a fixed merge order so
-    // the accumulated doubles are bit-identical at any thread count.
+    // SM blocks in index order, then the fabric's per-slice blocks in
+    // slice-index order: a fixed merge order so the accumulated doubles
+    // are bit-identical at any thread count (and, the counts being exact
+    // integers, bit-identical to the serial resolver's accumulation).
     for (const prof::PmuCounters& block : pmu_blocks) {
       options_.pmu->merge(block);
     }
+    fabric.merge_pmu_into(*options_.pmu);
   }
 
   // Unit occupancy: SM pipes and L1 ports averaged over the SMs that carry

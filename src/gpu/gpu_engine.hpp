@@ -11,9 +11,14 @@
 // SM-private state (its core, its L1/TLB, its trace buffer); every access
 // that would need the shared L2/DRAM fabric is recorded as a deferred
 // ticket instead of being resolved in place.  At the epoch barrier the
-// tickets are sorted by (issue_time, sm, seq) and resolved serially against
-// the slice fabric, folding true completion times back into the issuing
-// cores via mem::DeferredFixup.  The epoch length is capped at the L2 hit
+// tickets are sorted by (issue_time, sm, seq) and resolved against the
+// slice fabric — by default sharded across the thread pool, one task per
+// address-interleaved slice, since each slice's state (L2 tags, port, DRAM
+// channel, PMU block) is private to that slice and the per-slice ticket
+// stream keeps the global order's relative order; completion times are
+// folded back into the issuing cores via mem::DeferredFixup in global
+// ticket order once every slice has resolved.  The epoch length is capped
+// at the L2 hit
 // latency, so a deferred access can never legitimately complete before the
 // barrier that resolves it — deferral changes *who wins arbitration*, never
 // the causal order within an SM.
@@ -50,6 +55,15 @@ struct ChipOptions {
   /// (issue_time, sm, seq) order — this toggle exists so the perf-identity
   /// suite can pin that bit-for-bit.
   bool sorted_tickets = false;
+  /// Force the reference serial resolver: every ticket resolved one at a
+  /// time on the barrier thread in global (issue_time, sm, seq) order,
+  /// exactly as PR 4 shipped it.  The default sharded resolver partitions
+  /// the ordered ticket stream by L2 slice and resolves the slices
+  /// concurrently (slice state is slice-private; fixups and trace events
+  /// are applied afterwards in the same global order), so the two paths
+  /// are bit-identical by construction — this toggle keeps the serial twin
+  /// alive for the identity suite, mirroring `sorted_tickets`.
+  bool serial_fabric = false;
   /// Merged event stream (per-SM buffers, stable-sorted by cycle at the
   /// end of the run).  Null disables tracing entirely.
   trace::TraceSink* trace = nullptr;

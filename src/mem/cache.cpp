@@ -1,8 +1,17 @@
 #include "mem/cache.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
+#include <cstddef>
 
 namespace hsim::mem {
+namespace {
+
+/// log2 for exact powers of two (callers check has_single_bit first).
+int shift_of(std::uint64_t v) { return std::countr_zero(v); }
+
+}  // namespace
 
 Cache::Cache(const CacheConfig& config) : config_(config) {
   HSIM_ASSERT(config.line_bytes > 0 && config.sector_bytes > 0);
@@ -15,70 +24,133 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   HSIM_ASSERT(num_sets_ > 0);
   sectors_per_line_ = config.line_bytes / config.sector_bytes;
   HSIM_ASSERT(sectors_per_line_ <= 32);
-  lines_.resize(static_cast<std::size_t>(num_sets_) *
-                static_cast<std::size_t>(config.ways));
+
+  // Shift/mask strength reduction where the geometry allows it; the
+  // fallback divide/modulo path computes the exact same set and tag.
+  const auto sets = static_cast<std::uint64_t>(num_sets_);
+  const auto line = static_cast<std::uint64_t>(config.line_bytes);
+  const auto sector = static_cast<std::uint64_t>(config.sector_bytes);
+  sets_pow2_ = std::has_single_bit(sets);
+  line_pow2_ = std::has_single_bit(line);
+  sector_pow2_ = std::has_single_bit(sector);
+  if (sets_pow2_) {
+    set_shift_ = shift_of(sets);
+    set_mask_ = sets - 1;
+  }
+  if (line_pow2_) {
+    line_shift_ = shift_of(line);
+    line_mask_ = line - 1;
+  }
+  if (sector_pow2_) sector_shift_ = shift_of(sector);
+
+  ways_.resize(static_cast<std::size_t>(num_sets_) *
+               static_cast<std::size_t>(config.ways));
+  mru_.resize(static_cast<std::size_t>(num_sets_), 0);
 }
 
 CacheOutcome Cache::access(std::uint64_t addr, bool allocate) {
-  const std::uint64_t line = line_addr(addr);
-  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(num_sets_));
-  const std::uint64_t tag = line / static_cast<std::uint64_t>(num_sets_);
-  const std::uint32_t sector_bit = 1u << sector_index(addr);
-  Line* base = &lines_[set * static_cast<std::size_t>(config_.ways)];
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  const std::uint32_t sector_bit = sector_bit_of(addr);
+  Way* base = &ways_[set * static_cast<std::size_t>(config_.ways)];
 
-  // Search the set.
-  for (int w = 0; w < config_.ways; ++w) {
-    Line& entry = base[w];
-    if (entry.valid && entry.tag == tag) {
-      entry.lru_stamp = next_stamp_++;
-      if (entry.sector_valid & sector_bit) {
-        ++stats_.hits;
-        return CacheOutcome::kHit;
+  // MRU way predictor: most hits land on the way touched last, so probe it
+  // before walking the set.  An empty way holds kInvalidTag and can never
+  // match, so the predictor finds exactly what the linear search would.
+  Way* entry = nullptr;
+  if (base[mru_[set]].tag == tag) {
+    entry = &base[mru_[set]];
+  } else {
+    for (int w = 0; w < config_.ways; ++w) {
+      if (base[w].tag == tag) {
+        entry = &base[w];
+        mru_[set] = static_cast<std::uint8_t>(w);
+        break;
       }
-      ++stats_.sector_misses;
-      if (allocate) entry.sector_valid |= sector_bit;
-      return CacheOutcome::kSectorMiss;
     }
+  }
+  if (entry != nullptr) {
+    entry->lru = stamp();
+    if (entry->sector_valid & sector_bit) {
+      ++stats_.hits;
+      return CacheOutcome::kHit;
+    }
+    ++stats_.sector_misses;
+    if (allocate) entry->sector_valid |= sector_bit;
+    return CacheOutcome::kSectorMiss;
   }
 
   ++stats_.line_misses;
   if (allocate) {
-    // Victim: invalid way first, else LRU.
-    Line* victim = &base[0];
+    HSIM_ASSERT(tag != kInvalidTag);
+    // Victim: invalid way first, else LRU (strict <: ties keep the lowest
+    // way index — the order the original unpacked layout produced).
+    int victim = 0;
     for (int w = 0; w < config_.ways; ++w) {
-      if (!base[w].valid) {
-        victim = &base[w];
+      if (base[w].tag == kInvalidTag) {
+        victim = w;
         break;
       }
-      if (base[w].lru_stamp < victim->lru_stamp) victim = &base[w];
+      if (base[w].lru < base[victim].lru) victim = w;
     }
-    if (victim->valid) ++stats_.evictions;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->sector_valid = sector_bit;
-    victim->lru_stamp = next_stamp_++;
+    Way& v = base[victim];
+    if (v.tag != kInvalidTag) ++stats_.evictions;
+    v.tag = tag;
+    v.sector_valid = sector_bit;
+    v.lru = stamp();
+    mru_[set] = static_cast<std::uint8_t>(victim);
   }
   return CacheOutcome::kLineMiss;
 }
 
 CacheOutcome Cache::probe(std::uint64_t addr) const {
-  const std::uint64_t line = line_addr(addr);
-  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(num_sets_));
-  const std::uint64_t tag = line / static_cast<std::uint64_t>(num_sets_);
-  const std::uint32_t sector_bit = 1u << sector_index(addr);
-  const Line* base = &lines_[set * static_cast<std::size_t>(config_.ways)];
+  const std::uint64_t line = line_of(addr);
+  const std::size_t set = set_of(line);
+  const std::uint64_t tag = tag_of(line);
+  const std::uint32_t sector_bit = sector_bit_of(addr);
+  const Way* base = &ways_[set * static_cast<std::size_t>(config_.ways)];
   for (int w = 0; w < config_.ways; ++w) {
-    const Line& entry = base[w];
-    if (entry.valid && entry.tag == tag) {
-      return (entry.sector_valid & sector_bit) ? CacheOutcome::kHit
-                                               : CacheOutcome::kSectorMiss;
+    if (base[w].tag == tag) {
+      return (base[w].sector_valid & sector_bit) ? CacheOutcome::kHit
+                                                 : CacheOutcome::kSectorMiss;
     }
   }
   return CacheOutcome::kLineMiss;
 }
 
 void Cache::flush() {
-  for (auto& entry : lines_) entry = Line{};
+  for (auto& way : ways_) way = Way{};
+  for (auto& m : mru_) m = 0;
+  next_stamp_ = 1;  // fresh LRU clock: a flushed cache is state-identical
+                    // to a newly constructed one (statistics aside)
+}
+
+void Cache::renormalise_lru() {
+  // Per-set rank compaction: recency comparisons are only ever intra-set,
+  // so mapping each set's stamps onto 1..k (stable in way order, which
+  // keeps the lowest-index tie-break) preserves every future victim
+  // choice while freeing the stamp space.
+  const auto ways = static_cast<std::size_t>(config_.ways);
+  std::array<std::uint8_t, 64> order{};
+  HSIM_ASSERT(ways <= order.size());
+  for (std::size_t set = 0; set < static_cast<std::size_t>(num_sets_); ++set) {
+    Way* base = &ways_[set * ways];
+    for (std::size_t w = 0; w < ways; ++w) {
+      order[w] = static_cast<std::uint8_t>(w);
+    }
+    std::stable_sort(order.begin(), order.begin() + static_cast<long>(ways),
+                     [&](std::uint8_t a, std::uint8_t b) {
+                       return base[a].lru < base[b].lru;
+                     });
+    for (std::size_t rank = 0; rank < ways; ++rank) {
+      Way& way = base[order[rank]];
+      if (way.tag != kInvalidTag) {
+        way.lru = static_cast<std::uint32_t>(rank + 1);
+      }
+    }
+  }
+  next_stamp_ = static_cast<std::uint64_t>(config_.ways) + 1;
 }
 
 }  // namespace hsim::mem

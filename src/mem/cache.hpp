@@ -5,6 +5,28 @@
 // model tracks tags, per-sector valid bits and LRU state; it is functional
 // over addresses only (no data array — the simulator's workloads carry
 // their own data), which keeps a 50 MiB L2 model at a few MiB of host RAM.
+//
+// Tag-path representation (the simulator's single hottest function after
+// the SmCore issue loop):
+//   * A way is one packed 16-byte entry {tag, sector_valid, lru}, so a
+//     4-way set is exactly one 64-byte host cache line — a set probe
+//     touches one line instead of striding three parallel arrays.
+//   * Validity is folded into the tag: an empty way holds `kInvalidTag`,
+//     which no reachable address can produce (tag < 2^64 / line_bytes),
+//     so the search loop is a single 64-bit compare per way.
+//   * Set index and tag use shift/mask when the set count and line size
+//     are powers of two (every L1 geometry; sliced L2s fall back to the
+//     bit-identical `%` / `/` path — same set, same tag, either way).
+//   * A per-set MRU way predictor is probed before the linear way search;
+//     it can only find the same entry the search would, so it changes
+//     which instructions run, never what the model answers.
+//   * LRU stamps are 32-bit (what makes the 16-byte entry possible); the
+//     global stamp clock renormalises per-set ranks on the (never in
+//     practice: 2^32 accesses) overflow, preserving the relative order
+//     that victim selection is defined on.
+// None of this changes semantics: victim choice, statistics and the
+// save_state/load_state wire format are identical to the unpacked layout
+// (tests/cache_test.cpp pins the corner cases).
 #pragma once
 
 #include <cstdint>
@@ -50,7 +72,11 @@ class Cache {
   /// Non-mutating probe: would `addr` hit right now?
   [[nodiscard]] CacheOutcome probe(std::uint64_t addr) const;
 
-  /// Invalidate everything (keeps statistics).
+  /// Invalidate every line AND reset the LRU clock to its initial state,
+  /// so two sweep points separated by a flush() observe bit-identical
+  /// replacement behaviour (and identical save_state bytes).  Statistics
+  /// are deliberately kept — they describe the whole run, not one window;
+  /// use reset_stats() to start a fresh counting window.
   void flush();
 
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
@@ -60,15 +86,22 @@ class Cache {
   [[nodiscard]] int num_sets() const noexcept { return num_sets_; }
 
   /// Snapshot tag/LRU/stat state.  Restore requires an identically
-  /// configured cache (geometry is checked, not re-created).
+  /// configured cache (geometry is checked, not re-created).  The wire
+  /// format predates the packed in-memory layout and is kept verbatim
+  /// (per line: u64 tag, u32 sector_valid, u64 lru_stamp, bool valid), so
+  /// snapshots interchange freely across the rework; a restored stamp
+  /// stream that overflowed the packed 32-bit stamps (impossible to
+  /// produce organically before ~4e9 accesses) is renormalised on load,
+  /// preserving the per-set recency order victim choice is defined on.
   void save_state(common::StateWriter& w) const {
     w.marker(0x43414348u);  // "CACH"
-    w.u64(lines_.size());
-    for (const auto& line : lines_) {
-      w.u64(line.tag);
-      w.u32(line.sector_valid);
-      w.u64(line.lru_stamp);
-      w.boolean(line.valid);
+    w.u64(ways_.size());
+    for (const auto& way : ways_) {
+      const bool valid = way.tag != kInvalidTag;
+      w.u64(valid ? way.tag : 0);
+      w.u32(way.sector_valid);
+      w.u64(way.lru);
+      w.boolean(valid);
     }
     w.u64(next_stamp_);
     w.u64(stats_.hits);
@@ -78,40 +111,81 @@ class Cache {
   }
   void load_state(common::StateReader& r) {
     r.expect_marker(0x43414348u);
-    if (!r.expect(r.u64() == lines_.size())) return;
-    for (auto& line : lines_) {
-      line.tag = r.u64();
-      line.sector_valid = r.u32();
-      line.lru_stamp = r.u64();
-      line.valid = r.boolean();
+    if (!r.expect(r.u64() == ways_.size())) return;
+    bool overflow = false;
+    for (auto& way : ways_) {
+      const std::uint64_t tag = r.u64();
+      way.sector_valid = r.u32();
+      const std::uint64_t stamp = r.u64();
+      way.lru = static_cast<std::uint32_t>(stamp);
+      if (stamp > kMaxStamp) overflow = true;
+      way.tag = r.boolean() ? tag : kInvalidTag;
     }
     next_stamp_ = r.u64();
     stats_.hits = r.u64();
     stats_.sector_misses = r.u64();
     stats_.line_misses = r.u64();
     stats_.evictions = r.u64();
+    for (auto& m : mru_) m = 0;  // advisory only; any value is correct
+    if (overflow || next_stamp_ > kMaxStamp) renormalise_lru();
   }
 
  private:
-  struct Line {
-    std::uint64_t tag = 0;
+  /// Packed per-way entry: 16 bytes, so one 4-way set == one 64-byte host
+  /// cache line.  `tag == kInvalidTag` means the way is empty.
+  struct Way {
+    std::uint64_t tag = kInvalidTag;
     std::uint32_t sector_valid = 0;  // bitmask, bit i = sector i present
-    std::uint64_t lru_stamp = 0;
-    bool valid = false;
+    std::uint32_t lru = 0;
   };
+  static_assert(sizeof(Way) == 16);
 
-  [[nodiscard]] std::uint64_t line_addr(std::uint64_t addr) const noexcept {
-    return addr / static_cast<std::uint64_t>(config_.line_bytes);
+  static constexpr std::uint64_t kInvalidTag = ~0ull;
+  static constexpr std::uint64_t kMaxStamp = 0xFFFFFFFFull;
+
+  [[nodiscard]] std::uint64_t line_of(std::uint64_t addr) const noexcept {
+    return line_pow2_ ? addr >> line_shift_
+                      : addr / static_cast<std::uint64_t>(config_.line_bytes);
   }
-  [[nodiscard]] int sector_index(std::uint64_t addr) const noexcept {
-    return static_cast<int>((addr % static_cast<std::uint64_t>(config_.line_bytes)) /
-                            static_cast<std::uint64_t>(config_.sector_bytes));
+  [[nodiscard]] std::size_t set_of(std::uint64_t line) const noexcept {
+    return static_cast<std::size_t>(
+        sets_pow2_ ? line & set_mask_
+                   : line % static_cast<std::uint64_t>(num_sets_));
   }
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t line) const noexcept {
+    return sets_pow2_ ? line >> set_shift_
+                      : line / static_cast<std::uint64_t>(num_sets_);
+  }
+  [[nodiscard]] std::uint32_t sector_bit_of(std::uint64_t addr) const noexcept {
+    const std::uint64_t offset =
+        line_pow2_ ? addr & line_mask_
+                   : addr % static_cast<std::uint64_t>(config_.line_bytes);
+    const std::uint64_t index =
+        sector_pow2_ ? offset >> sector_shift_
+                     : offset / static_cast<std::uint64_t>(config_.sector_bytes);
+    return 1u << index;
+  }
+
+  /// Next LRU stamp; renormalises first on the (theoretical) u32 overflow.
+  [[nodiscard]] std::uint32_t stamp() {
+    if (next_stamp_ >= kMaxStamp) renormalise_lru();
+    return static_cast<std::uint32_t>(next_stamp_++);
+  }
+  void renormalise_lru();
 
   CacheConfig config_;
   int num_sets_ = 0;
   int sectors_per_line_ = 0;
-  std::vector<Line> lines_;  // num_sets * ways, row-major by set
+  bool sets_pow2_ = false;
+  bool line_pow2_ = false;
+  bool sector_pow2_ = false;
+  int set_shift_ = 0;
+  int line_shift_ = 0;
+  int sector_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
+  std::uint64_t line_mask_ = 0;
+  std::vector<Way> ways_;          // num_sets * ways, row-major by set
+  std::vector<std::uint8_t> mru_;  // per-set most-recently-used way (advisory)
   std::uint64_t next_stamp_ = 1;
   CacheStats stats_;
 };

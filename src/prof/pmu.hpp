@@ -8,10 +8,13 @@
 // allocation ever; the steady state is pinned by tests/profile_test.cpp).
 //
 // Determinism: every increment is an exact integer-valued double (or a fixed
-// multiple of a device constant), per-SM blocks are private to their SM
-// during a full-chip epoch, and the engine merges them in SM-index order at
-// the end — so the merged block is bit-identical at any `--threads`, the
-// same way trace buffers are.
+// multiple of a device constant), so regrouping the additions is bit-exact.
+// During a full-chip epoch per-SM blocks are private to their SM and the
+// slice fabric's blocks are private to their L2 slice (one block per slice,
+// so the sharded barrier resolver counts without synchronisation); the
+// engine merges SM blocks in SM-index order and fabric blocks in
+// slice-index order at the end — the merged block is bit-identical at any
+// `--threads`, the same way trace buffers are.
 #pragma once
 
 #include <algorithm>
@@ -110,7 +113,8 @@ struct PmuCounters {
     occ_hist.fill(0.0);
   }
   /// Element-wise accumulate; callers merge per-SM blocks in SM-index order
-  /// so the result is bit-identical regardless of host thread count.
+  /// (and per-slice fabric blocks in slice-index order) so the result is
+  /// bit-identical regardless of host thread count.
   void merge(const PmuCounters& other) noexcept;
 
   /// Warp-cycles integral: sum over w of w * occ_hist[w].

@@ -1,0 +1,310 @@
+// Bit-identity pins for the sharded slice-fabric resolver.
+//
+// The epoch-barrier resolver partitions each epoch's ordered tickets by L2
+// slice and resolves the slices concurrently on the thread pool; the serial
+// reference twin (gpu::ChipOptions::serial_fabric) resolves every ticket one
+// at a time in global (issue_time, sm, seq) order, exactly as it originally
+// shipped.  These tests pin the two paths byte-for-byte — chip timing,
+// per-SM attribution, every architectural register of every retired block,
+// the merged trace stream and the PMU block — on the paper's kernel shapes
+// run as full-chip grids and on a 200-case generated grid corpus, across
+// --threads 1/4/8 and with trace and PMU both on and off.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "conformance/fuzzer.hpp"
+#include "dpx/functions.hpp"
+#include "gpu/gpu_engine.hpp"
+#include "isa/program.hpp"
+#include "prof/pmu.hpp"
+#include "sm/sm_core.hpp"
+#include "trace/trace.hpp"
+
+namespace hsim {
+namespace {
+
+constexpr int kLanes = 32;
+
+class CollectingSink final : public trace::TraceSink {
+ public:
+  void on_event(const trace::Event& event) override {
+    events_.push_back(event);
+  }
+  [[nodiscard]] const std::vector<trace::Event>& events() const {
+    return events_;
+  }
+
+ private:
+  std::vector<trace::Event> events_;
+};
+
+int highest_reg(const isa::Program& program) {
+  int max_reg = 0;
+  for (const auto& inst : program.body()) {
+    max_reg = std::max({max_reg, inst.rd, inst.ra, inst.rb, inst.rc});
+  }
+  return max_reg;
+}
+
+/// Everything observable from one full-chip run: the chip result, every
+/// architectural register lane of every block (snapshotted at retirement,
+/// keyed by grid block id so dispatch order cannot alias two runs), the
+/// merged PMU block and the merged trace stream.
+struct ChipObservation {
+  gpu::ChipResult chip;
+  std::vector<std::vector<std::uint64_t>> regs;  // per grid block
+  std::string pmu_json;                          // "" when PMU detached
+  std::vector<trace::Event> events;              // empty when trace detached
+};
+
+ChipObservation run_chip(const arch::DeviceSpec& device,
+                         const isa::Program& program,
+                         const sm::LaunchConfig& config,
+                         std::span<std::uint64_t> global, int threads,
+                         bool serial_fabric, bool with_trace, bool with_pmu) {
+  CollectingSink sink;
+  prof::PmuCounters pmu;
+  const int num_regs = highest_reg(program) + 1;
+  const int wpb = (config.threads_per_block + kLanes - 1) / kLanes;
+
+  ChipObservation obs;
+  obs.regs.assign(static_cast<std::size_t>(config.total_blocks),
+                  std::vector<std::uint64_t>());
+
+  gpu::ChipOptions options;
+  options.threads = threads;
+  options.serial_fabric = serial_fabric;
+  options.max_blocks_per_sm = 1;  // force dispatcher slot recycling
+  if (with_trace) options.trace = &sink;
+  if (with_pmu) options.pmu = &pmu;
+  options.block_observer = [&](int /*sm*/, int slot, int block,
+                               const sm::SmCore& core) {
+    auto& dst = obs.regs[static_cast<std::size_t>(block)];
+    dst.reserve(static_cast<std::size_t>(wpb * num_regs * kLanes));
+    for (int j = 0; j < wpb; ++j) {
+      for (int r = 0; r < num_regs; ++r) {
+        for (int l = 0; l < kLanes; ++l) {
+          dst.push_back(core.reg(slot * wpb + j, r, l));
+        }
+      }
+    }
+  };
+
+  const gpu::GpuEngine engine(device, std::move(options));
+  auto chip = engine.run(program, config, global);
+  EXPECT_TRUE(chip.has_value());
+  if (chip.has_value()) obs.chip = std::move(chip).value();
+  if (with_pmu) obs.pmu_json = pmu.to_json();
+  if (with_trace) obs.events = sink.events();
+  return obs;
+}
+
+void expect_events_identical(const std::vector<trace::Event>& a,
+                             const std::vector<trace::Event>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].reason, b[i].reason);
+    EXPECT_EQ(a[i].cycle, b[i].cycle);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+    EXPECT_EQ(a[i].sm, b[i].sm);
+    EXPECT_EQ(a[i].warp, b[i].warp);
+    EXPECT_EQ(a[i].pc, b[i].pc);
+    EXPECT_EQ(a[i].what, b[i].what);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+void expect_chip_identical(const ChipObservation& a, const ChipObservation& b,
+                           const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.chip.cycles, b.chip.cycles);
+  EXPECT_EQ(a.chip.epochs, b.chip.epochs);
+  EXPECT_EQ(a.chip.block_slots, b.chip.block_slots);
+  EXPECT_EQ(a.chip.instructions_issued, b.chip.instructions_issued);
+  EXPECT_EQ(a.chip.stall_cycles, b.chip.stall_cycles);
+  EXPECT_EQ(a.chip.mem_transactions, b.chip.mem_transactions);
+  EXPECT_EQ(a.chip.warps_retired, b.chip.warps_retired);
+  ASSERT_EQ(a.chip.per_sm.size(), b.chip.per_sm.size());
+  for (std::size_t i = 0; i < a.chip.per_sm.size(); ++i) {
+    EXPECT_EQ(a.chip.per_sm[i].cycles, b.chip.per_sm[i].cycles) << "sm " << i;
+    EXPECT_EQ(a.chip.per_sm[i].instructions_issued,
+              b.chip.per_sm[i].instructions_issued)
+        << "sm " << i;
+    EXPECT_EQ(a.chip.per_sm[i].stall_cycles, b.chip.per_sm[i].stall_cycles)
+        << "sm " << i;
+    EXPECT_EQ(a.chip.per_sm[i].mem_transactions,
+              b.chip.per_sm[i].mem_transactions)
+        << "sm " << i;
+  }
+  EXPECT_EQ(a.regs, b.regs);
+  EXPECT_EQ(a.pmu_json, b.pmu_json);
+  expect_events_identical(a.events, b.events);
+}
+
+// --- paper-shaped kernels, grid-sized ---------------------------------------
+// Same instruction mixes as tests/perf_identity_test.cpp's single-SM shapes,
+// with iteration counts trimmed so a full-chip grid stays test-sized.
+
+isa::Program table4_latency_kernel() {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kLdgCg, .rd = 1, .ra = 1, .access_bytes = 4});
+  p.set_iterations(32);
+  return p;
+}
+
+isa::Program table5_throughput_kernel() {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kLdgCa, .rd = 2, .ra = 0, .access_bytes = 16});
+  p.add({.op = isa::Opcode::kIAdd3, .rd = 3, .ra = 2, .rb = 2});
+  p.add({.op = isa::Opcode::kStg, .ra = 0, .rb = 3, .access_bytes = 16});
+  p.set_iterations(8);
+  return p;
+}
+
+isa::Program table7_mma_kernel() {
+  isa::Program p;
+  for (int i = 0; i < 4; ++i) {
+    p.add({.op = isa::Opcode::kHMma, .rd = 8 + i, .ra = 1, .rb = 2, .rc = 8 + i});
+  }
+  p.set_iterations(16);
+  return p;
+}
+
+isa::Program fig7_dpx_kernel(const arch::DeviceSpec& device) {
+  isa::Program p;
+  for (int c = 0; c < 8; ++c) {
+    dpx::append(p, dpx::Func::kViMax3S32, 20 + c, 1, 2, 3,
+                device.dpx.hardware, 40 + 8 * c);
+  }
+  p.set_iterations(16);
+  return p;
+}
+
+isa::Program barrier_kernel() {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kIAdd3, .rd = 4, .ra = 0, .rb = 0});
+  p.add({.op = isa::Opcode::kSts, .ra = 0, .rb = 4, .access_bytes = 4});
+  p.add({.op = isa::Opcode::kBarSync});
+  p.add({.op = isa::Opcode::kLds, .rd = 5, .ra = 0, .access_bytes = 4});
+  p.add({.op = isa::Opcode::kFFma, .rd = 6, .ra = 5, .rb = 5, .rc = 6});
+  p.set_iterations(8);
+  return p;
+}
+
+isa::Program async_kernel() {
+  isa::Program p;
+  p.add({.op = isa::Opcode::kCpAsync, .rd = 2, .access_bytes = 16});
+  p.add({.op = isa::Opcode::kCpAsyncCommit});
+  p.add({.op = isa::Opcode::kCpAsyncWait, .imm = 0});
+  p.add({.op = isa::Opcode::kLds, .rd = 3, .imm = 128, .access_bytes = 4});
+  p.set_iterations(4);
+  return p;
+}
+
+struct NamedKernel {
+  const char* name;
+  isa::Program program;
+  int threads_per_block;
+};
+
+std::vector<NamedKernel> paper_kernels(const arch::DeviceSpec& device) {
+  std::vector<NamedKernel> kernels;
+  kernels.push_back({"table4_latency", table4_latency_kernel(), 32});
+  kernels.push_back({"table5_throughput", table5_throughput_kernel(), 128});
+  kernels.push_back({"table7_mma", table7_mma_kernel(), 128});
+  kernels.push_back({"fig7_dpx", fig7_dpx_kernel(device), 256});
+  kernels.push_back({"barrier", barrier_kernel(), 64});
+  kernels.push_back({"cp_async", async_kernel(), 64});
+  return kernels;
+}
+
+// --- tests ------------------------------------------------------------------
+
+// Every paper kernel shape as a grid larger than the chip (slot recycling
+// on), sharded resolver at --threads 1/4/8 vs the serial reference.  The
+// (trace, pmu) combination cycles with the kernel so all four combinations
+// are pinned across the suite.
+TEST(FabricIdentity, PaperKernelsShardedMatchesSerialReference) {
+  const auto& device = arch::h800_pcie();
+  auto global = conformance::make_global_image(0xfab);
+  auto kernels = paper_kernels(device);
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    const auto& kernel = kernels[k];
+    const bool with_trace = (k % 2) == 0;
+    const bool with_pmu = ((k / 2) % 2) == 0;
+    const sm::LaunchConfig config{
+        .threads_per_block = kernel.threads_per_block,
+        .total_blocks = device.sm_count + 5};
+    const auto serial = run_chip(device, kernel.program, config, global, 1,
+                                 /*serial_fabric=*/true, with_trace, with_pmu);
+    for (const int threads : {1, 4, 8}) {
+      const auto sharded =
+          run_chip(device, kernel.program, config, global, threads,
+                   /*serial_fabric=*/false, with_trace, with_pmu);
+      expect_chip_identical(serial, sharded,
+                            std::string(kernel.name) + " threads=" +
+                                std::to_string(threads));
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+// 200 generated grid cases (the full-chip fuzz corpus: ALU/FP/DPX/tensor/
+// loads/shared/barriers/async over multi-CTA grids), each run through the
+// serial reference and the sharded resolver.  Thread count and the
+// (trace, pmu) combination cycle with the case index, so the corpus covers
+// --threads 1/4/8 with trace and PMU on and off.
+TEST(FabricIdentity, FuzzCampaign200ShardedMatchesSerialReference) {
+  const auto& device = arch::h800_pcie();
+  conformance::FuzzOptions fuzz;
+  fuzz.max_grid_blocks = 2 * device.sm_count;
+  const conformance::ProgramFuzzer fuzzer(fuzz);
+  auto global = conformance::make_global_image(0xfab);
+  constexpr int kThreads[] = {1, 4, 8};
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto fuzz_case = fuzzer.generate(0xfab, i);
+    const sm::LaunchConfig config{
+        .threads_per_block = fuzz_case.shape.threads_per_block,
+        .total_blocks = fuzz_case.shape.blocks};
+    const int threads = kThreads[i % 3];
+    const bool with_trace = (i % 2) == 0;
+    const bool with_pmu = ((i / 2) % 2) == 0;
+    const auto serial =
+        run_chip(device, fuzz_case.program, config, global, threads,
+                 /*serial_fabric=*/true, with_trace, with_pmu);
+    const auto sharded =
+        run_chip(device, fuzz_case.program, config, global, threads,
+                 /*serial_fabric=*/false, with_trace, with_pmu);
+    expect_chip_identical(serial, sharded,
+                          "fuzz case " + std::to_string(i) + " threads=" +
+                              std::to_string(threads));
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// Rerun stability of the sharded path itself: the same sharded config run
+// twice (threads=8, trace+PMU on) reproduces itself bit-for-bit — the
+// fixup/merge ordering does not depend on pool scheduling.
+TEST(FabricIdentity, ShardedResolverIsRerunStable) {
+  const auto& device = arch::h800_pcie();
+  auto global = conformance::make_global_image(0xfab);
+  isa::Program p;
+  p.add({.op = isa::Opcode::kLdgCg, .rd = 2, .ra = 0, .access_bytes = 8});
+  p.add({.op = isa::Opcode::kIAdd3, .rd = 3, .ra = 2, .rb = 2});
+  p.add({.op = isa::Opcode::kStg, .ra = 0, .rb = 3, .access_bytes = 8});
+  p.set_iterations(6);
+  const sm::LaunchConfig config{.threads_per_block = 128,
+                                .total_blocks = 2 * device.sm_count + 3};
+  const auto first = run_chip(device, p, config, global, 8, false, true, true);
+  const auto second = run_chip(device, p, config, global, 8, false, true, true);
+  expect_chip_identical(first, second, "rerun");
+}
+
+}  // namespace
+}  // namespace hsim

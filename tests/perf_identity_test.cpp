@@ -5,7 +5,9 @@
 //   * SmCore::set_cycle_skip(false) forces the original cycle-by-cycle
 //     stepping instead of event-driven idle skipping;
 //   * gpu::ChipOptions::sorted_tickets forces the original comparison sort
-//     for epoch-barrier ticket resolution instead of the counting sort.
+//     for epoch-barrier ticket resolution instead of the counting sort;
+//   * gpu::ChipOptions::serial_fabric forces the original one-ticket-at-a-
+//     time barrier resolver instead of the sharded per-slice resolver.
 // These tests pin the optimised defaults byte-for-byte against those
 // reference paths on the paper's kernel shapes (Tables 4/5/7, Fig. 7), a
 // 200-case fuzz campaign, and a full-chip grid — plus the zero-allocation
@@ -315,6 +317,44 @@ TEST(PerfIdentity, FullChipBucketResolutionMatchesSortedReference) {
   ASSERT_TRUE(c.has_value());
   expect_chip_identical(a.value(), b.value(), "bucket vs sorted");
   expect_chip_identical(a.value(), c.value(), "bucket vs sorted, 3 threads");
+}
+
+// The sharded slice-fabric resolver must be bit-identical to the serial
+// reference twin (ChipOptions::serial_fabric — every ticket resolved on the
+// barrier thread in global order): the slices' state is slice-private, each
+// slice sees the global order's restriction to its tickets, and fixups are
+// applied post-barrier in global order.  Pinned here on the same recycling
+// grid, serial vs sharded at 1 and 3 threads; the exhaustive campaign
+// (paper kernels + 200-case fuzz corpus, trace/PMU on and off) lives in
+// tests/fabric_test.cpp.
+TEST(PerfIdentity, FullChipShardedFabricMatchesSerialReference) {
+  const auto& device = arch::h800_pcie();
+  isa::Program p;
+  p.add({.op = isa::Opcode::kLdgCg, .rd = 2, .ra = 0, .access_bytes = 8});
+  p.add({.op = isa::Opcode::kIAdd3, .rd = 3, .ra = 2, .rb = 2});
+  p.add({.op = isa::Opcode::kStg, .ra = 0, .rb = 3, .access_bytes = 8});
+  p.set_iterations(4);
+  const sm::LaunchConfig config{.threads_per_block = 64,
+                                .total_blocks = device.sm_count + 3,
+                                .smem_per_block = 0,
+                                .regs_per_thread = 16};
+
+  gpu::ChipOptions serial;
+  serial.threads = 1;
+  serial.serial_fabric = true;
+  gpu::ChipOptions sharded;
+  sharded.threads = 1;
+  gpu::ChipOptions sharded_mt;
+  sharded_mt.threads = 3;
+
+  const auto a = gpu::GpuEngine(device, serial).run(p, config);
+  const auto b = gpu::GpuEngine(device, sharded).run(p, config);
+  const auto c = gpu::GpuEngine(device, sharded_mt).run(p, config);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(c.has_value());
+  expect_chip_identical(a.value(), b.value(), "serial vs sharded");
+  expect_chip_identical(a.value(), c.value(), "serial vs sharded, 3 threads");
 }
 
 // Steady-state zero-allocation contract: once a block is launched, the

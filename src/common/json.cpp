@@ -1,0 +1,463 @@
+#include "common/json.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/json_writer.hpp"
+
+namespace hsim::json {
+
+Value Value::boolean(bool v) {
+  Value out;
+  out.kind_ = Kind::kBool;
+  out.flag_ = v;
+  return out;
+}
+
+Value Value::number(double v) {
+  Value out;
+  out.kind_ = Kind::kNumber;
+  out.num_ = v;
+  return out;
+}
+
+Value Value::integer(std::int64_t v) {
+  Value out;
+  out.kind_ = Kind::kNumber;
+  out.integral_ = true;
+  out.negative_ = v < 0;
+  // -INT64_MIN overflows i64; negate in unsigned space.
+  out.uint_ = v < 0 ? ~static_cast<std::uint64_t>(v) + 1
+                    : static_cast<std::uint64_t>(v);
+  out.num_ = static_cast<double>(v);
+  return out;
+}
+
+Value Value::unsigned_integer(std::uint64_t v) {
+  Value out;
+  out.kind_ = Kind::kNumber;
+  out.integral_ = true;
+  out.uint_ = v;
+  out.num_ = static_cast<double>(v);
+  return out;
+}
+
+Value Value::string(std::string v) {
+  Value out;
+  out.kind_ = Kind::kString;
+  out.str_ = std::move(v);
+  return out;
+}
+
+Value Value::array(Array v) {
+  Value out;
+  out.kind_ = Kind::kArray;
+  out.arr_ = std::move(v);
+  return out;
+}
+
+Value Value::object(Object v) {
+  Value out;
+  out.kind_ = Kind::kObject;
+  out.obj_ = std::move(v);
+  return out;
+}
+
+bool Value::as_bool() const {
+  HSIM_ASSERT(kind_ == Kind::kBool);
+  return flag_;
+}
+
+double Value::as_double() const {
+  HSIM_ASSERT(kind_ == Kind::kNumber);
+  return num_;
+}
+
+std::uint64_t Value::as_u64() const {
+  HSIM_ASSERT(is_unsigned());
+  return uint_;
+}
+
+std::int64_t Value::as_i64() const {
+  HSIM_ASSERT(is_integer());
+  if (negative_) return -static_cast<std::int64_t>(uint_ - 1) - 1;
+  HSIM_ASSERT(uint_ <=
+              static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()));
+  return static_cast<std::int64_t>(uint_);
+}
+
+const std::string& Value::as_string() const {
+  HSIM_ASSERT(kind_ == Kind::kString);
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  HSIM_ASSERT(kind_ == Kind::kArray);
+  return arr_;
+}
+
+const Object& Value::as_object() const {
+  HSIM_ASSERT(kind_ == Kind::kObject);
+  return obj_;
+}
+
+Array& Value::as_array() {
+  HSIM_ASSERT(kind_ == Kind::kArray);
+  return arr_;
+}
+
+Object& Value::as_object() {
+  HSIM_ASSERT(kind_ == Kind::kObject);
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+void Value::dump(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += flag_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      char buffer[64];
+      if (integral_) {
+        if (negative_) out += '-';
+        std::snprintf(buffer, sizeof(buffer), "%llu",
+                      static_cast<unsigned long long>(uint_));
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "%.17g", num_);
+      }
+      out += buffer;
+      return;
+    }
+    case Kind::kString:
+      out += '"';
+      out += json_escaped(str_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escaped(key);
+        out += "\":";
+        v.dump(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Value> run() {
+    skip_ws();
+    auto v = parse_value(0);
+    if (!v) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing bytes after value");
+    return v;
+  }
+
+ private:
+  Error fail(std::string message) const {
+    return invalid_argument("malformed JSON: " + std::move(message) +
+                            " at byte " + std::to_string(pos_));
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(std::string_view literal) {
+    if (text_.substr(pos_).substr(0, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Expected<Value> parse_value(std::size_t depth) {
+    if (depth >= kMaxDepth) return fail("nesting deeper than limit");
+    if (at_end()) return fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case 'n':
+        if (consume("null")) return Value::null();
+        return fail("bad literal");
+      case 't':
+        if (consume("true")) return Value::boolean(true);
+        return fail("bad literal");
+      case 'f':
+        if (consume("false")) return Value::boolean(false);
+        return fail("bad literal");
+      case '"': {
+        auto s = parse_string();
+        if (!s) return s.error();
+        return Value::string(std::move(s).value());
+      }
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        return fail("unexpected character");
+    }
+  }
+
+  Expected<Value> parse_array(std::size_t depth) {
+    ++pos_;  // '['
+    Array items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return Value::array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      auto v = parse_value(depth + 1);
+      if (!v) return v;
+      items.push_back(std::move(v).value());
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value::array(std::move(items));
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  Expected<Value> parse_object(std::size_t depth) {
+    ++pos_;  // '{'
+    Object members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return Value::object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      auto key = parse_string();
+      if (!key) return key.error();
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      auto v = parse_value(depth + 1);
+      if (!v) return v;
+      if (!members.emplace(std::move(key).value(), std::move(v).value())
+               .second) {
+        return fail("duplicate object key");
+      }
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value::object(std::move(members));
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  Expected<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          auto cp = parse_hex4();
+          if (!cp) return cp.error();
+          std::uint32_t code = cp.value();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!consume("\\u")) return fail("lone high surrogate");
+            auto low = parse_hex4();
+            if (!low) return low.error();
+            if (low.value() < 0xDC00 || low.value() > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low.value() - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          pos_ -= 1;
+          return fail("invalid escape");
+      }
+    }
+  }
+
+  Expected<std::uint32_t> parse_hex4() {
+    if (text_.size() - pos_ < 4) return fail("truncated \\u escape");
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        --pos_;
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Expected<Value> parse_number() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    // int part: 0 | [1-9][0-9]*
+    if (at_end() || peek() < '0' || peek() > '9') return fail("bad number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    bool integral = true;
+    if (!at_end() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("bad number: missing fraction digits");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("bad number: missing exponent digits");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+
+    const std::string literal(text_.substr(start, pos_ - start));
+    if (integral) {
+      // Exact integer path; overflow falls back to double.
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long magnitude =
+          std::strtoull(literal.c_str() + (negative ? 1 : 0), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        if (!negative) return Value::unsigned_integer(magnitude);
+        if (magnitude <= static_cast<unsigned long long>(
+                             std::numeric_limits<std::int64_t>::max()) +
+                             1ull) {
+          return Value::integer(
+              magnitude == 0
+                  ? 0
+                  : -static_cast<std::int64_t>(magnitude - 1) - 1);
+        }
+      }
+    }
+    errno = 0;
+    const double value = std::strtod(literal.c_str(), nullptr);
+    return Value::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace hsim::json

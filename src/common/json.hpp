@@ -1,0 +1,114 @@
+// Strict JSON value model + parser, the read-side twin of json_writer.hpp.
+//
+// The serve wire protocol (src/serve) parses every request with this before
+// touching the simulator, so "malformed input" is a *value* (an Error with
+// byte position context), never undefined behaviour.  Strictness choices:
+//   * exactly one top-level value, nothing but whitespace after it;
+//   * duplicate object keys are an error (a lenient parser silently keeps
+//     one of them — a classic request-smuggling seam in servers);
+//   * depth is bounded (kMaxDepth) so a recursive bomb cannot blow the
+//     stack;
+//   * numbers keep an exact unsigned/signed integer representation when the
+//     literal is integral, so 64-bit seeds survive a round trip that a
+//     double would truncate.
+//
+// Objects are std::map (sorted keys) and dump() emits integers as integers
+// and doubles via %.17g, so serializing the same logical value always
+// produces the same bytes — the property the serve result cache relies on
+// for bit-identical cached replies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hsim::json {
+
+class Value;
+/// Sorted keys: object serialization order is canonical by construction.
+using Object = std::map<std::string, Value, std::less<>>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  Value() = default;  // null
+  static Value null() { return Value(); }
+  static Value boolean(bool v);
+  static Value number(double v);
+  static Value integer(std::int64_t v);
+  static Value unsigned_integer(std::uint64_t v);
+  static Value string(std::string v);
+  static Value array(Array v);
+  static Value object(Object v);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// True for a number whose literal was integral and fits a u64 (after
+  /// sign handling: negatives fit i64).  as_u64/as_i64 require it.
+  [[nodiscard]] bool is_integer() const noexcept {
+    return kind_ == Kind::kNumber && integral_;
+  }
+  [[nodiscard]] bool is_unsigned() const noexcept {
+    return is_integer() && !negative_;
+  }
+
+  /// Accessors assert on kind mismatch (callers type-check first; the serve
+  /// dispatch layer turns mismatches into structured errors before here).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Canonical single-line serialization (sorted keys, integer-exact
+  /// integers, %.17g doubles, json_writer escaping).  parse(dump()) == this.
+  void dump(std::string& out) const;
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool flag_ = false;       // kBool payload
+  double num_ = 0.0;        // kNumber payload (always valid for numbers)
+  bool integral_ = false;   // number literal was integral and fits 64 bits
+  bool negative_ = false;   // integral number is negative (payload in i-space)
+  std::uint64_t uint_ = 0;  // magnitude for integral numbers
+  std::string str_;         // kString payload
+  Array arr_;               // kArray payload
+  Object obj_;              // kObject payload
+};
+
+/// Nesting bound for the parser (arrays/objects).
+inline constexpr std::size_t kMaxDepth = 64;
+
+/// Parse exactly one JSON value from `text` (strict: see file header).
+/// Errors are kInvalidArgument with a "at byte N" context.
+[[nodiscard]] Expected<Value> parse(std::string_view text);
+
+}  // namespace hsim::json

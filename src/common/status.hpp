@@ -23,6 +23,8 @@ enum class ErrorCode : std::uint8_t {
   kOutOfMemory,      // simulated device memory exhausted
   kOutOfRange,
   kInternal,
+  kDeadlineExceeded,   // request ran past its deadline (hsim serve)
+  kResourceExhausted,  // bounded queue / in-flight cap hit (hsim serve)
 };
 
 /// Printable name of an error code.
@@ -34,6 +36,8 @@ constexpr std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::kOutOfMemory: return "out_of_memory";
     case ErrorCode::kOutOfRange: return "out_of_range";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }
@@ -114,6 +118,12 @@ inline Error unsupported(std::string message) {
 }
 inline Error out_of_memory(std::string message) {
   return Error{ErrorCode::kOutOfMemory, std::move(message)};
+}
+inline Error deadline_exceeded(std::string message) {
+  return Error{ErrorCode::kDeadlineExceeded, std::move(message)};
+}
+inline Error resource_exhausted(std::string message) {
+  return Error{ErrorCode::kResourceExhausted, std::move(message)};
 }
 
 }  // namespace hsim

@@ -1,0 +1,81 @@
+#include "serve/protocol.hpp"
+
+#include "common/json_writer.hpp"
+
+namespace hsim::serve {
+
+Expected<Request> parse_request(std::string_view line) {
+  if (line.size() > kMaxRequestBytes) {
+    return resource_exhausted(
+        "request of " + std::to_string(line.size()) +
+        " bytes exceeds the " + std::to_string(kMaxRequestBytes) +
+        "-byte limit");
+  }
+  auto parsed = json::parse(line);
+  if (!parsed) return parsed.error();
+  const json::Value& root = parsed.value();
+  if (!root.is_object()) {
+    return invalid_argument("request must be a JSON object");
+  }
+
+  Request request;
+  bool saw_id = false;
+  for (const auto& [key, value] : root.as_object()) {
+    if (key == "id") {
+      if (!value.is_unsigned()) {
+        return invalid_argument("\"id\" must be an unsigned integer");
+      }
+      request.id = value.as_u64();
+      saw_id = true;
+    } else if (key == "verb") {
+      if (!value.is_string()) {
+        return invalid_argument("\"verb\" must be a string");
+      }
+      request.verb = value.as_string();
+    } else if (key == "params") {
+      if (!value.is_object()) {
+        return invalid_argument("\"params\" must be an object");
+      }
+      request.params = value.as_object();
+    } else {
+      return invalid_argument("unknown request key: \"" + key + "\"");
+    }
+  }
+  if (!saw_id) return invalid_argument("request is missing \"id\"");
+  if (request.verb.empty()) {
+    return invalid_argument("request is missing \"verb\"");
+  }
+  return request;
+}
+
+std::optional<std::uint64_t> recover_request_id(std::string_view line) {
+  if (line.size() > kMaxRequestBytes) return std::nullopt;
+  const auto parsed = json::parse(line);
+  if (!parsed) return std::nullopt;
+  const json::Value* id = parsed.value().find("id");
+  if (id == nullptr || !id->is_unsigned()) return std::nullopt;
+  return id->as_u64();
+}
+
+std::string make_ok_reply(std::uint64_t id, std::string_view result_payload) {
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out += ",\"ok\":true,\"result\":";
+  out += result_payload;
+  out += '}';
+  return out;
+}
+
+std::string make_error_reply(std::optional<std::uint64_t> id,
+                             const Error& error) {
+  std::string out = "{\"id\":";
+  out += id.has_value() ? std::to_string(*id) : std::string("null");
+  out += ",\"ok\":false,\"error\":{\"code\":\"";
+  out += to_string(error.code);
+  out += "\",\"message\":\"";
+  out += json_escaped(error.message);
+  out += "\"}}";
+  return out;
+}
+
+}  // namespace hsim::serve

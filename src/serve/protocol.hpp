@@ -1,0 +1,63 @@
+// Wire protocol for `hsim serve`: newline-delimited JSON requests/replies.
+//
+// Request grammar (one JSON object per line):
+//   {"id": <u64>, "verb": "<verb>", "params": { ... }}
+// "id" is a caller-chosen per-session request id, echoed verbatim in the
+// reply; "params" is optional (defaults to {}).  Unknown top-level keys are
+// rejected — lenient framing is how protocol drift sneaks in.
+//
+// Reply grammar (one JSON object per line, canonical key order):
+//   {"id": <u64|null>, "ok": true,  "result": { ... }}
+//   {"id": <u64|null>, "ok": false, "error": {"code": "...", "message": "..."}}
+// "id" is null only when the request was too malformed to carry one.  The
+// reply builders are the single source of reply bytes: the cold dispatch
+// path and the result-cache hit path both call make_ok_reply with the same
+// serialized payload, which is what makes cached replies bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+
+namespace hsim::serve {
+
+/// Protocol identifier, reported by `ping` and `stats`.
+inline constexpr std::string_view kProtocolVersion = "hsim-serve-v1";
+
+/// Code version folded into every result-cache key: bump when simulator
+/// semantics change so stale cached results can never be served across a
+/// rebuild that changed what a query means.
+inline constexpr std::string_view kCodeVersion = "hoppersim-1.0.0+serve1";
+
+/// Hard cap on a single request line; longer lines are rejected with a
+/// structured error before parsing (and the TCP reader resynchronises at
+/// the next newline instead of buffering without bound).
+inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string verb;
+  json::Object params;
+};
+
+/// Parse one request line.  Strict: JSON object, required unsigned "id",
+/// required string "verb", optional object "params", nothing else.
+[[nodiscard]] Expected<Request> parse_request(std::string_view line);
+
+/// Best-effort id recovery from a line whose full parse failed (e.g. bad
+/// params type): if the line parses as JSON and carries an unsigned "id",
+/// return it so even error replies echo the request they answer.
+[[nodiscard]] std::optional<std::uint64_t> recover_request_id(
+    std::string_view line);
+
+/// Reply builders (no trailing newline; the framing layer appends it).
+[[nodiscard]] std::string make_ok_reply(std::uint64_t id,
+                                        std::string_view result_payload);
+[[nodiscard]] std::string make_error_reply(std::optional<std::uint64_t> id,
+                                           const Error& error);
+
+}  // namespace hsim::serve

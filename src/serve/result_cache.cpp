@@ -1,0 +1,88 @@
+#include "serve/result_cache.hpp"
+
+#include <vector>
+
+namespace hsim::serve {
+
+std::uint64_t cache_key(const QueryIdentity& identity) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix_byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix = [&](std::string_view text) {
+    for (const char c : text) mix_byte(static_cast<std::uint8_t>(c));
+    // Field separator so ("ab","c") and ("a","bc") hash differently.
+    mix_byte(0x1f);
+  };
+  mix(identity.verb);
+  mix(identity.device);
+  for (int i = 0; i < 8; ++i) {
+    mix_byte(static_cast<std::uint8_t>(identity.program_hash >> (8 * i)));
+  }
+  mix_byte(0x1f);
+  mix(identity.config);
+  mix(identity.code_version);
+  return h;
+}
+
+std::optional<std::string> ResultCache::lookup(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++lookups_;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->payload;
+}
+
+void ResultCache::insert(std::uint64_t key, std::string payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->payload = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, std::move(payload)});
+  index_.emplace(key, lru_.begin());
+  ++insertions_;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.lookups = lookups_;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.insertions = insertions_;
+  out.evictions = evictions_;
+  out.entries = lru_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+std::vector<std::uint64_t> ResultCache::keys_mru_first() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> out;
+  out.reserve(lru_.size());
+  for (const auto& entry : lru_) out.push_back(entry.key);
+  return out;
+}
+
+void ResultCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace hsim::serve

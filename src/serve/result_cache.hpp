@@ -1,0 +1,91 @@
+// Content-addressed result cache for `hsim serve`.
+//
+// Every cacheable query is reduced to a QueryIdentity — (verb/mode, device,
+// program hash, canonical config, code version), the same identity-key
+// pattern src/ff/snapshot uses for state files — and FNV-1a-hashed into a
+// 64-bit content address.  The cached value is the *serialized* result
+// payload, so a hit replays the exact bytes the cold path produced: the
+// simulator is deterministic, therefore cache-hit replies are bit-identical
+// to recomputation by construction.
+//
+// Eviction is strict LRU over a bounded entry count; capacity 0 disables
+// storage entirely but still counts lookups/misses, so the counter
+// conservation law (hits + misses == lookups) holds in the degenerate case
+// too.  All operations are thread-safe: sessions on different connections
+// share one cache.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hsim::serve {
+
+/// What makes two queries "the same query".  Execution hints (worker
+/// threads, timeouts) are deliberately *not* part of the identity: the
+/// simulator's determinism contract says they cannot change the answer.
+struct QueryIdentity {
+  std::string verb;           // simulate | profile | sweep | trace | fuzz
+  std::string device;         // device short name(s), joined for sweeps
+  std::uint64_t program_hash = 0;  // ff::SnapshotKey::hash_program, 0 if n/a
+  std::string config;         // canonical semantic-params serialization
+  std::string code_version;   // serve::kCodeVersion
+};
+
+/// 64-bit FNV-1a over the identity fields with separators (the
+/// prof::content_key recipe), plus the program hash folded in byte-wise.
+[[nodiscard]] std::uint64_t cache_key(const QueryIdentity& identity);
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Look up a payload; a hit refreshes the entry's LRU position.
+  [[nodiscard]] std::optional<std::string> lookup(std::uint64_t key);
+
+  /// Store a payload (no-op at capacity 0).  Re-inserting an existing key
+  /// refreshes its position and payload without counting an eviction.
+  void insert(std::uint64_t key, std::string payload);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Keys in LRU order, most recent first (test observability).
+  [[nodiscard]] std::vector<std::uint64_t> keys_mru_first() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::string payload;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hsim::serve

@@ -1,0 +1,313 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace hsim::serve {
+
+namespace {
+
+Error errno_error(const std::string& what) {
+  return Error{ErrorCode::kInternal, what + ": " + std::strerror(errno)};
+}
+
+/// RAII fd so every early return closes the socket.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+bool send_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Byte stream -> lines, with oversized-line recovery: once a line exceeds
+/// the protocol limit the overflow tail is discarded until the next '\n',
+/// and the (truncated, marked) line is still delivered so the session can
+/// answer with a structured error instead of silently desynchronizing.
+class LineReader {
+ public:
+  /// Returns false on EOF/error with no pending line.
+  bool next(int fd, std::string& line) {
+    while (true) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line.assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        if (overflowed_) {
+          // The stored prefix is already > kMaxRequestBytes; deliver it
+          // as-is, parse_request rejects it by size.
+          overflowed_ = false;
+        }
+        return true;
+      }
+      if (buffer_.size() > kMaxRequestBytes + 1) {
+        // Keep just past the limit so parse_request sees "too big"; drop
+        // the rest of the flood instead of buffering it.
+        buffer_.resize(kMaxRequestBytes + 1);
+        overflowed_ = true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return false;  // EOF
+      if (overflowed_) {
+        // Scan the new chunk for the terminating newline only.
+        const char* nl =
+            static_cast<const char*>(std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+        if (nl == nullptr) continue;
+        buffer_.push_back('\n');
+        buffer_.append(nl + 1, static_cast<std::size_t>(chunk + n - (nl + 1)));
+      } else {
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+      }
+    }
+  }
+
+ private:
+  std::string buffer_;
+  bool overflowed_ = false;
+};
+
+void serve_connection(int fd, ServeEngine& engine, int session_id) {
+  Session session(engine, session_id);
+  LineReader reader;
+  std::string line;
+  while (!session.closed() && !engine.shutdown_requested()) {
+    if (!reader.next(fd, line)) break;
+    if (line.empty()) continue;  // blank keepalive lines are ignored
+    std::string reply = session.handle_line(line);
+    reply += '\n';
+    if (!send_all(fd, reply)) break;
+  }
+}
+
+Expected<Fd> listen_on(const std::string& host, std::uint16_t port,
+                       std::uint16_t* bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.ok()) return errno_error("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return invalid_argument("bad listen address: " + host);
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return errno_error("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), 16) != 0) return errno_error("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return errno_error("getsockname");
+  }
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+Expected<Fd> connect_to(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.ok()) return errno_error("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return errno_error("connect 127.0.0.1:" + std::to_string(port));
+  }
+  return fd;
+}
+
+struct ServerHandle {
+  ServeEngine engine;
+  std::uint16_t port = 0;
+  std::thread accept_thread;
+
+  explicit ServerHandle(ServeOptions options) : engine(std::move(options)) {}
+};
+
+/// The accept loop shared by run_server and run_smoke.  Polls with a short
+/// interval so a `shutdown` verb observed on any connection stops accepting
+/// promptly; joins every connection thread before returning.
+void accept_loop(Fd listener, ServeEngine& engine) {
+  std::vector<std::thread> connections;
+  int next_session = 1;
+  while (!engine.shutdown_requested()) {
+    pollfd pfd{listener.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int client = ::accept(listener.get(), nullptr, nullptr);
+    if (client < 0) continue;
+    connections.emplace_back(
+        [client, &engine, id = next_session] {
+          serve_connection(client, engine, id);
+          ::close(client);
+        });
+    ++next_session;
+  }
+  listener.reset();
+  for (auto& t : connections) t.join();
+}
+
+/// Minimal blocking client for the smoke test: one request line out, one
+/// reply line back.
+Expected<std::string> round_trip(int fd, std::string request) {
+  request += '\n';
+  if (!send_all(fd, request)) return errno_error("send");
+  std::string reply;
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("recv");
+    }
+    if (n == 0) return Error{ErrorCode::kInternal, "server closed mid-reply"};
+    if (c == '\n') return reply;
+    reply.push_back(c);
+  }
+}
+
+Error smoke_failure(const std::string& step, const std::string& detail) {
+  return Error{ErrorCode::kInternal, "smoke: " + step + ": " + detail};
+}
+
+}  // namespace
+
+Expected<bool> run_server(const ServerOptions& options,
+                          void (*announce)(std::uint16_t)) {
+  ServeEngine engine(options.engine);
+  std::uint16_t bound = 0;
+  auto listener = listen_on(options.host, options.port, &bound);
+  if (!listener) return listener.error();
+  if (announce != nullptr) announce(bound);
+  accept_loop(std::move(listener).value(), engine);
+  return true;
+}
+
+Expected<bool> run_smoke(const ServeOptions& engine_options) {
+  ServerHandle server(engine_options);
+  std::uint16_t bound = 0;
+  auto listener = listen_on("127.0.0.1", 0, &bound);
+  if (!listener) return listener.error();
+  server.accept_thread =
+      std::thread([l = std::move(listener).value(), &server]() mutable {
+        accept_loop(std::move(l), server.engine);
+      });
+
+  const auto finish = [&server](Expected<bool> result) -> Expected<bool> {
+    server.engine.request_shutdown();
+    server.accept_thread.join();
+    return result;
+  };
+
+  auto client = connect_to(bound);
+  if (!client) return finish(client.error());
+  const int fd = client.value().get();
+
+  const std::string simulate =
+      R"({"id":1,"verb":"simulate","params":{"device":"h800","kernel":"ffma_dep","iters":64}})";
+  auto cold = round_trip(fd, simulate);
+  if (!cold) return finish(cold.error());
+  if (cold.value().find("\"ok\":true") == std::string::npos) {
+    return finish(smoke_failure("cold simulate", cold.value()));
+  }
+
+  // Identical query again (same id, same params): the reply must be the
+  // exact bytes of the cold reply, this time served from the cache.
+  auto warm = round_trip(fd, simulate);
+  if (!warm) return finish(warm.error());
+  if (warm.value() != cold.value()) {
+    return finish(smoke_failure(
+        "cached repeat differs", warm.value() + " vs " + cold.value()));
+  }
+
+  auto stats = round_trip(fd, R"({"id":2,"verb":"stats"})");
+  if (!stats) return finish(stats.error());
+  {
+    auto parsed = json::parse(stats.value());
+    if (!parsed) return finish(smoke_failure("stats parse", stats.value()));
+    const json::Value* result = parsed.value().find("result");
+    const json::Value* cache =
+        result != nullptr ? result->find("cache") : nullptr;
+    const json::Value* hits = cache != nullptr ? cache->find("hits") : nullptr;
+    if (hits == nullptr || !hits->is_unsigned() || hits->as_u64() < 1) {
+      return finish(smoke_failure("expected >=1 cache hit", stats.value()));
+    }
+  }
+
+  // Malformed line: structured error, null id, connection stays usable.
+  auto bad = round_trip(fd, "{this is not json");
+  if (!bad) return finish(bad.error());
+  if (bad.value().find("\"ok\":false") == std::string::npos ||
+      bad.value().find("\"id\":null") == std::string::npos) {
+    return finish(smoke_failure("malformed reply", bad.value()));
+  }
+  auto alive = round_trip(fd, R"({"id":3,"verb":"ping"})");
+  if (!alive) return finish(alive.error());
+  if (alive.value().find("\"ok\":true") == std::string::npos) {
+    return finish(smoke_failure("ping after malformed", alive.value()));
+  }
+
+  auto down = round_trip(fd, R"({"id":4,"verb":"shutdown"})");
+  if (!down) return finish(down.error());
+  if (down.value().find("\"shutting_down\":true") == std::string::npos) {
+    return finish(smoke_failure("shutdown reply", down.value()));
+  }
+  return finish(true);
+}
+
+}  // namespace hsim::serve

@@ -1,0 +1,44 @@
+// TCP front-end for `hsim serve`: newline-delimited JSON over a listening
+// socket, one Session (and one thread) per accepted connection, all
+// connections sharing a single ServeEngine — and therefore one result cache
+// and one bounded execution pool.
+//
+// The server is plain POSIX sockets (Linux-only, like the rest of the
+// tooling): no framing beyond '\n', no TLS, no keepalive tricks.  An
+// oversized line (beyond protocol.hpp's kMaxRequestBytes) is answered with a
+// structured resource_exhausted error and the rest of that line is drained
+// so the stream stays in sync.  The `shutdown` verb flips the engine flag;
+// the accept loop notices and stops within one poll interval.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "serve/session.hpp"
+
+namespace hsim::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (the smoke test uses this).
+  std::uint16_t port = 0;
+  ServeOptions engine;
+};
+
+/// Run the serve loop until a client sends `shutdown`.  `announce` (when
+/// non-null) receives the bound port once listening — the CLI prints it,
+/// the smoke test connects to it.  Returns only after every connection
+/// thread has drained.
+[[nodiscard]] Expected<bool> run_server(const ServerOptions& options,
+                                        void (*announce)(std::uint16_t));
+
+/// Self-contained TCP round-trip used by the `hsim_serve_smoke` ctest:
+/// starts a server on an ephemeral port, connects as a real client, issues
+/// one simulate, the identical simulate again (must be byte-identical and a
+/// cache hit per `stats`), one malformed line (structured error, session
+/// survives), then `shutdown`.  Returns an error describing the first
+/// divergence, if any.
+[[nodiscard]] Expected<bool> run_smoke(const ServeOptions& engine_options);
+
+}  // namespace hsim::serve

@@ -1,0 +1,1016 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "conformance/differ.hpp"
+#include "ff/snapshot.hpp"
+#include "gpu/gpu_engine.hpp"
+#include "mem/memory_system.hpp"
+#include "prof/metrics.hpp"
+#include "prof/pmu.hpp"
+#include "sim/sweep.hpp"
+#include "sm/sm_core.hpp"
+#include "trace/sinks.hpp"
+
+namespace hsim::serve {
+
+namespace {
+
+// Request-side bounds: a server cannot let one query buy an unbounded
+// amount of simulation.  Generous relative to every paper experiment.
+constexpr std::uint64_t kMaxIters = 1u << 20;
+constexpr int kMaxWarpsPerBlock = 32;
+constexpr int kMaxBlocks = 4096;
+constexpr int kMaxTop = 1000;
+constexpr std::uint64_t kMaxFuzzCases = 100000;
+constexpr std::size_t kMaxSweepList = 256;
+constexpr std::size_t kMaxSweepDevices = 8;
+constexpr std::size_t kMaxSweepPoints = 4096;
+constexpr double kMaxTimeoutMs = 3600.0 * 1000.0;
+
+/// Strict parameter extraction: every accessor type-checks and marks its
+/// key consumed; finish() rejects whatever is left so misspelled knobs are
+/// errors, not silently-applied defaults.
+class ParamReader {
+ public:
+  explicit ParamReader(const json::Object& params) : params_(params) {}
+
+  [[nodiscard]] Expected<std::string> string_or(std::string_view key,
+                                                std::string fallback) {
+    const json::Value* v = take(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_string()) return type_error(key, "a string");
+    return v->as_string();
+  }
+
+  [[nodiscard]] Expected<std::string> required_string(std::string_view key) {
+    const json::Value* v = take(key);
+    if (v == nullptr) {
+      return invalid_argument("missing required param \"" + std::string(key) +
+                              "\"");
+    }
+    if (!v->is_string()) return type_error(key, "a string");
+    return v->as_string();
+  }
+
+  [[nodiscard]] Expected<std::uint64_t> u64_or(std::string_view key,
+                                               std::uint64_t fallback,
+                                               std::uint64_t min,
+                                               std::uint64_t max) {
+    const json::Value* v = take(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_unsigned()) return type_error(key, "an unsigned integer");
+    const std::uint64_t value = v->as_u64();
+    if (value < min || value > max) return range_error(key, min, max);
+    return value;
+  }
+
+  [[nodiscard]] Expected<int> int_or(std::string_view key, int fallback,
+                                     int min, int max) {
+    const json::Value* v = take(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_integer()) return type_error(key, "an integer");
+    if (!v->is_unsigned() && v->as_i64() < static_cast<std::int64_t>(min)) {
+      return range_error(key, static_cast<std::uint64_t>(min),
+                         static_cast<std::uint64_t>(max));
+    }
+    const std::uint64_t magnitude =
+        v->is_unsigned() ? v->as_u64()
+                         : static_cast<std::uint64_t>(v->as_i64());
+    if (magnitude < static_cast<std::uint64_t>(min) ||
+        magnitude > static_cast<std::uint64_t>(max)) {
+      return range_error(key, static_cast<std::uint64_t>(min),
+                         static_cast<std::uint64_t>(max));
+    }
+    return static_cast<int>(magnitude);
+  }
+
+  [[nodiscard]] Expected<double> double_or(std::string_view key,
+                                           double fallback, double min,
+                                           double max) {
+    const json::Value* v = take(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_number()) return type_error(key, "a number");
+    const double value = v->as_double();
+    if (!(value >= min) || !(value <= max)) {
+      return invalid_argument("param \"" + std::string(key) +
+                              "\" out of range");
+    }
+    return value;
+  }
+
+  [[nodiscard]] Expected<bool> bool_or(std::string_view key, bool fallback) {
+    const json::Value* v = take(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_bool()) return type_error(key, "a boolean");
+    return v->as_bool();
+  }
+
+  [[nodiscard]] Expected<std::vector<std::string>> string_list_or(
+      std::string_view key, std::vector<std::string> fallback,
+      std::size_t max_items) {
+    const json::Value* v = take(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_array()) return type_error(key, "an array of strings");
+    std::vector<std::string> out;
+    for (const auto& item : v->as_array()) {
+      if (!item.is_string()) return type_error(key, "an array of strings");
+      out.push_back(item.as_string());
+    }
+    if (out.empty() || out.size() > max_items) {
+      return invalid_argument("param \"" + std::string(key) + "\" must hold "
+                              "1.." + std::to_string(max_items) + " items");
+    }
+    return out;
+  }
+
+  [[nodiscard]] Expected<std::vector<int>> int_list_or(std::string_view key,
+                                                       std::vector<int> fallback,
+                                                       int min, int max,
+                                                       std::size_t max_items) {
+    const json::Value* v = take(key);
+    if (v == nullptr) return fallback;
+    if (!v->is_array()) return type_error(key, "an array of integers");
+    std::vector<int> out;
+    for (const auto& item : v->as_array()) {
+      if (!item.is_unsigned() ||
+          item.as_u64() > static_cast<std::uint64_t>(max) ||
+          item.as_u64() < static_cast<std::uint64_t>(min)) {
+        return invalid_argument("param \"" + std::string(key) +
+                                "\" items must be integers in " +
+                                std::to_string(min) + ".." +
+                                std::to_string(max));
+      }
+      out.push_back(static_cast<int>(item.as_u64()));
+    }
+    if (out.empty() || out.size() > max_items) {
+      return invalid_argument("param \"" + std::string(key) + "\" must hold "
+                              "1.." + std::to_string(max_items) + " items");
+    }
+    return out;
+  }
+
+  /// Error if any param was never consumed (strictness gate).
+  [[nodiscard]] Expected<bool> finish() const {
+    std::string unknown;
+    for (const auto& [key, value] : params_) {
+      if (consumed_.count(key) != 0) continue;
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "\"" + key + "\"";
+    }
+    if (!unknown.empty()) {
+      return invalid_argument("unknown param(s): " + unknown);
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] const json::Value* take(std::string_view key) {
+    consumed_.insert(std::string(key));
+    const auto it = params_.find(key);
+    return it == params_.end() ? nullptr : &it->second;
+  }
+
+  static Error type_error(std::string_view key, std::string_view want) {
+    return invalid_argument("param \"" + std::string(key) + "\" must be " +
+                            std::string(want));
+  }
+  static Error range_error(std::string_view key, std::uint64_t min,
+                           std::uint64_t max) {
+    return invalid_argument("param \"" + std::string(key) + "\" must be in " +
+                            std::to_string(min) + ".." + std::to_string(max));
+  }
+
+  const json::Object& params_;
+  std::set<std::string, std::less<>> consumed_;
+};
+
+/// The shape shared by every kernel-running verb.
+struct KernelQuery {
+  const arch::DeviceSpec* device = nullptr;
+  trace::TraceKernel kernel;
+  std::uint32_t iters = 0;
+  int warps = 0;   // 0 = kernel default
+  int blocks = 0;  // 0 = verb-specific default
+  int threads_per_block = 0;  // resolved
+  int total_blocks = 0;       // resolved
+};
+
+/// Resolve device + kernel + shape from common params.  `chip_blocks`
+/// selects the blocks default: kernel default (single-SM verbs) or one
+/// block per SM (full-chip verbs).
+Expected<KernelQuery> read_kernel_query(ParamReader& params, bool chip_blocks,
+                                        std::uint32_t default_iters) {
+  KernelQuery query;
+  auto device_name = params.required_string("device");
+  if (!device_name) return device_name.error();
+  auto device = resolve_device(device_name.value());
+  if (!device) return device.error();
+  query.device = device.value();
+
+  auto kernel_name = params.required_string("kernel");
+  if (!kernel_name) return kernel_name.error();
+  auto iters = params.u64_or("iters", default_iters, 1, kMaxIters);
+  if (!iters) return iters.error();
+  query.iters = static_cast<std::uint32_t>(iters.value());
+  auto kernel = resolve_trace_kernel(kernel_name.value(), query.iters);
+  if (!kernel) return kernel.error();
+  query.kernel = std::move(kernel).value();
+
+  auto warps = params.int_or("warps", 0, 0, kMaxWarpsPerBlock);
+  if (!warps) return warps.error();
+  query.warps = warps.value();
+  auto blocks = params.int_or("blocks", 0, 0, kMaxBlocks);
+  if (!blocks) return blocks.error();
+  query.blocks = blocks.value();
+
+  query.threads_per_block = query.warps > 0 ? query.warps * 32
+                                            : query.kernel.threads_per_block;
+  query.total_blocks = query.blocks > 0
+                           ? query.blocks
+                           : (chip_blocks ? query.device->sm_count
+                                          : query.kernel.blocks);
+  return query;
+}
+
+json::Object echo_config(const KernelQuery& query, std::string_view mode) {
+  json::Object out;
+  out.emplace("device", json::Value::string(query.device->name));
+  out.emplace("kernel", json::Value::string(query.kernel.name));
+  out.emplace("iters", json::Value::unsigned_integer(query.iters));
+  out.emplace("threads_per_block",
+              json::Value::integer(query.threads_per_block));
+  out.emplace("blocks", json::Value::integer(query.total_blocks));
+  out.emplace("mode", json::Value::string(std::string(mode)));
+  return out;
+}
+
+/// The canonical semantic-config serialization for the cache identity:
+/// resolved values, so defaulted and explicit spellings of the same query
+/// share a cache slot.
+std::string kernel_identity_config(const KernelQuery& query,
+                                   std::string_view mode) {
+  return json::Value::object(echo_config(query, mode)).dump();
+}
+
+Expected<json::Value> run_simulate_sm(const KernelQuery& query) {
+  std::unique_ptr<mem::MemorySystem> memsys;
+  if (query.kernel.needs_mem) {
+    memsys = std::make_unique<mem::MemorySystem>(*query.device, 1);
+  }
+  sm::SmCore core(*query.device, memsys.get());
+  sm::BlockShape shape;
+  shape.threads_per_block = query.threads_per_block;
+  shape.blocks = query.total_blocks;
+  const sm::RunResult result = core.run(query.kernel.program, shape);
+
+  json::Object out = echo_config(query, "sm");
+  out.emplace("cycles", json::Value::number(result.cycles));
+  out.emplace("instructions",
+              json::Value::unsigned_integer(result.instructions_issued));
+  out.emplace("ipc", json::Value::number(result.ipc()));
+  out.emplace("stall_cycles",
+              json::Value::unsigned_integer(result.stall_cycles));
+  out.emplace("mem_transactions",
+              json::Value::unsigned_integer(result.mem_transactions));
+  out.emplace("warps_retired",
+              json::Value::unsigned_integer(result.warps_retired));
+  return json::Value::object(std::move(out));
+}
+
+Expected<json::Value> run_simulate_chip(const KernelQuery& query,
+                                        int exec_threads) {
+  sm::LaunchConfig config;
+  config.threads_per_block = query.threads_per_block;
+  config.total_blocks = query.total_blocks;
+  gpu::ChipOptions chip_options;
+  chip_options.threads = exec_threads;
+  const gpu::GpuEngine engine(*query.device, std::move(chip_options));
+  const auto result = engine.run(query.kernel.program, config);
+  if (!result) return result.error();
+  const gpu::ChipResult& chip = result.value();
+
+  double min_sm = chip.per_sm.empty() ? 0.0 : chip.per_sm.front().cycles;
+  double max_sm = 0;
+  double sum_sm = 0;
+  for (const auto& sm : chip.per_sm) {
+    min_sm = std::min(min_sm, sm.cycles);
+    max_sm = std::max(max_sm, sm.cycles);
+    sum_sm += sm.cycles;
+  }
+  const double mean_sm =
+      chip.per_sm.empty() ? 0.0
+                          : sum_sm / static_cast<double>(chip.per_sm.size());
+
+  json::Object out = echo_config(query, "chip");
+  out.emplace("cycles", json::Value::number(chip.cycles));
+  out.emplace("seconds", json::Value::number(chip.seconds));
+  out.emplace("instructions",
+              json::Value::unsigned_integer(chip.instructions_issued));
+  out.emplace("ipc", json::Value::number(chip.ipc()));
+  out.emplace("sms", json::Value::integer(chip.sms));
+  out.emplace("block_slots", json::Value::integer(chip.block_slots));
+  out.emplace("waves", json::Value::number(chip.waves));
+  out.emplace("epochs", json::Value::integer(chip.epochs));
+  out.emplace("mem_transactions",
+              json::Value::unsigned_integer(chip.mem_transactions));
+  out.emplace("warps_retired",
+              json::Value::unsigned_integer(chip.warps_retired));
+  out.emplace("per_sm_cycles_min", json::Value::number(min_sm));
+  out.emplace("per_sm_cycles_mean", json::Value::number(mean_sm));
+  out.emplace("per_sm_cycles_max", json::Value::number(max_sm));
+  return json::Value::object(std::move(out));
+}
+
+Expected<json::Value> run_profile(const KernelQuery& query, bool full_chip,
+                                  int exec_threads) {
+  prof::PmuCounters pmu;
+  prof::ProfileInput input;
+  if (full_chip) {
+    sm::LaunchConfig config;
+    config.threads_per_block = query.threads_per_block;
+    config.total_blocks = query.total_blocks;
+    gpu::ChipOptions chip_options;
+    chip_options.threads = exec_threads;
+    chip_options.pmu = &pmu;
+    const gpu::GpuEngine engine(*query.device, std::move(chip_options));
+    const auto result = engine.run(query.kernel.program, config);
+    if (!result) return result.error();
+    input.cycles = result.value().cycles;
+    input.sms = result.value().sms;
+    input.units = result.value().unit_usage;
+  } else {
+    sm::BlockShape shape;
+    shape.threads_per_block = query.threads_per_block;
+    shape.blocks = query.total_blocks;
+    std::unique_ptr<mem::MemorySystem> memsys;
+    if (query.kernel.needs_mem) {
+      memsys = std::make_unique<mem::MemorySystem>(*query.device, 1);
+      memsys->set_pmu(&pmu);
+    }
+    sm::SmCore core(*query.device, memsys.get());
+    core.set_pmu(&pmu);
+    const sm::RunResult result = core.run(query.kernel.program, shape);
+    input.cycles = result.cycles;
+    input.sms = 1;
+    input.units = core.unit_usage();
+    if (memsys) {
+      for (auto& sample : memsys->unit_usage()) {
+        input.units.push_back(std::move(sample));
+      }
+    }
+  }
+  input.pmu = pmu;
+
+  std::string why;
+  if (!input.pmu.conserved(&why)) {
+    return Error{ErrorCode::kInternal,
+                 "counter conservation violated: " + why};
+  }
+
+  prof::ProfileConfig profile_config;
+  profile_config.device = query.device->name;
+  profile_config.kernel = query.kernel.name;
+  // Same free-form config string `hsim profile` uses, so the content key in
+  // a serve reply equals the one-shot CLI's for the same query.
+  profile_config.config = "iters=" + std::to_string(query.iters) +
+                          " warps=" + std::to_string(query.warps) +
+                          " blocks=" + std::to_string(query.blocks);
+  profile_config.full_chip = full_chip;
+  const prof::ProfileReport report =
+      prof::build_profile(*query.device, input, std::move(profile_config));
+
+  json::Object out = echo_config(query, full_chip ? "chip" : "sm");
+  out.emplace("key", json::Value::string(report.key));
+  out.emplace("cycles", json::Value::number(report.cycles));
+  out.emplace("sms", json::Value::integer(report.sms));
+  out.emplace("full_chip", json::Value::boolean(full_chip));
+  json::Array sections;
+  for (const auto& section : report.sections) {
+    json::Object s;
+    s.emplace("id", json::Value::string(section.id));
+    s.emplace("title", json::Value::string(section.title));
+    json::Array metrics;
+    for (const auto& metric : section.metrics) {
+      json::Object m;
+      m.emplace("name", json::Value::string(metric.name));
+      m.emplace("value", json::Value::number(metric.value));
+      m.emplace("unit", json::Value::string(metric.unit));
+      metrics.push_back(json::Value::object(std::move(m)));
+    }
+    s.emplace("metrics", json::Value::array(std::move(metrics)));
+    sections.push_back(json::Value::object(std::move(s)));
+  }
+  out.emplace("sections", json::Value::array(std::move(sections)));
+  return json::Value::object(std::move(out));
+}
+
+Expected<json::Value> run_trace(const KernelQuery& query, int top_n) {
+  trace::AggregatingSink agg;
+  std::unique_ptr<mem::MemorySystem> memsys;
+  if (query.kernel.needs_mem) {
+    memsys = std::make_unique<mem::MemorySystem>(*query.device, 1);
+    memsys->set_trace(&agg);
+  }
+  sm::SmCore core(*query.device, memsys.get());
+  core.set_trace(&agg);
+  sm::BlockShape shape;
+  shape.threads_per_block = query.threads_per_block;
+  shape.blocks = query.total_blocks;
+  const sm::RunResult result = core.run(query.kernel.program, shape);
+
+  // Top-N stall buckets by cycles; ties keep the (reason, location) map
+  // order, so the selection is deterministic.
+  std::vector<std::pair<trace::AggregatingSink::StallKey,
+                        trace::AggregatingSink::Bucket>>
+      buckets(agg.stalls().begin(), agg.stalls().end());
+  std::stable_sort(buckets.begin(), buckets.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.cycles > b.second.cycles;
+                   });
+  if (buckets.size() > static_cast<std::size_t>(top_n)) {
+    buckets.resize(static_cast<std::size_t>(top_n));
+  }
+
+  json::Object out = echo_config(query, "sm");
+  out.emplace("cycles", json::Value::number(result.cycles));
+  out.emplace("instructions",
+              json::Value::unsigned_integer(result.instructions_issued));
+  out.emplace("ipc", json::Value::number(result.ipc()));
+  out.emplace("stall_cycles", json::Value::number(agg.stall_cycles()));
+  out.emplace("attributed_stall_cycles",
+              json::Value::number(agg.attributed_stall_cycles()));
+  out.emplace("issues", json::Value::unsigned_integer(agg.issues()));
+  out.emplace("retires", json::Value::unsigned_integer(agg.retires()));
+  json::Array stalls;
+  for (const auto& [key, bucket] : buckets) {
+    json::Object s;
+    s.emplace("reason",
+              json::Value::string(std::string(trace::to_string(key.first))));
+    s.emplace("location", json::Value::string(key.second));
+    s.emplace("cycles", json::Value::number(bucket.cycles));
+    s.emplace("events", json::Value::unsigned_integer(bucket.events));
+    stalls.push_back(json::Value::object(std::move(s)));
+  }
+  out.emplace("stalls", json::Value::array(std::move(stalls)));
+  return json::Value::object(std::move(out));
+}
+
+struct SweepSpec {
+  std::vector<const arch::DeviceSpec*> devices;
+  std::string kernel_name;
+  std::uint32_t iters = 0;
+  std::vector<int> warps_list;
+  std::vector<int> blocks_list;
+  int exec_threads = 0;
+};
+
+Expected<json::Value> run_sweep(const SweepSpec& spec) {
+  struct Point {
+    bool ok = false;
+    std::string error;
+    double cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t mem_transactions = 0;
+  };
+
+  const std::size_t n = spec.devices.size() * spec.warps_list.size() *
+                        spec.blocks_list.size();
+  sim::SweepOptions sweep_options;
+  sweep_options.threads =
+      spec.exec_threads > 0 ? static_cast<std::size_t>(spec.exec_threads) : 0;
+  const auto decompose = [&](std::size_t i) {
+    const std::size_t per_device =
+        spec.warps_list.size() * spec.blocks_list.size();
+    const std::size_t d = i / per_device;
+    const std::size_t rest = i % per_device;
+    return std::tuple<std::size_t, std::size_t, std::size_t>(
+        d, rest / spec.blocks_list.size(), rest % spec.blocks_list.size());
+  };
+
+  const auto results = sim::sweep(
+      n,
+      [&](sim::SweepContext& ctx) -> Point {
+        const auto [d, w, b] = decompose(ctx.index());
+        Point point;
+        // Each point owns its kernel instance: nothing is shared between
+        // points, the sweep engine's determinism precondition.
+        auto kernel = resolve_trace_kernel(spec.kernel_name, spec.iters);
+        if (!kernel) {
+          point.error = kernel.error().to_string();
+          return point;
+        }
+        const arch::DeviceSpec& device = *spec.devices[d];
+        std::unique_ptr<mem::MemorySystem> memsys;
+        if (kernel.value().needs_mem) {
+          memsys = std::make_unique<mem::MemorySystem>(device, 1);
+        }
+        sm::SmCore core(device, memsys.get());
+        sm::BlockShape shape;
+        const int warps = spec.warps_list[w];
+        shape.threads_per_block =
+            warps > 0 ? warps * 32 : kernel.value().threads_per_block;
+        const int blocks = spec.blocks_list[b];
+        shape.blocks = blocks > 0 ? blocks : kernel.value().blocks;
+        const sm::RunResult r = core.run(kernel.value().program, shape);
+        point.ok = true;
+        point.cycles = r.cycles;
+        point.instructions = r.instructions_issued;
+        point.ipc = r.ipc();
+        point.stall_cycles = r.stall_cycles;
+        point.mem_transactions = r.mem_transactions;
+        return point;
+      },
+      sweep_options);
+
+  json::Object out;
+  out.emplace("kernel", json::Value::string(spec.kernel_name));
+  out.emplace("iters", json::Value::unsigned_integer(spec.iters));
+  out.emplace("points_total",
+              json::Value::unsigned_integer(static_cast<std::uint64_t>(n)));
+  json::Array points;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto [d, w, b] = decompose(i);
+    const Point& point = results[i];
+    json::Object p;
+    p.emplace("device", json::Value::string(spec.devices[d]->name));
+    p.emplace("warps", json::Value::integer(spec.warps_list[w]));
+    p.emplace("blocks", json::Value::integer(spec.blocks_list[b]));
+    if (!point.ok) {
+      p.emplace("error", json::Value::string(point.error));
+    } else {
+      p.emplace("cycles", json::Value::number(point.cycles));
+      p.emplace("instructions",
+                json::Value::unsigned_integer(point.instructions));
+      p.emplace("ipc", json::Value::number(point.ipc));
+      p.emplace("stall_cycles",
+                json::Value::unsigned_integer(point.stall_cycles));
+      p.emplace("mem_transactions",
+                json::Value::unsigned_integer(point.mem_transactions));
+    }
+    points.push_back(json::Value::object(std::move(p)));
+  }
+  out.emplace("points", json::Value::array(std::move(points)));
+  return json::Value::object(std::move(out));
+}
+
+Expected<json::Value> run_fuzz(const arch::DeviceSpec& device,
+                               std::uint64_t seed, std::uint64_t count,
+                               bool full_chip, int exec_threads) {
+  conformance::CampaignOptions options;
+  options.seed = seed;
+  options.count = count;
+  options.threads =
+      exec_threads > 0 ? static_cast<std::size_t>(exec_threads) : 0;
+  options.shrink = false;  // a server answers; triage happens in `hsim fuzz`
+  if (full_chip) options.fuzz.max_grid_blocks = 2 * device.sm_count;
+
+  const conformance::Differ differ(device);
+  const auto result =
+      full_chip ? differ.campaign_full_chip(options) : differ.campaign(options);
+
+  json::Object out;
+  out.emplace("device", json::Value::string(device.name));
+  out.emplace("seed", json::Value::unsigned_integer(seed));
+  out.emplace("full_chip", json::Value::boolean(full_chip));
+  out.emplace("cases", json::Value::unsigned_integer(result.cases));
+  out.emplace("failed", json::Value::unsigned_integer(result.failed));
+  out.emplace("passed",
+              json::Value::unsigned_integer(result.cases - result.failed));
+  out.emplace("instructions",
+              json::Value::unsigned_integer(result.instructions));
+  out.emplace("pipeline_cycles", json::Value::number(result.pipeline_cycles));
+  if (result.first_failure.has_value()) {
+    json::Object failure;
+    failure.emplace("case_index",
+                    json::Value::unsigned_integer(
+                        result.first_failure->original.index));
+    failure.emplace("message",
+                    json::Value::string(result.first_failure->message));
+    out.emplace("first_failure", json::Value::object(std::move(failure)));
+  } else {
+    out.emplace("first_failure", json::Value::null());
+  }
+  return json::Value::object(std::move(out));
+}
+
+}  // namespace
+
+Expected<const arch::DeviceSpec*> resolve_device(std::string_view name) {
+  auto device = arch::find_device(name);
+  if (device) return device;
+  std::string accepted;
+  for (const auto* spec : arch::all_devices()) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += spec->name;
+  }
+  return invalid_argument("unknown device: " + std::string(name) +
+                          " (accepted: " + accepted + ")");
+}
+
+Expected<trace::TraceKernel> resolve_trace_kernel(std::string_view name,
+                                                  std::uint32_t iterations) {
+  auto kernel = trace::make_trace_kernel(name, iterations);
+  if (kernel.has_value()) return std::move(kernel).value();
+  std::string accepted;
+  for (const auto known : trace::trace_kernel_names()) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += known;
+  }
+  return invalid_argument("unknown kernel: " + std::string(name) +
+                          " (accepted: " + accepted + ")");
+}
+
+struct ServeEngine::Prepared {
+  bool cacheable = false;
+  QueryIdentity identity;
+  double timeout_ms = 0;
+  std::function<Expected<json::Value>()> work;
+};
+
+ServeEngine::ServeEngine(ServeOptions options) : options_(options),
+      cache_(options.cache_capacity) {}
+
+ServeEngine::~ServeEngine() = default;
+
+Expected<ServeEngine::Prepared> ServeEngine::prepare(
+    const Request& request) const {
+  ParamReader params(request.params);
+  Prepared prepared;
+  auto timeout = params.double_or("timeout_ms", options_.default_timeout_ms,
+                                  0.0, kMaxTimeoutMs);
+  if (!timeout) return timeout.error();
+  prepared.timeout_ms = timeout.value();
+  // Execution hint, not identity: determinism guarantees the answer does
+  // not depend on it (the concurrency suite pins that).
+  auto exec_threads = params.int_or("threads", options_.threads, 0, 256);
+  if (!exec_threads) return exec_threads.error();
+
+  const auto seal_identity = [&](std::string device, std::uint64_t program_hash,
+                                 std::string config) {
+    prepared.cacheable = true;
+    prepared.identity.verb = request.verb;
+    prepared.identity.device = std::move(device);
+    prepared.identity.program_hash = program_hash;
+    prepared.identity.config = std::move(config);
+    prepared.identity.code_version = std::string(kCodeVersion);
+  };
+
+  if (request.verb == "simulate") {
+    auto mode = params.string_or("mode", "sm");
+    if (!mode) return mode.error();
+    if (mode.value() != "sm" && mode.value() != "chip") {
+      return invalid_argument("param \"mode\" must be \"sm\" or \"chip\"");
+    }
+    const bool chip = mode.value() == "chip";
+    auto query = read_kernel_query(params, chip, 256);
+    if (!query) return query.error();
+    if (auto done = params.finish(); !done) return done.error();
+    seal_identity(query.value().device->name,
+                  ff::SnapshotKey::hash_program(query.value().kernel.program),
+                  kernel_identity_config(query.value(), mode.value()));
+    const int threads = exec_threads.value();
+    prepared.work = [query = std::move(query).value(), chip, threads] {
+      return chip ? run_simulate_chip(query, threads)
+                  : run_simulate_sm(query);
+    };
+    return prepared;
+  }
+
+  if (request.verb == "profile") {
+    auto full_chip = params.bool_or("full_chip", false);
+    if (!full_chip) return full_chip.error();
+    auto query = read_kernel_query(params, full_chip.value(), 256);
+    if (!query) return query.error();
+    if (auto done = params.finish(); !done) return done.error();
+    seal_identity(query.value().device->name,
+                  ff::SnapshotKey::hash_program(query.value().kernel.program),
+                  kernel_identity_config(query.value(),
+                                         full_chip.value() ? "profile-chip"
+                                                           : "profile-sm"));
+    const int threads = exec_threads.value();
+    const bool chip = full_chip.value();
+    prepared.work = [query = std::move(query).value(), chip, threads] {
+      return run_profile(query, chip, threads);
+    };
+    return prepared;
+  }
+
+  if (request.verb == "trace") {
+    auto top = params.int_or("top", 10, 1, kMaxTop);
+    if (!top) return top.error();
+    auto query = read_kernel_query(params, /*chip_blocks=*/false, 256);
+    if (!query) return query.error();
+    if (auto done = params.finish(); !done) return done.error();
+    seal_identity(query.value().device->name,
+                  ff::SnapshotKey::hash_program(query.value().kernel.program),
+                  kernel_identity_config(query.value(), "trace") +
+                      " top=" + std::to_string(top.value()));
+    const int top_n = top.value();
+    prepared.work = [query = std::move(query).value(), top_n] {
+      return run_trace(query, top_n);
+    };
+    return prepared;
+  }
+
+  if (request.verb == "sweep") {
+    SweepSpec spec;
+    spec.exec_threads = exec_threads.value();
+    auto device_name = params.string_or("device", "");
+    if (!device_name) return device_name.error();
+    std::vector<std::string> default_devices;
+    if (!device_name.value().empty()) {
+      default_devices.push_back(device_name.value());
+    }
+    auto device_names = params.string_list_or("devices", default_devices,
+                                              kMaxSweepDevices);
+    if (!device_names) return device_names.error();
+    if (device_names.value().empty()) {
+      return invalid_argument("sweep needs \"device\" or \"devices\"");
+    }
+    std::string joined_devices;
+    for (const auto& name : device_names.value()) {
+      auto device = resolve_device(name);
+      if (!device) return device.error();
+      spec.devices.push_back(device.value());
+      if (!joined_devices.empty()) joined_devices += ",";
+      joined_devices += device.value()->name;
+    }
+    auto kernel_name = params.required_string("kernel");
+    if (!kernel_name) return kernel_name.error();
+    spec.kernel_name = kernel_name.value();
+    auto iters = params.u64_or("iters", 256, 1, kMaxIters);
+    if (!iters) return iters.error();
+    spec.iters = static_cast<std::uint32_t>(iters.value());
+    // Validate the kernel once up front so a typo is a synchronous error.
+    if (auto kernel = resolve_trace_kernel(spec.kernel_name, spec.iters);
+        !kernel) {
+      return kernel.error();
+    }
+    auto warps_list = params.int_list_or("warps_list", {0}, 0,
+                                         kMaxWarpsPerBlock, kMaxSweepList);
+    if (!warps_list) return warps_list.error();
+    spec.warps_list = std::move(warps_list).value();
+    auto blocks_list = params.int_list_or("blocks_list", {0}, 0, kMaxBlocks,
+                                          kMaxSweepList);
+    if (!blocks_list) return blocks_list.error();
+    spec.blocks_list = std::move(blocks_list).value();
+    if (auto done = params.finish(); !done) return done.error();
+
+    const std::size_t n = spec.devices.size() * spec.warps_list.size() *
+                          spec.blocks_list.size();
+    if (n > kMaxSweepPoints) {
+      return invalid_argument("sweep of " + std::to_string(n) +
+                              " points exceeds the " +
+                              std::to_string(kMaxSweepPoints) + "-point cap");
+    }
+
+    json::Object config;
+    config.emplace("kernel", json::Value::string(spec.kernel_name));
+    config.emplace("iters", json::Value::unsigned_integer(spec.iters));
+    json::Array warps_json;
+    for (const int w : spec.warps_list) {
+      warps_json.push_back(json::Value::integer(w));
+    }
+    config.emplace("warps_list", json::Value::array(std::move(warps_json)));
+    json::Array blocks_json;
+    for (const int b : spec.blocks_list) {
+      blocks_json.push_back(json::Value::integer(b));
+    }
+    config.emplace("blocks_list", json::Value::array(std::move(blocks_json)));
+
+    const std::uint64_t program_hash = ff::SnapshotKey::hash_program(
+        resolve_trace_kernel(spec.kernel_name, spec.iters).value().program);
+    seal_identity(joined_devices, program_hash,
+                  json::Value::object(std::move(config)).dump());
+    prepared.work = [spec = std::move(spec)] { return run_sweep(spec); };
+    return prepared;
+  }
+
+  if (request.verb == "fuzz") {
+    auto device_name = params.required_string("device");
+    if (!device_name) return device_name.error();
+    auto device = resolve_device(device_name.value());
+    if (!device) return device.error();
+    auto seed = params.u64_or("seed", 1, 0,
+                              std::numeric_limits<std::uint64_t>::max());
+    if (!seed) return seed.error();
+    auto count = params.u64_or("count", 50, 1, kMaxFuzzCases);
+    if (!count) return count.error();
+    auto full_chip = params.bool_or("full_chip", false);
+    if (!full_chip) return full_chip.error();
+    if (auto done = params.finish(); !done) return done.error();
+
+    seal_identity(device.value()->name, 0,
+                  "seed=" + std::to_string(seed.value()) +
+                      " count=" + std::to_string(count.value()) +
+                      (full_chip.value() ? " full-chip" : " single-sm"));
+    const arch::DeviceSpec* spec = device.value();
+    const std::uint64_t seed_v = seed.value();
+    const std::uint64_t count_v = count.value();
+    const bool chip = full_chip.value();
+    const int threads = exec_threads.value();
+    prepared.work = [spec, seed_v, count_v, chip, threads] {
+      return run_fuzz(*spec, seed_v, count_v, chip, threads);
+    };
+    return prepared;
+  }
+
+  if (request.verb == "stats" || request.verb == "ping") {
+    if (auto done = params.finish(); !done) return done.error();
+    // Handled synchronously in execute(); prepared.work stays empty.
+    return prepared;
+  }
+
+  return invalid_argument(
+      "unknown verb: \"" + request.verb +
+      "\" (accepted: simulate, profile, sweep, trace, fuzz, stats, ping, "
+      "close, shutdown)");
+}
+
+std::string ServeEngine::stats_payload() const {
+  const ResultCache::Stats cache = cache_.stats();
+  json::Object cache_json;
+  cache_json.emplace("capacity", json::Value::unsigned_integer(cache.capacity));
+  cache_json.emplace("entries", json::Value::unsigned_integer(cache.entries));
+  cache_json.emplace("lookups", json::Value::unsigned_integer(cache.lookups));
+  cache_json.emplace("hits", json::Value::unsigned_integer(cache.hits));
+  cache_json.emplace("misses", json::Value::unsigned_integer(cache.misses));
+  cache_json.emplace("insertions",
+                     json::Value::unsigned_integer(cache.insertions));
+  cache_json.emplace("evictions",
+                     json::Value::unsigned_integer(cache.evictions));
+
+  json::Object requests;
+  requests.emplace("total", json::Value::unsigned_integer(requests_.load()));
+  requests.emplace("ok", json::Value::unsigned_integer(ok_.load()));
+  requests.emplace("errors", json::Value::unsigned_integer(errors_.load()));
+  requests.emplace("timeouts", json::Value::unsigned_integer(timeouts_.load()));
+  requests.emplace("rejected", json::Value::unsigned_integer(rejected_.load()));
+
+  json::Object out;
+  out.emplace("protocol", json::Value::string(std::string(kProtocolVersion)));
+  out.emplace("code_version", json::Value::string(std::string(kCodeVersion)));
+  out.emplace("cache", json::Value::object(std::move(cache_json)));
+  out.emplace("requests", json::Value::object(std::move(requests)));
+  return json::Value::object(std::move(out)).dump();
+}
+
+ServeEngine::Counters ServeEngine::counters() const {
+  Counters out;
+  out.requests = requests_.load();
+  out.ok = ok_.load();
+  out.errors = errors_.load();
+  out.timeouts = timeouts_.load();
+  out.rejected = rejected_.load();
+  return out;
+}
+
+Expected<std::string> ServeEngine::execute(const Request& request) {
+  auto prepared = prepare(request);
+  if (!prepared) return prepared.error();
+  if (request.verb == "stats") return stats_payload();
+  if (request.verb == "ping") {
+    json::Object out;
+    out.emplace("protocol", json::Value::string(std::string(kProtocolVersion)));
+    out.emplace("code_version",
+                json::Value::string(std::string(kCodeVersion)));
+    return json::Value::object(std::move(out)).dump();
+  }
+  return run_prepared(std::move(prepared).value());
+}
+
+Expected<std::string> ServeEngine::run_prepared(Prepared prepared) {
+  std::uint64_t key = 0;
+  if (prepared.cacheable) {
+    key = cache_key(prepared.identity);
+    if (auto hit = cache_.lookup(key)) return std::move(*hit);
+  }
+
+  // Bounded queue: beyond max_inflight concurrently executing requests the
+  // server sheds load instead of queueing without bound.
+  if (static_cast<std::size_t>(inflight_.fetch_add(1) + 1) >
+      options_.max_inflight) {
+    inflight_.fetch_sub(1);
+    rejected_.fetch_add(1);
+    return resource_exhausted(
+        "server busy: " + std::to_string(options_.max_inflight) +
+        " requests already in flight");
+  }
+
+  const auto finish = [this, key, cacheable = prepared.cacheable](
+                          Expected<json::Value> r) -> Expected<std::string> {
+    if (!r) return r.error();
+    std::string payload = r.value().dump();
+    if (cacheable) cache_.insert(key, payload);
+    return payload;
+  };
+
+  if (prepared.timeout_ms <= 0) {
+    auto result = finish(prepared.work());
+    inflight_.fetch_sub(1);
+    return result;
+  }
+
+  // Deadline-supervised: the work runs on the pool; on expiry the reply is
+  // an error but the computation completes and populates the cache, so a
+  // retry of the same query hits.
+  struct JobState {
+    std::mutex mutex;
+    std::optional<Expected<std::string>> outcome;
+  };
+  auto state = std::make_shared<JobState>();
+  auto task = [this, state, work = std::move(prepared.work), finish] {
+    Expected<json::Value> r = [&]() -> Expected<json::Value> {
+      try {
+        return work();
+      } catch (const std::exception& e) {
+        return Error{ErrorCode::kInternal,
+                     std::string("request handler threw: ") + e.what()};
+      } catch (...) {
+        return Error{ErrorCode::kInternal, "request handler threw"};
+      }
+    }();
+    auto result = finish(std::move(r));
+    {
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      state->outcome.emplace(std::move(result));
+    }
+    inflight_.fetch_sub(1);
+  };
+  std::future<void> done;
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(
+          options_.threads > 0 ? static_cast<std::size_t>(options_.threads)
+                               : 0);
+    }
+    done = pool_->submit(std::move(task));
+  }
+  const auto deadline =
+      std::chrono::duration<double, std::milli>(prepared.timeout_ms);
+  if (done.wait_for(deadline) == std::future_status::ready) {
+    const std::lock_guard<std::mutex> lock(state->mutex);
+    return *state->outcome;
+  }
+  timeouts_.fetch_add(1);
+  return deadline_exceeded(
+      "request exceeded its " +
+      std::to_string(static_cast<long long>(prepared.timeout_ms)) +
+      " ms deadline (still computing; a retry may hit the cache)");
+}
+
+std::string Session::handle_line(std::string_view line) {
+  engine_.count_request();
+  auto parsed = parse_request(line);
+  if (!parsed) {
+    engine_.count_error();
+    return make_error_reply(recover_request_id(line), parsed.error());
+  }
+  const Request& request = parsed.value();
+
+  if (request.verb == "close") {
+    if (!request.params.empty()) {
+      engine_.count_error();
+      return make_error_reply(request.id,
+                              invalid_argument("close takes no params"));
+    }
+    closed_ = true;
+    engine_.count_ok();
+    return make_ok_reply(request.id, "{\"closing\":true}");
+  }
+  if (request.verb == "shutdown") {
+    if (!request.params.empty()) {
+      engine_.count_error();
+      return make_error_reply(request.id,
+                              invalid_argument("shutdown takes no params"));
+    }
+    engine_.request_shutdown();
+    closed_ = true;
+    engine_.count_ok();
+    return make_ok_reply(request.id, "{\"shutting_down\":true}");
+  }
+
+  auto result = engine_.execute(request);
+  if (!result) {
+    engine_.count_error();
+    return make_error_reply(request.id, result.error());
+  }
+  engine_.count_ok();
+  return make_ok_reply(request.id, result.value());
+}
+
+}  // namespace hsim::serve

@@ -1,0 +1,138 @@
+// `hsim serve` dispatch: one engine shared by every session, one session
+// per client connection (or per --batch file, or per test).
+//
+// ServeEngine owns the verb handlers, the bounded request-execution pool
+// and the content-addressed ResultCache.  Session adds the per-connection
+// state (session id for diagnostics, the `close` verb) and the single
+// line-in/line-out entry point — Session::handle_line is the ONLY dispatch
+// path: the TCP server, the --batch mode and the in-process test suites all
+// go through it, so protocol conformance tested without sockets is the same
+// code that answers sockets.
+//
+// Error contract: handle_line never throws, never terminates the process,
+// and always returns exactly one reply line.  Malformed JSON, unknown
+// verbs, bad devices/kernels, oversized requests, timeouts and overload all
+// come back as structured error replies with the request id echoed whenever
+// one could be recovered.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "arch/device.hpp"
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "trace/kernels.hpp"
+
+namespace hsim::serve {
+
+/// Resolve a device short name; the error names the accepted devices so a
+/// remote caller can fix the request without reading the source.
+[[nodiscard]] Expected<const arch::DeviceSpec*> resolve_device(
+    std::string_view name);
+
+/// Resolve a trace-kernel name into a runnable kernel; same contract.
+/// (This is the Expected<> replacement for the CLI's old die-with-usage
+/// path: callers report the error, the process and session live on.)
+[[nodiscard]] Expected<trace::TraceKernel> resolve_trace_kernel(
+    std::string_view name, std::uint32_t iterations);
+
+struct ServeOptions {
+  /// Result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_capacity = 256;
+  /// Worker threads for deadline-supervised execution (0 = hardware).
+  int threads = 0;
+  /// Bounded queue: requests executing or queued beyond this count are
+  /// rejected with resource_exhausted instead of piling up.
+  std::size_t max_inflight = 64;
+  /// Default per-request deadline in milliseconds; 0 = run to completion.
+  /// A request's "timeout_ms" param overrides it.  On expiry the reply is a
+  /// deadline_exceeded error; the computation finishes in the background
+  /// and lands in the cache, so a retry of the same query is a cheap hit.
+  double default_timeout_ms = 0;
+};
+
+class ServeEngine {
+ public:
+  struct Counters {
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t rejected = 0;  // bounded-queue rejections
+  };
+
+  explicit ServeEngine(ServeOptions options = {});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Execute one parsed request and return the serialized result payload
+  /// (cache-aware).  Verbs handled here: simulate, profile, sweep, trace,
+  /// fuzz, stats, ping.  Session-scoped verbs (close) and server-scoped
+  /// verbs (shutdown) are layered on top by Session.
+  [[nodiscard]] Expected<std::string> execute(const Request& request);
+
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const ServeOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] Counters counters() const;
+
+  /// Set by the `shutdown` verb; the TCP server polls it.
+  void request_shutdown() noexcept { shutdown_.store(true); }
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load();
+  }
+
+  /// Count one reply of each outcome (Session calls these so the counters
+  /// cover protocol-level errors too, not just executed verbs).
+  void count_ok() noexcept { ok_.fetch_add(1); }
+  void count_error() noexcept { errors_.fetch_add(1); }
+  void count_request() noexcept { requests_.fetch_add(1); }
+
+ private:
+  struct Prepared;  // verb + identity + self-contained work closure
+
+  [[nodiscard]] Expected<Prepared> prepare(const Request& request) const;
+  [[nodiscard]] Expected<std::string> run_prepared(Prepared prepared);
+  [[nodiscard]] std::string stats_payload() const;
+
+  ServeOptions options_;
+  ResultCache cache_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created on first deadline use
+  std::mutex pool_mutex_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+class Session {
+ public:
+  explicit Session(ServeEngine& engine, int session_id = 0)
+      : engine_(engine), id_(session_id) {}
+
+  /// Handle one request line (no trailing newline) and return the reply
+  /// line (no trailing newline).  Never throws.
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] int id() const noexcept { return id_; }
+
+ private:
+  ServeEngine& engine_;
+  int id_;
+  bool closed_ = false;
+};
+
+}  // namespace hsim::serve

@@ -1,0 +1,166 @@
+// Strict JSON parser + canonical dump (src/common/json): the read side of
+// the serve wire protocol.  Pins the strictness choices (one top-level
+// value, duplicate-key rejection, bounded depth, control-character
+// rejection), integer exactness for 64-bit seeds, and the canonicalization
+// property parse(dump(v)) == v with dump(parse(t)) stable.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hsim::json {
+namespace {
+
+Value must_parse(const std::string& text) {
+  auto value = parse(text);
+  EXPECT_TRUE(value.has_value()) << text;
+  return value.has_value() ? std::move(value).value() : Value();
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(must_parse("null").is_null());
+  EXPECT_EQ(must_parse("true").as_bool(), true);
+  EXPECT_EQ(must_parse("false").as_bool(), false);
+  EXPECT_EQ(must_parse("42").as_u64(), 42u);
+  EXPECT_EQ(must_parse("-7").as_i64(), -7);
+  EXPECT_DOUBLE_EQ(must_parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(must_parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(must_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, U64SeedsSurviveExactly) {
+  // 2^64 - 1 would be mangled by a double round-trip.
+  const Value v = must_parse("18446744073709551615");
+  ASSERT_TRUE(v.is_unsigned());
+  EXPECT_EQ(v.as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(v.dump(), "18446744073709551615");
+  // Past u64: still a valid number, no longer integer-exact.
+  const Value big = must_parse("18446744073709551616");
+  EXPECT_TRUE(big.is_number());
+  EXPECT_FALSE(big.is_integer());
+}
+
+TEST(JsonParse, IntegerVsDoubleClassification) {
+  EXPECT_TRUE(must_parse("10").is_unsigned());
+  EXPECT_TRUE(must_parse("-10").is_integer());
+  EXPECT_FALSE(must_parse("-10").is_unsigned());
+  EXPECT_FALSE(must_parse("10.0").is_integer());
+  EXPECT_FALSE(must_parse("1e2").is_integer());
+}
+
+TEST(JsonParse, StringsWithEscapes) {
+  EXPECT_EQ(must_parse(R"("a\"b\\c\nd")").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(must_parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(must_parse(R"("\u00e9")").as_string(), "\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(must_parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = must_parse(R"({"a":[1,{"b":null}],"c":{}})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.find("a");
+  ASSERT_TRUE(a != nullptr && a->is_array());
+  EXPECT_EQ(a->as_array().size(), 2u);
+  EXPECT_TRUE(a->as_array()[1].find("b")->is_null());
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  const char* const bad[] = {
+      "",
+      "   ",
+      "{",
+      "[1,",
+      "nul",
+      "tru",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "[1,]",
+      "{'a':1}",
+      "{\"a\" 1}",
+      "\"unterminated",
+      "01",
+      "+1",
+      "1.",
+      ".5",
+      "- 1",
+      "\x01",
+      "{\"a\":1} {\"b\":2}",  // two top-level values
+      "1 2",
+      "{\"a\":1,\"a\":2}",  // duplicate key
+      "\"bad \\q escape\"",
+      "\"\\ud83d\"",        // lone high surrogate
+      "\"\\ude00\"",        // lone low surrogate
+      "[\"ctrl \x01 char\"]",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(parse(text).has_value()) << text;
+  }
+}
+
+TEST(JsonParse, ErrorsCarryBytePosition) {
+  const auto result = parse("{\"a\": nope}");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("at byte"), std::string::npos)
+      << result.error().message;
+}
+
+TEST(JsonParse, DepthIsBounded) {
+  std::string deep;
+  for (std::size_t i = 0; i < kMaxDepth + 1; ++i) deep += '[';
+  for (std::size_t i = 0; i < kMaxDepth + 1; ++i) deep += ']';
+  EXPECT_FALSE(parse(deep).has_value());
+  std::string fits;
+  for (std::size_t i = 0; i < kMaxDepth; ++i) fits += '[';
+  for (std::size_t i = 0; i < kMaxDepth; ++i) fits += ']';
+  EXPECT_TRUE(parse(fits).has_value());
+}
+
+TEST(JsonDump, CanonicalBytes) {
+  // Keys come back sorted regardless of input order; integers stay
+  // integers; whitespace is normalized away.
+  const Value v = must_parse(R"({ "z" : 1 , "a" : [ true , "x" ] })");
+  EXPECT_EQ(v.dump(), R"({"a":[true,"x"],"z":1})");
+  // dump(parse(dump)) is a fixed point.
+  EXPECT_EQ(must_parse(v.dump()).dump(), v.dump());
+}
+
+TEST(JsonDump, EscapesControlCharactersAndQuotes) {
+  const Value v = Value::string("a\"b\\c\n\x02");
+  const std::string dumped = v.dump();
+  EXPECT_EQ(must_parse(dumped).as_string(), "a\"b\\c\n\x02");
+}
+
+TEST(JsonDump, NumbersRoundTrip) {
+  for (const char* text : {"0", "-1", "123456789012345678", "0.5",
+                           "3.141592653589793", "1e-09"}) {
+    const Value v = must_parse(text);
+    const Value again = must_parse(v.dump());
+    if (v.is_integer()) {
+      EXPECT_EQ(again.as_i64(), v.as_i64()) << text;
+    } else {
+      EXPECT_DOUBLE_EQ(again.as_double(), v.as_double()) << text;
+    }
+    // Stability: a second dump emits the same bytes.
+    EXPECT_EQ(again.dump(), v.dump()) << text;
+  }
+}
+
+TEST(JsonValue, BuildersMatchParsedForm) {
+  Object obj;
+  obj.emplace("n", Value::integer(-3));
+  obj.emplace("u", Value::unsigned_integer(7));
+  obj.emplace("s", Value::string("txt"));
+  Array arr;
+  arr.push_back(Value::boolean(true));
+  arr.push_back(Value::null());
+  obj.emplace("a", Value::array(std::move(arr)));
+  const Value built = Value::object(std::move(obj));
+  EXPECT_EQ(built.dump(), R"({"a":[true,null],"n":-3,"s":"txt","u":7})");
+  EXPECT_EQ(must_parse(built.dump()).dump(), built.dump());
+}
+
+}  // namespace
+}  // namespace hsim::json

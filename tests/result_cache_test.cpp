@@ -1,0 +1,159 @@
+// ResultCache + cache_key: the content-addressing contract the serve layer
+// leans on.  Key stability across runs (a pure function of the identity),
+// invalidation on every identity axis, strict LRU eviction order, the
+// capacity-0 degenerate case, and the counter conservation law
+// hits + misses == lookups.
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hsim::serve {
+namespace {
+
+QueryIdentity base_identity() {
+  QueryIdentity id;
+  id.verb = "simulate";
+  id.device = "H800 PCIe";
+  id.program_hash = 0x1234abcd5678ef00ull;
+  id.config = R"({"blocks":1,"iters":64})";
+  id.code_version = "hoppersim-1.0.0+serve1";
+  return id;
+}
+
+TEST(CacheKey, StableAcrossCalls) {
+  // Pure function of the identity: hashing twice (and from a copied
+  // identity) gives the same 64-bit address — the property that makes keys
+  // meaningful across sessions and across server restarts.
+  const QueryIdentity a = base_identity();
+  const QueryIdentity b = base_identity();
+  EXPECT_EQ(cache_key(a), cache_key(a));
+  EXPECT_EQ(cache_key(a), cache_key(b));
+}
+
+TEST(CacheKey, EveryIdentityAxisInvalidates) {
+  const std::uint64_t base = cache_key(base_identity());
+
+  QueryIdentity verb = base_identity();
+  verb.verb = "profile";
+  EXPECT_NE(cache_key(verb), base);
+
+  QueryIdentity device = base_identity();
+  device.device = "A100 SXM";
+  EXPECT_NE(cache_key(device), base);
+
+  QueryIdentity program = base_identity();
+  program.program_hash ^= 1;
+  EXPECT_NE(cache_key(program), base);
+
+  QueryIdentity config = base_identity();
+  config.config = R"({"blocks":1,"iters":65})";
+  EXPECT_NE(cache_key(config), base);
+
+  QueryIdentity code = base_identity();
+  code.code_version = "hoppersim-1.0.0+serve2";
+  EXPECT_NE(cache_key(code), base);
+}
+
+TEST(CacheKey, FieldBoundariesAreSeparated) {
+  // ("ab", "c") vs ("a", "bc"): without separators these would FNV to the
+  // same stream.
+  QueryIdentity a = base_identity();
+  a.verb = "ab";
+  a.device = "c";
+  QueryIdentity b = base_identity();
+  b.verb = "a";
+  b.device = "bc";
+  EXPECT_NE(cache_key(a), cache_key(b));
+}
+
+TEST(ResultCache, HitReturnsInsertedPayload) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.lookup(1), std::nullopt);
+  cache.insert(1, "payload-one");
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-one");
+}
+
+TEST(ResultCache, LruEvictionOrder) {
+  ResultCache cache(3);
+  cache.insert(1, "a");
+  cache.insert(2, "b");
+  cache.insert(3, "c");
+  // Touch 1 so 2 becomes least-recently-used.
+  ASSERT_TRUE(cache.lookup(1).has_value());
+  cache.insert(4, "d");  // evicts 2
+  EXPECT_EQ(cache.lookup(2), std::nullopt);
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_TRUE(cache.lookup(4).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // MRU order after the lookups above: 4, 3, 1.
+  const std::vector<std::uint64_t> expected{4, 3, 1};
+  EXPECT_EQ(cache.keys_mru_first(), expected);
+}
+
+TEST(ResultCache, ReinsertRefreshesWithoutEviction) {
+  ResultCache cache(2);
+  cache.insert(1, "old");
+  cache.insert(2, "b");
+  cache.insert(1, "new");  // refresh, not a second entry
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(*cache.lookup(1), "new");
+  // 1 is now MRU, so inserting a third key evicts 2.
+  cache.insert(3, "c");
+  EXPECT_EQ(cache.lookup(2), std::nullopt);
+}
+
+TEST(ResultCache, CapacityZeroStoresNothingButCountsEverything) {
+  ResultCache cache(0);
+  cache.insert(1, "a");
+  EXPECT_EQ(cache.lookup(1), std::nullopt);
+  EXPECT_EQ(cache.lookup(1), std::nullopt);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+TEST(ResultCache, CounterConservation) {
+  ResultCache cache(2);
+  cache.insert(1, "a");
+  cache.insert(2, "b");
+  cache.insert(3, "c");  // evicts 1
+  (void)cache.lookup(1);  // miss
+  (void)cache.lookup(2);  // hit
+  (void)cache.lookup(3);  // hit
+  (void)cache.lookup(9);  // miss
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 4u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCache, ClearDropsEntriesKeepsCounters) {
+  ResultCache cache(2);
+  cache.insert(1, "a");
+  (void)cache.lookup(1);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.lookup(1), std::nullopt);
+  // History survives a clear: conservation still holds over the full run.
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+}  // namespace
+}  // namespace hsim::serve

@@ -1,0 +1,230 @@
+// `hsim serve` under concurrency: N sessions on one shared engine issuing
+// interleaved identical queries must all get byte-identical replies, at
+// engine thread counts 1, 4 and 8; the cache-hit path must produce the
+// exact bytes of the cold path; and the load-shedding / deadline layers
+// must reply with structured errors instead of wedging.  Runs under the
+// tsan-concurrency preset (label `concurrency`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/session.hpp"
+
+namespace hsim::serve {
+namespace {
+
+const char* const kQueries[] = {
+    R"({"id":1,"verb":"simulate","params":)"
+    R"({"device":"h800","kernel":"ffma_dep","iters":64}})",
+    R"({"id":2,"verb":"simulate","params":)"
+    R"({"device":"h800","kernel":"mem_l2","iters":64}})",
+    R"({"id":3,"verb":"trace","params":)"
+    R"({"device":"h800","kernel":"smem_conflict","iters":64,"top":5}})",
+    R"({"id":4,"verb":"profile","params":)"
+    R"({"device":"a100","kernel":"ffma_tput","iters":64}})",
+    R"({"id":5,"verb":"sweep","params":{"device":"h800",)"
+    R"("kernel":"ffma_dep","iters":32,"warps_list":[1,2],"blocks_list":[1]}})",
+};
+constexpr std::size_t kQueryCount = std::size(kQueries);
+
+class ServeConcurrency : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServeConcurrency, InterleavedSessionsGetByteIdenticalReplies) {
+  const int engine_threads = GetParam();
+
+  // Reference bytes from a fresh single-session engine.
+  std::vector<std::string> expected(kQueryCount);
+  {
+    ServeOptions options;
+    options.threads = engine_threads;
+    ServeEngine engine(options);
+    Session session(engine);
+    for (std::size_t q = 0; q < kQueryCount; ++q) {
+      expected[q] = session.handle_line(kQueries[q]);
+    }
+  }
+
+  ServeOptions options;
+  options.threads = engine_threads;
+  ServeEngine engine(options);
+
+  constexpr int kSessions = 8;
+  constexpr int kRounds = 3;
+  std::vector<std::vector<std::string>> replies(kSessions);
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back([s, &engine, &replies] {
+      Session session(engine, /*session_id=*/s + 1);
+      // Each session starts at a different query so hot/cold interleave.
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t q = 0; q < kQueryCount; ++q) {
+          const std::size_t pick =
+              (q + static_cast<std::size_t>(s)) % kQueryCount;
+          replies[static_cast<std::size_t>(s)].push_back(
+              session.handle_line(kQueries[pick]));
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int s = 0; s < kSessions; ++s) {
+    std::size_t i = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (std::size_t q = 0; q < kQueryCount; ++q, ++i) {
+        const std::size_t pick =
+            (q + static_cast<std::size_t>(s)) % kQueryCount;
+        EXPECT_EQ(replies[static_cast<std::size_t>(s)][i], expected[pick])
+            << "session " << s << " round " << round << " query " << pick
+            << " threads " << engine_threads;
+      }
+    }
+  }
+
+  // Every query computed at most once; everything else was a hit, and the
+  // conservation law held under contention.
+  const auto stats = engine.cache().stats();
+  EXPECT_EQ(stats.lookups,
+            static_cast<std::uint64_t>(kSessions) * kRounds * kQueryCount);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.entries, kQueryCount);
+  // Under a race two sessions may both miss and compute the same query, but
+  // never more than one miss per (session, query) pair.
+  EXPECT_GE(stats.misses, kQueryCount);
+  EXPECT_LE(stats.misses,
+            static_cast<std::uint64_t>(kSessions) * kQueryCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServeConcurrency, ::testing::Values(1, 4, 8),
+                         [](const auto& param_info) {
+                           return "threads" + std::to_string(param_info.param);
+                         });
+
+TEST(ServeConcurrencyPolicy, CacheHitBytesEqualColdBytesAcrossEngines) {
+  // Cold reply from engine A; cold-then-hit replies from engine B.  All
+  // three must be the same bytes: the cache stores the serialized payload
+  // and the reply envelope is built by the same code either way.
+  const std::string query =
+      R"({"id":9,"verb":"simulate","params":)"
+      R"({"device":"h800","kernel":"mem_l1","iters":128}})";
+  ServeEngine engine_a;
+  Session session_a(engine_a);
+  const std::string cold_a = session_a.handle_line(query);
+
+  ServeEngine engine_b;
+  Session session_b(engine_b);
+  const std::string cold_b = session_b.handle_line(query);
+  const std::string hit_b = session_b.handle_line(query);
+  EXPECT_EQ(cold_a, cold_b);
+  EXPECT_EQ(cold_b, hit_b);
+  EXPECT_EQ(engine_b.cache().stats().hits, 1u);
+}
+
+TEST(ServeConcurrencyPolicy, SharedCacheAcrossSessionsHitsAfterOneMiss) {
+  ServeEngine engine;
+  Session first(engine, 1);
+  Session second(engine, 2);
+  const std::string query =
+      R"({"id":1,"verb":"simulate","params":)"
+      R"({"device":"h800","kernel":"ffma_dep","iters":64}})";
+  const std::string a = first.handle_line(query);
+  const std::string b = second.handle_line(query);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(engine.cache().stats().misses, 1u);
+  EXPECT_EQ(engine.cache().stats().hits, 1u);
+}
+
+TEST(ServeConcurrencyPolicy, OverloadShedsWithResourceExhausted) {
+  ServeOptions options;
+  options.max_inflight = 0;  // everything beyond the cache is "too busy"
+  ServeEngine engine(options);
+  Session session(engine);
+  const std::string reply = session.handle_line(
+      R"({"id":1,"verb":"simulate","params":)"
+      R"({"device":"h800","kernel":"ffma_dep","iters":32}})");
+  const auto root = json::parse(reply);
+  ASSERT_TRUE(root.has_value()) << reply;
+  EXPECT_EQ(root.value().find("error")->find("code")->as_string(),
+            "resource_exhausted");
+  EXPECT_FALSE(session.closed());
+  EXPECT_EQ(engine.counters().rejected, 1u);
+  // Control verbs bypass the execution queue and still answer.
+  EXPECT_NE(session.handle_line(R"({"id":2,"verb":"stats"})")
+                .find("\"ok\":true"),
+            std::string::npos);
+}
+
+TEST(ServeConcurrencyPolicy, DeadlineExceededIsAnErrorThenARetryHits) {
+  ServeOptions options;
+  options.threads = 2;
+  ServeEngine engine(options);
+  Session session(engine);
+  // An absurdly small deadline on a nontrivial query: the reply must be
+  // deadline_exceeded (never a hang), while the computation finishes in the
+  // background and populates the cache.
+  const std::string tight = R"({"id":1,"verb":"simulate","params":)"
+                            R"({"device":"h800","kernel":"mem_global",)"
+                            R"("iters":2048,"timeout_ms":0.0001}})";
+  const std::string reply = session.handle_line(tight);
+  const auto root = json::parse(reply);
+  ASSERT_TRUE(root.has_value()) << reply;
+  ASSERT_NE(root.value().find("error"), nullptr) << reply;
+  EXPECT_EQ(root.value().find("error")->find("code")->as_string(),
+            "deadline_exceeded");
+  EXPECT_EQ(engine.counters().timeouts, 1u);
+
+  // Same query without the hint: once the background job lands, this is a
+  // cache hit with the canonical bytes.  Poll-free: a generous-deadline
+  // variant of the same identity blocks until the job's insert or computes
+  // it again — either way the reply is the canonical bytes.
+  const std::string relaxed = R"({"id":2,"verb":"simulate","params":)"
+                              R"({"device":"h800","kernel":"mem_global",)"
+                              R"("iters":2048}})";
+  const std::string ok_reply = session.handle_line(relaxed);
+  EXPECT_NE(ok_reply.find("\"ok\":true"), std::string::npos) << ok_reply;
+
+  ServeEngine cold_engine;
+  Session cold_session(cold_engine);
+  const std::string cold = cold_session.handle_line(relaxed);
+  EXPECT_EQ(ok_reply, cold);
+}
+
+TEST(ServeConcurrencyPolicy, ConcurrentStatsNeverViolateConservation) {
+  ServeEngine engine;
+  std::atomic<bool> stop{false};
+  std::thread reader([&engine, &stop] {
+    while (!stop.load()) {
+      const auto stats = engine.cache().stats();
+      ASSERT_EQ(stats.hits + stats.misses, stats.lookups);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int s = 0; s < 4; ++s) {
+    writers.emplace_back([&engine, s] {
+      Session session(engine, s);
+      for (int i = 0; i < 8; ++i) {
+        (void)session.handle_line(
+            R"({"id":1,"verb":"simulate","params":)"
+            R"({"device":"h800","kernel":"ffma_dep","iters":)" +
+            std::to_string(32 + (i % 4)) + "}}");
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  const auto stats = engine.cache().stats();
+  EXPECT_EQ(stats.lookups, 32u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+}  // namespace
+}  // namespace hsim::serve

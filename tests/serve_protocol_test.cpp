@@ -1,0 +1,357 @@
+// Wire-protocol conformance for `hsim serve`, entirely through the
+// in-process batch dispatch path (Session::handle_line) — the same code the
+// TCP server runs, so everything pinned here holds on the socket too.
+//
+//   * golden request/response pairs for every verb;
+//   * a malformed-input corpus (bad JSON, unknown verbs, oversized and
+//     truncated lines, wrong types, unknown params) that must come back as
+//     structured errors with the request id echoed whenever recoverable —
+//     and must leave the session alive and correct afterwards;
+//   * the old CLI failure mode (bad kernel/device names killing the
+//     process mid-dispatch) pinned as: a bad name is a reply, never a
+//     termination.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace hsim::serve {
+namespace {
+
+/// Fresh engine + session per call unless a test needs shared state.
+std::string one_shot(const std::string& line) {
+  ServeEngine engine;
+  Session session(engine);
+  return session.handle_line(line);
+}
+
+json::Value parsed_reply(const std::string& reply) {
+  auto value = json::parse(reply);
+  EXPECT_TRUE(value.has_value()) << reply;
+  return value.has_value() ? value.value() : json::Value();
+}
+
+/// Reply must be {"id":<id>,"ok":true,"result":{...}}; returns the result.
+json::Value expect_ok(const std::string& reply, std::uint64_t id) {
+  const json::Value root = parsed_reply(reply);
+  const json::Value* id_field = root.find("id");
+  EXPECT_TRUE(id_field != nullptr && id_field->is_unsigned() &&
+              id_field->as_u64() == id)
+      << reply;
+  const json::Value* ok = root.find("ok");
+  EXPECT_TRUE(ok != nullptr && ok->is_bool() && ok->as_bool()) << reply;
+  const json::Value* result = root.find("result");
+  EXPECT_NE(result, nullptr) << reply;
+  return result != nullptr ? *result : json::Value();
+}
+
+void expect_error(const std::string& reply, const std::string& code,
+                  bool id_recovered, std::uint64_t id = 0) {
+  const json::Value root = parsed_reply(reply);
+  const json::Value* id_field = root.find("id");
+  ASSERT_NE(id_field, nullptr) << reply;
+  if (id_recovered) {
+    ASSERT_TRUE(id_field->is_unsigned()) << reply;
+    EXPECT_EQ(id_field->as_u64(), id) << reply;
+  } else {
+    EXPECT_TRUE(id_field->is_null()) << reply;
+  }
+  const json::Value* ok = root.find("ok");
+  ASSERT_TRUE(ok != nullptr && ok->is_bool()) << reply;
+  EXPECT_FALSE(ok->as_bool()) << reply;
+  const json::Value* error = root.find("error");
+  ASSERT_NE(error, nullptr) << reply;
+  const json::Value* code_field = error->find("code");
+  ASSERT_TRUE(code_field != nullptr && code_field->is_string()) << reply;
+  EXPECT_EQ(code_field->as_string(), code) << reply;
+  const json::Value* message = error->find("message");
+  EXPECT_TRUE(message != nullptr && message->is_string() &&
+              !message->as_string().empty())
+      << reply;
+}
+
+// ---------------------------------------------------------------- golden --
+
+TEST(ServeProtocol, GoldenPing) {
+  EXPECT_EQ(one_shot(R"({"id":7,"verb":"ping"})"),
+            "{\"id\":7,\"ok\":true,\"result\":{"
+            "\"code_version\":\"hoppersim-1.0.0+serve1\","
+            "\"protocol\":\"hsim-serve-v1\"}}");
+}
+
+TEST(ServeProtocol, GoldenClose) {
+  ServeEngine engine;
+  Session session(engine);
+  EXPECT_EQ(session.handle_line(R"({"id":1,"verb":"close"})"),
+            "{\"id\":1,\"ok\":true,\"result\":{\"closing\":true}}");
+  EXPECT_TRUE(session.closed());
+  EXPECT_FALSE(engine.shutdown_requested());
+}
+
+TEST(ServeProtocol, GoldenShutdown) {
+  ServeEngine engine;
+  Session session(engine);
+  EXPECT_EQ(session.handle_line(R"({"id":2,"verb":"shutdown"})"),
+            "{\"id\":2,\"ok\":true,\"result\":{\"shutting_down\":true}}");
+  EXPECT_TRUE(session.closed());
+  EXPECT_TRUE(engine.shutdown_requested());
+}
+
+TEST(ServeProtocol, GoldenMalformedJson) {
+  EXPECT_EQ(one_shot("{not json"),
+            "{\"id\":null,\"ok\":false,\"error\":{\"code\":"
+            "\"invalid_argument\",\"message\":\"malformed JSON: expected "
+            "object key at byte 1\"}}");
+}
+
+TEST(ServeProtocol, GoldenUnknownVerb) {
+  EXPECT_EQ(one_shot(R"({"id":3,"verb":"frobnicate"})"),
+            "{\"id\":3,\"ok\":false,\"error\":{\"code\":\"invalid_argument\","
+            "\"message\":\"unknown verb: \\\"frobnicate\\\" (accepted: "
+            "simulate, profile, sweep, trace, fuzz, stats, ping, close, "
+            "shutdown)\"}}");
+}
+
+// Each executable verb answers ok with its characteristic result fields
+// and echoes the id; run twice on one engine, the second reply must be the
+// exact bytes of the first (cache hit path == cold path).
+struct VerbGolden {
+  const char* name;
+  std::string request;
+  std::vector<std::string> result_fields;
+};
+
+class ServeVerbGolden : public ::testing::TestWithParam<VerbGolden> {};
+
+TEST_P(ServeVerbGolden, OkRepliesWithExpectedFieldsAndCachedRepeat) {
+  const VerbGolden& golden = GetParam();
+  ServeEngine engine;
+  Session session(engine);
+  const std::string cold = session.handle_line(golden.request);
+  const json::Value result = expect_ok(cold, 11);
+  for (const auto& field : golden.result_fields) {
+    EXPECT_NE(result.find(field), nullptr)
+        << golden.name << " reply lacks \"" << field << "\": " << cold;
+  }
+  const std::string warm = session.handle_line(golden.request);
+  EXPECT_EQ(warm, cold) << golden.name;
+  EXPECT_GE(engine.cache().stats().hits, 1u) << golden.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVerbs, ServeVerbGolden,
+    ::testing::Values(
+        VerbGolden{"simulate_sm",
+                   R"({"id":11,"verb":"simulate","params":)"
+                   R"({"device":"h800","kernel":"ffma_dep","iters":64}})",
+                   {"cycles", "instructions", "ipc", "stall_cycles",
+                    "warps_retired", "device", "kernel", "mode"}},
+        VerbGolden{"simulate_chip",
+                   R"({"id":11,"verb":"simulate","params":{"device":"h800",)"
+                   R"("kernel":"ffma_dep","iters":32,"mode":"chip"}})",
+                   {"cycles", "seconds", "sms", "waves", "per_sm_cycles_max",
+                    "ipc"}},
+        VerbGolden{"profile",
+                   R"({"id":11,"verb":"profile","params":)"
+                   R"({"device":"h800","kernel":"mem_l2","iters":64}})",
+                   {"key", "sections", "cycles", "sms", "full_chip"}},
+        VerbGolden{"trace",
+                   R"({"id":11,"verb":"trace","params":{"device":"h800",)"
+                   R"("kernel":"smem_conflict","iters":128,"top":3}})",
+                   {"stalls", "stall_cycles", "attributed_stall_cycles",
+                    "issues", "retires"}},
+        VerbGolden{"sweep",
+                   R"({"id":11,"verb":"sweep","params":{"device":"h800",)"
+                   R"("kernel":"ffma_tput","iters":32,)"
+                   R"("warps_list":[1,2],"blocks_list":[1]}})",
+                   {"points", "points_total", "kernel"}},
+        VerbGolden{"fuzz",
+                   R"({"id":11,"verb":"fuzz","params":)"
+                   R"({"device":"h800","seed":1,"count":5}})",
+                   {"cases", "failed", "passed", "first_failure"}}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+// ------------------------------------------------------ malformed corpus --
+
+TEST(ServeProtocol, MalformedCorpusAllStructuredErrorsSessionSurvives) {
+  ServeEngine engine;
+  Session session(engine);
+
+  struct Bad {
+    std::string line;
+    std::string code;
+    bool id_recovered;
+    std::uint64_t id;
+  };
+  const std::vector<Bad> corpus = {
+      // Broken JSON in assorted ways; no id recoverable.
+      {"{", "invalid_argument", false, 0},
+      {"]", "invalid_argument", false, 0},
+      {"nul", "invalid_argument", false, 0},
+      {R"({"id":1,"verb":"ping"} trailing)", "invalid_argument", false, 0},
+      {R"({"id":1,"id":2,"verb":"ping"})", "invalid_argument", false, 0},
+      {"\"just a string\"", "invalid_argument", false, 0},
+      {R"({"id":1,"verb":"ping",})", "invalid_argument", false, 0},
+      // Truncated mid-structure (a cut-off line from a dying client).
+      {R"({"id":9,"verb":"simulate","params":{"device":"h8)",
+       "invalid_argument", false, 0},
+      // Valid JSON, invalid requests; id is recoverable and must echo.
+      {R"({"id":4,"verb":"ping","extra":1})", "invalid_argument", true, 4},
+      {R"({"id":5})", "invalid_argument", true, 5},
+      {R"({"id":6,"verb":42})", "invalid_argument", true, 6},
+      {R"({"id":-1,"verb":"ping"})", "invalid_argument", false, 0},
+      {R"({"id":7,"verb":"ping","params":[]})", "invalid_argument", true, 7},
+      // Verb-level validation with id echo.
+      {R"({"id":8,"verb":"simulate"})", "invalid_argument", true, 8},
+      {R"({"id":9,"verb":"simulate","params":)"
+       R"({"device":"h800","kernel":"ffma_dep","itres":64}})",
+       "invalid_argument", true, 9},
+      {R"({"id":10,"verb":"simulate","params":)"
+       R"({"device":"h800","kernel":"ffma_dep","iters":"64"}})",
+       "invalid_argument", true, 10},
+      {R"({"id":12,"verb":"simulate","params":)"
+       R"({"device":"h800","kernel":"ffma_dep","iters":9999999999}})",
+       "invalid_argument", true, 12},
+      {R"({"id":13,"verb":"close","params":{"x":1}})", "invalid_argument",
+       true, 13},
+  };
+  for (const auto& bad : corpus) {
+    const std::string reply = session.handle_line(bad.line);
+    expect_error(reply, bad.code, bad.id_recovered, bad.id);
+    EXPECT_FALSE(session.closed()) << bad.line;
+  }
+
+  // Oversized request: > kMaxRequestBytes in one line.
+  std::string huge = R"({"id":1,"verb":"ping","params":{"x":")";
+  huge.append(kMaxRequestBytes, 'x');
+  huge += "\"}}";
+  expect_error(session.handle_line(huge), "resource_exhausted", false, 0);
+
+  // After the whole corpus the session still answers correctly.
+  expect_ok(session.handle_line(R"({"id":99,"verb":"ping"})"), 99);
+  const auto counters = engine.counters();
+  EXPECT_EQ(counters.requests, corpus.size() + 2);
+  EXPECT_EQ(counters.errors, corpus.size() + 1);
+  EXPECT_EQ(counters.ok, 1u);
+}
+
+// ------------------------------------- bad names are replies, not deaths --
+
+TEST(ServeProtocol, BadKernelAndDeviceNamesNeverTerminateTheSession) {
+  ServeEngine engine;
+  Session session(engine);
+
+  const std::string bad_kernel = session.handle_line(
+      R"({"id":1,"verb":"simulate","params":)"
+      R"({"device":"h800","kernel":"definitely_not_a_kernel"}})");
+  expect_error(bad_kernel, "invalid_argument", true, 1);
+  // The diagnostic names the accepted kernels so a remote caller can fix
+  // the request without reading the source.
+  EXPECT_NE(bad_kernel.find("accepted"), std::string::npos);
+  EXPECT_NE(bad_kernel.find("ffma_dep"), std::string::npos);
+
+  const std::string bad_device = session.handle_line(
+      R"({"id":2,"verb":"simulate","params":)"
+      R"({"device":"gtx260","kernel":"ffma_dep"}})");
+  expect_error(bad_device, "invalid_argument", true, 2);
+  EXPECT_NE(bad_device.find("accepted"), std::string::npos);
+
+  // Same for every verb that takes names.
+  for (const char* verb : {"profile", "trace", "sweep"}) {
+    const std::string reply = session.handle_line(
+        std::string(R"({"id":3,"verb":")") + verb +
+        R"(","params":{"device":"h800","kernel":"nope"}})");
+    expect_error(reply, "invalid_argument", true, 3);
+  }
+  expect_error(session.handle_line(
+                   R"({"id":4,"verb":"fuzz","params":{"device":"nope"}})"),
+               "invalid_argument", true, 4);
+
+  EXPECT_FALSE(session.closed());
+  expect_ok(session.handle_line(R"({"id":5,"verb":"ping"})"), 5);
+}
+
+// -------------------------------------------------------- stats contract --
+
+TEST(ServeProtocol, StatsReportsCacheAndRequestCounters) {
+  ServeEngine engine;
+  Session session(engine);
+  const std::string query =
+      R"({"id":1,"verb":"simulate","params":)"
+      R"({"device":"h800","kernel":"ffma_dep","iters":32}})";
+  (void)session.handle_line(query);  // miss + insert
+  (void)session.handle_line(query);  // hit
+  const json::Value result =
+      expect_ok(session.handle_line(R"({"id":2,"verb":"stats"})"), 2);
+  const json::Value* cache = result.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->find("lookups")->as_u64(), 2u);
+  EXPECT_EQ(cache->find("hits")->as_u64(), 1u);
+  EXPECT_EQ(cache->find("misses")->as_u64(), 1u);
+  EXPECT_EQ(cache->find("entries")->as_u64(), 1u);
+  const json::Value* requests = result.find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->find("total")->as_u64(), 3u);
+  // stats itself is not yet counted as ok when it renders its own payload.
+  EXPECT_EQ(requests->find("ok")->as_u64(), 2u);
+  EXPECT_EQ(requests->find("errors")->as_u64(), 0u);
+}
+
+// ------------------------------------------------- execution-hint policy --
+
+TEST(ServeProtocol, ThreadsHintDoesNotChangeIdentityOrBytes) {
+  // Determinism contract: worker-thread count is an execution hint, so the
+  // same chip query at threads 1 and 4 shares one cache entry and one set
+  // of reply bytes.
+  ServeEngine engine;
+  Session session(engine);
+  const std::string base =
+      R"({"id":1,"verb":"simulate","params":{"device":"h800",)"
+      R"("kernel":"ffma_dep","iters":32,"mode":"chip","threads":1}})";
+  const std::string hinted =
+      R"({"id":1,"verb":"simulate","params":{"device":"h800",)"
+      R"("kernel":"ffma_dep","iters":32,"mode":"chip","threads":4}})";
+  const std::string a = session.handle_line(base);
+  const std::string b = session.handle_line(hinted);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(engine.cache().stats().entries, 1u);
+  EXPECT_EQ(engine.cache().stats().hits, 1u);
+}
+
+TEST(ServeProtocol, DefaultsNormalizeIntoTheSameCacheSlot) {
+  // Spelling the defaults explicitly is the same query.
+  ServeEngine engine;
+  Session session(engine);
+  const std::string implicit =
+      R"({"id":1,"verb":"simulate","params":)"
+      R"({"device":"h800","kernel":"ffma_dep"}})";
+  const std::string explicit_defaults =
+      R"({"id":1,"verb":"simulate","params":)"
+      R"({"device":"h800","kernel":"ffma_dep","iters":256,"mode":"sm"}})";
+  const std::string a = session.handle_line(implicit);
+  const std::string b = session.handle_line(explicit_defaults);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(engine.cache().stats().entries, 1u);
+}
+
+TEST(ServeProtocol, CapacityZeroDisablesCachingButStaysCorrect) {
+  ServeOptions options;
+  options.cache_capacity = 0;
+  ServeEngine engine(options);
+  Session session(engine);
+  const std::string query =
+      R"({"id":1,"verb":"simulate","params":)"
+      R"({"device":"h800","kernel":"ffma_dep","iters":32}})";
+  const std::string a = session.handle_line(query);
+  const std::string b = session.handle_line(query);
+  EXPECT_EQ(a, b);  // recomputation is bit-identical anyway
+  EXPECT_EQ(engine.cache().stats().hits, 0u);
+  EXPECT_EQ(engine.cache().stats().misses, 2u);
+}
+
+}  // namespace
+}  // namespace hsim::serve

@@ -46,6 +46,7 @@
 #include "gpu/gpu_engine.hpp"
 #include "prof/metrics.hpp"
 #include "prof/pmu.hpp"
+#include "serve/server.hpp"
 #include "sm/launcher.hpp"
 #include "sm/sm_core.hpp"
 #include "trace/kernels.hpp"
@@ -86,6 +87,12 @@ int usage() {
       "        sampled simulation: functional fast-forward with detailed\n"
       "        windows; cross-checked against the exact run unless\n"
       "        --no-check (--snapshot caches the exact run's warmup)\n"
+      "  serve [--port=N] [--host=A] [--threads=N] [--cache=N]\n"
+      "        [--max-inflight=N] [--timeout-ms=T] [--batch=FILE] [--smoke]\n"
+      "        persistent simulation service: newline-delimited JSON\n"
+      "        requests over TCP (or from FILE / '-' stdin with --batch),\n"
+      "        answered through a content-addressed result cache;\n"
+      "        --smoke runs the self-contained TCP round-trip check\n"
       "  (trace kernels:)\n";
   for (const auto name : trace::trace_kernel_names()) {
     std::cerr << "          " << name << " — "
@@ -341,10 +348,10 @@ int cmd_trace(const arch::DeviceSpec& device,
     return usage();
   }
 
-  auto kernel = trace::make_trace_kernel(kernel_name, iters);
+  auto kernel = serve::resolve_trace_kernel(kernel_name, iters);
   if (!kernel) {
-    std::cerr << "unknown kernel: " << kernel_name << "\n";
-    return usage();
+    std::cerr << kernel.error().to_string() << "\n";
+    return 1;
   }
   sm::BlockShape shape;
   shape.threads_per_block =
@@ -450,10 +457,10 @@ int cmd_chip(const arch::DeviceSpec& device,
     return usage();
   }
 
-  auto kernel = trace::make_trace_kernel(kernel_name, iters);
+  auto kernel = serve::resolve_trace_kernel(kernel_name, iters);
   if (!kernel) {
-    std::cerr << "unknown kernel: " << kernel_name << "\n";
-    return usage();
+    std::cerr << kernel.error().to_string() << "\n";
+    return 1;
   }
   sm::LaunchConfig config;
   config.threads_per_block =
@@ -547,10 +554,10 @@ int cmd_profile(const arch::DeviceSpec& device,
     return usage();
   }
 
-  auto kernel = trace::make_trace_kernel(kernel_name, iters);
+  auto kernel = serve::resolve_trace_kernel(kernel_name, iters);
   if (!kernel) {
-    std::cerr << "unknown kernel: " << kernel_name << "\n";
-    return usage();
+    std::cerr << kernel.error().to_string() << "\n";
+    return 1;
   }
 
   prof::PmuCounters pmu;
@@ -681,10 +688,10 @@ int cmd_sample(const arch::DeviceSpec& device,
     return usage();
   }
 
-  auto kernel = trace::make_trace_kernel(kernel_name, iters);
+  auto kernel = serve::resolve_trace_kernel(kernel_name, iters);
   if (!kernel) {
-    std::cerr << "unknown kernel: " << kernel_name << "\n";
-    return usage();
+    std::cerr << kernel.error().to_string() << "\n";
+    return 1;
   }
   sm::BlockShape shape;
   shape.threads_per_block =
@@ -914,6 +921,102 @@ int cmd_dsm(int cs, int threads, int ilp) {
   return 0;
 }
 
+void announce_port(std::uint16_t port) {
+  std::cout << "hsim serve: listening on port " << port << "\n" << std::flush;
+}
+
+/// `hsim serve --batch`: same Session::handle_line dispatch as the TCP
+/// server, reading request lines from a file (or stdin as "-"), writing one
+/// reply line per request to stdout.  A bad request gets a structured error
+/// reply and the session continues — identical semantics to a connection.
+int run_batch(const std::string& path, const serve::ServeOptions& options) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::cerr << "cannot open batch file: " << path << "\n";
+      return 1;
+    }
+    in = &file;
+  }
+  serve::ServeEngine engine(options);
+  serve::Session session(engine);
+  std::string line;
+  while (!session.closed() && std::getline(*in, line)) {
+    if (line.empty()) continue;
+    std::cout << session.handle_line(line) << "\n";
+  }
+  return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::ServerOptions server_options;
+  std::string batch;
+  bool smoke = false;
+  for (const auto& arg : args) {
+    const auto value_of = [&](std::string_view prefix) -> const char* {
+      return arg.compare(0, prefix.size(), prefix) == 0
+                 ? arg.c_str() + prefix.size()
+                 : nullptr;
+    };
+    if (const char* v = value_of("--port=")) {
+      server_options.port = static_cast<std::uint16_t>(std::atoi(v));
+      continue;
+    }
+    if (const char* v = value_of("--host=")) {
+      server_options.host = v;
+      continue;
+    }
+    if (const char* v = value_of("--threads=")) {
+      server_options.engine.threads = std::max(0, std::atoi(v));
+      continue;
+    }
+    if (const char* v = value_of("--cache=")) {
+      server_options.engine.cache_capacity =
+          static_cast<std::size_t>(std::max(0, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--max-inflight=")) {
+      server_options.engine.max_inflight =
+          static_cast<std::size_t>(std::max(1, std::atoi(v)));
+      continue;
+    }
+    if (const char* v = value_of("--timeout-ms=")) {
+      server_options.engine.default_timeout_ms = std::max(0.0, std::atof(v));
+      continue;
+    }
+    if (const char* v = value_of("--batch=")) {
+      batch = v;
+      continue;
+    }
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    std::cerr << "unknown option: " << arg << "\n";
+    return usage();
+  }
+
+  if (smoke) {
+    const auto result = serve::run_smoke(server_options.engine);
+    if (!result) {
+      std::cerr << result.error().to_string() << "\n";
+      return 1;
+    }
+    std::cout << "serve smoke: ok\n";
+    return 0;
+  }
+  if (!batch.empty()) return run_batch(batch, server_options.engine);
+
+  const auto result = serve::run_server(server_options, &announce_port);
+  if (!result) {
+    std::cerr << result.error().to_string() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -924,8 +1027,8 @@ int main(int argc, char** argv) {
   // Reject unknown verbs before touching any other argument, so a typo'd
   // command names the accepted set instead of complaining about devices.
   static constexpr std::string_view kCommands[] = {
-      "devices", "pchase", "bandwidth", "sass", "tc",      "dpx",
-      "dsm",     "trace",  "chip",      "fuzz", "profile", "sample"};
+      "devices", "pchase", "bandwidth", "sass",    "tc",     "dpx",  "dsm",
+      "trace",   "chip",   "fuzz",      "profile", "sample", "serve"};
   if (std::find(std::begin(kCommands), std::end(kCommands), command) ==
       std::end(kCommands)) {
     std::cerr << "unknown command: " << command << "\naccepted commands:";
@@ -945,6 +1048,7 @@ int main(int argc, char** argv) {
   }
 
   if (command == "devices") return cmd_devices();
+  if (command == "serve") return cmd_serve(args);
   if (command == "dsm") {
     return cmd_dsm(args.size() > 0 ? std::atoi(args[0].c_str()) : 2,
                    args.size() > 1 ? std::atoi(args[1].c_str()) : 1024,
